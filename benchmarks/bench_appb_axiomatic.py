@@ -1,0 +1,67 @@
+"""E15 (Appendix B, Theorem 11): the operational consensus spec implies
+the axiomatic one.
+
+Reproduces: exhaustive safety verification (agreement + validity over
+EVERY reachable behavior, including failure branches) of the canonical
+consensus object wrapped in delegation processes, plus modified
+termination over all failure patterns within the resilience bound.
+"""
+
+import pytest
+
+from repro.analysis import exhaustive_safety_check, run_consensus_round
+from repro.protocols import delegation_consensus_system
+from repro.system import all_failure_sets, upfront_failures
+
+
+@pytest.mark.parametrize(
+    "proposals",
+    [{0: 0, 1: 0}, {0: 0, 1: 1}, {0: 1, 1: 1}],
+)
+def test_exhaustive_safety_two_processes(benchmark, proposals):
+    result = benchmark(
+        exhaustive_safety_check,
+        delegation_consensus_system(2, resilience=1),
+        proposals,
+    )
+    assert result.ok
+
+
+def test_exhaustive_safety_with_failure_branching(benchmark):
+    result = benchmark(
+        exhaustive_safety_check,
+        delegation_consensus_system(2, resilience=1),
+        {0: 0, 1: 1},
+        500_000,
+        1,
+        (0, 1),
+    )
+    assert result.ok
+
+
+def test_exhaustive_safety_three_processes(benchmark):
+    result = benchmark(
+        exhaustive_safety_check,
+        delegation_consensus_system(3, resilience=2),
+        {0: 0, 1: 1, 2: 0},
+        800_000,
+    )
+    assert result.ok
+
+
+def all_pattern_termination(n, f):
+    outcomes = []
+    for count in range(f + 1):
+        for victims in all_failure_sets(range(n), exactly=count):
+            check = run_consensus_round(
+                delegation_consensus_system(n, resilience=f),
+                {i: i % 2 for i in range(n)},
+                failure_schedule=upfront_failures(sorted(victims)),
+            )
+            outcomes.append(check.ok)
+    return outcomes
+
+
+def test_modified_termination_all_patterns(benchmark):
+    outcomes = benchmark(all_pattern_termination, 3, 1)
+    assert all(outcomes)

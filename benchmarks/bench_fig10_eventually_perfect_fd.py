@@ -1,0 +1,72 @@
+"""E7 (Figs. 10-11): the eventually perfect failure detector <>P.
+
+Reproduces: the imperfect -> perfect mode switch under fairness, and
+eventual accuracy: after the switch (plus buffer drain) every report is
+exact.  Measures how many scheduler steps convergence takes as the
+endpoint count grows.
+"""
+
+import pytest
+
+from repro.ioa import Action, RoundRobinScheduler, fail, run
+from repro.services import (
+    MODE_SWITCH_TASK,
+    PERFECT,
+    EventuallyPerfectFailureDetector,
+    suspicions_in_trace,
+)
+
+
+def run_until_stable(endpoints, steps):
+    detector = EventuallyPerfectFailureDetector(
+        "evP",
+        endpoints=tuple(range(endpoints)),
+        resilience=endpoints - 1,
+        # Bound the imperfect-mode nondeterminism to worst-case lies.
+        arbitrary_suspicions=[frozenset(range(endpoints))],
+    )
+    execution = run(
+        detector,
+        RoundRobinScheduler(),
+        max_steps=steps,
+        inputs=[(5, fail(endpoints - 1))],
+    )
+    return detector, execution
+
+
+@pytest.mark.parametrize("endpoints", [2, 4, 8])
+def test_convergence(benchmark, endpoints):
+    detector, execution = benchmark(run_until_stable, endpoints, endpoints * 40)
+    # The mode switch happened (fairness).
+    switch_index = next(
+        i
+        for i, step in enumerate(execution.steps)
+        if step.action == Action("compute", ("evP", MODE_SWITCH_TASK))
+    )
+    assert execution.steps[switch_index].post.val == PERFECT
+    # Eventual accuracy: the final report at a live endpoint is exact.
+    reports = suspicions_in_trace(execution.actions, 0, "evP")
+    assert reports and reports[-1] == frozenset({endpoints - 1})
+    # The detector really was imperfect before converging.
+    assert frozenset(range(endpoints)) in reports
+
+
+def test_steps_to_first_accurate_report(benchmark):
+    """Convergence latency: steps until the first post-switch report."""
+
+    def measure():
+        detector, execution = run_until_stable(4, 200)
+        switched = False
+        for index, step in enumerate(execution.steps):
+            if step.action == Action("compute", ("evP", MODE_SWITCH_TASK)):
+                switched = True
+            if (
+                switched
+                and step.action.kind == "compute"
+                and step.action.args[1] in range(4)
+            ):
+                return index
+        raise AssertionError("no post-switch report generated")
+
+    latency = benchmark(measure)
+    assert latency > 0

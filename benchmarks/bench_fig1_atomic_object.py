@@ -1,0 +1,77 @@
+"""E1 (Fig. 1): the canonical f-resilient atomic object.
+
+Reproduces: the canonical atomic object automaton behaves per its
+sequential type and its dummy-action resilience semantics; measures the
+cost of a full invoke -> perform -> respond operation cycle at varying
+endpoint counts.
+"""
+
+import pytest
+
+from repro.ioa import Task, fail, invoke
+from repro.services import CanonicalAtomicObject
+from repro.types import binary_consensus_type, read_write_type
+
+
+def operation_cycle(obj, endpoint, invocation):
+    """One full operation: enqueue, perform, deliver."""
+    state = obj.some_start_state()
+    state = obj.apply_input(state, invoke(obj.service_id, endpoint, invocation))
+    state = obj.enabled(state, Task(obj.name, ("perform", endpoint)))[0].post
+    state = obj.enabled(state, Task(obj.name, ("output", endpoint)))[0].post
+    return state
+
+
+@pytest.mark.parametrize("endpoints", [2, 4, 8, 16])
+def test_consensus_object_operation_cycle(benchmark, endpoints):
+    obj = CanonicalAtomicObject(
+        binary_consensus_type(),
+        endpoints=tuple(range(endpoints)),
+        resilience=endpoints // 2,
+        service_id="cons",
+    )
+    state = benchmark(operation_cycle, obj, 0, ("init", 1))
+    assert state.val == frozenset({1})
+    assert obj.resp_buffer(state, 0) == ()
+
+
+@pytest.mark.parametrize("endpoints", [2, 8])
+def test_register_operation_cycle(benchmark, endpoints):
+    obj = CanonicalAtomicObject(
+        read_write_type(values=(0, 1, 2)),
+        endpoints=tuple(range(endpoints)),
+        resilience=endpoints - 1,
+        service_id="reg",
+    )
+    state = benchmark(operation_cycle, obj, 1, ("write", 2))
+    assert state.val == 2
+
+
+def test_resilience_semantics_dummy_enablement(benchmark):
+    """f-resilience per Fig. 1: dummies appear exactly past f failures."""
+    obj = CanonicalAtomicObject(
+        binary_consensus_type(),
+        endpoints=tuple(range(6)),
+        resilience=2,
+        service_id="cons",
+    )
+
+    def fail_until_silent():
+        state = obj.some_start_state()
+        silent_at = None
+        for count, victim in enumerate(range(6), start=1):
+            state = obj.apply_input(state, fail(victim))
+            dummy_everywhere = all(
+                any(
+                    t.action.kind == "dummy_perform"
+                    for t in obj.enabled(state, Task(obj.name, ("perform", e)))
+                )
+                for e in range(6)
+            )
+            if dummy_everywhere and silent_at is None:
+                silent_at = count
+        return silent_at
+
+    silent_at = benchmark(fail_until_silent)
+    # Silence allowed exactly once failures exceed f = 2.
+    assert silent_at == 3

@@ -1,0 +1,55 @@
+"""E2 (Figs. 2-3, Lemma 5): hook existence and the Fig. 3 search.
+
+Reproduces: on every safe doomed candidate explored, the Fig. 3
+construction terminates and localizes a hook (Fig. 2) whose endpoints
+have opposite univalent valences — the paper's Lemma 5.
+"""
+
+import pytest
+
+from repro.analysis import Hook, analyze_valence, find_hook
+from repro.protocols import delegation_consensus_system, tob_delegation_system
+
+
+def run_hook_search(system, proposals, max_states):
+    root = system.initialization(proposals).final_state
+    analysis = analyze_valence(system, root, max_states=max_states)
+    outcome, stats = find_hook(analysis, root)
+    return analysis, outcome, stats
+
+
+@pytest.mark.parametrize(
+    "n,f,proposals",
+    [
+        (2, 0, {0: 0, 1: 1}),
+        (3, 0, {0: 0, 1: 1, 2: 0}),
+        (3, 1, {0: 0, 1: 1, 2: 1}),
+    ],
+)
+def test_hook_search_on_delegation(benchmark, n, f, proposals):
+    analysis, outcome, stats = benchmark(
+        run_hook_search,
+        delegation_consensus_system(n, resilience=f),
+        proposals,
+        600_000,
+    )
+    assert isinstance(outcome, Hook)
+    assert outcome.valence0 is not outcome.valence1
+    assert analysis.is_bivalent(outcome.alpha)
+
+
+def test_hook_search_on_tob(benchmark):
+    analysis, outcome, stats = benchmark(
+        run_hook_search, tob_delegation_system(2, 0), {0: 0, 1: 1}, 600_000
+    )
+    assert isinstance(outcome, Hook)
+
+
+def test_hook_search_cost_breakdown(benchmark):
+    """Time just the search (valence analysis precomputed)."""
+    system = delegation_consensus_system(3, resilience=1)
+    root = system.initialization({0: 0, 1: 1, 2: 0}).final_state
+    analysis = analyze_valence(system, root, max_states=600_000)
+    outcome, stats = benchmark(find_hook, analysis, root)
+    assert isinstance(outcome, Hook)
+    assert stats.inner_bfs_expansions >= stats.outer_iterations

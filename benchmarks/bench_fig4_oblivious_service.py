@@ -1,0 +1,99 @@
+"""E3 (Fig. 4): the canonical failure-oblivious service.
+
+Reproduces: the failure-oblivious service semantics (endpoint-dependent
+performs, multi-endpoint response maps, spontaneous computes) and the
+Section 5.1 claim that the atomic object is a special case — the
+embedded automaton pays only a small constant overhead over the direct
+one.
+"""
+
+import pytest
+
+from repro.ioa import Task, invoke
+from repro.services import (
+    CanonicalAtomicObject,
+    atomic_object_as_oblivious_service,
+)
+from repro.types import (
+    FailureObliviousServiceType,
+    binary_consensus_type,
+    broadcast_response,
+)
+from repro.services.oblivious import CanonicalFailureObliviousService
+
+
+def make_fanout_service(endpoints):
+    """perform echoes the invocation to every endpoint (response map)."""
+
+    def delta1(invocation, endpoint, value):
+        return ((broadcast_response(endpoints, ("echo", endpoint)), value + 1),)
+
+    def delta2(global_task, value):
+        return (({}, value),)
+
+    service_type = FailureObliviousServiceType(
+        name="fanout",
+        initial_values=(0,),
+        invocations=(("ping",),),
+        responses=tuple(("echo", e) for e in endpoints),
+        global_tasks=("g",),
+        delta1=delta1,
+        delta2=delta2,
+    )
+    return CanonicalFailureObliviousService(
+        service_type, endpoints, resilience=1, service_id="fan"
+    )
+
+
+def perform_cycle(service, endpoint):
+    state = service.apply_input(
+        service.some_start_state(), invoke(service.service_id, endpoint, ("ping",))
+    )
+    return service.enabled(state, Task(service.name, ("perform", endpoint)))[0].post
+
+
+@pytest.mark.parametrize("endpoints", [2, 8, 32])
+def test_fanout_perform(benchmark, endpoints):
+    service = make_fanout_service(tuple(range(endpoints)))
+    state = benchmark(perform_cycle, service, 0)
+    # One invocation produced a response at EVERY endpoint (impossible
+    # for an atomic object).
+    assert all(
+        service.resp_buffer(state, e) == (("echo", 0),) for e in range(endpoints)
+    )
+
+
+def test_compute_step(benchmark):
+    service = make_fanout_service((0, 1, 2))
+
+    def compute():
+        return service.enabled(
+            service.some_start_state(), Task(service.name, ("compute", "g"))
+        )[0].post
+
+    state = benchmark(compute)
+    assert state.val == 0  # the no-op delta2 branch
+
+
+def atomic_cycle(obj):
+    state = obj.apply_input(
+        obj.some_start_state(), invoke(obj.service_id, 0, ("init", 1))
+    )
+    return obj.enabled(state, Task(obj.name, ("perform", 0)))[0].post
+
+
+def test_direct_atomic_object(benchmark):
+    obj = CanonicalAtomicObject(
+        binary_consensus_type(), (0, 1, 2), 1, service_id="c", name="same"
+    )
+    state = benchmark(atomic_cycle, obj)
+    assert state.val == frozenset({1})
+
+
+def test_atomic_as_oblivious_special_case(benchmark):
+    """Section 5.1 embedding: same behavior through the Fig. 4 code path."""
+    obj = atomic_object_as_oblivious_service(
+        binary_consensus_type(), (0, 1, 2), 1, service_id="c", name="same"
+    )
+    state = benchmark(atomic_cycle, obj)
+    assert state.val == frozenset({1})

@@ -1,0 +1,79 @@
+"""E4 (Figs. 5-7): totally ordered broadcast.
+
+Reproduces: the worked failure-oblivious example — total order (all
+delivery sequences prefix-related), one-invocation-many-responses, and
+f-resilience; measures broadcast+delivery throughput as endpoints scale.
+"""
+
+import pytest
+
+from repro.ioa import RoundRobinScheduler, invoke, run
+from repro.services import TotallyOrderedBroadcast, bcast, delivered_sequence, is_prefix
+from repro.system import DistributedSystem, ScriptProcess
+
+
+def build_chat(endpoints, messages_per_process):
+    service = TotallyOrderedBroadcast(
+        service_id="tob",
+        endpoints=tuple(range(endpoints)),
+        messages=tuple(range(messages_per_process)),
+        resilience=endpoints // 2,
+    )
+    processes = [
+        ScriptProcess(
+            e,
+            [invoke("tob", e, bcast(m)) for m in range(messages_per_process)],
+            connections=["tob"],
+        )
+        for e in range(endpoints)
+    ]
+    return DistributedSystem(processes, services=[service])
+
+
+def run_chat(system, steps):
+    return run(system, RoundRobinScheduler(), max_steps=steps)
+
+
+@pytest.mark.parametrize("endpoints", [2, 4, 8])
+def test_broadcast_throughput(benchmark, endpoints):
+    messages_per_process = 3
+    # Each message costs invoke + perform + compute + one output per
+    # endpoint; budget generously so every delivery completes.
+    total_messages = endpoints * messages_per_process
+    steps = total_messages * (endpoints + 6) + 100
+    execution = benchmark(run_chat, build_chat(endpoints, messages_per_process), steps)
+    sequences = sorted(
+        (
+            delivered_sequence(execution.actions, e, "tob")
+            for e in range(endpoints)
+        ),
+        key=len,
+    )
+    # Total order: prefix-related sequences at all endpoints.
+    for shorter, longer in zip(sequences, sequences[1:]):
+        assert is_prefix(shorter, longer)
+    # Every broadcast was eventually delivered somewhere.
+    assert len(sequences[-1]) == endpoints * messages_per_process
+
+
+def test_delivery_fanout_cost(benchmark):
+    """Cost of one delivery step (one queued message to n endpoints)."""
+    from repro.ioa import Task
+
+    endpoints = 16
+    service = TotallyOrderedBroadcast(
+        service_id="tob",
+        endpoints=tuple(range(endpoints)),
+        messages=("m",),
+        resilience=1,
+    )
+    state = service.apply_input(
+        service.some_start_state(), invoke("tob", 0, bcast("m"))
+    )
+    state = service.enabled(state, Task(service.name, ("perform", 0)))[0].post
+
+    def deliver():
+        return service.enabled(state, Task(service.name, ("compute", "g")))[0].post
+
+    post = benchmark(deliver)
+    assert all(len(service.resp_buffer(post, e)) == 1 for e in range(endpoints))

@@ -1,0 +1,88 @@
+"""E5 (Fig. 8): the canonical general (failure-aware) service.
+
+Reproduces: delta1/delta2 instantiated with the failed set (the only
+code difference from Fig. 4) and the Section 6.1 claim that
+failure-oblivious services embed as general services with identical
+behavior.
+"""
+
+import pytest
+
+from repro.ioa import Task, fail, invoke
+from repro.services import (
+    CanonicalGeneralService,
+    TotallyOrderedBroadcast,
+    oblivious_service_as_general,
+)
+from repro.types import GeneralServiceType, single_response
+
+
+def make_failure_mirror(endpoints):
+    """perform reports the exact failed set back to the invoker."""
+
+    def delta1(invocation, endpoint, value, failed):
+        return ((single_response(endpoint, ("mirror", frozenset(failed))), value),)
+
+    def delta2(global_task, value, failed):
+        return (({}, value),)
+
+    from itertools import chain, combinations
+
+    subsets = [
+        frozenset(c)
+        for c in chain.from_iterable(
+            combinations(endpoints, size) for size in range(len(endpoints) + 1)
+        )
+    ]
+    service_type = GeneralServiceType(
+        name="mirror",
+        initial_values=(0,),
+        invocations=(("probe",),),
+        responses=tuple(("mirror", s) for s in subsets),
+        global_tasks=(),
+        delta1=delta1,
+        delta2=delta2,
+    )
+    return CanonicalGeneralService(
+        service_type, endpoints, resilience=len(endpoints) - 1, service_id="mir"
+    )
+
+
+def probe_after_failures(service, victims):
+    state = service.some_start_state()
+    for victim in victims:
+        state = service.apply_input(state, fail(victim))
+    state = service.apply_input(state, invoke("mir", 0, ("probe",)))
+    return service.enabled(state, Task(service.name, ("perform", 0)))[0].post
+
+
+@pytest.mark.parametrize("failures", [0, 1, 3])
+def test_failure_aware_perform(benchmark, failures):
+    endpoints = tuple(range(5))
+    service = make_failure_mirror(endpoints)
+    victims = endpoints[1 : 1 + failures]
+    state = benchmark(probe_after_failures, service, victims)
+    # The response mirrors exactly the failed set: failure-awareness.
+    assert service.resp_buffer(state, 0) == (("mirror", frozenset(victims)),)
+
+
+def test_oblivious_embeds_as_general(benchmark):
+    """Section 6.1 embedding: TO broadcast through the Fig. 8 code path."""
+    tob = TotallyOrderedBroadcast(
+        service_id="tob", endpoints=(0, 1, 2), messages=("m",), resilience=1
+    )
+    general = oblivious_service_as_general(
+        tob.service_type, (0, 1, 2), 1, service_id="tob"
+    )
+
+    def full_broadcast(service):
+        state = service.apply_input(
+            service.some_start_state(), invoke("tob", 0, ("bcast", "m"))
+        )
+        state = service.enabled(state, Task(service.name, ("perform", 0)))[0].post
+        return service.enabled(state, Task(service.name, ("compute", "g")))[0].post
+
+    direct = full_broadcast(tob)
+    embedded = benchmark(full_broadcast, general)
+    assert direct.val == embedded.val
+    assert direct.resp_buffers == embedded.resp_buffers

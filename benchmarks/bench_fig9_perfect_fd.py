@@ -1,0 +1,52 @@
+"""E6 (Fig. 9): the perfect failure detector P.
+
+Reproduces: P's strong accuracy (reports are always subsets of the real
+failed set at generation time) and strong completeness (failures are
+eventually reported to every live endpoint) under fair schedules;
+measures report-generation cost as endpoints scale.
+"""
+
+import pytest
+
+from repro.ioa import RoundRobinScheduler, Task, fail, run
+from repro.services import PerfectFailureDetector, suspicions_in_trace
+
+
+def fair_run_with_failures(endpoints, victims, steps):
+    detector = PerfectFailureDetector(
+        "P", endpoints=tuple(range(endpoints)), resilience=endpoints - 1
+    )
+    inputs = [(10 * (i + 1), fail(v)) for i, v in enumerate(victims)]
+    execution = run(detector, RoundRobinScheduler(), max_steps=steps, inputs=inputs)
+    return detector, execution
+
+
+@pytest.mark.parametrize("endpoints", [2, 4, 8])
+def test_detector_fair_run(benchmark, endpoints):
+    victims = list(range(1, max(2, endpoints // 2)))
+    detector, execution = benchmark(
+        fair_run_with_failures, endpoints, victims, endpoints * 30
+    )
+    # Accuracy along the whole run.
+    failed = set()
+    for step in execution.steps:
+        if step.action.kind == "fail":
+            failed.add(step.action.args[0])
+        if step.action.kind == "respond":
+            assert step.action.args[2][1] <= failed
+    # Completeness at the surviving endpoint 0.
+    reports = suspicions_in_trace(execution.actions, 0, "P")
+    assert reports and reports[-1] == frozenset(victims)
+
+
+def test_single_report_generation(benchmark):
+    detector = PerfectFailureDetector("P", endpoints=tuple(range(16)), resilience=15)
+    state = detector.some_start_state()
+    for victim in range(8):
+        state = detector.apply_input(state, fail(victim))
+
+    def generate():
+        return detector.enabled(state, Task(detector.name, ("compute", 9)))[0].post
+
+    post = benchmark(generate)
+    assert detector.resp_buffer(post, 9)[-1] == ("suspect", frozenset(range(8)))

@@ -1,0 +1,45 @@
+"""E8 (Lemma 4): every doomed candidate has a bivalent initialization.
+
+Reproduces: the constructive chain argument — the all-0 initialization
+is 0-valent, the all-1 one is 1-valent, and a bivalent one sits in
+between.  Measures the cost of classifying the full chain (which
+requires one exhaustive valence analysis per initialization).
+"""
+
+import pytest
+
+from repro.analysis import Valence, lemma4_bivalent_initialization
+from repro.protocols import delegation_consensus_system, tob_delegation_system
+
+
+@pytest.mark.parametrize("n,f", [(2, 0), (3, 0), (3, 1)])
+def test_lemma4_chain_on_delegation(benchmark, n, f):
+    result = benchmark(
+        lemma4_bivalent_initialization,
+        delegation_consensus_system(n, resilience=f),
+        600_000,
+    )
+    assert result.chain[0].valence is Valence.ZERO
+    assert result.chain[-1].valence is Valence.ONE
+    assert result.bivalent is not None
+    assert len(result.chain) == n + 1
+
+
+def test_lemma4_chain_on_tob(benchmark):
+    result = benchmark(
+        lemma4_bivalent_initialization, tob_delegation_system(2, 0), 600_000
+    )
+    assert result.bivalent is not None
+
+
+def test_critical_pair_is_adjacent(benchmark):
+    result = benchmark(
+        lemma4_bivalent_initialization,
+        delegation_consensus_system(3, resilience=1),
+        600_000,
+    )
+    assert result.critical_pair is not None
+    low, high = result.critical_pair
+    assert high == low + 1
+    assert result.chain[low].valence is Valence.ZERO
+    assert result.chain[high].valence in (Valence.ONE, Valence.BIVALENT)

@@ -1,0 +1,64 @@
+"""E14 (Lemmas 6-8): similarity analysis and the hook case analysis.
+
+Reproduces: (a) Lemma 8's case analysis lands in the predicted claim and
+its similarity conclusion verifies concretely; (b) the graph-wide scan
+finds similar opposite-valence pairs on doomed candidates (the concrete
+failure of Lemmas 6-7 for them) and, fed to the refutation engine, each
+yields a termination witness.
+"""
+
+import pytest
+
+from repro.analysis import (
+    TerminationViolation,
+    analyze_valence,
+    find_hook,
+    lemma8_case_analysis,
+    refute_from_similarity,
+    scan_for_similarity_violations,
+)
+from repro.protocols import delegation_consensus_system, tob_delegation_system
+
+
+def prepared(system, proposals, max_states=600_000):
+    root = system.initialization(proposals).final_state
+    analysis = analyze_valence(system, root, max_states=max_states)
+    return root, analysis
+
+
+@pytest.mark.parametrize(
+    "factory,proposals",
+    [
+        (lambda: delegation_consensus_system(2, 0), {0: 0, 1: 1}),
+        (lambda: tob_delegation_system(2, 0), {0: 0, 1: 1}),
+    ],
+)
+def test_case_analysis(benchmark, factory, proposals):
+    system = factory()
+    root, analysis = prepared(system, proposals)
+    hook, _ = find_hook(analysis, root)
+    report = benchmark(lemma8_case_analysis, system, analysis, hook)
+    assert report.claim == "claim4.1-shared-service-internal"
+    assert report.violation is not None
+
+
+def test_similarity_scan(benchmark):
+    system = delegation_consensus_system(2, resilience=0)
+    root, analysis = prepared(system, {0: 0, 1: 1})
+    violations = benchmark(
+        scan_for_similarity_violations, system, analysis, (), 20_000
+    )
+    assert violations  # Lemmas 6-7 fail concretely for the candidate
+
+
+def test_each_scanned_violation_refutes(benchmark):
+    system = delegation_consensus_system(2, resilience=0)
+    root, analysis = prepared(system, {0: 0, 1: 1})
+    violations = scan_for_similarity_violations(system, analysis, max_pairs=5_000)
+
+    def refute_first():
+        return refute_from_similarity(system, violations[0], resilience=0)
+
+    outcome = benchmark(refute_first)
+    assert isinstance(outcome, TerminationViolation)
+    assert outcome.exact

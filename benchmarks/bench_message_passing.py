@@ -1,0 +1,69 @@
+"""E18 (2002 TR setting): boosting is impossible in message passing too.
+
+The basic results first appeared as "Boosting Fault-tolerance in
+Asynchronous Message Passing Systems is Impossible"; here the
+asynchronous network is a failure-oblivious service and Theorem 9
+covers the setting.  The benches refute message-passing candidates
+through the full pipeline and measure the network substrate itself.
+"""
+
+import pytest
+
+from repro.analysis import liveness_attack, refute_candidate
+from repro.ioa import RoundRobinScheduler, invoke, run
+from repro.protocols.message_passing import (
+    arbiter_consensus_system,
+    exchange_consensus_system,
+)
+from repro.services.network import AsynchronousNetwork, deliveries_in_trace, send
+from repro.system import DistributedSystem, ScriptProcess
+
+
+def test_pipeline_refutes_arbiter_candidate(benchmark):
+    verdict = benchmark(
+        refute_candidate, arbiter_consensus_system(3, 0), None, 600_000
+    )
+    assert verdict.refuted
+    assert verdict.lemma8.violation.index == "net"
+
+
+def test_direct_attack_on_exchange_candidate(benchmark):
+    system = exchange_consensus_system(0)
+    root = system.initialization({0: 0, 1: 1}).final_state
+    violation = benchmark(liveness_attack, system, root, [1], 50_000)
+    assert violation is not None and violation.exact
+
+
+@pytest.mark.parametrize("endpoints", [2, 4, 8])
+def test_network_throughput(benchmark, endpoints):
+    """Messages per scheduler step as the ring size grows."""
+    messages_each = 3
+    net = AsynchronousNetwork(
+        "net",
+        endpoints=tuple(range(endpoints)),
+        messages=tuple(range(messages_each)),
+        resilience=endpoints - 1,
+    )
+    processes = [
+        ScriptProcess(
+            e,
+            [
+                invoke("net", e, send((e + 1) % endpoints, m))
+                for m in range(messages_each)
+            ],
+            connections=["net"],
+        )
+        for e in range(endpoints)
+    ]
+    system = DistributedSystem(processes, services=[net])
+    steps = endpoints * messages_each * 6 + 50
+
+    def deliver_all():
+        return run(system, RoundRobinScheduler(), max_steps=steps)
+
+    execution = benchmark(deliver_all)
+    total_delivered = sum(
+        len(deliveries_in_trace(execution.actions, e, "net"))
+        for e in range(endpoints)
+    )
+    assert total_delivered == endpoints * messages_each

@@ -1,0 +1,51 @@
+"""E17 (framework extension): shared-memory Paxos with Omega.
+
+A beyond-the-paper workload demonstrating that the service model
+expresses a realistic eventually-live consensus protocol: Disk-Paxos
+over per-process wait-free registers with Omega leader election.
+Measures decision latency under increasing failure counts and verifies
+that safety is schedule-independent.
+"""
+
+import pytest
+
+from repro.analysis import run_consensus_round
+from repro.protocols import shared_paxos_system
+from repro.system import upfront_failures
+
+
+def paxos_round(n, failures, max_steps=300_000):
+    return run_consensus_round(
+        shared_paxos_system(n),
+        {i: i % 2 for i in range(n)},
+        failure_schedule=upfront_failures(list(range(failures))),
+        max_steps=max_steps,
+    )
+
+
+@pytest.mark.parametrize("failures", [0, 1, 2])
+def test_paxos_decision_latency_n3(benchmark, failures):
+    check = benchmark(paxos_round, 3, failures)
+    assert check.ok, check.violations
+
+
+def test_paxos_n4_two_failures(benchmark):
+    check = benchmark(paxos_round, 4, 2)
+    assert check.ok, check.violations
+
+
+def test_paxos_leader_failover_cost(benchmark):
+    """Killing the stable leader (process 0) forces a ballot handover."""
+    from repro.system import FailureSchedule
+    from repro.protocols.shared_paxos import shared_paxos_system as build
+
+    def failover_round():
+        return run_consensus_round(
+            build(3),
+            {0: 0, 1: 1, 2: 1},
+            failure_schedule=FailureSchedule(((30, 0),)),
+            max_steps=300_000,
+        )
+
+    check = benchmark(failover_round)
+    assert check.ok, check.violations

@@ -1,0 +1,65 @@
+"""E12 (Section 4): boosting IS possible for 2-set-consensus.
+
+Reproduces: wait-free 2n-process 2-set-consensus from wait-free
+n-process consensus — k-agreement, validity, and termination under up to
+n - 1 failures, swept over n.  The resilience boost is strict:
+f' = n/2 - 1 inside, f = n - 1 outside.
+"""
+
+import pytest
+
+from repro.analysis import run_consensus_round
+from repro.protocols import classic_parameters, kset_boost_system
+from repro.system import upfront_failures
+
+
+def full_round(params, victims):
+    proposals = {endpoint: endpoint for endpoint in range(params.n)}
+    return run_consensus_round(
+        kset_boost_system(params),
+        proposals,
+        failure_schedule=upfront_failures(victims),
+        k=params.k,
+        max_steps=200_000,
+    )
+
+
+@pytest.mark.parametrize("n", [2, 4, 6, 8])
+def test_failure_free_round(benchmark, n):
+    params = classic_parameters(n)
+    check = benchmark(full_round, params, [])
+    assert check.ok, check.violations
+    assert len(set(check.decisions.values())) <= 2
+
+
+@pytest.mark.parametrize("n", [4, 6])
+def test_wait_free_round_max_failures(benchmark, n):
+    """n - 1 upfront failures: the lone survivor still decides."""
+    params = classic_parameters(n)
+    victims = list(range(n - 1))
+    check = benchmark(full_round, params, victims)
+    assert check.ok, check.violations
+    assert n - 1 in check.decisions
+
+
+@pytest.mark.parametrize("n", [4, 6])
+def test_half_failures_round(benchmark, n):
+    params = classic_parameters(n)
+    victims = list(range(n // 2))
+    check = benchmark(full_round, params, victims)
+    assert check.ok, check.violations
+
+
+def test_resilience_is_strictly_boosted(benchmark):
+    """The headline inequality of Section 4 (parameter validation cost)."""
+
+    def validate_all():
+        checked = []
+        for n in (2, 4, 6, 8, 10):
+            params = classic_parameters(n)
+            checked.append(params)
+        return checked
+
+    for params in benchmark(validate_all):
+        assert params.inner_resilience < params.boosted_resilience
+        assert params.k_prime * params.n == params.k * params.n_prime

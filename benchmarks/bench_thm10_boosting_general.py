@@ -1,0 +1,60 @@
+"""E11 (Theorem 10): no boosting with all-connected failure-aware services.
+
+Reproduces both halves of the Section 6.3 story:
+
+* the impossibility — one f-resilient perfect failure detector connected
+  to ALL processes: f + 1 failures silence it, and the rotating-
+  coordinator candidate blocks forever (exact fair-cycle witness);
+* the necessity of the connectivity hypothesis — replace the shared
+  detector by per-pair 1-resilient detectors and the very same attack
+  fails: the survivors decide.
+"""
+
+import pytest
+
+from repro.analysis import liveness_attack
+from repro.protocols import (
+    consensus_via_pairwise_fds_system,
+    consensus_with_shared_fd_system,
+)
+
+
+@pytest.mark.parametrize("n,f", [(3, 0), (3, 1), (4, 1), (4, 2)])
+def test_shared_detector_attack(benchmark, n, f):
+    assert f < n - 1
+    system = consensus_with_shared_fd_system(n, fd_resilience=f)
+    root = system.initialization({i: i % 2 for i in range(n)}).final_state
+    violation = benchmark(
+        liveness_attack,
+        system,
+        root,
+        list(range(f + 1)),
+        300_000,
+        ["P"],
+    )
+    assert violation is not None
+    assert violation.exact
+    assert violation.survivors == frozenset(range(f + 1, n))
+
+
+@pytest.mark.parametrize("n", [3, 4])
+def test_connectivity_hypothesis_is_necessary(benchmark, n):
+    """Same attack, pairwise detectors: the survivors decide."""
+    system = consensus_via_pairwise_fds_system(n)
+    root = system.initialization({i: i % 2 for i in range(n)}).final_state
+    violation = benchmark(
+        liveness_attack, system, root, list(range(n - 1)), 300_000
+    )
+    assert violation is None
+
+
+def test_wait_free_shared_detector_survives(benchmark):
+    """Tightness in f: a wait-free shared detector is out of scope."""
+    system = consensus_with_shared_fd_system(3, fd_resilience=2)
+    root = system.initialization({0: 0, 1: 1, 2: 1}).final_state
+    violation = benchmark(
+        liveness_attack, system, root, [0, 1], 300_000, ["P"]
+    )
+    # The detector cannot be silenced (wait-free), but the attack's
+    # silencing rule still tries: survivors must nevertheless decide.
+    assert violation is None

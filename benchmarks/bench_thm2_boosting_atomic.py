@@ -1,0 +1,49 @@
+"""E9 (Theorem 2): no boosting with atomic objects + registers.
+
+Reproduces: the complete adversary pipeline refutes every delegation
+candidate (n processes over one f-resilient consensus object, f < n-1)
+with an exact termination-violation witness under f + 1 failures; the
+registers-only (FLP, f = 0) instance falls to the direct liveness
+attack; and the hypothesis f < n - 1 is tight (wait-free objects
+survive).
+"""
+
+import pytest
+
+from repro.analysis import (
+    TerminationViolation,
+    liveness_attack,
+    refute_candidate,
+)
+from repro.protocols import (
+    delegation_consensus_system,
+    min_register_consensus_system,
+)
+
+
+@pytest.mark.parametrize("n,f", [(2, 0), (3, 0), (3, 1), (4, 1)])
+def test_full_pipeline_refutes_delegation(benchmark, n, f):
+    verdict = benchmark(
+        refute_candidate, delegation_consensus_system(n, resilience=f), None, 600_000
+    )
+    assert verdict.refuted
+    assert isinstance(verdict.refutation, TerminationViolation)
+    assert len(verdict.refutation.victims) == f + 1
+    assert verdict.refutation.exact
+
+
+def test_flp_instance_registers_only(benchmark):
+    """f = 0 with registers only: the classical FLP special case."""
+    system = min_register_consensus_system()
+    root = system.initialization({0: 0, 1: 1}).final_state
+    violation = benchmark(liveness_attack, system, root, [1], 50_000)
+    assert violation is not None and violation.exact
+
+
+def test_hypothesis_tightness_wait_free_survives(benchmark):
+    """f = n - 1 (wait-free) is outside the theorem — and indeed the
+    attack fails: the tightness half of the reproduction."""
+    system = delegation_consensus_system(3, resilience=2)
+    root = system.initialization({0: 0, 1: 1, 2: 1}).final_state
+    violation = benchmark(liveness_attack, system, root, [0, 1], 50_000)
+    assert violation is None

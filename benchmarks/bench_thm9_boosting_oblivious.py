@@ -1,0 +1,41 @@
+"""E10 (Theorem 9): no boosting with failure-oblivious services.
+
+Reproduces: the pipeline extends beyond atomic objects — the totally
+ordered broadcast delegation candidate (the canonical failure-oblivious
+example) is refuted the same way, through the same hook and similarity
+stages, with the g-compute tasks participating in the analysis.
+"""
+
+import pytest
+
+from repro.analysis import TerminationViolation, liveness_attack, refute_candidate
+from repro.protocols import tob_delegation_system
+
+
+@pytest.mark.parametrize("n,f", [(2, 0), (3, 1)])
+def test_full_pipeline_refutes_tob_delegation(benchmark, n, f):
+    verdict = benchmark(
+        refute_candidate, tob_delegation_system(n, resilience=f), None, 900_000
+    )
+    assert verdict.refuted
+    assert isinstance(verdict.refutation, TerminationViolation)
+    assert len(verdict.refutation.victims) == f + 1
+    # The similarity violation names the oblivious service (Lemma 7 path).
+    assert verdict.lemma8.violation.index == "tob"
+
+
+def test_direct_attack_silences_broadcast(benchmark):
+    system = tob_delegation_system(3, resilience=1)
+    root = system.initialization({0: 0, 1: 1, 2: 1}).final_state
+    violation = benchmark(liveness_attack, system, root, [0, 1], 100_000)
+    assert violation is not None
+    assert violation.exact
+    assert violation.survivors == frozenset({2})
+
+
+def test_within_resilience_broadcast_still_lives(benchmark):
+    """Tightness: with only f failures the candidate still decides."""
+    system = tob_delegation_system(3, resilience=1)
+    root = system.initialization({0: 0, 1: 1, 2: 1}).final_state
+    violation = benchmark(liveness_attack, system, root, [0], 100_000)
+    assert violation is None

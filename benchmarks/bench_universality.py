@@ -1,0 +1,146 @@
+"""E16 (Section 1 / Herlihy universality): consensus implements anything.
+
+Reproduces the universality claim the paper's framing rests on: any
+deterministic sequential type is implemented wait-free from wait-free
+consensus objects.  Measures construction throughput per implemented
+type and verifies linearizability with the independent checker.  Also
+benches the consensus-number-2 companion: 2-process consensus from one
+test&set object, checked against the canonical object via the paper's
+implementation relation.
+"""
+
+import pytest
+
+from repro.analysis import canonical_accepts_trace, trace_is_linearizable
+from repro.ioa import RoundRobinScheduler, run
+from repro.protocols import tas_consensus_system
+from repro.protocols.tas_consensus import (
+    IMPLEMENTED_ID,
+    implemented_consensus_trace,
+)
+from repro.protocols.universal import (
+    UNIVERSAL_ID,
+    implemented_trace,
+    universal_object_system,
+)
+from repro.services import CanonicalAtomicObject
+from repro.system import FailureSchedule
+from repro.types import binary_consensus_type, counter_type, queue_type
+
+
+def run_universal(implemented_type, scripts, steps=8000, failures=()):
+    system = universal_object_system(implemented_type, scripts)
+    execution = run(
+        system,
+        RoundRobinScheduler(),
+        max_steps=steps,
+        inputs=FailureSchedule(tuple(failures)).as_inputs(),
+    )
+    return implemented_trace(execution)
+
+
+def test_universal_counter(benchmark):
+    counter = counter_type(modulus=16)
+    trace = benchmark(
+        run_universal,
+        counter,
+        {0: [("inc",), ("get",)], 1: [("inc",), ("get",)]},
+    )
+    assert sum(1 for a in trace if a.kind == "respond") == 4
+    assert trace_is_linearizable(trace, UNIVERSAL_ID, counter)
+
+
+def test_universal_queue(benchmark):
+    queue = queue_type(items=("a", "b"))
+    trace = benchmark(
+        run_universal,
+        queue,
+        {0: [("enq", "a"), ("deq",)], 1: [("enq", "b"), ("deq",)]},
+    )
+    assert trace_is_linearizable(trace, UNIVERSAL_ID, queue)
+
+
+def test_universal_wait_freedom(benchmark):
+    counter = counter_type(modulus=16)
+    trace = benchmark(
+        run_universal,
+        counter,
+        {0: [("inc",), ("get",)], 1: [("inc",)], 2: [("inc",)]},
+        8000,
+        [(5, 1), (5, 2)],
+    )
+    survivor_responses = [
+        a for a in trace if a.kind == "respond" and a.args[1] == 0
+    ]
+    assert len(survivor_responses) == 2
+
+
+def test_consensus_from_test_and_set(benchmark):
+    def round_trip():
+        system = tas_consensus_system()
+        initialization = system.initialization({0: 0, 1: 1})
+        execution = run(
+            system,
+            RoundRobinScheduler(),
+            max_steps=300,
+            start=initialization.final_state,
+        )
+        return implemented_consensus_trace(execution)
+
+    trace = benchmark(round_trip)
+    canonical = CanonicalAtomicObject(
+        binary_consensus_type(),
+        endpoints=(0, 1),
+        resilience=1,
+        service_id=IMPLEMENTED_ID,
+    )
+    assert canonical_accepts_trace(canonical, trace)
+
+
+def test_two_set_consensus_from_test_and_set(benchmark):
+    """The stacked construction (S41): 2-set consensus for 4 processes
+    from consensus-number-2 objects, wait-free."""
+    from repro.analysis import run_consensus_round
+    from repro.protocols import kset_from_tas_system
+    from repro.system import upfront_failures
+
+    def stacked_round():
+        return run_consensus_round(
+            kset_from_tas_system(4),
+            {0: 0, 1: 1, 2: 2, 3: 3},
+            failure_schedule=upfront_failures([0, 2]),
+            k=2,
+            max_steps=60_000,
+        )
+
+    check = benchmark(stacked_round)
+    assert check.ok, check.violations
+
+
+def test_consensus_from_queue(benchmark):
+    """The second consensus-number-2 rung: a preloaded FIFO queue."""
+    from repro.protocols import queue_consensus_system
+    from repro.protocols.queue_consensus import IMPLEMENTED_ID as QUEUE_ID
+
+    def round_trip():
+        system = queue_consensus_system()
+        initialization = system.initialization({0: 1, 1: 0})
+        execution = run(
+            system,
+            RoundRobinScheduler(),
+            max_steps=300,
+            start=initialization.final_state,
+        )
+        return [
+            step.action
+            for step in execution.steps
+            if step.action.kind in ("invoke", "respond")
+            and step.action.args[0] == QUEUE_ID
+        ]
+
+    trace = benchmark(round_trip)
+    canonical = CanonicalAtomicObject(
+        binary_consensus_type(), endpoints=(0, 1), resilience=1,
+        service_id=QUEUE_ID,
+    )
+    assert canonical_accepts_trace(canonical, trace)

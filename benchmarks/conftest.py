@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark file corresponds to one row of the experiment index in
+DESIGN.md (E1-E15) and regenerates the executable evidence for one
+figure, lemma, theorem, or construction of the paper.  Results are
+recorded in EXPERIMENTS.md.
+
+Benchmarks both *time* the operation (pytest-benchmark) and *assert* the
+reproduced claim, so `pytest benchmarks/ --benchmark-only` doubles as a
+verification pass.
+"""
+
+import pytest
+
+
+def report(title: str, rows) -> None:
+    """Print a small evidence table under the benchmark output."""
+    print(f"\n[{title}]")
+    for row in rows:
+        print(f"  {row}")

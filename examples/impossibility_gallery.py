@@ -1,0 +1,143 @@
+"""The whole gallery: every candidate, every construction, one table.
+
+Run:  python examples/impossibility_gallery.py
+
+Regenerates the paper's message in one screen: the impossibility side
+(each doomed candidate with its refutation mechanism and witness) and
+the possibility side (each construction with the failure budget it
+survives).
+"""
+
+from repro.analysis import (
+    TerminationViolation,
+    liveness_attack,
+    refute_candidate,
+    run_consensus_round,
+)
+from repro.protocols import (
+    arbiter_consensus_system,
+    classic_parameters,
+    consensus_via_pairwise_fds_system,
+    consensus_with_shared_fd_system,
+    delegation_consensus_system,
+    exchange_consensus_system,
+    kset_boost_system,
+    kset_from_tas_system,
+    last_writer_register_system,
+    min_register_consensus_system,
+    mixed_service_system,
+    shared_paxos_system,
+    tob_delegation_system,
+)
+from repro.system import upfront_failures
+
+WIDTH = 78
+
+
+def banner(title: str) -> None:
+    print("=" * WIDTH)
+    print(title)
+    print("=" * WIDTH)
+
+
+def impossibility_row(name, verdict) -> None:
+    witness = ""
+    if isinstance(verdict.refutation, TerminationViolation):
+        witness = (
+            f"J={sorted(verdict.refutation.victims, key=str)}, "
+            f"{'exact cycle' if verdict.refutation.exact else 'horizon'}"
+        )
+    claim = verdict.lemma8.claim if verdict.lemma8 else "-"
+    print(f"  {name:34} {claim:36}")
+    print(f"  {'':34} -> {witness}")
+
+
+def attack_row(name, violation) -> None:
+    print(
+        f"  {name:34} blocked: J={sorted(violation.victims, key=str)}, "
+        f"survivors={sorted(violation.survivors, key=str)}"
+    )
+
+
+def main() -> None:
+    banner("IMPOSSIBILITY — Theorems 2, 9, 10: boosting refuted")
+    print("via the full pipeline (Lemma 4 -> hook -> Lemma 8 -> Lemmas 6/7):")
+    for name, system in (
+        ("delegation (atomic object, f=1)", delegation_consensus_system(3, 1)),
+        ("TO broadcast (oblivious, f=0)", tob_delegation_system(2, 0)),
+        ("last-writer (registers, f=0)", last_writer_register_system()),
+        ("arbiter (message passing, f=0)", arbiter_consensus_system(3, 0)),
+    ):
+        impossibility_row(name, refute_candidate(system, max_states=900_000))
+    print("\nvia the direct liveness attack:")
+    for name, system, victims, aware in (
+        ("min-register (FLP, f=0)", min_register_consensus_system(), [1], []),
+        ("exchange (message passing, f=0)", exchange_consensus_system(0), [1], []),
+        (
+            "rotating coord. (shared FD, f=1)",
+            consensus_with_shared_fd_system(3, 1),
+            [0, 1],
+            ["P"],
+        ),
+        (
+            "mixed TOB+FD (Theorem 10, f=1)",
+            mixed_service_system(3, 1),
+            [0, 1],
+            ["P"],
+        ),
+    ):
+        root = system.initialization(
+            {i: i % 2 for i in system.process_ids}
+        ).final_state
+        violation = liveness_attack(
+            system, root, victims=victims, horizon=200_000,
+            failure_aware_services=aware,
+        )
+        attack_row(name, violation)
+
+    print()
+    banner("POSSIBILITY — Sections 4 and 6.3 (and friends): boosting works")
+    constructions = (
+        (
+            "2-set consensus from n/2-consensus",
+            lambda: kset_boost_system(classic_parameters(4)),
+            3,
+            2,
+        ),
+        (
+            "2-set consensus from test&set",
+            lambda: kset_from_tas_system(4),
+            3,
+            2,
+        ),
+        (
+            "consensus from pairwise FDs",
+            lambda: consensus_via_pairwise_fds_system(3),
+            2,
+            1,
+        ),
+        (
+            "shared-memory Paxos + Omega",
+            lambda: shared_paxos_system(3),
+            2,
+            1,
+        ),
+    )
+    for name, factory, max_failures, k in constructions:
+        outcomes = []
+        for failures in range(max_failures + 1):
+            system = factory()
+            proposals = {i: i % 2 if k == 1 else i for i in system.process_ids}
+            check = run_consensus_round(
+                system,
+                proposals,
+                failure_schedule=upfront_failures(list(range(failures))),
+                k=k,
+                max_steps=300_000,
+            )
+            outcomes.append("ok" if check.ok else "FAIL")
+        print(f"  {name:36} failures 0..{max_failures}: {' '.join(outcomes)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro — an executable reproduction of
+"The Impossibility of Boosting Distributed Service Resilience"
+(Attie, Guerraoui, Kuznetsov, Lynch, Rajsbaum; ICDCS 2005 / I&C 2011).
+
+The library implements the paper's full formal framework over I/O
+automata, every canonical service the paper defines, the proof machinery
+of the three impossibility theorems as runnable analysis code, and the
+two possibility constructions as concrete protocols.
+
+Layering (bottom to top):
+
+* :mod:`repro.ioa`       — I/O automata: actions, composition, executions,
+  fairness, schedulers (Section 2.1.1);
+* :mod:`repro.types`     — sequential types and service types
+  (Sections 2.1.2, 5.1, 6.1);
+* :mod:`repro.services`  — canonical atomic objects, registers,
+  failure-oblivious services, totally ordered broadcast, general
+  services, failure detectors (Figs. 1, 4-11);
+* :mod:`repro.system`    — process automata, the complete system ``C``,
+  failure schedules (Section 2.2);
+* :mod:`repro.analysis`  — valence, bivalent initializations, the hook
+  construction, similarity, the constructive refutation engine, and the
+  end-to-end boosting adversary (Sections 3, 5.3, 6.3); re-exported as
+  :mod:`repro.core`;
+* :mod:`repro.protocols` — the Section 4 and Section 6.3 possibility
+  constructions, plus the doomed candidates the adversary refutes.
+
+Quickstart::
+
+    from repro.protocols import delegation_consensus_system
+    from repro.analysis import refute_candidate
+
+    system = delegation_consensus_system(n=3, resilience=1)
+    verdict = refute_candidate(system)
+    assert verdict.refuted  # Theorem 2, witnessed on this instance
+"""
+
+from . import analysis, core, ioa, protocols, services, system, types
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "ioa",
+    "protocols",
+    "services",
+    "system",
+    "types",
+    "__version__",
+]

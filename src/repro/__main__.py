@@ -1,0 +1,164 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Exposes the headline reproductions without writing any code:
+
+* ``refute``  — run the full Theorem 2/9 adversary pipeline against a
+  built-in candidate and print the witness, stage by stage;
+* ``boost-kset`` — run the Section 4 possibility construction;
+* ``boost-fd``   — run the Section 6.3 possibility construction;
+* ``paxos``      — run the shared-memory Paxos extension;
+* ``list``       — list the built-in candidates and constructions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+CANDIDATES = {
+    "delegation": "n processes over one f-resilient consensus object (Thm 2)",
+    "tob": "n processes over one f-resilient totally ordered broadcast (Thm 9)",
+    "last-writer": "2 processes, registers only, decide-the-last-write (Thm 2, register case)",
+}
+
+
+def _build_candidate(name: str, n: int, resilience: int):
+    from .protocols import (
+        delegation_consensus_system,
+        last_writer_register_system,
+        tob_delegation_system,
+    )
+
+    if name == "delegation":
+        return delegation_consensus_system(n, resilience)
+    if name == "tob":
+        return tob_delegation_system(n, resilience)
+    if name == "last-writer":
+        return last_writer_register_system()
+    raise SystemExit(f"unknown candidate {name!r}; try: {', '.join(CANDIDATES)}")
+
+
+def cmd_refute(args: argparse.Namespace) -> int:
+    from .analysis import format_verdict, refute_candidate
+
+    system = _build_candidate(args.candidate, args.n, args.resilience)
+    print(f"Candidate: {args.candidate} (n={args.n}, f={args.resilience})")
+    verdict = refute_candidate(system, max_states=args.max_states)
+    print(format_verdict(verdict))
+    return 0 if verdict.refuted else 1
+
+
+def cmd_boost_kset(args: argparse.Namespace) -> int:
+    from .analysis import run_consensus_round
+    from .protocols import classic_parameters, kset_boost_system
+    from .system import upfront_failures
+
+    params = classic_parameters(args.n)
+    print(
+        f"Section 4: n={params.n}, k={params.k} from "
+        f"{params.groups} x {params.n_prime}-process consensus "
+        f"(f'={params.inner_resilience} -> f={params.boosted_resilience})"
+    )
+    proposals = {endpoint: endpoint for endpoint in range(params.n)}
+    for failures in range(params.n):
+        check = run_consensus_round(
+            kset_boost_system(params),
+            proposals,
+            failure_schedule=upfront_failures(list(range(failures))),
+            k=params.k,
+            max_steps=200_000,
+        )
+        distinct = len(set(check.decisions.values()))
+        print(f"  {failures} failures: ok={check.ok} distinct={distinct}")
+        if not check.ok:
+            return 1
+    return 0
+
+
+def cmd_boost_fd(args: argparse.Namespace) -> int:
+    from .analysis import run_consensus_round
+    from .protocols import consensus_via_pairwise_fds_system
+    from .system import upfront_failures
+
+    n = args.n
+    print(f"Section 6.3: consensus for any f from 1-resilient pair detectors (n={n})")
+    for failures in range(n):
+        check = run_consensus_round(
+            consensus_via_pairwise_fds_system(n),
+            {i: i % 2 for i in range(n)},
+            failure_schedule=upfront_failures(list(range(failures))),
+            max_steps=300_000,
+        )
+        print(f"  {failures} failures: ok={check.ok} decisions={check.decisions}")
+        if not check.ok:
+            return 1
+    return 0
+
+
+def cmd_paxos(args: argparse.Namespace) -> int:
+    from .analysis import run_consensus_round
+    from .protocols.shared_paxos import shared_paxos_system
+    from .system import upfront_failures
+
+    n = args.n
+    print(f"Shared-memory Paxos + Omega (n={n})")
+    for failures in range(n):
+        check = run_consensus_round(
+            shared_paxos_system(n),
+            {i: i % 2 for i in range(n)},
+            failure_schedule=upfront_failures(list(range(failures))),
+            max_steps=300_000,
+        )
+        print(f"  {failures} failures: ok={check.ok} decisions={check.decisions}")
+        if not check.ok:
+            return 1
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("Candidates for `refute`:")
+    for name, blurb in CANDIDATES.items():
+        print(f"  {name:12} {blurb}")
+    print("\nConstructions: boost-kset (Section 4), boost-fd (Section 6.3), paxos")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Executable reproduction of 'The Impossibility of "
+        "Boosting Distributed Service Resilience'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    refute = subparsers.add_parser("refute", help="run the adversary pipeline")
+    refute.add_argument("candidate", choices=sorted(CANDIDATES))
+    refute.add_argument("-n", type=int, default=3, help="number of processes")
+    refute.add_argument(
+        "-f", "--resilience", type=int, default=1, help="service resilience f"
+    )
+    refute.add_argument("--max-states", type=int, default=600_000)
+    refute.set_defaults(handler=cmd_refute)
+
+    kset = subparsers.add_parser("boost-kset", help="Section 4 construction")
+    kset.add_argument("-n", type=int, default=4, help="number of processes (even)")
+    kset.set_defaults(handler=cmd_boost_kset)
+
+    fd = subparsers.add_parser("boost-fd", help="Section 6.3 construction")
+    fd.add_argument("-n", type=int, default=3)
+    fd.set_defaults(handler=cmd_boost_fd)
+
+    paxos = subparsers.add_parser("paxos", help="shared-memory Paxos extension")
+    paxos.add_argument("-n", type=int, default=3)
+    paxos.set_defaults(handler=cmd_paxos)
+
+    lister = subparsers.add_parser("list", help="list built-ins")
+    lister.set_defaults(handler=cmd_list)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,250 @@
+"""The consensus problem specification (Section 2.2.4, Appendix B).
+
+The paper specifies ``f``-resilient consensus *operationally* — the
+system must implement the canonical ``f``-resilient consensus atomic
+object — and shows (Theorem 11, Appendix B) that the operational
+definition implies the classical axioms:
+
+* **Agreement** — no two processes decide differently;
+* **Validity** — any decided value was some process's input;
+* **Modified termination** — in every fair execution with at most ``f``
+  failures, every nonfaulty process that receives an input eventually
+  decides.
+
+This module provides execution-level checkers for the axioms (used
+against every protocol in the library, correct and doomed alike), the
+``k``-set-consensus generalization (at most ``k`` distinct decisions),
+and a bounded-exhaustive axiom checker over all executions of a system —
+the tool behind the Theorem 11/Appendix B reproduction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from ..ioa.actions import Action
+from ..ioa.automaton import State
+from ..ioa.execution import Execution
+from ..ioa.scheduler import RoundRobinScheduler, run
+from ..system.faults import FailureSchedule, no_failures
+from ..system.system import DistributedSystem
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violated consensus axiom, with a human-readable witness."""
+
+    axiom: str
+    detail: str
+
+
+def check_agreement(decisions: Mapping[Hashable, Hashable]) -> list[Violation]:
+    """Agreement: all decided values coincide."""
+    distinct = set(decisions.values())
+    if len(distinct) > 1:
+        return [
+            Violation(
+                axiom="agreement",
+                detail=f"distinct decisions {sorted(distinct, key=str)!r} "
+                f"by {dict(decisions)!r}",
+            )
+        ]
+    return []
+
+
+def check_k_agreement(
+    decisions: Mapping[Hashable, Hashable], k: int
+) -> list[Violation]:
+    """k-agreement: at most ``k`` distinct decided values (Section 4)."""
+    distinct = set(decisions.values())
+    if len(distinct) > k:
+        return [
+            Violation(
+                axiom="k-agreement",
+                detail=f"{len(distinct)} distinct decisions "
+                f"{sorted(distinct, key=str)!r} exceed k={k}",
+            )
+        ]
+    return []
+
+
+def check_validity(
+    decisions: Mapping[Hashable, Hashable],
+    proposals: Mapping[Hashable, Hashable],
+) -> list[Violation]:
+    """Validity: every decided value is some process's proposal."""
+    proposed = set(proposals.values())
+    violations = []
+    for decider, value in decisions.items():
+        if value not in proposed:
+            violations.append(
+                Violation(
+                    axiom="validity",
+                    detail=f"{decider!r} decided {value!r}, proposals were "
+                    f"{sorted(proposed, key=str)!r}",
+                )
+            )
+    return violations
+
+
+def check_modified_termination(
+    decisions: Mapping[Hashable, Hashable],
+    proposals: Mapping[Hashable, Hashable],
+    failed: frozenset,
+) -> list[Violation]:
+    """Modified termination over a finished fair run.
+
+    Every nonfaulty process that received an input must have decided.
+    (Callers are responsible for running the system fairly long enough —
+    e.g. :func:`run_to_quiescence`.)
+    """
+    violations = []
+    for endpoint in proposals:
+        if endpoint in failed:
+            continue
+        if endpoint not in decisions:
+            violations.append(
+                Violation(
+                    axiom="modified-termination",
+                    detail=f"nonfaulty inited process {endpoint!r} never decided",
+                )
+            )
+    return violations
+
+
+@dataclass
+class ConsensusCheck:
+    """A full axiom check of one finished run."""
+
+    decisions: dict
+    proposals: dict
+    failed: frozenset
+    violations: list[Violation]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_consensus_round(
+    system: DistributedSystem,
+    proposals: Mapping[Hashable, Hashable],
+    failure_schedule: FailureSchedule | None = None,
+    max_steps: int = 20_000,
+    seed: int | None = None,
+    k: int = 1,
+) -> ConsensusCheck:
+    """Initialize, run fairly (with optional failures), check the axioms.
+
+    With ``seed`` set, a seeded random scheduler is used instead of
+    round-robin, which is how the property-based tests sweep schedules.
+    ``k`` switches the agreement check to k-agreement.
+    """
+    from ..ioa.scheduler import RandomScheduler
+
+    schedule = failure_schedule if failure_schedule is not None else no_failures()
+    initialization = system.initialization(dict(proposals))
+    scheduler = RandomScheduler(seed) if seed is not None else RoundRobinScheduler()
+
+    def everyone_done(execution: Execution) -> bool:
+        state = execution.final_state
+        live = set(proposals) - system.failed_processes(state)
+        return live <= set(system.decisions(state))
+
+    execution = run(
+        system,
+        scheduler,
+        max_steps=max_steps,
+        start=initialization.final_state,
+        inputs=schedule.as_inputs(),
+        stop=everyone_done,
+    )
+    final = execution.final_state
+    decisions = system.decisions(final)
+    failed = system.failed_processes(final)
+    violations = (
+        (check_agreement(decisions) if k == 1 else check_k_agreement(decisions, k))
+        + check_validity(decisions, proposals)
+        + check_modified_termination(decisions, proposals, failed)
+    )
+    return ConsensusCheck(
+        decisions=dict(decisions),
+        proposals=dict(proposals),
+        failed=failed,
+        violations=violations,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bounded-exhaustive axiom checking (Appendix B / Theorem 11)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExhaustiveCheckResult:
+    """Result of checking the safety axioms over *all* bounded executions."""
+
+    executions_checked: int
+    states_visited: int
+    violations: list[Violation]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def exhaustive_safety_check(
+    system: DistributedSystem,
+    proposals: Mapping[Hashable, Hashable],
+    max_states: int = 300_000,
+    k: int = 1,
+    failure_choices: Sequence[Hashable] = (),
+) -> ExhaustiveCheckResult:
+    """Check agreement and validity over every reachable state.
+
+    Explores the full nondeterministic transition system (every enabled
+    transition of every task, plus optional ``fail`` inputs for the
+    endpoints in ``failure_choices``) from the given initialization, and
+    checks the safety axioms in every reachable state.  This is the
+    reproduction of Theorem 11's safety half: on canonical consensus
+    objects (driven by delegation processes) it visits every behavior
+    and finds no violation.
+    """
+    initialization = system.initialization(dict(proposals))
+    root = initialization.final_state
+    seen = {root}
+    frontier: deque = deque([root])
+    violations: list[Violation] = []
+    transitions_taken = 0
+    while frontier:
+        state = frontier.popleft()
+        decisions = system.decisions(state)
+        violations.extend(
+            check_agreement(decisions) if k == 1 else check_k_agreement(decisions, k)
+        )
+        violations.extend(check_validity(decisions, proposals))
+        successors = []
+        for task in system.tasks():
+            for transition in system.enabled(state, task):
+                successors.append(transition.post)
+        for endpoint in failure_choices:
+            if endpoint not in system.failed_processes(state):
+                successors.append(system.apply_input(state, Action("fail", (endpoint,))))
+        for post in successors:
+            transitions_taken += 1
+            if post not in seen:
+                if len(seen) >= max_states:
+                    raise RuntimeError(
+                        f"exhaustive check exceeded {max_states} states"
+                    )
+                seen.add(post)
+                frontier.append(post)
+        if violations:
+            break
+    return ExhaustiveCheckResult(
+        executions_checked=transitions_taken,
+        states_visited=len(seen),
+        violations=violations,
+    )

@@ -1,0 +1,178 @@
+"""Exhaustive exploration of failure-free state spaces.
+
+The valence notions of Section 3.2 quantify over *all* failure-free
+extensions of an execution.  For the finite-state instances this library
+analyzes, that quantification is decided exactly by exhausting the
+reachable task-transition graph.  This module provides:
+
+* :func:`explore` — breadth-first reachability from a root state under
+  the deterministic task semantics, producing a :class:`StateGraph`;
+* :class:`StateGraph` — the explored graph with task-labeled edges;
+* :func:`reachable_decision_sets` — for every explored state, the set of
+  values decided in *some* failure-free extension; computed as a
+  backward fixpoint over the graph (sound for cyclic graphs), this is
+  precisely the semantic ingredient of valence.
+
+Budgets: exploration takes a ``max_states`` bound and raises
+:class:`ExplorationBudget` when exceeded, so callers can distinguish
+"exhausted the space" from "the space is too large" — the latter is the
+signal to switch to the bounded adversary of
+:mod:`repro.analysis.adversary`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable
+
+from ..ioa.actions import Action
+from ..ioa.automaton import State, Task
+from .view import DeterministicSystemView
+
+
+class ExplorationBudget(RuntimeError):
+    """The reachable state space exceeded the caller's ``max_states``."""
+
+
+@dataclass
+class StateGraph:
+    """An explored failure-free task-transition graph.
+
+    ``edges[s]`` lists the outgoing ``(task, action, successor)`` triples
+    of ``s``; ``states`` is the set of explored states.  The graph is
+    exactly the reachable fragment of the paper's ``G(C)`` collapsed from
+    executions to states — sound because, under the determinism
+    assumptions, valence is a function of the final state (two executions
+    ending in the same state have the same failure-free extensions).
+    """
+
+    root: State
+    states: set = field(default_factory=set)
+    edges: dict = field(default_factory=dict)
+
+    def successors(self, state: State) -> list[tuple[Task, Action, State]]:
+        """Outgoing edges of ``state``."""
+        return self.edges.get(state, [])
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def edge_count(self) -> int:
+        """Total number of transitions in the graph."""
+        return sum(len(out) for out in self.edges.values())
+
+
+def explore(
+    view: DeterministicSystemView,
+    root: State,
+    max_states: int = 200_000,
+    prune: Callable[[State], bool] | None = None,
+) -> StateGraph:
+    """Breadth-first exploration of the failure-free reachable graph.
+
+    ``prune`` may cut off exploration below selected states (used, e.g.,
+    to stop below states where every process has decided — their
+    extensions cannot change any decision set).  Pruned states are kept
+    in the graph but get no outgoing edges.
+    """
+    graph = StateGraph(root=root)
+    graph.states.add(root)
+    frontier: deque = deque([root])
+    while frontier:
+        state = frontier.popleft()
+        if prune is not None and prune(state):
+            graph.edges[state] = []
+            continue
+        out = view.successors(state)
+        graph.edges[state] = out
+        for _, _, successor in out:
+            if successor not in graph.states:
+                if len(graph.states) >= max_states:
+                    raise ExplorationBudget(
+                        f"reachable state space exceeds {max_states} states"
+                    )
+                graph.states.add(successor)
+                frontier.append(successor)
+    return graph
+
+
+def reachable_decision_sets(
+    graph: StateGraph, view: DeterministicSystemView
+) -> dict[State, frozenset]:
+    """For each state, the union of decision values over all extensions.
+
+    A value ``v`` is in the set of ``s`` iff some failure-free extension
+    of an execution ending in ``s`` contains a ``decide(v)`` — i.e. some
+    state reachable from ``s`` records ``v``.  Computed as a backward
+    fixpoint: start from each state's own recorded decisions and
+    propagate along reversed edges until stable.  Fixpoint iteration (as
+    opposed to a DAG pass) is required because protocol graphs contain
+    cycles (processes spin on dummy steps).
+    """
+    local: dict[State, frozenset] = {
+        state: view.decision_values(state) for state in graph.states
+    }
+    # Build the reverse adjacency once.
+    predecessors: dict[State, list[State]] = {state: [] for state in graph.states}
+    for state, out in graph.edges.items():
+        for _, _, successor in out:
+            predecessors[successor].append(state)
+    result = dict(local)
+    worklist: deque = deque(graph.states)
+    queued = set(graph.states)
+    while worklist:
+        state = worklist.popleft()
+        queued.discard(state)
+        for predecessor in predecessors[state]:
+            merged = result[predecessor] | result[state]
+            if merged != result[predecessor]:
+                result[predecessor] = merged
+                if predecessor not in queued:
+                    worklist.append(predecessor)
+                    queued.add(predecessor)
+    return result
+
+
+def find_state(
+    graph: StateGraph, predicate: Callable[[State], bool]
+) -> State | None:
+    """Some explored state satisfying ``predicate``, or ``None``."""
+    for state in graph.states:
+        if predicate(state):
+            return state
+    return None
+
+
+def shortest_task_path(
+    graph: StateGraph, source: State, target_predicate: Callable[[State], bool]
+) -> list[tuple[Task, Action, State]] | None:
+    """BFS for the shortest edge path from ``source`` to a target state.
+
+    Returns the list of ``(task, action, state)`` edges, or ``None`` when
+    no target is reachable within the explored graph.
+    """
+    if target_predicate(source):
+        return []
+    parents: dict[State, tuple[State, Task, Action]] = {}
+    frontier: deque = deque([source])
+    seen = {source}
+    while frontier:
+        state = frontier.popleft()
+        for task, action, successor in graph.successors(state):
+            if successor in seen:
+                continue
+            seen.add(successor)
+            parents[successor] = (state, task, action)
+            if target_predicate(successor):
+                # Reconstruct the path.
+                path: list[tuple[Task, Action, State]] = []
+                cursor = successor
+                while cursor != source:
+                    previous, task_used, action_used = parents[cursor]
+                    path.append((task_used, action_used, cursor))
+                    cursor = previous
+                path.reverse()
+                return path
+            frontier.append(successor)
+    return None

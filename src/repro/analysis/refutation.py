@@ -1,0 +1,357 @@
+"""Constructive refutation of boosting candidates (Lemmas 6-7, executable).
+
+The proofs of Lemmas 6 and 7 are constructive: from a univalent execution
+they build a *fair failing extension* — fail a chosen set ``J`` of
+``f + 1`` processes up front, let every service take dummy steps for the
+failed endpoints (silencing services whose resilience is exceeded), and
+run fairly.  For a system that truly solves ``(f+1)``-resilient
+consensus, a survivor must decide, and replaying the same task sequence
+after the similar state forces the opposite-valence contradiction.  For
+a *doomed candidate*, exactly one of two things happens instead, and
+this module detects both:
+
+* **no survivor ever decides** — detected exactly on finite instances by
+  finding a cycle in the (state, scheduler-cursor) space of the fair
+  silencing schedule: a concrete infinite fair execution with ``f + 1``
+  failures and no decision, i.e. a termination violation;
+* **a survivor decides**, and replaying the decision-producing task
+  sequence after the other (opposite-valent) similar state yields a
+  decision contradicting that valence — i.e. the candidate reaches both
+  decisions from states it cannot distinguish, a safety contradiction.
+
+The same machinery powers the Theorem 9 and Theorem 10 variants: for
+failure-oblivious services the silencing rule is per Fig. 4's
+``dummy_compute`` preconditions, and for failure-aware services
+(Section 6.3) every general service is silenced outright — possible
+precisely because each is connected to all processes, so any ``f + 1``
+failures exceed its resilience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Collection, Hashable, Sequence
+
+from ..ioa.actions import Action, is_dummy
+from ..ioa.automaton import State, Task
+from ..ioa.execution import Execution
+from ..system.system import DistributedSystem
+from .similarity import SimilarityViolation
+from .view import DeterministicSystemView
+
+
+@dataclass
+class TerminationViolation:
+    """A fair execution with at most ``f + 1`` failures and no decision.
+
+    ``exact`` is True when a (state, cursor) cycle was found — the
+    witness then denotes a genuinely infinite fair execution; otherwise
+    the run merely exhausted the horizon while remaining undecided.
+    """
+
+    victims: frozenset
+    steps_run: int
+    exact: bool
+    cycle_length: int
+    survivors: frozenset
+    description: str
+
+
+@dataclass
+class DecisionContradiction:
+    """Replaying a deciding schedule after a similar state flips the decision.
+
+    ``value_from_s0`` is the survivor's decision in the failing extension
+    of the 0-valent state; ``value_from_s1`` is what the replay after the
+    1-valent similar state produced.  At least one of the two runs
+    contradicts its state's valence — a safety-level contradiction in the
+    candidate.
+    """
+
+    victims: frozenset
+    decider: Hashable
+    value_from_s0: Hashable
+    value_from_s1: Hashable | None
+    replay_decided: bool
+
+
+RefutationOutcome = TerminationViolation | DecisionContradiction
+
+
+@dataclass
+class _SilencedRunResult:
+    """Outcome of a fair silencing run: decision or cycle or horizon.
+
+    When a cycle is found, ``cycle_start_step`` indexes the execution
+    step where the repeating segment begins (after the leading fail
+    actions), so callers can package the witness as a
+    :class:`repro.ioa.Lasso` and check its fairness independently.
+    """
+
+    execution: Execution
+    task_sequence: list[Task]
+    decision: tuple[Hashable, Hashable] | None  # (decider, value)
+    cycle_found: bool
+    cycle_length: int
+    cycle_start_step: int = 0
+
+    def as_lasso(self):
+        """The witness as a stem + repeating cycle (requires a cycle)."""
+        from ..ioa.execution import Lasso
+
+        if not self.cycle_found:
+            raise ValueError("no cycle was found in this run")
+        stem = self.execution.prefix(self.cycle_start_step)
+        cycle = self.execution.steps[self.cycle_start_step :]
+        return Lasso(stem=stem, cycle=cycle)
+
+
+def run_silenced(
+    system: DistributedSystem,
+    start: State,
+    victims: Collection[Hashable],
+    silenced_services: Collection[Hashable],
+    max_steps: int,
+) -> _SilencedRunResult:
+    """The fair failing extension ``beta`` of Lemmas 6-7.
+
+    From ``start``: apply ``fail_i`` for every victim, then run a
+    round-robin fair schedule in which (a) service tasks for victim
+    endpoints take their dummy transition, (b) every task of a service in
+    ``silenced_services`` takes its dummy transition, and (c) everything
+    else runs normally.  Stops at the first decision by a survivor, on
+    detecting a (state, cursor) cycle (an exact infinite fair execution),
+    or at ``max_steps``.
+    """
+    victims = frozenset(victims)
+    silenced = frozenset(silenced_services)
+    execution = Execution(start)
+    # beta begins with the f + 1 fail actions.
+    for victim in sorted(victims, key=str):
+        action = Action("fail", (victim,))
+        post = system.apply_input(execution.final_state, action)
+        execution = execution.extend(action, post, task=None)
+    baseline_decided = dict(system.decisions(execution.final_state))
+    tasks = tuple(system.tasks())
+    component_of_task = {}
+    for component in system.services + system.registers:
+        for task in component.tasks():
+            component_of_task[task] = component
+    cursor = 0
+    seen: dict[tuple[State, int], int] = {}
+    task_sequence: list[Task] = []
+    for step_count in range(max_steps):
+        state = execution.final_state
+        config = (state, cursor)
+        if config in seen:
+            cycle_start = seen[config]
+            return _SilencedRunResult(
+                execution=execution,
+                task_sequence=task_sequence,
+                decision=None,
+                cycle_found=True,
+                cycle_length=len(task_sequence) - cycle_start,
+                cycle_start_step=len(victims) + cycle_start,
+            )
+        seen[config] = len(task_sequence)
+        chosen: tuple[Task, Action, State] | None = None
+        for offset in range(len(tasks)):
+            task = tasks[(cursor + offset) % len(tasks)]
+            transitions = system.enabled(state, task)
+            if not transitions:
+                continue
+            component = component_of_task.get(task)
+            prefer_dummy = False
+            if component is not None:
+                endpoint = task.name[1] if task.name[0] in ("perform", "output") else None
+                if component.service_id in silenced:
+                    prefer_dummy = True
+                elif endpoint is not None and endpoint in victims:
+                    prefer_dummy = True
+            selected = None
+            for transition in transitions:
+                if prefer_dummy == is_dummy(transition.action):
+                    selected = transition
+                    break
+            if selected is None:
+                selected = transitions[0]
+            chosen = (task, selected.action, selected.post)
+            cursor = (cursor + offset + 1) % len(tasks)
+            break
+        if chosen is None:
+            break
+        task, action, post = chosen
+        execution = execution.extend(action, post, task)
+        task_sequence.append(task)
+        decisions = system.decisions(post)
+        for decider, value in decisions.items():
+            if decider in victims:
+                continue
+            if baseline_decided.get(decider) == value:
+                continue
+            return _SilencedRunResult(
+                execution=execution,
+                task_sequence=task_sequence,
+                decision=(decider, value),
+                cycle_found=False,
+                cycle_length=0,
+            )
+    return _SilencedRunResult(
+        execution=execution,
+        task_sequence=task_sequence,
+        decision=None,
+        cycle_found=False,
+        cycle_length=0,
+    )
+
+
+def choose_victims_for_process(
+    system: DistributedSystem, j: Hashable, resilience: int
+) -> frozenset:
+    """The set ``J`` of Lemma 6: ``j`` plus others, ``|J| = f + 1``."""
+    victims = [j]
+    for endpoint in system.process_ids:
+        if len(victims) == resilience + 1:
+            break
+        if endpoint != j:
+            victims.append(endpoint)
+    if len(victims) < resilience + 1:
+        raise ValueError("not enough processes: need f + 1 victims with f < n - 1")
+    return frozenset(victims)
+
+
+def choose_victims_for_service(
+    system: DistributedSystem, k: Hashable, resilience: int
+) -> frozenset:
+    """The set ``J`` of Lemma 7.
+
+    If ``|J_k| <= f + 1`` then ``J_k`` is a subset of ``J`` (all the
+    service's endpoints fail); otherwise ``J`` is a subset of ``J_k``
+    (``f + 1`` of its endpoints fail).  Either way the service's dummy
+    actions become enabled for every endpoint.
+    """
+    endpoints = list(system.service(k).endpoints)
+    quota = resilience + 1
+    if len(endpoints) <= quota:
+        victims = list(endpoints)
+        for endpoint in system.process_ids:
+            if len(victims) == quota:
+                break
+            if endpoint not in victims:
+                victims.append(endpoint)
+    else:
+        victims = endpoints[:quota]
+    if len(victims) < quota:
+        raise ValueError("not enough processes: need f + 1 victims with f < n - 1")
+    return frozenset(victims)
+
+
+def silenced_services_for(
+    system: DistributedSystem,
+    victims: frozenset,
+    also: Collection[Hashable] = (),
+) -> frozenset:
+    """Services whose dummy actions are enabled for every endpoint.
+
+    A service falls silent under the victims set when more than ``f`` of
+    its endpoints are victims, or all of its endpoints are.  ``also``
+    adds services silenced by construction (e.g. the Lemma 7 target, or
+    every failure-aware service in the Theorem 10 variant).
+    """
+    silenced = set(also)
+    for service in system.services:
+        failed_here = sum(1 for endpoint in service.endpoints if endpoint in victims)
+        if failed_here > service.resilience or failed_here == len(service.endpoints):
+            silenced.add(service.service_id)
+    return frozenset(silenced)
+
+
+def refute_from_similarity(
+    system: DistributedSystem,
+    violation: SimilarityViolation,
+    resilience: int,
+    horizon: int = 100_000,
+    failure_aware_services: Collection[Hashable] = (),
+) -> RefutationOutcome:
+    """Execute the Lemma 6/7 argument from a similar opposite-valence pair.
+
+    Chooses ``J`` per the appropriate lemma, runs the fair silencing
+    extension from the 0-valent state ``s0``, and either certifies a
+    termination violation (no survivor decision; exact when a cycle is
+    found) or replays the deciding task sequence after ``s1`` to exhibit
+    the decision contradiction.  ``failure_aware_services`` lists general
+    services to silence outright (the Theorem 10 setting).
+    """
+    if violation.kind == "process":
+        victims = choose_victims_for_process(system, violation.index, resilience)
+        base_silenced: Collection[Hashable] = ()
+    else:
+        victims = choose_victims_for_service(system, violation.index, resilience)
+        base_silenced = (violation.index,)
+    silenced = silenced_services_for(
+        system, victims, also=tuple(base_silenced) + tuple(failure_aware_services)
+    )
+    result = run_silenced(system, violation.s0, victims, silenced, horizon)
+    survivors = frozenset(system.process_ids) - victims
+    if result.decision is None:
+        return TerminationViolation(
+            victims=victims,
+            steps_run=len(result.task_sequence),
+            exact=result.cycle_found,
+            cycle_length=result.cycle_length,
+            survivors=survivors,
+            description=(
+                "fair extension with f+1 failures never decides"
+                + (" (cycle found: exact infinite execution)" if result.cycle_found else "")
+            ),
+        )
+    decider, value = result.decision
+    # Replay gamma' (the non-dummy suffix) after s1, per the lemma.
+    view = DeterministicSystemView(system)
+    replay_tasks = [
+        step.task
+        for step in result.execution.steps
+        if step.task is not None and not is_dummy(step.action)
+    ]
+    replay = view.run_task_sequence(violation.s1, replay_tasks, strict=False)
+    replay_decisions = view.decisions(replay.final_state)
+    replay_value = replay_decisions.get(decider)
+    return DecisionContradiction(
+        victims=victims,
+        decider=decider,
+        value_from_s0=value,
+        value_from_s1=replay_value,
+        replay_decided=replay_value is not None,
+    )
+
+
+def liveness_attack(
+    system: DistributedSystem,
+    start: State,
+    victims: Collection[Hashable],
+    horizon: int = 100_000,
+    failure_aware_services: Collection[Hashable] = (),
+) -> TerminationViolation | None:
+    """Direct liveness attack: fail ``victims`` and run fairly.
+
+    The blunt instrument behind the Theorem 2/9/10 benchmarks: fail the
+    chosen ``f + 1`` processes up front and check whether the survivors
+    can still decide under a fair schedule in which exceeded services go
+    silent.  Returns a :class:`TerminationViolation` when they cannot,
+    ``None`` when some survivor decided (the attack failed).
+    """
+    victims = frozenset(victims)
+    silenced = silenced_services_for(
+        system, victims, also=tuple(failure_aware_services)
+    )
+    result = run_silenced(system, start, victims, silenced, horizon)
+    if result.decision is not None:
+        return None
+    return TerminationViolation(
+        victims=victims,
+        steps_run=len(result.task_sequence),
+        exact=result.cycle_found,
+        cycle_length=result.cycle_length,
+        survivors=frozenset(system.process_ids) - victims,
+        description="direct liveness attack: survivors never decide",
+    )

@@ -1,0 +1,103 @@
+"""Human-readable reports for analysis results.
+
+Renders the structured outputs of the adversary pipeline — verdicts,
+hooks, refutations — as the stage-by-stage narrative a reader of the
+paper expects.  Used by the CLI and the examples; kept out of the
+analysis modules themselves so the data stays plain and testable.
+"""
+
+from __future__ import annotations
+
+from .adversary import Verdict
+from .hook import FairCycle, Hook, Lemma8Report
+from .refutation import DecisionContradiction, TerminationViolation
+from .valence import Lemma4Result
+
+
+def format_lemma4(result: Lemma4Result) -> list[str]:
+    """The initialization chain, one line per entry."""
+    lines = ["Lemma 4 — initialization chain:"]
+    for entry in result.chain:
+        lines.append(f"  {dict(entry.assignment)} -> {entry.valence.value}")
+    if result.bivalent is not None:
+        lines.append(
+            f"  bivalent initialization: {dict(result.bivalent.assignment)}"
+        )
+    else:
+        lines.append("  no bivalent initialization (candidate dodges bivalence)")
+    return lines
+
+
+def format_hook(hook: Hook) -> list[str]:
+    """The Fig. 2 pattern, annotated with valences."""
+    return [
+        "Lemma 5 — hook (Fig. 2):",
+        f"  e  = {hook.e.owner}:{hook.e.name}  ->  {hook.valence0.value}",
+        f"  e' = {hook.e_prime.owner}:{hook.e_prime.name}, then e  ->  "
+        f"{hook.valence1.value}",
+    ]
+
+
+def format_fair_cycle(cycle: FairCycle) -> list[str]:
+    """The infinite fair failure-free witness."""
+    return [
+        "Fig. 3 construction cycles — infinite fair failure-free execution:",
+        f"  stem length {len(cycle.prefix_tasks)}, period {len(cycle.cycle_tasks)}",
+        f"  decisions on the cycle: {set(cycle.decisions_on_cycle) or 'none'}",
+    ]
+
+
+def format_lemma8(report: Lemma8Report) -> list[str]:
+    """Which claim fired and what it concluded."""
+    lines = [
+        "Lemma 8 — case analysis:",
+        f"  claim: {report.claim}",
+        f"  shared participants: {list(report.shared_participants)}",
+    ]
+    if report.commuted:
+        lines.append("  conclusion: the tasks commute (verified concretely)")
+    elif report.violation is not None:
+        violation = report.violation
+        lines.append(
+            f"  conclusion: states {violation.kind}-similar at index "
+            f"{violation.index!r}, opposite valences"
+        )
+    return lines
+
+
+def format_refutation(outcome) -> list[str]:
+    """The Lemma 6/7 witness."""
+    if isinstance(outcome, TerminationViolation):
+        return [
+            "Lemmas 6/7 — failing extension:",
+            f"  J = {sorted(outcome.victims, key=str)} (f + 1 failures)",
+            f"  survivors {sorted(outcome.survivors, key=str)} never decide",
+            f"  witness: {'exact infinite fair execution (cycle length ' + str(outcome.cycle_length) + ')' if outcome.exact else f'undecided for {outcome.steps_run} steps'}",
+        ]
+    if isinstance(outcome, DecisionContradiction):
+        return [
+            "Lemmas 6/7 — decision contradiction:",
+            f"  decider {outcome.decider!r}: {outcome.value_from_s0!r} from the "
+            f"0-valent side, {outcome.value_from_s1!r} from the 1-valent side",
+        ]
+    return [f"refutation: {outcome!r}"]
+
+
+def format_verdict(verdict: Verdict) -> str:
+    """The whole pipeline as a multi-line narrative."""
+    lines = [
+        f"refuted:   {verdict.refuted}",
+        f"mechanism: {verdict.mechanism}",
+        f"detail:    {verdict.detail}",
+    ]
+    if verdict.lemma4 is not None:
+        lines += format_lemma4(verdict.lemma4)
+    if verdict.fair_cycle is not None:
+        lines += format_fair_cycle(verdict.fair_cycle)
+    if verdict.hook is not None:
+        lines += format_hook(verdict.hook)
+    if verdict.lemma8 is not None:
+        lines += format_lemma8(verdict.lemma8)
+    if verdict.refutation is not None:
+        lines += format_refutation(verdict.refutation)
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""State similarity (Section 3.5 and its Section 6.3 refinement).
+
+Two states "look the same" to all components except one distinguished
+process ``j`` (*j-similarity*) or one service ``k`` (*k-similarity*):
+
+* ``s0`` and ``s1`` are **j-similar** iff every process other than
+  ``P_j`` has the same state, and every service/register has the same
+  ``val`` and the same ``buffer(i)`` for every endpoint ``i != j``;
+* ``s0`` and ``s1`` are **k-similar** iff every process has the same
+  state and every service/register other than ``S_k`` has the same
+  state.
+
+Lemmas 6 and 7 prove that univalent executions ending in similar states
+have the same valence — the engine of the hook refutation (Lemma 8).
+
+For systems containing failure-aware services (Section 6.3) the
+definitions are relaxed: the states of *general* services are not
+compared at all (they may differ arbitrarily), because the failing
+extension used in the lemmas silences every failure-aware service.  Pass
+the general services' ids as ``ignore_services``.
+
+This module implements the predicates exactly, plus a scanner that
+searches an explored graph for similar pairs of opposite valence — the
+empirical form of "Lemmas 6 and 7 hold on this instance."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Collection, Hashable, Iterable
+
+from ..ioa.automaton import State
+from ..system.system import DistributedSystem
+from .valence import Valence, ValenceAnalysis
+
+
+def j_similar(
+    system: DistributedSystem,
+    s0: State,
+    s1: State,
+    j: Hashable,
+    ignore_services: Collection[Hashable] = (),
+) -> bool:
+    """The j-similarity predicate of Section 3.5.
+
+    ``ignore_services`` implements the Section 6.3 variant: ids listed
+    there (the failure-aware services) are exempt from comparison.
+    """
+    ignored = frozenset(ignore_services)
+    for endpoint in system.process_ids:
+        if endpoint == j:
+            continue
+        if system.process_state(s0, endpoint) != system.process_state(s1, endpoint):
+            return False
+    for service_id in tuple(system.service_ids) + tuple(system.register_ids):
+        if service_id in ignored:
+            continue
+        if system.service_val(s0, service_id) != system.service_val(s1, service_id):
+            return False
+        service = system.service(service_id)
+        for endpoint in service.endpoints:
+            if endpoint == j:
+                continue
+            if system.service_buffer(s0, service_id, endpoint) != system.service_buffer(
+                s1, service_id, endpoint
+            ):
+                return False
+    return True
+
+
+def k_similar(
+    system: DistributedSystem,
+    s0: State,
+    s1: State,
+    k: Hashable,
+    ignore_services: Collection[Hashable] = (),
+) -> bool:
+    """The k-similarity predicate of Section 3.5 (Section 6.3 variant via
+    ``ignore_services``)."""
+    ignored = frozenset(ignore_services) | {k}
+    for endpoint in system.process_ids:
+        if system.process_state(s0, endpoint) != system.process_state(s1, endpoint):
+            return False
+    for service_id in tuple(system.service_ids) + tuple(system.register_ids):
+        if service_id in ignored:
+            continue
+        if system.service_state(s0, service_id) != system.service_state(s1, service_id):
+            return False
+    return True
+
+
+def similar_in_some_way(
+    system: DistributedSystem,
+    s0: State,
+    s1: State,
+    ignore_services: Collection[Hashable] = (),
+) -> tuple[str, Hashable] | None:
+    """Find a witness that ``s0``/``s1`` are j- or k-similar, if any.
+
+    Returns ``("process", j)`` or ``("service", k)``, or ``None`` when
+    the states are not similar in either sense for any index.  Registers
+    count as services for k-similarity (the paper's ``k`` ranges over
+    ``K``, but checking ``R`` too only strengthens the verified claim).
+    """
+    for j in system.process_ids:
+        if j_similar(system, s0, s1, j, ignore_services):
+            return ("process", j)
+    for k in tuple(system.service_ids) + tuple(system.register_ids):
+        if k in frozenset(ignore_services):
+            continue
+        if k_similar(system, s0, s1, k, ignore_services):
+            return ("service", k)
+    return None
+
+
+@dataclass(frozen=True)
+class SimilarityViolation:
+    """A pair of similar univalent states with opposite valence.
+
+    On a system that truly solves consensus, Lemmas 6 and 7 forbid such
+    pairs; finding one demonstrates (constructively, per the lemmas'
+    proofs) that the candidate must fail termination under ``f + 1``
+    failures — the failing extension from either state cannot decide
+    consistently.
+    """
+
+    kind: str  # "process" (Lemma 6) or "service" (Lemma 7)
+    index: Hashable  # the distinguished j or k
+    s0: State  # 0-valent endpoint
+    s1: State  # 1-valent endpoint
+
+
+def scan_for_similarity_violations(
+    system: DistributedSystem,
+    analysis: ValenceAnalysis,
+    ignore_services: Collection[Hashable] = (),
+    max_pairs: int | None = None,
+) -> list[SimilarityViolation]:
+    """Scan an explored graph for Lemma 6/7 violations.
+
+    Compares every 0-valent state against every 1-valent state (up to
+    ``max_pairs`` pairs) and reports all similar pairs found.  Used by
+    the test suite in two directions: on correct consensus services the
+    result must be empty; on doomed candidates, violations found here are
+    fed to :func:`repro.analysis.refutation.refute_from_similarity`.
+    """
+    zeros = [s for s in analysis.graph.states if analysis.valence(s) is Valence.ZERO]
+    ones = [s for s in analysis.graph.states if analysis.valence(s) is Valence.ONE]
+    violations: list[SimilarityViolation] = []
+    examined = 0
+    for s0 in zeros:
+        for s1 in ones:
+            examined += 1
+            if max_pairs is not None and examined > max_pairs:
+                return violations
+            witness = similar_in_some_way(system, s0, s1, ignore_services)
+            if witness is not None:
+                violations.append(
+                    SimilarityViolation(
+                        kind=witness[0], index=witness[1], s0=s0, s1=s1
+                    )
+                )
+    return violations
+
+
+def differing_components(
+    system: DistributedSystem, s0: State, s1: State
+) -> list[str]:
+    """Names of components whose state differs between ``s0`` and ``s1``.
+
+    Debugging/reporting aid used by the hook case analysis: Lemma 8's
+    claims are phrased as "the states can differ only in ...".
+    """
+    names = []
+    for component in system.components:
+        if system.component_state(s0, component.name) != system.component_state(
+            s1, component.name
+        ):
+            names.append(component.name)
+    return names

@@ -1,0 +1,189 @@
+"""Valence of executions (Section 3.2) and Lemma 4.
+
+A finite failure-free input-first execution ``alpha`` is
+
+* **0-valent** if some failure-free extension contains ``decide(0)`` and
+  none contains ``decide(1)``;
+* **1-valent** symmetrically;
+* **univalent** if 0- or 1-valent;
+* **bivalent** if extensions with both decisions exist.
+
+Lemma 3 states that for a system solving consensus every such execution
+is bivalent or univalent — i.e. *some* decision is always reachable.
+Broken candidates can violate this, so this module adds a fourth
+classification, ``BLOCKED``, for states from which no failure-free
+extension ever decides; finding a ``BLOCKED`` state is already a
+refutation of the candidate (its failure-free fair executions cannot all
+terminate).
+
+Under the determinism assumptions, valence is a function of the final
+state of the execution, so the analysis computes valence per *state*
+over the exhaustively explored failure-free graph.
+
+Lemma 4 ("C has a bivalent initialization") is implemented
+constructively, following the paper's chain argument: walk the
+initializations ``alpha_0, ..., alpha_n`` where ``alpha_i`` gives value 1
+to the first ``i`` processes; validity pins the endpoints to opposite
+valences, so somewhere along the chain sits either a bivalent
+initialization or an adjacent 0-valent/1-valent pair differing in one
+process's input — and the paper's argument turns the latter into
+bivalence of the second element.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from ..ioa.automaton import State
+from ..ioa.execution import Execution
+from ..system.system import DistributedSystem
+from .explorer import StateGraph, explore, reachable_decision_sets
+from .view import DeterministicSystemView
+
+
+class Valence(enum.Enum):
+    """The valence classification of a state/execution."""
+
+    ZERO = "0-valent"
+    ONE = "1-valent"
+    BIVALENT = "bivalent"
+    BLOCKED = "blocked"  # no failure-free extension decides (Lemma 3 violated)
+
+    @property
+    def is_univalent(self) -> bool:
+        return self in (Valence.ZERO, Valence.ONE)
+
+
+def classify(decision_set: frozenset) -> Valence:
+    """Valence from the set of reachable decision values."""
+    if decision_set == frozenset({0}):
+        return Valence.ZERO
+    if decision_set == frozenset({1}):
+        return Valence.ONE
+    if decision_set >= frozenset({0, 1}):
+        return Valence.BIVALENT
+    return Valence.BLOCKED
+
+
+@dataclass
+class ValenceAnalysis:
+    """Valence of every state reachable (failure-free) from a root.
+
+    Produced by :func:`analyze_valence`; wraps the explored graph, the
+    per-state reachable decision sets, and the derived valence map.
+    """
+
+    view: DeterministicSystemView
+    graph: StateGraph
+    decision_sets: Mapping[State, frozenset]
+
+    def valence(self, state: State) -> Valence:
+        """The valence of ``state`` (must be an explored state)."""
+        return classify(self.decision_sets[state])
+
+    def is_bivalent(self, state: State) -> bool:
+        return self.valence(state) is Valence.BIVALENT
+
+    def is_univalent(self, state: State) -> bool:
+        return self.valence(state).is_univalent
+
+    def bivalent_states(self) -> list[State]:
+        """All explored bivalent states."""
+        return [s for s in self.graph.states if self.is_bivalent(s)]
+
+    def blocked_states(self) -> list[State]:
+        """All explored states violating Lemma 3 (no reachable decision)."""
+        return [s for s in self.graph.states if self.valence(s) is Valence.BLOCKED]
+
+    def counts(self) -> dict[Valence, int]:
+        """Histogram of valences over the explored graph."""
+        histogram = {valence: 0 for valence in Valence}
+        for state in self.graph.states:
+            histogram[self.valence(state)] += 1
+        return histogram
+
+
+def analyze_valence(
+    system: DistributedSystem,
+    root: State,
+    max_states: int = 200_000,
+) -> ValenceAnalysis:
+    """Explore from ``root`` and compute the valence of every state."""
+    view = DeterministicSystemView(system)
+    view.check_failure_free(root)
+    graph = explore(view, root, max_states=max_states)
+    decisions = reachable_decision_sets(graph, view)
+    return ValenceAnalysis(view=view, graph=graph, decision_sets=decisions)
+
+
+@dataclass(frozen=True)
+class InitializationValence:
+    """One initialization with its assignment and classified valence."""
+
+    assignment: tuple[tuple[Hashable, Hashable], ...]
+    execution: Execution
+    valence: Valence
+
+
+@dataclass
+class Lemma4Result:
+    """Outcome of the Lemma 4 chain construction.
+
+    ``chain`` lists the valence of each ``alpha_i``; ``bivalent`` holds a
+    bivalent initialization when one exists.  ``critical_pair`` records
+    the adjacent 0-valent/(1-or-bivalent) indices the paper's argument
+    pivots on, when the chain had to be used (i.e. when no ``alpha_i``
+    was directly bivalent, the pair's second element is proven bivalent
+    by the argument of Lemma 4 — a situation that cannot actually arise
+    for systems satisfying the termination property, which is why
+    ``bivalent`` is then set to that element).
+    """
+
+    chain: list[InitializationValence]
+    bivalent: InitializationValence | None
+    critical_pair: tuple[int, int] | None
+
+
+def lemma4_bivalent_initialization(
+    system: DistributedSystem,
+    max_states: int = 200_000,
+) -> Lemma4Result:
+    """Find a bivalent initialization, per the proof of Lemma 4.
+
+    Builds the chain ``alpha_0 .. alpha_n`` (``alpha_i``: processes
+    ``1..i`` propose 1, the rest propose 0), classifies each by
+    exhaustive exploration, and returns the first bivalent one together
+    with the full chain.  For a correct consensus system the chain
+    endpoints are 0-valent and 1-valent by validity, so a bivalent
+    element or a critical adjacent pair must exist.
+    """
+    endpoints = list(system.process_ids)
+    chain: list[InitializationValence] = []
+    for split in range(len(endpoints) + 1):
+        assignment = {
+            endpoint: (1 if position < split else 0)
+            for position, endpoint in enumerate(endpoints)
+        }
+        execution = system.initialization(assignment)
+        analysis = analyze_valence(system, execution.final_state, max_states)
+        chain.append(
+            InitializationValence(
+                assignment=tuple(sorted(assignment.items(), key=lambda kv: str(kv[0]))),
+                execution=execution,
+                valence=analysis.valence(execution.final_state),
+            )
+        )
+    bivalent = next(
+        (entry for entry in chain if entry.valence is Valence.BIVALENT), None
+    )
+    critical_pair = None
+    for index in range(len(chain) - 1):
+        if chain[index].valence is Valence.ZERO and chain[index + 1].valence in (
+            Valence.ONE,
+            Valence.BIVALENT,
+        ):
+            critical_pair = (index, index + 1)
+            break
+    return Lemma4Result(chain=chain, bivalent=bivalent, critical_pair=critical_pair)

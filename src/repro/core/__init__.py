@@ -1,0 +1,12 @@
+"""The paper's primary contribution, as a package (alias of ``repro.analysis``).
+
+The primary contribution of the paper is its impossibility *argument* —
+valence, the hook construction, similarity, and the boosting adversary
+built from them — implemented in :mod:`repro.analysis`.  This package
+re-exports that machinery under the conventional ``core`` name, so that
+``from repro.core import refute_candidate`` reads the way the repository
+layout advertises.
+"""
+
+from ..analysis import *  # noqa: F401,F403
+from ..analysis import __all__  # noqa: F401

@@ -1,0 +1,95 @@
+"""I/O automaton substrate (paper Section 2.1.1).
+
+This subpackage implements the underlying model of concurrent
+computation used by the whole library: I/O automata with input/output/
+internal actions, task-based fairness, parallel composition, hiding,
+executions and traces, and task schedulers.
+"""
+
+from .actions import (
+    Action,
+    compute,
+    decide,
+    dummy_compute,
+    dummy_output,
+    dummy_perform,
+    dummy_step,
+    fail,
+    init,
+    invoke,
+    is_dummy,
+    is_fail,
+    perform,
+    respond,
+)
+from .automaton import (
+    Automaton,
+    State,
+    Task,
+    Transition,
+    is_deterministic,
+    nondeterministic_witness,
+)
+from .composition import (
+    Composition,
+    Hidden,
+    IncompatibleComposition,
+    check_compatibility,
+)
+from .execution import (
+    Execution,
+    Lasso,
+    Step,
+    finite_execution_is_fair,
+    lasso_is_fair,
+    project_actions,
+    task_occurrences,
+    validate_execution,
+)
+from .scheduler import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    Scheduler,
+    run,
+)
+
+__all__ = [
+    "Action",
+    "Automaton",
+    "Composition",
+    "Execution",
+    "Hidden",
+    "IncompatibleComposition",
+    "Lasso",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "ScriptedScheduler",
+    "State",
+    "Step",
+    "Task",
+    "Transition",
+    "check_compatibility",
+    "compute",
+    "decide",
+    "dummy_compute",
+    "dummy_output",
+    "dummy_perform",
+    "dummy_step",
+    "fail",
+    "finite_execution_is_fair",
+    "init",
+    "invoke",
+    "is_deterministic",
+    "is_dummy",
+    "is_fail",
+    "lasso_is_fair",
+    "nondeterministic_witness",
+    "perform",
+    "project_actions",
+    "respond",
+    "run",
+    "task_occurrences",
+    "validate_execution",
+]

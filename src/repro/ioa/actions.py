@@ -1,0 +1,155 @@
+"""Actions of I/O automata.
+
+The paper (Section 2.1.1) models concurrency with I/O automata whose
+transitions are labeled by *actions*.  Every action in this library is an
+immutable, hashable :class:`Action` value carrying a ``kind`` string and a
+tuple of arguments.  Using one concrete value type for all actions keeps
+compositions simple: two automata synchronize on an action exactly when
+they both declare it in their signature, and equality of :class:`Action`
+values is structural.
+
+The module also provides the named constructors used throughout the
+paper's system model (Section 2.2):
+
+* ``invoke(k, i, a)``   -- invocation ``a`` by process ``i`` on service ``k``
+  (the paper writes this a_{i,k});
+* ``respond(k, i, b)``  -- response ``b`` from service ``k`` to process ``i``
+  (the paper writes b_{i,k});
+* ``perform(k, i)``     -- internal step of service ``k`` consuming the head
+  of ``i``'s invocation buffer (Fig. 1 / Fig. 4);
+* ``compute(k, g)``     -- spontaneous global step of a failure-oblivious
+  or general service (Fig. 4 / Fig. 8);
+* ``dummy_perform / dummy_output / dummy_compute`` -- the "may fall silent"
+  actions that encode f-resilience (Section 2.1.3);
+* ``fail(i)``           -- the failure of process ``i`` (input everywhere);
+* ``init(i, v)`` / ``decide(i, v)`` -- the external consensus interface
+  (Section 2.2.4);
+* ``dummy_step(i)``     -- the always-enabled no-op of a process automaton
+  (Section 2.2.1 requires every process to have some enabled locally
+  controlled action in every state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class Action:
+    """An immutable action label.
+
+    ``kind`` names the family of the action (``"invoke"``, ``"perform"``,
+    ``"fail"``, ...) and ``args`` carries its parameters.  Action values
+    are hashable so that executions can be stored in sets and used as
+    dictionary keys by the exploration machinery.
+    """
+
+    kind: str
+    args: tuple = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.kind}({inner})"
+
+
+# ---------------------------------------------------------------------------
+# Service interface actions (Sections 2.1.3, 5.1, 6.1)
+# ---------------------------------------------------------------------------
+
+
+def invoke(service: Any, endpoint: Any, invocation: Any) -> Action:
+    """Invocation ``invocation`` at ``endpoint`` of service ``service``.
+
+    This is the action the paper writes ``a_{i,k}``: an output of process
+    ``i`` and an input of service ``k``.
+    """
+    return Action("invoke", (service, endpoint, invocation))
+
+
+def respond(service: Any, endpoint: Any, response: Any) -> Action:
+    """Response ``response`` delivered to ``endpoint`` by ``service``.
+
+    The paper writes this ``b_{i,k}``: an output of service ``k`` and an
+    input of process ``i``.
+    """
+    return Action("respond", (service, endpoint, response))
+
+
+def perform(service: Any, endpoint: Any) -> Action:
+    """Internal ``perform_{i,k}`` step of a canonical service (Fig. 1)."""
+    return Action("perform", (service, endpoint))
+
+
+def dummy_perform(service: Any, endpoint: Any) -> Action:
+    """The ``dummy_perform_{i,k}`` action enabled after failures (Fig. 1)."""
+    return Action("dummy_perform", (service, endpoint))
+
+
+def dummy_output(service: Any, endpoint: Any) -> Action:
+    """The ``dummy_output_{i,k}`` action enabled after failures (Fig. 1)."""
+    return Action("dummy_output", (service, endpoint))
+
+
+def compute(service: Any, task_name: Any) -> Action:
+    """Internal ``compute_{g,k}`` step of a failure-oblivious/general service."""
+    return Action("compute", (service, task_name))
+
+
+def dummy_compute(service: Any, task_name: Any) -> Action:
+    """The ``dummy_compute_{g,k}`` action enabled after failures (Fig. 4)."""
+    return Action("dummy_compute", (service, task_name))
+
+
+# ---------------------------------------------------------------------------
+# Failures and the external consensus interface (Sections 2.2.1, 2.2.4)
+# ---------------------------------------------------------------------------
+
+
+def fail(endpoint: Any) -> Action:
+    """The ``fail_i`` input action: process ``endpoint`` stops.
+
+    ``fail_i`` is an input both of process ``i`` and of every service to
+    which ``i`` is connected (Section 2.2.3).
+    """
+    return Action("fail", (endpoint,))
+
+
+def init(endpoint: Any, value: Any) -> Action:
+    """The external consensus input ``init(v)_i`` (Section 2.2.4)."""
+    return Action("init", (endpoint, value))
+
+
+def decide(endpoint: Any, value: Any) -> Action:
+    """The external consensus output ``decide(v)_i`` (Section 2.2.4)."""
+    return Action("decide", (endpoint, value))
+
+
+def dummy_step(endpoint: Any) -> Action:
+    """The always-enabled internal no-op of a process automaton.
+
+    Section 2.2.1 assumes that in every state of a process some locally
+    controlled action is enabled; ``dummy_step`` realizes that assumption
+    when the process has nothing useful to do (e.g. after failing).
+    """
+    return Action("dummy_step", (endpoint,))
+
+
+def is_dummy(action: Action) -> bool:
+    """True for the actions that the paper calls "dummy" actions.
+
+    These are exactly the actions removed when the proofs of Lemmas 6 and
+    7 transform a fair failing extension ``gamma`` into the failure-free
+    fragment ``gamma'``.
+    """
+    return action.kind in (
+        "dummy_perform",
+        "dummy_output",
+        "dummy_compute",
+        "dummy_step",
+    )
+
+
+def is_fail(action: Action) -> bool:
+    """True for ``fail_i`` actions."""
+    return action.kind == "fail"

@@ -1,0 +1,177 @@
+"""The I/O automaton model (Section 2.1.1).
+
+An I/O automaton is a state machine whose transitions are labeled with
+actions.  Actions are partitioned into *input*, *output* and *internal*
+actions; output and internal actions are collectively *locally
+controlled*, and the locally controlled actions are partitioned into
+*tasks*.  Fairness is expressed in terms of tasks: in a fair execution
+every task gets infinitely many turns.
+
+This module provides the abstract :class:`Automaton` interface used by
+every component in the library, together with the :class:`Task` identity
+type and a determinism checker implementing the paper's definition:
+
+    "An I/O automaton A is deterministic iff, for each task e of A and
+     each state s of A, there is at most one transition (s, a, s') such
+     that a is in e."
+
+Design notes
+------------
+States are plain immutable values (tuples, frozensets, frozen
+dataclasses) owned by each concrete automaton; the :class:`Automaton`
+object itself is stateless and is consulted with explicit state values.
+This makes executions replayable and lets the analysis layer memoize
+facts (such as valence, Section 3.2) per state.
+
+Locally controlled transitions are enumerated per task via
+:meth:`Automaton.enabled`, matching the paper's task-granular proof style
+(``transition(e, s)`` in Section 3.1).  Input actions are handled by
+:meth:`Automaton.apply_input`, which must be total: I/O automata are
+input-enabled.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Sequence
+
+from .actions import Action
+
+State = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Task:
+    """A task identity: ``owner`` is the automaton name, ``name`` the task.
+
+    The paper partitions the locally controlled actions of every
+    automaton into tasks; fairness gives each task infinitely many turns.
+    In a composition, tasks of the components remain distinct, so a task
+    is globally identified by the owning automaton's name plus a local
+    task name (e.g. ``Task("S1", ("perform", 2))`` is the ``2``-perform
+    task of service ``S1``).
+    """
+
+    owner: str
+    name: Hashable
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Task({self.owner!r}, {self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Transition:
+    """A single labeled transition ``(pre-state, action, post-state)``."""
+
+    action: Action
+    post: State
+
+
+class Automaton(ABC):
+    """Abstract I/O automaton.
+
+    Concrete automata implement the signature predicates, start states,
+    task list, per-task enabled transitions, and the (total) input
+    transition function.
+    """
+
+    #: Unique name of this automaton within a composition.
+    name: str
+
+    # -- signature ---------------------------------------------------------
+
+    @abstractmethod
+    def is_input(self, action: Action) -> bool:
+        """True iff ``action`` is an input action of this automaton."""
+
+    @abstractmethod
+    def is_output(self, action: Action) -> bool:
+        """True iff ``action`` is an output action of this automaton."""
+
+    @abstractmethod
+    def is_internal(self, action: Action) -> bool:
+        """True iff ``action`` is an internal action of this automaton."""
+
+    def in_signature(self, action: Action) -> bool:
+        """True iff ``action`` belongs to this automaton's signature."""
+        return (
+            self.is_input(action)
+            or self.is_output(action)
+            or self.is_internal(action)
+        )
+
+    def is_external(self, action: Action) -> bool:
+        """True iff ``action`` is an input or output action."""
+        return self.is_input(action) or self.is_output(action)
+
+    def is_locally_controlled(self, action: Action) -> bool:
+        """True iff ``action`` is an output or internal action."""
+        return self.is_output(action) or self.is_internal(action)
+
+    # -- states and transitions --------------------------------------------
+
+    @abstractmethod
+    def start_states(self) -> Iterable[State]:
+        """Enumerate the start states."""
+
+    @abstractmethod
+    def tasks(self) -> Sequence[Task]:
+        """The partition of locally controlled actions into tasks."""
+
+    @abstractmethod
+    def enabled(self, state: State, task: Task) -> Sequence[Transition]:
+        """Transitions of ``task`` enabled in ``state``.
+
+        Returns every transition ``(state, a, s')`` with ``a`` in task
+        ``task``.  An empty sequence means the task is not enabled.
+        """
+
+    @abstractmethod
+    def apply_input(self, state: State, action: Action) -> State:
+        """Apply input ``action`` in ``state`` (total by input-enabledness)."""
+
+    # -- derived helpers -----------------------------------------------------
+
+    def task_enabled(self, state: State, task: Task) -> bool:
+        """True iff some action of ``task`` is enabled in ``state``."""
+        return bool(self.enabled(state, task))
+
+    def enabled_tasks(self, state: State) -> list[Task]:
+        """All tasks with at least one enabled action in ``state``."""
+        return [task for task in self.tasks() if self.task_enabled(state, task)]
+
+    def some_start_state(self) -> State:
+        """A canonical start state (the first enumerated one)."""
+        for state in self.start_states():
+            return state
+        raise ValueError(f"automaton {self.name!r} has no start states")
+
+
+def is_deterministic(
+    automaton: Automaton, states: Iterable[State]
+) -> bool:
+    """Check the paper's determinism condition over the given states.
+
+    Determinism (Section 2.1.1): for each task ``e`` and each state ``s``
+    there is at most one transition ``(s, a, s')`` with ``a`` in ``e``.
+    Because the state space of an automaton may be unbounded, the caller
+    supplies the states to check (typically, all states reachable in the
+    instance of interest).
+    """
+    for state in states:
+        for task in automaton.tasks():
+            if len(automaton.enabled(state, task)) > 1:
+                return False
+    return True
+
+
+def nondeterministic_witness(
+    automaton: Automaton, states: Iterable[State]
+) -> tuple[State, Task] | None:
+    """Return a ``(state, task)`` pair violating determinism, if any."""
+    for state in states:
+        for task in automaton.tasks():
+            if len(automaton.enabled(state, task)) > 1:
+                return state, task
+    return None

@@ -1,0 +1,218 @@
+"""Executions, traces, and fairness (Section 2.1.1).
+
+An *execution* is an alternating sequence ``s0 a1 s1 a2 s2 ...`` of states
+and actions such that ``s0`` is a start state and each triple
+``(s_{j-1}, a_j, s_j)`` is a transition.  A *trace* is the subsequence of
+external actions.  An execution is *fair* iff every task either occurs
+infinitely often or is disabled infinitely often (for finite executions:
+no task is enabled in the final state).
+
+Executions in this library are finite, immutable values.  Infinite
+executions appear in the paper's liveness arguments; the analysis layer
+represents them constructively as a finite stem plus a repeating cycle
+(:class:`Lasso`), which is the standard finite witness for an infinite
+execution of a finite-state system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from .actions import Action, is_fail
+from .automaton import Automaton, State, Task
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """One step of an execution: the action taken and the resulting state.
+
+    ``task`` records which task produced the action (``None`` for inputs
+    arriving from the external world); recording tasks lets the analysis
+    layer replay the *task sequence* of an execution, which by the
+    determinism assumptions of Section 3.1 uniquely determines the
+    execution — the device used throughout the proofs of Lemmas 6-8.
+    """
+
+    action: Action
+    post: State
+    task: Task | None = None
+
+
+@dataclass(frozen=True)
+class Execution:
+    """A finite execution: a start state plus a sequence of steps."""
+
+    start: State
+    steps: tuple[Step, ...] = ()
+
+    # -- construction --------------------------------------------------------
+
+    def extend(self, action: Action, post: State, task: Task | None = None) -> "Execution":
+        """The extension of this execution by one step."""
+        return Execution(self.start, self.steps + (Step(action, post, task),))
+
+    def concat(self, other: "Execution") -> "Execution":
+        """Concatenation ``alpha . alpha'`` (Section 2.1.1).
+
+        ``other`` must start in this execution's final state.
+        """
+        if other.start != self.final_state:
+            raise ValueError("concatenation requires matching endpoint states")
+        return Execution(self.start, self.steps + other.steps)
+
+    def prefix(self, length: int) -> "Execution":
+        """The prefix with the given number of steps."""
+        return Execution(self.start, self.steps[:length])
+
+    # -- observation ---------------------------------------------------------
+
+    @property
+    def final_state(self) -> State:
+        """The last state of the execution."""
+        return self.steps[-1].post if self.steps else self.start
+
+    @property
+    def actions(self) -> tuple[Action, ...]:
+        """The sequence of actions along the execution."""
+        return tuple(step.action for step in self.steps)
+
+    @property
+    def tasks(self) -> tuple[Task | None, ...]:
+        """The sequence of tasks that produced each step."""
+        return tuple(step.task for step in self.steps)
+
+    def states(self) -> Iterator[State]:
+        """All states along the execution, including the start state."""
+        yield self.start
+        for step in self.steps:
+            yield step.post
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[Step]:
+        return iter(self.steps)
+
+    # -- paper-level predicates ----------------------------------------------
+
+    def is_failure_free(self) -> bool:
+        """True iff no ``fail_i`` action occurs (Section 3.2)."""
+        return not any(is_fail(step.action) for step in self.steps)
+
+    def failed_endpoints(self) -> frozenset:
+        """The set of endpoints failed along this execution."""
+        return frozenset(
+            step.action.args[0] for step in self.steps if is_fail(step.action)
+        )
+
+    def count(self, predicate: Callable[[Action], bool]) -> int:
+        """Number of actions satisfying ``predicate``."""
+        return sum(1 for step in self.steps if predicate(step.action))
+
+    def trace(self, automaton: Automaton) -> tuple[Action, ...]:
+        """The trace: external actions of ``automaton`` along the execution."""
+        return tuple(
+            step.action for step in self.steps if automaton.is_external(step.action)
+        )
+
+
+@dataclass(frozen=True)
+class Lasso:
+    """A finite witness for an infinite execution: stem + repeating cycle.
+
+    For finite-state systems, an infinite fair execution exists iff there
+    is a reachable cycle along which every task is either taken or
+    disabled at some state of the cycle.  A :class:`Lasso` packages such
+    a witness; :func:`lasso_is_fair` checks the fairness condition.
+    """
+
+    stem: Execution
+    cycle: tuple[Step, ...]
+
+    def unroll(self, repetitions: int) -> Execution:
+        """The finite execution obtained by unrolling the cycle."""
+        execution = self.stem
+        for _ in range(repetitions):
+            for step in self.cycle:
+                execution = execution.extend(step.action, step.post, step.task)
+        return execution
+
+
+def lasso_is_fair(lasso: Lasso, automaton: Automaton) -> bool:
+    """Check that the infinite execution denoted by ``lasso`` is fair.
+
+    The infinite execution ``stem . cycle^omega`` is fair iff every task
+    of ``automaton`` either (a) contributes an action somewhere in the
+    cycle, or (b) is disabled in some state of the cycle.  (Condition (b)
+    uses the paper's definition: infinitely many occurrences of states in
+    which the task is not enabled.)
+    """
+    if not lasso.cycle:
+        # A lasso with an empty cycle denotes a finite execution; fairness
+        # then requires every task to be disabled in the final state.
+        final = lasso.stem.final_state
+        return not automaton.enabled_tasks(final)
+    cycle_states = [step.post for step in lasso.cycle]
+    cycle_tasks = {step.task for step in lasso.cycle if step.task is not None}
+    for task in automaton.tasks():
+        if task in cycle_tasks:
+            continue
+        if any(not automaton.task_enabled(state, task) for state in cycle_states):
+            continue
+        return False
+    return True
+
+
+def finite_execution_is_fair(execution: Execution, automaton: Automaton) -> bool:
+    """Fairness for finite executions: no task enabled in the final state."""
+    return not automaton.enabled_tasks(execution.final_state)
+
+
+def task_occurrences(execution: Execution) -> dict[Task, int]:
+    """How many steps each task contributed (inputs excluded)."""
+    counts: dict[Task, int] = {}
+    for step in execution.steps:
+        if step.task is not None:
+            counts[step.task] = counts.get(step.task, 0) + 1
+    return counts
+
+
+def validate_execution(execution: Execution, automaton: Automaton) -> None:
+    """Check that ``execution`` really is an execution of ``automaton``.
+
+    Verifies that the start state is a start state and that every step is
+    a legal transition: an input step must reproduce ``apply_input``, and
+    a locally controlled step must appear among the enabled transitions
+    of its recorded task.  Raises ``ValueError`` on the first violation.
+    """
+    if execution.start not in set(automaton.start_states()):
+        raise ValueError("execution does not begin in a start state")
+    state = execution.start
+    for index, step in enumerate(execution.steps):
+        if step.task is None:
+            if not automaton.is_input(step.action):
+                raise ValueError(
+                    f"step {index}: action {step.action} has no task but is "
+                    "not an input action"
+                )
+            expected = automaton.apply_input(state, step.action)
+            if expected != step.post:
+                raise ValueError(f"step {index}: input effect mismatch")
+        else:
+            candidates = automaton.enabled(state, step.task)
+            if not any(
+                t.action == step.action and t.post == step.post for t in candidates
+            ):
+                raise ValueError(
+                    f"step {index}: transition {step.action} not enabled for "
+                    f"task {step.task}"
+                )
+        state = step.post
+
+
+def project_actions(
+    actions: Iterable[Action], automaton: Automaton
+) -> tuple[Action, ...]:
+    """Project an action sequence onto the signature of ``automaton``."""
+    return tuple(a for a in actions if automaton.in_signature(a))

@@ -1,0 +1,164 @@
+"""Task schedulers (Sections 2.2.3 and 3.1).
+
+The I/O automaton fairness assumption says every task gets infinitely
+many turns.  A *scheduler* realizes an execution by repeatedly choosing a
+task to run; this module provides the schedulers used by the examples,
+tests, and benchmarks:
+
+* :class:`RoundRobinScheduler` — cycles through all tasks in a fixed
+  order; every infinite round-robin schedule is fair.  This is the
+  schedule underlying the hook-search construction of Fig. 3.
+* :class:`RandomScheduler` — picks uniformly among enabled tasks under a
+  seeded PRNG; fair with probability 1 on finite-state systems.
+* :class:`ScriptedScheduler` — replays an explicit task sequence; used by
+  the analysis layer to re-run the task sequence ``rho`` of an execution
+  after a different prefix, the key move in the proofs of Lemmas 6-7.
+
+``run`` drives an automaton from a state under a scheduler, interleaving
+externally supplied input actions, and returns the resulting execution.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, Sequence
+
+from .actions import Action
+from .automaton import Automaton, State, Task
+from .execution import Execution
+
+
+class Scheduler(ABC):
+    """Strategy for choosing which task runs next."""
+
+    @abstractmethod
+    def choose(self, automaton: Automaton, state: State) -> Task | None:
+        """Pick a task enabled in ``state``; ``None`` if none is enabled."""
+
+    def reset(self) -> None:
+        """Reset any internal position (start of a fresh run)."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through the automaton's tasks in their declared order.
+
+    On each call the scheduler resumes from its cursor and returns the
+    next task with an enabled action, advancing the cursor past it.  If a
+    full cycle finds nothing enabled, returns ``None``.
+    """
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def choose(self, automaton: Automaton, state: State) -> Task | None:
+        tasks = automaton.tasks()
+        if not tasks:
+            return None
+        n = len(tasks)
+        for offset in range(n):
+            index = (self._cursor + offset) % n
+            task = tasks[index]
+            if automaton.task_enabled(state, task):
+                self._cursor = (index + 1) % n
+                return task
+        return None
+
+
+class RandomScheduler(Scheduler):
+    """Choose uniformly among the enabled tasks, under a seeded PRNG."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+    def choose(self, automaton: Automaton, state: State) -> Task | None:
+        enabled = automaton.enabled_tasks(state)
+        if not enabled:
+            return None
+        return self._rng.choice(enabled)
+
+
+class ScriptedScheduler(Scheduler):
+    """Replay a fixed task sequence, skipping tasks that are not enabled.
+
+    ``strict=True`` raises if a scripted task is not enabled when its
+    turn comes — useful when replaying a task sequence that is known to
+    remain applicable (Lemma 1).
+    """
+
+    def __init__(self, script: Sequence[Task], strict: bool = False) -> None:
+        self._script = tuple(script)
+        self._strict = strict
+        self._position = 0
+
+    def reset(self) -> None:
+        self._position = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every scripted task has been consumed."""
+        return self._position >= len(self._script)
+
+    def choose(self, automaton: Automaton, state: State) -> Task | None:
+        while self._position < len(self._script):
+            task = self._script[self._position]
+            self._position += 1
+            if automaton.task_enabled(state, task):
+                return task
+            if self._strict:
+                raise RuntimeError(f"scripted task {task} not enabled")
+        return None
+
+
+def run(
+    automaton: Automaton,
+    scheduler: Scheduler,
+    max_steps: int,
+    start: State | None = None,
+    inputs: Iterable[tuple[int, Action]] = (),
+    stop: Callable[[Execution], bool] | None = None,
+    transition_chooser: Callable[[Sequence], int] | None = None,
+) -> Execution:
+    """Drive ``automaton`` under ``scheduler`` for up to ``max_steps`` steps.
+
+    ``inputs`` supplies external input actions as ``(step_index, action)``
+    pairs: before scheduling step ``j``, all inputs with index ``<= j``
+    that have not yet been applied are applied (in order).  ``stop`` is an
+    optional early-exit predicate evaluated after every step.  When a task
+    has several enabled transitions (a nondeterministic automaton),
+    ``transition_chooser`` selects among them (default: the first).
+    """
+    if start is None:
+        start = automaton.some_start_state()
+    execution = Execution(start)
+    pending = sorted(inputs, key=lambda pair: pair[0])
+    cursor = 0
+    for step_index in range(max_steps):
+        while cursor < len(pending) and pending[cursor][0] <= step_index:
+            action = pending[cursor][1]
+            post = automaton.apply_input(execution.final_state, action)
+            execution = execution.extend(action, post, task=None)
+            cursor += 1
+        task = scheduler.choose(automaton, execution.final_state)
+        if task is None:
+            break
+        transitions = automaton.enabled(execution.final_state, task)
+        choice = 0 if transition_chooser is None else transition_chooser(transitions)
+        transition = transitions[choice]
+        execution = execution.extend(transition.action, transition.post, task)
+        if stop is not None and stop(execution):
+            break
+    # Flush any remaining inputs so callers always see them applied.
+    while cursor < len(pending):
+        action = pending[cursor][1]
+        post = automaton.apply_input(execution.final_state, action)
+        execution = execution.extend(action, post, task=None)
+        cursor += 1
+    return execution

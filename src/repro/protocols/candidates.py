@@ -1,0 +1,418 @@
+"""Doomed boosting candidates (the targets of Theorems 2 and 9).
+
+The impossibility theorems are universally quantified ("no distributed
+system ..."), which no finite amount of computation can enumerate; what
+*can* be done — and what this module supplies — is a family of natural
+candidate protocols for the adversary pipeline to refute, each failing
+in exactly the way the proofs predict:
+
+* :func:`delegation_consensus_system` — every process forwards its input
+  to one shared ``f``-resilient consensus object and echoes the answer.
+  Perfectly safe; the Fig. 3 construction finds a hook whose Lemma 8
+  analysis lands in the shared-service case (Claim 4.1), and the Lemma 7
+  attack (fail ``f + 1`` of the object's endpoints) silences the object
+  and with it the whole system.
+* :func:`tob_delegation_system` — the Theorem 9 analogue: processes
+  broadcast their input on an ``f``-resilient totally ordered broadcast
+  service and decide on the first delivered value.  Safe by total order;
+  killed the same way.
+* :func:`min_register_consensus_system` — a registers-only protocol
+  (both processes write, then read the other and decide the minimum).
+  Solves 0-resilient consensus; one crash before the victim's write
+  blocks the survivor forever — the ``f = 0`` (FLP) instance of
+  Theorem 2.
+* :func:`race_register_consensus_system` — the classic broken
+  read-then-write race; included as a *safety*-violating candidate so
+  the exhaustive safety checker has a true positive.
+* :func:`grouped_delegation_system` — processes split across independent
+  wait-free consensus objects; each group agrees internally but groups
+  diverge, violating global agreement.  Shows why Section 4's
+  construction works for 2-**set**-consensus and cannot give consensus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..ioa.actions import Action, decide, invoke
+from ..services.atomic import CanonicalAtomicObject, wait_free_atomic_object
+from ..services.broadcast import TotallyOrderedBroadcast, bcast
+from ..services.register import CanonicalRegister, read, write
+from ..system.process import Process
+from ..system.system import DistributedSystem
+from ..types.registry import binary_consensus_type
+
+#: Register sentinel for "not yet written".
+EMPTY = "empty"
+
+
+class DelegationProcess(Process):
+    """Forward the consensus input to one service; echo its decision.
+
+    The process automaton has four phases: ``idle`` (awaiting input),
+    ``propose`` (ready to invoke), ``wait`` (invocation outstanding),
+    ``deliver`` (response in hand, ready to decide), ``done``.
+    """
+
+    def __init__(self, endpoint: Hashable, service_id: Hashable) -> None:
+        super().__init__(
+            endpoint, connections=(service_id,), input_values=(0, 1)
+        )
+        self.target_service = service_id
+
+    def initial_locals(self):
+        return ("idle",)
+
+    def handle_input(self, locals_value, action: Action):
+        phase = locals_value[0]
+        if action.kind == "init" and phase == "idle":
+            return ("propose", action.args[1])
+        if action.kind == "respond" and phase == "wait":
+            response = action.args[2]
+            if isinstance(response, tuple) and response[0] == "decide":
+                return ("deliver", response[1])
+        return locals_value
+
+    def next_action(self, locals_value):
+        phase = locals_value[0]
+        if phase == "propose":
+            value = locals_value[1]
+            return (
+                invoke(self.target_service, self.endpoint, ("init", value)),
+                ("wait",),
+            )
+        if phase == "deliver":
+            value = locals_value[1]
+            return decide(self.endpoint, value), ("done",)
+        return None, locals_value
+
+
+def delegation_consensus_system(n: int, resilience: int) -> DistributedSystem:
+    """The canonical doomed candidate for Theorem 2.
+
+    ``n`` processes, one ``resilience``-resilient binary consensus atomic
+    object connected to all of them.  Claims to solve
+    ``(resilience + 1)``-resilient consensus; the adversary pipeline
+    refutes the claim.
+    """
+    endpoints = tuple(range(n))
+    service = CanonicalAtomicObject(
+        sequential_type=binary_consensus_type(),
+        endpoints=endpoints,
+        resilience=resilience,
+        service_id="cons",
+    )
+    processes = [DelegationProcess(endpoint, "cons") for endpoint in endpoints]
+    return DistributedSystem(processes, services=[service])
+
+
+class TOBDelegationProcess(Process):
+    """Broadcast the input; decide on the first delivered message."""
+
+    def __init__(self, endpoint: Hashable, service_id: Hashable) -> None:
+        super().__init__(
+            endpoint, connections=(service_id,), input_values=(0, 1)
+        )
+        self.target_service = service_id
+
+    def initial_locals(self):
+        return ("idle",)
+
+    def handle_input(self, locals_value, action: Action):
+        phase = locals_value[0]
+        if action.kind == "init" and phase == "idle":
+            return ("propose", action.args[1])
+        if action.kind == "respond" and phase in ("wait", "propose"):
+            response = action.args[2]
+            if isinstance(response, tuple) and response[0] == "rcv":
+                return ("deliver", response[1])
+        return locals_value
+
+    def next_action(self, locals_value):
+        phase = locals_value[0]
+        if phase == "propose":
+            value = locals_value[1]
+            return (
+                invoke(self.target_service, self.endpoint, bcast(value)),
+                ("wait",),
+            )
+        if phase == "deliver":
+            return decide(self.endpoint, locals_value[1]), ("done",)
+        return None, locals_value
+
+
+def tob_delegation_system(n: int, resilience: int) -> DistributedSystem:
+    """The doomed candidate for Theorem 9 (failure-oblivious services).
+
+    ``n`` processes over one ``resilience``-resilient totally ordered
+    broadcast service: broadcast your input, decide the first delivery.
+    Total order makes it safe; ``resilience + 1`` failures silence the
+    broadcast service.
+    """
+    endpoints = tuple(range(n))
+    service = TotallyOrderedBroadcast(
+        service_id="tob",
+        endpoints=endpoints,
+        messages=(0, 1),
+        resilience=resilience,
+    )
+    processes = [TOBDelegationProcess(endpoint, "tob") for endpoint in endpoints]
+    return DistributedSystem(processes, services=[service])
+
+
+class MinRegisterProcess(Process):
+    """Write own value, then poll the peer's register; decide the minimum.
+
+    Solves consensus when nobody fails (both values become visible and
+    the minimum is schedule-independent); loops forever if the peer
+    crashes before writing — the ``f = 0`` instance of the theorem.
+    """
+
+    def __init__(
+        self, endpoint: Hashable, own_register: Hashable, peer_register: Hashable
+    ) -> None:
+        super().__init__(
+            endpoint,
+            connections=(own_register, peer_register),
+            input_values=(0, 1),
+        )
+        self.own_register = own_register
+        self.peer_register = peer_register
+
+    def initial_locals(self):
+        return ("idle",)
+
+    def handle_input(self, locals_value, action: Action):
+        phase = locals_value[0]
+        if action.kind == "init" and phase == "idle":
+            return ("write", action.args[1])
+        if action.kind != "respond":
+            return locals_value
+        service, _, response = action.args
+        if phase == "await-ack" and service == self.own_register:
+            return ("poll", locals_value[1])
+        if phase == "await-read" and service == self.peer_register:
+            if isinstance(response, tuple) and response[0] == "value":
+                peer_value = response[1]
+                if peer_value == EMPTY:
+                    return ("poll", locals_value[1])
+                return ("resolve", min(locals_value[1], peer_value))
+        return locals_value
+
+    def next_action(self, locals_value):
+        phase = locals_value[0]
+        if phase == "write":
+            value = locals_value[1]
+            return (
+                invoke(self.own_register, self.endpoint, write(value)),
+                ("await-ack", value),
+            )
+        if phase == "poll":
+            return (
+                invoke(self.peer_register, self.endpoint, read()),
+                ("await-read", locals_value[1]),
+            )
+        if phase == "resolve":
+            return decide(self.endpoint, locals_value[1]), ("done",)
+        return None, locals_value
+
+
+def min_register_consensus_system() -> DistributedSystem:
+    """Two processes, two registers, decide-the-minimum (FLP instance)."""
+    values = (EMPTY, 0, 1)
+    registers = [
+        CanonicalRegister("reg0", endpoints=(0, 1), values=values, initial=EMPTY),
+        CanonicalRegister("reg1", endpoints=(0, 1), values=values, initial=EMPTY),
+    ]
+    processes = [
+        MinRegisterProcess(0, "reg0", "reg1"),
+        MinRegisterProcess(1, "reg1", "reg0"),
+    ]
+    return DistributedSystem(processes, registers=registers)
+
+
+class RaceRegisterProcess(Process):
+    """Read; write-and-decide-own if empty, else decide what was read.
+
+    The classic broken protocol: both processes can read "empty" before
+    either write lands, then decide their own distinct values.
+    """
+
+    def __init__(self, endpoint: Hashable, register: Hashable) -> None:
+        super().__init__(endpoint, connections=(register,), input_values=(0, 1))
+        self.register = register
+
+    def initial_locals(self):
+        return ("idle",)
+
+    def handle_input(self, locals_value, action: Action):
+        phase = locals_value[0]
+        if action.kind == "init" and phase == "idle":
+            return ("probe", action.args[1])
+        if action.kind != "respond":
+            return locals_value
+        response = action.args[2]
+        if phase == "await-read" and isinstance(response, tuple):
+            if response[0] == "value":
+                if response[1] == EMPTY:
+                    return ("claim", locals_value[1])
+                return ("resolve", response[1])
+        if phase == "await-ack":
+            return ("resolve", locals_value[1])
+        return locals_value
+
+    def next_action(self, locals_value):
+        phase = locals_value[0]
+        if phase == "probe":
+            return (
+                invoke(self.register, self.endpoint, read()),
+                ("await-read", locals_value[1]),
+            )
+        if phase == "claim":
+            return (
+                invoke(self.register, self.endpoint, write(locals_value[1])),
+                ("await-ack", locals_value[1]),
+            )
+        if phase == "resolve":
+            return decide(self.endpoint, locals_value[1]), ("done",)
+        return None, locals_value
+
+
+def race_register_consensus_system(n: int = 2) -> DistributedSystem:
+    """``n`` processes racing on one register — violates agreement."""
+    endpoints = tuple(range(n))
+    register = CanonicalRegister(
+        "reg", endpoints=endpoints, values=(EMPTY, 0, 1), initial=EMPTY
+    )
+    processes = [RaceRegisterProcess(endpoint, "reg") for endpoint in endpoints]
+    return DistributedSystem(processes, registers=[register])
+
+
+def grouped_delegation_system(
+    group_sizes: Sequence[int],
+) -> DistributedSystem:
+    """Independent wait-free consensus objects per group of processes.
+
+    Each group of processes shares its own *wait-free* binary consensus
+    object and runs delegation within the group.  Inside a group all
+    decisions agree; across groups they need not — the system solves
+    2-set-consensus (for two groups) but **not** consensus, which is
+    exactly the Section 4 phenomenon.
+    """
+    processes = []
+    services = []
+    next_endpoint = 0
+    for group_index, size in enumerate(group_sizes):
+        endpoints = tuple(range(next_endpoint, next_endpoint + size))
+        next_endpoint += size
+        service_id = f"cons{group_index}"
+        services.append(
+            wait_free_atomic_object(
+                binary_consensus_type(), endpoints, service_id=service_id
+            )
+        )
+        processes.extend(
+            DelegationProcess(endpoint, service_id) for endpoint in endpoints
+        )
+    return DistributedSystem(processes, services=services)
+
+
+class LastWriterProcess(Process):
+    """Write own value to the shared register, raise a flag, wait for the
+    peer's flag, then decide the register's (final) content.
+
+    The decision is the LAST write performed — schedule-dependent, which
+    makes initializations bivalent and drives the Fig. 3 search into
+    hooks whose two tasks are both perform tasks of the shared register:
+    the register cases (Claim 5) of Lemma 8.  The protocol solves
+    0-resilient consensus (failure-free, both flags rise and both read
+    the same settled value) and fails 1-resilient consensus (a crash
+    before the victim's flag write leaves the survivor polling forever).
+    """
+
+    def __init__(
+        self,
+        endpoint: Hashable,
+        value_register: Hashable,
+        own_flag: Hashable,
+        peer_flag: Hashable,
+    ) -> None:
+        super().__init__(
+            endpoint,
+            connections=(value_register, own_flag, peer_flag),
+            input_values=(0, 1),
+        )
+        self.value_register = value_register
+        self.own_flag = own_flag
+        self.peer_flag = peer_flag
+
+    def initial_locals(self):
+        return ("idle",)
+
+    def handle_input(self, locals_value, action: Action):
+        phase = locals_value[0]
+        if action.kind == "init" and phase == "idle":
+            return ("write-value", action.args[1])
+        if action.kind != "respond":
+            return locals_value
+        service, _, response = action.args
+        if phase == "await-value-ack" and service == self.value_register:
+            return ("raise-flag", locals_value[1])
+        if phase == "await-flag-ack" and service == self.own_flag:
+            return ("poll-peer", locals_value[1])
+        if phase == "await-peer-flag" and service == self.peer_flag:
+            if isinstance(response, tuple) and response[0] == "value":
+                if response[1] == 1:
+                    return ("read-value", locals_value[1])
+                return ("poll-peer", locals_value[1])
+        if phase == "await-final-read" and service == self.value_register:
+            if isinstance(response, tuple) and response[0] == "value":
+                return ("resolve", response[1])
+        return locals_value
+
+    def next_action(self, locals_value):
+        phase = locals_value[0]
+        if phase == "write-value":
+            return (
+                invoke(self.value_register, self.endpoint, write(locals_value[1])),
+                ("await-value-ack", locals_value[1]),
+            )
+        if phase == "raise-flag":
+            return (
+                invoke(self.own_flag, self.endpoint, write(1)),
+                ("await-flag-ack", locals_value[1]),
+            )
+        if phase == "poll-peer":
+            return (
+                invoke(self.peer_flag, self.endpoint, read()),
+                ("await-peer-flag", locals_value[1]),
+            )
+        if phase == "read-value":
+            return (
+                invoke(self.value_register, self.endpoint, read()),
+                ("await-final-read", locals_value[1]),
+            )
+        if phase == "resolve":
+            return decide(self.endpoint, locals_value[1]), ("done",)
+        return None, locals_value
+
+
+def last_writer_register_system() -> DistributedSystem:
+    """Two processes, three registers, decide-the-last-write.
+
+    The register-heavy doomed candidate: safe, schedule-dependent, and
+    its hooks land in Lemma 8's Claim 5 (shared register) cases.
+    """
+    value_register = CanonicalRegister(
+        "val", endpoints=(0, 1), values=(EMPTY, 0, 1), initial=EMPTY
+    )
+    flags = [
+        CanonicalRegister(f"flag{i}", endpoints=(0, 1), values=(0, 1), initial=0)
+        for i in (0, 1)
+    ]
+    processes = [
+        LastWriterProcess(0, "val", "flag0", "flag1"),
+        LastWriterProcess(1, "val", "flag1", "flag0"),
+    ]
+    return DistributedSystem(processes, registers=[value_register] + flags)

@@ -1,0 +1,160 @@
+"""Composition of implementations: 2-set consensus from test&set.
+
+Section 2.1.4's closing remark: "an implemented service can be seen as a
+canonical service in a higher-level implementation."  This module stacks
+two constructions from this library to exercise exactly that:
+
+* bottom layer — the consensus-number-2 construction of
+  :mod:`repro.protocols.tas_consensus`: 2-process binary consensus from
+  one test&set object plus proposal registers;
+* top layer — the Section 4 boosting construction with ``n' = 2``,
+  ``k' = 1``: partition ``n = 4`` processes into two pairs, give each
+  pair a consensus "service", decide what the pair-consensus returns.
+
+Because processes interact only with services, composing implementations
+means inlining the bottom protocol into the top layer's processes: each
+process runs the test&set sub-protocol within its own pair and treats
+the outcome as the response of a pair-consensus service.  The result is
+**wait-free 4-process 2-set consensus built from test&set objects and
+registers** — services of consensus number 2 — which is consistent with
+the Herlihy hierarchy (2-set consensus for 4 processes splits into
+2-process agreements) and is a strict resilience boost in the Section 4
+sense (each bottom object serves 2 processes wait-free, i.e. f' = 1,
+while the composed system tolerates f = 3).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from ..ioa.actions import Action, decide, invoke
+from ..services.atomic import wait_free_atomic_object
+from ..services.register import CanonicalRegister, read, write
+from ..system.process import Process
+from ..system.system import DistributedSystem
+from ..types.registry import test_and_set_type
+
+#: Register sentinel for "no proposal written yet".
+UNWRITTEN = "unwritten"
+
+
+def pair_of(endpoint: int) -> int:
+    """Group index of an endpoint (pairs are {0,1}, {2,3}, ...)."""
+    return endpoint // 2
+
+
+def peer_of(endpoint: int) -> int:
+    """The other member of an endpoint's pair."""
+    return endpoint ^ 1
+
+
+def pair_tas_id(group: int) -> tuple:
+    """The test&set object of a pair."""
+    return ("pair-tas", group)
+
+
+def pair_proposal_id(endpoint: int) -> tuple:
+    """The proposal register of one endpoint within its pair."""
+    return ("pair-proposal", endpoint)
+
+
+class PairedTASProcess(Process):
+    """Runs the test&set consensus protocol inside its pair, then decides.
+
+    The inlined bottom layer is phase-for-phase the protocol of
+    :class:`repro.protocols.tas_consensus.TASConsensusProcess`; the top
+    layer is plain Section 4 delegation (decide whatever the pair
+    agreement produced).
+    """
+
+    def __init__(self, endpoint: int, proposals: Sequence[Hashable]) -> None:
+        group = pair_of(endpoint)
+        connections = (
+            pair_tas_id(group),
+            pair_proposal_id(endpoint),
+            pair_proposal_id(peer_of(endpoint)),
+        )
+        super().__init__(endpoint, connections=connections, input_values=proposals)
+        self.group = group
+
+    def initial_locals(self):
+        return ("idle", None)
+
+    def handle_input(self, locals_value, action: Action):
+        phase, proposal = locals_value
+        if action.kind == "init" and phase == "idle":
+            return ("publish", action.args[1])
+        if action.kind != "respond":
+            return locals_value
+        service, _, response = action.args
+        if phase == "await-write" and service == pair_proposal_id(self.endpoint):
+            return ("contend", proposal)
+        if phase == "await-tas" and service == pair_tas_id(self.group):
+            if isinstance(response, tuple) and response[0] == "old":
+                if response[1] == 0:
+                    return ("resolve", proposal)
+                return ("fetch-peer", proposal)
+        if phase == "await-peer" and service == pair_proposal_id(
+            peer_of(self.endpoint)
+        ):
+            if isinstance(response, tuple) and response[0] == "value":
+                return ("resolve", response[1])
+        return locals_value
+
+    def next_action(self, locals_value):
+        phase, proposal = locals_value
+        if phase == "publish":
+            return (
+                invoke(
+                    pair_proposal_id(self.endpoint), self.endpoint, write(proposal)
+                ),
+                ("await-write", proposal),
+            )
+        if phase == "contend":
+            return (
+                invoke(pair_tas_id(self.group), self.endpoint, ("test_and_set",)),
+                ("await-tas", proposal),
+            )
+        if phase == "fetch-peer":
+            return (
+                invoke(
+                    pair_proposal_id(peer_of(self.endpoint)), self.endpoint, read()
+                ),
+                ("await-peer", proposal),
+            )
+        if phase == "resolve":
+            return decide(self.endpoint, proposal), ("done", proposal)
+        return None, locals_value
+
+
+def kset_from_tas_system(
+    n: int = 4, proposals: Sequence[Hashable] | None = None
+) -> DistributedSystem:
+    """Wait-free n-process (n/2)-set consensus from test&set + registers.
+
+    For ``n = 4`` this is 2-set consensus: each pair agrees internally
+    through its own test&set object, so at most ``n/2`` distinct values
+    are decided overall, under any number of crashes.
+    """
+    if n % 2 != 0:
+        raise ValueError("n must be even (pairs)")
+    if proposals is None:
+        proposals = tuple(range(n))
+    endpoints = tuple(range(n))
+    services = [
+        wait_free_atomic_object(
+            test_and_set_type(), (2 * g, 2 * g + 1), service_id=pair_tas_id(g)
+        )
+        for g in range(n // 2)
+    ]
+    registers = [
+        CanonicalRegister(
+            pair_proposal_id(endpoint),
+            endpoints=(endpoint, peer_of(endpoint)),
+            values=(UNWRITTEN,) + tuple(proposals),
+            initial=UNWRITTEN,
+        )
+        for endpoint in endpoints
+    ]
+    processes = [PairedTASProcess(endpoint, proposals) for endpoint in endpoints]
+    return DistributedSystem(processes, services=services, registers=registers)

@@ -1,0 +1,192 @@
+"""Consensus from perfect failure detection (rotating coordinator).
+
+Completes the Section 6.3 possibility claim: "consensus is solvable for
+any number of failures using only 1-resilient 2-process perfect failure
+detectors."  The classical rotating-coordinator algorithm over reliable
+registers and a perfect failure detector:
+
+* rounds ``r = 0 .. n-1``, coordinator of round ``r`` is process ``r``;
+* the coordinator writes its current estimate into the round's register
+  and moves on;
+* every other process polls the round register until it either reads a
+  value (and adopts it) or suspects the coordinator (and keeps its
+  estimate);
+* after round ``n - 1`` every live process decides its estimate.
+
+With perfect accuracy, nobody abandons a live coordinator, so the first
+round whose coordinator is correct imposes a common estimate, which all
+later coordinators merely re-write; with strong completeness, nobody
+waits forever on a crashed one.  Hence agreement, validity, and
+wait-free termination.
+
+Two instantiations, built by the two factory functions:
+
+* :func:`consensus_via_pairwise_fds_system` — suspicion information
+  comes from the 1-resilient **2-process** pair detectors of the
+  Section 6.3 construction (arbitrary connectivity): each process
+  directly unions its pair detectors' reports.  This is the boosting
+  *possibility*: consensus tolerating ``n - 1`` failures out of
+  1-resilient services.
+* :func:`consensus_with_shared_fd_system` — one ``f``-resilient
+  ``n``-process detector connected to **all** processes (Theorem 10's
+  mandated shape).  With ``f < n - 1`` this is a doomed candidate: any
+  ``f + 1`` failures silence the detector, and the liveness attack of
+  :mod:`repro.analysis.refutation` blocks the survivors forever.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable, Sequence
+
+from ..ioa.actions import Action, decide, invoke
+from ..services.failure_detectors import PerfectFailureDetector
+from ..services.register import CanonicalRegister, read, write
+from ..system.process import Process
+from ..system.system import DistributedSystem
+from .fd_boost import pair_detector_id
+
+#: Sentinel for a round register that has not been written yet.
+UNSET = "unset"
+
+
+def round_register_id(round_index: int) -> tuple:
+    """The id of the register used by round ``round_index``."""
+    return ("round", round_index)
+
+
+class RotatingCoordinatorProcess(Process):
+    """One participant of the rotating-coordinator consensus protocol.
+
+    Failure-detector reports (``suspect(S)`` responses from any connected
+    detector) are folded into a monotone local ``suspected`` set; with
+    perfect detectors every report is accurate, so the union is too.
+    """
+
+    def __init__(
+        self,
+        endpoint: int,
+        n: int,
+        detector_ids: Sequence[Hashable],
+        proposals: Sequence[Hashable] = (0, 1),
+    ) -> None:
+        self.n = n
+        self.detector_ids = tuple(detector_ids)
+        connections = list(self.detector_ids) + [
+            round_register_id(r) for r in range(n)
+        ]
+        super().__init__(endpoint, connections=connections, input_values=proposals)
+
+    # locals = (phase, est, round, suspected)
+    def initial_locals(self):
+        return ("idle", None, 0, frozenset())
+
+    def handle_input(self, locals_value, action: Action):
+        phase, est, round_index, suspected = locals_value
+        if action.kind == "init":
+            if phase == "idle":
+                return ("run", action.args[1], 0, suspected)
+            return locals_value
+        if action.kind != "respond":
+            return locals_value
+        service, _, response = action.args
+        if isinstance(response, tuple) and response[0] == "suspect":
+            return (phase, est, round_index, suspected | response[1])
+        if phase == "await-ack" and service == round_register_id(round_index):
+            # Coordinator's write landed: advance to the next round.
+            return ("run", est, round_index + 1, suspected)
+        if phase == "await-read" and service == round_register_id(round_index):
+            if isinstance(response, tuple) and response[0] == "value":
+                if response[1] != UNSET:
+                    return ("run", response[1], round_index + 1, suspected)
+                # Nothing written yet: re-enter the poll loop.
+                return ("run", est, round_index, suspected)
+        return locals_value
+
+    def next_action(self, locals_value):
+        phase, est, round_index, suspected = locals_value
+        if phase != "run":
+            return None, locals_value
+        if round_index >= self.n:
+            return decide(self.endpoint, est), ("done", est, round_index, suspected)
+        coordinator = round_index
+        if coordinator == self.endpoint:
+            return (
+                invoke(round_register_id(round_index), self.endpoint, write(est)),
+                ("await-ack", est, round_index, suspected),
+            )
+        if coordinator in suspected:
+            # Perfect accuracy: the coordinator really failed; skip it.
+            return None, ("run", est, round_index + 1, suspected)
+        return (
+            invoke(round_register_id(round_index), self.endpoint, read()),
+            ("await-read", est, round_index, suspected),
+        )
+
+
+def _round_registers(n: int, proposals: Sequence[Hashable]) -> list[CanonicalRegister]:
+    values = (UNSET,) + tuple(proposals)
+    endpoints = tuple(range(n))
+    return [
+        CanonicalRegister(
+            round_register_id(r), endpoints=endpoints, values=values, initial=UNSET
+        )
+        for r in range(n)
+    ]
+
+
+def consensus_via_pairwise_fds_system(
+    n: int, proposals: Sequence[Hashable] = (0, 1)
+) -> DistributedSystem:
+    """Consensus for any number of failures from 1-resilient 2-process FDs.
+
+    The Section 6.3 headline: every pair shares a 1-resilient (hence
+    wait-free) 2-process perfect detector; no failure pattern silences
+    the detectors a live process relies on, so the rotating coordinator
+    terminates under up to ``n - 1`` failures.
+    """
+    endpoints = tuple(range(n))
+    detectors = [
+        PerfectFailureDetector(
+            service_id=pair_detector_id(i, j), endpoints=(i, j), resilience=1
+        )
+        for i, j in combinations(endpoints, 2)
+    ]
+    processes = [
+        RotatingCoordinatorProcess(
+            i,
+            n,
+            detector_ids=[pair_detector_id(i, j) for j in endpoints if j != i],
+            proposals=proposals,
+        )
+        for i in endpoints
+    ]
+    return DistributedSystem(
+        processes, services=detectors, registers=_round_registers(n, proposals)
+    )
+
+
+def consensus_with_shared_fd_system(
+    n: int,
+    fd_resilience: int,
+    proposals: Sequence[Hashable] = (0, 1),
+) -> DistributedSystem:
+    """Rotating coordinator over ONE n-process detector (Theorem 10 shape).
+
+    With ``fd_resilience = n - 1`` the detector is wait-free and the
+    protocol solves consensus for any number of failures.  With
+    ``fd_resilience = f < n - 1`` this is the Theorem 10 doomed
+    candidate: ``f + 1`` failures may silence the (all-connected)
+    detector, leaving pollers of a crashed coordinator stuck forever.
+    """
+    endpoints = tuple(range(n))
+    detector = PerfectFailureDetector(
+        service_id="P", endpoints=endpoints, resilience=fd_resilience
+    )
+    processes = [
+        RotatingCoordinatorProcess(i, n, detector_ids=["P"], proposals=proposals)
+        for i in endpoints
+    ]
+    return DistributedSystem(
+        processes, services=[detector], registers=_round_registers(n, proposals)
+    )

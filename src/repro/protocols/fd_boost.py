@@ -1,0 +1,194 @@
+"""Boosting failure detectors via connectivity (Section 6.3, possibility).
+
+Theorem 10's all-processes connectivity assumption is *necessary*: with
+arbitrary connection patterns, failure-aware services **can** be
+boosted.  The paper's construction: give every pair of processes a
+1-resilient 2-process perfect failure detector (1-resilient on 2
+endpoints = wait-free, so no set of failures silences a pair detector
+whose surviving member still listens).  Each process accumulates the
+suspicions reported by its ``n - 1`` pair detectors in a dedicated
+register, periodically reads all the dedicated registers, and outputs
+the union — implementing a wait-free ``n``-process perfect failure
+detector, with which consensus is solvable for any number of failures
+(see :mod:`repro.protocols.consensus_with_fd`).
+
+Fidelity note (recorded in DESIGN.md): the canonical wait-free
+``n``-process P emits exact snapshots of the global failed set, while
+this construction emits unions of *pairwise* knowledge.  The union is
+always **accurate** (every suspected process has really failed) and
+**complete** (every failure is eventually reported by its pair detectors
+and then permanently included), which is what the paper means by
+"accurate failure information about all n processes"; the tests verify
+exactly these two properties, plus canonical-trace inclusion in the
+single-failure runs where snapshot-exactness does hold.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Hashable, Sequence
+
+from ..ioa.actions import Action, invoke
+from ..services.failure_detectors import PerfectFailureDetector, suspect
+from ..services.register import CanonicalRegister, read, write
+from ..system.process import Process
+from ..system.system import DistributedSystem
+
+#: The virtual service id under which boosted suspicions are emitted;
+#: gives the implemented detector the same external action shape as a
+#: canonical ``PerfectFailureDetector("boostedP", I, n-1)``.
+BOOSTED_FD_ID = "boostedP"
+
+
+def pair_detector_id(i: Hashable, j: Hashable) -> tuple:
+    """The id of the pair detector shared by processes ``i`` and ``j``."""
+    low, high = sorted((i, j), key=str)
+    return ("pfd", low, high)
+
+
+def suspicion_register_id(i: Hashable) -> tuple:
+    """The id of process ``i``'s dedicated suspicion register."""
+    return ("suspicions", i)
+
+
+def all_subsets(endpoints: Sequence) -> tuple[frozenset, ...]:
+    """All subsets of the endpoint set (register value domain)."""
+    items = tuple(endpoints)
+    return tuple(
+        frozenset(combo)
+        for combo in chain.from_iterable(
+            combinations(items, size) for size in range(len(items) + 1)
+        )
+    )
+
+
+class BoostedFDProcess(Process):
+    """One process of the boosted-failure-detector construction.
+
+    Continually: (a) fold incoming pair-detector reports into a local
+    suspicion set, (b) publish the local set in the dedicated register,
+    (c) read every dedicated register, (d) emit the union as a
+    ``suspect`` report at this endpoint — then start over.  The emitted
+    action is ``respond(BOOSTED_FD_ID, i, suspect(S))`` so that the
+    implemented detector has exactly the canonical interface.
+    """
+
+    def __init__(
+        self,
+        endpoint: Hashable,
+        all_endpoints: Sequence[Hashable],
+    ) -> None:
+        self.all_endpoints = tuple(all_endpoints)
+        peers = [peer for peer in self.all_endpoints if peer != endpoint]
+        connections = [pair_detector_id(endpoint, peer) for peer in peers] + [
+            suspicion_register_id(other) for other in self.all_endpoints
+        ]
+        super().__init__(endpoint, connections=connections, input_values=())
+        self.own_register = suspicion_register_id(endpoint)
+
+    # The emitted suspect reports make this process's outputs a superset
+    # of the Process base signature.
+    def is_output(self, action: Action) -> bool:
+        if action.kind == "respond":
+            service, endpoint, response = action.args
+            return (
+                service == BOOSTED_FD_ID
+                and endpoint == self.endpoint
+                and isinstance(response, tuple)
+                and response[0] == "suspect"
+            )
+        return super().is_output(action)
+
+    # locals = (phase, local_suspects, gathered_union, read_cursor)
+    def initial_locals(self):
+        return ("publish", frozenset(), frozenset(), 0)
+
+    def handle_input(self, locals_value, action: Action):
+        phase, local_suspects, gathered, cursor = locals_value
+        if action.kind != "respond":
+            return locals_value
+        service, _, response = action.args
+        if isinstance(response, tuple) and response[0] == "suspect":
+            # A pair detector reported: fold into the local set.
+            return (phase, local_suspects | response[1], gathered, cursor)
+        if phase == "await-ack" and service == self.own_register:
+            return ("gather", local_suspects, frozenset(), 0)
+        if phase == "await-read":
+            expected = suspicion_register_id(self.all_endpoints[cursor])
+            if service == expected and isinstance(response, tuple):
+                if response[0] == "value":
+                    merged = gathered | response[1]
+                    return ("gather", local_suspects, merged, cursor + 1)
+        return locals_value
+
+    def next_action(self, locals_value):
+        phase, local_suspects, gathered, cursor = locals_value
+        if phase == "publish":
+            return (
+                invoke(self.own_register, self.endpoint, write(local_suspects)),
+                ("await-ack", local_suspects, gathered, cursor),
+            )
+        if phase == "gather":
+            if cursor >= len(self.all_endpoints):
+                return (
+                    Action(
+                        "respond",
+                        (BOOSTED_FD_ID, self.endpoint, suspect(gathered)),
+                    ),
+                    ("publish", local_suspects, frozenset(), 0),
+                )
+            target = suspicion_register_id(self.all_endpoints[cursor])
+            return (
+                invoke(target, self.endpoint, read()),
+                ("await-read", local_suspects, gathered, cursor),
+            )
+        return None, locals_value
+
+    @staticmethod
+    def local_suspicions(locals_value) -> frozenset:
+        """The process's current pairwise-derived suspicion set."""
+        return locals_value[1]
+
+
+def boosted_fd_system(n: int) -> DistributedSystem:
+    """The full Section 6.3 construction for ``n`` processes.
+
+    Components: one 1-resilient 2-process perfect failure detector per
+    unordered pair, one wait-free suspicion register per process (value
+    domain: subsets of the endpoint set), and the ``n`` accumulating
+    processes.
+    """
+    endpoints = tuple(range(n))
+    detectors = [
+        PerfectFailureDetector(
+            service_id=pair_detector_id(i, j),
+            endpoints=(i, j),
+            resilience=1,
+        )
+        for i, j in combinations(endpoints, 2)
+    ]
+    subsets = all_subsets(endpoints)
+    registers = [
+        CanonicalRegister(
+            suspicion_register_id(i),
+            endpoints=endpoints,
+            values=subsets,
+            initial=frozenset(),
+        )
+        for i in endpoints
+    ]
+    processes = [BoostedFDProcess(i, endpoints) for i in endpoints]
+    return DistributedSystem(processes, services=detectors, registers=registers)
+
+
+def boosted_reports(execution, endpoint) -> list[frozenset]:
+    """The suspicion sets emitted at ``endpoint`` along an execution."""
+    reports = []
+    for step in execution.steps:
+        action = step.action
+        if action.kind != "respond":
+            continue
+        service, target, response = action.args
+        if service == BOOSTED_FD_ID and target == endpoint:
+            reports.append(response[1])
+    return reports

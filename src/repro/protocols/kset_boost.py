@@ -1,0 +1,133 @@
+"""Boosting IS possible for k-set-consensus (Section 4).
+
+The paper's counterpoint to Theorem 2: wait-free ``k``-set-consensus for
+``n`` processes is solvable from wait-free ``k'``-set-consensus services
+with ``n'`` endpoints apiece, whenever ``k'n = kn'`` — a strict boost of
+resilience (``f' = n' - 1 < f = n - 1``).
+
+Construction (verbatim from the paper): divide the ``n`` endpoints into
+``g = k/k'`` disjoint groups of exactly ``n'``; give each group one
+wait-free ``k'``-set-consensus service on exactly its endpoints.  Each
+process forwards its ``init(v)`` to its group's service and echoes the
+response as its decision.  Since only ``g`` services exist and each
+contributes at most ``k'`` distinct values, at most ``k = g k'``
+distinct values are decided; validity and wait-freedom are inherited
+from the services.
+
+The concrete headline instance: ``n`` even, ``n' = n/2``, ``k = 2``,
+``k' = 1`` — wait-free ``n``-process 2-set-consensus from wait-free
+``n/2``-process consensus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..services.atomic import CanonicalAtomicObject
+from ..system.system import DistributedSystem
+from ..types.registry import consensus_type, k_set_consensus_type
+from .candidates import DelegationProcess
+
+
+@dataclass(frozen=True)
+class KSetBoostParameters:
+    """The parameters ``(n, k, n', k')`` of the Section 4 construction.
+
+    Validity requires ``k' n = k n'`` with all quantities positive,
+    ``k' <= k``, and ``n'`` dividing ``n`` into ``g = k/k'`` groups.
+    """
+
+    n: int
+    k: int
+    n_prime: int
+    k_prime: int
+
+    def __post_init__(self) -> None:
+        if min(self.n, self.k, self.n_prime, self.k_prime) < 1:
+            raise ValueError("all parameters must be positive")
+        if self.k_prime * self.n != self.k * self.n_prime:
+            raise ValueError(
+                f"the paper requires k'n = kn': "
+                f"{self.k_prime}*{self.n} != {self.k}*{self.n_prime}"
+            )
+        if self.k % self.k_prime != 0:
+            raise ValueError("k/k' must be an integral number of groups")
+        if self.groups * self.n_prime != self.n:
+            raise ValueError("groups must exactly partition the endpoints")
+
+    @property
+    def groups(self) -> int:
+        """``g = k / k'``, the number of disjoint groups."""
+        return self.k // self.k_prime
+
+    @property
+    def inner_resilience(self) -> int:
+        """``f' = n' - 1``: the services are wait-free for their endpoints."""
+        return self.n_prime - 1
+
+    @property
+    def boosted_resilience(self) -> int:
+        """``f = n - 1``: the constructed system is wait-free."""
+        return self.n - 1
+
+
+def classic_parameters(n: int) -> KSetBoostParameters:
+    """The paper's concrete instance: 2-set-consensus from consensus.
+
+    ``n`` even; ``n' = n/2``, ``k = 2``, ``k' = 1``, ``f = n - 1``,
+    ``f' = n/2 - 1``.
+    """
+    if n % 2 != 0:
+        raise ValueError("the classic instance needs an even n")
+    return KSetBoostParameters(n=n, k=2, n_prime=n // 2, k_prime=1)
+
+
+def group_of(parameters: KSetBoostParameters, endpoint: int) -> int:
+    """Which group an endpoint belongs to (contiguous partition)."""
+    return endpoint // parameters.n_prime
+
+
+def kset_boost_system(parameters: KSetBoostParameters) -> DistributedSystem:
+    """Build the Section 4 construction as a distributed system.
+
+    Proposals range over ``{0, ..., n-1}`` (each process may propose its
+    own index, the hardest case for set consensus).  For ``k' = 1`` the
+    inner services use the deterministic multivalued consensus type; for
+    ``k' > 1`` they use the (nondeterministic) ``k'``-set-consensus type.
+    """
+    proposals = tuple(range(parameters.n))
+    services = []
+    processes = []
+    for group_index in range(parameters.groups):
+        low = group_index * parameters.n_prime
+        endpoints = tuple(range(low, low + parameters.n_prime))
+        if parameters.k_prime == 1:
+            inner_type = consensus_type(proposals)
+        else:
+            inner_type = k_set_consensus_type(parameters.k_prime, proposals)
+        service_id = f"group{group_index}"
+        services.append(
+            CanonicalAtomicObject(
+                sequential_type=inner_type,
+                endpoints=endpoints,
+                resilience=parameters.inner_resilience,
+                service_id=service_id,
+            )
+        )
+        processes.extend(
+            KSetDelegationProcess(endpoint, service_id, proposals)
+            for endpoint in endpoints
+        )
+    return DistributedSystem(processes, services=services)
+
+
+class KSetDelegationProcess(DelegationProcess):
+    """Delegation with multivalued proposals (the Section 4 processes)."""
+
+    def __init__(
+        self, endpoint: Hashable, service_id: Hashable, proposals: Sequence
+    ) -> None:
+        super().__init__(endpoint, service_id)
+        # Widen the accepted external inputs to the full proposal set.
+        self.input_values = frozenset(proposals)

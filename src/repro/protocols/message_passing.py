@@ -1,0 +1,171 @@
+"""Message-passing consensus candidates (the 2002 TR setting).
+
+Doomed candidates for the message-passing instantiation of the boosting
+impossibility: processes communicate only through an ``f``-resilient
+asynchronous network (a failure-oblivious service), so Theorem 9 applies
+and the adversary pipeline refutes any claimed ``(f+1)``-resilience.
+
+Two candidates with complementary failure shapes:
+
+* :func:`arbiter_consensus_system` — proposers send their values to a
+  distinguished *arbiter*, which decides the first value it receives and
+  broadcasts the decision.  Schedule-dependent (the network's perform
+  order races the proposals), hence bivalent initializations, hooks, and
+  the full pipeline; killing the arbiter plus silencing the network
+  blocks the survivors.
+* :func:`exchange_consensus_system` — two processes swap values and
+  decide the minimum.  Schedule-independent (univalent everywhere) and
+  correct failure-free; one crash before the victim's send leaves the
+  peer waiting forever — the direct-attack shape.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..ioa.actions import Action, decide, invoke
+from ..services.network import AsynchronousNetwork, send
+from ..system.process import Process
+from ..system.system import DistributedSystem
+
+NETWORK_ID = "net"
+
+
+class ArbiterProposer(Process):
+    """Send the proposal to the arbiter; decide on the announced value."""
+
+    def __init__(self, endpoint: Hashable, arbiter: Hashable) -> None:
+        self.arbiter = arbiter
+        super().__init__(endpoint, connections=(NETWORK_ID,), input_values=(0, 1))
+
+    def initial_locals(self):
+        return ("idle",)
+
+    def handle_input(self, locals_value, action: Action):
+        phase = locals_value[0]
+        if action.kind == "init" and phase == "idle":
+            return ("submit", action.args[1])
+        if action.kind == "respond" and action.args[0] == NETWORK_ID:
+            response = action.args[2]
+            if isinstance(response, tuple) and response[0] == "deliver":
+                sender, message = response[1], response[2]
+                if sender == self.arbiter and phase in ("submit", "sent"):
+                    return ("announce", message)
+        return locals_value
+
+    def next_action(self, locals_value):
+        phase = locals_value[0]
+        if phase == "submit":
+            return (
+                invoke(NETWORK_ID, self.endpoint, send(self.arbiter, locals_value[1])),
+                ("sent",),
+            )
+        if phase == "announce":
+            return decide(self.endpoint, locals_value[1]), ("done",)
+        return None, locals_value
+
+
+class ArbiterProcess(Process):
+    """Decide the first proposal received; broadcast the decision.
+
+    The arbiter is a pure referee: its own ``init`` input is ignored as
+    a proposal (it merely registers participation), so the decision is
+    genuinely a race between the proposers' messages through the network
+    — the schedule dependence that makes initializations bivalent.
+    """
+
+    def __init__(self, endpoint: Hashable, proposers: tuple) -> None:
+        self.proposers = tuple(proposers)
+        super().__init__(endpoint, connections=(NETWORK_ID,), input_values=(0, 1))
+
+    # locals = (phase, own_proposal, winner, broadcast_cursor)
+    def initial_locals(self):
+        return ("await", None, None, 0)
+
+    def handle_input(self, locals_value, action: Action):
+        phase, own, winner, cursor = locals_value
+        if action.kind == "init":
+            return (phase, action.args[1], winner, cursor)
+        if action.kind == "respond" and action.args[0] == NETWORK_ID:
+            response = action.args[2]
+            if isinstance(response, tuple) and response[0] == "deliver":
+                if winner is None:
+                    return ("broadcast", own, response[2], 0)
+        return locals_value
+
+    def next_action(self, locals_value):
+        phase, own, winner, cursor = locals_value
+        if phase == "broadcast":
+            if cursor >= len(self.proposers):
+                return decide(self.endpoint, winner), ("done", own, winner, cursor)
+            target = self.proposers[cursor]
+            return (
+                invoke(NETWORK_ID, self.endpoint, send(target, winner)),
+                ("broadcast", own, winner, cursor + 1),
+            )
+        return None, locals_value
+
+
+def arbiter_consensus_system(n: int = 3, resilience: int = 0) -> DistributedSystem:
+    """``n-1`` proposers and one arbiter over an f-resilient network.
+
+    The first proposal to *reach* the arbiter wins, so the decision is
+    schedule-dependent and the valence machinery engages fully.
+    """
+    endpoints = tuple(range(n))
+    arbiter = n - 1
+    proposers = endpoints[:-1]
+    network = AsynchronousNetwork(
+        NETWORK_ID, endpoints=endpoints, messages=(0, 1), resilience=resilience
+    )
+    processes: list[Process] = [
+        ArbiterProposer(endpoint, arbiter) for endpoint in proposers
+    ]
+    processes.append(ArbiterProcess(arbiter, proposers))
+    return DistributedSystem(processes, services=[network])
+
+
+class ExchangeProcess(Process):
+    """Send own value to the peer; decide min(own, received)."""
+
+    def __init__(self, endpoint: Hashable, peer: Hashable) -> None:
+        self.peer = peer
+        super().__init__(endpoint, connections=(NETWORK_ID,), input_values=(0, 1))
+
+    def initial_locals(self):
+        return ("idle", None)
+
+    def handle_input(self, locals_value, action: Action):
+        phase, own = locals_value
+        if action.kind == "init" and phase == "idle":
+            return ("send", action.args[1])
+        if action.kind == "respond" and action.args[0] == NETWORK_ID:
+            response = action.args[2]
+            if isinstance(response, tuple) and response[0] == "deliver":
+                if phase in ("send", "sent") and response[1] == self.peer:
+                    # min() needs our own value; if the peer's value beat
+                    # our init we stash it and resolve on init.  With
+                    # input-first executions own is always set here.
+                    if own is not None:
+                        return ("resolve", min(own, response[2]))
+        return locals_value
+
+    def next_action(self, locals_value):
+        phase, value = locals_value
+        if phase == "send":
+            return (
+                invoke(NETWORK_ID, self.endpoint, send(self.peer, value)),
+                ("sent", value),
+            )
+        if phase == "resolve":
+            return decide(self.endpoint, value), ("done", value)
+        return None, locals_value
+
+
+def exchange_consensus_system(resilience: int = 0) -> DistributedSystem:
+    """Two processes swap values over an f-resilient network; decide min."""
+    network = AsynchronousNetwork(
+        NETWORK_ID, endpoints=(0, 1), messages=(0, 1), resilience=resilience
+    )
+    processes = [ExchangeProcess(0, 1), ExchangeProcess(1, 0)]
+    return DistributedSystem(processes, services=[network])

@@ -1,0 +1,100 @@
+"""A mixed-service candidate for Theorem 10's full generality.
+
+Theorem 10 allows the system to contain **both** f-resilient
+failure-oblivious services (any connection pattern) and f-resilient
+general services (each connected to all processes).  This candidate uses
+one of each:
+
+* an ``f``-resilient totally ordered broadcast (failure-oblivious) — the
+  main decision path: broadcast your input, decide the first delivery;
+* an ``f``-resilient perfect failure detector connected to all processes
+  (failure-aware) — the escape hatch: a process that learns every other
+  process has failed decides its own value immediately (safe, because
+  perfect accuracy means nobody else will ever decide).
+
+Within its resilience budget the candidate works — and the FD path makes
+it live in cases pure TOB delegation is not (sole survivor decides even
+if its broadcast was never ordered).  Beyond the budget, ``f + 1``
+failures silence *both* services at once (the FD because it is connected
+to all processes — exactly why Theorem 10 needs that hypothesis), and
+the survivors block forever.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..ioa.actions import Action, decide, invoke
+from ..services.broadcast import TotallyOrderedBroadcast, bcast
+from ..services.failure_detectors import PerfectFailureDetector
+from ..system.process import Process
+from ..system.system import DistributedSystem
+
+TOB_ID = "tob"
+FD_ID = "P"
+
+
+class MixedProcess(Process):
+    """Decide the first TOB delivery — or own value if everyone else died."""
+
+    def __init__(self, endpoint: Hashable, all_endpoints: tuple) -> None:
+        self.others = frozenset(all_endpoints) - {endpoint}
+        super().__init__(
+            endpoint, connections=(TOB_ID, FD_ID), input_values=(0, 1)
+        )
+
+    # locals = (phase, proposal, suspected)
+    def initial_locals(self):
+        return ("idle", None, frozenset())
+
+    def handle_input(self, locals_value, action: Action):
+        phase, proposal, suspected = locals_value
+        if action.kind == "init" and phase == "idle":
+            return ("propose", action.args[1], suspected)
+        if action.kind != "respond":
+            return locals_value
+        service, _, response = action.args
+        if isinstance(response, tuple) and response[0] == "suspect":
+            suspected = suspected | response[1]
+            if (
+                phase in ("propose", "wait")
+                and self.others <= suspected
+            ):
+                # Perfect accuracy: everyone else really failed; nobody
+                # else can ever decide, so deciding our own value is safe.
+                return ("deliver", proposal, suspected)
+            return (phase, proposal, suspected)
+        if service == TOB_ID and phase in ("propose", "wait"):
+            # Deliveries may arrive even before our own broadcast went
+            # out; the FIRST delivered message is the decision either way
+            # (skipping it would break agreement with faster processes).
+            if isinstance(response, tuple) and response[0] == "rcv":
+                return ("deliver", response[1], suspected)
+        return locals_value
+
+    def next_action(self, locals_value):
+        phase, proposal, suspected = locals_value
+        if phase == "propose":
+            return (
+                invoke(TOB_ID, self.endpoint, bcast(proposal)),
+                ("wait", proposal, suspected),
+            )
+        if phase == "deliver":
+            return decide(self.endpoint, proposal), ("done", proposal, suspected)
+        return None, locals_value
+
+
+def mixed_service_system(n: int, resilience: int) -> DistributedSystem:
+    """TOB (failure-oblivious) + all-connected P (failure-aware), both
+    ``resilience``-resilient: the Theorem 10 shape with K1 and K2 both
+    nonempty."""
+    endpoints = tuple(range(n))
+    tob = TotallyOrderedBroadcast(
+        service_id=TOB_ID, endpoints=endpoints, messages=(0, 1),
+        resilience=resilience,
+    )
+    detector = PerfectFailureDetector(
+        service_id=FD_ID, endpoints=endpoints, resilience=resilience
+    )
+    processes = [MixedProcess(endpoint, endpoints) for endpoint in endpoints]
+    return DistributedSystem(processes, services=[tob, detector])

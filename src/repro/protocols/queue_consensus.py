@@ -1,0 +1,151 @@
+"""Two-process consensus from a shared queue (Herlihy 1991).
+
+A companion to :mod:`repro.protocols.tas_consensus`: FIFO queues also
+have consensus number 2.  The classic construction — a queue initialized
+with a *winner* token followed by a *loser* token; each process writes
+its proposal to its register and dequeues once; whoever draws the winner
+token decides its own proposal, the other adopts the winner's.
+
+Together with the test&set variant this exercises two distinct rungs of
+the Herlihy hierarchy inside the framework, both verified against the
+canonical consensus object via the implementation relation.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..ioa.actions import Action, decide, invoke
+from ..services.atomic import CanonicalAtomicObject, wait_free_atomic_object
+from ..services.register import CanonicalRegister, read, write
+from ..system.process import Process
+from ..system.system import DistributedSystem
+from ..types.registry import queue_type
+
+#: Virtual id for the implemented consensus object's external events.
+IMPLEMENTED_ID = "consensus-from-queue"
+
+WINNER = "winner"
+LOSER = "loser"
+UNWRITTEN = "unwritten"
+
+
+def proposal_register_id(endpoint: Hashable) -> tuple:
+    """The register holding ``endpoint``'s proposal."""
+    return ("qc-proposal", endpoint)
+
+
+class PreloadedQueue(CanonicalAtomicObject):
+    """A wait-free queue whose initial content is [winner, loser]."""
+
+    def __init__(self, endpoints) -> None:
+        base_type = queue_type(items=(WINNER, LOSER), capacity=2)
+        preloaded = type(base_type)(
+            name=base_type.name,
+            initial_values=((WINNER, LOSER),),
+            invocations=base_type.invocations,
+            responses=base_type.responses,
+            delta=base_type.delta,
+            contains_invocation=base_type.contains_invocation,
+        )
+        super().__init__(
+            sequential_type=preloaded,
+            endpoints=endpoints,
+            resilience=len(tuple(endpoints)) - 1,
+            service_id="queue",
+        )
+
+
+class QueueConsensusProcess(Process):
+    """Write proposal, dequeue once, decide by the drawn token."""
+
+    def __init__(self, endpoint: int, peer: int) -> None:
+        self.peer = peer
+        super().__init__(
+            endpoint,
+            connections=(
+                "queue",
+                proposal_register_id(endpoint),
+                proposal_register_id(peer),
+            ),
+            input_values=(0, 1),
+        )
+
+    def is_output(self, action: Action) -> bool:
+        if action.kind in ("invoke", "respond") and action.args[0] == IMPLEMENTED_ID:
+            return action.args[1] == self.endpoint
+        return super().is_output(action)
+
+    def initial_locals(self):
+        return ("idle", None)
+
+    def handle_input(self, locals_value, action: Action):
+        phase, proposal = locals_value
+        if action.kind == "init" and phase == "idle":
+            return ("announce", action.args[1])
+        if action.kind != "respond":
+            return locals_value
+        service, _, response = action.args
+        if phase == "await-write" and service == proposal_register_id(self.endpoint):
+            return ("draw", proposal)
+        if phase == "await-draw" and service == "queue":
+            if isinstance(response, tuple) and response[0] == "item":
+                if response[1] == WINNER:
+                    return ("resolve", proposal)
+                return ("fetch-peer", proposal)
+        if phase == "await-peer" and service == proposal_register_id(self.peer):
+            if isinstance(response, tuple) and response[0] == "value":
+                return ("resolve", response[1])
+        return locals_value
+
+    def next_action(self, locals_value):
+        phase, proposal = locals_value
+        if phase == "announce":
+            return (
+                Action("invoke", (IMPLEMENTED_ID, self.endpoint, ("init", proposal))),
+                ("publish", proposal),
+            )
+        if phase == "publish":
+            return (
+                invoke(
+                    proposal_register_id(self.endpoint), self.endpoint, write(proposal)
+                ),
+                ("await-write", proposal),
+            )
+        if phase == "draw":
+            return (
+                invoke("queue", self.endpoint, ("deq",)),
+                ("await-draw", proposal),
+            )
+        if phase == "fetch-peer":
+            return (
+                invoke(proposal_register_id(self.peer), self.endpoint, read()),
+                ("await-peer", proposal),
+            )
+        if phase == "resolve":
+            return (
+                Action(
+                    "respond",
+                    (IMPLEMENTED_ID, self.endpoint, ("decide", proposal)),
+                ),
+                ("conclude", proposal),
+            )
+        if phase == "conclude":
+            return decide(self.endpoint, proposal), ("done", proposal)
+        return None, locals_value
+
+
+def queue_consensus_system() -> DistributedSystem:
+    """The full construction: preloaded queue + proposal registers."""
+    queue = PreloadedQueue((0, 1))
+    registers = [
+        CanonicalRegister(
+            proposal_register_id(i),
+            endpoints=(0, 1),
+            values=(UNWRITTEN, 0, 1),
+            initial=UNWRITTEN,
+        )
+        for i in (0, 1)
+    ]
+    processes = [QueueConsensusProcess(0, 1), QueueConsensusProcess(1, 0)]
+    return DistributedSystem(processes, services=[queue], registers=registers)

@@ -1,0 +1,448 @@
+"""Shared-memory Paxos driven by an Omega leader oracle.
+
+A framework extension beyond the paper's own constructions: the
+Gafni-Lamport *Disk Paxos* algorithm specialized to one reliable "disk"
+(an array of per-process wait-free registers), with leader election by
+the Omega oracle of :mod:`repro.services.failure_detectors`.  It
+demonstrates that the paper's service model comfortably expresses a
+realistic, eventually-live consensus protocol built from the library's
+own canonical parts — and it exhibits the classical trade-off the paper
+frames: with an *eventual* failure-aware service, safety is absolute and
+liveness holds from stabilization onward.
+
+Algorithm (per process ``p``; ballots of ``p`` are ``round * n + p``):
+
+* each process owns one register block ``(mbal, bal, inp)``: the highest
+  ballot it has *started*, the highest ballot at which it *committed* a
+  value, and that value;
+* a process that believes itself leader runs attempts; everyone else
+  polls the ``decided`` register:
+
+  * **phase 1** — write own block with ``mbal = b``; read every other
+    block; abort to a higher ballot if any ``mbal > b``; adopt the value
+    of the highest ``bal`` seen (or fall back to the own proposal);
+  * **phase 2** — write own block with ``bal = b, inp = chosen``; read
+    every other block; abort if any ``mbal > b``; otherwise the value is
+    committed: publish it to the ``decided`` register and decide;
+
+* learning — every poll of the ``decided`` register that returns a value
+  decides it.
+
+Safety is Disk Paxos safety (values committed at comparable ballots
+agree), independent of Omega's lies.  Liveness: once Omega stabilizes
+(its fair mode switch) exactly one correct process keeps proposing, its
+ballot eventually exceeds every stale ``mbal``, and the attempt goes
+through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Hashable, Sequence
+
+from ..ioa.actions import Action, decide, invoke
+from ..services.failure_detectors import LEADER, OmegaFailureDetector
+from ..services.register import CanonicalRegister, read, write
+from ..system.process import Process
+from ..system.system import DistributedSystem
+
+#: Sentinel for "no value yet" in blocks and the decided register.
+NONE_VALUE = "none"
+
+
+def block_register_id(endpoint: Hashable) -> tuple:
+    """The register holding ``endpoint``'s Paxos block."""
+    return ("block", endpoint)
+
+
+DECIDED_REGISTER = ("decided",)
+
+
+@dataclass(frozen=True, slots=True)
+class PaxosLocals:
+    """Immutable local state of a Paxos participant."""
+
+    phase: str
+    proposal: Hashable | None
+    leader: Hashable | None
+    round: int
+    ballot: int
+    own_block: tuple  # (mbal, bal, inp)
+    best: tuple  # (bal, inp) best committed value seen this attempt
+    cursor: int
+    chosen: Hashable | None
+    decision: Hashable | None
+
+
+INITIAL_BLOCK = (0, 0, NONE_VALUE)
+
+
+class PaxosProcess(Process):
+    """One participant: proposer when leader, learner always."""
+
+    def __init__(
+        self,
+        endpoint: int,
+        n: int,
+        max_rounds: int,
+        proposals: Sequence[Hashable] = (0, 1),
+    ) -> None:
+        self.n = n
+        self.max_rounds = max_rounds
+        connections = (
+            ["omega", DECIDED_REGISTER]
+            + [block_register_id(q) for q in range(n)]
+        )
+        super().__init__(endpoint, connections=connections, input_values=proposals)
+
+    def initial_locals(self):
+        return PaxosLocals(
+            phase="idle",
+            proposal=None,
+            leader=None,
+            round=0,
+            ballot=0,
+            own_block=INITIAL_BLOCK,
+            best=(0, NONE_VALUE),
+            cursor=0,
+            chosen=None,
+            decision=None,
+        )
+
+    # -- inputs -----------------------------------------------------------------
+
+    def handle_input(self, locals_value: PaxosLocals, action: Action):
+        if action.kind == "init":
+            if locals_value.phase == "idle":
+                return replace(
+                    locals_value, phase="learn", proposal=action.args[1]
+                )
+            return locals_value
+        if action.kind != "respond":
+            return locals_value
+        service, _, response = action.args
+        if isinstance(response, tuple) and response[0] == LEADER:
+            return replace(locals_value, leader=response[1])
+        if locals_value.phase == "await-decided" and service == DECIDED_REGISTER:
+            if isinstance(response, tuple) and response[0] == "value":
+                if response[1] != NONE_VALUE:
+                    return replace(
+                        locals_value, phase="conclude", decision=response[1]
+                    )
+                return replace(locals_value, phase="learn")
+        if locals_value.phase == "await-p1-write" and service == block_register_id(
+            self.endpoint
+        ):
+            return replace(
+                locals_value,
+                phase="p1-read",
+                cursor=0,
+                best=(locals_value.own_block[1], locals_value.own_block[2]),
+            )
+        if locals_value.phase == "await-p1-read":
+            expected = block_register_id(locals_value.cursor)
+            if service == expected and isinstance(response, tuple):
+                mbal_q, bal_q, inp_q = response[1]
+                if mbal_q > locals_value.ballot:
+                    return self._abort(locals_value)
+                best = locals_value.best
+                if bal_q > best[0]:
+                    best = (bal_q, inp_q)
+                return replace(
+                    locals_value,
+                    phase="p1-read",
+                    cursor=locals_value.cursor + 1,
+                    best=best,
+                )
+        if locals_value.phase == "await-p2-write" and service == block_register_id(
+            self.endpoint
+        ):
+            return replace(locals_value, phase="p2-read", cursor=0)
+        if locals_value.phase == "await-p2-read":
+            expected = block_register_id(locals_value.cursor)
+            if service == expected and isinstance(response, tuple):
+                mbal_q, _, _ = response[1]
+                if mbal_q > locals_value.ballot:
+                    return self._abort(locals_value)
+                return replace(
+                    locals_value, phase="p2-read", cursor=locals_value.cursor + 1
+                )
+        if locals_value.phase == "await-publish" and service == DECIDED_REGISTER:
+            return replace(
+                locals_value, phase="conclude", decision=locals_value.chosen
+            )
+        return locals_value
+
+    def _abort(self, locals_value: PaxosLocals) -> PaxosLocals:
+        """Abandon the attempt; retry at the next of our ballots."""
+        return replace(locals_value, phase="learn", round=locals_value.round + 1)
+
+    # -- locally controlled steps -------------------------------------------------
+
+    def next_action(self, locals_value: PaxosLocals):
+        phase = locals_value.phase
+        if phase == "learn":
+            return (
+                invoke(DECIDED_REGISTER, self.endpoint, read()),
+                replace(locals_value, phase="await-decided"),
+            )
+        if phase == "await-decided":
+            # While waiting, check whether we should start proposing:
+            # handled on response; nothing to do now.
+            return None, locals_value
+        if phase == "conclude":
+            return (
+                decide(self.endpoint, locals_value.decision),
+                replace(locals_value, phase="done"),
+            )
+        return self._proposer_action(locals_value)
+
+    def _proposer_action(self, locals_value: PaxosLocals):
+        phase = locals_value.phase
+        if phase == "propose":
+            ballot = locals_value.round * self.n + self.endpoint + 1
+            own_block = (
+                ballot,
+                locals_value.own_block[1],
+                locals_value.own_block[2],
+            )
+            return (
+                invoke(
+                    block_register_id(self.endpoint), self.endpoint, write(own_block)
+                ),
+                replace(
+                    locals_value,
+                    phase="await-p1-write",
+                    ballot=ballot,
+                    own_block=own_block,
+                ),
+            )
+        if phase == "p1-read":
+            if locals_value.cursor == self.endpoint:
+                return None, replace(locals_value, cursor=locals_value.cursor + 1)
+            if locals_value.cursor >= self.n:
+                chosen = (
+                    locals_value.best[1]
+                    if locals_value.best[0] > 0
+                    else locals_value.proposal
+                )
+                return None, replace(locals_value, phase="p2-write", chosen=chosen)
+            return (
+                invoke(
+                    block_register_id(locals_value.cursor), self.endpoint, read()
+                ),
+                replace(locals_value, phase="await-p1-read"),
+            )
+        if phase == "p2-write":
+            own_block = (
+                locals_value.ballot,
+                locals_value.ballot,
+                locals_value.chosen,
+            )
+            return (
+                invoke(
+                    block_register_id(self.endpoint), self.endpoint, write(own_block)
+                ),
+                replace(
+                    locals_value, phase="await-p2-write", own_block=own_block
+                ),
+            )
+        if phase == "p2-read":
+            if locals_value.cursor == self.endpoint:
+                return None, replace(locals_value, cursor=locals_value.cursor + 1)
+            if locals_value.cursor >= self.n:
+                return (
+                    invoke(
+                        DECIDED_REGISTER,
+                        self.endpoint,
+                        write(locals_value.chosen),
+                    ),
+                    replace(locals_value, phase="await-publish"),
+                )
+            return (
+                invoke(
+                    block_register_id(locals_value.cursor), self.endpoint, read()
+                ),
+                replace(locals_value, phase="await-p2-read"),
+            )
+        return None, locals_value
+
+    # Override: entering proposer mode happens from the decided-poll
+    # response path; translate "learn + I am leader" into an attempt.
+    def handle_learn_or_propose(self, locals_value: PaxosLocals) -> PaxosLocals:
+        return locals_value
+
+
+class LeaderGatedPaxosProcess(PaxosProcess):
+    """Paxos participant that proposes only while Omega names it leader."""
+
+    def handle_input(self, locals_value: PaxosLocals, action: Action):
+        updated = super().handle_input(locals_value, action)
+        # After an unsuccessful decided-poll, escalate to proposing when
+        # we are the current leader and have attempts left.
+        if (
+            updated.phase == "learn"
+            and updated.proposal is not None
+            and updated.leader == self.endpoint
+            and updated.round < self.max_rounds
+        ):
+            return replace(updated, phase="propose")
+        return updated
+
+
+def paxos_ballot_bound(n: int, max_rounds: int) -> int:
+    """Largest ballot any process can use."""
+    return (max_rounds - 1) * n + n
+
+
+def _block_values(n: int, max_rounds: int, proposals: Sequence[Hashable]):
+    """The register value domain: all reachable blocks."""
+    bound = paxos_ballot_bound(n, max_rounds)
+    values = [INITIAL_BLOCK]
+    candidates = (NONE_VALUE,) + tuple(proposals)
+    for mbal in range(0, bound + 1):
+        for bal in range(0, bound + 1):
+            if bal > mbal:
+                continue
+            for inp in candidates:
+                values.append((mbal, bal, inp))
+    return tuple(dict.fromkeys(values))
+
+
+def shared_paxos_system(
+    n: int,
+    max_rounds: int = 4,
+    proposals: Sequence[Hashable] = (0, 1),
+    omega_arbitrary_leaders: Sequence | None = None,
+) -> DistributedSystem:
+    """Build the full Paxos + Omega system.
+
+    ``max_rounds`` bounds each process's retry attempts (keeping register
+    value domains finite); liveness needs Omega to stabilize within the
+    bound, which its fair mode switch guarantees in practice.
+    """
+    endpoints = tuple(range(n))
+    omega = OmegaFailureDetector(
+        "omega",
+        endpoints=endpoints,
+        resilience=n - 1,
+        arbitrary_leaders=omega_arbitrary_leaders,
+    )
+    block_values = _block_values(n, max_rounds, proposals)
+    registers = [
+        CanonicalRegister(
+            block_register_id(q),
+            endpoints=endpoints,
+            values=block_values,
+            initial=INITIAL_BLOCK,
+        )
+        for q in endpoints
+    ] + [
+        CanonicalRegister(
+            DECIDED_REGISTER,
+            endpoints=endpoints,
+            values=(NONE_VALUE,) + tuple(proposals),
+            initial=NONE_VALUE,
+        )
+    ]
+    processes = [
+        LeaderGatedPaxosProcess(p, n, max_rounds, proposals) for p in endpoints
+    ]
+    return DistributedSystem(processes, services=[omega], registers=registers)
+
+
+class EvPGatedPaxosProcess(PaxosProcess):
+    """Paxos participant whose leadership comes from <>P suspicions.
+
+    The leader rule is "least endpoint I do not currently suspect".
+    While <>P is imperfect, suspicions may be arbitrary — several
+    processes may consider themselves leader and contend (ballots
+    abort); safety is unaffected (Disk Paxos).  Once the fair mode
+    switch makes reports exact, everyone's unsuspected-minimum converges
+    to the least correct process, and its attempts stop aborting.
+    """
+
+    def __init__(
+        self,
+        endpoint: int,
+        n: int,
+        max_rounds: int,
+        proposals=(0, 1),
+    ) -> None:
+        super().__init__(endpoint, n, max_rounds, proposals)
+        # Replace the omega connection with the <>P detector's id.
+        self.connections = (self.connections - {"omega"}) | {"evP"}
+
+    def handle_input(self, locals_value: PaxosLocals, action: Action):
+        if action.kind == "respond":
+            service, _, response = action.args
+            if isinstance(response, tuple) and response[0] == "suspect":
+                alive = [
+                    q for q in range(self.n) if q not in response[1]
+                ]
+                leader = min(alive) if alive else None
+                locals_value = replace(locals_value, leader=leader)
+                if (
+                    locals_value.phase == "learn"
+                    and locals_value.proposal is not None
+                    and leader == self.endpoint
+                    and locals_value.round < self.max_rounds
+                ):
+                    return replace(locals_value, phase="propose")
+                return locals_value
+        updated = super().handle_input(locals_value, action)
+        if (
+            updated.phase == "learn"
+            and updated.proposal is not None
+            and updated.leader == self.endpoint
+            and updated.round < self.max_rounds
+        ):
+            return replace(updated, phase="propose")
+        return updated
+
+
+def shared_paxos_with_evp_system(
+    n: int,
+    max_rounds: int = 5,
+    proposals=(0, 1),
+    arbitrary_suspicions=None,
+) -> DistributedSystem:
+    """Shared-memory Paxos with <>P-derived leadership.
+
+    Identical register fabric to :func:`shared_paxos_system`, but the
+    failure-aware service is the paper's eventually perfect detector of
+    Figs. 10-11 rather than Omega — demonstrating that ANY detector
+    whose reports eventually become exact suffices for liveness here.
+    """
+    from ..services.failure_detectors import EventuallyPerfectFailureDetector
+
+    endpoints = tuple(range(n))
+    detector = EventuallyPerfectFailureDetector(
+        "evP",
+        endpoints=endpoints,
+        resilience=n - 1,
+        arbitrary_suspicions=arbitrary_suspicions,
+    )
+    block_values = _block_values(n, max_rounds, proposals)
+    registers = [
+        CanonicalRegister(
+            block_register_id(q),
+            endpoints=endpoints,
+            values=block_values,
+            initial=INITIAL_BLOCK,
+        )
+        for q in endpoints
+    ] + [
+        CanonicalRegister(
+            DECIDED_REGISTER,
+            endpoints=endpoints,
+            values=(NONE_VALUE,) + tuple(proposals),
+            initial=NONE_VALUE,
+        )
+    ]
+    processes = [
+        EvPGatedPaxosProcess(p, n, max_rounds, proposals) for p in endpoints
+    ]
+    return DistributedSystem(
+        processes, services=[detector], registers=registers
+    )

@@ -1,0 +1,324 @@
+"""Wait-free atomic snapshot from registers (Afek et al. 1993).
+
+The complement to the impossibility results: registers alone cannot give
+consensus (the FLP instance of Theorem 2), but they CAN give an atomic
+*snapshot* — an object whose ``scan`` returns an instantaneous view of
+all per-process segments.  Implementing the classic construction inside
+the framework demonstrates the positive side of the register frontier,
+and gives the linearizability checker a nontrivial workout.
+
+Construction (the unbounded-sequence-number version):
+
+* each process owns one register holding ``(value, seq, embedded_view)``;
+* ``update(v)``: perform an (internal) scan, then write
+  ``(v, seq + 1, that_view)``;
+* ``scan()``: repeat double collects (read every register twice):
+
+  * if the two collects are identical, return the collected values — a
+    linearization point lies between the collects;
+  * else, any process whose ``seq`` advanced *twice* since the scan
+    began performed a complete ``update`` inside this scan, so its
+    embedded view is a valid snapshot taken inside the interval: borrow
+    it.
+
+Wait-freedom: after at most ``n + 1`` double collects some process has
+moved twice, so every operation finishes in a bounded number of its own
+steps regardless of crashes.
+
+The implemented object's events are emitted under ``SNAPSHOT_ID`` and
+checked against the snapshot sequential type by the Herlihy-Wing
+linearizability checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Hashable, Mapping, Sequence
+
+from ..ioa.actions import Action, invoke
+from ..services.register import CanonicalRegister, read, write
+from ..system.process import Process
+from ..system.system import DistributedSystem
+from ..types.sequential import SequentialType
+
+#: Virtual service id for the implemented snapshot object's events.
+SNAPSHOT_ID = "snapshot"
+
+
+def segment_register_id(endpoint: Hashable) -> tuple:
+    """The register holding ``endpoint``'s snapshot segment."""
+    return ("segment", endpoint)
+
+
+def snapshot_type(
+    endpoints: Sequence, values: Sequence, initial: Hashable = 0
+) -> SequentialType:
+    """The atomic snapshot sequential type.
+
+    The object's value is the vector of per-endpoint segments; ``update``
+    at endpoint ``i`` sets component ``i`` (by construction, only ``i``
+    invokes its own update); ``scan`` returns the whole vector.
+    """
+    endpoints = tuple(endpoints)
+    index_of = {endpoint: position for position, endpoint in enumerate(endpoints)}
+
+    def delta(invocation, value):
+        if isinstance(invocation, tuple) and invocation[0] == "update":
+            _, endpoint, new_segment = invocation
+            vector = list(value)
+            vector[index_of[endpoint]] = new_segment
+            return ((("ack",), tuple(vector)),)
+        if invocation == ("scan",):
+            return ((("view", value), value),)
+        raise ValueError(f"snapshot: unknown invocation {invocation!r}")
+
+    return SequentialType(
+        name="atomic-snapshot",
+        initial_values=(tuple(initial for _ in endpoints),),
+        invocations=tuple(
+            ("update", endpoint, value)
+            for endpoint in endpoints
+            for value in values
+        )
+        + (("scan",),),
+        responses=(("ack",),)
+        + tuple(
+            ("view", vector)
+            for vector in _vectors(len(endpoints), tuple(values) + (initial,))
+        ),
+        delta=delta,
+    )
+
+
+def _vectors(length: int, values: Sequence) -> list[tuple]:
+    values = tuple(dict.fromkeys(values))
+    if length == 0:
+        return [()]
+    shorter = _vectors(length - 1, values)
+    return [vector + (value,) for vector in shorter for value in values]
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotLocals:
+    """Immutable local state of a snapshot participant."""
+
+    phase: str
+    op_index: int
+    seq: int
+    pending_value: Hashable | None  # value of an in-flight update
+    first_collect: tuple | None  # previous collect, or None
+    current_collect: tuple  # records gathered this pass
+    cursor: int
+    baseline: tuple | None  # seqs at scan start (for moved-twice)
+    result: tuple | None
+
+
+#: A collect entry: (value, seq, embedded_view) per endpoint.
+INITIAL_RECORD = (0, 0, None)
+
+
+class SnapshotProcess(Process):
+    """One participant running scripted ``update``/``scan`` operations."""
+
+    def __init__(
+        self,
+        endpoint: Hashable,
+        all_endpoints: Sequence[Hashable],
+        script: Sequence,
+    ) -> None:
+        self.all_endpoints = tuple(all_endpoints)
+        self.script = tuple(script)
+        connections = [segment_register_id(q) for q in self.all_endpoints]
+        super().__init__(endpoint, connections=connections, input_values=())
+
+    def is_output(self, action: Action) -> bool:
+        if action.kind in ("invoke", "respond") and action.args[0] == SNAPSHOT_ID:
+            return action.args[1] == self.endpoint
+        return super().is_output(action)
+
+    def initial_locals(self):
+        phase = "announce" if self.script else "done"
+        return SnapshotLocals(
+            phase=phase,
+            op_index=0,
+            seq=0,
+            pending_value=None,
+            first_collect=None,
+            current_collect=(),
+            cursor=0,
+            baseline=None,
+            result=None,
+        )
+
+    # -- scan machinery ----------------------------------------------------------
+
+    def _start_collect(self, locals_value: SnapshotLocals) -> SnapshotLocals:
+        return replace(
+            locals_value, phase="collect", current_collect=(), cursor=0
+        )
+
+    def _finish_double_collect(self, locals_value: SnapshotLocals) -> SnapshotLocals:
+        first = locals_value.first_collect
+        second = locals_value.current_collect
+        if first is not None:
+            if tuple(r[1] for r in first) == tuple(r[1] for r in second):
+                # Clean double collect: the values are a snapshot.
+                return replace(
+                    locals_value,
+                    phase="scan-done",
+                    result=tuple(r[0] for r in second),
+                )
+            baseline = locals_value.baseline
+            for position, record in enumerate(second):
+                if record[1] >= baseline[position] + 2 and record[2] is not None:
+                    # Moved twice: borrow the embedded view.
+                    return replace(
+                        locals_value, phase="scan-done", result=record[2]
+                    )
+        new_baseline = locals_value.baseline
+        if new_baseline is None:
+            new_baseline = tuple(r[1] for r in second)
+        return self._start_collect(
+            replace(
+                locals_value, first_collect=second, baseline=new_baseline
+            )
+        )
+
+    # -- inputs --------------------------------------------------------------------
+
+    def handle_input(self, locals_value: SnapshotLocals, action: Action):
+        if action.kind != "respond" or locals_value.phase != "await-read":
+            if (
+                action.kind == "respond"
+                and locals_value.phase == "await-write"
+                and action.args[0] == segment_register_id(self.endpoint)
+            ):
+                return replace(locals_value, phase="update-done")
+            return locals_value
+        expected = segment_register_id(self.all_endpoints[locals_value.cursor])
+        service, _, response = action.args
+        if service != expected:
+            return locals_value
+        if not (isinstance(response, tuple) and response[0] == "value"):
+            return locals_value
+        record = response[1]
+        collected = locals_value.current_collect + (record,)
+        advanced = replace(
+            locals_value,
+            phase="collect",
+            current_collect=collected,
+            cursor=locals_value.cursor + 1,
+        )
+        if advanced.cursor == len(self.all_endpoints):
+            return self._finish_double_collect(advanced)
+        return advanced
+
+    # -- locally controlled steps ------------------------------------------------------
+
+    def next_action(self, locals_value: SnapshotLocals):
+        phase = locals_value.phase
+        if phase == "announce":
+            operation = self.script[locals_value.op_index]
+            if operation[0] == "update":
+                external = ("update", self.endpoint, operation[1])
+                pending = operation[1]
+            else:
+                external = ("scan",)
+                pending = None
+            return (
+                Action("invoke", (SNAPSHOT_ID, self.endpoint, external)),
+                self._start_collect(
+                    replace(
+                        locals_value,
+                        pending_value=pending,
+                        first_collect=None,
+                        baseline=None,
+                    )
+                ),
+            )
+        if phase == "collect":
+            target = segment_register_id(self.all_endpoints[locals_value.cursor])
+            return (
+                invoke(target, self.endpoint, read()),
+                replace(locals_value, phase="await-read"),
+            )
+        if phase == "scan-done":
+            if locals_value.pending_value is not None:
+                # The embedded scan of an update finished: write the record.
+                record = (
+                    locals_value.pending_value,
+                    locals_value.seq + 1,
+                    locals_value.result,
+                )
+                return (
+                    invoke(
+                        segment_register_id(self.endpoint),
+                        self.endpoint,
+                        write(record),
+                    ),
+                    replace(
+                        locals_value, phase="await-write", seq=locals_value.seq + 1
+                    ),
+                )
+            return (
+                Action(
+                    "respond",
+                    (SNAPSHOT_ID, self.endpoint, ("view", locals_value.result)),
+                ),
+                self._next_operation(locals_value),
+            )
+        if phase == "update-done":
+            return (
+                Action("respond", (SNAPSHOT_ID, self.endpoint, ("ack",))),
+                self._next_operation(locals_value),
+            )
+        return None, locals_value
+
+    def _next_operation(self, locals_value: SnapshotLocals) -> SnapshotLocals:
+        next_index = locals_value.op_index + 1
+        return replace(
+            locals_value,
+            phase="announce" if next_index < len(self.script) else "done",
+            op_index=next_index,
+            pending_value=None,
+            first_collect=None,
+            current_collect=(),
+            cursor=0,
+            baseline=None,
+            result=None,
+        )
+
+
+def snapshot_system(
+    scripts: Mapping[Hashable, Sequence], values: Sequence = (1, 2, 3)
+) -> DistributedSystem:
+    """Build the snapshot construction for the given per-process scripts.
+
+    Script entries are ``("update", v)`` or ``("scan",)``.
+    """
+    endpoints = tuple(scripts)
+    registers = [
+        CanonicalRegister(
+            segment_register_id(endpoint),
+            endpoints=endpoints,
+            values=(INITIAL_RECORD,),
+            initial=INITIAL_RECORD,
+            open_domain=True,
+        )
+        for endpoint in endpoints
+    ]
+    processes = [
+        SnapshotProcess(endpoint, endpoints, scripts[endpoint])
+        for endpoint in endpoints
+    ]
+    return DistributedSystem(processes, registers=registers)
+
+
+def snapshot_trace(execution) -> list[Action]:
+    """The implemented snapshot object's external events."""
+    return [
+        step.action
+        for step in execution.steps
+        if step.action.kind in ("invoke", "respond")
+        and step.action.args[0] == SNAPSHOT_ID
+    ]

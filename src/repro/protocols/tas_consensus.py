@@ -1,0 +1,156 @@
+"""Two-process consensus from one test&set object and registers.
+
+The paper's Section 2.1.4 notes that the notion of an f-resilient atomic
+object "enables composition of implementations: an implemented service
+can be seen as a canonical service in a higher-level implementation."
+This module exercises that remark with the classic consensus-number-2
+construction [Herlihy 1991]: a wait-free test&set object plus two
+wait-free registers implement wait-free binary consensus for two
+processes —
+
+* process ``i`` writes its proposal into its register, then invokes
+  ``test_and_set``;
+* the winner (who saw the old value 0) decides its own proposal;
+* the loser reads the winner's register and decides what it finds.
+
+The tests verify the construction three ways: the consensus axioms under
+exhaustive and randomized schedules with crashes, linearizability of the
+emitted history, and the paper's own implementation relation — the
+system's external trace is a trace of the canonical wait-free 2-process
+consensus object.
+
+Like the boosted failure detector, the implemented object's external
+events are emitted under a virtual service id so the whole system has
+exactly the canonical object's interface.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..ioa.actions import Action, decide, invoke
+from ..services.atomic import wait_free_atomic_object
+from ..services.register import CanonicalRegister, read, write
+from ..system.process import Process
+from ..system.system import DistributedSystem
+from ..types.registry import test_and_set_type
+
+#: Virtual id for the implemented consensus object's external events.
+IMPLEMENTED_ID = "consensus-from-tas"
+
+#: Register sentinel for "no proposal written yet".
+UNWRITTEN = "unwritten"
+
+
+def proposal_register_id(endpoint: Hashable) -> tuple:
+    """The register holding ``endpoint``'s proposal."""
+    return ("proposal", endpoint)
+
+
+class TASConsensusProcess(Process):
+    """One of the two participants of the test&set construction."""
+
+    def __init__(self, endpoint: int, peer: int) -> None:
+        self.peer = peer
+        super().__init__(
+            endpoint,
+            connections=(
+                "tas",
+                proposal_register_id(endpoint),
+                proposal_register_id(peer),
+            ),
+            input_values=(0, 1),
+        )
+
+    # The implemented object's events are additional outputs.
+    def is_output(self, action: Action) -> bool:
+        if action.kind in ("invoke", "respond") and action.args[0] == IMPLEMENTED_ID:
+            return action.args[1] == self.endpoint
+        return super().is_output(action)
+
+    # locals = (phase, proposal)
+    def initial_locals(self):
+        return ("idle", None)
+
+    def handle_input(self, locals_value, action: Action):
+        phase, proposal = locals_value
+        if action.kind == "init" and phase == "idle":
+            return ("announce", action.args[1])
+        if action.kind != "respond":
+            return locals_value
+        service, _, response = action.args
+        if phase == "await-write" and service == proposal_register_id(self.endpoint):
+            return ("contend", proposal)
+        if phase == "await-tas" and service == "tas":
+            if isinstance(response, tuple) and response[0] == "old":
+                if response[1] == 0:
+                    return ("win", proposal)  # first to the object
+                return ("fetch-peer", proposal)
+        if phase == "await-peer" and service == proposal_register_id(self.peer):
+            if isinstance(response, tuple) and response[0] == "value":
+                return ("lose", response[1])
+        return locals_value
+
+    def next_action(self, locals_value):
+        phase, proposal = locals_value
+        if phase == "announce":
+            return (
+                Action("invoke", (IMPLEMENTED_ID, self.endpoint, ("init", proposal))),
+                ("publish", proposal),
+            )
+        if phase == "publish":
+            return (
+                invoke(
+                    proposal_register_id(self.endpoint),
+                    self.endpoint,
+                    write(proposal),
+                ),
+                ("await-write", proposal),
+            )
+        if phase == "contend":
+            return (
+                invoke("tas", self.endpoint, ("test_and_set",)),
+                ("await-tas", proposal),
+            )
+        if phase == "fetch-peer":
+            return (
+                invoke(proposal_register_id(self.peer), self.endpoint, read()),
+                ("await-peer", proposal),
+            )
+        if phase in ("win", "lose"):
+            return (
+                Action(
+                    "respond",
+                    (IMPLEMENTED_ID, self.endpoint, ("decide", proposal)),
+                ),
+                ("conclude", proposal),
+            )
+        if phase == "conclude":
+            return decide(self.endpoint, proposal), ("done", proposal)
+        return None, locals_value
+
+
+def tas_consensus_system() -> DistributedSystem:
+    """The full construction: test&set + two proposal registers."""
+    tas = wait_free_atomic_object(test_and_set_type(), (0, 1), service_id="tas")
+    registers = [
+        CanonicalRegister(
+            proposal_register_id(i),
+            endpoints=(0, 1),
+            values=(UNWRITTEN, 0, 1),
+            initial=UNWRITTEN,
+        )
+        for i in (0, 1)
+    ]
+    processes = [TASConsensusProcess(0, 1), TASConsensusProcess(1, 0)]
+    return DistributedSystem(processes, services=[tas], registers=registers)
+
+
+def implemented_consensus_trace(execution) -> list[Action]:
+    """The implemented object's external events along an execution."""
+    return [
+        step.action
+        for step in execution.steps
+        if step.action.kind in ("invoke", "respond")
+        and step.action.args[0] == IMPLEMENTED_ID
+    ]

@@ -1,0 +1,193 @@
+"""Herlihy's universal construction from consensus objects.
+
+The paper motivates its focus on consensus by universality: "an atomic
+object of any sequential type can be implemented in a wait-free manner
+... using wait-free consensus objects" [Herlihy 1991], which is what
+makes the impossibility of boosting consensus resilience the central
+question.  This module implements the construction, so the claim is part
+of the reproduction rather than background lore:
+
+* a sequence of **wait-free multivalued consensus objects**
+  ``cons[0], cons[1], ...`` decides, slot by slot, a single global order
+  of operation descriptors;
+* each process keeps a **local replica** of the implemented object's
+  value; to apply an operation it proposes its descriptor to the next
+  undecided slot, folds whatever descriptor *wins* into its replica, and
+  moves on, until its own descriptor wins a slot — at which point the
+  replica yields its response;
+* every process folds every decided slot in the same order, so replicas
+  agree and responses are consistent with ONE sequential execution of
+  the implemented type: the emitted history is linearizable, which the
+  tests verify with the independent Herlihy-Wing checker.
+
+Wait-freedom is inherited from the inner objects: a process never waits
+for any other process, only for its own (wait-free) consensus responses.
+
+Descriptors are ``(endpoint, operation_index, invocation)`` triples —
+globally unique, so "my descriptor won" is unambiguous.  The construction
+uses one consensus object per operation (the finite-instance analogue of
+the paper's "infinite number of wait-free consensus objects").
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from ..ioa.actions import Action, invoke
+from ..services.atomic import wait_free_atomic_object
+from ..system.process import Process
+from ..system.system import DistributedSystem
+from ..types.registry import consensus_type
+from ..types.sequential import SequentialType
+
+#: Virtual service id under which the implemented object's external
+#: events (invocations and responses) are emitted, so the whole system's
+#: trace can be checked against the implemented sequential type.
+UNIVERSAL_ID = "universal"
+
+
+def slot_id(slot: int) -> tuple:
+    """The id of the consensus object deciding linearization slot ``slot``."""
+    return ("slot", slot)
+
+
+def descriptor(endpoint: Hashable, operation_index: int, invocation) -> tuple:
+    """The globally unique descriptor of one operation."""
+    return (endpoint, operation_index, invocation)
+
+
+class UniversalProcess(Process):
+    """One participant of the universal construction.
+
+    ``script`` is the sequence of invocations this process will apply to
+    the implemented object.  The process announces each operation with a
+    virtual ``invoke(UNIVERSAL_ID, i, a)`` output, races it through the
+    slot consensus objects, and announces the computed response with a
+    virtual ``respond(UNIVERSAL_ID, i, b)`` output.
+    """
+
+    def __init__(
+        self,
+        endpoint: Hashable,
+        script: Sequence,
+        implemented_type: SequentialType,
+        total_slots: int,
+    ) -> None:
+        self.script = tuple(script)
+        self.implemented_type = implemented_type
+        self.total_slots = total_slots
+        connections = [slot_id(slot) for slot in range(total_slots)]
+        super().__init__(endpoint, connections=connections, input_values=())
+
+    # Virtual external events of the implemented object.
+    def is_output(self, action: Action) -> bool:
+        if action.kind in ("invoke", "respond") and action.args[0] == UNIVERSAL_ID:
+            return action.args[1] == self.endpoint
+        return super().is_output(action)
+
+    # locals = (phase, op_index, slot, replica_value, response?)
+    #   phase in {"announce", "propose", "await", "emit", "done"}
+    def initial_locals(self):
+        initial_value = self.implemented_type.initial_values[0]
+        if not self.script:
+            return ("done", 0, 0, initial_value, None)
+        return ("announce", 0, 0, initial_value, None)
+
+    def handle_input(self, locals_value, action: Action):
+        phase, op_index, slot, replica, response = locals_value
+        if action.kind != "respond" or phase != "await":
+            return locals_value
+        service, _, payload = action.args
+        if service != slot_id(slot):
+            return locals_value
+        if not (isinstance(payload, tuple) and payload[0] == "decide"):
+            return locals_value
+        winner = payload[1]
+        # Fold the winning operation into the local replica.
+        winner_endpoint, winner_index, winner_invocation = winner
+        outcome_response, new_replica = self.implemented_type.apply_deterministic(
+            winner_invocation, replica
+        )
+        own = descriptor(self.endpoint, op_index, self.script[op_index])
+        if winner == own:
+            # Our operation took effect at this slot: its response is
+            # the replica's answer here.
+            return ("emit", op_index, slot + 1, new_replica, outcome_response)
+        # Someone else's operation occupied the slot: keep racing.
+        return ("propose", op_index, slot + 1, new_replica, None)
+
+    def next_action(self, locals_value):
+        phase, op_index, slot, replica, response = locals_value
+        if phase == "announce":
+            invocation = self.script[op_index]
+            return (
+                Action("invoke", (UNIVERSAL_ID, self.endpoint, invocation)),
+                ("propose", op_index, slot, replica, None),
+            )
+        if phase == "propose":
+            if slot >= self.total_slots:
+                # Out of slots (cannot happen when total_slots >= total
+                # operations, since each slot is won by exactly one op).
+                return None, ("done", op_index, slot, replica, None)
+            own = descriptor(self.endpoint, op_index, self.script[op_index])
+            return (
+                invoke(slot_id(slot), self.endpoint, ("init", own)),
+                ("await", op_index, slot, replica, None),
+            )
+        if phase == "emit":
+            next_phase = (
+                ("announce", op_index + 1, slot, replica, None)
+                if op_index + 1 < len(self.script)
+                else ("done", op_index + 1, slot, replica, None)
+            )
+            return (
+                Action("respond", (UNIVERSAL_ID, self.endpoint, response)),
+                next_phase,
+            )
+        return None, locals_value
+
+    @staticmethod
+    def replica_value(locals_value):
+        """The process's current replica of the implemented object."""
+        return locals_value[3]
+
+
+def universal_object_system(
+    implemented_type: SequentialType,
+    scripts: Mapping[Hashable, Sequence],
+) -> DistributedSystem:
+    """Build the universal construction for the given per-process scripts.
+
+    ``implemented_type`` must be deterministic (replicas fold decided
+    operations independently and must agree).  One wait-free multivalued
+    consensus object is created per operation; its proposal universe is
+    the set of all descriptors.
+    """
+    endpoints = tuple(scripts)
+    total_slots = sum(len(script) for script in scripts.values())
+    descriptors = tuple(
+        descriptor(endpoint, index, invocation)
+        for endpoint in endpoints
+        for index, invocation in enumerate(scripts[endpoint])
+    )
+    services = [
+        wait_free_atomic_object(
+            consensus_type(descriptors), endpoints, service_id=slot_id(slot)
+        )
+        for slot in range(total_slots)
+    ]
+    processes = [
+        UniversalProcess(endpoint, scripts[endpoint], implemented_type, total_slots)
+        for endpoint in endpoints
+    ]
+    return DistributedSystem(processes, services=services)
+
+
+def implemented_trace(execution) -> list[Action]:
+    """The implemented object's external events along an execution."""
+    return [
+        step.action
+        for step in execution.steps
+        if step.action.kind in ("invoke", "respond")
+        and step.action.args[0] == UNIVERSAL_ID
+    ]

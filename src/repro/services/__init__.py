@@ -1,0 +1,92 @@
+"""Canonical services (paper Figs. 1, 4-11).
+
+Every service automaton the paper defines, implemented over the I/O
+automaton substrate: atomic objects, reliable registers, failure-
+oblivious services (with totally ordered broadcast as the worked
+example), general services, and the two failure detectors P and <>P.
+"""
+
+from .atomic import CanonicalAtomicObject, wait_free_atomic_object
+from .base import CanonicalServiceBase, ServiceState
+from .broadcast import (
+    DELIVERY_TASK,
+    TotallyOrderedBroadcast,
+    bcast,
+    delivered_sequence,
+    is_prefix,
+    rcv,
+    totally_ordered_broadcast_type,
+)
+from .failure_detectors import (
+    IMPERFECT,
+    LEADER,
+    MODE_SWITCH_TASK,
+    PERFECT,
+    EventuallyPerfectFailureDetector,
+    OmegaFailureDetector,
+    PerfectFailureDetector,
+    eventually_perfect_failure_detector_type,
+    leader_of,
+    leaders_in_trace,
+    omega_type,
+    perfect_failure_detector_type,
+    suspect,
+    suspicions_in_trace,
+)
+from .general import CanonicalGeneralService, oblivious_service_as_general
+from .network import (
+    AsynchronousNetwork,
+    Channel,
+    channel_id,
+    deliver,
+    deliveries_in_trace,
+    network_type,
+    send,
+)
+from .oblivious import (
+    CanonicalFailureObliviousService,
+    atomic_object_as_oblivious_service,
+)
+from .register import CanonicalRegister, read, write
+
+__all__ = [
+    "AsynchronousNetwork",
+    "CanonicalAtomicObject",
+    "CanonicalFailureObliviousService",
+    "CanonicalGeneralService",
+    "CanonicalRegister",
+    "CanonicalServiceBase",
+    "Channel",
+    "DELIVERY_TASK",
+    "EventuallyPerfectFailureDetector",
+    "IMPERFECT",
+    "LEADER",
+    "MODE_SWITCH_TASK",
+    "OmegaFailureDetector",
+    "PERFECT",
+    "PerfectFailureDetector",
+    "ServiceState",
+    "TotallyOrderedBroadcast",
+    "atomic_object_as_oblivious_service",
+    "bcast",
+    "channel_id",
+    "deliver",
+    "deliveries_in_trace",
+    "delivered_sequence",
+    "eventually_perfect_failure_detector_type",
+    "is_prefix",
+    "leader_of",
+    "leaders_in_trace",
+    "network_type",
+    "oblivious_service_as_general",
+    "omega_type",
+    "perfect_failure_detector_type",
+    "rcv",
+    "send",
+    "read",
+    "suspect",
+    "suspicions_in_trace",
+    "totally_ordered_broadcast_type",
+    "wait_free_atomic_object",
+    "write",
+]

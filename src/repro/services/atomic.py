@@ -1,0 +1,97 @@
+"""The canonical f-resilient atomic object (Fig. 1, Section 2.1.3).
+
+``CanonicalAtomicObject(T, J, f, k)`` exhibits *all* allowable behavior
+of an ``f``-resilient atomic (linearizable) object of sequential type
+``T`` at endpoint set ``J``:
+
+* invocations at each endpoint queue in a FIFO ``inv_buffer``;
+* an internal ``perform_{i,k}`` step consumes the head invocation at
+  endpoint ``i``, applies ``T.delta`` to the current value ``val``, and
+  queues the chosen response in ``resp_buffer(i)``;
+* an output ``b_{i,k}`` delivers the head response;
+* once endpoint ``i`` fails, or more than ``f`` endpoints fail, the
+  ``dummy_perform_{i,k}`` and ``dummy_output_{i,k}`` actions become
+  enabled, allowing (but not forcing) the object to stop serving —
+  under the I/O automaton fairness rule this is exactly
+  ``f``-resilience: the object may fall silent, but it never violates
+  the sequential type.
+
+The object is nondeterministic in two ways the paper points out:
+interleavings of steps for different endpoints, and nondeterminism of
+``T.delta`` itself (e.g. for k-set-consensus).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Sequence
+
+from ..types.sequential import SequentialType
+from ..types.service_type import ResponseMap, single_response
+from .base import CanonicalServiceBase, ServiceState
+
+
+class CanonicalAtomicObject(CanonicalServiceBase):
+    """The canonical f-resilient atomic object automaton of Fig. 1."""
+
+    def __init__(
+        self,
+        sequential_type: SequentialType,
+        endpoints: Sequence,
+        resilience: int,
+        service_id: Hashable,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(
+            service_id=service_id,
+            endpoints=endpoints,
+            resilience=resilience,
+            name=name if name is not None else f"atomic[{service_id}]",
+        )
+        self.sequential_type = sequential_type
+        self._response_set = frozenset(sequential_type.responses)
+
+    # -- subclass contract -----------------------------------------------------
+
+    def initial_values(self) -> Iterable[Hashable]:
+        return self.sequential_type.initial_values
+
+    def accepts_invocation(self, invocation: Any) -> bool:
+        return self.sequential_type.is_invocation(invocation)
+
+    def accepts_response(self, response: Any) -> bool:
+        return response in self._response_set
+
+    def perform_results(
+        self, state: ServiceState, endpoint, invocation
+    ) -> Sequence[tuple[ResponseMap, Hashable]]:
+        """Apply ``T.delta``: one response to the invoking endpoint."""
+        return tuple(
+            (single_response(endpoint, response), new_value)
+            for response, new_value in self.sequential_type.apply(
+                invocation, state.val
+            )
+        )
+
+    def compute_results(self, state: ServiceState, global_task):
+        raise ValueError("atomic objects have no global tasks")
+
+
+def wait_free_atomic_object(
+    sequential_type: SequentialType,
+    endpoints: Sequence,
+    service_id: Hashable,
+    name: str | None = None,
+) -> CanonicalAtomicObject:
+    """A wait-free (reliable) canonical atomic object.
+
+    Wait-free means ``(|J| - 1)``-resilient (Section 2.1.3): the object
+    keeps responding to every connected non-failed process regardless of
+    how many other connected processes fail.
+    """
+    return CanonicalAtomicObject(
+        sequential_type=sequential_type,
+        endpoints=endpoints,
+        resilience=len(tuple(endpoints)) - 1,
+        service_id=service_id,
+        name=name,
+    )

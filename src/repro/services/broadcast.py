@@ -1,0 +1,141 @@
+"""Totally ordered broadcast as a failure-oblivious service (Section 5.2).
+
+The paper's worked example of a failure-oblivious service that is *not*
+an atomic object: one ``bcast(m)`` invocation produces ``rcv(m, i)``
+responses at *every* endpoint, which no atomic object can express (one
+invocation, many responses).
+
+The service type ``U`` (Figs. 5-7):
+
+* ``val`` is a single ``msgs`` queue of ``(message, sender)`` pairs that
+  have been totally ordered; initially empty (Fig. 5);
+* ``delta1`` (Fig. 6) processes ``bcast(m)`` from endpoint ``i`` by
+  appending ``(m, i)`` to ``msgs`` — no responses yet;
+* ``delta2`` (Fig. 7) has a single global task ``g``: if ``msgs`` is
+  nonempty it pops the head ``(m, i)`` and appends ``rcv(m, i)`` to every
+  endpoint's response buffer; if empty it is a no-op (keeping ``delta2``
+  total).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from ..types.service_type import (
+    FailureObliviousServiceType,
+    ServiceResult,
+    broadcast_response,
+)
+from .oblivious import CanonicalFailureObliviousService
+
+#: The single global task name of the totally ordered broadcast service.
+DELIVERY_TASK = "g"
+
+
+def bcast(message: Hashable) -> tuple:
+    """The ``bcast(m)`` invocation."""
+    return ("bcast", message)
+
+
+def rcv(message: Hashable, sender) -> tuple:
+    """The ``rcv(m, i)`` response: receipt of ``m`` from sender ``i``."""
+    return ("rcv", message, sender)
+
+
+def totally_ordered_broadcast_type(
+    messages: Sequence[Hashable], endpoints: Sequence
+) -> FailureObliviousServiceType:
+    """The service type of Figs. 5-7 over a finite message alphabet ``M``."""
+    messages = tuple(messages)
+    endpoints = tuple(endpoints)
+
+    def delta1(invocation, endpoint, value) -> Sequence[ServiceResult]:
+        if not (isinstance(invocation, tuple) and invocation[0] == "bcast"):
+            raise ValueError(f"to-broadcast: unknown invocation {invocation!r}")
+        message = invocation[1]
+        # Fig. 6: add (m, i) to the end of msgs; B(j) empty for all j.
+        return (({}, value + ((message, endpoint),)),)
+
+    def delta2(global_task, value) -> Sequence[ServiceResult]:
+        if global_task != DELIVERY_TASK:
+            raise ValueError(f"to-broadcast: unknown global task {global_task!r}")
+        if not value:
+            # Fig. 7 case (b): msgs empty — no-op, keeping delta2 total.
+            return (({}, value),)
+        # Fig. 7 case (a): deliver head(msgs) to every endpoint.
+        message, sender = value[0]
+        return ((broadcast_response(endpoints, rcv(message, sender)), value[1:]),)
+
+    def member(invocation) -> bool:
+        return (
+            isinstance(invocation, tuple)
+            and len(invocation) == 2
+            and invocation[0] == "bcast"
+        )
+
+    return FailureObliviousServiceType(
+        name="totally-ordered-broadcast",
+        initial_values=((),),
+        invocations=tuple(bcast(message) for message in messages),
+        responses=tuple(
+            rcv(message, endpoint)
+            for message in messages
+            for endpoint in endpoints
+        ),
+        global_tasks=(DELIVERY_TASK,),
+        delta1=delta1,
+        delta2=delta2,
+        contains_invocation=member,
+    )
+
+
+class TotallyOrderedBroadcast(CanonicalFailureObliviousService):
+    """The canonical f-resilient totally ordered broadcast service.
+
+    An f-resilient failure-oblivious service for message alphabet ``M``,
+    endpoint set ``J``, and index ``k`` (Section 5.2).
+    """
+
+    def __init__(
+        self,
+        service_id: Hashable,
+        endpoints: Sequence,
+        messages: Sequence[Hashable],
+        resilience: int,
+        name: str | None = None,
+    ) -> None:
+        endpoints = tuple(endpoints)
+        super().__init__(
+            service_type=totally_ordered_broadcast_type(messages, endpoints),
+            endpoints=endpoints,
+            resilience=resilience,
+            service_id=service_id,
+            name=name if name is not None else f"tob[{service_id}]",
+        )
+
+
+def delivered_sequence(trace, endpoint, service_id) -> tuple:
+    """Extract the ``rcv`` responses delivered to ``endpoint`` from a trace.
+
+    Helper used by the total-order property checks: in every execution,
+    the sequences delivered at any two endpoints must be prefix-related
+    (one is a prefix of the other), and each must be a prefix of the
+    sequence in which messages were ordered.
+    """
+    deliveries = []
+    for action in trace:
+        if action.kind != "respond":
+            continue
+        service, target, response = action.args
+        if service != service_id or target != endpoint:
+            continue
+        if isinstance(response, tuple) and response[0] == "rcv":
+            deliveries.append((response[1], response[2]))
+    return tuple(deliveries)
+
+
+def is_prefix(shorter: Sequence, longer: Sequence) -> bool:
+    """True iff ``shorter`` is a prefix of ``longer``."""
+    return len(shorter) <= len(longer) and tuple(longer[: len(shorter)]) == tuple(
+        shorter
+    )

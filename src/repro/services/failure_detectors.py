@@ -1,0 +1,294 @@
+"""Failure detectors as general services (Section 6.2).
+
+The paper models two of the classical Chandra-Toueg failure detectors as
+canonical general services.  Both have an *empty* invocation set — their
+only inputs are ``fail_i`` actions — and push ``suspect(J')`` responses
+spontaneously through global compute tasks.
+
+As the paper notes, these automaton-based detectors capture the
+"time-independent" (realistic) subset of the classical model: output can
+depend only on the *order* of failures, never on timing or on future
+inputs.
+
+* **Perfect failure detector P** (Fig. 9): trivial internal value; one
+  global task per endpoint ``i``, whose compute step puts
+  ``suspect(failed)`` — the exact current failed set — into ``i``'s
+  response buffer.  P therefore never suspects a non-failed process
+  (strong accuracy) and, by task fairness, eventually reports every
+  failed process to every live endpoint (strong completeness), as long
+  as no more than ``f`` endpoints fail.
+
+* **Eventually perfect failure detector <>P** (Figs. 10-11): the value
+  is a ``mode`` in ``{imperfect, perfect}``, initially ``imperfect``.
+  While imperfect, the per-endpoint tasks may emit *arbitrary* suspect
+  sets; a background global task ``g`` eventually (by fairness) switches
+  the mode to ``perfect``, after which all reports are exact.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import FrozenSet, Hashable, Sequence
+
+from ..types.service_type import (
+    GeneralServiceType,
+    ServiceResult,
+    single_response,
+)
+from .general import CanonicalGeneralService
+
+IMPERFECT = "imperfect"
+PERFECT = "perfect"
+
+#: The mode-switching background task of <>P (Fig. 11).
+MODE_SWITCH_TASK = "g"
+
+
+def suspect(endpoints: FrozenSet | Sequence) -> tuple:
+    """The ``suspect(J')`` response carrying a set of suspected endpoints."""
+    return ("suspect", frozenset(endpoints))
+
+
+def _subsets(endpoints: Sequence) -> list[frozenset]:
+    """All subsets of ``endpoints`` (for <>P's arbitrary suspicions)."""
+    items = tuple(endpoints)
+    return [
+        frozenset(combo)
+        for combo in chain.from_iterable(
+            combinations(items, size) for size in range(len(items) + 1)
+        )
+    ]
+
+
+def _no_invocations(name: str):
+    def delta1(invocation, endpoint, value, failed) -> Sequence[ServiceResult]:
+        raise ValueError(f"{name} has no invocations (invs is empty)")
+
+    return delta1
+
+
+def perfect_failure_detector_type(endpoints: Sequence) -> GeneralServiceType:
+    """The service type of the perfect failure detector P (Fig. 9).
+
+    ``V`` contains one trivial state; ``glob = J``; ``delta2(i, v,
+    failed)`` puts ``suspect(failed)`` into ``i``'s response buffer and
+    nothing anywhere else.
+    """
+    endpoints = tuple(endpoints)
+
+    def delta2(global_task, value, failed) -> Sequence[ServiceResult]:
+        if global_task not in endpoints:
+            raise ValueError(f"P: unknown global task {global_task!r}")
+        return ((single_response(global_task, suspect(failed)), value),)
+
+    return GeneralServiceType(
+        name="perfect-failure-detector",
+        initial_values=("trivial",),
+        invocations=(),
+        responses=tuple(suspect(subset) for subset in _subsets(endpoints)),
+        global_tasks=endpoints,
+        delta1=_no_invocations("P"),
+        delta2=delta2,
+        contains_invocation=lambda invocation: False,
+    )
+
+
+def eventually_perfect_failure_detector_type(
+    endpoints: Sequence,
+    arbitrary_suspicions: Sequence[frozenset] | None = None,
+) -> GeneralServiceType:
+    """The service type of the eventually perfect detector <>P (Figs. 10-11).
+
+    ``val`` is the ``mode`` variable, initially ``imperfect``.  Task
+    ``i`` (one per endpoint) emits ``suspect(failed)`` when the mode is
+    perfect, and an arbitrary ``suspect(J')`` when imperfect
+    (``arbitrary_suspicions`` bounds the nondeterministic choice;
+    default: every subset of ``J``).  Task ``g`` switches the mode to
+    perfect; under task fairness the switch eventually happens, after
+    which all reports are recent and accurate.
+    """
+    endpoints = tuple(endpoints)
+    if arbitrary_suspicions is None:
+        arbitrary_suspicions = _subsets(endpoints)
+    arbitrary_suspicions = tuple(arbitrary_suspicions)
+
+    def delta2(global_task, value, failed) -> Sequence[ServiceResult]:
+        if global_task == MODE_SWITCH_TASK:
+            # Fig. 11: the background task's only job is the mode switch.
+            return (({}, PERFECT),)
+        if global_task not in endpoints:
+            raise ValueError(f"<>P: unknown global task {global_task!r}")
+        if value == PERFECT:
+            return ((single_response(global_task, suspect(failed)), value),)
+        # Imperfect mode: any suspicion set is allowed.
+        return tuple(
+            (single_response(global_task, suspect(subset)), value)
+            for subset in arbitrary_suspicions
+        )
+
+    return GeneralServiceType(
+        name="eventually-perfect-failure-detector",
+        initial_values=(IMPERFECT,),
+        invocations=(),
+        responses=tuple(suspect(subset) for subset in _subsets(endpoints)),
+        global_tasks=endpoints + (MODE_SWITCH_TASK,),
+        delta1=_no_invocations("<>P"),
+        delta2=delta2,
+        contains_invocation=lambda invocation: False,
+    )
+
+
+class PerfectFailureDetector(CanonicalGeneralService):
+    """An f-resilient perfect failure detector for ``J`` and ``k``."""
+
+    def __init__(
+        self,
+        service_id: Hashable,
+        endpoints: Sequence,
+        resilience: int,
+        name: str | None = None,
+    ) -> None:
+        endpoints = tuple(endpoints)
+        super().__init__(
+            service_type=perfect_failure_detector_type(endpoints),
+            endpoints=endpoints,
+            resilience=resilience,
+            service_id=service_id,
+            name=name if name is not None else f"P[{service_id}]",
+        )
+
+
+class EventuallyPerfectFailureDetector(CanonicalGeneralService):
+    """An f-resilient eventually perfect failure detector (<>P)."""
+
+    def __init__(
+        self,
+        service_id: Hashable,
+        endpoints: Sequence,
+        resilience: int,
+        arbitrary_suspicions: Sequence[frozenset] | None = None,
+        name: str | None = None,
+    ) -> None:
+        endpoints = tuple(endpoints)
+        super().__init__(
+            service_type=eventually_perfect_failure_detector_type(
+                endpoints, arbitrary_suspicions
+            ),
+            endpoints=endpoints,
+            resilience=resilience,
+            service_id=service_id,
+            name=name if name is not None else f"evP[{service_id}]",
+        )
+
+
+def suspicions_in_trace(trace, endpoint, service_id) -> list[frozenset]:
+    """All suspect sets delivered to ``endpoint`` by detector ``service_id``."""
+    reports = []
+    for action in trace:
+        if action.kind != "respond":
+            continue
+        service, target, response = action.args
+        if service != service_id or target != endpoint:
+            continue
+        if isinstance(response, tuple) and response[0] == "suspect":
+            reports.append(response[1])
+    return reports
+
+
+#: Response kind emitted by the Omega leader oracle.
+LEADER = "leader"
+
+
+def leader_of(endpoints, failed) -> Hashable:
+    """The stable-leader rule: the least non-failed endpoint.
+
+    Failures only accumulate, so once the mode is perfect the reported
+    leader changes at most once per further failure and eventually
+    stabilizes on the least *correct* endpoint.
+    """
+    alive = [endpoint for endpoint in endpoints if endpoint not in failed]
+    if not alive:
+        return None
+    return min(alive, key=str)
+
+
+def omega_type(
+    endpoints: Sequence,
+    arbitrary_leaders: Sequence | None = None,
+) -> GeneralServiceType:
+    """The Omega leader oracle as a general service type.
+
+    Omega eventually reports the same correct process to every endpoint
+    — the weakest failure detector for consensus [Chandra-Hadzilacos-
+    Toueg].  Modeled like <>P (Figs. 10-11): a ``mode`` value starts
+    ``imperfect`` (arbitrary leaders may be reported), and a background global
+    task switches it to ``perfect``, after which every report is the
+    least non-failed endpoint — which stabilizes because failures only
+    accumulate.
+
+    ``arbitrary_leaders`` bounds the imperfect-mode nondeterminism
+    (default: every endpoint).
+    """
+    endpoints = tuple(endpoints)
+    if arbitrary_leaders is None:
+        arbitrary_leaders = endpoints
+    arbitrary_leaders = tuple(arbitrary_leaders)
+
+    def delta2(global_task, value, failed) -> Sequence[ServiceResult]:
+        if global_task == MODE_SWITCH_TASK:
+            return (({}, PERFECT),)
+        if global_task not in endpoints:
+            raise ValueError(f"Omega: unknown global task {global_task!r}")
+        if value == PERFECT:
+            report = (LEADER, leader_of(endpoints, failed))
+            return ((single_response(global_task, report), value),)
+        return tuple(
+            (single_response(global_task, (LEADER, candidate)), value)
+            for candidate in arbitrary_leaders
+        )
+
+    return GeneralServiceType(
+        name="omega",
+        initial_values=(IMPERFECT,),
+        invocations=(),
+        responses=tuple((LEADER, e) for e in endpoints) + ((LEADER, None),),
+        global_tasks=endpoints + (MODE_SWITCH_TASK,),
+        delta1=_no_invocations("Omega"),
+        delta2=delta2,
+        contains_invocation=lambda invocation: False,
+    )
+
+
+class OmegaFailureDetector(CanonicalGeneralService):
+    """An f-resilient Omega leader oracle for ``J`` and ``k``."""
+
+    def __init__(
+        self,
+        service_id: Hashable,
+        endpoints: Sequence,
+        resilience: int,
+        arbitrary_leaders: Sequence | None = None,
+        name: str | None = None,
+    ) -> None:
+        endpoints = tuple(endpoints)
+        super().__init__(
+            service_type=omega_type(endpoints, arbitrary_leaders),
+            endpoints=endpoints,
+            resilience=resilience,
+            service_id=service_id,
+            name=name if name is not None else f"Omega[{service_id}]",
+        )
+
+
+def leaders_in_trace(trace, endpoint, service_id) -> list:
+    """All leader reports delivered to ``endpoint`` by ``service_id``."""
+    reports = []
+    for action in trace:
+        if action.kind != "respond":
+            continue
+        service, target, response = action.args
+        if service != service_id or target != endpoint:
+            continue
+        if isinstance(response, tuple) and response[0] == LEADER:
+            reports.append(response[1])
+    return reports

@@ -1,0 +1,97 @@
+"""The canonical f-resilient general service (Fig. 8, Section 6.1).
+
+A *general*, or potentially failure-aware, service drops the defining
+constraint of the failure-oblivious class: its ``delta1`` and ``delta2``
+relations receive the current ``failed`` set, so ``perform`` and
+``compute`` outcomes may depend on which processes have failed.  Failure
+detectors (Section 6.2) are the motivating examples.
+
+Everything else — buffers, dummy actions, the resilience semantics — is
+exactly as in the failure-oblivious service of Fig. 4; the only code
+difference is that the two transition relations are instantiated with
+``failed`` (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Sequence
+
+from ..types.service_type import (
+    FailureObliviousServiceType,
+    GeneralServiceType,
+    ResponseMap,
+    oblivious_as_general,
+)
+from .base import CanonicalServiceBase, ServiceState
+
+
+class CanonicalGeneralService(CanonicalServiceBase):
+    """The canonical f-resilient general service of Fig. 8."""
+
+    def __init__(
+        self,
+        service_type: GeneralServiceType,
+        endpoints: Sequence,
+        resilience: int,
+        service_id: Hashable,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(
+            service_id=service_id,
+            endpoints=endpoints,
+            resilience=resilience,
+            name=name if name is not None else f"general[{service_id}]",
+        )
+        self.service_type = service_type
+        self._response_set = frozenset(service_type.responses)
+
+    # -- subclass contract -----------------------------------------------------
+
+    def initial_values(self) -> Iterable[Hashable]:
+        return self.service_type.initial_values
+
+    def accepts_invocation(self, invocation: Any) -> bool:
+        return self.service_type.is_invocation(invocation)
+
+    def accepts_response(self, response: Any) -> bool:
+        return response in self._response_set
+
+    def global_task_names(self) -> tuple[Hashable, ...]:
+        return self.service_type.global_tasks
+
+    def perform_results(
+        self, state: ServiceState, endpoint, invocation
+    ) -> Sequence[tuple[ResponseMap, Hashable]]:
+        """Apply ``delta1(a, i, val, failed)`` — failure-aware (Fig. 8)."""
+        return self.service_type.apply_perform(
+            invocation, endpoint, state.val, state.failed
+        )
+
+    def compute_results(
+        self, state: ServiceState, global_task
+    ) -> Sequence[tuple[ResponseMap, Hashable]]:
+        """Apply ``delta2(g, val, failed)`` — failure-aware (Fig. 8)."""
+        return self.service_type.apply_compute(global_task, state.val, state.failed)
+
+
+def oblivious_service_as_general(
+    service_type: FailureObliviousServiceType,
+    endpoints: Sequence,
+    resilience: int,
+    service_id: Hashable,
+    name: str | None = None,
+) -> CanonicalGeneralService:
+    """A failure-oblivious service embedded as a general service.
+
+    Section 6.1 observes that ``CanonicalFailureObliviousService(U, ...)``
+    is the special case of ``CanonicalGeneralService(U', ...)`` in which
+    the lifted relations ignore the failed set.  The test suite verifies
+    step-for-step equivalence of the two automata.
+    """
+    return CanonicalGeneralService(
+        service_type=oblivious_as_general(service_type),
+        endpoints=endpoints,
+        resilience=resilience,
+        service_id=service_id,
+        name=name,
+    )

@@ -1,0 +1,152 @@
+"""Asynchronous reliable message passing as a failure-oblivious service.
+
+The paper's basic results first appeared in a technical report titled
+"Boosting Fault-tolerance in Asynchronous Message Passing Systems is
+Impossible" [Attie-Lynch-Rajsbaum 2002].  This module instantiates that
+original setting inside the unified framework: an asynchronous reliable
+FIFO network is a *failure-oblivious service* —
+
+* an invocation ``send(j, m)`` at endpoint ``i`` is performed by
+  appending a ``deliver(i, m)`` response to ``j``'s response buffer
+  (``delta1`` uses the invoking endpoint: precisely the extra power
+  failure-oblivious services have over atomic objects);
+* asynchrony comes for free from the model: the delay between ``send``
+  and ``deliver`` is the scheduling of the network's perform and output
+  tasks, so messages between different pairs race arbitrarily while each
+  ``(sender, receiver)`` pair stays FIFO (per-endpoint buffers are FIFO);
+* an ``f``-resilient network may fall silent once more than ``f`` of its
+  endpoints crash — and Theorem 9 therefore applies verbatim: processes
+  communicating only through an ``f``-resilient network (with any
+  reliable registers on the side) cannot solve ``(f+1)``-resilient
+  consensus, which is the 2002 report's claim as a corollary.
+
+The module also provides pairwise channels (one service per ordered
+pair), for topologies where different links have different resilience.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from ..types.service_type import FailureObliviousServiceType, ServiceResult
+from .oblivious import CanonicalFailureObliviousService
+
+
+def send(target: Hashable, message: Hashable) -> tuple:
+    """The ``send(j, m)`` invocation: transmit ``m`` to endpoint ``j``."""
+    return ("send", target, message)
+
+
+def deliver(sender: Hashable, message: Hashable) -> tuple:
+    """The ``deliver(i, m)`` response: receipt of ``m`` from ``i``."""
+    return ("deliver", sender, message)
+
+
+def network_type(
+    endpoints: Sequence, messages: Sequence
+) -> FailureObliviousServiceType:
+    """The service type of the asynchronous reliable FIFO network."""
+    endpoints = tuple(endpoints)
+    messages = tuple(messages)
+
+    def delta1(invocation, endpoint, value) -> Sequence[ServiceResult]:
+        if not (isinstance(invocation, tuple) and invocation[0] == "send"):
+            raise ValueError(f"network: unknown invocation {invocation!r}")
+        _, target, message = invocation
+        if target not in endpoints:
+            # Sends to unknown targets vanish (still a legal, total step).
+            return (({}, value),)
+        return (({target: (deliver(endpoint, message),)}, value),)
+
+    def delta2(global_task, value) -> Sequence[ServiceResult]:
+        raise ValueError("network has no global tasks")
+
+    def member(invocation) -> bool:
+        return (
+            isinstance(invocation, tuple)
+            and len(invocation) == 3
+            and invocation[0] == "send"
+        )
+
+    return FailureObliviousServiceType(
+        name="async-network",
+        initial_values=((),),  # the network keeps no value state
+        invocations=tuple(
+            send(target, message) for target in endpoints for message in messages
+        ),
+        responses=tuple(
+            deliver(sender, message)
+            for sender in endpoints
+            for message in messages
+        ),
+        global_tasks=(),
+        delta1=delta1,
+        delta2=delta2,
+        contains_invocation=member,
+    )
+
+
+class AsynchronousNetwork(CanonicalFailureObliviousService):
+    """An f-resilient asynchronous reliable FIFO network service."""
+
+    def __init__(
+        self,
+        service_id: Hashable,
+        endpoints: Sequence,
+        messages: Sequence,
+        resilience: int,
+        name: str | None = None,
+    ) -> None:
+        endpoints = tuple(endpoints)
+        super().__init__(
+            service_type=network_type(endpoints, messages),
+            endpoints=endpoints,
+            resilience=resilience,
+            service_id=service_id,
+            name=name if name is not None else f"net[{service_id}]",
+        )
+
+
+def channel_id(sender: Hashable, receiver: Hashable) -> tuple:
+    """The id of the directed channel ``sender -> receiver``."""
+    return ("chan", sender, receiver)
+
+
+class Channel(CanonicalFailureObliviousService):
+    """A single directed FIFO channel as a 2-endpoint network.
+
+    Pairwise channels let a system give different links different
+    resilience — the "arbitrary connection pattern" freedom Theorems 2
+    and 9 explicitly allow.
+    """
+
+    def __init__(
+        self,
+        sender: Hashable,
+        receiver: Hashable,
+        messages: Sequence,
+        resilience: int = 1,
+        name: str | None = None,
+    ) -> None:
+        endpoints = (sender, receiver)
+        super().__init__(
+            service_type=network_type(endpoints, messages),
+            endpoints=endpoints,
+            resilience=resilience,
+            service_id=channel_id(sender, receiver),
+            name=name if name is not None else f"chan[{sender}->{receiver}]",
+        )
+
+
+def deliveries_in_trace(trace, endpoint, service_id) -> list[tuple]:
+    """The ``(sender, message)`` pairs delivered to ``endpoint``."""
+    received = []
+    for action in trace:
+        if action.kind != "respond":
+            continue
+        service, target, response = action.args
+        if service != service_id or target != endpoint:
+            continue
+        if isinstance(response, tuple) and response[0] == "deliver":
+            received.append((response[1], response[2]))
+    return received

@@ -1,0 +1,108 @@
+"""The canonical f-resilient failure-oblivious service (Fig. 4, Section 5.1).
+
+A failure-oblivious service generalizes an atomic object in three ways:
+
+* a ``perform`` step may depend on *which* endpoint's invocation buffer
+  is being serviced (``delta1`` takes the endpoint);
+* a ``perform`` step may place any number of responses in any subset of
+  the response buffers (its result is a *response map*), instead of just
+  one response to the invoker;
+* the service has spontaneous ``compute`` steps driven by *global
+  tasks*, not triggered by any invocation, which may likewise deliver
+  responses to any endpoints.
+
+The key constraint — the defining property of the class — is that no
+``perform`` or ``compute`` outcome may depend on knowledge of failure
+events: ``delta1`` and ``delta2`` do not see the ``failed`` set.  The
+``failed`` set influences only the *dummy* actions that let the service
+fall silent once resilience is exceeded (Fig. 4): a ``dummy_compute`` is
+enabled when more than ``f`` endpoints have failed or all endpoints have
+failed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Sequence
+
+from ..types.service_type import (
+    FailureObliviousServiceType,
+    ResponseMap,
+    from_sequential,
+)
+from ..types.sequential import SequentialType
+from .base import CanonicalServiceBase, ServiceState
+
+
+class CanonicalFailureObliviousService(CanonicalServiceBase):
+    """The canonical f-resilient failure-oblivious service of Fig. 4."""
+
+    def __init__(
+        self,
+        service_type: FailureObliviousServiceType,
+        endpoints: Sequence,
+        resilience: int,
+        service_id: Hashable,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(
+            service_id=service_id,
+            endpoints=endpoints,
+            resilience=resilience,
+            name=name if name is not None else f"oblivious[{service_id}]",
+        )
+        self.service_type = service_type
+        self._response_set = frozenset(service_type.responses)
+
+    # -- subclass contract -----------------------------------------------------
+
+    def initial_values(self) -> Iterable[Hashable]:
+        return self.service_type.initial_values
+
+    def accepts_invocation(self, invocation: Any) -> bool:
+        return self.service_type.is_invocation(invocation)
+
+    def accepts_response(self, response: Any) -> bool:
+        return response in self._response_set
+
+    def global_task_names(self) -> tuple[Hashable, ...]:
+        return self.service_type.global_tasks
+
+    def perform_results(
+        self, state: ServiceState, endpoint, invocation
+    ) -> Sequence[tuple[ResponseMap, Hashable]]:
+        """Apply ``delta1(a, i, val)`` — failure-oblivious by construction.
+
+        Note that ``state.failed`` is deliberately not passed: the class
+        constraint is enforced structurally, not by convention.
+        """
+        return self.service_type.apply_perform(invocation, endpoint, state.val)
+
+    def compute_results(
+        self, state: ServiceState, global_task
+    ) -> Sequence[tuple[ResponseMap, Hashable]]:
+        """Apply ``delta2(g, val)`` — again without the failed set."""
+        return self.service_type.apply_compute(global_task, state.val)
+
+
+def atomic_object_as_oblivious_service(
+    sequential_type: SequentialType,
+    endpoints: Sequence,
+    resilience: int,
+    service_id: Hashable,
+    name: str | None = None,
+) -> CanonicalFailureObliviousService:
+    """The atomic object of type ``T`` as a failure-oblivious service.
+
+    Section 5.1 observes that ``CanonicalAtomicObject(T, J, f, k)`` is a
+    special case of ``CanonicalFailureObliviousService(U, J, f, k)`` where
+    ``U`` is derived from ``T`` by :func:`repro.types.from_sequential`.
+    The test suite verifies that the two automata are step-for-step
+    equivalent.
+    """
+    return CanonicalFailureObliviousService(
+        service_type=from_sequential(sequential_type),
+        endpoints=endpoints,
+        resilience=resilience,
+        service_id=service_id,
+        name=name,
+    )

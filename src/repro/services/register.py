@@ -1,0 +1,65 @@
+"""Canonical reliable registers (Section 2.1.3).
+
+A *canonical register* is a canonical atomic object whose sequential
+type is read/write; the paper assumes registers to be reliable, i.e.
+wait-free: ``(|J| - 1)``-resilient multi-writer multi-reader registers.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from ..types.registry import read_write_type
+from ..types.sequential import Value
+from .atomic import CanonicalAtomicObject
+
+
+class CanonicalRegister(CanonicalAtomicObject):
+    """A canonical wait-free multi-writer multi-reader register.
+
+    ``values`` is the *sample* of the value domain used for enumerating
+    analyses; writes of any hashable value are always accepted (the
+    read/write type's invocation set is open).  With ``open_domain=True``
+    the response signature is opened too, so registers can carry
+    structured values (sequence-numbered records, embedded views, ...)
+    without enumerating the full domain — used by constructions like the
+    atomic snapshot whose register contents grow structurally.
+    """
+
+    def __init__(
+        self,
+        register_id: Hashable,
+        endpoints: Sequence,
+        values: Sequence[Value],
+        initial: Value | None = None,
+        name: str | None = None,
+        open_domain: bool = False,
+    ) -> None:
+        endpoints = tuple(endpoints)
+        self.open_domain = open_domain
+        super().__init__(
+            sequential_type=read_write_type(values, initial),
+            endpoints=endpoints,
+            resilience=len(endpoints) - 1,
+            service_id=register_id,
+            name=name if name is not None else f"register[{register_id}]",
+        )
+
+    def accepts_response(self, response) -> bool:
+        if self.open_domain:
+            return response == ("ack",) or (
+                isinstance(response, tuple)
+                and len(response) == 2
+                and response[0] == "value"
+            )
+        return super().accepts_response(response)
+
+
+def read() -> tuple:
+    """The ``read`` invocation of a register."""
+    return ("read",)
+
+
+def write(value: Value) -> tuple:
+    """The ``write(v)`` invocation of a register."""
+    return ("write", value)

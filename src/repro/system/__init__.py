@@ -1,0 +1,26 @@
+"""The system model of Section 2.2: processes, the composition C, faults."""
+
+from .faults import (
+    FailureSchedule,
+    all_failure_sets,
+    no_failures,
+    random_failures,
+    spread_failures,
+    upfront_failures,
+)
+from .process import IdleProcess, Process, ProcessState, ScriptProcess
+from .system import DistributedSystem
+
+__all__ = [
+    "DistributedSystem",
+    "FailureSchedule",
+    "IdleProcess",
+    "Process",
+    "ProcessState",
+    "ScriptProcess",
+    "all_failure_sets",
+    "no_failures",
+    "random_failures",
+    "spread_failures",
+    "upfront_failures",
+]

@@ -1,0 +1,87 @@
+"""Failure schedules and fault injection (Section 2.2.3).
+
+``fail_i`` actions arrive from the external world; a *failure schedule*
+fixes when and whom they strike.  This module provides schedule values
+and generators used by the integration tests and benchmarks: worst-case
+prefixes (all failures up front, the shape used in the proofs of Lemmas
+6-7), spread schedules, and seeded random schedules respecting a bound
+``f`` on the number of failures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from ..ioa.actions import Action, fail
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """A set of timed failures: ``(step_index, endpoint)`` pairs."""
+
+    events: tuple[tuple[int, Hashable], ...]
+
+    def as_inputs(self) -> list[tuple[int, Action]]:
+        """The schedule in the input format of :func:`repro.ioa.run`."""
+        return [(step, fail(endpoint)) for step, endpoint in self.events]
+
+    @property
+    def victims(self) -> frozenset:
+        """The endpoints that fail under this schedule."""
+        return frozenset(endpoint for _, endpoint in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def no_failures() -> FailureSchedule:
+    """The failure-free schedule."""
+    return FailureSchedule(())
+
+
+def upfront_failures(victims: Sequence[Hashable]) -> FailureSchedule:
+    """All failures before any other step.
+
+    This is the shape used in Lemmas 6-7: the first ``f + 1`` actions of
+    the extension ``beta`` are ``fail_i``, ``i`` in ``J``.
+    """
+    return FailureSchedule(tuple((0, endpoint) for endpoint in victims))
+
+
+def spread_failures(
+    victims: Sequence[Hashable], start: int, gap: int
+) -> FailureSchedule:
+    """Failures spaced ``gap`` steps apart, beginning at ``start``."""
+    return FailureSchedule(
+        tuple((start + index * gap, endpoint) for index, endpoint in enumerate(victims))
+    )
+
+
+def random_failures(
+    endpoints: Sequence[Hashable],
+    max_failures: int,
+    horizon: int,
+    seed: int,
+) -> FailureSchedule:
+    """A seeded random schedule with at most ``max_failures`` victims.
+
+    The victim set and strike times are drawn uniformly; schedules are
+    reproducible from the seed, which the property-based tests rely on.
+    """
+    rng = random.Random(seed)
+    count = rng.randint(0, min(max_failures, len(endpoints)))
+    victims = rng.sample(list(endpoints), count)
+    events = sorted((rng.randrange(max(1, horizon)), victim) for victim in victims)
+    return FailureSchedule(tuple(events))
+
+
+def all_failure_sets(
+    endpoints: Sequence[Hashable], exactly: int
+) -> Iterable[frozenset]:
+    """Every failure set of the given size — used by exhaustive checks."""
+    from itertools import combinations
+
+    for combo in combinations(tuple(endpoints), exactly):
+        yield frozenset(combo)

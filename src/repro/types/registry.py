@@ -1,0 +1,358 @@
+"""The standard sequential-type library.
+
+This module builds the sequential types named by the paper:
+
+* **read/write** (Section 2.1.2, first example) — the type of registers;
+* **binary consensus** (Section 2.1.2, second example) — the benchmark
+  problem of the impossibility theorems;
+* **k-set-consensus** (Section 2.1.2, third example) — the
+  nondeterministic type for which boosting *is* possible (Section 4);
+
+plus the further classical types the paper's introduction lists as
+examples of services ("atomic read-modify-write, queue, counter,
+test&set, compare&swap and consensus objects"):
+
+* **queue**, **counter**, **test&set**, **compare&swap**, **fetch&add**,
+  and general **read-modify-write**.
+
+Invocations and responses are represented as small hashable tuples, e.g.
+``("write", 3)`` / ``("ack",)``, ``("init", 1)`` / ``("decide", 1)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence
+
+from .sequential import DeltaResult, SequentialType, Value
+
+ACK = ("ack",)
+
+
+# ---------------------------------------------------------------------------
+# Read/write (registers)
+# ---------------------------------------------------------------------------
+
+
+def read_write_type(
+    values: Sequence[Value], initial: Value | None = None
+) -> SequentialType:
+    """The read/write sequential type over a finite value sample.
+
+    ``invs = {read} + {write(v)}``, ``resps = V + {ack}``;
+    ``delta(read, v) = (v, v)`` and ``delta(write(v), v') = (ack, v)``.
+    This is a deterministic sequential type.
+    """
+    values = tuple(values)
+    if initial is None:
+        initial = values[0]
+    if initial not in values:
+        raise ValueError("initial value must be among the values")
+
+    def delta(invocation, value) -> Sequence[DeltaResult]:
+        if invocation == ("read",):
+            return ((("value", value), value),)
+        if isinstance(invocation, tuple) and invocation[0] == "write":
+            return ((ACK, invocation[1]),)
+        raise ValueError(f"read/write: unknown invocation {invocation!r}")
+
+    def member(invocation) -> bool:
+        if invocation == ("read",):
+            return True
+        return (
+            isinstance(invocation, tuple)
+            and len(invocation) == 2
+            and invocation[0] == "write"
+        )
+
+    return SequentialType(
+        name="read/write",
+        initial_values=(initial,),
+        invocations=(("read",),) + tuple(("write", v) for v in values),
+        responses=tuple(("value", v) for v in values) + (ACK,),
+        delta=delta,
+        contains_invocation=member,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Binary consensus
+# ---------------------------------------------------------------------------
+
+
+def binary_consensus_type() -> SequentialType:
+    """The binary consensus sequential type (Section 2.1.2).
+
+    ``V = {frozenset(), frozenset({0}), frozenset({1})}``, ``V0 = {{}}``;
+    ``delta(init(v), {}) = (decide(v), {v})`` and
+    ``delta(init(v), {v'}) = (decide(v'), {v'})``: the first value sticks
+    and every operation returns it.  Deterministic.
+    """
+
+    def delta(invocation, value) -> Sequence[DeltaResult]:
+        if not (isinstance(invocation, tuple) and invocation[0] == "init"):
+            raise ValueError(f"consensus: unknown invocation {invocation!r}")
+        proposal = invocation[1]
+        if proposal not in (0, 1):
+            raise ValueError(f"consensus: proposal must be binary, got {proposal!r}")
+        if value == frozenset():
+            return ((("decide", proposal), frozenset({proposal})),)
+        (winner,) = value
+        return ((("decide", winner), value),)
+
+    return SequentialType(
+        name="binary-consensus",
+        initial_values=(frozenset(),),
+        invocations=(("init", 0), ("init", 1)),
+        responses=(("decide", 0), ("decide", 1)),
+        delta=delta,
+    )
+
+
+def consensus_type(values: Sequence[Value]) -> SequentialType:
+    """Multivalued consensus over an arbitrary finite proposal set.
+
+    Same first-value-wins semantics as :func:`binary_consensus_type`;
+    used by the Section 4 construction, whose inner services decide over
+    ``{0, ..., n-1}``.
+    """
+    values = tuple(values)
+
+    def delta(invocation, value) -> Sequence[DeltaResult]:
+        if not (isinstance(invocation, tuple) and invocation[0] == "init"):
+            raise ValueError(f"consensus: unknown invocation {invocation!r}")
+        proposal = invocation[1]
+        if value == frozenset():
+            return ((("decide", proposal), frozenset({proposal})),)
+        (winner,) = value
+        return ((("decide", winner), value),)
+
+    return SequentialType(
+        name=f"consensus({len(values)})",
+        initial_values=(frozenset(),),
+        invocations=tuple(("init", v) for v in values),
+        responses=tuple(("decide", v) for v in values),
+        delta=delta,
+    )
+
+
+# ---------------------------------------------------------------------------
+# k-set-consensus
+# ---------------------------------------------------------------------------
+
+
+def k_set_consensus_type(k: int, proposals: Sequence[Value]) -> SequentialType:
+    """The k-set-consensus sequential type (Section 2.1.2).
+
+    ``V`` is the set of subsets of the proposal set with at most ``k``
+    elements, ``V0 = {{}}``.  While fewer than ``k`` values have been
+    remembered, ``init(v)`` adds ``v`` and may return any remembered
+    value (including ``v``); once ``k`` values are remembered, ``init``
+    returns one of them.  This is a *nondeterministic* sequential type —
+    the reason the paper allows nondeterministic ``delta``.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    proposals = tuple(proposals)
+
+    def delta(invocation, value) -> Sequence[DeltaResult]:
+        if not (isinstance(invocation, tuple) and invocation[0] == "init"):
+            raise ValueError(f"k-set-consensus: unknown invocation {invocation!r}")
+        proposal = invocation[1]
+        remembered: frozenset = value
+        if len(remembered) < k:
+            extended = remembered | {proposal}
+            return tuple(
+                (("decide", candidate), extended) for candidate in sorted(extended)
+            )
+        return tuple(
+            (("decide", candidate), remembered) for candidate in sorted(remembered)
+        )
+
+    return SequentialType(
+        name=f"{k}-set-consensus",
+        initial_values=(frozenset(),),
+        invocations=tuple(("init", v) for v in proposals),
+        responses=tuple(("decide", v) for v in proposals),
+        delta=delta,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Further classical types (introduction, Section 1)
+# ---------------------------------------------------------------------------
+
+
+def queue_type(items: Sequence[Value], capacity: int = 4) -> SequentialType:
+    """A FIFO queue type with enq/deq; deq on empty returns ``empty``.
+
+    ``capacity`` bounds the *sampled* reachable state space so that
+    exhaustive analyses stay finite; enqueues beyond the bound return
+    ``full`` without changing the state.
+    """
+    items = tuple(items)
+
+    def delta(invocation, value) -> Sequence[DeltaResult]:
+        queue: tuple = value
+        if invocation == ("deq",):
+            if not queue:
+                return ((("empty",), queue),)
+            return ((("item", queue[0]), queue[1:]),)
+        if isinstance(invocation, tuple) and invocation[0] == "enq":
+            if len(queue) >= capacity:
+                return ((("full",), queue),)
+            return ((ACK, queue + (invocation[1],)),)
+        raise ValueError(f"queue: unknown invocation {invocation!r}")
+
+    return SequentialType(
+        name="queue",
+        initial_values=((),),
+        invocations=(("deq",),) + tuple(("enq", item) for item in items),
+        responses=(("empty",), ("full",), ACK)
+        + tuple(("item", item) for item in items),
+        delta=delta,
+    )
+
+
+def counter_type(modulus: int | None = None) -> SequentialType:
+    """A counter with ``inc`` and ``get``.
+
+    With ``modulus`` set, the counter wraps, keeping the state space
+    finite for exhaustive exploration.
+    """
+
+    def delta(invocation, value) -> Sequence[DeltaResult]:
+        if invocation == ("inc",):
+            incremented = value + 1
+            if modulus is not None:
+                incremented %= modulus
+            return ((ACK, incremented),)
+        if invocation == ("get",):
+            return ((("value", value), value),)
+        raise ValueError(f"counter: unknown invocation {invocation!r}")
+
+    return SequentialType(
+        name="counter",
+        initial_values=(0,),
+        invocations=(("inc",), ("get",)),
+        responses=(ACK,)
+        + tuple(("value", n) for n in range(modulus if modulus is not None else 4)),
+        delta=delta,
+    )
+
+
+def test_and_set_type() -> SequentialType:
+    """Test&set: first ``test_and_set`` wins (returns 0), later ones lose."""
+
+    def delta(invocation, value) -> Sequence[DeltaResult]:
+        if invocation == ("test_and_set",):
+            return ((("old", value), 1),)
+        if invocation == ("reset",):
+            return ((ACK, 0),)
+        raise ValueError(f"test&set: unknown invocation {invocation!r}")
+
+    return SequentialType(
+        name="test&set",
+        initial_values=(0,),
+        invocations=(("test_and_set",), ("reset",)),
+        responses=(("old", 0), ("old", 1), ACK),
+        delta=delta,
+    )
+
+
+def compare_and_swap_type(values: Sequence[Value]) -> SequentialType:
+    """Compare&swap over a finite value sample.
+
+    ``cas(expected, new)`` returns ``(True, old)`` and installs ``new``
+    when ``old == expected``; otherwise returns ``(False, old)`` and
+    leaves the value unchanged.
+    """
+    values = tuple(values)
+
+    def delta(invocation, value) -> Sequence[DeltaResult]:
+        if isinstance(invocation, tuple) and invocation[0] == "cas":
+            _, expected, new = invocation
+            if value == expected:
+                return ((("cas", True, value), new),)
+            return ((("cas", False, value), value),)
+        if invocation == ("read",):
+            return ((("value", value), value),)
+        raise ValueError(f"compare&swap: unknown invocation {invocation!r}")
+
+    invocations = [("read",)]
+    for expected in values:
+        for new in values:
+            invocations.append(("cas", expected, new))
+
+    return SequentialType(
+        name="compare&swap",
+        initial_values=(values[0],),
+        invocations=tuple(invocations),
+        responses=tuple(("value", v) for v in values)
+        + tuple(("cas", flag, v) for flag in (True, False) for v in values),
+        delta=delta,
+    )
+
+
+def fetch_and_add_type(modulus: int = 8) -> SequentialType:
+    """Fetch&add modulo ``modulus`` (finite for exhaustive analyses)."""
+
+    def delta(invocation, value) -> Sequence[DeltaResult]:
+        if isinstance(invocation, tuple) and invocation[0] == "faa":
+            return ((("old", value), (value + invocation[1]) % modulus),)
+        raise ValueError(f"fetch&add: unknown invocation {invocation!r}")
+
+    return SequentialType(
+        name="fetch&add",
+        initial_values=(0,),
+        invocations=tuple(("faa", amount) for amount in (1, 2)),
+        responses=tuple(("old", n) for n in range(modulus)),
+        delta=delta,
+        contains_invocation=lambda invocation: (
+            isinstance(invocation, tuple)
+            and len(invocation) == 2
+            and invocation[0] == "faa"
+            and isinstance(invocation[1], int)
+        ),
+    )
+
+
+def read_modify_write_type(
+    values: Sequence[Value],
+    functions: dict[str, Callable[[Value], Value]],
+) -> SequentialType:
+    """General read-modify-write over named update functions.
+
+    ``rmw(f)`` returns the old value and installs ``functions[f](old)``.
+    Subsumes counter, test&set, and fetch&add; provided because the
+    paper's introduction names "atomic read-modify-write" as the first
+    example of a service.
+    """
+    values = tuple(values)
+
+    def delta(invocation, value) -> Sequence[DeltaResult]:
+        if isinstance(invocation, tuple) and invocation[0] == "rmw":
+            update = functions[invocation[1]]
+            return ((("old", value), update(value)),)
+        raise ValueError(f"rmw: unknown invocation {invocation!r}")
+
+    return SequentialType(
+        name="read-modify-write",
+        initial_values=(values[0],),
+        invocations=tuple(("rmw", name) for name in sorted(functions)),
+        responses=tuple(("old", v) for v in values),
+        delta=delta,
+    )
+
+
+STANDARD_TYPES: dict[str, Callable[..., SequentialType]] = {
+    "read/write": read_write_type,
+    "binary-consensus": binary_consensus_type,
+    "consensus": consensus_type,
+    "k-set-consensus": k_set_consensus_type,
+    "queue": queue_type,
+    "counter": counter_type,
+    "test&set": test_and_set_type,
+    "compare&swap": compare_and_swap_type,
+    "fetch&add": fetch_and_add_type,
+    "read-modify-write": read_modify_write_type,
+}

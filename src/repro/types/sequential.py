@@ -1,0 +1,200 @@
+"""Sequential types (Section 2.1.2).
+
+A sequential type ``T = (V, V0, invs, resps, delta)`` specifies the
+allowable sequential behavior of an atomic object:
+
+* ``V``     — a nonempty set of values,
+* ``V0``    — a nonempty set of initial values (``V0`` a subset of ``V``),
+* ``invs``  — a set of invocations,
+* ``resps`` — a set of responses,
+* ``delta`` — a *total* binary relation from ``invs x V`` to
+  ``resps x V``: for every ``(a, v)`` there is at least one ``(b, v')``
+  with ``((a, v), (b, v')) in delta``.
+
+The paper generalizes the classical definition by allowing
+nondeterminism in the initial value and in ``delta``; this is what makes
+``k``-set-consensus expressible as a sequential type.  ``T`` is
+*deterministic* when ``V0`` is a singleton and ``delta`` is a mapping —
+the assumption (ii) of Section 3.1, made without loss of generality for
+the impossibility proofs.
+
+Representation
+--------------
+``V`` and ``invs`` may be infinite (e.g. registers over unbounded value
+sets), so ``delta`` is a callable ``(invocation, value) -> sequence of
+(response, value')`` rather than a finite table, and invocation sets are
+represented by an enumerable sample plus a membership test.  Values,
+invocations, and responses must be hashable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+Value = Hashable
+Invocation = Hashable
+Response = Hashable
+DeltaResult = tuple[Response, Value]
+
+
+@dataclass(frozen=True)
+class SequentialType:
+    """A sequential type ``T = (V, V0, invs, resps, delta)``.
+
+    ``delta`` maps ``(invocation, value)`` to the nonempty sequence of
+    allowed ``(response, new_value)`` outcomes.  ``invocations`` is a
+    finite sample of the invocation set used by enumerating analyses
+    (exhaustive exploration, property generators); ``contains_invocation``
+    decides full membership when the set is infinite.
+    """
+
+    name: str
+    initial_values: tuple[Value, ...]
+    invocations: tuple[Invocation, ...]
+    responses: tuple[Response, ...]
+    delta: Callable[[Invocation, Value], Sequence[DeltaResult]]
+    contains_invocation: Callable[[Invocation], bool] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.initial_values:
+            raise ValueError(f"type {self.name!r}: V0 must be nonempty")
+
+    # -- membership ----------------------------------------------------------
+
+    def is_invocation(self, invocation: Invocation) -> bool:
+        """True iff ``invocation`` belongs to ``invs``."""
+        if self.contains_invocation is not None:
+            return self.contains_invocation(invocation)
+        return invocation in self.invocations
+
+    # -- transition relation ---------------------------------------------------
+
+    def apply(self, invocation: Invocation, value: Value) -> Sequence[DeltaResult]:
+        """All ``(response, new_value)`` outcomes of ``delta`` — nonempty.
+
+        Raises ``ValueError`` if ``delta`` is not total at this point,
+        which would violate the definition of a sequential type.
+        """
+        outcomes = self.delta(invocation, value)
+        if not outcomes:
+            raise ValueError(
+                f"type {self.name!r}: delta({invocation!r}, {value!r}) is "
+                "empty — delta must be total"
+            )
+        return outcomes
+
+    def apply_deterministic(self, invocation: Invocation, value: Value) -> DeltaResult:
+        """The unique outcome of ``delta``; raises if nondeterministic."""
+        outcomes = self.apply(invocation, value)
+        if len(outcomes) != 1:
+            raise ValueError(
+                f"type {self.name!r}: delta({invocation!r}, {value!r}) has "
+                f"{len(outcomes)} outcomes; type is not deterministic here"
+            )
+        return outcomes[0]
+
+    # -- determinism (Section 2.1.2 / assumption (ii) of Section 3.1) ---------
+
+    def is_deterministic(self, values: Iterable[Value] | None = None) -> bool:
+        """Check determinism: singleton ``V0`` and functional ``delta``.
+
+        ``delta`` is checked over ``values`` (default: the values
+        reachable from ``V0`` by applying the sampled invocations up to a
+        small depth).
+        """
+        if len(self.initial_values) != 1:
+            return False
+        if values is None:
+            values = self.reachable_values(depth=3)
+        for value in values:
+            for invocation in self.invocations:
+                if len(self.apply(invocation, value)) != 1:
+                    return False
+        return True
+
+    def restrict_to_deterministic(
+        self,
+        choose: Callable[[Sequence[DeltaResult]], DeltaResult] | None = None,
+    ) -> "SequentialType":
+        """A deterministic restriction of this type (Section 3.1).
+
+        The impossibility proofs assume deterministic sequential types
+        without loss of generality, "because any candidate system could
+        be restricted, by removing transitions, to satisfy these
+        assumptions."  This constructor performs that restriction: it
+        keeps the first initial value and, at every ``(invocation,
+        value)`` point, keeps the single outcome selected by ``choose``
+        (default: the first).
+        """
+        picker = choose if choose is not None else (lambda outcomes: outcomes[0])
+        base_delta = self.delta
+
+        def restricted(invocation: Invocation, value: Value) -> Sequence[DeltaResult]:
+            outcomes = base_delta(invocation, value)
+            if not outcomes:
+                return outcomes
+            return (picker(outcomes),)
+
+        return SequentialType(
+            name=f"{self.name}|det",
+            initial_values=(self.initial_values[0],),
+            invocations=self.invocations,
+            responses=self.responses,
+            delta=restricted,
+            contains_invocation=self.contains_invocation,
+        )
+
+    # -- reachability ----------------------------------------------------------
+
+    def reachable_values(self, depth: int = 4) -> frozenset[Value]:
+        """Values reachable from ``V0`` by at most ``depth`` sampled invocations."""
+        frontier = set(self.initial_values)
+        seen = set(frontier)
+        for _ in range(depth):
+            next_frontier: set[Value] = set()
+            for value in frontier:
+                for invocation in self.invocations:
+                    for _, new_value in self.apply(invocation, value):
+                        if new_value not in seen:
+                            seen.add(new_value)
+                            next_frontier.add(new_value)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        return frozenset(seen)
+
+
+def legal_response(
+    sequential_type: SequentialType,
+    invocation: Invocation,
+    value: Value,
+    response: Response,
+) -> bool:
+    """True iff ``response`` is allowed by ``delta`` at ``(invocation, value)``."""
+    return any(
+        outcome_response == response
+        for outcome_response, _ in sequential_type.apply(invocation, value)
+    )
+
+
+def run_sequentially(
+    sequential_type: SequentialType,
+    invocations: Iterable[Invocation],
+    initial_value: Value | None = None,
+    choose: Callable[[Sequence[DeltaResult]], DeltaResult] | None = None,
+) -> tuple[tuple[Response, ...], Value]:
+    """Run a sequence of invocations through ``delta`` sequentially.
+
+    Returns the response sequence and the final value.  Used by the
+    linearizability checker to validate candidate linearizations.
+    """
+    value = (
+        sequential_type.initial_values[0] if initial_value is None else initial_value
+    )
+    picker = choose if choose is not None else (lambda outcomes: outcomes[0])
+    responses: list[Response] = []
+    for invocation in invocations:
+        response, value = picker(sequential_type.apply(invocation, value))
+        responses.append(response)
+    return tuple(responses), value

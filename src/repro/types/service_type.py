@@ -1,0 +1,257 @@
+"""Service types ``U`` for failure-oblivious and general services.
+
+Section 5.1 replaces the sequential type of an atomic object with a
+*service type* ``U = (V, V0, invs, resps, glob, delta1, delta2)``:
+
+* ``glob`` is a set of *global task* names — tasks that perform
+  computation touching invocations from, and responses to, several
+  processes at once (e.g. the delivery task of totally ordered
+  broadcast);
+* ``delta1`` maps ``(invocation, endpoint, value)`` to results — used by
+  ``perform`` steps;
+* ``delta2`` maps ``(global_task, value)`` to results — used by
+  spontaneous ``compute`` steps;
+* a *result* is a pair ``(response_map, new_value)`` where the response
+  map assigns to each endpoint a finite sequence of responses to append
+  to its response buffer (``ResponseMap`` in the paper).
+
+Section 6.1 generalizes further: for a *general* (potentially
+failure-aware) service, ``delta1`` and ``delta2`` additionally receive
+the current ``failed`` set — the only difference between the two classes,
+and precisely the information a failure-oblivious service must not use.
+
+This module defines both type classes and the two lifts the paper gives:
+
+* :func:`from_sequential` — every sequential type induces a
+  failure-oblivious service type (Section 5.1: the canonical atomic
+  object is a special case of the canonical failure-oblivious service);
+* :func:`oblivious_as_general` — every failure-oblivious service type
+  induces a general service type that ignores the failed set
+  (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Hashable, Mapping, Sequence
+
+from .sequential import Invocation, Response, SequentialType, Value
+
+Endpoint = Hashable
+GlobalTaskName = Hashable
+
+#: A response map assigns to each endpoint the finite sequence of
+#: responses a step appends to that endpoint's response buffer.  Absent
+#: endpoints mean the empty sequence.
+ResponseMap = Mapping[Endpoint, Sequence[Response]]
+
+#: One outcome of delta1/delta2.
+ServiceResult = tuple[ResponseMap, Value]
+
+EMPTY_RESPONSE_MAP: dict = {}
+
+
+def single_response(endpoint: Endpoint, response: Response) -> ResponseMap:
+    """A response map delivering one response to one endpoint."""
+    return {endpoint: (response,)}
+
+
+def broadcast_response(
+    endpoints: Sequence[Endpoint], response: Response
+) -> ResponseMap:
+    """A response map delivering the same response to every endpoint."""
+    return {endpoint: (response,) for endpoint in endpoints}
+
+
+@dataclass(frozen=True)
+class FailureObliviousServiceType:
+    """Service type ``U`` for failure-oblivious services (Section 5.1).
+
+    ``delta1(invocation, endpoint, value)`` and
+    ``delta2(global_task, value)`` return nonempty sequences of
+    ``(response_map, new_value)`` outcomes; both relations are total.
+    ``global_tasks`` may be empty (the atomic-object special case).
+    """
+
+    name: str
+    initial_values: tuple[Value, ...]
+    invocations: tuple[Invocation, ...]
+    responses: tuple[Response, ...]
+    global_tasks: tuple[GlobalTaskName, ...]
+    delta1: Callable[[Invocation, Endpoint, Value], Sequence[ServiceResult]]
+    delta2: Callable[[GlobalTaskName, Value], Sequence[ServiceResult]]
+    contains_invocation: Callable[[Invocation], bool] | None = None
+
+    def is_invocation(self, invocation: Invocation) -> bool:
+        """True iff ``invocation`` belongs to ``invs``."""
+        if self.contains_invocation is not None:
+            return self.contains_invocation(invocation)
+        return invocation in self.invocations
+
+    def apply_perform(
+        self, invocation: Invocation, endpoint: Endpoint, value: Value
+    ) -> Sequence[ServiceResult]:
+        """All outcomes of ``delta1`` — must be nonempty (totality)."""
+        outcomes = self.delta1(invocation, endpoint, value)
+        if not outcomes:
+            raise ValueError(
+                f"service type {self.name!r}: delta1 empty at "
+                f"({invocation!r}, {endpoint!r}, {value!r})"
+            )
+        return outcomes
+
+    def apply_compute(
+        self, global_task: GlobalTaskName, value: Value
+    ) -> Sequence[ServiceResult]:
+        """All outcomes of ``delta2`` — must be nonempty (totality)."""
+        outcomes = self.delta2(global_task, value)
+        if not outcomes:
+            raise ValueError(
+                f"service type {self.name!r}: delta2 empty at "
+                f"({global_task!r}, {value!r})"
+            )
+        return outcomes
+
+
+@dataclass(frozen=True)
+class GeneralServiceType:
+    """Service type ``U`` for general (failure-aware) services (Section 6.1).
+
+    Identical to :class:`FailureObliviousServiceType` except that
+    ``delta1`` and ``delta2`` receive the current ``failed`` set — the
+    service may react to failures.
+    """
+
+    name: str
+    initial_values: tuple[Value, ...]
+    invocations: tuple[Invocation, ...]
+    responses: tuple[Response, ...]
+    global_tasks: tuple[GlobalTaskName, ...]
+    delta1: Callable[
+        [Invocation, Endpoint, Value, FrozenSet[Endpoint]], Sequence[ServiceResult]
+    ]
+    delta2: Callable[
+        [GlobalTaskName, Value, FrozenSet[Endpoint]], Sequence[ServiceResult]
+    ]
+    contains_invocation: Callable[[Invocation], bool] | None = None
+
+    def is_invocation(self, invocation: Invocation) -> bool:
+        """True iff ``invocation`` belongs to ``invs``."""
+        if self.contains_invocation is not None:
+            return self.contains_invocation(invocation)
+        return invocation in self.invocations
+
+    def apply_perform(
+        self,
+        invocation: Invocation,
+        endpoint: Endpoint,
+        value: Value,
+        failed: FrozenSet[Endpoint],
+    ) -> Sequence[ServiceResult]:
+        """All outcomes of ``delta1`` — must be nonempty (totality)."""
+        outcomes = self.delta1(invocation, endpoint, value, failed)
+        if not outcomes:
+            raise ValueError(
+                f"service type {self.name!r}: delta1 empty at "
+                f"({invocation!r}, {endpoint!r}, {value!r}, {set(failed)!r})"
+            )
+        return outcomes
+
+    def apply_compute(
+        self,
+        global_task: GlobalTaskName,
+        value: Value,
+        failed: FrozenSet[Endpoint],
+    ) -> Sequence[ServiceResult]:
+        """All outcomes of ``delta2`` — must be nonempty (totality)."""
+        outcomes = self.delta2(global_task, value, failed)
+        if not outcomes:
+            raise ValueError(
+                f"service type {self.name!r}: delta2 empty at "
+                f"({global_task!r}, {value!r}, {set(failed)!r})"
+            )
+        return outcomes
+
+
+def from_sequential(sequential: SequentialType) -> FailureObliviousServiceType:
+    """The failure-oblivious service type induced by a sequential type.
+
+    Section 5.1: for ``T = (V, V0, invs, resps, delta)``, the
+    corresponding ``U`` has ``glob = {}``, empty ``delta2``, and
+    ``delta1`` consisting of the pairs ``((a, i, v), (B, v'))`` for which
+    some ``b`` satisfies ``((a, v), (b, v')) in delta``, ``B(i) = [b]``,
+    and ``B(j) = []`` for ``j != i``.
+    """
+
+    def delta1(invocation, endpoint, value) -> Sequence[ServiceResult]:
+        return tuple(
+            (single_response(endpoint, response), new_value)
+            for response, new_value in sequential.apply(invocation, value)
+        )
+
+    def delta2(global_task, value) -> Sequence[ServiceResult]:
+        raise ValueError(
+            f"service type from sequential type {sequential.name!r} has no "
+            "global tasks"
+        )
+
+    return FailureObliviousServiceType(
+        name=sequential.name,
+        initial_values=sequential.initial_values,
+        invocations=sequential.invocations,
+        responses=sequential.responses,
+        global_tasks=(),
+        delta1=delta1,
+        delta2=delta2,
+        contains_invocation=sequential.contains_invocation,
+    )
+
+
+def oblivious_as_general(
+    oblivious: FailureObliviousServiceType,
+) -> GeneralServiceType:
+    """The general service type that ignores the failed set (Section 6.1).
+
+    ``delta1'((a, i, v, F)) = delta1((a, i, v))`` and
+    ``delta2'((g, v, F)) = delta2((g, v))`` for every failed set ``F``.
+    """
+
+    def delta1(invocation, endpoint, value, failed) -> Sequence[ServiceResult]:
+        return oblivious.apply_perform(invocation, endpoint, value)
+
+    def delta2(global_task, value, failed) -> Sequence[ServiceResult]:
+        return oblivious.apply_compute(global_task, value)
+
+    return GeneralServiceType(
+        name=oblivious.name,
+        initial_values=oblivious.initial_values,
+        invocations=oblivious.invocations,
+        responses=oblivious.responses,
+        global_tasks=oblivious.global_tasks,
+        delta1=delta1,
+        delta2=delta2,
+        contains_invocation=oblivious.contains_invocation,
+    )
+
+
+def is_deterministic_service_type(
+    service_type: FailureObliviousServiceType,
+    endpoints: Sequence[Endpoint],
+    values: Sequence[Value],
+) -> bool:
+    """Check assumption (ii) of Sections 5.3/6.3 over sampled values.
+
+    A service type is deterministic when ``V0`` is a singleton and both
+    ``delta1`` and ``delta2`` are single-valued over the sample.
+    """
+    if len(service_type.initial_values) != 1:
+        return False
+    for value in values:
+        for invocation in service_type.invocations:
+            for endpoint in endpoints:
+                if len(service_type.apply_perform(invocation, endpoint, value)) != 1:
+                    return False
+        for global_task in service_type.global_tasks:
+            if len(service_type.apply_compute(global_task, value)) != 1:
+                return False
+    return True

@@ -1,0 +1,127 @@
+"""Unit tests for the consensus axioms checker (Section 2.2.4, App. B)."""
+
+import pytest
+
+from repro.analysis import (
+    check_agreement,
+    check_k_agreement,
+    check_modified_termination,
+    check_validity,
+    exhaustive_safety_check,
+    run_consensus_round,
+)
+from repro.protocols import (
+    delegation_consensus_system,
+    race_register_consensus_system,
+)
+from repro.system import upfront_failures
+
+
+class TestAxiomPredicates:
+    def test_agreement_ok(self):
+        assert check_agreement({0: 1, 1: 1, 2: 1}) == []
+
+    def test_agreement_violation(self):
+        violations = check_agreement({0: 0, 1: 1})
+        assert [v.axiom for v in violations] == ["agreement"]
+
+    def test_agreement_vacuous_when_empty(self):
+        assert check_agreement({}) == []
+
+    def test_k_agreement(self):
+        assert check_k_agreement({0: 0, 1: 1}, k=2) == []
+        assert check_k_agreement({0: 0, 1: 1, 2: 2}, k=2) != []
+
+    def test_validity_ok(self):
+        assert check_validity({0: 1}, proposals={0: 1, 1: 0}) == []
+
+    def test_validity_violation(self):
+        violations = check_validity({0: 2}, proposals={0: 1, 1: 0})
+        assert [v.axiom for v in violations] == ["validity"]
+
+    def test_modified_termination_ok(self):
+        violations = check_modified_termination(
+            decisions={0: 1}, proposals={0: 1, 1: 0}, failed=frozenset({1})
+        )
+        assert violations == []
+
+    def test_modified_termination_violation(self):
+        violations = check_modified_termination(
+            decisions={}, proposals={0: 1}, failed=frozenset()
+        )
+        assert [v.axiom for v in violations] == ["modified-termination"]
+
+    def test_modified_termination_ignores_uninited(self):
+        # Only processes that received inputs must decide.
+        violations = check_modified_termination(
+            decisions={}, proposals={}, failed=frozenset()
+        )
+        assert violations == []
+
+
+class TestRunConsensusRound:
+    def test_failure_free_delegation(self):
+        check = run_consensus_round(
+            delegation_consensus_system(3, resilience=1), {0: 1, 1: 0, 2: 0}
+        )
+        assert check.ok
+        assert len(set(check.decisions.values())) == 1
+
+    def test_within_resilience_failures(self):
+        check = run_consensus_round(
+            delegation_consensus_system(3, resilience=1),
+            {0: 1, 1: 0, 2: 0},
+            failure_schedule=upfront_failures([2]),
+        )
+        assert check.ok
+        assert set(check.decisions) == {0, 1}
+
+    def test_seeded_random_schedules(self):
+        for seed in range(10):
+            check = run_consensus_round(
+                delegation_consensus_system(2, resilience=1),
+                {0: 1, 1: 0},
+                seed=seed,
+            )
+            assert check.ok, check.violations
+
+    def test_race_candidate_fails_agreement_on_some_schedule(self):
+        failures = []
+        for seed in range(40):
+            check = run_consensus_round(
+                race_register_consensus_system(), {0: 0, 1: 1}, seed=seed
+            )
+            failures.extend(v.axiom for v in check.violations)
+        assert "agreement" in failures
+
+
+class TestExhaustiveSafety:
+    def test_delegation_safe_everywhere(self):
+        result = exhaustive_safety_check(
+            delegation_consensus_system(2, resilience=0), {0: 0, 1: 1}
+        )
+        assert result.ok
+        assert result.states_visited > 10
+
+    def test_delegation_safe_with_failure_branches(self):
+        result = exhaustive_safety_check(
+            delegation_consensus_system(2, resilience=1),
+            {0: 0, 1: 1},
+            failure_choices=(0, 1),
+        )
+        assert result.ok
+
+    def test_race_candidate_unsafe(self):
+        result = exhaustive_safety_check(
+            race_register_consensus_system(), {0: 0, 1: 1}
+        )
+        assert not result.ok
+        assert result.violations[0].axiom == "agreement"
+
+    def test_budget_enforced(self):
+        with pytest.raises(RuntimeError, match="exceeded"):
+            exhaustive_safety_check(
+                delegation_consensus_system(3, resilience=1),
+                {0: 0, 1: 1, 2: 0},
+                max_states=5,
+            )

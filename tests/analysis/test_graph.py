@@ -1,0 +1,112 @@
+"""Unit tests for the literal execution tree G(C) (Section 3.3)."""
+
+import pytest
+
+from repro.analysis import DeterministicSystemView, Valence, analyze_valence
+from repro.analysis.graph import (
+    ExecutionTree,
+    state_collapse_is_sound,
+    tree_edge_determinism_holds,
+    tree_valence_histogram,
+    unfold,
+)
+from repro.protocols import delegation_consensus_system
+
+
+@pytest.fixture
+def setup():
+    system = delegation_consensus_system(2, resilience=0)
+    view = DeterministicSystemView(system)
+    initialization = system.initialization({0: 0, 1: 1})
+    analysis = analyze_valence(system, initialization.final_state)
+    return system, view, initialization, analysis
+
+
+class TestUnfolding:
+    def test_root_is_initialization(self, setup):
+        _, view, initialization, _ = setup
+        tree = unfold(view, initialization, depth=2)
+        assert tree.root.execution == initialization
+        assert tree.root.depth == 0
+
+    def test_children_are_task_extensions(self, setup):
+        system, view, initialization, _ = setup
+        tree = unfold(view, initialization, depth=1)
+        state = initialization.final_state
+        applicable = view.applicable_tasks(state)
+        assert len(tree.root.children) == len(applicable)
+        for child in tree.root.children:
+            assert child.edge_task in applicable
+            assert child.execution.final_state == view.apply(
+                state, child.edge_task
+            )
+            assert len(child.execution) == len(initialization) + 1
+
+    def test_vertex_count_and_depth(self, setup):
+        _, view, initialization, _ = setup
+        tree = unfold(view, initialization, depth=3)
+        assert tree.vertex_count == sum(1 for _ in tree.vertices())
+        assert all(v.depth <= 3 for v in tree.vertices())
+
+    def test_budget_enforced(self, setup):
+        _, view, initialization, _ = setup
+        with pytest.raises(RuntimeError, match="exceeded"):
+            unfold(view, initialization, depth=20, max_vertices=50)
+
+    def test_prune_cuts_subtrees(self, setup):
+        system, view, initialization, _ = setup
+        full = unfold(view, initialization, depth=4)
+        pruned = unfold(
+            view,
+            initialization,
+            depth=4,
+            prune=lambda vertex: bool(view.decisions(vertex.final_state)),
+        )
+        assert pruned.vertex_count <= full.vertex_count
+
+    def test_path_tasks_reconstruct_execution(self, setup):
+        _, view, initialization, _ = setup
+        tree = unfold(view, initialization, depth=3)
+        for vertex in tree.vertices():
+            replayed = view.run_task_sequence(
+                initialization.final_state, vertex.path_tasks()
+            )
+            assert replayed.final_state == vertex.final_state
+
+
+class TestPaperProperties:
+    def test_one_edge_per_label(self, setup):
+        # Section 3.3: "at most one edge labeled with e outgoing from alpha".
+        _, view, initialization, _ = setup
+        tree = unfold(view, initialization, depth=4)
+        assert tree_edge_determinism_holds(tree)
+
+    def test_state_collapse_sound(self, setup):
+        _, view, initialization, analysis = setup
+        tree = unfold(view, initialization, depth=5)
+        assert state_collapse_is_sound(tree, analysis)
+
+    def test_collapse_actually_collapses(self, setup):
+        # Distinct executions reach equal states: the tree is strictly
+        # larger than the state graph at sufficient depth.
+        _, view, initialization, analysis = setup
+        tree = unfold(view, initialization, depth=6)
+        tree_states = {v.final_state for v in tree.vertices()}
+        assert tree.vertex_count > len(tree_states)
+
+    def test_valence_histogram_consistency(self, setup):
+        _, view, initialization, analysis = setup
+        tree = unfold(view, initialization, depth=4)
+        histogram = tree_valence_histogram(tree, analysis)
+        assert sum(histogram.values()) == tree.vertex_count
+        assert histogram[Valence.BLOCKED] == 0
+
+    def test_univalent_vertices_have_univalent_descendants(self, setup):
+        _, view, initialization, analysis = setup
+        tree = unfold(view, initialization, depth=5)
+        for vertex in tree.vertices():
+            valence = analysis.valence(vertex.final_state)
+            if not valence.is_univalent:
+                continue
+            for child in vertex.children:
+                assert analysis.valence(child.final_state) is valence

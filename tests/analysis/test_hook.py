@@ -1,0 +1,110 @@
+"""Unit tests for the hook construction (Figs. 2-3) and Lemma 8's analysis."""
+
+import pytest
+
+from repro.analysis import (
+    FairCycle,
+    Hook,
+    Valence,
+    analyze_valence,
+    find_hook,
+    lemma8_case_analysis,
+)
+from repro.protocols import delegation_consensus_system, tob_delegation_system
+
+
+def hook_for(system, proposals, max_states=400_000):
+    analysis = analyze_valence(
+        system, system.initialization(proposals).final_state, max_states=max_states
+    )
+    root = system.initialization(proposals).final_state
+    outcome, stats = find_hook(analysis, root)
+    return system, analysis, outcome, stats
+
+
+class TestHookSearch:
+    def test_requires_bivalent_start(self):
+        system = delegation_consensus_system(2, resilience=0)
+        root = system.initialization({0: 0, 1: 0}).final_state  # 0-valent
+        analysis = analyze_valence(system, root)
+        with pytest.raises(ValueError):
+            find_hook(analysis, root)
+
+    def test_delegation_candidate_yields_hook(self):
+        system, analysis, outcome, stats = hook_for(
+            delegation_consensus_system(2, resilience=0), {0: 0, 1: 1}
+        )
+        assert isinstance(outcome, Hook)
+        assert stats.inner_bfs_expansions > 0
+
+    def test_hook_shape_matches_fig2(self):
+        system, analysis, hook, _ = hook_for(
+            delegation_consensus_system(2, resilience=0), {0: 0, 1: 1}
+        )
+        view = analysis.view
+        # alpha is bivalent; e(alpha) = s0; e(e'(alpha)) = s1.
+        assert analysis.is_bivalent(hook.alpha)
+        assert view.apply(hook.alpha, hook.e) == hook.s0
+        assert view.apply(hook.alpha, hook.e_prime) == hook.alpha_prime
+        assert view.apply(hook.alpha_prime, hook.e) == hook.s1
+        # Opposite univalent valences at the two ends.
+        assert hook.valence0.is_univalent and hook.valence1.is_univalent
+        assert hook.valence0 is not hook.valence1
+        assert analysis.valence(hook.s0) is hook.valence0
+        assert analysis.valence(hook.s1) is hook.valence1
+
+    def test_hook_tasks_differ(self):
+        _, _, hook, _ = hook_for(
+            delegation_consensus_system(2, resilience=0), {0: 0, 1: 1}
+        )
+        assert hook.e != hook.e_prime  # Claim 1 of Lemma 8
+
+    def test_three_process_candidate(self):
+        system, analysis, outcome, _ = hook_for(
+            delegation_consensus_system(3, resilience=1), {0: 0, 1: 1, 2: 0}
+        )
+        assert isinstance(outcome, Hook)
+
+    def test_tob_candidate_yields_hook(self):
+        system, analysis, outcome, _ = hook_for(
+            tob_delegation_system(2, resilience=0), {0: 0, 1: 1}
+        )
+        assert isinstance(outcome, Hook)
+
+
+class TestLemma8:
+    def test_delegation_hook_lands_in_claim_4_1(self):
+        system, analysis, hook, _ = hook_for(
+            delegation_consensus_system(2, resilience=0), {0: 0, 1: 1}
+        )
+        report = lemma8_case_analysis(system, analysis, hook)
+        assert report.claim == "claim4.1-shared-service-internal"
+        assert not report.commuted
+        assert report.violation is not None
+        assert report.violation.kind == "service"
+        assert report.violation.index == "cons"
+
+    def test_tob_hook_lands_in_claim_4_1(self):
+        system, analysis, hook, _ = hook_for(
+            tob_delegation_system(2, resilience=0), {0: 0, 1: 1}
+        )
+        report = lemma8_case_analysis(system, analysis, hook)
+        assert report.claim == "claim4.1-shared-service-internal"
+        assert report.violation is not None
+
+    def test_violation_endpoint_states_have_hook_valences(self):
+        system, analysis, hook, _ = hook_for(
+            delegation_consensus_system(2, resilience=0), {0: 0, 1: 1}
+        )
+        report = lemma8_case_analysis(system, analysis, hook)
+        violation = report.violation
+        # The 0-valent member must really be 0-valent, etc.
+        assert analysis.valence(violation.s0) is hook.valence0
+        assert analysis.valence(violation.s1) is hook.valence1
+
+    def test_shared_participants_reported(self):
+        system, analysis, hook, _ = hook_for(
+            delegation_consensus_system(2, resilience=0), {0: 0, 1: 1}
+        )
+        report = lemma8_case_analysis(system, analysis, hook)
+        assert report.shared_participants == ("atomic[cons]",)

@@ -1,0 +1,147 @@
+"""Unit tests for the implementation-relation checker (Section 2.1.4)."""
+
+import pytest
+
+from repro.analysis import (
+    canonical_accepts_trace,
+    first_rejected_prefix,
+    internal_closure,
+    project_trace,
+)
+from repro.ioa import Action, fail, invoke, respond
+from repro.services import CanonicalAtomicObject, PerfectFailureDetector, suspect
+from repro.types import binary_consensus_type
+
+
+@pytest.fixture
+def consensus_object():
+    return CanonicalAtomicObject(
+        binary_consensus_type(), endpoints=(0, 1), resilience=1, service_id="c"
+    )
+
+
+class TestInternalClosure:
+    def test_closure_includes_perform_results(self, consensus_object):
+        obj = consensus_object
+        state = obj.apply_input(obj.some_start_state(), invoke("c", 0, ("init", 1)))
+        closure = internal_closure(obj, [state])
+        vals = {s.val for s in closure}
+        assert vals == {frozenset(), frozenset({1})}
+
+    def test_closure_of_start_is_trivial(self, consensus_object):
+        closure = internal_closure(
+            consensus_object, [consensus_object.some_start_state()]
+        )
+        assert len(closure) == 1
+
+
+class TestTraceAcceptance:
+    def test_accepts_legal_consensus_trace(self, consensus_object):
+        trace = [
+            invoke("c", 0, ("init", 1)),
+            invoke("c", 1, ("init", 0)),
+            respond("c", 0, ("decide", 1)),
+            respond("c", 1, ("decide", 1)),
+        ]
+        assert canonical_accepts_trace(consensus_object, trace)
+
+    def test_accepts_either_linearization(self, consensus_object):
+        # Concurrent invocations may linearize in either order.
+        for winner in (0, 1):
+            trace = [
+                invoke("c", 0, ("init", 0)),
+                invoke("c", 1, ("init", 1)),
+                respond("c", 0, ("decide", winner)),
+                respond("c", 1, ("decide", winner)),
+            ]
+            assert canonical_accepts_trace(consensus_object, trace)
+
+    def test_rejects_disagreement(self, consensus_object):
+        trace = [
+            invoke("c", 0, ("init", 0)),
+            invoke("c", 1, ("init", 1)),
+            respond("c", 0, ("decide", 0)),
+            respond("c", 1, ("decide", 1)),
+        ]
+        assert not canonical_accepts_trace(consensus_object, trace)
+
+    def test_rejects_response_without_invocation(self, consensus_object):
+        trace = [respond("c", 0, ("decide", 0))]
+        assert not canonical_accepts_trace(consensus_object, trace)
+
+    def test_rejects_invalid_value(self, consensus_object):
+        trace = [
+            invoke("c", 0, ("init", 1)),
+            respond("c", 0, ("decide", 0)),
+        ]
+        assert not canonical_accepts_trace(consensus_object, trace)
+
+    def test_fail_inputs_are_accepted_in_traces(self, consensus_object):
+        trace = [
+            invoke("c", 0, ("init", 1)),
+            fail(1),
+            respond("c", 0, ("decide", 1)),
+        ]
+        assert canonical_accepts_trace(consensus_object, trace)
+
+    def test_rejects_non_external_action(self, consensus_object):
+        with pytest.raises(ValueError):
+            canonical_accepts_trace(
+                consensus_object, [Action("perform", ("c", 0))]
+            )
+
+
+class TestDetectorTraces:
+    def test_perfect_detector_trace_acceptance(self):
+        detector = PerfectFailureDetector("P", endpoints=(0, 1), resilience=1)
+        good = [
+            respond("P", 0, suspect(())),
+            fail(1),
+            respond("P", 0, suspect({1})),
+        ]
+        assert canonical_accepts_trace(detector, good)
+
+    def test_perfect_detector_rejects_false_suspicion(self):
+        detector = PerfectFailureDetector("P", endpoints=(0, 1), resilience=1)
+        bad = [respond("P", 0, suspect({1}))]  # 1 never failed
+        assert not canonical_accepts_trace(detector, bad)
+
+    def test_perfect_detector_accepts_stale_queued_snapshot(self):
+        # A report computed BEFORE a failure may legally be delivered
+        # after it (it sat in the response buffer): delayed, but accurate
+        # at generation time.
+        detector = PerfectFailureDetector("P", endpoints=(0, 1), resilience=1)
+        delayed = [fail(1), respond("P", 0, suspect(()))]
+        assert canonical_accepts_trace(detector, delayed)
+
+    def test_perfect_detector_rejects_never_accurate_report(self):
+        # {0} was never the failed set at any point of this trace.
+        detector = PerfectFailureDetector("P", endpoints=(0, 1), resilience=1)
+        bad = [fail(1), respond("P", 0, suspect({0}))]
+        assert not canonical_accepts_trace(detector, bad)
+
+
+class TestDiagnostics:
+    def test_first_rejected_prefix(self, consensus_object):
+        trace = [
+            invoke("c", 0, ("init", 1)),
+            respond("c", 0, ("decide", 1)),
+            respond("c", 0, ("decide", 0)),  # diverges here
+        ]
+        assert first_rejected_prefix(consensus_object, trace) == 3
+
+    def test_first_rejected_prefix_none_for_legal(self, consensus_object):
+        trace = [invoke("c", 0, ("init", 1)), respond("c", 0, ("decide", 1))]
+        assert first_rejected_prefix(consensus_object, trace) is None
+
+    def test_project_trace(self, consensus_object):
+        actions = [
+            invoke("c", 0, ("init", 1)),
+            Action("perform", ("c", 0)),
+            Action("local", (0, "x")),
+            respond("c", 0, ("decide", 1)),
+        ]
+        assert project_trace(actions, consensus_object) == (
+            invoke("c", 0, ("init", 1)),
+            respond("c", 0, ("decide", 1)),
+        )

@@ -1,0 +1,228 @@
+"""Every branch of Lemma 8's case analysis, exercised.
+
+Genuine hooks found by the Fig. 3 search land where the candidate's
+structure sends them (Claim 4.1 for service-delegation candidates,
+Claim 5.1b for the last-writer register candidate).  The remaining
+branches — disjoint participants (Claim 2), a shared process (Claim 3),
+service-and-process (Claim 4.2-4), two reads (Claim 5.1a), and
+read-then-write (Claim 5.1c) — are exercised here with *synthetic*
+hooks: hand-built states satisfying each claim's premises, on which the
+case analysis must verify its commutation/similarity conclusion
+concretely.  (The valence labels of a synthetic hook are formal — the
+analysis conclusions under test are structural.)
+"""
+
+import pytest
+
+from repro.analysis import (
+    DeterministicSystemView,
+    Valence,
+    analyze_valence,
+    enumerate_hooks,
+    lemma8_case_analysis,
+)
+from repro.analysis.hook import Hook
+from repro.ioa import Task, invoke
+from repro.protocols import (
+    delegation_consensus_system,
+    last_writer_register_system,
+)
+from repro.services import CanonicalAtomicObject, CanonicalRegister
+from repro.system import DistributedSystem, ScriptProcess
+from repro.types import binary_consensus_type
+
+
+def make_hook(view, state, e, e_prime):
+    """Assemble a synthetic hook at ``state`` from two applicable tasks."""
+    s0 = view.apply(state, e)
+    alpha_prime = view.apply(state, e_prime)
+    s1 = view.apply(alpha_prime, e)
+    return Hook(
+        alpha=state,
+        e=e,
+        e_prime=e_prime,
+        s0=s0,
+        alpha_prime=alpha_prime,
+        s1=s1,
+        valence0=Valence.ZERO,
+        valence1=Valence.ONE,
+    )
+
+
+def two_register_system():
+    """Two processes, two registers, scripted ops — a case-analysis rig."""
+    rega = CanonicalRegister("rega", endpoints=(0, 1), values=("e", 0, 1), initial="e")
+    regb = CanonicalRegister("regb", endpoints=(0, 1), values=("e", 0, 1), initial="e")
+    p0 = ScriptProcess(
+        0,
+        [invoke("rega", 0, ("read",)), invoke("regb", 0, ("write", 1))],
+        connections=["rega", "regb"],
+    )
+    p1 = ScriptProcess(
+        1,
+        [invoke("rega", 1, ("write", 0)), invoke("regb", 1, ("read",))],
+        connections=["rega", "regb"],
+    )
+    return DistributedSystem([p0, p1], registers=[rega, regb])
+
+
+def run_script_steps(system, view, count):
+    """Advance each process's script by ``count`` steps (interleaved)."""
+    state = system.some_start_state()
+    for _ in range(count):
+        for process in system.processes:
+            state = view.apply(state, process.tasks()[0])
+    return state
+
+
+class TestGenuineHooks:
+    def test_delegation_hooks_all_claim_4_1(self):
+        system = delegation_consensus_system(2, resilience=0)
+        root = system.initialization({0: 0, 1: 1}).final_state
+        analysis = analyze_valence(system, root)
+        hooks = enumerate_hooks(analysis)
+        assert hooks
+        claims = {
+            lemma8_case_analysis(system, analysis, hook).claim for hook in hooks
+        }
+        assert claims == {"claim4.1-shared-service-internal"}
+
+    def test_last_writer_hooks_hit_register_case(self):
+        system = last_writer_register_system()
+        root = system.initialization({0: 0, 1: 1}).final_state
+        analysis = analyze_valence(system, root, max_states=500_000)
+        hooks = enumerate_hooks(analysis)
+        assert hooks
+        claims = {
+            lemma8_case_analysis(system, analysis, hook).claim for hook in hooks
+        }
+        assert claims == {"claim5.1b-write-first"}
+
+    def test_every_hook_produces_verified_conclusion(self):
+        # The paper's guarantee: the case analysis never dead-ends.
+        for factory, proposals in (
+            (lambda: delegation_consensus_system(2, 0), {0: 0, 1: 1}),
+            (last_writer_register_system, {0: 0, 1: 1}),
+        ):
+            system = factory()
+            root = system.initialization(proposals).final_state
+            analysis = analyze_valence(system, root, max_states=500_000)
+            for hook in enumerate_hooks(analysis):
+                report = lemma8_case_analysis(system, analysis, hook)
+                assert report.commuted or report.violation is not None
+
+
+class TestSyntheticBranches:
+    def test_claim2_disjoint_participants_commute(self):
+        system = two_register_system()
+        view = DeterministicSystemView(system)
+        # Queue one op per register from different processes.
+        state = run_script_steps(system, view, 1)
+        e = Task("register[rega]", ("perform", 0))  # P0's read of rega
+        e_prime = Task("register[regb]", ("perform", 1))  # P1's read of regb
+        # regb got P1's read only after 2 script steps; use step 2 state.
+        state = run_script_steps(system, view, 2)
+        hook = make_hook(view, state, e, e_prime)
+        report = lemma8_case_analysis(system, None, hook)
+        assert report.claim == "claim2-disjoint-commute"
+        assert report.commuted
+
+    def test_claim3_shared_process(self):
+        # e = P0's task (invoking regb), e' = rega's output task to P0.
+        system = two_register_system()
+        view = DeterministicSystemView(system)
+        state = run_script_steps(system, view, 1)
+        # Perform P0's read of rega so a response awaits delivery to P0.
+        state = view.apply(state, Task("register[rega]", ("perform", 0)))
+        e = system.process(0).tasks()[0]  # P0 emits its second invoke
+        e_prime = Task("register[rega]", ("output", 0))  # deliver to P0
+        hook = make_hook(view, state, e, e_prime)
+        report = lemma8_case_analysis(system, None, hook)
+        assert report.claim == "claim3-shared-process"
+        assert report.violation.kind == "process"
+        assert report.violation.index == 0
+
+    def test_claim4_2_4_service_and_process_commute(self):
+        system = delegation_consensus_system(2, resilience=0)
+        view = DeterministicSystemView(system)
+        root = system.initialization({0: 0, 1: 1}).final_state
+        # P0 invokes; then e = service perform task (service only),
+        # e' = P1's task (process + service participants).
+        state = view.apply(root, system.process(0).tasks()[0])
+        e = Task("atomic[cons]", ("perform", 0))
+        e_prime = system.process(1).tasks()[0]
+        hook = make_hook(view, state, e, e_prime)
+        report = lemma8_case_analysis(system, None, hook)
+        assert report.claim == "claim4.2-4-shared-service-commute"
+        assert report.commuted
+
+    def test_claim5_1a_two_reads_commute(self):
+        rega = CanonicalRegister(
+            "rega", endpoints=(0, 1), values=("e", 0, 1), initial="e"
+        )
+        p0 = ScriptProcess(0, [invoke("rega", 0, ("read",))], connections=["rega"])
+        p1 = ScriptProcess(1, [invoke("rega", 1, ("read",))], connections=["rega"])
+        system = DistributedSystem([p0, p1], registers=[rega])
+        view = DeterministicSystemView(system)
+        state = run_script_steps(system, view, 1)
+        e = Task("register[rega]", ("perform", 0))
+        e_prime = Task("register[rega]", ("perform", 1))
+        hook = make_hook(view, state, e, e_prime)
+        report = lemma8_case_analysis(system, None, hook)
+        assert report.claim == "claim5.1a-two-reads-commute"
+        assert report.commuted
+
+    def test_claim5_1b_write_first(self):
+        rega = CanonicalRegister(
+            "rega", endpoints=(0, 1), values=("e", 0, 1), initial="e"
+        )
+        p0 = ScriptProcess(0, [invoke("rega", 0, ("write", 1))], connections=["rega"])
+        p1 = ScriptProcess(1, [invoke("rega", 1, ("write", 0))], connections=["rega"])
+        system = DistributedSystem([p0, p1], registers=[rega])
+        view = DeterministicSystemView(system)
+        state = run_script_steps(system, view, 1)
+        e = Task("register[rega]", ("perform", 0))  # performs a write
+        e_prime = Task("register[rega]", ("perform", 1))
+        hook = make_hook(view, state, e, e_prime)
+        report = lemma8_case_analysis(system, None, hook)
+        assert report.claim == "claim5.1b-write-first"
+        assert report.violation.kind == "process"
+        assert report.violation.index == 1  # e''s endpoint
+
+    def test_claim5_1c_read_then_write(self):
+        rega = CanonicalRegister(
+            "rega", endpoints=(0, 1), values=("e", 0, 1), initial="e"
+        )
+        p0 = ScriptProcess(0, [invoke("rega", 0, ("read",))], connections=["rega"])
+        p1 = ScriptProcess(1, [invoke("rega", 1, ("write", 0))], connections=["rega"])
+        system = DistributedSystem([p0, p1], registers=[rega])
+        view = DeterministicSystemView(system)
+        state = run_script_steps(system, view, 1)
+        e = Task("register[rega]", ("perform", 0))  # e reads
+        e_prime = Task("register[rega]", ("perform", 1))  # e' writes
+        hook = make_hook(view, state, e, e_prime)
+        report = lemma8_case_analysis(system, None, hook)
+        assert report.claim == "claim5.1c-read-then-write"
+        assert report.violation.kind == "process"
+        assert report.violation.index == 0  # e's endpoint
+
+    def test_claim1_same_task_rejected(self):
+        system = delegation_consensus_system(2, resilience=0)
+        view = DeterministicSystemView(system)
+        root = system.initialization({0: 0, 1: 1}).final_state
+        e = system.process(0).tasks()[0]
+        with pytest.raises(AssertionError):
+            lemma8_case_analysis(
+                system,
+                None,
+                Hook(
+                    alpha=root,
+                    e=e,
+                    e_prime=e,
+                    s0=view.apply(root, e),
+                    alpha_prime=view.apply(root, e),
+                    s1=view.apply(view.apply(root, e), e),
+                    valence0=Valence.ZERO,
+                    valence1=Valence.ONE,
+                ),
+            )

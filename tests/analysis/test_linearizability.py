@@ -1,0 +1,241 @@
+"""Unit tests for the linearizability checker (Herlihy-Wing)."""
+
+import pytest
+
+from repro.analysis.linearizability import (
+    Operation,
+    check_linearizable,
+    find_non_linearizable_witness,
+    history_from_trace,
+    trace_is_linearizable,
+)
+from repro.ioa import invoke, respond
+from repro.types import (
+    binary_consensus_type,
+    queue_type,
+    read_write_type,
+)
+
+
+class TestHistoryExtraction:
+    def test_matched_operations(self):
+        trace = [
+            invoke("r", 0, ("write", 1)),
+            invoke("r", 1, ("read",)),
+            respond("r", 0, ("ack",)),
+            respond("r", 1, ("value", 1)),
+        ]
+        operations = history_from_trace(trace, "r")
+        assert len(operations) == 2
+        write_op = next(o for o in operations if o.endpoint == 0)
+        assert write_op.invocation == ("write", 1)
+        assert write_op.response == ("ack",)
+        assert write_op.invoked_at == 0 and write_op.responded_at == 2
+
+    def test_pending_operation(self):
+        trace = [invoke("r", 0, ("read",))]
+        operations = history_from_trace(trace, "r")
+        assert operations[0].is_pending
+
+    def test_fifo_matching_per_endpoint(self):
+        trace = [
+            invoke("r", 0, ("write", 1)),
+            invoke("r", 0, ("read",)),
+            respond("r", 0, ("ack",)),
+            respond("r", 0, ("value", 1)),
+        ]
+        operations = history_from_trace(trace, "r")
+        assert operations[0].invocation == ("write", 1)
+        assert operations[1].invocation == ("read",)
+
+    def test_unmatched_response_rejected(self):
+        with pytest.raises(ValueError):
+            history_from_trace([respond("r", 0, ("ack",))], "r")
+
+    def test_other_services_ignored(self):
+        trace = [invoke("other", 0, ("read",)), invoke("r", 0, ("read",))]
+        assert len(history_from_trace(trace, "r")) == 1
+
+
+class TestRegisterHistories:
+    def test_sequential_history_linearizable(self):
+        rw = read_write_type(values=(0, 1, 2))
+        trace = [
+            invoke("r", 0, ("write", 1)),
+            respond("r", 0, ("ack",)),
+            invoke("r", 1, ("read",)),
+            respond("r", 1, ("value", 1)),
+        ]
+        assert trace_is_linearizable(trace, "r", rw)
+
+    def test_concurrent_history_linearizable_both_orders(self):
+        rw = read_write_type(values=(0, 1, 2))
+        # Overlapping write(1) and read: read may see 0 or 1.
+        for seen in (0, 1):
+            trace = [
+                invoke("r", 0, ("write", 1)),
+                invoke("r", 1, ("read",)),
+                respond("r", 1, ("value", seen)),
+                respond("r", 0, ("ack",)),
+            ]
+            assert trace_is_linearizable(trace, "r", rw), seen
+
+    def test_real_time_order_violation_detected(self):
+        rw = read_write_type(values=(0, 1, 2))
+        # write(1) completes BEFORE the read starts, yet the read sees 0.
+        trace = [
+            invoke("r", 0, ("write", 1)),
+            respond("r", 0, ("ack",)),
+            invoke("r", 1, ("read",)),
+            respond("r", 1, ("value", 0)),
+        ]
+        assert not trace_is_linearizable(trace, "r", rw)
+        assert find_non_linearizable_witness(trace, "r", rw) is not None
+
+    def test_stale_read_between_writes_rejected(self):
+        rw = read_write_type(values=(0, 1, 2))
+        trace = [
+            invoke("r", 0, ("write", 1)),
+            respond("r", 0, ("ack",)),
+            invoke("r", 0, ("write", 2)),
+            respond("r", 0, ("ack",)),
+            invoke("r", 1, ("read",)),
+            respond("r", 1, ("value", 1)),  # both writes already done
+        ]
+        assert not trace_is_linearizable(trace, "r", rw)
+
+    def test_pending_write_may_take_effect(self):
+        rw = read_write_type(values=(0, 1, 2))
+        # The write never responded, but the read may still see it.
+        trace = [
+            invoke("r", 0, ("write", 1)),
+            invoke("r", 1, ("read",)),
+            respond("r", 1, ("value", 1)),
+        ]
+        assert trace_is_linearizable(trace, "r", rw)
+
+    def test_pending_write_may_be_dropped(self):
+        rw = read_write_type(values=(0, 1, 2))
+        trace = [
+            invoke("r", 0, ("write", 1)),
+            invoke("r", 1, ("read",)),
+            respond("r", 1, ("value", 0)),
+        ]
+        assert trace_is_linearizable(trace, "r", rw)
+
+
+class TestConsensusHistories:
+    def test_agreeing_history_linearizable(self):
+        consensus = binary_consensus_type()
+        trace = [
+            invoke("c", 0, ("init", 0)),
+            invoke("c", 1, ("init", 1)),
+            respond("c", 0, ("decide", 1)),
+            respond("c", 1, ("decide", 1)),
+        ]
+        assert trace_is_linearizable(trace, "c", consensus)
+
+    def test_disagreeing_history_rejected(self):
+        consensus = binary_consensus_type()
+        trace = [
+            invoke("c", 0, ("init", 0)),
+            invoke("c", 1, ("init", 1)),
+            respond("c", 0, ("decide", 0)),
+            respond("c", 1, ("decide", 1)),
+        ]
+        assert not trace_is_linearizable(trace, "c", consensus)
+
+    def test_second_proposer_cannot_win_after_first_decides(self):
+        consensus = binary_consensus_type()
+        trace = [
+            invoke("c", 0, ("init", 0)),
+            respond("c", 0, ("decide", 0)),
+            invoke("c", 1, ("init", 1)),
+            respond("c", 1, ("decide", 1)),
+        ]
+        assert not trace_is_linearizable(trace, "c", consensus)
+
+
+class TestQueueHistories:
+    def test_fifo_history(self):
+        queue = queue_type(items=("a", "b"))
+        trace = [
+            invoke("q", 0, ("enq", "a")),
+            respond("q", 0, ("ack",)),
+            invoke("q", 1, ("enq", "b")),
+            respond("q", 1, ("ack",)),
+            invoke("q", 0, ("deq",)),
+            respond("q", 0, ("item", "a")),
+        ]
+        assert trace_is_linearizable(trace, "q", queue)
+
+    def test_out_of_order_dequeue_rejected(self):
+        queue = queue_type(items=("a", "b"))
+        trace = [
+            invoke("q", 0, ("enq", "a")),
+            respond("q", 0, ("ack",)),
+            invoke("q", 1, ("enq", "b")),
+            respond("q", 1, ("ack",)),
+            invoke("q", 0, ("deq",)),
+            respond("q", 0, ("item", "b")),  # skips "a"
+        ]
+        assert not trace_is_linearizable(trace, "q", queue)
+
+    def test_concurrent_enqueues_either_order(self):
+        queue = queue_type(items=("a", "b"))
+        for first in ("a", "b"):
+            trace = [
+                invoke("q", 0, ("enq", "a")),
+                invoke("q", 1, ("enq", "b")),
+                respond("q", 0, ("ack",)),
+                respond("q", 1, ("ack",)),
+                invoke("q", 0, ("deq",)),
+                respond("q", 0, ("item", first)),
+            ]
+            assert trace_is_linearizable(trace, "q", queue), first
+
+
+class TestCanonicalObjectsAreLinearizable:
+    """The Fig. 1 construction really produces linearizable behavior."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_register_object_histories(self, seed):
+        from repro.ioa import RandomScheduler, run
+        from repro.services import CanonicalRegister
+        from repro.system import DistributedSystem, ScriptProcess
+
+        register = CanonicalRegister(
+            "r", endpoints=(0, 1), values=(0, 1, 2), initial=0
+        )
+        p0 = ScriptProcess(
+            0,
+            [invoke("r", 0, ("write", 1)), invoke("r", 0, ("read",))],
+            connections=["r"],
+        )
+        p1 = ScriptProcess(
+            1,
+            [invoke("r", 1, ("write", 2)), invoke("r", 1, ("read",))],
+            connections=["r"],
+        )
+        system = DistributedSystem([p0, p1], registers=[register])
+        execution = run(system, RandomScheduler(seed), max_steps=60)
+        rw = read_write_type(values=(0, 1, 2))
+        assert trace_is_linearizable(execution.actions, "r", rw)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_consensus_object_histories(self, seed):
+        from repro.analysis import run_consensus_round
+        from repro.protocols import delegation_consensus_system
+        from repro.ioa import RandomScheduler, run
+
+        system = delegation_consensus_system(3, resilience=2)
+        initialization = system.initialization({0: 0, 1: 1, 2: 0})
+        execution = run(
+            system,
+            RandomScheduler(seed),
+            max_steps=200,
+            start=initialization.final_state,
+        )
+        assert trace_is_linearizable(
+            execution.actions, "cons", binary_consensus_type()
+        )

@@ -1,0 +1,58 @@
+"""Unit tests for the report formatters."""
+
+import pytest
+
+from repro.analysis import refute_candidate
+from repro.analysis.reports import (
+    format_hook,
+    format_lemma4,
+    format_lemma8,
+    format_refutation,
+    format_verdict,
+)
+from repro.protocols import delegation_consensus_system
+
+
+@pytest.fixture(scope="module")
+def verdict():
+    return refute_candidate(delegation_consensus_system(2, resilience=0))
+
+
+class TestFormatters:
+    def test_format_verdict_mentions_all_stages(self, verdict):
+        text = format_verdict(verdict)
+        assert "refuted:   True" in text
+        assert "Lemma 4" in text
+        assert "Lemma 5" in text
+        assert "Lemma 8" in text
+        assert "Lemmas 6/7" in text
+
+    def test_format_lemma4_lists_chain(self, verdict):
+        lines = format_lemma4(verdict.lemma4)
+        # n + 1 = 3 chain entries plus header and summary.
+        assert len(lines) == 5
+        assert "bivalent initialization" in lines[-1]
+
+    def test_format_hook_shows_both_tasks(self, verdict):
+        lines = format_hook(verdict.hook)
+        assert any("e  =" in line for line in lines)
+        assert any("e' =" in line for line in lines)
+        assert any("0-valent" in line for line in lines)
+        assert any("1-valent" in line for line in lines)
+
+    def test_format_lemma8_conclusion(self, verdict):
+        lines = format_lemma8(verdict.lemma8)
+        assert any("claim4.1" in line for line in lines)
+        assert any("service-similar" in line for line in lines)
+
+    def test_format_refutation_exact_witness(self, verdict):
+        lines = format_refutation(verdict.refutation)
+        assert any("exact infinite fair execution" in line for line in lines)
+        assert any("never decide" in line for line in lines)
+
+    def test_dodging_candidate_report(self):
+        from repro.protocols import min_register_consensus_system
+
+        dodge = refute_candidate(min_register_consensus_system())
+        text = format_verdict(dodge)
+        assert "no bivalent initialization" in text

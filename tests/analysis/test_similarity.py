@@ -1,0 +1,112 @@
+"""Unit tests for j-/k-similarity (Section 3.5) and the violation scanner."""
+
+import pytest
+
+from repro.analysis import (
+    DeterministicSystemView,
+    Valence,
+    analyze_valence,
+    differing_components,
+    j_similar,
+    k_similar,
+    scan_for_similarity_violations,
+    similar_in_some_way,
+)
+from repro.ioa import Task, invoke
+from repro.protocols import delegation_consensus_system
+
+
+@pytest.fixture
+def setup():
+    system = delegation_consensus_system(2, resilience=0)
+    view = DeterministicSystemView(system)
+    root = system.initialization({0: 0, 1: 1}).final_state
+    return system, view, root
+
+
+class TestPredicates:
+    def test_state_is_similar_to_itself(self, setup):
+        system, _, root = setup
+        assert j_similar(system, root, root, j=0)
+        assert k_similar(system, root, root, k="cons")
+
+    def test_j_similarity_tolerates_j_differences(self, setup):
+        system, view, root = setup
+        # Run only process 0's task: states differ in P0 and in 0's buffers.
+        after = view.apply(root, system.process(0).tasks()[0])
+        assert j_similar(system, root, after, j=0)
+        assert not j_similar(system, root, after, j=1)
+
+    def test_j_similarity_detects_val_difference(self, setup):
+        system, view, root = setup
+        # Invoke and perform for endpoint 0: val changes, so even
+        # 0-similarity fails (val is compared for every service).
+        state = view.apply(root, system.process(0).tasks()[0])
+        state = view.apply(state, Task("atomic[cons]", ("perform", 0)))
+        assert not j_similar(system, root, state, j=0)
+
+    def test_k_similarity_tolerates_service_differences(self, setup):
+        system, view, root = setup
+        # Two perform orders: process states equal, only service differs.
+        state_a = view.apply(root, system.process(0).tasks()[0])
+        state_a = view.apply(state_a, system.process(1).tasks()[0])
+        state_b = view.apply(root, system.process(1).tasks()[0])
+        state_b = view.apply(state_b, system.process(0).tasks()[0])
+        one = view.apply(state_a, Task("atomic[cons]", ("perform", 0)))
+        other = view.apply(state_b, Task("atomic[cons]", ("perform", 1)))
+        assert k_similar(system, one, other, k="cons")
+        assert not j_similar(system, one, other, j=0)
+
+    def test_ignore_services_parameter(self, setup):
+        system, view, root = setup
+        state = view.apply(root, system.process(0).tasks()[0])
+        state = view.apply(state, Task("atomic[cons]", ("perform", 0)))
+        # Exempting the service makes the comparison pass again for j=0.
+        assert j_similar(system, root, state, j=0, ignore_services=("cons",))
+
+    def test_similar_in_some_way(self, setup):
+        system, view, root = setup
+        after = view.apply(root, system.process(1).tasks()[0])
+        witness = similar_in_some_way(system, root, after)
+        assert witness == ("process", 1)
+
+    def test_similar_in_no_way(self, setup):
+        system, view, root = setup
+        # Change both processes and the service value: nothing matches.
+        state = view.apply(root, system.process(0).tasks()[0])
+        state = view.apply(state, system.process(1).tasks()[0])
+        state = view.apply(state, Task("atomic[cons]", ("perform", 0)))
+        state = view.apply(state, Task("atomic[cons]", ("output", 0)))
+        assert similar_in_some_way(system, root, state) is None
+
+
+class TestScanner:
+    def test_doomed_candidate_has_violations(self, setup):
+        system, _, root = setup
+        analysis = analyze_valence(system, root)
+        violations = scan_for_similarity_violations(system, analysis)
+        assert violations, (
+            "a doomed candidate must exhibit similar univalent states of "
+            "opposite valence (this is how Lemmas 6-7 fail for it)"
+        )
+        for violation in violations:
+            assert analysis.valence(violation.s0) is Valence.ZERO
+            assert analysis.valence(violation.s1) is Valence.ONE
+
+    def test_scanner_respects_max_pairs(self, setup):
+        system, _, root = setup
+        analysis = analyze_valence(system, root)
+        limited = scan_for_similarity_violations(system, analysis, max_pairs=1)
+        assert len(limited) <= 1
+
+
+class TestDiffing:
+    def test_differing_components(self, setup):
+        system, view, root = setup
+        after = view.apply(root, system.process(0).tasks()[0])
+        names = differing_components(system, root, after)
+        assert set(names) == {"P[0]", "atomic[cons]"}
+
+    def test_no_difference(self, setup):
+        system, _, root = setup
+        assert differing_components(system, root, root) == []

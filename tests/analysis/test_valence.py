@@ -1,0 +1,139 @@
+"""Unit tests for valence analysis and Lemma 4 (Section 3.2)."""
+
+import pytest
+
+from repro.analysis import (
+    Valence,
+    analyze_valence,
+    classify,
+    lemma4_bivalent_initialization,
+)
+from repro.protocols import (
+    delegation_consensus_system,
+    min_register_consensus_system,
+    tob_delegation_system,
+)
+
+
+class TestClassify:
+    def test_zero(self):
+        assert classify(frozenset({0})) is Valence.ZERO
+
+    def test_one(self):
+        assert classify(frozenset({1})) is Valence.ONE
+
+    def test_bivalent(self):
+        assert classify(frozenset({0, 1})) is Valence.BIVALENT
+
+    def test_blocked(self):
+        assert classify(frozenset()) is Valence.BLOCKED
+
+    def test_univalence_predicate(self):
+        assert Valence.ZERO.is_univalent
+        assert Valence.ONE.is_univalent
+        assert not Valence.BIVALENT.is_univalent
+        assert not Valence.BLOCKED.is_univalent
+
+
+class TestValenceAnalysis:
+    def test_mixed_inputs_bivalent_root(self):
+        system = delegation_consensus_system(2, resilience=0)
+        root = system.initialization({0: 0, 1: 1}).final_state
+        analysis = analyze_valence(system, root)
+        assert analysis.valence(root) is Valence.BIVALENT
+        assert analysis.is_bivalent(root)
+
+    def test_uniform_inputs_univalent_root(self):
+        system = delegation_consensus_system(2, resilience=0)
+        for value, expected in ((0, Valence.ZERO), (1, Valence.ONE)):
+            root = system.initialization({0: value, 1: value}).final_state
+            analysis = analyze_valence(system, root)
+            assert analysis.valence(root) is expected
+
+    def test_univalent_stays_univalent(self):
+        # Extensions of a univalent state have the same valence.
+        system = delegation_consensus_system(2, resilience=0)
+        root = system.initialization({0: 0, 1: 1}).final_state
+        analysis = analyze_valence(system, root)
+        for state in analysis.graph.states:
+            valence = analysis.valence(state)
+            if not valence.is_univalent:
+                continue
+            for _, _, successor in analysis.graph.successors(state):
+                assert analysis.valence(successor) is valence
+
+    def test_bivalent_successor_structure(self):
+        # From a bivalent state, either some successor is bivalent or two
+        # successors disagree (that is what makes it bivalent).
+        system = delegation_consensus_system(2, resilience=0)
+        root = system.initialization({0: 0, 1: 1}).final_state
+        analysis = analyze_valence(system, root)
+        for state in analysis.bivalent_states():
+            successors = [
+                analysis.valence(post)
+                for _, _, post in analysis.graph.successors(state)
+            ]
+            assert successors, "bivalent states cannot be sinks"
+            assert (
+                Valence.BIVALENT in successors
+                or {Valence.ZERO, Valence.ONE} <= set(successors)
+            )
+
+    def test_counts_histogram(self):
+        system = delegation_consensus_system(2, resilience=0)
+        root = system.initialization({0: 0, 1: 1}).final_state
+        analysis = analyze_valence(system, root)
+        counts = analysis.counts()
+        assert sum(counts.values()) == len(analysis.graph)
+        assert counts[Valence.BIVALENT] > 0
+        assert counts[Valence.BLOCKED] == 0  # Lemma 3 holds here
+
+    def test_no_blocked_states_in_live_candidate(self):
+        system = tob_delegation_system(2, resilience=0)
+        root = system.initialization({0: 0, 1: 1}).final_state
+        analysis = analyze_valence(system, root, max_states=100_000)
+        assert analysis.blocked_states() == []
+
+    def test_rejects_failed_roots(self):
+        system = delegation_consensus_system(2, resilience=0)
+        root = system.initialization({0: 0, 1: 1}).final_state
+        failed = system.fail_process(root, 0)
+        with pytest.raises(ValueError):
+            analyze_valence(system, failed)
+
+
+class TestLemma4:
+    def test_delegation_has_bivalent_initialization(self):
+        result = lemma4_bivalent_initialization(
+            delegation_consensus_system(2, resilience=0)
+        )
+        assert result.bivalent is not None
+        assert result.bivalent.valence is Valence.BIVALENT
+
+    def test_chain_has_n_plus_one_entries(self):
+        result = lemma4_bivalent_initialization(
+            delegation_consensus_system(3, resilience=1)
+        )
+        assert len(result.chain) == 4
+
+    def test_chain_endpoints_pinned_by_validity(self):
+        result = lemma4_bivalent_initialization(
+            delegation_consensus_system(2, resilience=0)
+        )
+        assert result.chain[0].valence is Valence.ZERO  # all propose 0
+        assert result.chain[-1].valence is Valence.ONE  # all propose 1
+
+    def test_tob_candidate_also_has_bivalent_initialization(self):
+        result = lemma4_bivalent_initialization(
+            tob_delegation_system(2, resilience=0), max_states=100_000
+        )
+        assert result.bivalent is not None
+
+    def test_min_register_candidate_is_all_univalent(self):
+        # The min protocol decides min(v0, v1) regardless of schedule:
+        # every initialization is univalent, so it dodges the bivalence
+        # machinery — and is refuted by the direct liveness attack instead.
+        result = lemma4_bivalent_initialization(min_register_consensus_system())
+        assert result.bivalent is None
+        valences = [entry.valence for entry in result.chain]
+        assert valences == [Valence.ZERO, Valence.ZERO, Valence.ONE]

@@ -1,0 +1,39 @@
+"""Shared fixtures: small canonical systems used across the test suite."""
+
+import pytest
+
+from repro.ioa import invoke
+from repro.services import CanonicalAtomicObject, CanonicalRegister
+from repro.system import DistributedSystem, ScriptProcess
+from repro.types import binary_consensus_type, read_write_type
+
+
+@pytest.fixture
+def consensus_object():
+    """A 1-resilient binary consensus object on endpoints {0, 1, 2}."""
+    return CanonicalAtomicObject(
+        sequential_type=binary_consensus_type(),
+        endpoints=(0, 1, 2),
+        resilience=1,
+        service_id="cons",
+    )
+
+
+@pytest.fixture
+def small_register():
+    """A wait-free register on endpoints {0, 1} over values {empty, 0, 1}."""
+    return CanonicalRegister(
+        "reg", endpoints=(0, 1), values=("empty", 0, 1), initial="empty"
+    )
+
+
+@pytest.fixture
+def register_system(small_register):
+    """Two scripted processes writing/reading one shared register."""
+    p0 = ScriptProcess(
+        0,
+        [invoke("reg", 0, ("write", 1)), invoke("reg", 0, ("read",))],
+        connections=["reg"],
+    )
+    p1 = ScriptProcess(1, [invoke("reg", 1, ("read",))], connections=["reg"])
+    return DistributedSystem([p0, p1], registers=[small_register])

@@ -1,0 +1,83 @@
+"""Appendix B / Theorem 11: the operational consensus definition implies
+the axiomatic one.
+
+The paper's consensus spec is "implement the canonical f-resilient
+consensus object"; Theorem 11 shows every execution of that object
+satisfies agreement, validity, and modified termination.  We verify this
+by (a) exhaustively checking the safety axioms over every bounded
+behavior of small delegation systems (which ARE the canonical object
+plus forwarding processes), including failure branches, and (b) checking
+modified termination over fair runs with every failure pattern within
+the resilience bound.
+"""
+
+import pytest
+
+from repro.analysis import (
+    exhaustive_safety_check,
+    run_consensus_round,
+)
+from repro.protocols import delegation_consensus_system
+from repro.system import all_failure_sets, upfront_failures
+
+
+class TestAgreementAndValidityExhaustive:
+    @pytest.mark.parametrize(
+        "proposals",
+        [{0: 0, 1: 0}, {0: 0, 1: 1}, {0: 1, 1: 0}, {0: 1, 1: 1}],
+    )
+    def test_two_process_object_all_inputs(self, proposals):
+        result = exhaustive_safety_check(
+            delegation_consensus_system(2, resilience=1), proposals
+        )
+        assert result.ok
+        assert result.states_visited > 0
+
+    def test_two_process_object_with_failure_branching(self):
+        result = exhaustive_safety_check(
+            delegation_consensus_system(2, resilience=1),
+            {0: 0, 1: 1},
+            failure_choices=(0, 1),
+            max_states=500_000,
+        )
+        assert result.ok
+
+    def test_three_process_object(self):
+        result = exhaustive_safety_check(
+            delegation_consensus_system(3, resilience=2),
+            {0: 0, 1: 1, 2: 0},
+            max_states=500_000,
+        )
+        assert result.ok
+
+
+class TestModifiedTermination:
+    def test_every_failure_pattern_within_resilience(self):
+        # f = 1, n = 3: every 0- or 1-failure pattern must terminate for
+        # the nonfaulty inited processes.
+        for count in (0, 1):
+            for victims in all_failure_sets(range(3), exactly=count):
+                check = run_consensus_round(
+                    delegation_consensus_system(3, resilience=1),
+                    {0: 1, 1: 0, 2: 1},
+                    failure_schedule=upfront_failures(sorted(victims)),
+                )
+                assert check.ok, (victims, check.violations)
+
+    def test_wait_free_object_terminates_under_any_failures(self):
+        for count in range(3):
+            for victims in all_failure_sets(range(3), exactly=count):
+                check = run_consensus_round(
+                    delegation_consensus_system(3, resilience=2),
+                    {0: 1, 1: 0, 2: 1},
+                    failure_schedule=upfront_failures(sorted(victims)),
+                )
+                assert check.ok, (victims, check.violations)
+
+    def test_decisions_are_first_performed_value(self):
+        # The canonical object's value semantics: the first performed
+        # init fixes the decision for everyone.
+        check = run_consensus_round(
+            delegation_consensus_system(3, resilience=2), {0: 1, 1: 1, 2: 1}
+        )
+        assert set(check.decisions.values()) == {1}

@@ -1,0 +1,147 @@
+"""Integration tests: the paper's two possibility (boosting) results."""
+
+import pytest
+
+from repro.analysis import run_consensus_round
+from repro.protocols import (
+    classic_parameters,
+    consensus_via_pairwise_fds_system,
+    kset_boost_system,
+)
+from repro.system import all_failure_sets, upfront_failures
+
+
+class TestSection4Boost:
+    """Wait-free 2n-process 2-set-consensus from wait-free n-process
+    consensus: resilience IS boosted (f' = n/2 - 1 < f = n - 1)."""
+
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_wait_freedom_under_every_single_survivor_pattern(self, n):
+        params = classic_parameters(n)
+        proposals = {e: e for e in range(n)}
+        for survivor in range(n):
+            victims = [e for e in range(n) if e != survivor]
+            check = run_consensus_round(
+                kset_boost_system(params),
+                proposals,
+                failure_schedule=upfront_failures(victims),
+                k=2,
+                max_steps=60_000,
+            )
+            assert check.ok, (n, survivor, check.violations)
+
+    def test_exhaustive_failure_sets_n4(self):
+        params = classic_parameters(4)
+        proposals = {0: 0, 1: 1, 2: 2, 3: 3}
+        for count in range(4):
+            for victims in all_failure_sets(range(4), exactly=count):
+                check = run_consensus_round(
+                    kset_boost_system(params),
+                    proposals,
+                    failure_schedule=upfront_failures(sorted(victims)),
+                    k=2,
+                    max_steps=60_000,
+                )
+                assert check.ok, (victims, check.violations)
+
+    def test_decisions_bounded_by_k_over_many_schedules(self):
+        params = classic_parameters(4)
+        for seed in range(20):
+            check = run_consensus_round(
+                kset_boost_system(params),
+                {0: 0, 1: 1, 2: 2, 3: 3},
+                seed=seed,
+                k=2,
+            )
+            assert check.ok
+            assert len(set(check.decisions.values())) <= 2
+
+
+class TestSection63Boost:
+    """Consensus for ANY number of failures from 1-resilient 2-process
+    perfect failure detectors: the connectivity loophole of Theorem 10."""
+
+    def test_all_failure_patterns_n3(self):
+        for count in range(3):  # 0, 1, 2 failures out of 3
+            for victims in all_failure_sets(range(3), exactly=count):
+                check = run_consensus_round(
+                    consensus_via_pairwise_fds_system(3),
+                    {0: 0, 1: 1, 2: 1},
+                    failure_schedule=upfront_failures(sorted(victims)),
+                    max_steps=80_000,
+                )
+                assert check.ok, (victims, check.violations)
+
+    def test_four_processes_three_failures(self):
+        check = run_consensus_round(
+            consensus_via_pairwise_fds_system(4),
+            {0: 1, 1: 0, 2: 0, 3: 1},
+            failure_schedule=upfront_failures([0, 2, 3]),
+            max_steps=150_000,
+        )
+        assert check.ok, check.violations
+        assert 1 in check.decisions
+
+    def test_agreement_never_violated_across_seeds(self):
+        from repro.system import random_failures
+
+        for seed in range(15):
+            schedule = random_failures(
+                range(3), max_failures=2, horizon=500, seed=seed
+            )
+            check = run_consensus_round(
+                consensus_via_pairwise_fds_system(3),
+                {0: 0, 1: 1, 2: 0},
+                failure_schedule=schedule,
+                seed=seed,
+                max_steps=80_000,
+            )
+            assert all(
+                v.axiom not in ("agreement", "validity") for v in check.violations
+            ), (seed, check.violations)
+            assert check.ok, (seed, check.violations)
+
+
+class TestWeakerProblemsDodgeTheTheorem:
+    """Section 4's framing: "our results do not apply to some problems
+    that are weaker than consensus, such as k-set-consensus."  The very
+    attacks that kill the consensus candidates bounce off the Section 4
+    system when judged as a 2-set-consensus solver."""
+
+    def test_lemma7_style_attack_fails_on_kset_boost(self):
+        from repro.analysis import liveness_attack
+
+        params = classic_parameters(4)
+        system = kset_boost_system(params)
+        root = system.initialization({0: 0, 1: 1, 2: 2, 3: 3}).final_state
+        # Fail one whole group's endpoints (the harshest Lemma 7 shape):
+        # the OTHER group's wait-free service keeps serving, so its
+        # members decide and the attack cannot certify a violation.
+        violation = liveness_attack(system, root, victims=[0, 1], horizon=100_000)
+        assert violation is None
+
+    def test_every_two_victim_attack_fails(self):
+        from repro.analysis import liveness_attack
+
+        params = classic_parameters(4)
+        for victims in all_failure_sets(range(4), exactly=2):
+            system = kset_boost_system(params)
+            root = system.initialization(
+                {0: 0, 1: 1, 2: 2, 3: 3}
+            ).final_state
+            violation = liveness_attack(
+                system, root, victims=sorted(victims), horizon=100_000
+            )
+            assert violation is None, victims
+
+    def test_three_victim_attack_also_fails(self):
+        # Even n - 1 = 3 failures: wait-freedom of the boosted system.
+        from repro.analysis import liveness_attack
+
+        params = classic_parameters(4)
+        system = kset_boost_system(params)
+        root = system.initialization({0: 0, 1: 1, 2: 2, 3: 3}).final_state
+        violation = liveness_attack(
+            system, root, victims=[0, 1, 2], horizon=100_000
+        )
+        assert violation is None

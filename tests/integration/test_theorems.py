@@ -1,0 +1,161 @@
+"""Integration tests: the three impossibility theorems, end to end.
+
+Each test runs the complete adversary pipeline (Lemma 4 -> Fig. 3 hook
+search -> Lemma 8 case analysis -> Lemma 6/7 constructive refutation)
+against a candidate system of the appropriate service class, and checks
+that the produced witness has exactly the shape the paper's proof
+predicts.
+"""
+
+import pytest
+
+from repro.analysis import (
+    TerminationViolation,
+    Valence,
+    liveness_attack,
+    refute_candidate,
+)
+from repro.protocols import (
+    consensus_with_shared_fd_system,
+    delegation_consensus_system,
+    min_register_consensus_system,
+    tob_delegation_system,
+)
+
+
+class TestTheorem2:
+    """Atomic objects: f-resilient services cannot give (f+1)-resilient
+    consensus, for any connection pattern."""
+
+    @pytest.mark.parametrize("n,f", [(2, 0), (3, 0), (3, 1), (4, 1)])
+    def test_delegation_candidates_refuted(self, n, f):
+        assert f < n - 1  # the theorem's hypothesis
+        verdict = refute_candidate(
+            delegation_consensus_system(n, resilience=f), max_states=600_000
+        )
+        assert verdict.refuted
+        assert verdict.mechanism == "similarity-termination"
+        refutation = verdict.refutation
+        assert isinstance(refutation, TerminationViolation)
+        # Exactly f + 1 victims, as in Lemmas 6-7.
+        assert len(refutation.victims) == f + 1
+        # The witness is an exact infinite fair execution, not a timeout.
+        assert refutation.exact
+        assert refutation.survivors
+
+    def test_pipeline_stages_match_proof(self):
+        verdict = refute_candidate(delegation_consensus_system(3, resilience=1))
+        # Lemma 4: a bivalent initialization exists.
+        assert verdict.lemma4.bivalent is not None
+        # Lemma 5: the Fig. 3 construction found a hook.
+        assert verdict.hook is not None
+        assert verdict.hook.valence0 is not verdict.hook.valence1
+        # Lemma 8: the hook's tasks share the consensus service, landing
+        # in Claim 4.1, which yields a k-similar opposite-valence pair.
+        assert verdict.lemma8.claim == "claim4.1-shared-service-internal"
+        assert verdict.lemma8.violation.kind == "service"
+
+    def test_flp_special_case_registers_only(self):
+        """f = 0 (registers only) is the classical FLP setting: no
+        1-resilient consensus from reliable registers."""
+        system = min_register_consensus_system()
+        root = system.initialization({0: 0, 1: 1}).final_state
+        violation = liveness_attack(system, root, victims=[1], horizon=50_000)
+        assert violation is not None and violation.exact
+        assert violation.survivors == frozenset({0})
+
+    def test_wait_free_services_are_out_of_scope(self):
+        """With f = n - 1 the theorem's hypothesis f < n - 1 fails, and
+        indeed the candidate survives the attack: the theorem is tight."""
+        system = delegation_consensus_system(3, resilience=2)
+        root = system.initialization({0: 0, 1: 1, 2: 1}).final_state
+        assert liveness_attack(system, root, victims=[0, 1]) is None
+
+
+class TestTheorem9:
+    """Failure-oblivious services: same impossibility."""
+
+    @pytest.mark.parametrize("n,f", [(2, 0), (3, 1)])
+    def test_tob_candidates_refuted(self, n, f):
+        verdict = refute_candidate(
+            tob_delegation_system(n, resilience=f), max_states=900_000
+        )
+        assert verdict.refuted
+        assert isinstance(verdict.refutation, TerminationViolation)
+        assert len(verdict.refutation.victims) == f + 1
+
+    def test_hook_involves_the_oblivious_service(self):
+        verdict = refute_candidate(
+            tob_delegation_system(2, resilience=0), max_states=400_000
+        )
+        assert verdict.lemma8.violation.index == "tob"
+
+
+class TestTheorem10:
+    """Failure-aware services connected to ALL processes: same
+    impossibility — f+1 failures can silence every failure-aware service."""
+
+    @pytest.mark.parametrize("n,f", [(3, 0), (3, 1), (4, 1)])
+    def test_shared_fd_candidates_blocked(self, n, f):
+        assert f < n - 1
+        system = consensus_with_shared_fd_system(n, fd_resilience=f)
+        root = system.initialization(
+            {i: i % 2 for i in range(n)}
+        ).final_state
+        victims = list(range(f + 1))
+        violation = liveness_attack(
+            system,
+            root,
+            victims=victims,
+            horizon=200_000,
+            failure_aware_services=["P"],
+        )
+        assert violation is not None
+        assert violation.exact
+        assert violation.survivors == frozenset(range(f + 1, n))
+
+    def test_connectivity_assumption_is_necessary(self):
+        """Drop the all-connected shape (pairwise FDs instead): the same
+        attack FAILS — survivors decide.  This is the paper's Section 6.3
+        demonstration that Theorem 10's extra hypothesis is required."""
+        from repro.protocols import consensus_via_pairwise_fds_system
+
+        system = consensus_via_pairwise_fds_system(3)
+        root = system.initialization({0: 0, 1: 1, 2: 1}).final_state
+        violation = liveness_attack(
+            system, root, victims=[0, 1], horizon=200_000
+        )
+        assert violation is None  # the attack cannot block this system
+
+
+class TestTheorem10MixedServices:
+    """Theorem 10's full generality: K1 (failure-oblivious) and K2
+    (failure-aware) services in one system, both silenced by f+1
+    failures."""
+
+    def test_mixed_candidate_blocked(self):
+        from repro.protocols import mixed_service_system
+        from repro.protocols.mixed_candidate import FD_ID
+
+        system = mixed_service_system(3, resilience=1)
+        root = system.initialization({0: 0, 1: 1, 2: 1}).final_state
+        violation = liveness_attack(
+            system,
+            root,
+            victims=[0, 1],
+            horizon=200_000,
+            failure_aware_services=[FD_ID],
+        )
+        assert violation is not None and violation.exact
+
+    def test_mixed_candidate_works_within_budget(self):
+        from repro.analysis import run_consensus_round
+        from repro.protocols import mixed_service_system
+        from repro.system import upfront_failures
+
+        check = run_consensus_round(
+            mixed_service_system(3, resilience=1),
+            {0: 0, 1: 1, 2: 1},
+            failure_schedule=upfront_failures([2]),
+        )
+        assert check.ok, check.violations

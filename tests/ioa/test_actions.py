@@ -1,0 +1,79 @@
+"""Unit tests for action values and constructors."""
+
+from repro.ioa import (
+    Action,
+    compute,
+    decide,
+    dummy_compute,
+    dummy_output,
+    dummy_perform,
+    dummy_step,
+    fail,
+    init,
+    invoke,
+    is_dummy,
+    is_fail,
+    perform,
+    respond,
+)
+
+
+class TestActionValue:
+    def test_equality_is_structural(self):
+        assert Action("invoke", (1, 2)) == Action("invoke", (1, 2))
+        assert Action("invoke", (1, 2)) != Action("invoke", (2, 1))
+        assert Action("invoke", ()) != Action("respond", ())
+
+    def test_actions_are_hashable(self):
+        actions = {Action("a", (1,)), Action("a", (1,)), Action("b", ())}
+        assert len(actions) == 2
+
+    def test_repr_shows_kind_and_args(self):
+        assert repr(Action("fail", (3,))) == "fail(3)"
+
+    def test_default_args_empty(self):
+        assert Action("noop").args == ()
+
+
+class TestConstructors:
+    def test_invoke_shape(self):
+        action = invoke("svc", 2, ("init", 1))
+        assert action.kind == "invoke"
+        assert action.args == ("svc", 2, ("init", 1))
+
+    def test_respond_shape(self):
+        action = respond("svc", 2, ("decide", 0))
+        assert action.kind == "respond"
+        assert action.args == ("svc", 2, ("decide", 0))
+
+    def test_perform_and_dummy_shapes(self):
+        assert perform("svc", 1).args == ("svc", 1)
+        assert dummy_perform("svc", 1).kind == "dummy_perform"
+        assert dummy_output("svc", 1).kind == "dummy_output"
+
+    def test_compute_shapes(self):
+        assert compute("svc", "g").args == ("svc", "g")
+        assert dummy_compute("svc", "g").kind == "dummy_compute"
+
+    def test_external_world_actions(self):
+        assert fail(0).args == (0,)
+        assert init(0, 1).args == (0, 1)
+        assert decide(0, 1).args == (0, 1)
+        assert dummy_step(4).args == (4,)
+
+
+class TestPredicates:
+    def test_is_dummy_covers_all_dummy_kinds(self):
+        assert is_dummy(dummy_perform("s", 0))
+        assert is_dummy(dummy_output("s", 0))
+        assert is_dummy(dummy_compute("s", "g"))
+        assert is_dummy(dummy_step(0))
+
+    def test_is_dummy_rejects_real_actions(self):
+        assert not is_dummy(perform("s", 0))
+        assert not is_dummy(invoke("s", 0, "x"))
+        assert not is_dummy(fail(0))
+
+    def test_is_fail(self):
+        assert is_fail(fail(7))
+        assert not is_fail(init(7, 0))

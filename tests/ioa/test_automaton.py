@@ -1,0 +1,105 @@
+"""Unit tests for the Automaton interface and the determinism checker."""
+
+import pytest
+
+from repro.ioa import (
+    Action,
+    Automaton,
+    Task,
+    Transition,
+    is_deterministic,
+    nondeterministic_witness,
+)
+
+
+class Toggle(Automaton):
+    """A two-state automaton with one task flipping a bit.
+
+    ``nondet=True`` adds a second enabled transition to the same task,
+    violating the paper's determinism definition.
+    """
+
+    def __init__(self, name="toggle", nondet=False):
+        self.name = name
+        self.nondet = nondet
+        self._task = Task(name, "flip")
+
+    def is_input(self, action):
+        return action.kind == "set"
+
+    def is_output(self, action):
+        return action.kind == "flipped"
+
+    def is_internal(self, action):
+        return action.kind == "noop"
+
+    def start_states(self):
+        yield 0
+
+    def tasks(self):
+        return (self._task,)
+
+    def enabled(self, state, task):
+        transitions = [Transition(Action("flipped", (state,)), 1 - state)]
+        if self.nondet:
+            transitions.append(Transition(Action("noop", ()), state))
+        return transitions
+
+    def apply_input(self, state, action):
+        return action.args[0]
+
+
+class TestSignature:
+    def test_in_signature(self):
+        toggle = Toggle()
+        assert toggle.in_signature(Action("set", (1,)))
+        assert toggle.in_signature(Action("flipped", (0,)))
+        assert toggle.in_signature(Action("noop", ()))
+        assert not toggle.in_signature(Action("other", ()))
+
+    def test_external_and_locally_controlled(self):
+        toggle = Toggle()
+        assert toggle.is_external(Action("set", (1,)))
+        assert toggle.is_external(Action("flipped", (0,)))
+        assert not toggle.is_external(Action("noop", ()))
+        assert toggle.is_locally_controlled(Action("noop", ()))
+        assert toggle.is_locally_controlled(Action("flipped", (0,)))
+        assert not toggle.is_locally_controlled(Action("set", (1,)))
+
+
+class TestStates:
+    def test_some_start_state(self):
+        assert Toggle().some_start_state() == 0
+
+    def test_some_start_state_raises_when_empty(self):
+        class Empty(Toggle):
+            def start_states(self):
+                return iter(())
+
+        with pytest.raises(ValueError):
+            Empty().some_start_state()
+
+    def test_task_enabled_and_enabled_tasks(self):
+        toggle = Toggle()
+        task = toggle.tasks()[0]
+        assert toggle.task_enabled(0, task)
+        assert toggle.enabled_tasks(0) == [task]
+
+
+class TestDeterminism:
+    def test_deterministic_automaton_passes(self):
+        assert is_deterministic(Toggle(), states=[0, 1])
+
+    def test_nondeterministic_automaton_fails(self):
+        assert not is_deterministic(Toggle(nondet=True), states=[0, 1])
+
+    def test_witness_identifies_state_and_task(self):
+        toggle = Toggle(nondet=True)
+        witness = nondeterministic_witness(toggle, states=[0, 1])
+        assert witness is not None
+        state, task = witness
+        assert state in (0, 1)
+        assert task == toggle.tasks()[0]
+
+    def test_witness_none_for_deterministic(self):
+        assert nondeterministic_witness(Toggle(), states=[0, 1]) is None

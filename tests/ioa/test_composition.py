@@ -1,0 +1,167 @@
+"""Unit tests for parallel composition and hiding."""
+
+import pytest
+
+from repro.ioa import (
+    Action,
+    Automaton,
+    Composition,
+    Hidden,
+    IncompatibleComposition,
+    Task,
+    Transition,
+    check_compatibility,
+)
+
+
+class Sender(Automaton):
+    """Emits msg(0), msg(1), ... as outputs."""
+
+    def __init__(self, name="sender"):
+        self.name = name
+        self._task = Task(name, "send")
+
+    def is_input(self, action):
+        return False
+
+    def is_output(self, action):
+        return action.kind == "msg"
+
+    def is_internal(self, action):
+        return False
+
+    def start_states(self):
+        yield 0
+
+    def tasks(self):
+        return (self._task,)
+
+    def enabled(self, state, task):
+        return [Transition(Action("msg", (state,)), state + 1)]
+
+    def apply_input(self, state, action):
+        raise ValueError("sender has no inputs")
+
+
+class Receiver(Automaton):
+    """Accumulates received msg payloads."""
+
+    def __init__(self, name="receiver"):
+        self.name = name
+
+    def is_input(self, action):
+        return action.kind == "msg"
+
+    def is_output(self, action):
+        return False
+
+    def is_internal(self, action):
+        return False
+
+    def start_states(self):
+        yield ()
+
+    def tasks(self):
+        return ()
+
+    def enabled(self, state, task):
+        raise KeyError(task)
+
+    def apply_input(self, state, action):
+        return state + (action.args[0],)
+
+
+class TestComposition:
+    def test_synchronization_on_shared_action(self):
+        composed = Composition([Sender(), Receiver()])
+        state = composed.some_start_state()
+        (transition,) = composed.enabled(state, Task("sender", "send"))
+        assert transition.action == Action("msg", (0,))
+        assert transition.post == (1, (0,))
+
+    def test_start_states_are_products(self):
+        composed = Composition([Sender(), Receiver()])
+        assert list(composed.start_states()) == [(0, ())]
+
+    def test_signature_classification(self):
+        composed = Composition([Sender(), Receiver()])
+        # msg is an output of the composition (output of sender).
+        assert composed.is_output(Action("msg", (0,)))
+        assert not composed.is_input(Action("msg", (0,)))
+
+    def test_unmatched_input_stays_input(self):
+        composed = Composition([Receiver()])
+        assert composed.is_input(Action("msg", (0,)))
+        assert composed.apply_input(((),), Action("msg", (5,))) == ((5,),)
+
+    def test_tasks_are_union(self):
+        composed = Composition([Sender("s1"), Sender("s2"), Receiver()])
+        assert set(composed.tasks()) == {Task("s1", "send"), Task("s2", "send")}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(IncompatibleComposition):
+            Composition([Sender("x"), Receiver("x")])
+
+    def test_two_senders_conflict_on_shared_output(self):
+        composed = Composition([Sender("s1"), Sender("s2")])
+        state = composed.some_start_state()
+        with pytest.raises(IncompatibleComposition):
+            composed.enabled(state, Task("s1", "send"))
+
+    def test_component_lookup(self):
+        sender = Sender()
+        receiver = Receiver()
+        composed = Composition([sender, receiver])
+        assert composed.component("sender") is sender
+        assert composed.component_index("receiver") == 1
+        assert composed.component_state((3, (0, 1)), "receiver") == (0, 1)
+
+    def test_participants(self):
+        sender = Sender()
+        receiver = Receiver()
+        composed = Composition([sender, receiver])
+        participants = composed.participants(Action("msg", (0,)))
+        assert {p.name for p in participants} == {"sender", "receiver"}
+
+
+class TestHiding:
+    def test_hidden_outputs_become_internal(self):
+        composed = Composition([Sender(), Receiver()])
+        hidden = Hidden(composed, lambda a: a.kind == "msg")
+        assert hidden.is_internal(Action("msg", (0,)))
+        assert not hidden.is_output(Action("msg", (0,)))
+
+    def test_hiding_preserves_transitions(self):
+        composed = Composition([Sender(), Receiver()])
+        hidden = Hidden(composed, lambda a: a.kind == "msg")
+        state = hidden.some_start_state()
+        (transition,) = hidden.enabled(state, Task("sender", "send"))
+        assert transition.post == (1, (0,))
+
+    def test_default_name(self):
+        composed = Composition([Sender(), Receiver()], name="pair")
+        assert Hidden(composed, lambda a: False).name == "hide(pair)"
+
+
+class TestCompatibilityChecker:
+    def test_accepts_compatible(self):
+        check_compatibility([Sender(), Receiver()], [Action("msg", (0,))])
+
+    def test_rejects_shared_outputs(self):
+        with pytest.raises(IncompatibleComposition):
+            check_compatibility(
+                [Sender("s1"), Sender("s2")], [Action("msg", (0,))]
+            )
+
+    def test_rejects_shared_internal(self):
+        class Internalizer(Sender):
+            def is_output(self, action):
+                return False
+
+            def is_internal(self, action):
+                return action.kind == "msg"
+
+        with pytest.raises(IncompatibleComposition):
+            check_compatibility(
+                [Internalizer("i"), Receiver()], [Action("msg", (0,))]
+            )

@@ -1,0 +1,170 @@
+"""Unit tests for executions, traces, lassos, and fairness predicates."""
+
+import pytest
+
+from repro.ioa import (
+    Action,
+    Execution,
+    Lasso,
+    Step,
+    Task,
+    fail,
+    finite_execution_is_fair,
+    lasso_is_fair,
+    project_actions,
+    task_occurrences,
+    validate_execution,
+)
+from tests.ioa.test_automaton import Toggle
+
+
+def make_execution():
+    execution = Execution(start=0)
+    execution = execution.extend(Action("flipped", (0,)), 1, Task("toggle", "flip"))
+    execution = execution.extend(Action("set", (0,)), 0, None)
+    return execution
+
+
+class TestExecutionBasics:
+    def test_final_state_of_empty(self):
+        assert Execution(start=5).final_state == 5
+
+    def test_extend_appends(self):
+        execution = make_execution()
+        assert len(execution) == 2
+        assert execution.final_state == 0
+        assert execution.actions == (Action("flipped", (0,)), Action("set", (0,)))
+
+    def test_states_iterates_start_and_posts(self):
+        assert list(make_execution().states()) == [0, 1, 0]
+
+    def test_prefix(self):
+        execution = make_execution()
+        assert execution.prefix(1).actions == (Action("flipped", (0,)),)
+        assert execution.prefix(0).final_state == 0
+
+    def test_concat_requires_matching_states(self):
+        first = make_execution()
+        good = Execution(start=first.final_state).extend(
+            Action("flipped", (0,)), 1, Task("toggle", "flip")
+        )
+        combined = first.concat(good)
+        assert len(combined) == 3
+        bad = Execution(start=42)
+        with pytest.raises(ValueError):
+            first.concat(bad)
+
+    def test_tasks_sequence(self):
+        execution = make_execution()
+        assert execution.tasks == (Task("toggle", "flip"), None)
+
+
+class TestFailurePredicates:
+    def test_failure_free(self):
+        assert make_execution().is_failure_free()
+        failed = make_execution().extend(fail(3), 0, None)
+        assert not failed.is_failure_free()
+        assert failed.failed_endpoints() == frozenset({3})
+
+    def test_count(self):
+        execution = make_execution()
+        assert execution.count(lambda a: a.kind == "flipped") == 1
+
+
+class TestTrace:
+    def test_trace_keeps_external_only(self):
+        toggle = Toggle()
+        execution = Execution(start=0)
+        execution = execution.extend(Action("flipped", (0,)), 1, toggle.tasks()[0])
+        execution = execution.extend(Action("noop", ()), 1, toggle.tasks()[0])
+        assert execution.trace(toggle) == (Action("flipped", (0,)),)
+
+    def test_project_actions(self):
+        toggle = Toggle()
+        actions = [Action("flipped", (0,)), Action("other", ()), Action("set", (1,))]
+        assert project_actions(actions, toggle) == (
+            Action("flipped", (0,)),
+            Action("set", (1,)),
+        )
+
+
+class TestValidation:
+    def test_valid_execution_passes(self):
+        toggle = Toggle()
+        execution = Execution(start=0)
+        execution = execution.extend(Action("flipped", (0,)), 1, toggle.tasks()[0])
+        execution = execution.extend(Action("set", (0,)), 0, None)
+        validate_execution(execution, toggle)
+
+    def test_wrong_start_state_rejected(self):
+        toggle = Toggle()
+        with pytest.raises(ValueError):
+            validate_execution(Execution(start=7), toggle)
+
+    def test_wrong_transition_rejected(self):
+        toggle = Toggle()
+        execution = Execution(start=0).extend(
+            Action("flipped", (0,)), 0, toggle.tasks()[0]  # wrong post state
+        )
+        with pytest.raises(ValueError):
+            validate_execution(execution, toggle)
+
+    def test_input_effect_mismatch_rejected(self):
+        toggle = Toggle()
+        execution = Execution(start=0).extend(Action("set", (1,)), 0, None)
+        with pytest.raises(ValueError):
+            validate_execution(execution, toggle)
+
+
+class TestFairness:
+    def test_finite_fairness_requires_all_tasks_disabled(self):
+        toggle = Toggle()
+        # Toggle's task is always enabled, so no finite execution is fair.
+        assert not finite_execution_is_fair(Execution(start=0), toggle)
+
+    def test_lasso_unroll(self):
+        task = Task("toggle", "flip")
+        lasso = Lasso(
+            stem=Execution(start=0),
+            cycle=(
+                Step(Action("flipped", (0,)), 1, task),
+                Step(Action("flipped", (1,)), 0, task),
+            ),
+        )
+        unrolled = lasso.unroll(3)
+        assert len(unrolled) == 6
+        assert unrolled.final_state == 0
+
+    def test_lasso_fair_when_task_occurs_in_cycle(self):
+        toggle = Toggle()
+        task = toggle.tasks()[0]
+        lasso = Lasso(
+            stem=Execution(start=0),
+            cycle=(
+                Step(Action("flipped", (0,)), 1, task),
+                Step(Action("flipped", (1,)), 0, task),
+            ),
+        )
+        assert lasso_is_fair(lasso, toggle)
+
+    def test_lasso_unfair_when_enabled_task_never_runs(self):
+        toggle = Toggle()
+        other_task = Task("other", "t")
+        lasso = Lasso(
+            stem=Execution(start=0),
+            cycle=(Step(Action("noop", ()), 0, other_task),),
+        )
+        # Toggle's flip task is enabled throughout the cycle but never taken.
+        assert not lasso_is_fair(lasso, toggle)
+
+    def test_empty_cycle_lasso_checks_final_state(self):
+        toggle = Toggle()
+        lasso = Lasso(stem=Execution(start=0), cycle=())
+        assert not lasso_is_fair(lasso, toggle)  # flip enabled at state 0
+
+
+class TestTaskOccurrences:
+    def test_counts_tasks_not_inputs(self):
+        execution = make_execution()
+        counts = task_occurrences(execution)
+        assert counts == {Task("toggle", "flip"): 1}

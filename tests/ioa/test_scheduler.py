@@ -1,0 +1,165 @@
+"""Unit tests for the task schedulers and the run() driver."""
+
+import pytest
+
+from repro.ioa import (
+    Action,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    Task,
+    run,
+)
+from repro.ioa.automaton import Automaton, Transition
+
+
+class Counter(Automaton):
+    """Two tasks: 'inc' always enabled, 'dec' enabled only when positive."""
+
+    def __init__(self, name="counter"):
+        self.name = name
+        self.inc = Task(name, "inc")
+        self.dec = Task(name, "dec")
+
+    def is_input(self, action):
+        return action.kind == "reset"
+
+    def is_output(self, action):
+        return False
+
+    def is_internal(self, action):
+        return action.kind in ("inc", "dec")
+
+    def start_states(self):
+        yield 0
+
+    def tasks(self):
+        return (self.inc, self.dec)
+
+    def enabled(self, state, task):
+        if task == self.inc:
+            return [Transition(Action("inc"), state + 1)]
+        if task == self.dec and state > 0:
+            return [Transition(Action("dec"), state - 1)]
+        return []
+
+    def apply_input(self, state, action):
+        return 0
+
+
+class TestRoundRobin:
+    def test_alternates_between_enabled_tasks(self):
+        counter = Counter()
+        execution = run(counter, RoundRobinScheduler(), max_steps=6)
+        kinds = [a.kind for a in execution.actions]
+        assert kinds == ["inc", "dec", "inc", "dec", "inc", "dec"]
+
+    def test_skips_disabled_tasks(self):
+        counter = Counter()
+        scheduler = RoundRobinScheduler()
+        # From 0, dec is disabled: first pick must be inc even after reset.
+        assert scheduler.choose(counter, 0) == counter.inc
+
+    def test_returns_none_when_nothing_enabled(self):
+        class Dead(Counter):
+            def enabled(self, state, task):
+                return []
+
+        assert RoundRobinScheduler().choose(Dead(), 0) is None
+
+    def test_reset_restores_cursor(self):
+        counter = Counter()
+        scheduler = RoundRobinScheduler()
+        scheduler.choose(counter, 1)
+        scheduler.reset()
+        assert scheduler.choose(counter, 1) == counter.inc
+
+
+class TestRandomScheduler:
+    def test_reproducible_from_seed(self):
+        counter = Counter()
+        first = run(counter, RandomScheduler(seed=7), max_steps=20)
+        second = run(counter, RandomScheduler(seed=7), max_steps=20)
+        assert first.actions == second.actions
+
+    def test_different_seeds_differ(self):
+        counter = Counter()
+        runs = {
+            run(counter, RandomScheduler(seed=s), max_steps=20).actions
+            for s in range(10)
+        }
+        assert len(runs) > 1
+
+    def test_only_enabled_tasks_chosen(self):
+        counter = Counter()
+        execution = run(counter, RandomScheduler(seed=3), max_steps=50)
+        # The counter can never go negative: dec only fires when positive.
+        assert all(state >= 0 for state in execution.states())
+
+
+class TestScriptedScheduler:
+    def test_replays_script(self):
+        counter = Counter()
+        script = [counter.inc, counter.inc, counter.dec]
+        execution = run(counter, ScriptedScheduler(script), max_steps=10)
+        assert [a.kind for a in execution.actions] == ["inc", "inc", "dec"]
+
+    def test_skips_disabled_by_default(self):
+        counter = Counter()
+        script = [counter.dec, counter.inc]  # dec disabled at 0
+        execution = run(counter, ScriptedScheduler(script), max_steps=10)
+        assert [a.kind for a in execution.actions] == ["inc"]
+
+    def test_strict_mode_raises_on_disabled(self):
+        counter = Counter()
+        scheduler = ScriptedScheduler([counter.dec], strict=True)
+        with pytest.raises(RuntimeError):
+            run(counter, scheduler, max_steps=10)
+
+    def test_exhausted_flag(self):
+        counter = Counter()
+        scheduler = ScriptedScheduler([counter.inc])
+        assert not scheduler.exhausted
+        run(counter, scheduler, max_steps=10)
+        assert scheduler.exhausted
+
+
+class TestRunDriver:
+    def test_inputs_applied_at_step_index(self):
+        counter = Counter()
+        execution = run(
+            counter,
+            RoundRobinScheduler(),
+            max_steps=4,
+            inputs=[(2, Action("reset"))],
+        )
+        kinds = [a.kind for a in execution.actions]
+        assert "reset" in kinds
+        # The reset arrives before scheduling step 2.
+        assert kinds.index("reset") == 2
+
+    def test_stop_predicate_halts_early(self):
+        counter = Counter()
+        execution = run(
+            counter,
+            RoundRobinScheduler(),
+            max_steps=100,
+            stop=lambda e: e.final_state >= 1,
+        )
+        assert execution.final_state == 1
+        assert len(execution) == 1
+
+    def test_remaining_inputs_flushed(self):
+        counter = Counter()
+        execution = run(
+            counter,
+            RoundRobinScheduler(),
+            max_steps=1,
+            inputs=[(50, Action("reset"))],
+        )
+        assert execution.actions[-1].kind == "reset"
+
+    def test_explicit_start_state(self):
+        counter = Counter()
+        execution = run(counter, RoundRobinScheduler(), max_steps=0, start=9)
+        assert execution.final_state == 9

@@ -1,0 +1,104 @@
+"""Property-based tests for the linearizability checker."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.linearizability import (
+    check_linearizable,
+    history_from_trace,
+    trace_is_linearizable,
+)
+from repro.ioa import invoke, respond
+from repro.types import counter_type, read_write_type, run_sequentially
+
+
+@st.composite
+def sequential_register_trace(draw):
+    """A fully sequential (non-overlapping) register trace with correct
+    responses — linearizable by construction."""
+    operations = draw(
+        st.lists(
+            st.one_of(
+                st.just(("read",)),
+                st.tuples(st.just("write"), st.integers(0, 2)),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    endpoints = draw(
+        st.lists(st.integers(0, 2), min_size=len(operations), max_size=len(operations))
+    )
+    rw = read_write_type(values=(0, 1, 2))
+    responses, _ = run_sequentially(rw, operations)
+    trace = []
+    for operation, endpoint, response in zip(operations, endpoints, responses):
+        trace.append(invoke("r", endpoint, operation))
+        trace.append(respond("r", endpoint, response))
+    return trace
+
+
+class TestSequentialHistoriesAlwaysLinearizable:
+    @settings(max_examples=40, deadline=None)
+    @given(trace=sequential_register_trace())
+    def test_register(self, trace):
+        rw = read_write_type(values=(0, 1, 2))
+        assert trace_is_linearizable(trace, "r", rw)
+
+
+class TestWrongResponseNeverLinearizable:
+    @settings(max_examples=40, deadline=None)
+    @given(trace=sequential_register_trace(), data=st.data())
+    def test_corrupting_a_read_response_breaks_it(self, trace, data):
+        rw = read_write_type(values=(0, 1, 2))
+        read_positions = [
+            index
+            for index, action in enumerate(trace)
+            if action.kind == "respond" and action.args[2][0] == "value"
+        ]
+        if not read_positions:
+            return
+        position = data.draw(st.sampled_from(read_positions))
+        service, endpoint, response = trace[position].args
+        wrong_value = (response[1] + 1) % 3
+        corrupted = list(trace)
+        corrupted[position] = respond(service, endpoint, ("value", wrong_value))
+        # A sequential history with a wrong read is either still
+        # explainable by reordering with CONCURRENT ops (impossible here:
+        # nothing overlaps) or non-linearizable.
+        assert not trace_is_linearizable(corrupted, "r", rw)
+
+
+class TestPermutationInvariance:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(st.integers(0, 2), min_size=1, max_size=4),
+    )
+    def test_fully_concurrent_writes_any_response_order(self, values):
+        """All writes overlap: any completion order must linearize."""
+        rw = read_write_type(values=(0, 1, 2))
+        trace = []
+        for endpoint, value in enumerate(values):
+            trace.append(invoke("r", endpoint % 3, ("write", value)))
+        for endpoint, value in enumerate(values):
+            trace.append(respond("r", endpoint % 3, ("ack",)))
+        # history_from_trace matches per endpoint FIFO; endpoints repeat
+        # mod 3, so responses pair up with the oldest open invocation.
+        assert trace_is_linearizable(trace, "r", rw)
+
+
+class TestCounterHistories:
+    @settings(max_examples=30, deadline=None)
+    @given(increments=st.integers(1, 5))
+    def test_final_get_sees_all_completed_increments(self, increments):
+        counter = counter_type(modulus=32)
+        trace = []
+        for index in range(increments):
+            trace.append(invoke("c", 0, ("inc",)))
+            trace.append(respond("c", 0, ("ack",)))
+        trace.append(invoke("c", 1, ("get",)))
+        trace.append(respond("c", 1, ("value", increments)))
+        assert trace_is_linearizable(trace, "c", counter)
+        # Undercounting a completed increment is not linearizable.
+        trace[-1] = respond("c", 1, ("value", increments - 1))
+        assert not trace_is_linearizable(trace, "c", counter)

@@ -1,0 +1,112 @@
+"""Property-based tests for the network and snapshot substrates."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import trace_is_linearizable
+from repro.ioa import RandomScheduler, invoke, run
+from repro.protocols.snapshot import (
+    SNAPSHOT_ID,
+    snapshot_system,
+    snapshot_trace,
+    snapshot_type,
+)
+from repro.services.network import (
+    AsynchronousNetwork,
+    deliveries_in_trace,
+    send,
+)
+from repro.system import DistributedSystem, FailureSchedule, ScriptProcess
+
+
+class TestNetworkProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        plan=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 1)),
+            min_size=1,
+            max_size=6,
+        ),
+        seed=st.integers(0, 10_000),
+    )
+    def test_no_loss_no_duplication_no_invention(self, plan, seed):
+        """Every sent message is delivered exactly once (failure-free),
+        and nothing else is delivered."""
+        net = AsynchronousNetwork(
+            "net", endpoints=(0, 1, 2), messages=(0, 1), resilience=2
+        )
+        scripts = {0: [], 1: [], 2: []}
+        expected = {0: [], 1: [], 2: []}
+        for sender, target, message in plan:
+            scripts[sender].append(invoke("net", sender, send(target, message)))
+            expected[target].append((sender, message))
+        processes = [
+            ScriptProcess(e, scripts[e], connections=["net"]) for e in (0, 1, 2)
+        ]
+        system = DistributedSystem(processes, services=[net])
+        execution = run(system, RandomScheduler(seed), max_steps=400)
+        for endpoint in (0, 1, 2):
+            received = deliveries_in_trace(execution.actions, endpoint, "net")
+            assert sorted(received) == sorted(expected[endpoint])
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        messages=st.lists(st.integers(0, 1), min_size=2, max_size=5),
+        seed=st.integers(0, 10_000),
+    )
+    def test_per_pair_fifo(self, messages, seed):
+        """Messages between one (sender, receiver) pair keep their order."""
+        net = AsynchronousNetwork(
+            "net", endpoints=(0, 1), messages=(0, 1), resilience=1
+        )
+        script = [invoke("net", 0, send(1, message)) for message in messages]
+        processes = [
+            ScriptProcess(0, script, connections=["net"]),
+            ScriptProcess(1, [], connections=["net"]),
+        ]
+        system = DistributedSystem(processes, services=[net])
+        execution = run(system, RandomScheduler(seed), max_steps=300)
+        received = [
+            message
+            for _, message in deliveries_in_trace(execution.actions, 1, "net")
+        ]
+        assert received == messages
+
+
+class TestSnapshotProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        updates=st.lists(st.integers(1, 3), min_size=1, max_size=2),
+        seed=st.integers(0, 10_000),
+    )
+    def test_histories_always_linearizable(self, updates, seed):
+        scripts = {
+            0: [("update", value) for value in updates] + [("scan",)],
+            1: [("scan",), ("update", 3)],
+        }
+        system = snapshot_system(scripts)
+        execution = run(system, RandomScheduler(seed), max_steps=12_000)
+        trace = snapshot_trace(execution)
+        stype = snapshot_type((0, 1), values=(1, 2, 3), initial=0)
+        assert trace_is_linearizable(trace, SNAPSHOT_ID, stype)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), strike=st.integers(0, 60))
+    def test_scans_survive_random_crashes(self, seed, strike):
+        scripts = {0: [("scan",)], 1: [("update", 1)], 2: [("update", 2)]}
+        system = snapshot_system(scripts)
+        execution = run(
+            system,
+            RandomScheduler(seed),
+            max_steps=12_000,
+            inputs=FailureSchedule(((strike, 1),)).as_inputs(),
+        )
+        trace = snapshot_trace(execution)
+        views = [
+            a
+            for a in trace
+            if a.kind == "respond" and a.args[1] == 0 and a.args[2][0] == "view"
+        ]
+        assert len(views) == 1  # wait-freedom: the scan finished
+        stype = snapshot_type((0, 1, 2), values=(1, 2), initial=0)
+        assert trace_is_linearizable(trace, SNAPSHOT_ID, stype)

@@ -1,0 +1,146 @@
+"""Property-based tests over whole-system executions (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import run_consensus_round
+from repro.ioa import RandomScheduler, run
+from repro.protocols import (
+    boosted_reports,
+    boosted_fd_system,
+    classic_parameters,
+    delegation_consensus_system,
+    kset_boost_system,
+)
+from repro.services import TotallyOrderedBroadcast, bcast, delivered_sequence, is_prefix
+from repro.system import DistributedSystem, FailureSchedule, ScriptProcess
+from repro.ioa import invoke
+
+
+class TestDelegationUnderRandomSchedules:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        proposals=st.tuples(
+            st.integers(0, 1), st.integers(0, 1), st.integers(0, 1)
+        ),
+        seed=st.integers(0, 10_000),
+        victim=st.one_of(st.none(), st.integers(0, 2)),
+    )
+    def test_axioms_hold_within_resilience(self, proposals, seed, victim):
+        schedule = (
+            FailureSchedule(()) if victim is None else FailureSchedule(((5, victim),))
+        )
+        check = run_consensus_round(
+            delegation_consensus_system(3, resilience=1),
+            dict(enumerate(proposals)),
+            failure_schedule=schedule,
+            seed=seed,
+        )
+        assert check.ok, check.violations
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_decision_matches_service_value(self, seed):
+        system = delegation_consensus_system(2, resilience=1)
+        check = run_consensus_round(system, {0: 0, 1: 1}, seed=seed)
+        assert check.ok
+        assert len(set(check.decisions.values())) == 1
+
+
+class TestKSetBoostProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        proposals=st.tuples(
+            st.integers(0, 3), st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)
+        ),
+        seed=st.integers(0, 10_000),
+        victims=st.sets(st.integers(0, 3), max_size=3),
+    )
+    def test_k_agreement_validity_termination(self, proposals, seed, victims):
+        check = run_consensus_round(
+            kset_boost_system(classic_parameters(4)),
+            dict(enumerate(proposals)),
+            failure_schedule=FailureSchedule(
+                tuple((3, victim) for victim in sorted(victims))
+            ),
+            seed=seed,
+            k=2,
+            max_steps=60_000,
+        )
+        assert check.ok, (proposals, victims, check.violations)
+        assert set(check.decisions.values()) <= set(proposals)
+
+
+class TestBroadcastProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        messages=st.lists(st.sampled_from(["a", "b"]), min_size=1, max_size=4),
+        seed=st.integers(0, 10_000),
+    )
+    def test_prefix_consistent_delivery(self, messages, seed):
+        """All endpoints' delivery sequences are prefix-related: total
+        order and gap-freedom (Section 5.2)."""
+        tob = TotallyOrderedBroadcast(
+            service_id="tob", endpoints=(0, 1, 2), messages=("a", "b"), resilience=2
+        )
+        processes = [
+            ScriptProcess(
+                e,
+                [invoke("tob", e, bcast(m)) for i, m in enumerate(messages) if i % 3 == e],
+                connections=["tob"],
+            )
+            for e in (0, 1, 2)
+        ]
+        system = DistributedSystem(processes, services=[tob])
+        execution = run(system, RandomScheduler(seed), max_steps=400)
+        sequences = sorted(
+            (
+                delivered_sequence(execution.actions, endpoint, "tob")
+                for endpoint in (0, 1, 2)
+            ),
+            key=len,
+        )
+        for shorter, longer in zip(sequences, sequences[1:]):
+            assert is_prefix(shorter, longer), sequences
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_no_message_creation(self, seed):
+        tob = TotallyOrderedBroadcast(
+            service_id="tob", endpoints=(0, 1), messages=("a", "b"), resilience=1
+        )
+        processes = [
+            ScriptProcess(0, [invoke("tob", 0, bcast("a"))], connections=["tob"]),
+            ScriptProcess(1, [], connections=["tob"]),
+        ]
+        system = DistributedSystem(processes, services=[tob])
+        execution = run(system, RandomScheduler(seed), max_steps=200)
+        for endpoint in (0, 1):
+            delivered = delivered_sequence(execution.actions, endpoint, "tob")
+            assert set(delivered) <= {("a", 0)}
+
+
+class TestBoostedFDProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        victims=st.sets(st.integers(0, 2), max_size=2),
+        strike=st.integers(0, 200),
+    )
+    def test_accuracy_under_random_failures(self, seed, victims, strike):
+        """The boosted detector never suspects a process that has not
+        failed — under any schedule and failure pattern."""
+        system = boosted_fd_system(3)
+        schedule = FailureSchedule(tuple((strike, v) for v in sorted(victims)))
+        execution = run(
+            system,
+            RandomScheduler(seed),
+            max_steps=1500,
+            inputs=schedule.as_inputs(),
+        )
+        failed = set()
+        for step in execution.steps:
+            if step.action.kind == "fail":
+                failed.add(step.action.args[0])
+            if step.action.kind == "respond" and step.action.args[0] == "boostedP":
+                assert step.action.args[2][1] <= failed

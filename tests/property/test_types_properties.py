@@ -1,0 +1,121 @@
+"""Property-based tests for sequential types (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.types import (
+    binary_consensus_type,
+    consensus_type,
+    k_set_consensus_type,
+    queue_type,
+    read_write_type,
+    run_sequentially,
+)
+
+
+class TestConsensusProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=30))
+    def test_first_value_wins_always(self, proposals):
+        consensus = binary_consensus_type()
+        responses, final = run_sequentially(
+            consensus, [("init", v) for v in proposals]
+        )
+        assert all(r == ("decide", proposals[0]) for r in responses)
+        assert final == frozenset({proposals[0]})
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=20)
+    )
+    def test_multivalued_consensus_first_value_wins(self, proposals):
+        consensus = consensus_type(values=tuple(range(5)))
+        responses, _ = run_sequentially(consensus, [("init", v) for v in proposals])
+        assert set(responses) == {("decide", proposals[0])}
+
+
+class TestKSetProperties:
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=25),
+        st.randoms(use_true_random=False),
+    )
+    def test_kset_invariants(self, k, proposals, rng):
+        """Decisions are proposed values; at most k distinct; state
+        stabilizes once k values are remembered."""
+        kset = k_set_consensus_type(k, proposals=tuple(range(6)))
+        value = frozenset()
+        decisions = []
+        for proposal in proposals:
+            outcomes = kset.apply(("init", proposal), value)
+            response, value = rng.choice(list(outcomes))
+            decisions.append(response[1])
+        assert set(decisions) <= set(proposals)
+        assert len(set(decisions)) <= k
+        assert len(value) <= k
+        assert value <= set(proposals)
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=25))
+    def test_remembered_set_is_prefix_of_proposals(self, proposals):
+        kset = k_set_consensus_type(2, proposals=tuple(range(6)))
+        value = frozenset()
+        for proposal in proposals:
+            _, value = kset.apply(("init", proposal), value)[0]
+        # The remembered set is exactly the first min(k, distinct) values.
+        distinct_prefix = []
+        for proposal in proposals:
+            if proposal not in distinct_prefix:
+                distinct_prefix.append(proposal)
+            if len(distinct_prefix) == 2:
+                break
+        assert value == frozenset(distinct_prefix)
+
+
+class TestRegisterProperties:
+    @given(
+        st.lists(
+            st.one_of(
+                st.just(("read",)),
+                st.tuples(st.just("write"), st.integers(min_value=0, max_value=3)),
+            ),
+            max_size=30,
+        )
+    )
+    def test_read_returns_last_write(self, operations):
+        rw = read_write_type(values=tuple(range(4)), initial=0)
+        responses, final = run_sequentially(rw, operations)
+        last_written = 0
+        for operation, response in zip(operations, responses):
+            if operation == ("read",):
+                assert response == ("value", last_written)
+            else:
+                last_written = operation[1]
+                assert response == ("ack",)
+        assert final == last_written
+
+
+class TestQueueProperties:
+    @given(
+        st.lists(
+            st.one_of(
+                st.just(("deq",)),
+                st.tuples(st.just("enq"), st.integers(min_value=0, max_value=2)),
+            ),
+            max_size=30,
+        )
+    )
+    def test_queue_matches_reference_model(self, operations):
+        queue = queue_type(items=(0, 1, 2), capacity=5)
+        responses, final = run_sequentially(queue, operations)
+        model = []
+        for operation, response in zip(operations, responses):
+            if operation == ("deq",):
+                if model:
+                    assert response == ("item", model.pop(0))
+                else:
+                    assert response == ("empty",)
+            else:
+                if len(model) < 5:
+                    model.append(operation[1])
+                    assert response == ("ack",)
+                else:
+                    assert response == ("full",)
+        assert tuple(model) == final

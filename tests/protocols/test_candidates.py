@@ -1,0 +1,204 @@
+"""Unit tests for the doomed candidate protocols."""
+
+import pytest
+
+from repro.analysis import (
+    exhaustive_safety_check,
+    liveness_attack,
+    run_consensus_round,
+)
+from repro.protocols import (
+    DelegationProcess,
+    delegation_consensus_system,
+    grouped_delegation_system,
+    min_register_consensus_system,
+    race_register_consensus_system,
+    tob_delegation_system,
+)
+from repro.system import upfront_failures
+
+
+class TestDelegation:
+    def test_correct_within_resilience(self):
+        # With at most f failures the candidate actually works.
+        for victims in ([], [2]):
+            check = run_consensus_round(
+                delegation_consensus_system(3, resilience=1),
+                {0: 1, 1: 0, 2: 0},
+                failure_schedule=upfront_failures(victims),
+            )
+            assert check.ok, check.violations
+
+    def test_safe_under_all_schedules(self):
+        result = exhaustive_safety_check(
+            delegation_consensus_system(2, resilience=0), {0: 0, 1: 1}
+        )
+        assert result.ok
+
+    def test_decision_is_schedule_dependent(self):
+        outcomes = set()
+        for seed in range(20):
+            check = run_consensus_round(
+                delegation_consensus_system(2, resilience=0), {0: 0, 1: 1}, seed=seed
+            )
+            outcomes.update(check.decisions.values())
+        assert outcomes == {0, 1}
+
+    def test_breaks_beyond_resilience(self):
+        system = delegation_consensus_system(3, resilience=1)
+        root = system.initialization({0: 0, 1: 1, 2: 1}).final_state
+        assert liveness_attack(system, root, victims=[0, 1]) is not None
+
+    def test_process_phases(self):
+        process = DelegationProcess(0, "cons")
+        locals_value = process.initial_locals()
+        assert locals_value == ("idle",)
+        from repro.ioa import init
+
+        locals_value = process.handle_input(locals_value, init(0, 1))
+        assert locals_value == ("propose", 1)
+        action, locals_value = process.next_action(locals_value)
+        assert action.kind == "invoke"
+        assert locals_value == ("wait",)
+
+    def test_late_inputs_ignored(self):
+        from repro.ioa import init
+
+        process = DelegationProcess(0, "cons")
+        state = process.handle_input(("wait",), init(0, 1))
+        assert state == ("wait",)  # second init has no effect
+
+
+class TestTOBDelegation:
+    def test_correct_within_resilience(self):
+        check = run_consensus_round(
+            tob_delegation_system(3, resilience=1),
+            {0: 1, 1: 0, 2: 1},
+            failure_schedule=upfront_failures([0]),
+        )
+        assert check.ok, check.violations
+
+    def test_safe_under_all_schedules(self):
+        result = exhaustive_safety_check(
+            tob_delegation_system(2, resilience=0), {0: 0, 1: 1}, max_states=400_000
+        )
+        assert result.ok
+
+    def test_breaks_beyond_resilience(self):
+        system = tob_delegation_system(3, resilience=1)
+        root = system.initialization({0: 0, 1: 1, 2: 1}).final_state
+        assert liveness_attack(system, root, victims=[0, 1]) is not None
+
+
+class TestMinRegister:
+    def test_solves_zero_resilient_consensus(self):
+        for proposals in ({0: 0, 1: 1}, {0: 1, 1: 0}, {0: 1, 1: 1}):
+            check = run_consensus_round(min_register_consensus_system(), proposals)
+            assert check.ok
+            expected = min(proposals.values())
+            assert set(check.decisions.values()) == {expected}
+
+    def test_safe_under_all_schedules(self):
+        result = exhaustive_safety_check(
+            min_register_consensus_system(), {0: 0, 1: 1}
+        )
+        assert result.ok
+
+    def test_fails_one_resilience(self):
+        system = min_register_consensus_system()
+        root = system.initialization({0: 0, 1: 1}).final_state
+        violation = liveness_attack(system, root, victims=[1])
+        assert violation is not None and violation.exact
+
+
+class TestRace:
+    def test_agreement_violated_somewhere(self):
+        result = exhaustive_safety_check(
+            race_register_consensus_system(), {0: 0, 1: 1}
+        )
+        assert not result.ok
+
+    def test_works_when_sequentialized(self):
+        # A schedule that lets process 0 finish first is fine.
+        check = run_consensus_round(
+            race_register_consensus_system(), {0: 0, 1: 1}, seed=None
+        )
+        # Round-robin interleaves; just check validity holds regardless.
+        assert all(v.axiom != "validity" for v in check.violations)
+
+
+class TestGroupedDelegation:
+    def test_within_group_agreement(self):
+        system = grouped_delegation_system([2, 2])
+        check = run_consensus_round(
+            system, {0: 0, 1: 1, 2: 1, 3: 0}, k=2
+        )
+        # As 2-set consensus it is fine.
+        assert check.ok, check.violations
+
+    def test_cross_group_disagreement_possible(self):
+        system = grouped_delegation_system([2, 2])
+        result = exhaustive_safety_check(system, {0: 0, 1: 0, 2: 1, 3: 1})
+        assert not result.ok
+        assert result.violations[0].axiom == "agreement"
+
+    def test_group_sizes_respected(self):
+        system = grouped_delegation_system([1, 2, 3])
+        assert len(system.processes) == 6
+        assert len(system.services) == 3
+        assert system.service("cons2").endpoints == (3, 4, 5)
+
+
+class TestLastWriter:
+    def test_solves_zero_resilient_consensus(self):
+        from repro.protocols import last_writer_register_system
+
+        for proposals in ({0: 0, 1: 1}, {0: 1, 1: 0}, {0: 1, 1: 1}):
+            check = run_consensus_round(last_writer_register_system(), proposals)
+            assert check.ok, check.violations
+            # The decision is the LAST performed write -- some proposal.
+            assert set(check.decisions.values()) <= set(proposals.values())
+
+    def test_safe_under_all_schedules(self):
+        from repro.protocols import last_writer_register_system
+
+        result = exhaustive_safety_check(
+            last_writer_register_system(), {0: 0, 1: 1}, max_states=500_000
+        )
+        assert result.ok
+
+    def test_decision_is_schedule_dependent(self):
+        from repro.protocols import last_writer_register_system
+
+        outcomes = set()
+        for seed in range(20):
+            check = run_consensus_round(
+                last_writer_register_system(), {0: 0, 1: 1}, seed=seed
+            )
+            outcomes.update(check.decisions.values())
+        assert outcomes == {0, 1}
+
+    def test_full_pipeline_refutes_via_register_case(self):
+        """The adversary pipeline's second complete path: a hook whose
+        Lemma 8 analysis lands in the shared-REGISTER case (Claim 5.1b),
+        refuted through Lemma 6 (process similarity)."""
+        from repro.analysis import refute_candidate
+        from repro.protocols import last_writer_register_system
+
+        verdict = refute_candidate(
+            last_writer_register_system(), max_states=500_000
+        )
+        assert verdict.refuted
+        assert verdict.mechanism == "similarity-termination"
+        assert verdict.lemma8.claim == "claim5.1b-write-first"
+        assert verdict.lemma8.violation.kind == "process"
+        assert len(verdict.refutation.victims) == 1  # f + 1 with f = 0
+        assert verdict.refutation.exact
+
+    def test_crash_before_flag_blocks_survivor(self):
+        from repro.protocols import last_writer_register_system
+
+        system = last_writer_register_system()
+        root = system.initialization({0: 0, 1: 1}).final_state
+        violation = liveness_attack(system, root, victims=[0], horizon=50_000)
+        assert violation is not None and violation.exact

@@ -1,0 +1,88 @@
+"""Tests for the stacked construction: 2-set consensus from test&set."""
+
+import pytest
+
+from repro.analysis import (
+    check_k_agreement,
+    check_validity,
+    exhaustive_safety_check,
+    liveness_attack,
+    run_consensus_round,
+)
+from repro.protocols.composition_demo import (
+    kset_from_tas_system,
+    pair_of,
+    peer_of,
+)
+from repro.system import all_failure_sets, upfront_failures
+
+
+class TestStructure:
+    def test_pair_helpers(self):
+        assert [pair_of(e) for e in range(4)] == [0, 0, 1, 1]
+        assert [peer_of(e) for e in range(4)] == [1, 0, 3, 2]
+
+    def test_requires_even_n(self):
+        with pytest.raises(ValueError):
+            kset_from_tas_system(3)
+
+    def test_components(self):
+        system = kset_from_tas_system(4)
+        assert len(system.services) == 2  # one test&set per pair
+        assert len(system.registers) == 4  # one proposal register each
+        for service in system.services:
+            assert service.is_wait_free
+
+
+class TestTwoSetConsensus:
+    def test_failure_free(self):
+        check = run_consensus_round(
+            kset_from_tas_system(4), {0: 0, 1: 1, 2: 2, 3: 3}, k=2
+        )
+        assert check.ok, check.violations
+        assert len(set(check.decisions.values())) <= 2
+
+    def test_pairs_agree_internally(self):
+        for seed in range(10):
+            check = run_consensus_round(
+                kset_from_tas_system(4), {0: 0, 1: 1, 2: 2, 3: 3}, k=2, seed=seed
+            )
+            assert check.ok
+            assert check.decisions[0] == check.decisions[1]
+            assert check.decisions[2] == check.decisions[3]
+
+    def test_wait_free_under_all_failure_sets(self):
+        proposals = {0: 0, 1: 1, 2: 2, 3: 3}
+        for count in range(4):
+            for victims in all_failure_sets(range(4), exactly=count):
+                check = run_consensus_round(
+                    kset_from_tas_system(4),
+                    proposals,
+                    failure_schedule=upfront_failures(sorted(victims)),
+                    k=2,
+                    max_steps=50_000,
+                )
+                assert check.ok, (victims, check.violations)
+
+    def test_liveness_attack_bounces_off(self):
+        system = kset_from_tas_system(4)
+        root = system.initialization({0: 0, 1: 1, 2: 2, 3: 3}).final_state
+        assert liveness_attack(system, root, victims=[0, 1, 2]) is None
+
+    def test_exhaustive_safety_small(self):
+        # n = 2 degenerates to plain pair consensus — exhaustively safe.
+        result = exhaustive_safety_check(
+            kset_from_tas_system(2, proposals=(0, 1)), {0: 0, 1: 1},
+            max_states=500_000,
+        )
+        assert result.ok
+
+    def test_six_processes_three_set(self):
+        check = run_consensus_round(
+            kset_from_tas_system(6),
+            {i: i for i in range(6)},
+            k=3,
+            max_steps=60_000,
+        )
+        assert check.ok, check.violations
+        assert len(set(check.decisions.values())) <= 3

@@ -1,0 +1,135 @@
+"""Unit tests for the Section 6.3 boosted failure detector construction."""
+
+import pytest
+
+from repro.ioa import RandomScheduler, RoundRobinScheduler, run
+from repro.protocols import (
+    BOOSTED_FD_ID,
+    boosted_fd_system,
+    boosted_reports,
+    pair_detector_id,
+    suspicion_register_id,
+)
+from repro.system import FailureSchedule
+
+
+def drive(n, failures=(), steps=4000, seed=None):
+    system = boosted_fd_system(n)
+    scheduler = RandomScheduler(seed) if seed is not None else RoundRobinScheduler()
+    schedule = FailureSchedule(tuple(failures))
+    execution = run(system, scheduler, max_steps=steps, inputs=schedule.as_inputs())
+    return system, execution
+
+
+class TestShape:
+    def test_one_detector_per_pair(self):
+        system = boosted_fd_system(4)
+        assert len(system.services) == 6  # C(4,2)
+        for service in system.services:
+            assert len(service.endpoints) == 2
+            assert service.resilience == 1
+            assert service.is_wait_free  # 1-resilient 2-process = wait-free
+
+    def test_one_register_per_process(self):
+        system = boosted_fd_system(3)
+        assert len(system.registers) == 3
+        for register in system.registers:
+            assert register.endpoints == (0, 1, 2)
+
+    def test_pair_detector_id_symmetric(self):
+        assert pair_detector_id(2, 0) == pair_detector_id(0, 2)
+
+
+class TestAccuracy:
+    def test_no_false_suspicions_failure_free(self):
+        _, execution = drive(3)
+        for endpoint in range(3):
+            for report in boosted_reports(execution, endpoint):
+                assert report == frozenset()
+
+    def test_reports_subset_of_failed_prefix(self):
+        """Strong accuracy: every emitted set only contains real failures."""
+        _, execution = drive(3, failures=[(50, 1), (200, 2)])
+        failed = set()
+        for step in execution.steps:
+            if step.action.kind == "fail":
+                failed.add(step.action.args[0])
+            if (
+                step.action.kind == "respond"
+                and step.action.args[0] == BOOSTED_FD_ID
+            ):
+                assert step.action.args[2][1] <= failed
+
+    def test_accuracy_across_random_schedules(self):
+        for seed in range(8):
+            _, execution = drive(3, failures=[(30, 0)], steps=2500, seed=seed)
+            failed = set()
+            for step in execution.steps:
+                if step.action.kind == "fail":
+                    failed.add(step.action.args[0])
+                if (
+                    step.action.kind == "respond"
+                    and step.action.args[0] == BOOSTED_FD_ID
+                ):
+                    assert step.action.args[2][1] <= failed
+
+
+class TestCompleteness:
+    def test_failure_eventually_reported_to_all_survivors(self):
+        _, execution = drive(3, failures=[(100, 2)], steps=6000)
+        for endpoint in (0, 1):
+            reports = boosted_reports(execution, endpoint)
+            assert reports, f"no reports at {endpoint}"
+            assert reports[-1] == frozenset({2})
+
+    def test_multiple_failures_accumulate(self):
+        _, execution = drive(4, failures=[(100, 2), (400, 3)], steps=12_000)
+        for endpoint in (0, 1):
+            reports = boosted_reports(execution, endpoint)
+            assert reports[-1] == frozenset({2, 3})
+
+    def test_suspicions_are_monotone(self):
+        """Once suspected (accurately), never unsuspected."""
+        _, execution = drive(3, failures=[(100, 2)], steps=6000)
+        for endpoint in (0, 1):
+            reports = boosted_reports(execution, endpoint)
+            for earlier, later in zip(reports, reports[1:]):
+                assert earlier <= later
+
+    def test_survives_n_minus_1_failures(self):
+        # Wait-freedom of the boosted detector: the lone survivor still
+        # gets reports (its pair detectors are 1-resilient).
+        _, execution = drive(3, failures=[(50, 1), (50, 2)], steps=8000)
+        reports = boosted_reports(execution, 0)
+        assert reports and reports[-1] == frozenset({1, 2})
+
+
+class TestCanonicalTraceInclusion:
+    def test_single_failure_trace_is_canonical(self):
+        """In single-failure runs the boosted outputs are snapshot-exact,
+        so the emitted trace is a trace of the canonical wait-free
+        n-process perfect failure detector (the Section 2.1.4
+        implementation relation, checked by simulation)."""
+        from repro.analysis import canonical_accepts_trace
+        from repro.ioa import Action, fail
+        from repro.services import PerfectFailureDetector
+
+        _, execution = drive(3, failures=[(60, 2)], steps=2500)
+        canonical = PerfectFailureDetector(
+            BOOSTED_FD_ID, endpoints=(0, 1, 2), resilience=2
+        )
+        trace = [
+            step.action
+            for step in execution.steps
+            if (
+                step.action.kind == "respond"
+                and step.action.args[0] == BOOSTED_FD_ID
+            )
+            or step.action.kind == "fail"
+        ]
+        # Keep the trace short: the simulation search must consider every
+        # way the canonical detector could have queued reports, which
+        # grows quickly with the number of responses still to match.
+        short = trace[:8]
+        assert any(a.kind == "fail" for a in short) or len(short) == 8
+        assert canonical_accepts_trace(canonical, short, max_states=300_000)

@@ -1,0 +1,123 @@
+"""Unit tests for the Section 4 k-set-consensus boosting construction."""
+
+import pytest
+
+from repro.analysis import run_consensus_round
+from repro.protocols import (
+    KSetBoostParameters,
+    classic_parameters,
+    group_of,
+    kset_boost_system,
+)
+from repro.system import upfront_failures
+
+
+class TestParameters:
+    def test_classic_instance(self):
+        params = classic_parameters(6)
+        assert (params.n, params.k, params.n_prime, params.k_prime) == (6, 2, 3, 1)
+        assert params.groups == 2
+        assert params.inner_resilience == 2
+        assert params.boosted_resilience == 5
+
+    def test_classic_requires_even_n(self):
+        with pytest.raises(ValueError):
+            classic_parameters(5)
+
+    def test_invariant_enforced(self):
+        with pytest.raises(ValueError, match="k'n = kn'"):
+            KSetBoostParameters(n=4, k=2, n_prime=3, k_prime=1)
+
+    def test_positive_parameters(self):
+        with pytest.raises(ValueError):
+            KSetBoostParameters(n=0, k=1, n_prime=1, k_prime=1)
+
+    def test_resilience_is_strictly_boosted(self):
+        # f' < f: this is what makes Section 4 a boosting result.
+        params = classic_parameters(4)
+        assert params.inner_resilience < params.boosted_resilience
+
+    def test_group_of(self):
+        params = classic_parameters(4)
+        assert [group_of(params, e) for e in range(4)] == [0, 0, 1, 1]
+
+    def test_generalized_instance_with_kprime_2(self):
+        params = KSetBoostParameters(n=4, k=4, n_prime=2, k_prime=2)
+        assert params.groups == 2
+        system = kset_boost_system(params)
+        assert len(system.services) == 2
+
+
+class TestSystemShape:
+    def test_one_service_per_group(self):
+        system = kset_boost_system(classic_parameters(4))
+        assert len(system.services) == 2
+        assert system.service("group0").endpoints == (0, 1)
+        assert system.service("group1").endpoints == (2, 3)
+
+    def test_services_are_wait_free(self):
+        system = kset_boost_system(classic_parameters(4))
+        for service in system.services:
+            assert service.is_wait_free
+
+    def test_processes_connected_to_own_group_only(self):
+        system = kset_boost_system(classic_parameters(4))
+        assert system.process(0).connections == frozenset({"group0"})
+        assert system.process(3).connections == frozenset({"group1"})
+
+
+class TestKAgreement:
+    def test_at_most_two_decisions_failure_free(self):
+        system = kset_boost_system(classic_parameters(4))
+        check = run_consensus_round(system, {0: 0, 1: 1, 2: 2, 3: 3}, k=2)
+        assert check.ok, check.violations
+        assert len(set(check.decisions.values())) <= 2
+
+    def test_validity(self):
+        system = kset_boost_system(classic_parameters(4))
+        check = run_consensus_round(system, {0: 2, 1: 2, 2: 3, 3: 3}, k=2)
+        assert check.ok
+        assert set(check.decisions.values()) <= {2, 3}
+
+    def test_wait_free_termination_under_n_minus_1_failures(self):
+        params = classic_parameters(4)
+        for survivor in range(4):
+            system = kset_boost_system(params)
+            victims = [e for e in range(4) if e != survivor]
+            check = run_consensus_round(
+                system,
+                {0: 0, 1: 1, 2: 2, 3: 3},
+                failure_schedule=upfront_failures(victims),
+                k=2,
+                max_steps=50_000,
+            )
+            assert check.ok, (survivor, check.violations)
+            assert survivor in check.decisions
+
+    def test_many_random_schedules(self):
+        params = classic_parameters(4)
+        for seed in range(15):
+            system = kset_boost_system(params)
+            check = run_consensus_round(
+                system, {0: 0, 1: 1, 2: 2, 3: 3}, seed=seed, k=2
+            )
+            assert check.ok, check.violations
+
+    def test_larger_instance(self):
+        params = classic_parameters(6)
+        system = kset_boost_system(params)
+        proposals = {e: e for e in range(6)}
+        check = run_consensus_round(system, proposals, k=2, max_steps=50_000)
+        assert check.ok, check.violations
+
+    def test_group_decision_consistency(self):
+        # Within a group all processes decide the same value.
+        params = classic_parameters(4)
+        system = kset_boost_system(params)
+        check = run_consensus_round(system, {0: 0, 1: 1, 2: 2, 3: 3}, k=2)
+        for group_index in range(params.groups):
+            members = [
+                e for e in range(params.n) if group_of(params, e) == group_index
+            ]
+            values = {check.decisions[m] for m in members if m in check.decisions}
+            assert len(values) <= 1

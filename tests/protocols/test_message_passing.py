@@ -1,0 +1,97 @@
+"""Message-passing candidates: the 2002 technical-report setting.
+
+Processes coordinating only through an f-resilient asynchronous network
+(a failure-oblivious service) cannot solve (f+1)-resilient consensus —
+the original message-passing form of the boosting impossibility, refuted
+here through the full Theorem 9 pipeline.
+"""
+
+import pytest
+
+from repro.analysis import (
+    exhaustive_safety_check,
+    liveness_attack,
+    refute_candidate,
+    run_consensus_round,
+)
+from repro.protocols.message_passing import (
+    arbiter_consensus_system,
+    exchange_consensus_system,
+)
+from repro.system import upfront_failures
+
+
+class TestArbiterCandidate:
+    def test_correct_failure_free(self):
+        for proposals in ({0: 0, 1: 1, 2: 0}, {0: 1, 1: 1, 2: 0}):
+            check = run_consensus_round(arbiter_consensus_system(3, 0), proposals)
+            assert check.ok, check.violations
+            # The winner is one of the proposers' values.
+            assert set(check.decisions.values()) <= {
+                proposals[0], proposals[1]
+            }
+
+    def test_safe_under_all_schedules(self):
+        result = exhaustive_safety_check(
+            arbiter_consensus_system(3, 0), {0: 0, 1: 1, 2: 0}, max_states=600_000
+        )
+        assert result.ok
+
+    def test_decision_is_schedule_dependent(self):
+        outcomes = set()
+        for seed in range(20):
+            check = run_consensus_round(
+                arbiter_consensus_system(3, 0), {0: 0, 1: 1, 2: 0}, seed=seed
+            )
+            outcomes.update(check.decisions.values())
+        assert outcomes == {0, 1}
+
+    def test_full_pipeline_refutes(self):
+        """The message-passing instantiation of Theorem 9: the hook's
+        tasks are perform tasks of the network service."""
+        verdict = refute_candidate(
+            arbiter_consensus_system(3, 0), max_states=600_000
+        )
+        assert verdict.refuted
+        assert verdict.mechanism == "similarity-termination"
+        assert verdict.lemma8.claim == "claim4.1-shared-service-internal"
+        assert verdict.lemma8.violation.index == "net"
+        assert verdict.refutation.exact
+
+    def test_higher_resilience_instance(self):
+        verdict = refute_candidate(
+            arbiter_consensus_system(3, 1), max_states=900_000
+        )
+        assert verdict.refuted
+        assert len(verdict.refutation.victims) == 2  # f + 1
+
+
+class TestExchangeCandidate:
+    def test_solves_zero_resilient_consensus(self):
+        for proposals in ({0: 0, 1: 1}, {0: 1, 1: 0}, {0: 1, 1: 1}):
+            check = run_consensus_round(exchange_consensus_system(0), proposals)
+            assert check.ok, check.violations
+            assert set(check.decisions.values()) == {min(proposals.values())}
+
+    def test_safe_under_all_schedules(self):
+        result = exhaustive_safety_check(
+            exchange_consensus_system(0), {0: 0, 1: 1}, max_states=300_000
+        )
+        assert result.ok
+
+    def test_one_crash_blocks_peer(self):
+        system = exchange_consensus_system(0)
+        root = system.initialization({0: 0, 1: 1}).final_state
+        violation = liveness_attack(system, root, victims=[1], horizon=50_000)
+        assert violation is not None and violation.exact
+        assert violation.survivors == frozenset({0})
+
+    def test_within_resilience_network_stays_live(self):
+        # A 1-resilient network survives one crash: the exchange protocol
+        # then STILL blocks — because the peer process (not the network)
+        # is what went silent.  The candidate cannot even use the extra
+        # network resilience; this is the FLP content.
+        system = exchange_consensus_system(resilience=1)
+        root = system.initialization({0: 0, 1: 1}).final_state
+        violation = liveness_attack(system, root, victims=[1], horizon=50_000)
+        assert violation is not None

@@ -1,0 +1,87 @@
+"""The mixed failure-oblivious + failure-aware candidate (Theorem 10)."""
+
+import pytest
+
+from repro.analysis import (
+    check_agreement,
+    check_validity,
+    liveness_attack,
+    run_consensus_round,
+)
+from repro.protocols.mixed_candidate import FD_ID, TOB_ID, mixed_service_system
+from repro.system import upfront_failures
+
+
+class TestWithinBudget:
+    def test_failure_free(self):
+        check = run_consensus_round(
+            mixed_service_system(3, resilience=1), {0: 0, 1: 1, 2: 1}
+        )
+        assert check.ok, check.violations
+
+    def test_one_failure(self):
+        check = run_consensus_round(
+            mixed_service_system(3, resilience=1),
+            {0: 0, 1: 1, 2: 1},
+            failure_schedule=upfront_failures([1]),
+        )
+        assert check.ok, check.violations
+
+    def test_fd_escape_hatch_saves_sole_survivor(self):
+        """With a wait-free instance, the FD path lets the lone survivor
+        decide its own value even though its broadcast may never be
+        echoed to anyone."""
+        check = run_consensus_round(
+            mixed_service_system(3, resilience=2),
+            {0: 0, 1: 1, 2: 1},
+            failure_schedule=upfront_failures([0, 1]),
+            max_steps=50_000,
+        )
+        assert check.ok, check.violations
+        assert check.decisions == {2: 1}
+
+    def test_safety_across_seeds(self):
+        for seed in range(12):
+            check = run_consensus_round(
+                mixed_service_system(3, resilience=2), {0: 0, 1: 1, 2: 0},
+                seed=seed,
+            )
+            assert not check_agreement(check.decisions), (seed, check.decisions)
+            assert not check_validity(check.decisions, {0: 0, 1: 1, 2: 0})
+
+
+class TestTheorem10Attack:
+    def test_f_plus_one_failures_silence_both_service_classes(self):
+        system = mixed_service_system(3, resilience=1)
+        root = system.initialization({0: 0, 1: 1, 2: 1}).final_state
+        violation = liveness_attack(
+            system,
+            root,
+            victims=[0, 1],
+            horizon=200_000,
+            failure_aware_services=[FD_ID],
+        )
+        assert violation is not None
+        assert violation.exact
+        assert violation.survivors == frozenset({2})
+
+    def test_attack_fails_within_budget(self):
+        system = mixed_service_system(3, resilience=1)
+        root = system.initialization({0: 0, 1: 1, 2: 1}).final_state
+        violation = liveness_attack(
+            system, root, victims=[0], horizon=200_000
+        )
+        assert violation is None
+
+    def test_attack_fails_on_wait_free_instance(self):
+        # Theorem 10 requires f < n - 1; the wait-free instance escapes.
+        system = mixed_service_system(3, resilience=2)
+        root = system.initialization({0: 0, 1: 1, 2: 1}).final_state
+        violation = liveness_attack(
+            system,
+            root,
+            victims=[0, 1],
+            horizon=200_000,
+            failure_aware_services=[FD_ID],
+        )
+        assert violation is None  # the wait-free FD cannot be silenced

@@ -1,0 +1,105 @@
+"""Tests for consensus from a shared queue (consensus number 2)."""
+
+import pytest
+
+from repro.analysis import (
+    canonical_accepts_trace,
+    exhaustive_safety_check,
+    run_consensus_round,
+    trace_is_linearizable,
+)
+from repro.ioa import RandomScheduler, RoundRobinScheduler, run
+from repro.protocols.queue_consensus import (
+    IMPLEMENTED_ID,
+    queue_consensus_system,
+)
+from repro.services import CanonicalAtomicObject
+from repro.system import upfront_failures
+from repro.types import binary_consensus_type
+
+
+def implemented_trace(execution):
+    return [
+        step.action
+        for step in execution.steps
+        if step.action.kind in ("invoke", "respond")
+        and step.action.args[0] == IMPLEMENTED_ID
+    ]
+
+
+class TestAxioms:
+    @pytest.mark.parametrize(
+        "proposals", [{0: 0, 1: 0}, {0: 0, 1: 1}, {0: 1, 1: 0}, {0: 1, 1: 1}]
+    )
+    def test_all_input_vectors(self, proposals):
+        check = run_consensus_round(queue_consensus_system(), proposals)
+        assert check.ok, check.violations
+
+    def test_wait_free_single_crash(self):
+        for victim in (0, 1):
+            check = run_consensus_round(
+                queue_consensus_system(),
+                {0: 0, 1: 1},
+                failure_schedule=upfront_failures([victim]),
+            )
+            assert check.ok, (victim, check.violations)
+            assert 1 - victim in check.decisions
+
+    def test_exhaustive_safety(self):
+        result = exhaustive_safety_check(
+            queue_consensus_system(), {0: 0, 1: 1}, max_states=500_000
+        )
+        assert result.ok
+
+    def test_winner_schedule_dependent(self):
+        outcomes = set()
+        for seed in range(20):
+            check = run_consensus_round(
+                queue_consensus_system(), {0: 0, 1: 1}, seed=seed
+            )
+            outcomes.update(check.decisions.values())
+        assert outcomes == {0, 1}
+
+
+class TestImplementationRelation:
+    def test_traces_included_in_canonical_object(self):
+        canonical = CanonicalAtomicObject(
+            binary_consensus_type(),
+            endpoints=(0, 1),
+            resilience=1,
+            service_id=IMPLEMENTED_ID,
+        )
+        for seed in range(8):
+            system = queue_consensus_system()
+            initialization = system.initialization({0: 0, 1: 1})
+            execution = run(
+                system,
+                RandomScheduler(seed),
+                max_steps=300,
+                start=initialization.final_state,
+            )
+            trace = implemented_trace(execution)
+            assert canonical_accepts_trace(canonical, trace), seed
+            assert trace_is_linearizable(
+                trace, IMPLEMENTED_ID, binary_consensus_type()
+            ), seed
+
+
+class TestQueueMechanics:
+    def test_exactly_one_winner_token(self):
+        system = queue_consensus_system()
+        initialization = system.initialization({0: 1, 1: 0})
+        execution = run(
+            system,
+            RoundRobinScheduler(),
+            max_steps=300,
+            start=initialization.final_state,
+        )
+        winners = [
+            step.action
+            for step in execution.steps
+            if step.action.kind == "respond"
+            and step.action.args[0] == "queue"
+            and step.action.args[2] == ("item", "winner")
+        ]
+        assert len(winners) == 1

@@ -1,0 +1,210 @@
+"""Unit tests for shared-memory (Disk-style) Paxos with Omega."""
+
+import pytest
+
+from repro.analysis import check_agreement, check_validity, run_consensus_round
+from repro.ioa import RandomScheduler, run
+from repro.protocols.shared_paxos import (
+    NONE_VALUE,
+    paxos_ballot_bound,
+    shared_paxos_system,
+)
+from repro.system import FailureSchedule, all_failure_sets, upfront_failures
+
+
+class TestLiveness:
+    def test_failure_free(self):
+        check = run_consensus_round(
+            shared_paxos_system(3), {0: 1, 1: 0, 2: 0}, max_steps=60_000
+        )
+        assert check.ok, check.violations
+
+    def test_every_single_failure(self):
+        for victim in range(3):
+            check = run_consensus_round(
+                shared_paxos_system(3),
+                {0: 1, 1: 0, 2: 0},
+                failure_schedule=upfront_failures([victim]),
+                max_steps=80_000,
+            )
+            assert check.ok, (victim, check.violations)
+
+    def test_every_double_failure(self):
+        # Tolerates n - 1 failures: shared-memory Paxos needs no quorum
+        # of processes (the registers are the reliable "disk").
+        for victims in all_failure_sets(range(3), exactly=2):
+            check = run_consensus_round(
+                shared_paxos_system(3),
+                {0: 1, 1: 0, 2: 1},
+                failure_schedule=upfront_failures(sorted(victims)),
+                max_steps=100_000,
+            )
+            assert check.ok, (victims, check.violations)
+
+    def test_leader_crash_mid_attempt(self):
+        for strike in (10, 25, 60):
+            check = run_consensus_round(
+                shared_paxos_system(3),
+                {0: 0, 1: 1, 2: 1},
+                failure_schedule=FailureSchedule(((strike, 0),)),
+                max_steps=100_000,
+            )
+            assert check.ok, (strike, check.violations)
+
+    def test_four_processes(self):
+        check = run_consensus_round(
+            shared_paxos_system(4, max_rounds=4),
+            {0: 1, 1: 0, 2: 0, 3: 1},
+            failure_schedule=upfront_failures([0, 2]),
+            max_steps=150_000,
+        )
+        assert check.ok, check.violations
+
+
+class TestSafetyUnderContention:
+    def choose_randomly(self, seed):
+        import random
+
+        rng = random.Random(seed)
+
+        def chooser(transitions):
+            return rng.randrange(len(transitions))
+
+        return chooser
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement_despite_lying_omega(self, seed):
+        """While Omega is imperfect it may name different leaders; random
+        transition choices explore those lies.  Agreement and validity
+        must hold regardless (Paxos safety does not rest on Omega)."""
+        system = shared_paxos_system(3, max_rounds=5)
+        initialization = system.initialization({0: 0, 1: 1, 2: 1})
+        execution = run(
+            system,
+            RandomScheduler(seed),
+            max_steps=40_000,
+            start=initialization.final_state,
+            transition_chooser=self.choose_randomly(seed),
+            stop=lambda e: len(system.decisions(e.final_state)) == 3,
+        )
+        decisions = system.decisions(execution.final_state)
+        assert not check_agreement(decisions), decisions
+        assert not check_validity(decisions, {0: 0, 1: 1, 2: 1})
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_safety_with_failures_and_lies(self, seed):
+        system = shared_paxos_system(3, max_rounds=5)
+        initialization = system.initialization({0: 0, 1: 1, 2: 0})
+        execution = run(
+            system,
+            RandomScheduler(seed),
+            max_steps=40_000,
+            start=initialization.final_state,
+            inputs=FailureSchedule(((500 + seed * 100, seed % 3),)).as_inputs(),
+            transition_chooser=self.choose_randomly(seed),
+        )
+        decisions = system.decisions(execution.final_state)
+        assert not check_agreement(decisions), decisions
+        assert not check_validity(decisions, {0: 0, 1: 1, 2: 0})
+
+    def test_decided_register_never_holds_two_values(self):
+        """The publish step is the commit point; the register only ever
+        moves from NONE to a single committed value."""
+        system = shared_paxos_system(3, max_rounds=5)
+        initialization = system.initialization({0: 0, 1: 1, 2: 1})
+        execution = run(
+            system,
+            RandomScheduler(3),
+            max_steps=40_000,
+            start=initialization.final_state,
+            transition_chooser=self.choose_randomly(3),
+        )
+        published = set()
+        for state in execution.states():
+            value = system.service_val(state, ("decided",))
+            if value != NONE_VALUE:
+                published.add(value)
+        assert len(published) <= 1
+
+
+class TestBallots:
+    def test_ballot_bound(self):
+        assert paxos_ballot_bound(3, 4) == 12
+
+    def test_ballots_are_unique_per_proposer(self):
+        # b = round * n + p + 1: distinct proposers never share a ballot.
+        n = 4
+        seen = set()
+        for proposer in range(n):
+            for round_index in range(5):
+                ballot = round_index * n + proposer + 1
+                assert ballot not in seen
+                seen.add(ballot)
+
+
+class TestEvPVariant:
+    """Leadership from the paper's own <>P (Figs. 10-11) instead of Omega."""
+
+    def quiet_lies(self):
+        # Bound imperfect-mode nondeterminism for deterministic runs.
+        return [frozenset()]
+
+    def test_failure_free(self):
+        from repro.protocols.shared_paxos import shared_paxos_with_evp_system
+
+        check = run_consensus_round(
+            shared_paxos_with_evp_system(3, arbitrary_suspicions=self.quiet_lies()),
+            {0: 1, 1: 0, 2: 0},
+            max_steps=100_000,
+        )
+        assert check.ok, check.violations
+
+    def test_leader_crash(self):
+        from repro.protocols.shared_paxos import shared_paxos_with_evp_system
+
+        for victim in range(3):
+            check = run_consensus_round(
+                shared_paxos_with_evp_system(
+                    3, arbitrary_suspicions=self.quiet_lies()
+                ),
+                {0: 1, 1: 0, 2: 0},
+                failure_schedule=upfront_failures([victim]),
+                max_steps=150_000,
+            )
+            assert check.ok, (victim, check.violations)
+
+    def test_two_crashes(self):
+        from repro.protocols.shared_paxos import shared_paxos_with_evp_system
+
+        check = run_consensus_round(
+            shared_paxos_with_evp_system(3, arbitrary_suspicions=self.quiet_lies()),
+            {0: 1, 1: 0, 2: 1},
+            failure_schedule=upfront_failures([0, 1]),
+            max_steps=200_000,
+        )
+        assert check.ok, check.violations
+
+    def test_safety_under_maximally_wrong_lies(self):
+        """While imperfect, <>P may suspect EVERYONE (so every process
+        believes no one is alive... leader None) or NO ONE — safety must
+        hold regardless of the lie pattern chosen."""
+        import random
+
+        from repro.ioa import RandomScheduler, run as drive
+        from repro.protocols.shared_paxos import shared_paxos_with_evp_system
+        from repro.analysis import check_agreement, check_validity
+
+        for seed in range(6):
+            rng = random.Random(seed)
+            system = shared_paxos_with_evp_system(3, max_rounds=5)
+            initialization = system.initialization({0: 0, 1: 1, 2: 1})
+            execution = drive(
+                system,
+                RandomScheduler(seed),
+                max_steps=30_000,
+                start=initialization.final_state,
+                transition_chooser=lambda ts: rng.randrange(len(ts)),
+            )
+            decisions = system.decisions(execution.final_state)
+            assert not check_agreement(decisions), (seed, decisions)
+            assert not check_validity(decisions, {0: 0, 1: 1, 2: 1})

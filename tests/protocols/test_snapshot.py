@@ -1,0 +1,195 @@
+"""Unit tests for the atomic snapshot construction (Afek et al.)."""
+
+import pytest
+
+from repro.analysis import trace_is_linearizable
+from repro.ioa import RandomScheduler, RoundRobinScheduler, run
+from repro.protocols.snapshot import (
+    SNAPSHOT_ID,
+    SnapshotLocals,
+    SnapshotProcess,
+    snapshot_system,
+    snapshot_trace,
+    snapshot_type,
+)
+from repro.system import FailureSchedule
+
+
+def drive(scripts, steps=5000, seed=None, failures=()):
+    system = snapshot_system(scripts)
+    scheduler = RandomScheduler(seed) if seed is not None else RoundRobinScheduler()
+    execution = run(
+        system,
+        scheduler,
+        max_steps=steps,
+        inputs=FailureSchedule(tuple(failures)).as_inputs(),
+    )
+    return system, execution
+
+
+class TestSequentialType:
+    def test_update_sets_component(self):
+        stype = snapshot_type((0, 1), values=(1, 2), initial=0)
+        ((response, vector),) = stype.apply(("update", 1, 2), (0, 0))
+        assert response == ("ack",)
+        assert vector == (0, 2)
+
+    def test_scan_returns_vector(self):
+        stype = snapshot_type((0, 1), values=(1, 2), initial=0)
+        ((response, vector),) = stype.apply(("scan",), (1, 2))
+        assert response == ("view", (1, 2))
+        assert vector == (1, 2)
+
+    def test_deterministic(self):
+        stype = snapshot_type((0, 1), values=(1,), initial=0)
+        assert stype.is_deterministic()
+
+
+class TestBasicOperation:
+    def test_scan_after_updates_sees_everything(self):
+        _, execution = drive(
+            {0: [("update", 1), ("scan",)], 1: [("update", 2), ("scan",)]}
+        )
+        trace = snapshot_trace(execution)
+        views = [
+            a.args[2][1]
+            for a in trace
+            if a.kind == "respond" and a.args[2][0] == "view"
+        ]
+        assert views and all(view == (1, 2) for view in views)
+
+    def test_initial_scan_sees_zeros(self):
+        _, execution = drive({0: [("scan",)], 1: []})
+        trace = snapshot_trace(execution)
+        views = [
+            a.args[2][1]
+            for a in trace
+            if a.kind == "respond" and a.args[2][0] == "view"
+        ]
+        assert views == [(0, 0)]
+
+    def test_all_operations_complete(self):
+        _, execution = drive(
+            {
+                0: [("update", 1), ("scan",), ("update", 3)],
+                1: [("scan",), ("update", 2)],
+            },
+            steps=8000,
+        )
+        trace = snapshot_trace(execution)
+        assert sum(1 for a in trace if a.kind == "respond") == 5
+
+
+class TestLinearizability:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_two_process_histories(self, seed):
+        _, execution = drive(
+            {0: [("update", 1), ("scan",)], 1: [("update", 2), ("scan",)]},
+            seed=seed,
+        )
+        stype = snapshot_type((0, 1), values=(1, 2), initial=0)
+        assert trace_is_linearizable(
+            snapshot_trace(execution), SNAPSHOT_ID, stype
+        ), seed
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_three_process_histories(self, seed):
+        _, execution = drive(
+            {
+                0: [("update", 1), ("scan",)],
+                1: [("update", 2)],
+                2: [("scan",), ("update", 3)],
+            },
+            seed=seed,
+            steps=10_000,
+        )
+        stype = snapshot_type((0, 1, 2), values=(1, 2, 3), initial=0)
+        assert trace_is_linearizable(
+            snapshot_trace(execution), SNAPSHOT_ID, stype
+        ), seed
+
+
+class TestWaitFreedom:
+    def test_scanner_finishes_despite_crashed_updaters(self):
+        _, execution = drive(
+            {0: [("scan",)], 1: [("update", 2)], 2: [("update", 3)]},
+            failures=[(3, 1), (3, 2)],
+            steps=8000,
+        )
+        trace = snapshot_trace(execution)
+        views = [
+            a
+            for a in trace
+            if a.kind == "respond" and a.args[1] == 0 and a.args[2][0] == "view"
+        ]
+        assert len(views) == 1
+
+    def test_update_finishes_alone(self):
+        _, execution = drive(
+            {0: [("update", 1)], 1: []}, failures=[(0, 1)], steps=5000
+        )
+        trace = snapshot_trace(execution)
+        acks = [a for a in trace if a.kind == "respond" and a.args[2] == ("ack",)]
+        assert len(acks) == 1
+
+
+class TestBorrowedViewBranch:
+    def make_process(self):
+        return SnapshotProcess(0, (0, 1), [("scan",)])
+
+    def test_clean_double_collect_returns_values(self):
+        process = self.make_process()
+        first = ((5, 1, None), (7, 2, None))
+        locals_value = SnapshotLocals(
+            phase="collect",
+            op_index=0,
+            seq=0,
+            pending_value=None,
+            first_collect=first,
+            current_collect=first,
+            cursor=2,
+            baseline=(1, 2),
+            result=None,
+        )
+        finished = process._finish_double_collect(locals_value)
+        assert finished.phase == "scan-done"
+        assert finished.result == (5, 7)
+
+    def test_moved_twice_borrows_embedded_view(self):
+        process = self.make_process()
+        first = ((5, 1, None), (7, 2, None))
+        # Endpoint 1 moved twice (seq 2 -> 4) carrying an embedded view.
+        second = ((5, 1, None), (9, 4, (5, 8)))
+        locals_value = SnapshotLocals(
+            phase="collect",
+            op_index=0,
+            seq=0,
+            pending_value=None,
+            first_collect=first,
+            current_collect=second,
+            cursor=2,
+            baseline=(1, 2),
+            result=None,
+        )
+        finished = process._finish_double_collect(locals_value)
+        assert finished.phase == "scan-done"
+        assert finished.result == (5, 8)  # the borrowed view
+
+    def test_moved_once_keeps_collecting(self):
+        process = self.make_process()
+        first = ((5, 1, None), (7, 2, None))
+        second = ((5, 1, None), (8, 3, (5, 7)))  # moved only once
+        locals_value = SnapshotLocals(
+            phase="collect",
+            op_index=0,
+            seq=0,
+            pending_value=None,
+            first_collect=first,
+            current_collect=second,
+            cursor=2,
+            baseline=(1, 2),
+            result=None,
+        )
+        continued = process._finish_double_collect(locals_value)
+        assert continued.phase == "collect"
+        assert continued.first_collect == second

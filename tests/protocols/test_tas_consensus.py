@@ -1,0 +1,126 @@
+"""Unit tests for consensus from test&set (consensus number 2).
+
+Verifies the construction against (a) the consensus axioms, (b) the
+linearizability checker, and (c) the paper's implementation relation —
+trace inclusion in the canonical wait-free 2-process consensus object.
+"""
+
+import pytest
+
+from repro.analysis import (
+    canonical_accepts_trace,
+    exhaustive_safety_check,
+    run_consensus_round,
+    trace_is_linearizable,
+)
+from repro.ioa import RandomScheduler, RoundRobinScheduler, run
+from repro.protocols.tas_consensus import (
+    IMPLEMENTED_ID,
+    implemented_consensus_trace,
+    tas_consensus_system,
+)
+from repro.services import CanonicalAtomicObject
+from repro.system import FailureSchedule, upfront_failures
+from repro.types import binary_consensus_type
+
+
+class TestConsensusAxioms:
+    @pytest.mark.parametrize(
+        "proposals", [{0: 0, 1: 0}, {0: 0, 1: 1}, {0: 1, 1: 0}, {0: 1, 1: 1}]
+    )
+    def test_failure_free_all_inputs(self, proposals):
+        check = run_consensus_round(tas_consensus_system(), proposals)
+        assert check.ok, check.violations
+        assert set(check.decisions.values()) <= set(proposals.values())
+
+    def test_wait_free_one_crash(self):
+        # Wait-freedom: the survivor decides alone.
+        for victim in (0, 1):
+            check = run_consensus_round(
+                tas_consensus_system(),
+                {0: 0, 1: 1},
+                failure_schedule=upfront_failures([victim]),
+            )
+            assert check.ok, (victim, check.violations)
+            assert 1 - victim in check.decisions
+
+    def test_mid_run_crash(self):
+        for strike in (2, 5, 9):
+            check = run_consensus_round(
+                tas_consensus_system(),
+                {0: 0, 1: 1},
+                failure_schedule=FailureSchedule(((strike, 0),)),
+            )
+            assert check.ok, (strike, check.violations)
+
+    def test_exhaustive_safety(self):
+        result = exhaustive_safety_check(
+            tas_consensus_system(), {0: 0, 1: 1}, max_states=500_000
+        )
+        assert result.ok
+
+    def test_random_schedules(self):
+        for seed in range(15):
+            check = run_consensus_round(
+                tas_consensus_system(), {0: 1, 1: 0}, seed=seed
+            )
+            assert check.ok, (seed, check.violations)
+
+    def test_winner_takes_schedule_dependent_value(self):
+        outcomes = set()
+        for seed in range(25):
+            check = run_consensus_round(
+                tas_consensus_system(), {0: 0, 1: 1}, seed=seed
+            )
+            outcomes.update(check.decisions.values())
+        assert outcomes == {0, 1}
+
+
+class TestImplementationRelation:
+    def run_trace(self, proposals, seed=None, failures=()):
+        system = tas_consensus_system()
+        initialization = system.initialization(proposals)
+        scheduler = (
+            RandomScheduler(seed) if seed is not None else RoundRobinScheduler()
+        )
+        execution = run(
+            system,
+            scheduler,
+            max_steps=300,
+            start=initialization.final_state,
+            inputs=FailureSchedule(tuple(failures)).as_inputs(),
+        )
+        return implemented_consensus_trace(execution)
+
+    def test_history_linearizable(self):
+        for seed in range(10):
+            trace = self.run_trace({0: 0, 1: 1}, seed=seed)
+            assert trace_is_linearizable(
+                trace, IMPLEMENTED_ID, binary_consensus_type()
+            ), seed
+
+    def test_trace_included_in_canonical_object(self):
+        """The paper's implementation relation (Section 2.1.4): every
+        trace of the implementation is a trace of the canonical
+        wait-free 2-process consensus object."""
+        canonical = CanonicalAtomicObject(
+            binary_consensus_type(),
+            endpoints=(0, 1),
+            resilience=1,
+            service_id=IMPLEMENTED_ID,
+        )
+        for seed in range(10):
+            trace = self.run_trace({0: 0, 1: 1}, seed=seed)
+            assert canonical_accepts_trace(canonical, trace), seed
+
+    def test_trace_inclusion_with_failures(self):
+        canonical = CanonicalAtomicObject(
+            binary_consensus_type(),
+            endpoints=(0, 1),
+            resilience=1,
+            service_id=IMPLEMENTED_ID,
+        )
+        trace = self.run_trace({0: 0, 1: 1}, failures=[(4, 0)])
+        # The implemented trace contains only the external events of the
+        # implemented object; fail actions belong to its signature too.
+        assert canonical_accepts_trace(canonical, trace)

@@ -1,0 +1,181 @@
+"""Unit tests for the universal construction (Herlihy universality).
+
+Consensus objects implement any deterministic sequential type, wait-free
+— verified against the independent linearizability checker and under
+failure injection.
+"""
+
+import pytest
+
+from repro.analysis.linearizability import trace_is_linearizable
+from repro.ioa import RandomScheduler, RoundRobinScheduler, run
+from repro.protocols.universal import (
+    UNIVERSAL_ID,
+    UniversalProcess,
+    implemented_trace,
+    universal_object_system,
+)
+from repro.system import FailureSchedule
+from repro.types import counter_type, queue_type, read_write_type
+
+
+def drive(system, steps=4000, seed=None, failures=()):
+    scheduler = RandomScheduler(seed) if seed is not None else RoundRobinScheduler()
+    return run(
+        system,
+        scheduler,
+        max_steps=steps,
+        inputs=FailureSchedule(tuple(failures)).as_inputs(),
+    )
+
+
+class TestCounterObject:
+    def test_all_operations_complete(self):
+        counter = counter_type(modulus=16)
+        system = universal_object_system(
+            counter, {0: [("inc",), ("get",)], 1: [("inc",), ("get",)]}
+        )
+        execution = drive(system)
+        trace = implemented_trace(execution)
+        responses = [a for a in trace if a.kind == "respond"]
+        assert len(responses) == 4
+
+    def test_counter_history_linearizable(self):
+        counter = counter_type(modulus=16)
+        for seed in range(6):
+            system = universal_object_system(
+                counter, {0: [("inc",), ("get",)], 1: [("inc",), ("get",)]}
+            )
+            execution = drive(system, seed=seed)
+            trace = implemented_trace(execution)
+            assert trace_is_linearizable(trace, UNIVERSAL_ID, counter), seed
+
+    def test_final_gets_see_both_increments(self):
+        # Round-robin schedules both incs before either get here; the
+        # linearization-order replicas must count both.
+        counter = counter_type(modulus=16)
+        system = universal_object_system(
+            counter, {0: [("inc",)], 1: [("inc",)], 2: [("get",)]}
+        )
+        execution = drive(system)
+        trace = implemented_trace(execution)
+        get_response = next(
+            a.args[2]
+            for a in trace
+            if a.kind == "respond" and a.args[1] == 2
+        )
+        assert get_response in (("value", 0), ("value", 1), ("value", 2))
+        assert trace_is_linearizable(trace, UNIVERSAL_ID, counter)
+
+
+class TestQueueObject:
+    def test_queue_from_consensus_linearizable(self):
+        queue = queue_type(items=("a", "b", "c"))
+        for seed in range(6):
+            system = universal_object_system(
+                queue,
+                {
+                    0: [("enq", "a"), ("deq",)],
+                    1: [("enq", "b"), ("deq",)],
+                    2: [("enq", "c")],
+                },
+            )
+            execution = drive(system, seed=seed, steps=8000)
+            trace = implemented_trace(execution)
+            assert trace_is_linearizable(trace, UNIVERSAL_ID, queue), seed
+
+    def test_no_element_dequeued_twice(self):
+        queue = queue_type(items=("a", "b"))
+        system = universal_object_system(
+            queue,
+            {0: [("enq", "a"), ("deq",)], 1: [("enq", "b"), ("deq",)]},
+        )
+        execution = drive(system, steps=8000)
+        items = [
+            a.args[2][1]
+            for a in implemented_trace(execution)
+            if a.kind == "respond" and a.args[2][0] == "item"
+        ]
+        assert len(items) == len(set(items))
+
+
+class TestRegisterObject:
+    def test_register_from_consensus(self):
+        rw = read_write_type(values=(0, 1, 2))
+        for seed in range(6):
+            system = universal_object_system(
+                rw,
+                {0: [("write", 1), ("read",)], 1: [("write", 2), ("read",)]},
+            )
+            execution = drive(system, seed=seed, steps=8000)
+            trace = implemented_trace(execution)
+            assert trace_is_linearizable(trace, UNIVERSAL_ID, rw), seed
+
+
+class TestWaitFreedom:
+    def test_survivor_completes_despite_crashes(self):
+        """Wait-freedom: all other processes crash mid-construction, the
+        survivor still finishes every scripted operation."""
+        counter = counter_type(modulus=16)
+        system = universal_object_system(
+            counter,
+            {0: [("inc",), ("get",)], 1: [("inc",)], 2: [("inc",)]},
+        )
+        execution = drive(system, steps=8000, failures=[(5, 1), (5, 2)])
+        responses_at_0 = [
+            a
+            for a in implemented_trace(execution)
+            if a.kind == "respond" and a.args[1] == 0
+        ]
+        assert len(responses_at_0) == 2
+
+    def test_history_linearizable_under_failures(self):
+        counter = counter_type(modulus=16)
+        for seed in range(4):
+            system = universal_object_system(
+                counter,
+                {0: [("inc",), ("get",)], 1: [("inc",)], 2: [("get",)]},
+            )
+            execution = drive(system, seed=seed, steps=8000, failures=[(10, 1)])
+            trace = implemented_trace(execution)
+            assert trace_is_linearizable(trace, UNIVERSAL_ID, counter), seed
+
+
+class TestReplicaAgreement:
+    def test_replicas_are_prefix_consistent(self):
+        """Each replica equals the sequential value after exactly the
+        slots that process consumed — replicas are snapshots of one
+        common linearization order, at possibly different prefixes."""
+        counter = counter_type(modulus=16)
+        system = universal_object_system(
+            counter, {0: [("inc",)], 1: [("inc",)]}
+        )
+        execution = drive(system)
+        final = execution.final_state
+        for endpoint in (0, 1):
+            locals_value = system.process_state(final, endpoint).locals
+            slots_consumed = locals_value[2]
+            replica = UniversalProcess.replica_value(locals_value)
+            # Every decided slot is an inc, so the replica value IS the
+            # number of consumed slots.
+            assert replica == slots_consumed
+
+    def test_full_consumers_agree_exactly(self):
+        """Processes that consumed every slot hold identical replicas."""
+        counter = counter_type(modulus=16)
+        # Give process 2 a trailing operation so it must consume all
+        # earlier slots before finishing.
+        system = universal_object_system(
+            counter, {0: [("inc",)], 1: [("inc",)], 2: [("inc",)]}
+        )
+        execution = drive(system, steps=8000)
+        final = execution.final_state
+        full = [
+            UniversalProcess.replica_value(
+                system.process_state(final, endpoint).locals
+            )
+            for endpoint in (0, 1, 2)
+            if system.process_state(final, endpoint).locals[2] == 3
+        ]
+        assert full, "someone must have consumed every slot"
+        assert all(value == 3 for value in full)

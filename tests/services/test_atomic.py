@@ -1,0 +1,212 @@
+"""Unit tests for the canonical atomic object (Fig. 1)."""
+
+import pytest
+
+from repro.ioa import Action, Task, fail, invoke
+from repro.services import CanonicalAtomicObject, wait_free_atomic_object
+from repro.types import binary_consensus_type, read_write_type
+
+
+def make_object(resilience=1, endpoints=(0, 1, 2)):
+    return CanonicalAtomicObject(
+        sequential_type=binary_consensus_type(),
+        endpoints=endpoints,
+        resilience=resilience,
+        service_id="cons",
+    )
+
+
+def perform_task(obj, endpoint):
+    return Task(obj.name, ("perform", endpoint))
+
+
+def output_task(obj, endpoint):
+    return Task(obj.name, ("output", endpoint))
+
+
+class TestConstruction:
+    def test_requires_endpoints(self):
+        with pytest.raises(ValueError):
+            make_object(endpoints=())
+
+    def test_rejects_duplicate_endpoints(self):
+        with pytest.raises(ValueError):
+            make_object(endpoints=(0, 0))
+
+    def test_rejects_negative_resilience(self):
+        with pytest.raises(ValueError):
+            make_object(resilience=-1)
+
+    def test_wait_free_helper(self):
+        obj = wait_free_atomic_object(binary_consensus_type(), (0, 1), "c")
+        assert obj.resilience == 1
+        assert obj.is_wait_free
+
+    def test_wait_free_predicate(self):
+        assert not make_object(resilience=1).is_wait_free
+        assert make_object(resilience=2).is_wait_free
+        assert make_object(resilience=5).is_wait_free
+
+
+class TestSignature:
+    def test_invoke_input_for_endpoints_only(self):
+        obj = make_object()
+        assert obj.is_input(invoke("cons", 1, ("init", 0)))
+        assert not obj.is_input(invoke("cons", 9, ("init", 0)))
+        assert not obj.is_input(invoke("other", 1, ("init", 0)))
+        assert not obj.is_input(invoke("cons", 1, ("bogus",)))
+
+    def test_fail_input_for_endpoints_only(self):
+        obj = make_object()
+        assert obj.is_input(fail(2))
+        assert not obj.is_input(fail(9))
+
+    def test_respond_output(self):
+        obj = make_object()
+        assert obj.is_output(Action("respond", ("cons", 0, ("decide", 1))))
+        assert not obj.is_output(Action("respond", ("cons", 0, ("bogus",))))
+
+    def test_internal_actions(self):
+        obj = make_object()
+        assert obj.is_internal(Action("perform", ("cons", 0)))
+        assert obj.is_internal(Action("dummy_perform", ("cons", 0)))
+        assert obj.is_internal(Action("dummy_output", ("cons", 0)))
+        assert not obj.is_internal(Action("compute", ("cons", "g")))
+
+
+class TestTasks:
+    def test_two_tasks_per_endpoint(self):
+        obj = make_object(endpoints=(0, 1))
+        names = {task.name for task in obj.tasks()}
+        assert names == {
+            ("perform", 0),
+            ("perform", 1),
+            ("output", 0),
+            ("output", 1),
+        }
+
+
+class TestOperation:
+    def test_invocation_queues_in_buffer(self):
+        obj = make_object()
+        state = obj.some_start_state()
+        state = obj.apply_input(state, invoke("cons", 1, ("init", 0)))
+        assert obj.inv_buffer(state, 1) == (("init", 0),)
+        assert obj.inv_buffer(state, 0) == ()
+
+    def test_perform_applies_delta_and_queues_response(self):
+        obj = make_object()
+        state = obj.apply_input(
+            obj.some_start_state(), invoke("cons", 1, ("init", 1))
+        )
+        (transition,) = obj.enabled(state, perform_task(obj, 1))
+        assert transition.action == Action("perform", ("cons", 1))
+        post = transition.post
+        assert post.val == frozenset({1})
+        assert obj.inv_buffer(post, 1) == ()
+        assert obj.resp_buffer(post, 1) == (("decide", 1),)
+
+    def test_output_delivers_head_response(self):
+        obj = make_object()
+        state = obj.apply_input(
+            obj.some_start_state(), invoke("cons", 0, ("init", 0))
+        )
+        state = obj.enabled(state, perform_task(obj, 0))[0].post
+        (transition,) = obj.enabled(state, output_task(obj, 0))
+        assert transition.action == Action("respond", ("cons", 0, ("decide", 0)))
+        assert obj.resp_buffer(transition.post, 0) == ()
+
+    def test_fifo_order_per_endpoint(self):
+        obj = make_object()
+        state = obj.some_start_state()
+        state = obj.apply_input(state, invoke("cons", 0, ("init", 1)))
+        state = obj.apply_input(state, invoke("cons", 0, ("init", 0)))
+        state = obj.enabled(state, perform_task(obj, 0))[0].post
+        state = obj.enabled(state, perform_task(obj, 0))[0].post
+        # First-value-wins: both responses decide 1, in order.
+        assert obj.resp_buffer(state, 0) == (("decide", 1), ("decide", 1))
+
+    def test_perform_disabled_without_invocation(self):
+        obj = make_object()
+        assert obj.enabled(obj.some_start_state(), perform_task(obj, 0)) == []
+
+    def test_concurrent_endpoints_interleave(self):
+        obj = make_object()
+        state = obj.some_start_state()
+        state = obj.apply_input(state, invoke("cons", 0, ("init", 0)))
+        state = obj.apply_input(state, invoke("cons", 1, ("init", 1)))
+        # Either perform order is allowed; the first perform fixes val.
+        state01 = obj.enabled(state, perform_task(obj, 0))[0].post
+        state01 = obj.enabled(state01, perform_task(obj, 1))[0].post
+        assert state01.val == frozenset({0})
+        state10 = obj.enabled(state, perform_task(obj, 1))[0].post
+        state10 = obj.enabled(state10, perform_task(obj, 0))[0].post
+        assert state10.val == frozenset({1})
+
+
+class TestResilienceSemantics:
+    def test_no_dummies_when_failure_free(self):
+        obj = make_object()
+        state = obj.some_start_state()
+        for endpoint in obj.endpoints:
+            assert obj.enabled(state, perform_task(obj, endpoint)) == []
+            assert obj.enabled(state, output_task(obj, endpoint)) == []
+
+    def test_dummy_enabled_for_failed_endpoint(self):
+        obj = make_object()
+        state = obj.apply_input(obj.some_start_state(), fail(1))
+        actions = [t.action for t in obj.enabled(state, perform_task(obj, 1))]
+        assert Action("dummy_perform", ("cons", 1)) in actions
+        # Other endpoints remain dummy-free below the resilience bound.
+        assert obj.enabled(state, perform_task(obj, 0)) == []
+
+    def test_dummy_enabled_everywhere_beyond_resilience(self):
+        obj = make_object(resilience=1)
+        state = obj.some_start_state()
+        state = obj.apply_input(state, fail(0))
+        state = obj.apply_input(state, fail(1))  # |failed| = 2 > f = 1
+        for endpoint in obj.endpoints:
+            actions = [
+                t.action for t in obj.enabled(state, perform_task(obj, endpoint))
+            ]
+            assert Action("dummy_perform", ("cons", endpoint)) in actions
+            actions = [
+                t.action for t in obj.enabled(state, output_task(obj, endpoint))
+            ]
+            assert Action("dummy_output", ("cons", endpoint)) in actions
+
+    def test_dummy_does_not_change_state(self):
+        obj = make_object()
+        state = obj.apply_input(obj.some_start_state(), fail(1))
+        (transition,) = obj.enabled(state, perform_task(obj, 1))
+        assert transition.post == state
+
+    def test_real_perform_still_allowed_after_failure(self):
+        # Dummies allow but never force silence (Section 2.1.3).
+        obj = make_object()
+        state = obj.some_start_state()
+        state = obj.apply_input(state, invoke("cons", 1, ("init", 1)))
+        state = obj.apply_input(state, fail(1))
+        actions = [t.action for t in obj.enabled(state, perform_task(obj, 1))]
+        assert Action("perform", ("cons", 1)) in actions
+        assert Action("dummy_perform", ("cons", 1)) in actions
+
+
+class TestNondeterministicTypes:
+    def test_kset_perform_offers_all_outcomes(self):
+        from repro.types import k_set_consensus_type
+
+        obj = CanonicalAtomicObject(
+            sequential_type=k_set_consensus_type(2, proposals=(0, 1, 2)),
+            endpoints=(0,),
+            resilience=0,
+            service_id="kset",
+        )
+        state = obj.some_start_state()
+        state = obj.apply_input(state, invoke("kset", 0, ("init", 1)))
+        state = obj.enabled(state, perform_task(obj, 0))[0].post
+        state = obj.apply_input(state, invoke("kset", 0, ("init", 2)))
+        transitions = obj.enabled(state, perform_task(obj, 0))
+        # Two remembered values are possible responses.
+        responses = {obj.resp_buffer(t.post, 0)[-1] for t in transitions}
+        assert responses == {("decide", 1), ("decide", 2)}

@@ -1,0 +1,163 @@
+"""The paper's special-case embeddings, verified step for step.
+
+Section 5.1: the canonical atomic object is a special case of the
+canonical failure-oblivious service (via the ``from_sequential`` lift).
+Section 6.1: the canonical failure-oblivious service is a special case
+of the canonical general service (via the ``oblivious_as_general``
+lift).  These tests drive both automata of each pair through identical
+action sequences and assert the observable behavior coincides.
+"""
+
+import pytest
+
+from repro.ioa import Action, RandomScheduler, Task, fail, invoke, run
+from repro.services import (
+    CanonicalAtomicObject,
+    CanonicalFailureObliviousService,
+    TotallyOrderedBroadcast,
+    atomic_object_as_oblivious_service,
+    oblivious_service_as_general,
+)
+from repro.types import binary_consensus_type
+
+
+def drive_pair(left, right, inputs, task_names, steps=40, seed=1):
+    """Apply the same inputs and task picks to both automata; compare.
+
+    Returns the pair of final states.  Raises on any divergence in
+    enabled actions along the way.
+    """
+    ls = left.some_start_state()
+    rs = right.some_start_state()
+    for action in inputs:
+        ls = left.apply_input(ls, action)
+        rs = right.apply_input(rs, action)
+    import random
+
+    rng = random.Random(seed)
+    for _ in range(steps):
+        name = rng.choice(task_names)
+        lt = left.enabled(ls, Task(left.name, name))
+        rt = right.enabled(rs, Task(right.name, name))
+        assert [t.action for t in lt] == [t.action for t in rt], (
+            f"enabled actions diverge at task {name}: {lt} vs {rt}"
+        )
+        if not lt:
+            continue
+        choice = rng.randrange(len(lt))
+        ls = lt[choice].post
+        rs = rt[choice].post
+    return ls, rs
+
+
+class TestAtomicAsOblivious:
+    def make_pair(self, resilience=1):
+        endpoints = (0, 1, 2)
+        atomic = CanonicalAtomicObject(
+            sequential_type=binary_consensus_type(),
+            endpoints=endpoints,
+            resilience=resilience,
+            service_id="cons",
+            name="obj",
+        )
+        oblivious = atomic_object_as_oblivious_service(
+            binary_consensus_type(),
+            endpoints=endpoints,
+            resilience=resilience,
+            service_id="cons",
+            name="obj",
+        )
+        return atomic, oblivious
+
+    def test_same_task_structure_modulo_globals(self):
+        atomic, oblivious = self.make_pair()
+        atomic_tasks = {task.name for task in atomic.tasks()}
+        oblivious_tasks = {task.name for task in oblivious.tasks()}
+        assert atomic_tasks == oblivious_tasks  # glob is empty
+
+    def test_identical_behavior_failure_free(self):
+        atomic, oblivious = self.make_pair()
+        inputs = [
+            invoke("cons", 0, ("init", 0)),
+            invoke("cons", 1, ("init", 1)),
+            invoke("cons", 2, ("init", 1)),
+        ]
+        task_names = [("perform", e) for e in (0, 1, 2)] + [
+            ("output", e) for e in (0, 1, 2)
+        ]
+        ls, rs = drive_pair(atomic, oblivious, inputs, task_names)
+        assert ls.val == rs.val
+        assert ls.resp_buffers == rs.resp_buffers
+        assert ls.inv_buffers == rs.inv_buffers
+
+    def test_identical_behavior_with_failures(self):
+        atomic, oblivious = self.make_pair(resilience=0)
+        inputs = [
+            invoke("cons", 0, ("init", 0)),
+            fail(1),
+            fail(2),
+            invoke("cons", 1, ("init", 1)),
+        ]
+        task_names = [("perform", e) for e in (0, 1, 2)] + [
+            ("output", e) for e in (0, 1, 2)
+        ]
+        for seed in range(5):
+            ls, rs = drive_pair(
+                atomic, oblivious, inputs, task_names, seed=seed
+            )
+            assert ls.failed == rs.failed
+            assert ls.val == rs.val
+
+
+class TestObliviousAsGeneral:
+    def make_pair(self, resilience=1):
+        endpoints = (0, 1, 2)
+        tob = TotallyOrderedBroadcast(
+            service_id="tob",
+            endpoints=endpoints,
+            messages=("a", "b"),
+            resilience=resilience,
+            name="svc",
+        )
+        general = oblivious_service_as_general(
+            tob.service_type,
+            endpoints=endpoints,
+            resilience=resilience,
+            service_id="tob",
+            name="svc",
+        )
+        return tob, general
+
+    def test_same_task_structure(self):
+        tob, general = self.make_pair()
+        assert {t.name for t in tob.tasks()} == {t.name for t in general.tasks()}
+
+    def test_identical_behavior_failure_free(self):
+        tob, general = self.make_pair()
+        inputs = [
+            invoke("tob", 0, ("bcast", "a")),
+            invoke("tob", 2, ("bcast", "b")),
+        ]
+        task_names = (
+            [("perform", e) for e in (0, 1, 2)]
+            + [("output", e) for e in (0, 1, 2)]
+            + [("compute", "g")]
+        )
+        ls, rs = drive_pair(tob, general, inputs, task_names)
+        assert ls == rs
+
+    def test_identical_behavior_with_failures(self):
+        tob, general = self.make_pair(resilience=0)
+        inputs = [
+            invoke("tob", 0, ("bcast", "a")),
+            fail(0),
+            fail(1),
+        ]
+        task_names = (
+            [("perform", e) for e in (0, 1, 2)]
+            + [("output", e) for e in (0, 1, 2)]
+            + [("compute", "g")]
+        )
+        for seed in range(5):
+            ls, rs = drive_pair(tob, general, inputs, task_names, seed=seed)
+            assert ls == rs

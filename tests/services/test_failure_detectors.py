@@ -1,0 +1,168 @@
+"""Unit tests for the failure detectors P and <>P (Section 6.2)."""
+
+from repro.ioa import (
+    Action,
+    RoundRobinScheduler,
+    Task,
+    fail,
+    run,
+)
+from repro.services import (
+    IMPERFECT,
+    MODE_SWITCH_TASK,
+    PERFECT,
+    EventuallyPerfectFailureDetector,
+    PerfectFailureDetector,
+    suspect,
+    suspicions_in_trace,
+)
+
+
+def compute_task(service, name):
+    return Task(service.name, ("compute", name))
+
+
+class TestPerfectDetector:
+    def test_no_invocations(self):
+        detector = PerfectFailureDetector("P", endpoints=(0, 1, 2), resilience=1)
+        assert not detector.is_input(Action("invoke", ("P", 0, ("query",))))
+        assert detector.is_input(fail(0))
+
+    def test_reports_exact_failed_set(self):
+        detector = PerfectFailureDetector("P", endpoints=(0, 1, 2), resilience=2)
+        state = detector.some_start_state()
+        state = detector.apply_input(state, fail(2))
+        (transition,) = detector.enabled(state, compute_task(detector, 0))
+        assert detector.resp_buffer(transition.post, 0) == (suspect({2}),)
+
+    def test_empty_report_when_no_failures(self):
+        detector = PerfectFailureDetector("P", endpoints=(0, 1), resilience=1)
+        (transition,) = detector.enabled(
+            detector.some_start_state(), compute_task(detector, 1)
+        )
+        assert detector.resp_buffer(transition.post, 1) == (suspect(()),)
+
+    def test_one_global_task_per_endpoint(self):
+        detector = PerfectFailureDetector("P", endpoints=(0, 1, 2), resilience=1)
+        names = {task.name for task in detector.tasks()}
+        for endpoint in (0, 1, 2):
+            assert ("compute", endpoint) in names
+
+    def test_strong_accuracy_along_runs(self):
+        """Every suspicion delivered is a subset of the failures so far."""
+        detector = PerfectFailureDetector("P", endpoints=(0, 1, 2), resilience=2)
+        execution = run(
+            detector,
+            RoundRobinScheduler(),
+            max_steps=60,
+            inputs=[(10, fail(1)), (30, fail(2))],
+        )
+        failed_so_far = set()
+        for step in execution.steps:
+            if step.action.kind == "fail":
+                failed_so_far.add(step.action.args[0])
+            if step.action.kind == "respond":
+                reported = step.action.args[2][1]
+                assert reported <= failed_so_far
+
+    def test_strong_completeness_eventually(self):
+        detector = PerfectFailureDetector("P", endpoints=(0, 1, 2), resilience=2)
+        execution = run(
+            detector,
+            RoundRobinScheduler(),
+            max_steps=80,
+            inputs=[(0, fail(1))],
+        )
+        reports = suspicions_in_trace(execution.actions, 0, "P")
+        assert reports, "fair run must deliver reports"
+        assert reports[-1] == frozenset({1})
+
+
+class TestEventuallyPerfectDetector:
+    def test_starts_imperfect(self):
+        detector = EventuallyPerfectFailureDetector(
+            "evP", endpoints=(0, 1), resilience=1
+        )
+        assert detector.some_start_state().val == IMPERFECT
+
+    def test_mode_switch_task(self):
+        detector = EventuallyPerfectFailureDetector(
+            "evP", endpoints=(0, 1), resilience=1
+        )
+        state = detector.some_start_state()
+        (transition,) = detector.enabled(
+            state, compute_task(detector, MODE_SWITCH_TASK)
+        )
+        assert transition.post.val == PERFECT
+
+    def test_imperfect_mode_allows_arbitrary_suspicions(self):
+        detector = EventuallyPerfectFailureDetector(
+            "evP", endpoints=(0, 1), resilience=1
+        )
+        transitions = detector.enabled(
+            detector.some_start_state(), compute_task(detector, 0)
+        )
+        reported = {
+            detector.resp_buffer(t.post, 0)[-1][1] for t in transitions
+        }
+        # All four subsets of {0, 1} can be reported while imperfect.
+        assert reported == {
+            frozenset(),
+            frozenset({0}),
+            frozenset({1}),
+            frozenset({0, 1}),
+        }
+
+    def test_perfect_mode_reports_exactly(self):
+        detector = EventuallyPerfectFailureDetector(
+            "evP", endpoints=(0, 1), resilience=1
+        )
+        state = detector.some_start_state()
+        state = detector.enabled(state, compute_task(detector, MODE_SWITCH_TASK))[
+            0
+        ].post
+        state = detector.apply_input(state, fail(1))
+        (transition,) = detector.enabled(state, compute_task(detector, 0))
+        assert detector.resp_buffer(transition.post, 0) == (suspect({1}),)
+
+    def test_restricted_arbitrary_suspicions(self):
+        detector = EventuallyPerfectFailureDetector(
+            "evP",
+            endpoints=(0, 1),
+            resilience=1,
+            arbitrary_suspicions=[frozenset({0})],
+        )
+        transitions = detector.enabled(
+            detector.some_start_state(), compute_task(detector, 1)
+        )
+        reported = {detector.resp_buffer(t.post, 1)[-1][1] for t in transitions}
+        assert reported == {frozenset({0})}
+
+    def test_eventual_accuracy_under_fair_scheduling(self):
+        """Reports eventually stabilize to the exact failed set.
+
+        Pre-switch (arbitrary) reports may still drain from the response
+        buffers after the mode switch; eventual accuracy says the *tail*
+        of the report stream is exact.
+        """
+        detector = EventuallyPerfectFailureDetector(
+            "evP",
+            endpoints=(0, 1),
+            resilience=1,
+            arbitrary_suspicions=[frozenset({0, 1})],  # maximally wrong
+        )
+        execution = run(
+            detector,
+            RoundRobinScheduler(),
+            max_steps=60,
+            inputs=[(0, fail(1))],
+        )
+        switched = any(
+            step.action == Action("compute", ("evP", MODE_SWITCH_TASK))
+            for step in execution.steps
+        )
+        assert switched, "fairness must eventually run the mode-switch task"
+        reports = suspicions_in_trace(execution.actions, 0, "evP")
+        assert reports and reports[-1] == frozenset({1})
+        # Some early report was wrong (the detector really was imperfect).
+        assert frozenset({0, 1}) in reports

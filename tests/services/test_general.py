@@ -1,0 +1,86 @@
+"""Unit tests for the canonical general (failure-aware) service (Fig. 8)."""
+
+from repro.ioa import Action, Task, fail, invoke
+from repro.services import CanonicalGeneralService
+from repro.types import GeneralServiceType, single_response
+
+
+def make_failure_counter(endpoints=(0, 1, 2), resilience=1):
+    """A deliberately failure-AWARE service: perform reports |failed|."""
+
+    def delta1(invocation, endpoint, value, failed):
+        return ((single_response(endpoint, ("failures", len(failed))), value),)
+
+    def delta2(global_task, value, failed):
+        return ((single_response(0, ("snapshot", frozenset(failed))), value),)
+
+    service_type = GeneralServiceType(
+        name="failure-counter",
+        initial_values=("v",),
+        invocations=(("count",),),
+        responses=tuple(("failures", n) for n in range(4))
+        + tuple(
+            ("snapshot", frozenset(s))
+            for s in [(), (0,), (1,), (2,), (0, 1), (0, 2), (1, 2), (0, 1, 2)]
+        ),
+        global_tasks=("g",),
+        delta1=delta1,
+        delta2=delta2,
+    )
+    return CanonicalGeneralService(
+        service_type=service_type,
+        endpoints=endpoints,
+        resilience=resilience,
+        service_id="fc",
+    )
+
+
+class TestFailureAwareness:
+    def test_perform_sees_failed_set(self):
+        service = make_failure_counter()
+        state = service.some_start_state()
+        state = service.apply_input(state, fail(2))
+        state = service.apply_input(state, invoke("fc", 0, ("count",)))
+        (transition,) = service.enabled(state, Task(service.name, ("perform", 0)))
+        assert service.resp_buffer(transition.post, 0) == (("failures", 1),)
+
+    def test_compute_sees_failed_set(self):
+        service = make_failure_counter()
+        state = service.some_start_state()
+        state = service.apply_input(state, fail(1))
+        (transition,) = service.enabled(state, Task(service.name, ("compute", "g")))
+        assert service.resp_buffer(transition.post, 0) == (
+            ("snapshot", frozenset({1})),
+        )
+
+    def test_awareness_tracks_failures_over_time(self):
+        service = make_failure_counter()
+        state = service.some_start_state()
+        snapshots = []
+        for victim in (0, 1):
+            state = service.apply_input(state, fail(victim))
+            post = service.enabled(state, Task(service.name, ("compute", "g")))[0].post
+            snapshots.append(service.resp_buffer(post, 0)[-1])
+        assert snapshots == [
+            ("snapshot", frozenset({0})),
+            ("snapshot", frozenset({0, 1})),
+        ]
+
+
+class TestResilienceStillApplies:
+    def test_dummies_beyond_resilience(self):
+        service = make_failure_counter(resilience=1)
+        state = service.some_start_state()
+        state = service.apply_input(state, fail(0))
+        state = service.apply_input(state, fail(1))
+        transitions = service.enabled(state, Task(service.name, ("compute", "g")))
+        assert any(t.action.kind == "dummy_compute" for t in transitions)
+        transitions = service.enabled(state, Task(service.name, ("perform", 2)))
+        assert any(t.action.kind == "dummy_perform" for t in transitions)
+
+    def test_no_dummies_within_resilience(self):
+        service = make_failure_counter(resilience=2)
+        state = service.some_start_state()
+        state = service.apply_input(state, fail(0))
+        transitions = service.enabled(state, Task(service.name, ("compute", "g")))
+        assert all(t.action.kind == "compute" for t in transitions)

@@ -1,0 +1,123 @@
+"""Unit tests for the asynchronous network service."""
+
+import pytest
+
+from repro.ioa import RandomScheduler, RoundRobinScheduler, Task, fail, invoke, run
+from repro.services.network import (
+    AsynchronousNetwork,
+    Channel,
+    channel_id,
+    deliver,
+    deliveries_in_trace,
+    network_type,
+    send,
+)
+from repro.system import DistributedSystem, ScriptProcess
+
+
+def make_network(endpoints=(0, 1, 2), resilience=1):
+    return AsynchronousNetwork(
+        "net", endpoints=endpoints, messages=("a", "b"), resilience=resilience
+    )
+
+
+class TestNetworkSemantics:
+    def test_send_queues_delivery_at_target(self):
+        net = make_network()
+        state = net.apply_input(net.some_start_state(), invoke("net", 0, send(2, "a")))
+        state = net.enabled(state, Task(net.name, ("perform", 0)))[0].post
+        assert net.resp_buffer(state, 2) == (deliver(0, "a"),)
+        assert net.resp_buffer(state, 1) == ()
+
+    def test_fifo_per_sender_receiver_pair(self):
+        net = make_network()
+        state = net.some_start_state()
+        state = net.apply_input(state, invoke("net", 0, send(1, "a")))
+        state = net.apply_input(state, invoke("net", 0, send(1, "b")))
+        state = net.enabled(state, Task(net.name, ("perform", 0)))[0].post
+        state = net.enabled(state, Task(net.name, ("perform", 0)))[0].post
+        assert net.resp_buffer(state, 1) == (deliver(0, "a"), deliver(0, "b"))
+
+    def test_cross_sender_races(self):
+        # Sends from different endpoints may perform in either order.
+        net = make_network()
+        state = net.some_start_state()
+        state = net.apply_input(state, invoke("net", 0, send(2, "a")))
+        state = net.apply_input(state, invoke("net", 1, send(2, "b")))
+        one_way = net.enabled(state, Task(net.name, ("perform", 0)))[0].post
+        one_way = net.enabled(one_way, Task(net.name, ("perform", 1)))[0].post
+        other = net.enabled(state, Task(net.name, ("perform", 1)))[0].post
+        other = net.enabled(other, Task(net.name, ("perform", 0)))[0].post
+        assert net.resp_buffer(one_way, 2) != net.resp_buffer(other, 2)
+
+    def test_send_to_unknown_target_vanishes(self):
+        net = make_network()
+        state = net.apply_input(
+            net.some_start_state(), invoke("net", 0, send(99, "a"))
+        )
+        state = net.enabled(state, Task(net.name, ("perform", 0)))[0].post
+        assert all(net.resp_buffer(state, e) == () for e in (0, 1, 2))
+
+    def test_network_is_failure_oblivious(self):
+        # delta1 signature carries no failed set — structural obliviousness.
+        nt = network_type((0, 1), ("m",))
+        ((response_map, value),) = nt.apply_perform(send(1, "m"), 0, ())
+        assert response_map == {1: (deliver(0, "m"),)}
+
+
+class TestNetworkResilience:
+    def test_silent_beyond_resilience(self):
+        net = make_network(resilience=0)
+        state = net.apply_input(net.some_start_state(), fail(0))
+        transitions = net.enabled(state, Task(net.name, ("perform", 1)))
+        assert any(t.action.kind == "dummy_perform" for t in transitions)
+
+    def test_live_within_resilience(self):
+        net = make_network(resilience=1)
+        state = net.apply_input(net.some_start_state(), fail(0))
+        state = net.apply_input(state, invoke("net", 1, send(2, "a")))
+        transitions = net.enabled(state, Task(net.name, ("perform", 1)))
+        assert {t.action.kind for t in transitions} == {"perform"}
+
+
+class TestChannels:
+    def test_channel_is_two_endpoint_network(self):
+        channel = Channel(0, 1, messages=("x",))
+        assert channel.endpoints == (0, 1)
+        assert channel.service_id == channel_id(0, 1)
+        state = channel.apply_input(
+            channel.some_start_state(), invoke(channel_id(0, 1), 0, send(1, "x"))
+        )
+        state = channel.enabled(state, Task(channel.name, ("perform", 0)))[0].post
+        assert channel.resp_buffer(state, 1) == (deliver(0, "x"),)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_messages_eventually_delivered(self, seed):
+        net = make_network(resilience=2)
+        processes = [
+            ScriptProcess(
+                0, [invoke("net", 0, send(1, "a")), invoke("net", 0, send(2, "a"))],
+                connections=["net"],
+            ),
+            ScriptProcess(1, [invoke("net", 1, send(2, "b"))], connections=["net"]),
+            ScriptProcess(2, [], connections=["net"]),
+        ]
+        system = DistributedSystem(processes, services=[net])
+        execution = run(system, RandomScheduler(seed), max_steps=300)
+        assert deliveries_in_trace(execution.actions, 1, "net") == [(0, "a")]
+        received_at_2 = deliveries_in_trace(execution.actions, 2, "net")
+        assert sorted(received_at_2) == [(0, "a"), (1, "b")]
+
+    def test_no_message_invented(self):
+        net = make_network()
+        processes = [
+            ScriptProcess(0, [invoke("net", 0, send(1, "a"))], connections=["net"]),
+            ScriptProcess(1, [], connections=["net"]),
+            ScriptProcess(2, [], connections=["net"]),
+        ]
+        system = DistributedSystem(processes, services=[net])
+        execution = run(system, RoundRobinScheduler(), max_steps=100)
+        for endpoint in (0, 2):
+            assert deliveries_in_trace(execution.actions, endpoint, "net") == []

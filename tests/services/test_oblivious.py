@@ -1,0 +1,148 @@
+"""Unit tests for the canonical failure-oblivious service (Fig. 4)."""
+
+import pytest
+
+from repro.ioa import Action, Task, fail, invoke
+from repro.services import CanonicalFailureObliviousService
+from repro.types import FailureObliviousServiceType, single_response
+
+
+def make_echo_service(endpoints=(0, 1, 2), resilience=1):
+    """A service whose perform echoes to everyone and whose global task
+    appends a heartbeat response to endpoint 0."""
+
+    def delta1(invocation, endpoint, value):
+        responses = {e: (("echo", invocation, endpoint),) for e in endpoints}
+        return ((responses, value + 1),)
+
+    def delta2(global_task, value):
+        if value % 2 == 0:
+            return ((single_response(0, ("beat", value)), value + 1),)
+        return (({}, value),)
+
+    service_type = FailureObliviousServiceType(
+        name="echo",
+        initial_values=(0,),
+        invocations=(("ping",),),
+        responses=tuple(("echo", ("ping",), e) for e in endpoints)
+        + tuple(("beat", n) for n in range(10)),
+        global_tasks=("g",),
+        delta1=delta1,
+        delta2=delta2,
+    )
+    return CanonicalFailureObliviousService(
+        service_type=service_type,
+        endpoints=endpoints,
+        resilience=resilience,
+        service_id="echo",
+    )
+
+
+class TestGeneralizationsOverAtomic:
+    def test_perform_may_respond_to_many_endpoints(self):
+        service = make_echo_service()
+        state = service.apply_input(
+            service.some_start_state(), invoke("echo", 1, ("ping",))
+        )
+        (transition,) = service.enabled(state, Task(service.name, ("perform", 1)))
+        post = transition.post
+        for endpoint in service.endpoints:
+            assert service.resp_buffer(post, endpoint) == (("echo", ("ping",), 1),)
+
+    def test_perform_result_may_depend_on_endpoint(self):
+        service = make_echo_service()
+        state = service.some_start_state()
+        s1 = service.apply_input(state, invoke("echo", 1, ("ping",)))
+        s2 = service.apply_input(state, invoke("echo", 2, ("ping",)))
+        post1 = service.enabled(s1, Task(service.name, ("perform", 1)))[0].post
+        post2 = service.enabled(s2, Task(service.name, ("perform", 2)))[0].post
+        assert service.resp_buffer(post1, 0) != service.resp_buffer(post2, 0)
+
+    def test_compute_steps_are_spontaneous(self):
+        service = make_echo_service()
+        state = service.some_start_state()  # no invocation pending
+        (transition,) = service.enabled(state, Task(service.name, ("compute", "g")))
+        assert transition.action == Action("compute", ("echo", "g"))
+        assert service.resp_buffer(transition.post, 0) == (("beat", 0),)
+
+    def test_compute_noop_branch_keeps_delta2_total(self):
+        service = make_echo_service()
+        state = service.some_start_state()
+        state = service.enabled(state, Task(service.name, ("compute", "g")))[0].post
+        # value is now odd: delta2 is a no-op but still defined.
+        (transition,) = service.enabled(state, Task(service.name, ("compute", "g")))
+        assert transition.post.val == state.val
+
+
+class TestComputeTaskResilience:
+    def test_dummy_compute_disabled_when_failure_free(self):
+        service = make_echo_service()
+        transitions = service.enabled(
+            service.some_start_state(), Task(service.name, ("compute", "g"))
+        )
+        assert all(t.action.kind != "dummy_compute" for t in transitions)
+
+    def test_dummy_compute_enabled_beyond_resilience(self):
+        service = make_echo_service(resilience=1)
+        state = service.some_start_state()
+        state = service.apply_input(state, fail(0))
+        state = service.apply_input(state, fail(1))
+        transitions = service.enabled(state, Task(service.name, ("compute", "g")))
+        assert any(t.action.kind == "dummy_compute" for t in transitions)
+
+    def test_dummy_compute_enabled_when_all_endpoints_fail(self):
+        service = make_echo_service(endpoints=(0, 1), resilience=5)
+        state = service.some_start_state()
+        state = service.apply_input(state, fail(0))
+        state = service.apply_input(state, fail(1))
+        transitions = service.enabled(state, Task(service.name, ("compute", "g")))
+        assert any(t.action.kind == "dummy_compute" for t in transitions)
+
+    def test_dummy_compute_not_enabled_by_single_failure(self):
+        service = make_echo_service(resilience=1)
+        state = service.apply_input(service.some_start_state(), fail(0))
+        transitions = service.enabled(state, Task(service.name, ("compute", "g")))
+        assert all(t.action.kind != "dummy_compute" for t in transitions)
+
+
+class TestObliviousnessIsStructural:
+    def test_delta_callbacks_never_see_failures(self):
+        observed = []
+
+        def delta1(invocation, endpoint, value):
+            observed.append(("delta1", invocation, endpoint, value))
+            return (({}, value),)
+
+        def delta2(global_task, value):
+            observed.append(("delta2", global_task, value))
+            return (({}, value),)
+
+        service = CanonicalFailureObliviousService(
+            service_type=FailureObliviousServiceType(
+                name="probe",
+                initial_values=(0,),
+                invocations=(("op",),),
+                responses=(),
+                global_tasks=("g",),
+                delta1=delta1,
+                delta2=delta2,
+            ),
+            endpoints=(0, 1),
+            resilience=0,
+            service_id="probe",
+        )
+        state = service.apply_input(service.some_start_state(), fail(1))
+        state = service.apply_input(state, invoke("probe", 0, ("op",)))
+        service.enabled(state, Task(service.name, ("perform", 0)))
+        service.enabled(state, Task(service.name, ("compute", "g")))
+        # Every recorded call signature carries no failure information:
+        # the arity check *is* the obliviousness guarantee.
+        assert observed == [
+            ("delta1", ("op",), 0, 0),
+            ("delta2", "g", 0),
+        ]
+
+    def test_global_tasks_appear_in_task_list(self):
+        service = make_echo_service()
+        names = {task.name for task in service.tasks()}
+        assert ("compute", "g") in names

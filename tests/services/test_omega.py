@@ -1,0 +1,99 @@
+"""Unit tests for the Omega leader oracle."""
+
+from repro.ioa import Action, RoundRobinScheduler, Task, fail, run
+from repro.services.failure_detectors import (
+    IMPERFECT,
+    LEADER,
+    MODE_SWITCH_TASK,
+    PERFECT,
+    OmegaFailureDetector,
+    leader_of,
+    leaders_in_trace,
+)
+
+
+def compute_task(service, name):
+    return Task(service.name, ("compute", name))
+
+
+class TestLeaderRule:
+    def test_least_alive_endpoint(self):
+        assert leader_of((0, 1, 2), frozenset()) == 0
+        assert leader_of((0, 1, 2), frozenset({0})) == 1
+        assert leader_of((0, 1, 2), frozenset({0, 1})) == 2
+
+    def test_all_failed(self):
+        assert leader_of((0, 1), frozenset({0, 1})) is None
+
+
+class TestOmegaService:
+    def test_starts_imperfect(self):
+        omega = OmegaFailureDetector("om", endpoints=(0, 1, 2), resilience=2)
+        assert omega.some_start_state().val == IMPERFECT
+
+    def test_imperfect_mode_reports_anything(self):
+        omega = OmegaFailureDetector("om", endpoints=(0, 1, 2), resilience=2)
+        transitions = omega.enabled(
+            omega.some_start_state(), compute_task(omega, 0)
+        )
+        reported = {omega.resp_buffer(t.post, 0)[-1][1] for t in transitions}
+        assert reported == {0, 1, 2}
+
+    def test_restricted_lies(self):
+        omega = OmegaFailureDetector(
+            "om", endpoints=(0, 1, 2), resilience=2, arbitrary_leaders=[2]
+        )
+        transitions = omega.enabled(
+            omega.some_start_state(), compute_task(omega, 1)
+        )
+        reported = {omega.resp_buffer(t.post, 1)[-1][1] for t in transitions}
+        assert reported == {2}
+
+    def test_perfect_mode_reports_least_alive(self):
+        omega = OmegaFailureDetector("om", endpoints=(0, 1, 2), resilience=2)
+        state = omega.some_start_state()
+        state = omega.enabled(state, compute_task(omega, MODE_SWITCH_TASK))[0].post
+        assert state.val == PERFECT
+        state = omega.apply_input(state, fail(0))
+        (transition,) = omega.enabled(state, compute_task(omega, 1))
+        assert omega.resp_buffer(transition.post, 1) == ((LEADER, 1),)
+
+    def test_eventual_stable_leadership(self):
+        """After the fair mode switch and the last failure, all endpoints
+        converge on the same correct leader."""
+        omega = OmegaFailureDetector(
+            "om", endpoints=(0, 1, 2), resilience=2, arbitrary_leaders=[2]
+        )
+        execution = run(
+            omega,
+            RoundRobinScheduler(),
+            max_steps=80,
+            inputs=[(5, fail(0))],
+        )
+        for observer in (1, 2):
+            reports = leaders_in_trace(execution.actions, observer, "om")
+            assert reports and reports[-1] == 1  # least alive
+
+    def test_stable_leader_is_correct(self):
+        omega = OmegaFailureDetector("om", endpoints=(0, 1, 2), resilience=2)
+        execution = run(
+            omega,
+            RoundRobinScheduler(),
+            max_steps=100,
+            inputs=[(0, fail(1))],
+        )
+        failed = {1}
+        # Find the mode switch; every report after it names a live process.
+        switched = False
+        for step in execution.steps:
+            if step.action == Action("compute", ("om", MODE_SWITCH_TASK)):
+                switched = True
+            if (
+                switched
+                and step.action.kind == "compute"
+                and step.action.args[1] in (0, 1, 2)
+            ):
+                # The freshly computed report is accurate.
+                post_buffer = step.post
+        reports = leaders_in_trace(execution.actions, 0, "om")
+        assert reports[-1] not in failed

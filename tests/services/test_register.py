@@ -1,0 +1,78 @@
+"""Unit tests for canonical reliable registers."""
+
+import pytest
+
+from repro.ioa import Action, Task, fail, invoke
+from repro.services import CanonicalRegister, read, write
+
+
+def make_register(endpoints=(0, 1)):
+    return CanonicalRegister(
+        "reg", endpoints=endpoints, values=("empty", 0, 1), initial="empty"
+    )
+
+
+class TestInvocations:
+    def test_read_and_write_helpers(self):
+        assert read() == ("read",)
+        assert write(3) == ("write", 3)
+
+
+class TestRegisterBehavior:
+    def test_registers_are_wait_free(self):
+        assert make_register().is_wait_free
+        assert make_register(endpoints=(0, 1, 2, 3)).resilience == 3
+
+    def test_initial_value(self):
+        register = make_register()
+        assert register.some_start_state().val == "empty"
+
+    def test_write_then_read(self):
+        register = make_register()
+        state = register.some_start_state()
+        state = register.apply_input(state, invoke("reg", 0, write(1)))
+        state = register.enabled(state, Task(register.name, ("perform", 0)))[0].post
+        assert state.val == 1
+        state = register.apply_input(state, invoke("reg", 1, read()))
+        state = register.enabled(state, Task(register.name, ("perform", 1)))[0].post
+        assert register.resp_buffer(state, 1) == (("value", 1),)
+
+    def test_write_overwrites(self):
+        register = make_register()
+        state = register.some_start_state()
+        for value in (0, 1, 0):
+            state = register.apply_input(state, invoke("reg", 0, write(value)))
+            state = register.enabled(state, Task(register.name, ("perform", 0)))[
+                0
+            ].post
+        assert state.val == 0
+
+    def test_multi_writer_multi_reader(self):
+        register = make_register(endpoints=(0, 1, 2))
+        state = register.some_start_state()
+        state = register.apply_input(state, invoke("reg", 2, write(1)))
+        state = register.enabled(state, Task(register.name, ("perform", 2)))[0].post
+        for reader in (0, 1):
+            s = register.apply_input(state, invoke("reg", reader, read()))
+            s = register.enabled(s, Task(register.name, ("perform", reader)))[0].post
+            assert register.resp_buffer(s, reader) == (("value", 1),)
+
+
+class TestRegisterResilience:
+    def test_single_failure_does_not_silence_two_endpoint_register(self):
+        register = make_register()
+        state = register.apply_input(register.some_start_state(), fail(0))
+        # Endpoint 1 is still served: no dummy for it.
+        state = register.apply_input(state, invoke("reg", 1, read()))
+        transitions = register.enabled(state, Task(register.name, ("perform", 1)))
+        actions = {t.action.kind for t in transitions}
+        assert actions == {"perform"}
+
+    def test_all_endpoints_failed_enables_dummies(self):
+        register = make_register()
+        state = register.some_start_state()
+        state = register.apply_input(state, fail(0))
+        state = register.apply_input(state, fail(1))
+        transitions = register.enabled(state, Task(register.name, ("perform", 1)))
+        actions = {t.action.kind for t in transitions}
+        assert "dummy_perform" in actions

@@ -1,0 +1,55 @@
+"""Unit tests for failure schedules."""
+
+from repro.ioa import fail
+from repro.system import (
+    FailureSchedule,
+    all_failure_sets,
+    no_failures,
+    random_failures,
+    spread_failures,
+    upfront_failures,
+)
+
+
+class TestSchedules:
+    def test_no_failures(self):
+        schedule = no_failures()
+        assert len(schedule) == 0
+        assert schedule.victims == frozenset()
+        assert schedule.as_inputs() == []
+
+    def test_upfront_failures(self):
+        schedule = upfront_failures([2, 0])
+        assert schedule.as_inputs() == [(0, fail(2)), (0, fail(0))]
+        assert schedule.victims == frozenset({0, 2})
+
+    def test_spread_failures(self):
+        schedule = spread_failures([1, 2], start=5, gap=10)
+        assert schedule.events == ((5, 1), (15, 2))
+
+    def test_random_failures_reproducible(self):
+        a = random_failures(range(5), max_failures=3, horizon=100, seed=42)
+        b = random_failures(range(5), max_failures=3, horizon=100, seed=42)
+        assert a == b
+
+    def test_random_failures_respect_bound(self):
+        for seed in range(30):
+            schedule = random_failures(range(6), max_failures=2, horizon=50, seed=seed)
+            assert len(schedule.victims) <= 2
+            assert all(0 <= step < 50 for step, _ in schedule.events)
+
+    def test_random_failures_vary_with_seed(self):
+        schedules = {
+            random_failures(range(6), 3, 50, seed).events for seed in range(20)
+        }
+        assert len(schedules) > 1
+
+
+class TestFailureSets:
+    def test_all_failure_sets_exact_size(self):
+        sets = list(all_failure_sets(range(4), exactly=2))
+        assert len(sets) == 6
+        assert all(len(s) == 2 for s in sets)
+
+    def test_all_failure_sets_zero(self):
+        assert list(all_failure_sets(range(3), exactly=0)) == [frozenset()]

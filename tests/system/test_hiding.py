@@ -1,0 +1,81 @@
+"""Hiding the communication actions (Section 2.2.3).
+
+"The complete system C is constructed by composing the P_i, S_r, and
+S_k automata in parallel and then hiding the actions used to communicate
+among these automata."  After hiding, C's external interface is exactly
+the canonical consensus interface: init/decide plus fail.
+"""
+
+import pytest
+
+from repro.ioa import Action, Hidden, RoundRobinScheduler, run
+from repro.protocols import delegation_consensus_system
+
+COMMUNICATION_KINDS = ("invoke", "respond")
+
+
+def hidden_system():
+    system = delegation_consensus_system(2, resilience=1)
+    hidden = Hidden(
+        system, lambda action: action.kind in COMMUNICATION_KINDS, name="C"
+    )
+    return system, hidden
+
+
+class TestHiddenCompleteSystem:
+    def test_communication_becomes_internal(self):
+        system, hidden = hidden_system()
+        invoke_action = Action("invoke", ("cons", 0, ("init", 1)))
+        assert system.is_output(invoke_action)
+        assert hidden.is_internal(invoke_action)
+        assert not hidden.is_output(invoke_action)
+
+    def test_external_interface_is_the_consensus_interface(self):
+        system, hidden = hidden_system()
+        start = system.initialization({0: 1, 1: 0}).final_state
+        execution = run(hidden, RoundRobinScheduler(), max_steps=60, start=start)
+        trace = execution.trace(hidden)
+        assert trace, "the run must produce external actions"
+        assert all(action.kind == "decide" for action in trace)
+
+    def test_init_and_fail_remain_external(self):
+        _, hidden = hidden_system()
+        assert hidden.is_input(Action("init", (0, 1)))
+        assert hidden.is_input(Action("fail", (0,)))
+
+    def test_dummy_and_perform_stay_internal(self):
+        system, hidden = hidden_system()
+        assert hidden.is_internal(Action("perform", ("cons", 0)))
+        assert hidden.is_internal(Action("dummy_perform", ("cons", 0)))
+
+    def test_hidden_trace_is_canonical_consensus_trace(self):
+        """C implements the canonical consensus object: its (hidden)
+        trace must be a trace of that object — the paper's definition of
+        'solves consensus', checked literally."""
+        from repro.analysis import canonical_accepts_trace
+        from repro.services import CanonicalAtomicObject
+        from repro.types import binary_consensus_type
+
+        system, hidden = hidden_system()
+        start = system.initialization({0: 1, 1: 0}).final_state
+        execution = run(hidden, RoundRobinScheduler(), max_steps=60, start=start)
+        # Translate the system's external consensus events into the
+        # canonical object's interface (init_i -> invoke, decide_i ->
+        # respond), prefixing the initialization inputs.
+        object_trace = []
+        for endpoint, value in ((0, 1), (1, 0)):
+            object_trace.append(
+                Action("invoke", ("consensus", endpoint, ("init", value)))
+            )
+        for action in execution.trace(hidden):
+            endpoint, value = action.args
+            object_trace.append(
+                Action("respond", ("consensus", endpoint, ("decide", value)))
+            )
+        canonical = CanonicalAtomicObject(
+            binary_consensus_type(),
+            endpoints=(0, 1),
+            resilience=1,
+            service_id="consensus",
+        )
+        assert canonical_accepts_trace(canonical, object_trace)

@@ -1,0 +1,73 @@
+"""Lemma 1: applicable tasks remain applicable until they occur.
+
+"Let alpha be any finite failure-free execution of C, e be any task of C
+applicable to alpha, and alpha.beta any finite failure-free extension
+such that beta includes no actions of e.  Then e is applicable to
+alpha.beta."
+
+Verified by exhaustive exploration on small instances of all three
+service classes.
+"""
+
+import pytest
+
+from repro.analysis import DeterministicSystemView, explore
+from repro.protocols import (
+    delegation_consensus_system,
+    min_register_consensus_system,
+    tob_delegation_system,
+)
+
+
+def assert_lemma1_on(system, proposals, max_states=20_000):
+    """Check Lemma 1 over the full failure-free reachable graph.
+
+    For every explored state and every applicable task ``e``, every
+    successor reached by a different task must keep ``e`` applicable.
+    """
+    view = DeterministicSystemView(system)
+    root = system.initialization(proposals).final_state
+    graph = explore(view, root, max_states=max_states)
+    checked = 0
+    for state in graph.states:
+        applicable = [t for t in view.tasks if view.applicable(state, t)]
+        for task, _, successor in graph.successors(state):
+            for e in applicable:
+                if e == task:
+                    continue
+                assert view.applicable(successor, e), (
+                    f"Lemma 1 violated: task {e} lost applicability after "
+                    f"{task} from state {state}"
+                )
+                checked += 1
+    assert checked > 0
+
+
+class TestLemma1:
+    def test_atomic_object_system(self):
+        assert_lemma1_on(
+            delegation_consensus_system(2, resilience=0), {0: 0, 1: 1}
+        )
+
+    def test_three_process_atomic_system(self):
+        assert_lemma1_on(
+            delegation_consensus_system(3, resilience=1), {0: 0, 1: 1, 2: 0}
+        )
+
+    def test_register_system(self):
+        assert_lemma1_on(min_register_consensus_system(), {0: 0, 1: 1})
+
+    def test_failure_oblivious_system(self):
+        # Extends Lemma 1 to failure-oblivious services (Section 5.3):
+        # g-compute tasks are always enabled because delta2 is total.
+        assert_lemma1_on(tob_delegation_system(2, resilience=0), {0: 0, 1: 1})
+
+    def test_process_tasks_always_applicable(self):
+        system = delegation_consensus_system(2, resilience=0)
+        view = DeterministicSystemView(system)
+        root = system.initialization({0: 1, 1: 0}).final_state
+        graph = explore(view, root, max_states=20_000)
+        process_tasks = system.process_tasks()
+        for state in graph.states:
+            for task in process_tasks:
+                assert view.applicable(state, task)

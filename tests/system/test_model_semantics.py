@@ -1,0 +1,112 @@
+"""Model-comparison semantics the paper calls out (Related work, S1).
+
+The paper distinguishes its model from Chandra et al. [3] and
+Jayanti-Toueg [14] on specific points; these tests pin the distinguishing
+behaviors:
+
+1. "an access to every service (even wait-free) incurs a delay" and a
+   process may "access multiple services concurrently";
+2. "a connected process P_i that does not apply an invocation is
+   considered alive until a fail_i action arrives" — a silent process
+   does NOT count against a service's resilience budget.
+"""
+
+import pytest
+
+from repro.ioa import RoundRobinScheduler, Task, fail, invoke, run
+from repro.services import CanonicalAtomicObject, CanonicalRegister
+from repro.system import DistributedSystem, IdleProcess, ScriptProcess
+from repro.types import binary_consensus_type
+
+
+class TestAccessesIncurDelay:
+    def test_invocation_and_response_are_separate_steps(self):
+        """Even on a wait-free object, an operation takes distinct
+        invoke / perform / respond steps — never instantaneous."""
+        service = CanonicalAtomicObject(
+            binary_consensus_type(), (0,), 0, service_id="c"
+        )
+        process = ScriptProcess(0, [invoke("c", 0, ("init", 1))], connections=["c"])
+        system = DistributedSystem([process], services=[service])
+        execution = run(system, RoundRobinScheduler(), max_steps=10)
+        kinds = [a.kind for a in execution.actions]
+        assert kinds.index("invoke") < kinds.index("perform") < kinds.index("respond")
+
+    def test_state_between_invocation_and_response_is_observable(self):
+        service = CanonicalAtomicObject(
+            binary_consensus_type(), (0,), 0, service_id="c"
+        )
+        process = ScriptProcess(0, [invoke("c", 0, ("init", 1))], connections=["c"])
+        system = DistributedSystem([process], services=[service])
+        state = system.some_start_state()
+        state = system.enabled(state, process.tasks()[0])[0].post
+        # Invocation pending, no response yet: the delay is real state.
+        assert system.service_buffer(state, "c", 0)[0] == (("init", 1),)
+        assert system.service_buffer(state, "c", 0)[1] == ()
+
+
+class TestConcurrentMultiServiceAccess:
+    def test_process_may_have_outstanding_ops_at_two_services(self):
+        rega = CanonicalRegister("a", (0,), values=(0, 1))
+        regb = CanonicalRegister("b", (0,), values=(0, 1))
+        process = ScriptProcess(
+            0,
+            [invoke("a", 0, ("write", 1)), invoke("b", 0, ("write", 1))],
+            connections=["a", "b"],
+        )
+        system = DistributedSystem([process], registers=[rega, regb])
+        state = system.some_start_state()
+        # Issue both invocations before any service performs anything.
+        state = system.enabled(state, process.tasks()[0])[0].post
+        state = system.enabled(state, process.tasks()[0])[0].post
+        assert system.service_buffer(state, "a", 0)[0] == (("write", 1),)
+        assert system.service_buffer(state, "b", 0)[0] == (("write", 1),)
+
+    def test_pipelined_invocations_at_one_service(self):
+        reg = CanonicalRegister("a", (0,), values=(0, 1, 2))
+        process = ScriptProcess(
+            0,
+            [invoke("a", 0, ("write", 1)), invoke("a", 0, ("write", 2))],
+            connections=["a"],
+        )
+        system = DistributedSystem([process], registers=[reg])
+        state = system.some_start_state()
+        state = system.enabled(state, process.tasks()[0])[0].post
+        state = system.enabled(state, process.tasks()[0])[0].post
+        # Two queued invocations, FIFO, no response waited on.
+        assert system.service_buffer(state, "a", 0)[0] == (
+            ("write", 1),
+            ("write", 2),
+        )
+
+
+class TestSilentProcessesAreAlive:
+    def test_non_invoking_process_does_not_consume_resilience(self):
+        """Paper point 2 vs. Chandra et al.'s weakly f-resilient objects:
+        endpoint 1 never invokes anything — the 0-resilient object must
+        still serve endpoint 0 (no dummy actions enabled), because
+        silence is not failure."""
+        service = CanonicalAtomicObject(
+            binary_consensus_type(), (0, 1), 0, service_id="c"
+        )
+        process0 = ScriptProcess(0, [invoke("c", 0, ("init", 0))], connections=["c"])
+        process1 = IdleProcess(1)  # connected implicitly silent endpoint
+        system = DistributedSystem([process0, process1], services=[service])
+        execution = run(system, RoundRobinScheduler(), max_steps=40)
+        final = execution.final_state
+        # Endpoint 0 got its decision; no dummy action ever fired.
+        assert any(a.kind == "respond" for a in execution.actions)
+        assert all(not a.kind.startswith("dummy_p") for a in execution.actions)
+
+    def test_fail_is_what_flips_aliveness(self):
+        service = CanonicalAtomicObject(
+            binary_consensus_type(), (0, 1), 0, service_id="c"
+        )
+        state = service.some_start_state()
+        perform_1 = Task(service.name, ("perform", 1))
+        # Silent but alive: no dummies.
+        assert service.enabled(state, perform_1) == []
+        # After fail_1: dummies for endpoint 1 appear.
+        state = service.apply_input(state, fail(1))
+        actions = {t.action.kind for t in service.enabled(state, perform_1)}
+        assert "dummy_perform" in actions

@@ -1,0 +1,180 @@
+"""Unit tests for process automata (Section 2.2.1 assumptions)."""
+
+import pytest
+
+from repro.ioa import Action, Task, decide, dummy_step, fail, init, invoke, respond
+from repro.system import IdleProcess, Process, ProcessState, ScriptProcess
+
+
+class Echo(Process):
+    """Decides the value of its init input, after one internal step."""
+
+    def initial_locals(self):
+        return ("idle",)
+
+    def handle_input(self, locals_value, action):
+        if action.kind == "init" and locals_value[0] == "idle":
+            return ("think", action.args[1])
+        return locals_value
+
+    def next_action(self, locals_value):
+        if locals_value[0] == "think":
+            return Action("local", (self.endpoint, "pondered")), (
+                "speak",
+                locals_value[1],
+            )
+        if locals_value[0] == "speak":
+            return decide(self.endpoint, locals_value[1]), ("done",)
+        return None, locals_value
+
+
+class TestSignature:
+    def test_inputs(self):
+        process = Echo(3, connections=("svc",), input_values=(0, 1))
+        assert process.is_input(init(3, 0))
+        assert not process.is_input(init(3, 7))  # not in input_values
+        assert not process.is_input(init(4, 0))  # wrong endpoint
+        assert process.is_input(respond("svc", 3, "x"))
+        assert not process.is_input(respond("other", 3, "x"))
+        assert process.is_input(fail(3))
+        assert not process.is_input(fail(4))
+
+    def test_outputs(self):
+        process = Echo(3, connections=("svc",), input_values=(0, 1))
+        assert process.is_output(invoke("svc", 3, "op"))
+        assert not process.is_output(invoke("svc", 4, "op"))
+        assert not process.is_output(invoke("other", 3, "op"))
+        assert process.is_output(decide(3, 1))
+        assert not process.is_output(decide(4, 1))
+
+    def test_internal(self):
+        process = Echo(3)
+        assert process.is_internal(dummy_step(3))
+        assert process.is_internal(Action("local", (3, "tag")))
+        assert not process.is_internal(dummy_step(4))
+
+
+class TestSingleTaskAlwaysEnabled:
+    def test_single_task(self):
+        process = Echo(0, input_values=(0, 1))
+        assert len(process.tasks()) == 1
+
+    def test_some_action_enabled_in_every_state(self):
+        process = Echo(0, input_values=(0, 1))
+        task = process.tasks()[0]
+        state = next(iter(process.start_states()))
+        # Idle: dummy step keeps the task enabled.
+        (transition,) = process.enabled(state, task)
+        assert transition.action == dummy_step(0)
+
+    def test_deterministic_single_transition(self):
+        process = Echo(0, input_values=(0, 1))
+        task = process.tasks()[0]
+        state = process.apply_input(next(iter(process.start_states())), init(0, 1))
+        assert len(process.enabled(state, task)) == 1
+
+
+class TestDecisionRecording:
+    def run_to_decision(self, process):
+        task = process.tasks()[0]
+        state = next(iter(process.start_states()))
+        state = process.apply_input(state, init(0, 1))
+        for _ in range(5):
+            (transition,) = process.enabled(state, task)
+            state = transition.post
+        return state
+
+    def test_decision_recorded_in_special_component(self):
+        process = Echo(0, input_values=(0, 1))
+        state = self.run_to_decision(process)
+        assert state.decision == 1
+
+    def test_first_decision_sticks(self):
+        class DoubleDecider(Echo):
+            def next_action(self, locals_value):
+                if locals_value[0] == "think":
+                    return decide(self.endpoint, locals_value[1]), (
+                        "again",
+                        locals_value[1],
+                    )
+                if locals_value[0] == "again":
+                    return decide(self.endpoint, 1 - locals_value[1]), ("done",)
+                return None, locals_value
+
+        process = DoubleDecider(0, input_values=(0, 1))
+        state = self.run_to_decision(process)
+        assert state.decision == 1  # the first decide(1) is what is recorded
+
+
+class TestFailureSemantics:
+    def test_no_outputs_after_fail(self):
+        process = Echo(0, input_values=(0, 1))
+        task = process.tasks()[0]
+        state = next(iter(process.start_states()))
+        state = process.apply_input(state, init(0, 1))  # ready to act
+        state = process.apply_input(state, fail(0))
+        for _ in range(5):
+            (transition,) = process.enabled(state, task)
+            assert transition.action == dummy_step(0)
+            state = transition.post
+
+    def test_task_remains_enabled_after_fail(self):
+        # Section 2.2.1: some locally controlled action must stay enabled.
+        process = Echo(0, input_values=(0, 1))
+        state = process.apply_input(next(iter(process.start_states())), fail(0))
+        assert process.enabled(state, process.tasks()[0])
+
+    def test_failed_flag_set(self):
+        process = Echo(0)
+        state = process.apply_input(next(iter(process.start_states())), fail(0))
+        assert state.failed
+
+
+class TestProtocolMisuse:
+    def test_emitting_foreign_action_rejected(self):
+        class Rogue(Echo):
+            def next_action(self, locals_value):
+                return invoke("unconnected", self.endpoint, "x"), locals_value
+
+        process = Rogue(0, input_values=(0, 1))
+        with pytest.raises(ValueError):
+            process.enabled(next(iter(process.start_states())), process.tasks()[0])
+
+    def test_unknown_input_rejected(self):
+        process = Echo(0, input_values=(0, 1))
+        with pytest.raises(ValueError):
+            process.apply_input(
+                next(iter(process.start_states())), respond("ghost", 0, "x")
+            )
+
+
+class TestHelperProcesses:
+    def test_idle_process_only_dummies(self):
+        process = IdleProcess(5)
+        task = process.tasks()[0]
+        state = next(iter(process.start_states()))
+        (transition,) = process.enabled(state, task)
+        assert transition.action == dummy_step(5)
+
+    def test_script_process_replays_and_logs(self):
+        process = ScriptProcess(
+            1, [Action("local", (1, "a")), Action("local", (1, "b"))]
+        )
+        task = process.tasks()[0]
+        state = next(iter(process.start_states()))
+        actions = []
+        for _ in range(3):
+            (transition,) = process.enabled(state, task)
+            actions.append(transition.action)
+            state = transition.post
+        assert actions == [
+            Action("local", (1, "a")),
+            Action("local", (1, "b")),
+            dummy_step(1),
+        ]
+
+    def test_script_process_records_inputs(self):
+        process = ScriptProcess(1, [], connections=("svc",))
+        state = next(iter(process.start_states()))
+        state = process.apply_input(state, respond("svc", 1, "hello"))
+        assert ScriptProcess.received(state) == (respond("svc", 1, "hello"),)

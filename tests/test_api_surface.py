@@ -1,0 +1,122 @@
+"""API surface stability: every exported name exists and is importable.
+
+Guards the public API: each subpackage's ``__all__`` must resolve, the
+``repro.core`` alias must mirror ``repro.analysis``, and the headline
+entry points must keep their signatures.
+"""
+
+import inspect
+
+import pytest
+
+import repro
+import repro.analysis
+import repro.core
+import repro.ioa
+import repro.protocols
+import repro.services
+import repro.system
+import repro.types
+
+SUBPACKAGES = [
+    repro.ioa,
+    repro.types,
+    repro.services,
+    repro.system,
+    repro.analysis,
+    repro.protocols,
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize(
+        "module", SUBPACKAGES, ids=lambda m: m.__name__
+    )
+    def test_all_names_resolve(self, module):
+        assert hasattr(module, "__all__") and module.__all__
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+    @pytest.mark.parametrize(
+        "module", SUBPACKAGES, ids=lambda m: m.__name__
+    )
+    def test_all_is_sorted_and_unique(self, module):
+        names = list(module.__all__)
+        assert len(names) == len(set(names)), f"duplicates in {module.__name__}"
+
+    def test_top_level_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+        assert repro.__version__
+
+    def test_core_mirrors_analysis(self):
+        for name in repro.analysis.__all__:
+            assert getattr(repro.core, name) is getattr(repro.analysis, name)
+
+
+class TestHeadlineSignatures:
+    def test_refute_candidate_signature(self):
+        parameters = inspect.signature(
+            repro.analysis.refute_candidate
+        ).parameters
+        assert list(parameters) == [
+            "system",
+            "resilience",
+            "max_states",
+            "horizon",
+            "failure_aware_services",
+        ]
+
+    def test_run_consensus_round_signature(self):
+        parameters = inspect.signature(
+            repro.analysis.run_consensus_round
+        ).parameters
+        assert "proposals" in parameters
+        assert "failure_schedule" in parameters
+        assert "k" in parameters
+
+    def test_liveness_attack_signature(self):
+        parameters = inspect.signature(repro.analysis.liveness_attack).parameters
+        assert "victims" in parameters
+        assert "failure_aware_services" in parameters
+
+    def test_canonical_service_constructors(self):
+        for cls in (
+            repro.services.CanonicalAtomicObject,
+            repro.services.CanonicalFailureObliviousService,
+            repro.services.CanonicalGeneralService,
+        ):
+            parameters = inspect.signature(cls.__init__).parameters
+            assert "endpoints" in parameters
+            assert "resilience" in parameters
+            assert "service_id" in parameters
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "module", SUBPACKAGES + [repro], ids=lambda m: m.__name__
+    )
+    def test_subpackages_documented(self, module):
+        assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+    def test_public_callables_documented(self):
+        undocumented = []
+        for module in SUBPACKAGES:
+            for name in module.__all__:
+                obj = getattr(module, name)
+                if getattr(obj, "__module__", "") == "typing":
+                    continue  # typing aliases (e.g. ResponseMap) carry no docstring
+                if callable(obj) and not isinstance(obj, type):
+                    if not (obj.__doc__ and obj.__doc__.strip()):
+                        undocumented.append(f"{module.__name__}.{name}")
+        assert not undocumented, undocumented
+
+    def test_public_classes_documented(self):
+        undocumented = []
+        for module in SUBPACKAGES:
+            for name in module.__all__:
+                obj = getattr(module, name)
+                if isinstance(obj, type):
+                    if not (obj.__doc__ and obj.__doc__.strip()):
+                        undocumented.append(f"{module.__name__}.{name}")
+        assert not undocumented, undocumented

@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "delegation" in out
+        assert "boost-kset" in out
+
+
+class TestRefute:
+    def test_refute_delegation(self, capsys):
+        assert main(["refute", "delegation", "-n", "2", "-f", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "refuted:   True" in out
+        assert "claim4.1" in out
+
+    def test_refute_last_writer(self, capsys):
+        assert main(["refute", "last-writer"]) == 0
+        out = capsys.readouterr().out
+        assert "claim5.1b" in out
+
+    def test_unknown_candidate_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["refute", "nonsense"])
+
+
+class TestConstructions:
+    def test_boost_kset(self, capsys):
+        assert main(["boost-kset", "-n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "3 failures: ok=True" in out
+
+    def test_boost_fd(self, capsys):
+        assert main(["boost-fd", "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "2 failures: ok=True" in out
+
+    def test_paxos(self, capsys):
+        assert main(["paxos", "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "ok=True" in out

@@ -1,0 +1,189 @@
+"""Unit tests for the standard sequential-type library."""
+
+import pytest
+
+from repro.types import (
+    ACK,
+    STANDARD_TYPES,
+    binary_consensus_type,
+    compare_and_swap_type,
+    consensus_type,
+    counter_type,
+    fetch_and_add_type,
+    k_set_consensus_type,
+    queue_type,
+    read_modify_write_type,
+    read_write_type,
+    run_sequentially,
+)
+from repro.types import test_and_set_type as make_test_and_set_type
+
+
+class TestReadWrite:
+    def test_read_returns_current_value(self):
+        rw = read_write_type(values=(0, 1, 2), initial=1)
+        assert rw.apply(("read",), 1) == ((("value", 1), 1),)
+
+    def test_write_installs_value(self):
+        rw = read_write_type(values=(0, 1, 2))
+        assert rw.apply(("write", 2), 0) == ((ACK, 2),)
+
+    def test_initial_defaults_to_first(self):
+        assert read_write_type(values=(7, 8)).initial_values == (7,)
+
+    def test_initial_must_be_member(self):
+        with pytest.raises(ValueError):
+            read_write_type(values=(0, 1), initial=9)
+
+    def test_unknown_invocation_rejected(self):
+        rw = read_write_type(values=(0,))
+        with pytest.raises(ValueError):
+            rw.apply(("pop",), 0)
+
+
+class TestConsensus:
+    def test_paper_example_transitions(self):
+        # delta((init(v), {}), (decide(v), {v})) and
+        # delta((init(v), {v'}), (decide(v'), {v'})).
+        consensus = binary_consensus_type()
+        assert consensus.apply(("init", 1), frozenset()) == (
+            (("decide", 1), frozenset({1})),
+        )
+        assert consensus.apply(("init", 0), frozenset({1})) == (
+            (("decide", 1), frozenset({1})),
+        )
+
+    def test_multivalued_consensus(self):
+        cons = consensus_type(values=(0, 1, 2, 3))
+        responses, _ = run_sequentially(cons, [("init", 3), ("init", 0)])
+        assert responses == (("decide", 3), ("decide", 3))
+
+    def test_binary_proposals_validated(self):
+        consensus = binary_consensus_type()
+        with pytest.raises(ValueError):
+            consensus.apply(("init", 2), frozenset())
+
+
+class TestKSetConsensus:
+    def test_remembers_up_to_k_values(self):
+        kset = k_set_consensus_type(2, proposals=(0, 1, 2))
+        outcomes = kset.apply(("init", 2), frozenset({0, 1}))
+        # |W| = k: state unchanged, response from W.
+        assert {new for _, new in outcomes} == {frozenset({0, 1})}
+        assert {resp for resp, _ in outcomes} == {("decide", 0), ("decide", 1)}
+
+    def test_below_k_adds_and_may_return_any_remembered(self):
+        kset = k_set_consensus_type(2, proposals=(0, 1, 2))
+        outcomes = kset.apply(("init", 2), frozenset({0}))
+        assert {new for _, new in outcomes} == {frozenset({0, 2})}
+        assert {resp for resp, _ in outcomes} == {("decide", 0), ("decide", 2)}
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            k_set_consensus_type(0, proposals=(0,))
+
+    def test_one_set_consensus_reduces_to_consensus(self):
+        oneset = k_set_consensus_type(1, proposals=(0, 1))
+        responses, _ = run_sequentially(oneset, [("init", 1), ("init", 0)])
+        assert responses == (("decide", 1), ("decide", 1))
+
+
+class TestQueue:
+    def test_fifo_order(self):
+        queue = queue_type(items=("a", "b"))
+        responses, _ = run_sequentially(
+            queue, [("enq", "a"), ("enq", "b"), ("deq",), ("deq",)]
+        )
+        assert responses == (ACK, ACK, ("item", "a"), ("item", "b"))
+
+    def test_empty_dequeue(self):
+        queue = queue_type(items=("a",))
+        assert queue.apply(("deq",), ()) == ((("empty",), ()),)
+
+    def test_capacity_bound(self):
+        queue = queue_type(items=("a",), capacity=1)
+        assert queue.apply(("enq", "a"), ("a",)) == ((("full",), ("a",)),)
+
+
+class TestCounter:
+    def test_inc_and_get(self):
+        counter = counter_type()
+        responses, final = run_sequentially(counter, [("inc",), ("inc",), ("get",)])
+        assert responses[-1] == ("value", 2)
+        assert final == 2
+
+    def test_modulus_wraps(self):
+        counter = counter_type(modulus=2)
+        _, final = run_sequentially(counter, [("inc",), ("inc",)])
+        assert final == 0
+
+
+class TestTestAndSet:
+    def test_first_wins(self):
+        tas = make_test_and_set_type()
+        responses, final = run_sequentially(
+            tas, [("test_and_set",), ("test_and_set",)]
+        )
+        assert responses == (("old", 0), ("old", 1))
+        assert final == 1
+
+    def test_reset(self):
+        tas = make_test_and_set_type()
+        _, final = run_sequentially(tas, [("test_and_set",), ("reset",)])
+        assert final == 0
+
+
+class TestCompareAndSwap:
+    def test_successful_cas(self):
+        cas = compare_and_swap_type(values=(0, 1))
+        assert cas.apply(("cas", 0, 1), 0) == ((("cas", True, 0), 1),)
+
+    def test_failed_cas_leaves_value(self):
+        cas = compare_and_swap_type(values=(0, 1))
+        assert cas.apply(("cas", 1, 0), 0) == ((("cas", False, 0), 0),)
+
+    def test_read(self):
+        cas = compare_and_swap_type(values=(0, 1))
+        assert cas.apply(("read",), 1) == ((("value", 1), 1),)
+
+
+class TestFetchAndAdd:
+    def test_returns_old_and_adds(self):
+        faa = fetch_and_add_type(modulus=10)
+        responses, final = run_sequentially(faa, [("faa", 1), ("faa", 2)])
+        assert responses == (("old", 0), ("old", 1))
+        assert final == 3
+
+    def test_membership_predicate(self):
+        faa = fetch_and_add_type()
+        assert faa.is_invocation(("faa", 17))
+        assert not faa.is_invocation(("inc",))
+
+
+class TestReadModifyWrite:
+    def test_named_updates(self):
+        rmw = read_modify_write_type(
+            values=(0, 1, 2, 3),
+            functions={"double": lambda v: (v * 2) % 4, "succ": lambda v: (v + 1) % 4},
+        )
+        responses, final = run_sequentially(
+            rmw, [("rmw", "succ"), ("rmw", "double"), ("rmw", "succ")]
+        )
+        assert responses == (("old", 0), ("old", 1), ("old", 2))
+        assert final == 3
+
+
+class TestRegistryTable:
+    def test_all_standard_types_constructible(self):
+        assert set(STANDARD_TYPES) == {
+            "read/write",
+            "binary-consensus",
+            "consensus",
+            "k-set-consensus",
+            "queue",
+            "counter",
+            "test&set",
+            "compare&swap",
+            "fetch&add",
+            "read-modify-write",
+        }

@@ -1,0 +1,115 @@
+"""Unit tests for sequential types (Section 2.1.2)."""
+
+import pytest
+
+from repro.types import (
+    SequentialType,
+    binary_consensus_type,
+    k_set_consensus_type,
+    legal_response,
+    read_write_type,
+    run_sequentially,
+)
+
+
+class TestDefinition:
+    def test_empty_initial_values_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialType(
+                name="bad",
+                initial_values=(),
+                invocations=(),
+                responses=(),
+                delta=lambda a, v: (),
+            )
+
+    def test_totality_enforced_at_apply(self):
+        broken = SequentialType(
+            name="partial",
+            initial_values=(0,),
+            invocations=(("op",),),
+            responses=(("ok",),),
+            delta=lambda a, v: (),
+        )
+        with pytest.raises(ValueError, match="total"):
+            broken.apply(("op",), 0)
+
+    def test_membership_via_sample(self):
+        consensus = binary_consensus_type()
+        assert consensus.is_invocation(("init", 0))
+        assert not consensus.is_invocation(("read",))
+
+    def test_membership_via_predicate(self):
+        rw = read_write_type(values=(0, 1))
+        assert rw.is_invocation(("write", 12345))  # infinite invocation set
+        assert not rw.is_invocation(("bcast", 1))
+
+
+class TestDeterminism:
+    def test_read_write_is_deterministic(self):
+        assert read_write_type(values=(0, 1, 2)).is_deterministic()
+
+    def test_consensus_is_deterministic(self):
+        assert binary_consensus_type().is_deterministic()
+
+    def test_k_set_is_nondeterministic(self):
+        kset = k_set_consensus_type(2, proposals=(0, 1, 2))
+        assert not kset.is_deterministic()
+
+    def test_apply_deterministic_raises_on_branching(self):
+        kset = k_set_consensus_type(2, proposals=(0, 1, 2))
+        kset.apply(("init", 0), frozenset())  # fine: many outcomes
+        state = frozenset({0})
+        with pytest.raises(ValueError):
+            kset.apply_deterministic(("init", 1), state)
+
+    def test_restriction_makes_deterministic(self):
+        kset = k_set_consensus_type(2, proposals=(0, 1, 2))
+        restricted = kset.restrict_to_deterministic()
+        assert restricted.is_deterministic()
+        # The restricted outcome is one of the original outcomes.
+        original = set(kset.apply(("init", 1), frozenset({0})))
+        (restricted_outcome,) = restricted.apply(("init", 1), frozenset({0}))
+        assert restricted_outcome in original
+
+    def test_restriction_with_custom_chooser(self):
+        kset = k_set_consensus_type(2, proposals=(0, 1, 2))
+        restricted = kset.restrict_to_deterministic(choose=lambda outcomes: outcomes[-1])
+        (outcome,) = restricted.apply(("init", 1), frozenset({0}))
+        assert outcome == kset.apply(("init", 1), frozenset({0}))[-1]
+
+
+class TestReachability:
+    def test_consensus_reachable_values(self):
+        values = binary_consensus_type().reachable_values()
+        assert values == frozenset({frozenset(), frozenset({0}), frozenset({1})})
+
+    def test_reachability_depth_limits(self):
+        rw = read_write_type(values=(0, 1))
+        assert rw.reachable_values(depth=0) == frozenset({0})
+
+
+class TestHelpers:
+    def test_legal_response(self):
+        consensus = binary_consensus_type()
+        assert legal_response(consensus, ("init", 1), frozenset(), ("decide", 1))
+        assert not legal_response(consensus, ("init", 1), frozenset(), ("decide", 0))
+        assert legal_response(
+            consensus, ("init", 1), frozenset({0}), ("decide", 0)
+        )
+
+    def test_run_sequentially(self):
+        rw = read_write_type(values=(0, 1, 2))
+        responses, final = run_sequentially(
+            rw, [("write", 2), ("read",), ("write", 1), ("read",)]
+        )
+        assert responses == (("ack",), ("value", 2), ("ack",), ("value", 1))
+        assert final == 1
+
+    def test_run_sequentially_first_value_wins(self):
+        consensus = binary_consensus_type()
+        responses, final = run_sequentially(
+            consensus, [("init", 1), ("init", 0), ("init", 0)]
+        )
+        assert responses == (("decide", 1),) * 3
+        assert final == frozenset({1})

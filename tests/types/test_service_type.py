@@ -1,0 +1,144 @@
+"""Unit tests for service types and the lifts between service classes."""
+
+import pytest
+
+from repro.types import (
+    FailureObliviousServiceType,
+    GeneralServiceType,
+    binary_consensus_type,
+    broadcast_response,
+    from_sequential,
+    is_deterministic_service_type,
+    oblivious_as_general,
+    single_response,
+)
+
+
+class TestResponseMaps:
+    def test_single_response(self):
+        assert single_response(3, ("ok",)) == {3: (("ok",),)}
+
+    def test_broadcast_response(self):
+        result = broadcast_response((0, 1, 2), "m")
+        assert result == {0: ("m",), 1: ("m",), 2: ("m",)}
+
+
+class TestFromSequential:
+    def test_lift_shape(self):
+        lifted = from_sequential(binary_consensus_type())
+        assert lifted.global_tasks == ()
+        assert lifted.invocations == (("init", 0), ("init", 1))
+
+    def test_delta1_wraps_delta(self):
+        # Section 5.1: B(i) = [b], B(j) = [] for j != i.
+        lifted = from_sequential(binary_consensus_type())
+        ((response_map, new_value),) = lifted.apply_perform(
+            ("init", 1), 4, frozenset()
+        )
+        assert response_map == {4: (("decide", 1),)}
+        assert new_value == frozenset({1})
+
+    def test_delta2_is_empty(self):
+        lifted = from_sequential(binary_consensus_type())
+        with pytest.raises(ValueError):
+            lifted.apply_compute("g", frozenset())
+
+    def test_membership_carries_over(self):
+        lifted = from_sequential(binary_consensus_type())
+        assert lifted.is_invocation(("init", 0))
+        assert not lifted.is_invocation(("bcast", 0))
+
+
+class TestObliviousAsGeneral:
+    def test_failed_set_ignored(self):
+        lifted = oblivious_as_general(from_sequential(binary_consensus_type()))
+        for failed in (frozenset(), frozenset({0, 1})):
+            ((response_map, new_value),) = lifted.apply_perform(
+                ("init", 0), 2, frozenset(), failed
+            )
+            assert response_map == {2: (("decide", 0),)}
+            assert new_value == frozenset({0})
+
+    def test_is_general_service_type(self):
+        lifted = oblivious_as_general(from_sequential(binary_consensus_type()))
+        assert isinstance(lifted, GeneralServiceType)
+
+
+class TestTotality:
+    def test_empty_delta1_rejected(self):
+        broken = FailureObliviousServiceType(
+            name="broken",
+            initial_values=(0,),
+            invocations=(("op",),),
+            responses=(),
+            global_tasks=(),
+            delta1=lambda a, i, v: (),
+            delta2=lambda g, v: (),
+        )
+        with pytest.raises(ValueError, match="delta1"):
+            broken.apply_perform(("op",), 0, 0)
+
+    def test_empty_delta2_rejected(self):
+        broken = FailureObliviousServiceType(
+            name="broken",
+            initial_values=(0,),
+            invocations=(),
+            responses=(),
+            global_tasks=("g",),
+            delta1=lambda a, i, v: ((({}, v)),),
+            delta2=lambda g, v: (),
+        )
+        with pytest.raises(ValueError, match="delta2"):
+            broken.apply_compute("g", 0)
+
+    def test_general_totality_checks(self):
+        broken = GeneralServiceType(
+            name="broken",
+            initial_values=(0,),
+            invocations=(("op",),),
+            responses=(),
+            global_tasks=("g",),
+            delta1=lambda a, i, v, failed: (),
+            delta2=lambda g, v, failed: (),
+        )
+        with pytest.raises(ValueError, match="delta1"):
+            broken.apply_perform(("op",), 0, 0, frozenset())
+        with pytest.raises(ValueError, match="delta2"):
+            broken.apply_compute("g", 0, frozenset())
+
+
+class TestDeterminismCheck:
+    def test_lifted_consensus_is_deterministic(self):
+        lifted = from_sequential(binary_consensus_type())
+        assert is_deterministic_service_type(
+            lifted,
+            endpoints=(0, 1),
+            values=(frozenset(), frozenset({0}), frozenset({1})),
+        )
+
+    def test_multiple_initial_values_fail(self):
+        two_starts = FailureObliviousServiceType(
+            name="two",
+            initial_values=(0, 1),
+            invocations=(),
+            responses=(),
+            global_tasks=(),
+            delta1=lambda a, i, v: ((({}, v)),),
+            delta2=lambda g, v: ((({}, v)),),
+        )
+        assert not is_deterministic_service_type(two_starts, (0,), (0,))
+
+    def test_branching_delta_fails(self):
+        branching = FailureObliviousServiceType(
+            name="branchy",
+            initial_values=(0,),
+            invocations=(("op",),),
+            responses=(("a",), ("b",)),
+            global_tasks=(),
+            delta1=lambda a, i, v: (
+                (single_response(i, ("a",)), v),
+                (single_response(i, ("b",)), v),
+            ),
+            delta2=lambda g, v: ((({}, v)),),
+        )
+        assert not is_deterministic_service_type(branching, (0,), (0,))
