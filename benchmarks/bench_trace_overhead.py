@@ -1,0 +1,93 @@
+"""E-obs: the disabled tracer's overhead on `explore` stays under 5 %.
+
+The observability contract of `repro.obs`: instrumented hot paths guard
+every emission behind one hoisted ``tracer.enabled`` test, so running
+with the default disabled singletons must cost (almost) nothing.  This
+benchmark pits the instrumented :func:`repro.analysis.explore` — called
+with its defaults, i.e. ``NULL_TRACER``/``NULL_METRICS`` — against a
+verbatim un-instrumented copy of the same BFS loop, on an identical
+warmed view, and asserts the overhead bound.
+
+Methodology notes (for stability on shared CI machines):
+
+* the `DeterministicSystemView` step cache is warmed by one untimed
+  exploration first, so both contenders measure pure graph traversal,
+  not first-touch transition computation;
+* each contender is timed as the *minimum* over several repetitions
+  (minimum, not mean — noise is strictly additive);
+* the assertion allows a small absolute epsilon on top of the 5 %
+  relative bound so sub-millisecond baselines cannot fail on timer
+  granularity alone.
+"""
+
+from collections import deque
+from time import perf_counter
+
+from conftest import report
+
+from repro.analysis import DeterministicSystemView, StateGraph, explore
+from repro.protocols import delegation_consensus_system
+
+REPETITIONS = 7
+RELATIVE_BOUND = 0.05
+ABSOLUTE_EPSILON_S = 0.002
+
+
+def uninstrumented_explore(view, root, max_states=200_000):
+    """The explore BFS exactly as it was before instrumentation."""
+    graph = StateGraph(root=root)
+    graph.states.add(root)
+    frontier = deque([root])
+    while frontier:
+        state = frontier.popleft()
+        out = view.successors(state)
+        graph.edges[state] = out
+        for _, _, successor in out:
+            if successor not in graph.states:
+                if len(graph.states) >= max_states:
+                    raise RuntimeError("budget")
+                graph.states.add(successor)
+                frontier.append(successor)
+    return graph
+
+
+def best_of(function, *args) -> float:
+    best = float("inf")
+    for _ in range(REPETITIONS):
+        started = perf_counter()
+        function(*args)
+        elapsed = perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_disabled_tracer_overhead_under_5_percent():
+    system = delegation_consensus_system(3, resilience=1)
+    root = system.initialization({0: 0, 1: 1, 2: 0}).final_state
+    view = DeterministicSystemView(system)
+
+    # Warm the view's step cache and sanity-check both walk the same graph.
+    warm = explore(view, root)
+    baseline_graph = uninstrumented_explore(view, root)
+    assert baseline_graph.states == warm.states
+
+    baseline = best_of(uninstrumented_explore, view, root)
+    instrumented = best_of(explore, view, root)
+
+    overhead = (instrumented - baseline) / baseline if baseline else 0.0
+    report(
+        "trace overhead (tracer disabled)",
+        [
+            {
+                "states": len(warm.states),
+                "baseline_s": round(baseline, 6),
+                "instrumented_s": round(instrumented, 6),
+                "overhead": round(overhead, 4),
+            }
+        ],
+    )
+    assert instrumented <= baseline * (1 + RELATIVE_BOUND) + ABSOLUTE_EPSILON_S, (
+        f"disabled-tracer overhead {overhead:.1%} exceeds {RELATIVE_BOUND:.0%} "
+        f"(baseline {baseline:.6f}s, instrumented {instrumented:.6f}s)"
+    )

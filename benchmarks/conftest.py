@@ -8,13 +8,48 @@ recorded in EXPERIMENTS.md.
 Benchmarks both *time* the operation (pytest-benchmark) and *assert* the
 reproduced claim, so `pytest benchmarks/ --benchmark-only` doubles as a
 verification pass.
+
+``report()`` additionally appends each evidence table to the
+machine-readable ``BENCH_obs.json`` artifact at the repo root, so bench
+output accumulates as data (one ``{"title", "rows", "time"}`` record per
+call) rather than only as captured stdout.
 """
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
+BENCH_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+def _append_record(record: dict) -> None:
+    try:
+        records = json.loads(BENCH_ARTIFACT.read_text(encoding="utf-8"))
+        if not isinstance(records, list):
+            records = []
+    except (FileNotFoundError, json.JSONDecodeError):
+        records = []
+    records.append(record)
+    BENCH_ARTIFACT.write_text(
+        json.dumps(records, indent=2, default=str) + "\n", encoding="utf-8"
+    )
+
 
 def report(title: str, rows) -> None:
-    """Print a small evidence table under the benchmark output."""
+    """Print a small evidence table under the benchmark output.
+
+    Also appends the table to ``BENCH_obs.json`` for machine consumption.
+    """
     print(f"\n[{title}]")
+    rows = list(rows)
     for row in rows:
         print(f"  {row}")
+    _append_record(
+        {
+            "title": title,
+            "rows": [row if isinstance(row, (dict, list)) else str(row) for row in rows],
+            "time": time.time(),
+        }
+    )

@@ -4,10 +4,17 @@ Exposes the headline reproductions without writing any code:
 
 * ``refute``  — run the full Theorem 2/9 adversary pipeline against a
   built-in candidate and print the witness, stage by stage;
+* ``trace``   — run the same pipeline with the tracer on, writing a JSONL
+  event trace replayable via :mod:`repro.obs.replay`;
+* ``stats``   — run the pipeline with metrics on and print the registry;
 * ``boost-kset`` — run the Section 4 possibility construction;
 * ``boost-fd``   — run the Section 6.3 possibility construction;
 * ``paxos``      — run the shared-memory Paxos extension;
 * ``list``       — list the built-in candidates and constructions.
+
+Exit codes for ``refute``/``trace``/``stats``: 0 when the candidate was
+refuted, 1 when it was not, 2 when the exploration budget
+(``--max-states``) was exhausted before the pipeline finished.
 """
 
 from __future__ import annotations
@@ -39,14 +46,84 @@ def _build_candidate(name: str, n: int, resilience: int):
     raise SystemExit(f"unknown candidate {name!r}; try: {', '.join(CANDIDATES)}")
 
 
-def cmd_refute(args: argparse.Namespace) -> int:
-    from .analysis import format_verdict, refute_candidate
+def _print_exploration_summary(metrics, elapsed: float) -> None:
+    counters = metrics.snapshot()["counters"]
+    states = counters.get("explore.states", 0)
+    transitions = counters.get("explore.transitions", 0)
+    print(
+        f"Explored {states} states / {transitions} transitions "
+        f"in {elapsed:.3f}s"
+    )
+
+
+def _run_pipeline(args: argparse.Namespace, tracer, metrics):
+    """Shared refute/trace/stats driver: returns (verdict|None, exit_code).
+
+    ``verdict=None`` with exit code 2 means the ``--max-states`` budget was
+    exhausted; the metrics registry still holds the work done so far.
+    """
+    from .analysis import ExplorationBudget, format_verdict, refute_candidate
+    from .obs import timed
 
     system = _build_candidate(args.candidate, args.n, args.resilience)
     print(f"Candidate: {args.candidate} (n={args.n}, f={args.resilience})")
-    verdict = refute_candidate(system, max_states=args.max_states)
+    if getattr(args, "seed", None) is not None:
+        from .analysis import random_decision_probe
+
+        probe = random_decision_probe(
+            system, seed=args.seed, tracer=tracer, metrics=metrics
+        )
+        print(
+            f"Seeded probe (seed={probe.seed}): decided {probe.decisions!r} "
+            f"after {probe.steps} failure-free random-fair steps"
+        )
+    with timed(metrics, "pipeline.wall_seconds") as timer:
+        try:
+            verdict = refute_candidate(
+                system,
+                max_states=args.max_states,
+                tracer=tracer,
+                metrics=metrics,
+            )
+        except ExplorationBudget as budget:
+            print(f"Exploration budget exhausted: {budget}")
+            _print_exploration_summary(metrics, timer.elapsed)
+            return None, 2
     print(format_verdict(verdict))
-    return 0 if verdict.refuted else 1
+    _print_exploration_summary(metrics, timer.elapsed)
+    return verdict, 0 if verdict.refuted else 1
+
+
+def cmd_refute(args: argparse.Namespace) -> int:
+    from .obs import NULL_TRACER, MetricsRegistry
+
+    _, code = _run_pipeline(args, NULL_TRACER, MetricsRegistry())
+    return code
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import JsonlSink, MetricsRegistry, Tracer, use_tracer
+
+    output = args.output or f"{args.candidate}-trace.jsonl"
+    metrics = MetricsRegistry()
+    with JsonlSink(output) as sink:
+        tracer = Tracer(sink)
+        # Install process-wide too, so layers without a tracer parameter
+        # (service input dispatch) report into the same trace.
+        with use_tracer(tracer):
+            _, code = _run_pipeline(args, tracer, metrics)
+        print(f"Trace: {sink.events_written} events -> {output}")
+    return code
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import MetricsRegistry, NULL_TRACER, render_metrics_table
+
+    metrics = MetricsRegistry()
+    _, code = _run_pipeline(args, NULL_TRACER, metrics)
+    print()
+    print(render_metrics_table(metrics.snapshot()))
+    return code
 
 
 def cmd_boost_kset(args: argparse.Namespace) -> int:
@@ -132,14 +209,41 @@ def main(argv: list[str] | None = None) -> int:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_pipeline_arguments(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument("candidate", choices=sorted(CANDIDATES))
+        subparser.add_argument("-n", type=int, default=3, help="number of processes")
+        subparser.add_argument(
+            "-f", "--resilience", type=int, default=1, help="service resilience f"
+        )
+        subparser.add_argument("--max-states", type=int, default=600_000)
+        subparser.add_argument(
+            "--seed",
+            type=int,
+            default=None,
+            help="also run a seeded random-fair decision probe first",
+        )
+
     refute = subparsers.add_parser("refute", help="run the adversary pipeline")
-    refute.add_argument("candidate", choices=sorted(CANDIDATES))
-    refute.add_argument("-n", type=int, default=3, help="number of processes")
-    refute.add_argument(
-        "-f", "--resilience", type=int, default=1, help="service resilience f"
-    )
-    refute.add_argument("--max-states", type=int, default=600_000)
+    add_pipeline_arguments(refute)
     refute.set_defaults(handler=cmd_refute)
+
+    trace = subparsers.add_parser(
+        "trace", help="run the adversary pipeline with a JSONL event trace"
+    )
+    add_pipeline_arguments(trace)
+    trace.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="trace path (default: <candidate>-trace.jsonl)",
+    )
+    trace.set_defaults(handler=cmd_trace)
+
+    stats = subparsers.add_parser(
+        "stats", help="run the adversary pipeline and print metrics"
+    )
+    add_pipeline_arguments(stats)
+    stats.set_defaults(handler=cmd_stats)
 
     kset = subparsers.add_parser("boost-kset", help="Section 4 construction")
     kset.add_argument("-n", type=int, default=4, help="number of processes (even)")

@@ -34,6 +34,9 @@ from dataclasses import dataclass
 from typing import Collection, Hashable
 
 from ..ioa.automaton import State, Task
+from ..obs.events import PHASE
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.sinks import NULL_TRACER, Tracer
 from ..system.system import DistributedSystem
 from .hook import FairCycle, Hook, Lemma8Report, find_hook, lemma8_case_analysis
 from .refutation import (
@@ -96,10 +99,22 @@ def refute_candidate(
     max_states: int = 200_000,
     horizon: int = 100_000,
     failure_aware_services: Collection[Hashable] = (),
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> Verdict:
-    """Run the full Theorem 2/9/10 adversary pipeline against a candidate."""
+    """Run the full Theorem 2/9/10 adversary pipeline against a candidate.
+
+    ``tracer``/``metrics`` (defaulting to the disabled singletons) are
+    threaded through every stage — Lemma 4 exploration, the Fig. 3 hook
+    search, and the Lemma 6/7 silencing runs — so one registry observes
+    the whole pipeline and one JSONL trace captures it end to end.
+    """
     f = default_resilience(system) if resilience is None else resilience
-    lemma4 = lemma4_bivalent_initialization(system, max_states=max_states)
+    if tracer.enabled:
+        tracer.emit(PHASE, stage="lemma4", resilience=f)
+    lemma4 = lemma4_bivalent_initialization(
+        system, max_states=max_states, tracer=tracer, metrics=metrics
+    )
     if lemma4.bivalent is None:
         # No bivalent initialization: for a correct candidate this is
         # impossible (Lemma 4), so something is already broken.  A blocked
@@ -130,8 +145,12 @@ def refute_candidate(
             ),
         )
     start = lemma4.bivalent.execution.final_state
-    analysis = analyze_valence(system, start, max_states=max_states)
-    outcome, stats = find_hook(analysis, start)
+    if tracer.enabled:
+        tracer.emit(PHASE, stage="hook-search")
+    analysis = analyze_valence(
+        system, start, max_states=max_states, tracer=tracer, metrics=metrics
+    )
+    outcome, stats = find_hook(analysis, start, tracer=tracer, metrics=metrics)
     if isinstance(outcome, FairCycle):
         return Verdict(
             refuted=not outcome.decisions_on_cycle,
@@ -159,12 +178,16 @@ def refute_candidate(
             lemma8=report,
             detail="hook tasks commuted — inconsistent hook, candidate not refuted",
         )
+    if tracer.enabled:
+        tracer.emit(PHASE, stage="refutation", claim=report.claim)
     refutation = refute_from_similarity(
         system,
         report.violation,
         resilience=f,
         horizon=horizon,
         failure_aware_services=failure_aware_services,
+        tracer=tracer,
+        metrics=metrics,
     )
     if isinstance(refutation, TerminationViolation):
         mechanism = "similarity-termination"
@@ -201,10 +224,66 @@ class UndecidedRun:
     visited_states: int
 
 
+@dataclass
+class ProbeResult:
+    """Result of a seeded random fairness probe (see
+    :func:`random_decision_probe`)."""
+
+    seed: int
+    steps: int
+    decisions: dict
+
+
+def random_decision_probe(
+    system: DistributedSystem,
+    proposals: dict | None = None,
+    seed: int = 0,
+    max_steps: int = 50_000,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
+) -> ProbeResult:
+    """A failure-free sanity run under a seeded random fair schedule.
+
+    Initializes the candidate (alternating 0/1 proposals unless
+    ``proposals`` is given) and drives it with a
+    :class:`~repro.ioa.scheduler.RandomScheduler` seeded with ``seed``
+    until the first decision or ``max_steps``.  The probe is fully
+    deterministic given the seed — the reproducibility handle the CLI's
+    ``--seed`` flag exposes — and, being driven through the instrumented
+    ``run``, any traced probe replays bit-for-bit.
+    """
+    from ..ioa.scheduler import RandomScheduler, run
+
+    if proposals is None:
+        proposals = {
+            endpoint: index % 2
+            for index, endpoint in enumerate(system.process_ids)
+        }
+    start = system.initialization(proposals).final_state
+    execution = run(
+        system,
+        RandomScheduler(seed),
+        max_steps,
+        start=start,
+        stop=lambda ex: bool(system.decisions(ex.final_state)),
+        tracer=tracer,
+        metrics=metrics,
+    )
+    if metrics.enabled:
+        metrics.counter("probe.runs").inc()
+        metrics.counter("probe.steps").inc(len(execution))
+    return ProbeResult(
+        seed=seed,
+        steps=len(execution),
+        decisions=dict(system.decisions(execution.final_state)),
+    )
+
+
 def bounded_undecided_run(
     system: DistributedSystem,
     start: State,
     max_steps: int,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> UndecidedRun:
     """A fair scheduler that postpones decisions as long as it can.
 

@@ -28,6 +28,9 @@ from typing import Callable, Hashable, Iterable
 
 from ..ioa.actions import Action
 from ..ioa.automaton import State, Task
+from ..obs.events import STATE_EXPLORED
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.sinks import NULL_TRACER, Tracer
 from .view import DeterministicSystemView
 
 
@@ -68,6 +71,8 @@ def explore(
     root: State,
     max_states: int = 200_000,
     prune: Callable[[State], bool] | None = None,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> StateGraph:
     """Breadth-first exploration of the failure-free reachable graph.
 
@@ -75,25 +80,49 @@ def explore(
     to stop below states where every process has decided — their
     extensions cannot change any decision set).  Pruned states are kept
     in the graph but get no outgoing edges.
+
+    With ``tracer`` enabled, one ``state_explored`` event is emitted per
+    expanded state; ``metrics`` accumulates the ``explore.*`` counters
+    (states, transitions, runs, budget exhaustions) either way — the
+    counters survive an :class:`ExplorationBudget` raise, so budget
+    failures still report how much work was done.
     """
+    tracing = tracer.enabled
     graph = StateGraph(root=root)
     graph.states.add(root)
     frontier: deque = deque([root])
-    while frontier:
-        state = frontier.popleft()
-        if prune is not None and prune(state):
-            graph.edges[state] = []
-            continue
-        out = view.successors(state)
-        graph.edges[state] = out
-        for _, _, successor in out:
-            if successor not in graph.states:
-                if len(graph.states) >= max_states:
-                    raise ExplorationBudget(
-                        f"reachable state space exceeds {max_states} states"
-                    )
-                graph.states.add(successor)
-                frontier.append(successor)
+    transitions = 0
+    try:
+        while frontier:
+            state = frontier.popleft()
+            if prune is not None and prune(state):
+                graph.edges[state] = []
+                if tracing:
+                    tracer.emit(STATE_EXPLORED, edges=0, pruned=True)
+                continue
+            out = view.successors(state)
+            graph.edges[state] = out
+            transitions += len(out)
+            if tracing:
+                tracer.emit(
+                    STATE_EXPLORED, edges=len(out), frontier=len(frontier)
+                )
+            for _, _, successor in out:
+                if successor not in graph.states:
+                    if len(graph.states) >= max_states:
+                        if metrics.enabled:
+                            metrics.counter("explore.budget_exhausted").inc()
+                        raise ExplorationBudget(
+                            f"reachable state space exceeds {max_states} states"
+                        )
+                    graph.states.add(successor)
+                    frontier.append(successor)
+    finally:
+        if metrics.enabled:
+            metrics.counter("explore.runs").inc()
+            metrics.counter("explore.states").inc(len(graph.states))
+            metrics.counter("explore.transitions").inc(transitions)
+            metrics.gauge("explore.last_run_states").set(len(graph.states))
     return graph
 
 

@@ -33,6 +33,9 @@ from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
 from ..ioa.automaton import State, Task
+from ..obs.events import HOOK_VERDICT
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.sinks import NULL_TRACER, Tracer
 from ..system.system import DistributedSystem
 from .similarity import SimilarityViolation, j_similar, k_similar
 from .valence import Valence, ValenceAnalysis
@@ -210,6 +213,8 @@ def find_hook(
     analysis: ValenceAnalysis,
     start: State,
     max_iterations: int = 1_000_000,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> tuple[Hook | FairCycle, HookSearchStats]:
     """Run the Fig. 3 construction from a bivalent start state.
 
@@ -236,6 +241,13 @@ def find_hook(
             cycle_states = [pair[0] for pair in trace[start_index:]]
             decisions = frozenset().union(
                 *(view.decision_values(s) for s in cycle_states)
+            )
+            _record_hook_search(
+                tracer,
+                metrics,
+                stats,
+                outcome="fair-cycle",
+                cycle_length=len(cycle_tasks),
             )
             return (
                 FairCycle(
@@ -265,6 +277,7 @@ def find_hook(
         if alpha_prime is None:
             hook = _locate_hook_along_path(analysis, state, e)
             stats.path_length = len(path_tasks)
+            _record_hook_search(tracer, metrics, stats, outcome="hook")
             return hook, stats
         path_tasks.extend(inner_path)
         path_tasks.append(e)
@@ -278,6 +291,30 @@ def find_hook(
             stats.outer_iterations += 0  # intermediates are not iterations
         state = view.apply(intermediate, e)
     raise RuntimeError(f"hook search exceeded {max_iterations} iterations")
+
+
+def _record_hook_search(
+    tracer: Tracer,
+    metrics: MetricsRegistry,
+    stats: HookSearchStats,
+    outcome: str,
+    cycle_length: int = 0,
+) -> None:
+    """Publish a finished Fig. 3 search to the observability layer."""
+    if tracer.enabled:
+        tracer.emit(
+            HOOK_VERDICT,
+            outcome=outcome,
+            outer_iterations=stats.outer_iterations,
+            inner_bfs_expansions=stats.inner_bfs_expansions,
+            path_length=stats.path_length,
+            cycle_length=cycle_length,
+        )
+    if metrics.enabled:
+        metrics.counter("hook.searches").inc()
+        metrics.counter("hook.outer_iterations").inc(stats.outer_iterations)
+        metrics.counter("hook.inner_bfs_expansions").inc(stats.inner_bfs_expansions)
+        metrics.gauge("hook.last_path_length").set(stats.path_length)
 
 
 # ---------------------------------------------------------------------------

@@ -35,6 +35,15 @@ from typing import Collection, Hashable, Sequence
 from ..ioa.actions import Action, is_dummy
 from ..ioa.automaton import State, Task
 from ..ioa.execution import Execution
+from ..obs.events import (
+    ACTION_FIRED,
+    FAILURE_INJECTED,
+    RUN_END,
+    RUN_START,
+    TASK_CHOSEN,
+)
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.sinks import NULL_TRACER, Tracer
 from ..system.system import DistributedSystem
 from .similarity import SimilarityViolation
 from .view import DeterministicSystemView
@@ -112,6 +121,8 @@ def run_silenced(
     victims: Collection[Hashable],
     silenced_services: Collection[Hashable],
     max_steps: int,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> _SilencedRunResult:
     """The fair failing extension ``beta`` of Lemmas 6-7.
 
@@ -122,15 +133,34 @@ def run_silenced(
     else runs normally.  Stops at the first decision by a survivor, on
     detecting a (state, cursor) cycle (an exact infinite fair execution),
     or at ``max_steps``.
+
+    With ``tracer`` enabled the run emits the same replay protocol as
+    :func:`repro.ioa.scheduler.run` (``run_start``, ``action_fired`` for
+    the leading fails, ``task_chosen`` with the action each step fired,
+    ``run_end``), so a traced counterexample replays bit-for-bit through
+    :mod:`repro.obs.replay` — including the dummy transitions that a
+    task-only replay would miss.
     """
     victims = frozenset(victims)
     silenced = frozenset(silenced_services)
+    tracing = tracer.enabled
+    if tracing:
+        tracer.emit(
+            RUN_START,
+            op="run_silenced",
+            victims=victims,
+            silenced=silenced,
+            max_steps=max_steps,
+        )
     execution = Execution(start)
     # beta begins with the f + 1 fail actions.
     for victim in sorted(victims, key=str):
         action = Action("fail", (victim,))
         post = system.apply_input(execution.final_state, action)
         execution = execution.extend(action, post, task=None)
+        if tracing:
+            tracer.emit(ACTION_FIRED, process=victim, action=action, step=0)
+            tracer.emit(FAILURE_INJECTED, process=victim, endpoint=victim)
     baseline_decided = dict(system.decisions(execution.final_state))
     tasks = tuple(system.tasks())
     component_of_task = {}
@@ -145,6 +175,7 @@ def run_silenced(
         config = (state, cursor)
         if config in seen:
             cycle_start = seen[config]
+            _finish_silenced(tracer, metrics, task_sequence, outcome="cycle")
             return _SilencedRunResult(
                 execution=execution,
                 task_sequence=task_sequence,
@@ -183,12 +214,21 @@ def run_silenced(
         task, action, post = chosen
         execution = execution.extend(action, post, task)
         task_sequence.append(task)
+        if tracing:
+            tracer.emit(
+                TASK_CHOSEN,
+                process=task.owner,
+                task=task,
+                action=action,
+                step=step_count,
+            )
         decisions = system.decisions(post)
         for decider, value in decisions.items():
             if decider in victims:
                 continue
             if baseline_decided.get(decider) == value:
                 continue
+            _finish_silenced(tracer, metrics, task_sequence, outcome="decision")
             return _SilencedRunResult(
                 execution=execution,
                 task_sequence=task_sequence,
@@ -196,6 +236,7 @@ def run_silenced(
                 cycle_found=False,
                 cycle_length=0,
             )
+    _finish_silenced(tracer, metrics, task_sequence, outcome="horizon")
     return _SilencedRunResult(
         execution=execution,
         task_sequence=task_sequence,
@@ -203,6 +244,20 @@ def run_silenced(
         cycle_found=False,
         cycle_length=0,
     )
+
+
+def _finish_silenced(
+    tracer: Tracer,
+    metrics: MetricsRegistry,
+    task_sequence: Sequence[Task],
+    outcome: str,
+) -> None:
+    """Close the replay bracket and record counters for a silenced run."""
+    if tracer.enabled:
+        tracer.emit(RUN_END, op="run_silenced", steps=len(task_sequence), outcome=outcome)
+    if metrics.enabled:
+        metrics.counter("refute.silenced_runs").inc()
+        metrics.counter("refute.silenced_steps").inc(len(task_sequence))
 
 
 def choose_victims_for_process(
@@ -272,6 +327,8 @@ def refute_from_similarity(
     resilience: int,
     horizon: int = 100_000,
     failure_aware_services: Collection[Hashable] = (),
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> RefutationOutcome:
     """Execute the Lemma 6/7 argument from a similar opposite-valence pair.
 
@@ -291,7 +348,9 @@ def refute_from_similarity(
     silenced = silenced_services_for(
         system, victims, also=tuple(base_silenced) + tuple(failure_aware_services)
     )
-    result = run_silenced(system, violation.s0, victims, silenced, horizon)
+    result = run_silenced(
+        system, violation.s0, victims, silenced, horizon, tracer=tracer, metrics=metrics
+    )
     survivors = frozenset(system.process_ids) - victims
     if result.decision is None:
         return TerminationViolation(
@@ -331,6 +390,8 @@ def liveness_attack(
     victims: Collection[Hashable],
     horizon: int = 100_000,
     failure_aware_services: Collection[Hashable] = (),
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> TerminationViolation | None:
     """Direct liveness attack: fail ``victims`` and run fairly.
 
@@ -344,7 +405,9 @@ def liveness_attack(
     silenced = silenced_services_for(
         system, victims, also=tuple(failure_aware_services)
     )
-    result = run_silenced(system, start, victims, silenced, horizon)
+    result = run_silenced(
+        system, start, victims, silenced, horizon, tracer=tracer, metrics=metrics
+    )
     if result.decision is not None:
         return None
     return TerminationViolation(

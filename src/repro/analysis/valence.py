@@ -38,6 +38,9 @@ from typing import Hashable, Mapping, Sequence
 
 from ..ioa.automaton import State
 from ..ioa.execution import Execution
+from ..obs.events import VALENCE_VERDICT
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.sinks import NULL_TRACER, Tracer
 from ..system.system import DistributedSystem
 from .explorer import StateGraph, explore, reachable_decision_sets
 from .view import DeterministicSystemView
@@ -109,12 +112,16 @@ def analyze_valence(
     system: DistributedSystem,
     root: State,
     max_states: int = 200_000,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> ValenceAnalysis:
     """Explore from ``root`` and compute the valence of every state."""
     view = DeterministicSystemView(system)
     view.check_failure_free(root)
-    graph = explore(view, root, max_states=max_states)
+    graph = explore(view, root, max_states=max_states, tracer=tracer, metrics=metrics)
     decisions = reachable_decision_sets(graph, view)
+    if metrics.enabled:
+        metrics.counter("valence.analyses").inc()
     return ValenceAnalysis(view=view, graph=graph, decision_sets=decisions)
 
 
@@ -149,6 +156,8 @@ class Lemma4Result:
 def lemma4_bivalent_initialization(
     system: DistributedSystem,
     max_states: int = 200_000,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> Lemma4Result:
     """Find a bivalent initialization, per the proof of Lemma 4.
 
@@ -167,12 +176,23 @@ def lemma4_bivalent_initialization(
             for position, endpoint in enumerate(endpoints)
         }
         execution = system.initialization(assignment)
-        analysis = analyze_valence(system, execution.final_state, max_states)
+        analysis = analyze_valence(
+            system, execution.final_state, max_states, tracer=tracer, metrics=metrics
+        )
+        valence = analysis.valence(execution.final_state)
+        if tracer.enabled:
+            tracer.emit(
+                VALENCE_VERDICT,
+                assignment=tuple(sorted(assignment.items(), key=lambda kv: str(kv[0]))),
+                valence=valence.value,
+            )
+        if metrics.enabled:
+            metrics.counter("valence.initializations").inc()
         chain.append(
             InitializationValence(
                 assignment=tuple(sorted(assignment.items(), key=lambda kv: str(kv[0]))),
                 execution=execution,
-                valence=analysis.valence(execution.final_state),
+                valence=valence,
             )
         )
     bivalent = next(

@@ -24,6 +24,17 @@ import random
 from abc import ABC, abstractmethod
 from typing import Callable, Iterable, Sequence
 
+from ..obs.events import (
+    ACTION_FIRED,
+    FAILURE_INJECTED,
+    RUN_END,
+    RUN_START,
+    SERVICE_INVOCATION,
+    SERVICE_RESPONSE,
+    TASK_CHOSEN,
+)
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.sinks import NULL_TRACER, Tracer
 from .actions import Action
 from .automaton import Automaton, State, Task
 from .execution import Execution
@@ -125,6 +136,8 @@ def run(
     inputs: Iterable[tuple[int, Action]] = (),
     stop: Callable[[Execution], bool] | None = None,
     transition_chooser: Callable[[Sequence], int] | None = None,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> Execution:
     """Drive ``automaton`` under ``scheduler`` for up to ``max_steps`` steps.
 
@@ -134,18 +147,29 @@ def run(
     optional early-exit predicate evaluated after every step.  When a task
     has several enabled transitions (a nondeterministic automaton),
     ``transition_chooser`` selects among them (default: the first).
+
+    When ``tracer`` is enabled, the run emits the uniform replay protocol
+    (``run_start``, per-input ``action_fired``, per-step ``task_chosen``
+    with the fired action, ``run_end``) that :mod:`repro.obs.replay`
+    inverts; ``metrics`` accumulates step/input counters either way.
     """
     if start is None:
         start = automaton.some_start_state()
+    tracing = tracer.enabled
+    if tracing:
+        tracer.emit(RUN_START, op="run", max_steps=max_steps)
     execution = Execution(start)
     pending = sorted(inputs, key=lambda pair: pair[0])
     cursor = 0
+    steps_taken = 0
     for step_index in range(max_steps):
         while cursor < len(pending) and pending[cursor][0] <= step_index:
             action = pending[cursor][1]
             post = automaton.apply_input(execution.final_state, action)
             execution = execution.extend(action, post, task=None)
             cursor += 1
+            if tracing:
+                _emit_input(tracer, action, step_index)
         task = scheduler.choose(automaton, execution.final_state)
         if task is None:
             break
@@ -153,6 +177,9 @@ def run(
         choice = 0 if transition_chooser is None else transition_chooser(transitions)
         transition = transitions[choice]
         execution = execution.extend(transition.action, transition.post, task)
+        steps_taken += 1
+        if tracing:
+            _emit_step(tracer, task, transition.action, step_index)
         if stop is not None and stop(execution):
             break
     # Flush any remaining inputs so callers always see them applied.
@@ -161,4 +188,39 @@ def run(
         post = automaton.apply_input(execution.final_state, action)
         execution = execution.extend(action, post, task=None)
         cursor += 1
+        if tracing:
+            _emit_input(tracer, action, steps_taken)
+    if tracing:
+        tracer.emit(RUN_END, op="run", steps=steps_taken)
+    if metrics.enabled:
+        metrics.counter("scheduler.steps").inc(steps_taken)
+        metrics.counter("scheduler.inputs").inc(cursor)
+        metrics.counter("scheduler.runs").inc()
     return execution
+
+
+def _emit_step(tracer: Tracer, task: Task, action: Action, step_index: int) -> None:
+    """One scheduled step of the replay protocol (see repro.obs.replay)."""
+    tracer.emit(TASK_CHOSEN, process=task.owner, task=task, action=action, step=step_index)
+    if action.kind == "invoke":
+        tracer.emit(
+            SERVICE_INVOCATION,
+            process=action.args[1],
+            service=action.args[0],
+            invocation=action.args[2],
+        )
+    elif action.kind == "respond":
+        tracer.emit(
+            SERVICE_RESPONSE,
+            process=action.args[1],
+            service=action.args[0],
+            response=action.args[2],
+        )
+
+
+def _emit_input(tracer: Tracer, action: Action, step_index: int) -> None:
+    """One externally supplied input of the replay protocol."""
+    process = action.args[0] if action.kind in ("init", "fail") else None
+    tracer.emit(ACTION_FIRED, process=process, action=action, step=step_index)
+    if action.kind == "fail":
+        tracer.emit(FAILURE_INJECTED, process=action.args[0], endpoint=action.args[0])

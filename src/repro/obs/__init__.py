@@ -1,0 +1,142 @@
+"""repro.obs — tracing, metrics, and profiling for the runtime layers.
+
+The observability subsystem reifies what the schedulers, the explorer,
+and the adversary pipeline *do* as inspectable data:
+
+* :mod:`repro.obs.events`  — typed, append-only :class:`TraceEvent`
+  stream with monotonic sequence numbers and per-process Lamport tags;
+* :mod:`repro.obs.sinks`   — pluggable sinks (ring buffer, JSONL file,
+  null) behind a :class:`Tracer`, near-zero overhead when disabled;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms registry with a
+  ``snapshot()`` dict export;
+* :mod:`repro.obs.profile` — context-manager timers and a ``@profiled``
+  decorator feeding the registry;
+* :mod:`repro.obs.replay`  — reconstruct the task sequence of a JSONL
+  trace as a :class:`~repro.ioa.scheduler.ScriptedScheduler` and replay
+  any observed run bit-for-bit.
+
+Instrumented call sites take ``tracer=`` / ``metrics=`` parameters
+defaulting to the disabled singletons :data:`NULL_TRACER` /
+:data:`NULL_METRICS`, so the subsystem costs nothing unless switched on.
+
+``repro.obs.replay`` is re-exported lazily: it imports the scheduler
+module, which itself imports this package — eager re-export would make
+that a cycle.
+"""
+
+from .events import (
+    ACTION_FIRED,
+    FAILURE_INJECTED,
+    HOOK_VERDICT,
+    KINDS,
+    PHASE,
+    RUN_END,
+    RUN_START,
+    SERVICE_INVOCATION,
+    SERVICE_RESPONSE,
+    STATE_EXPLORED,
+    TASK_CHOSEN,
+    VALENCE_VERDICT,
+    TraceEvent,
+    decode_value,
+    encode_value,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+    default_registry,
+    render_metrics_table,
+    set_default_registry,
+)
+from .profile import Timer, profiled, timed
+from .sinks import (
+    JsonlSink,
+    NULL_TRACER,
+    NullSink,
+    RingBufferSink,
+    Sink,
+    Tracer,
+    current_tracer,
+    set_current_tracer,
+    use_tracer,
+)
+
+_REPLAY_EXPORTS = frozenset(
+    {
+        "load_events",
+        "split_runs",
+        "task_sequence",
+        "action_sequence",
+        "input_schedule",
+        "scheduler_from_events",
+        "scheduler_from_trace",
+        "replay_execution",
+        "replay_trace",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name == "replay" or name in _REPLAY_EXPORTS:
+        import importlib
+
+        replay_module = importlib.import_module(".replay", __name__)
+        if name == "replay":
+            return replay_module
+        return getattr(replay_module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "ACTION_FIRED",
+    "Counter",
+    "FAILURE_INJECTED",
+    "Gauge",
+    "HOOK_VERDICT",
+    "Histogram",
+    "JsonlSink",
+    "KINDS",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetricsRegistry",
+    "NullSink",
+    "PHASE",
+    "RUN_END",
+    "RUN_START",
+    "RingBufferSink",
+    "SERVICE_INVOCATION",
+    "SERVICE_RESPONSE",
+    "STATE_EXPLORED",
+    "Sink",
+    "TASK_CHOSEN",
+    "Timer",
+    "TraceEvent",
+    "Tracer",
+    "VALENCE_VERDICT",
+    "current_tracer",
+    "decode_value",
+    "default_registry",
+    "encode_value",
+    "profiled",
+    "render_metrics_table",
+    "replay",
+    "set_current_tracer",
+    "set_default_registry",
+    "timed",
+    "use_tracer",
+    # lazy re-exports from repro.obs.replay
+    "load_events",
+    "split_runs",
+    "task_sequence",
+    "action_sequence",
+    "input_schedule",
+    "scheduler_from_events",
+    "scheduler_from_trace",
+    "replay_execution",
+    "replay_trace",
+]

@@ -1,0 +1,161 @@
+"""Replay observed runs from JSONL traces (bit-for-bit).
+
+Instrumented drivers (:func:`repro.ioa.scheduler.run`,
+:func:`repro.analysis.refutation.run_silenced`) emit a uniform event
+protocol per run:
+
+* ``run_start`` / ``run_end`` bracket the run;
+* one ``task_chosen`` event per scheduled step, carrying the chosen
+  :class:`~repro.ioa.automaton.Task`, the :class:`~repro.ioa.actions.Action`
+  it fired, and the step index;
+* one ``action_fired`` event per externally supplied input action (e.g.
+  the leading ``fail_i`` inputs of a Lemma 6/7 failing extension),
+  carrying the action and the step index it was applied before.
+
+This module inverts that protocol: from a trace it reconstructs the task
+script as a :class:`~repro.ioa.scheduler.ScriptedScheduler`, the input
+schedule, and a transition chooser that re-selects the *recorded* action
+whenever a task has several enabled transitions (a round-robin silencing
+run prefers dummy transitions, which are not first in the enabled list —
+replaying tasks alone would diverge there).  :func:`replay_execution`
+then re-drives the automaton to the identical execution, so any observed
+run — including an adversary counterexample — is reproducible from its
+trace plus its start state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..ioa.actions import Action
+from ..ioa.automaton import Automaton, State, Task
+from ..ioa.execution import Execution
+from ..ioa.scheduler import ScriptedScheduler, run
+from .events import (
+    ACTION_FIRED,
+    RUN_END,
+    RUN_START,
+    TASK_CHOSEN,
+    TraceEvent,
+)
+
+
+def load_events(path) -> list[TraceEvent]:
+    """Parse a JSONL trace file back into events, in sequence order."""
+    events: list[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_json(line))
+    events.sort(key=lambda event: event.seq)
+    return events
+
+
+def split_runs(events: Iterable[TraceEvent]) -> list[list[TraceEvent]]:
+    """Slice an event stream into per-run segments.
+
+    Each segment starts at a ``run_start`` and ends at the matching
+    ``run_end`` (inclusive).  Events outside any run bracket — pipeline
+    phases, exploration progress — are not part of any segment.  Nested
+    runs do not occur: every instrumented driver brackets exactly its
+    own loop.
+    """
+    runs: list[list[TraceEvent]] = []
+    current: list[TraceEvent] | None = None
+    for event in events:
+        if event.kind == RUN_START:
+            current = [event]
+        elif current is not None:
+            current.append(event)
+            if event.kind == RUN_END:
+                runs.append(current)
+                current = None
+    if current is not None:
+        runs.append(current)  # truncated trace: keep the partial run
+    return runs
+
+
+def task_sequence(events: Iterable[TraceEvent]) -> list[Task]:
+    """The scheduled task sequence recorded in ``events``."""
+    return [
+        event.data["task"] for event in events if event.kind == TASK_CHOSEN
+    ]
+
+
+def action_sequence(events: Iterable[TraceEvent]) -> list[Action]:
+    """The action fired by each scheduled step, in step order."""
+    return [
+        event.data["action"] for event in events if event.kind == TASK_CHOSEN
+    ]
+
+
+def input_schedule(events: Iterable[TraceEvent]) -> list[tuple[int, Action]]:
+    """The externally supplied inputs as ``(step_index, action)`` pairs."""
+    return [
+        (event.data["step"], event.data["action"])
+        for event in events
+        if event.kind == ACTION_FIRED
+    ]
+
+
+def scheduler_from_events(
+    events: Iterable[TraceEvent], strict: bool = True
+) -> ScriptedScheduler:
+    """A :class:`ScriptedScheduler` replaying the recorded task sequence."""
+    return ScriptedScheduler(task_sequence(events), strict=strict)
+
+
+def scheduler_from_trace(path, strict: bool = True) -> ScriptedScheduler:
+    """Load a JSONL trace and script its task sequence."""
+    return scheduler_from_events(load_events(path), strict=strict)
+
+
+def _chooser_for(actions: Sequence[Action]):
+    """A transition chooser that re-selects the recorded actions in order."""
+    iterator = iter(actions)
+
+    def choose(transitions) -> int:
+        expected = next(iterator, None)
+        if expected is not None:
+            for index, transition in enumerate(transitions):
+                if transition.action == expected:
+                    return index
+        return 0
+
+    return choose
+
+
+def replay_execution(
+    automaton: Automaton,
+    events: Iterable[TraceEvent],
+    start: State,
+    strict: bool = True,
+) -> Execution:
+    """Re-drive ``automaton`` from ``start`` along a recorded run.
+
+    ``events`` is one run's segment (see :func:`split_runs`; a whole
+    single-run trace works directly).  Inputs are re-applied at their
+    recorded step indices, the task script is replayed in order, and
+    each step re-selects the recorded action among the enabled
+    transitions — reproducing the original execution exactly, which the
+    round-trip tests assert state-for-state.
+    """
+    events = list(events)
+    script = task_sequence(events)
+    return run(
+        automaton,
+        ScriptedScheduler(script, strict=strict),
+        max_steps=len(script) + 1,
+        start=start,
+        inputs=input_schedule(events),
+        transition_chooser=_chooser_for(action_sequence(events)),
+    )
+
+
+def replay_trace(
+    automaton: Automaton, path, start: State, strict: bool = True
+) -> Execution:
+    """Load a single-run JSONL trace and replay it (see
+    :func:`replay_execution`)."""
+    return replay_execution(automaton, load_events(path), start, strict=strict)

@@ -32,6 +32,8 @@ from ..ioa.actions import (
     dummy_perform,
 )
 from ..ioa.automaton import Automaton, State, Task, Transition
+from ..obs import sinks as _obs
+from ..obs.events import FAILURE_INJECTED, SERVICE_INVOCATION
 from ..types.service_type import Endpoint, ResponseMap
 
 
@@ -336,6 +338,16 @@ class CanonicalServiceBase(Automaton):
         assert isinstance(state, ServiceState)
         if action.kind == "invoke":
             _, endpoint, invocation = action.args
+            # Services receive inputs from composition plumbing that has no
+            # tracer parameter to thread, so this layer reports through the
+            # process-wide tracer (repro.obs.sinks.use_tracer) instead.
+            if _obs.CURRENT.enabled:
+                _obs.CURRENT.emit(
+                    SERVICE_INVOCATION,
+                    process=endpoint,
+                    service=self.service_id,
+                    invocation=invocation,
+                )
             position = self.endpoint_position(endpoint)
             inv_buffers = list(state.inv_buffers)
             inv_buffers[position] = inv_buffers[position] + (invocation,)
@@ -347,6 +359,13 @@ class CanonicalServiceBase(Automaton):
             )
         if action.kind == "fail":
             endpoint = action.args[0]
+            if _obs.CURRENT.enabled:
+                _obs.CURRENT.emit(
+                    FAILURE_INJECTED,
+                    process=endpoint,
+                    service=self.service_id,
+                    endpoint=endpoint,
+                )
             return ServiceState(
                 val=state.val,
                 inv_buffers=state.inv_buffers,

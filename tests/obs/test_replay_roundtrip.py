@@ -1,0 +1,179 @@
+"""Trace -> JSONL -> replay round-trips, including a real refutation.
+
+The replay contract: any traced run — the generic ``run`` driver or the
+Lemma 6/7 silencing run — is reproducible bit-for-bit from its JSONL
+trace plus its start state.
+"""
+
+import pytest
+
+from repro.ioa import Action, RandomScheduler, RoundRobinScheduler, Task, run
+from repro.ioa.automaton import Automaton, Transition
+from repro.obs import JsonlSink, RingBufferSink, Tracer
+from repro.obs.replay import (
+    action_sequence,
+    input_schedule,
+    load_events,
+    replay_execution,
+    replay_trace,
+    scheduler_from_trace,
+    split_runs,
+    task_sequence,
+)
+
+
+class Counter(Automaton):
+    """Toy automaton: 'inc' always enabled, 'dec' enabled when positive."""
+
+    def __init__(self, name="counter"):
+        self.name = name
+        self.inc = Task(name, "inc")
+        self.dec = Task(name, "dec")
+
+    def is_input(self, action):
+        return action.kind == "reset"
+
+    def is_output(self, action):
+        return False
+
+    def is_internal(self, action):
+        return action.kind in ("inc", "dec")
+
+    def start_states(self):
+        yield 0
+
+    def tasks(self):
+        return (self.inc, self.dec)
+
+    def enabled(self, state, task):
+        if task == self.inc:
+            return [Transition(Action("inc"), state + 1)]
+        if task == self.dec and state > 0:
+            return [Transition(Action("dec"), state - 1)]
+        return []
+
+    def apply_input(self, state, action):
+        return 0
+
+
+class TestRunRoundTrip:
+    def test_random_run_replays_identically(self, tmp_path):
+        counter = Counter()
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            original = run(
+                counter, RandomScheduler(seed=11), max_steps=30, tracer=Tracer(sink)
+            )
+        replayed = replay_trace(counter, path, start=0)
+        assert replayed.actions == original.actions
+        assert list(replayed.states()) == list(original.states())
+        assert replayed.final_state == original.final_state
+
+    def test_run_with_inputs_replays_identically(self, tmp_path):
+        counter = Counter()
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            original = run(
+                counter,
+                RoundRobinScheduler(),
+                max_steps=6,
+                inputs=[(3, Action("reset"))],
+                tracer=Tracer(sink),
+            )
+        replayed = replay_trace(counter, path, start=0)
+        assert replayed.actions == original.actions
+        assert replayed.final_state == original.final_state
+
+    def test_scheduler_from_trace_scripts_the_tasks(self, tmp_path):
+        counter = Counter()
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            original = run(
+                counter, RandomScheduler(seed=2), max_steps=10, tracer=Tracer(sink)
+            )
+        scheduler = scheduler_from_trace(path)
+        replayed = run(counter, scheduler, max_steps=20)
+        assert replayed.actions == original.actions
+
+    def test_trace_extraction_helpers(self, tmp_path):
+        counter = Counter()
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            run(
+                counter,
+                RoundRobinScheduler(),
+                max_steps=4,
+                inputs=[(1, Action("reset"))],
+                tracer=Tracer(sink),
+            )
+        events = load_events(path)
+        assert len(task_sequence(events)) == 4
+        assert len(action_sequence(events)) == 4
+        assert input_schedule(events) == [(1, Action("reset"))]
+
+
+class TestRefutationRoundTrip:
+    @pytest.fixture(scope="class")
+    def traced_refutation(self, tmp_path_factory):
+        from repro.analysis import refute_candidate
+        from repro.protocols import delegation_consensus_system
+
+        path = tmp_path_factory.mktemp("traces") / "delegation.jsonl"
+        system = delegation_consensus_system(3, 1)
+        with JsonlSink(path) as sink:
+            verdict = refute_candidate(system, tracer=Tracer(sink))
+        return system, verdict, path
+
+    def test_silenced_run_replays_to_same_execution(self, traced_refutation):
+        from repro.analysis import run_silenced
+
+        system, verdict, path = traced_refutation
+        assert verdict.refuted
+        runs = split_runs(load_events(path))
+        silenced_runs = [
+            segment
+            for segment in runs
+            if segment[0].data.get("op") == "run_silenced"
+        ]
+        assert silenced_runs, "the refutation stage must emit a silenced run"
+        segment = silenced_runs[-1]
+        start = verdict.lemma8.violation.s0
+        # Reconstruct the original execution from the recorded parameters.
+        original = run_silenced(
+            system,
+            start,
+            victims=segment[0].data["victims"],
+            silenced_services=segment[0].data["silenced"],
+            max_steps=segment[0].data["max_steps"],
+        )
+        replayed = replay_execution(system, segment, start=start)
+        assert replayed.actions == original.execution.actions
+        assert replayed.final_state == original.execution.final_state
+
+    def test_replayed_run_reaches_same_verdict(self, traced_refutation):
+        """The replayed witness still shows survivors never deciding."""
+        system, verdict, path = traced_refutation
+        runs = split_runs(load_events(path))
+        segment = [
+            s for s in runs if s[0].data.get("op") == "run_silenced"
+        ][-1]
+        victims = segment[0].data["victims"]
+        replayed = replay_execution(
+            system, segment, start=verdict.lemma8.violation.s0
+        )
+        survivors = frozenset(system.process_ids) - victims
+        decided = system.decisions(replayed.final_state)
+        assert not any(pid in decided for pid in survivors)
+        assert segment[-1].data["outcome"] == "cycle"
+
+    def test_run_brackets_are_well_formed(self, traced_refutation):
+        _, _, path = traced_refutation
+        events = load_events(path)
+        seqs = [event.seq for event in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        for segment in split_runs(events):
+            assert segment[0].kind == "run_start"
+            assert segment[-1].kind == "run_end"
+            recorded_steps = segment[-1].data["steps"]
+            chosen = [e for e in segment if e.kind == "task_chosen"]
+            assert len(chosen) == recorded_steps

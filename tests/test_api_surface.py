@@ -65,6 +65,8 @@ class TestHeadlineSignatures:
             "max_states",
             "horizon",
             "failure_aware_services",
+            "tracer",
+            "metrics",
         ]
 
     def test_run_consensus_round_signature(self):

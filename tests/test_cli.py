@@ -29,6 +29,68 @@ class TestRefute:
         with pytest.raises(SystemExit):
             main(["refute", "nonsense"])
 
+    def test_reports_exploration_and_elapsed(self, capsys):
+        assert main(["refute", "delegation", "-n", "2", "-f", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Explored" in out and "states" in out and "transitions" in out
+
+    def test_budget_exhaustion_exits_2(self, capsys):
+        assert main(["refute", "delegation", "--max-states", "50"]) == 2
+        out = capsys.readouterr().out
+        assert "Exploration budget exhausted" in out
+        assert "Explored 50 states" in out
+
+    def test_seed_flag_runs_deterministic_probe(self, capsys):
+        assert main(["refute", "delegation", "--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert main(["refute", "delegation", "--seed", "7"]) == 0
+        second = capsys.readouterr().out
+        probe_lines = [
+            line for line in first.splitlines() if line.startswith("Seeded probe")
+        ]
+        assert probe_lines and "seed=7" in probe_lines[0]
+        assert probe_lines == [
+            line for line in second.splitlines() if line.startswith("Seeded probe")
+        ]
+
+
+class TestTrace:
+    def test_trace_writes_replayable_jsonl(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "delegation", "-o", "out.jsonl"]) == 0
+        out = capsys.readouterr().out
+        assert "events -> out.jsonl" in out
+        from repro.obs.replay import load_events, split_runs
+
+        events = load_events(tmp_path / "out.jsonl")
+        assert events
+        assert any(
+            segment[0].data.get("op") == "run_silenced"
+            for segment in split_runs(events)
+        )
+
+    def test_trace_default_output_name(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "last-writer"]) == 0
+        assert (tmp_path / "last-writer-trace.jsonl").exists()
+
+
+class TestStats:
+    def test_stats_reports_nonzero_exploration(self, capsys):
+        assert main(["stats", "delegation"]) == 0
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            if "explore.states" in line:
+                assert int(line.split()[-1]) > 0
+                break
+        else:
+            raise AssertionError("explore.states missing from stats output")
+        assert any(
+            "explore.transitions" in line and int(line.split()[-1]) > 0
+            for line in out.splitlines()
+        )
+        assert "pipeline.wall_seconds" in out
+
 
 class TestConstructions:
     def test_boost_kset(self, capsys):
