@@ -9,10 +9,14 @@ Benchmarks both *time* the operation (pytest-benchmark) and *assert* the
 reproduced claim, so `pytest benchmarks/ --benchmark-only` doubles as a
 verification pass.
 
-``report()`` additionally appends each evidence table to the
-machine-readable ``BENCH_obs.json`` artifact at the repo root, so bench
+``report()`` additionally appends each evidence table to a
+machine-readable ``BENCH_*.json`` artifact at the repo root (default
+``BENCH_obs.json``; pass ``artifact=`` for a dedicated file), so bench
 output accumulates as data (one ``{"title", "rows", "time"}`` record per
-call) rather than only as captured stdout.
+call) rather than only as captured stdout.  The artifacts are committed
+evidence: a corrupt or shrinking artifact is refused loudly instead of
+silently rewritten, so a bad run can never destroy previously recorded
+entries.
 """
 
 import json
@@ -21,35 +25,66 @@ from pathlib import Path
 
 import pytest
 
-BENCH_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_ARTIFACT = _REPO_ROOT / "BENCH_obs.json"
 
 
-def _append_record(record: dict) -> None:
+def _load_records(path: Path) -> list:
+    """Existing artifact records; refuses to treat corrupt data as empty."""
     try:
-        records = json.loads(BENCH_ARTIFACT.read_text(encoding="utf-8"))
-        if not isinstance(records, list):
-            records = []
-    except (FileNotFoundError, json.JSONDecodeError):
-        records = []
-    records.append(record)
-    BENCH_ARTIFACT.write_text(
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return []
+    try:
+        records = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise RuntimeError(
+            f"{path.name} exists but is not valid JSON ({error}); refusing to "
+            "overwrite recorded benchmark evidence — fix or remove the file"
+        ) from error
+    if not isinstance(records, list):
+        raise RuntimeError(
+            f"{path.name} does not hold a JSON list; refusing to overwrite it"
+        )
+    return records
+
+
+def _write_records(path: Path, records: list) -> None:
+    """Write the artifact, refusing any write that would drop entries."""
+    existing = _load_records(path)
+    if len(records) < len(existing):
+        raise RuntimeError(
+            f"refusing to shrink {path.name} from {len(existing)} to "
+            f"{len(records)} records; benchmark evidence only accumulates"
+        )
+    path.write_text(
         json.dumps(records, indent=2, default=str) + "\n", encoding="utf-8"
     )
 
 
-def report(title: str, rows) -> None:
+def _append_record(record: dict, artifact: Path = BENCH_ARTIFACT) -> None:
+    records = _load_records(artifact)
+    records.append(record)
+    _write_records(artifact, records)
+
+
+def report(title: str, rows, artifact: str | None = None) -> None:
     """Print a small evidence table under the benchmark output.
 
-    Also appends the table to ``BENCH_obs.json`` for machine consumption.
+    Also appends the table to the machine-readable artifact —
+    ``BENCH_obs.json`` by default, or the repo-root ``BENCH_*.json``
+    named by ``artifact``.
     """
     print(f"\n[{title}]")
     rows = list(rows)
     for row in rows:
         print(f"  {row}")
+    path = BENCH_ARTIFACT if artifact is None else _REPO_ROOT / artifact
     _append_record(
         {
             "title": title,
             "rows": [row if isinstance(row, (dict, list)) else str(row) for row in rows],
             "time": time.time(),
-        }
+        },
+        artifact=path,
     )

@@ -14,12 +14,20 @@ Exposes the headline reproductions without writing any code:
 
 Exit codes for ``refute``/``trace``/``stats``: 0 when the candidate was
 refuted, 1 when it was not, 2 when the exploration budget
-(``--max-states``) was exhausted before the pipeline finished.
+(``--max-states`` / ``--deadline``) was exhausted before the pipeline
+finished.
+
+The pipeline commands drive :class:`repro.engine.ExplorationEngine`
+directly: ``--workers N`` parallelizes the explorations, ``--deadline
+SECONDS`` bounds each stage's wall clock, and ``--checkpoint DIR`` /
+``--resume DIR`` snapshot interrupted explorations and continue them on
+the next invocation instead of starting over.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
@@ -63,10 +71,20 @@ def _run_pipeline(args: argparse.Namespace, tracer, metrics):
     exhausted; the metrics registry still holds the work done so far.
     """
     from .analysis import ExplorationBudget, format_verdict, refute_candidate
+    from .engine import Budget, ExplorationEngine
     from .obs import timed
 
     system = _build_candidate(args.candidate, args.n, args.resilience)
     print(f"Candidate: {args.candidate} (n={args.n}, f={args.resilience})")
+    checkpoint_dir = args.resume if args.resume is not None else args.checkpoint
+    engine = ExplorationEngine(
+        workers=args.workers,
+        budget=Budget(
+            max_states=args.max_states, deadline_seconds=args.deadline
+        ),
+        checkpoint_dir=checkpoint_dir,
+        resume=args.resume is not None,
+    )
     if getattr(args, "seed", None) is not None:
         from .analysis import random_decision_probe
 
@@ -84,6 +102,7 @@ def _run_pipeline(args: argparse.Namespace, tracer, metrics):
                 max_states=args.max_states,
                 tracer=tracer,
                 metrics=metrics,
+                engine=engine,
             )
         except ExplorationBudget as budget:
             print(f"Exploration budget exhausted: {budget}")
@@ -221,6 +240,31 @@ def main(argv: list[str] | None = None) -> int:
             type=int,
             default=None,
             help="also run a seeded random-fair decision probe first",
+        )
+        subparser.add_argument(
+            "--workers",
+            type=int,
+            default=int(os.environ.get("REPRO_ENGINE_WORKERS", "1")),
+            help="parallel exploration workers (1 = in-process; "
+            "default from $REPRO_ENGINE_WORKERS)",
+        )
+        subparser.add_argument(
+            "--deadline",
+            type=float,
+            default=None,
+            help="wall-clock budget in seconds per pipeline stage",
+        )
+        subparser.add_argument(
+            "--checkpoint",
+            metavar="DIR",
+            default=None,
+            help="snapshot exploration progress into DIR",
+        )
+        subparser.add_argument(
+            "--resume",
+            metavar="DIR",
+            default=None,
+            help="resume interrupted explorations from DIR (implies --checkpoint DIR)",
         )
 
     refute = subparsers.add_parser("refute", help="run the adversary pipeline")

@@ -101,6 +101,7 @@ def refute_candidate(
     failure_aware_services: Collection[Hashable] = (),
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
+    engine=None,
 ) -> Verdict:
     """Run the full Theorem 2/9/10 adversary pipeline against a candidate.
 
@@ -108,12 +109,30 @@ def refute_candidate(
     threaded through every stage — Lemma 4 exploration, the Fig. 3 hook
     search, and the Lemma 6/7 silencing runs — so one registry observes
     the whole pipeline and one JSONL trace captures it end to end.
+
+    ``engine`` may be a preconfigured
+    :class:`repro.engine.ExplorationEngine`; every exploration of the
+    pipeline (the Lemma 4 chain and the hook-search graph) then runs
+    through it, gaining its workers, checkpointing, and resume behavior.
+    When the engine's budget carries a deadline it also bounds the
+    post-exploration stages (hook search, silencing runs): each stage
+    gets a fresh wall-clock allowance of ``deadline_seconds``, matching
+    the per-exploration semantics of :class:`repro.engine.Budget`.
     """
     f = default_resilience(system) if resilience is None else resilience
+
+    def stage_deadline():
+        """A fresh per-stage Deadline from the engine's budget, or None."""
+        if engine is None or engine.budget.deadline_seconds is None:
+            return None
+        from ..engine import Deadline
+
+        return Deadline(engine.budget.deadline_seconds)
+
     if tracer.enabled:
         tracer.emit(PHASE, stage="lemma4", resilience=f)
     lemma4 = lemma4_bivalent_initialization(
-        system, max_states=max_states, tracer=tracer, metrics=metrics
+        system, max_states=max_states, tracer=tracer, metrics=metrics, engine=engine
     )
     if lemma4.bivalent is None:
         # No bivalent initialization: for a correct candidate this is
@@ -148,9 +167,16 @@ def refute_candidate(
     if tracer.enabled:
         tracer.emit(PHASE, stage="hook-search")
     analysis = analyze_valence(
-        system, start, max_states=max_states, tracer=tracer, metrics=metrics
+        system,
+        start,
+        max_states=max_states,
+        tracer=tracer,
+        metrics=metrics,
+        engine=engine,
     )
-    outcome, stats = find_hook(analysis, start, tracer=tracer, metrics=metrics)
+    outcome, stats = find_hook(
+        analysis, start, tracer=tracer, metrics=metrics, deadline=stage_deadline()
+    )
     if isinstance(outcome, FairCycle):
         return Verdict(
             refuted=not outcome.decisions_on_cycle,
@@ -188,6 +214,7 @@ def refute_candidate(
         failure_aware_services=failure_aware_services,
         tracer=tracer,
         metrics=metrics,
+        deadline=stage_deadline(),
     )
     if isinstance(refutation, TerminationViolation):
         mechanism = "similarity-termination"

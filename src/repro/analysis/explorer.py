@@ -18,24 +18,81 @@ Budgets: exploration takes a ``max_states`` bound and raises
 "exhausted the space" from "the space is too large" — the latter is the
 signal to switch to the bounded adversary of
 :mod:`repro.analysis.adversary`.
+
+:func:`explore` is now a thin compatibility wrapper over
+:class:`repro.engine.ExplorationEngine` (one worker, ``max_states``
+budget) — the engine adds worker-pool parallelism, fingerprint visited
+sets, checkpoints, and deadlines behind the same semantics, and its
+budget error :class:`~repro.engine.budget.BudgetExhausted` subclasses
+:class:`ExplorationBudget`, so existing handlers keep working while the
+message now reports the progress made before exhaustion.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Iterable
+from typing import Callable, Hashable, Iterable, Iterator
 
 from ..ioa.actions import Action
 from ..ioa.automaton import State, Task
-from ..obs.events import STATE_EXPLORED
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.sinks import NULL_TRACER, Tracer
 from .view import DeterministicSystemView
 
 
 class ExplorationBudget(RuntimeError):
-    """The reachable state space exceeded the caller's ``max_states``."""
+    """The reachable state space exceeded the caller's budget."""
+
+
+class StateSet:
+    """An insertion-ordered set of states.
+
+    Iteration follows first-discovery order, so every consumer that
+    walks ``graph.states`` — witness searches, similarity scans, valence
+    histograms — is deterministic across runs instead of following the
+    salted iteration order of a builtin ``set``.  Equality is
+    order-insensitive set equality, including against plain
+    ``set``/``frozenset`` values.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[State] = ()) -> None:
+        self._items: dict = dict.fromkeys(items)
+
+    def add(self, state: State) -> None:
+        self._items[state] = None
+
+    def update(self, items: Iterable[State]) -> None:
+        self._items.update(dict.fromkeys(items))
+
+    def __contains__(self, state: object) -> bool:
+        return state in self._items
+
+    def __iter__(self) -> Iterator[State]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, StateSet):
+            return self._items.keys() == other._items.keys()
+        if isinstance(other, (set, frozenset)):
+            return self._items.keys() == other
+        return NotImplemented
+
+    __hash__ = None  # mutable container
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StateSet({list(self._items)!r})"
+
+    def __reduce__(self):
+        return (StateSet, (list(self._items),))
 
 
 @dataclass
@@ -43,15 +100,16 @@ class StateGraph:
     """An explored failure-free task-transition graph.
 
     ``edges[s]`` lists the outgoing ``(task, action, successor)`` triples
-    of ``s``; ``states`` is the set of explored states.  The graph is
-    exactly the reachable fragment of the paper's ``G(C)`` collapsed from
-    executions to states — sound because, under the determinism
-    assumptions, valence is a function of the final state (two executions
-    ending in the same state have the same failure-free extensions).
+    of ``s``; ``states`` is the insertion-ordered :class:`StateSet` of
+    explored states (discovery order).  The graph is exactly the
+    reachable fragment of the paper's ``G(C)`` collapsed from executions
+    to states — sound because, under the determinism assumptions,
+    valence is a function of the final state (two executions ending in
+    the same state have the same failure-free extensions).
     """
 
     root: State
-    states: set = field(default_factory=set)
+    states: StateSet = field(default_factory=StateSet)
     edges: dict = field(default_factory=dict)
 
     def successors(self, state: State) -> list[tuple[Task, Action, State]]:
@@ -86,44 +144,18 @@ def explore(
     (states, transitions, runs, budget exhaustions) either way — the
     counters survive an :class:`ExplorationBudget` raise, so budget
     failures still report how much work was done.
+
+    This is a compatibility wrapper: the actual search lives in
+    :class:`repro.engine.ExplorationEngine`, driven here with one worker
+    and a states-only budget.  Callers needing parallelism, transitions
+    or wall-clock budgets, checkpoints, or resume should construct an
+    engine directly.
     """
-    tracing = tracer.enabled
-    graph = StateGraph(root=root)
-    graph.states.add(root)
-    frontier: deque = deque([root])
-    transitions = 0
-    try:
-        while frontier:
-            state = frontier.popleft()
-            if prune is not None and prune(state):
-                graph.edges[state] = []
-                if tracing:
-                    tracer.emit(STATE_EXPLORED, edges=0, pruned=True)
-                continue
-            out = view.successors(state)
-            graph.edges[state] = out
-            transitions += len(out)
-            if tracing:
-                tracer.emit(
-                    STATE_EXPLORED, edges=len(out), frontier=len(frontier)
-                )
-            for _, _, successor in out:
-                if successor not in graph.states:
-                    if len(graph.states) >= max_states:
-                        if metrics.enabled:
-                            metrics.counter("explore.budget_exhausted").inc()
-                        raise ExplorationBudget(
-                            f"reachable state space exceeds {max_states} states"
-                        )
-                    graph.states.add(successor)
-                    frontier.append(successor)
-    finally:
-        if metrics.enabled:
-            metrics.counter("explore.runs").inc()
-            metrics.counter("explore.states").inc(len(graph.states))
-            metrics.counter("explore.transitions").inc(transitions)
-            metrics.gauge("explore.last_run_states").set(len(graph.states))
-    return graph
+    # Imported lazily: repro.engine imports this module at load time.
+    from ..engine import Budget, ExplorationEngine
+
+    engine = ExplorationEngine(workers=1, budget=Budget(max_states=max_states))
+    return engine.explore(view, root, prune=prune, tracer=tracer, metrics=metrics)
 
 
 def reachable_decision_sets(

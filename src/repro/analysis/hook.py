@@ -215,6 +215,7 @@ def find_hook(
     max_iterations: int = 1_000_000,
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
+    deadline=None,
 ) -> tuple[Hook | FairCycle, HookSearchStats]:
     """Run the Fig. 3 construction from a bivalent start state.
 
@@ -222,6 +223,11 @@ def find_hook(
     or a :class:`FairCycle` (the construction runs forever — a direct
     termination violation, impossible for systems that truly solve
     consensus, which is exactly the dichotomy of the paper's argument).
+
+    ``deadline`` may be a :class:`repro.engine.Deadline`; it is checked
+    once per outer iteration and raises
+    :class:`~repro.engine.budget.BudgetExhausted` when the wall-clock
+    budget runs out mid-search.
     """
     if not analysis.is_bivalent(start):
         raise ValueError("hook search must start from a bivalent state")
@@ -234,6 +240,8 @@ def find_hook(
     seen_configs: dict[tuple[State, int], int] = {}
     path_tasks: list[Task] = []
     for _ in range(max_iterations):
+        if deadline is not None and deadline.enabled:
+            deadline.check(stats.outer_iterations, stats.inner_bfs_expansions)
         config = (state, cursor)
         if config in seen_configs:
             start_index = seen_configs[config]

@@ -123,6 +123,7 @@ def run_silenced(
     max_steps: int,
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
+    deadline=None,
 ) -> _SilencedRunResult:
     """The fair failing extension ``beta`` of Lemmas 6-7.
 
@@ -171,6 +172,12 @@ def run_silenced(
     seen: dict[tuple[State, int], int] = {}
     task_sequence: list[Task] = []
     for step_count in range(max_steps):
+        if (
+            deadline is not None
+            and deadline.enabled
+            and step_count % 1024 == 0
+        ):
+            deadline.check(transitions=step_count)
         state = execution.final_state
         config = (state, cursor)
         if config in seen:
@@ -329,6 +336,7 @@ def refute_from_similarity(
     failure_aware_services: Collection[Hashable] = (),
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
+    deadline=None,
 ) -> RefutationOutcome:
     """Execute the Lemma 6/7 argument from a similar opposite-valence pair.
 
@@ -349,7 +357,14 @@ def refute_from_similarity(
         system, victims, also=tuple(base_silenced) + tuple(failure_aware_services)
     )
     result = run_silenced(
-        system, violation.s0, victims, silenced, horizon, tracer=tracer, metrics=metrics
+        system,
+        violation.s0,
+        victims,
+        silenced,
+        horizon,
+        tracer=tracer,
+        metrics=metrics,
+        deadline=deadline,
     )
     survivors = frozenset(system.process_ids) - victims
     if result.decision is None:
@@ -392,6 +407,7 @@ def liveness_attack(
     failure_aware_services: Collection[Hashable] = (),
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
+    deadline=None,
 ) -> TerminationViolation | None:
     """Direct liveness attack: fail ``victims`` and run fairly.
 
@@ -406,7 +422,14 @@ def liveness_attack(
         system, victims, also=tuple(failure_aware_services)
     )
     result = run_silenced(
-        system, start, victims, silenced, horizon, tracer=tracer, metrics=metrics
+        system,
+        start,
+        victims,
+        silenced,
+        horizon,
+        tracer=tracer,
+        metrics=metrics,
+        deadline=deadline,
     )
     if result.decision is not None:
         return None

@@ -114,11 +114,23 @@ def analyze_valence(
     max_states: int = 200_000,
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
+    engine=None,
 ) -> ValenceAnalysis:
-    """Explore from ``root`` and compute the valence of every state."""
+    """Explore from ``root`` and compute the valence of every state.
+
+    ``engine`` may be a preconfigured
+    :class:`repro.engine.ExplorationEngine` (workers, deadline,
+    checkpointing); by default a one-worker engine bounded by
+    ``max_states`` is used, matching :func:`~repro.analysis.explorer.explore`.
+    """
     view = DeterministicSystemView(system)
     view.check_failure_free(root)
-    graph = explore(view, root, max_states=max_states, tracer=tracer, metrics=metrics)
+    if engine is None:
+        graph = explore(
+            view, root, max_states=max_states, tracer=tracer, metrics=metrics
+        )
+    else:
+        graph = engine.explore(view, root, tracer=tracer, metrics=metrics)
     decisions = reachable_decision_sets(graph, view)
     if metrics.enabled:
         metrics.counter("valence.analyses").inc()
@@ -158,6 +170,7 @@ def lemma4_bivalent_initialization(
     max_states: int = 200_000,
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
+    engine=None,
 ) -> Lemma4Result:
     """Find a bivalent initialization, per the proof of Lemma 4.
 
@@ -177,7 +190,12 @@ def lemma4_bivalent_initialization(
         }
         execution = system.initialization(assignment)
         analysis = analyze_valence(
-            system, execution.final_state, max_states, tracer=tracer, metrics=metrics
+            system,
+            execution.final_state,
+            max_states,
+            tracer=tracer,
+            metrics=metrics,
+            engine=engine,
         )
         valence = analysis.valence(execution.final_state)
         if tracer.enabled:

@@ -1,0 +1,66 @@
+"""repro.engine — parallel state-space exploration with budgets and resume.
+
+The engine is the scalable successor of
+:func:`repro.analysis.explorer.explore` (which now delegates here):
+
+* :mod:`repro.engine.fingerprint` — canonical, hash-seed-independent
+  state digests; the visited set stores 8-16-byte digests instead of
+  full states, with an optional collision-audit mode;
+* :mod:`repro.engine.budget`      — the unified :class:`Budget`
+  (``max_states`` / ``max_transitions`` / ``deadline_seconds``) and the
+  structured :class:`BudgetExhausted` carrying partial-progress stats;
+* :mod:`repro.engine.checkpoint`  — periodic frontier + visited-set
+  snapshots so interrupted or budget-exhausted runs resume instead of
+  restarting;
+* :mod:`repro.engine.parallel`    — the fork-based worker pool doing
+  frontier-partitioned parallel BFS (states sharded by digest), with an
+  in-process fallback when ``workers=1`` or fork is unavailable;
+* :mod:`repro.engine.api`         — the :class:`ExplorationEngine`
+  facade the analysis layer and the CLI drive, with a documented
+  guarantee that the produced graph is identical to the sequential one.
+"""
+
+from .api import ExplorationEngine
+from .budget import DEFAULT_BUDGET, Budget, BudgetExhausted, Deadline
+from .checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    checkpoint_path,
+    discard_checkpoint,
+    find_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .fingerprint import (
+    DIGEST_SIZE,
+    FingerprintCollision,
+    FingerprintIndex,
+    StateIndex,
+    canonical_bytes,
+    fingerprint,
+    shard_of,
+)
+from .parallel import fork_available
+
+__all__ = [
+    "Budget",
+    "BudgetExhausted",
+    "Checkpoint",
+    "CheckpointError",
+    "DEFAULT_BUDGET",
+    "DIGEST_SIZE",
+    "Deadline",
+    "ExplorationEngine",
+    "FingerprintCollision",
+    "FingerprintIndex",
+    "StateIndex",
+    "canonical_bytes",
+    "checkpoint_path",
+    "discard_checkpoint",
+    "find_checkpoint",
+    "fingerprint",
+    "fork_available",
+    "load_checkpoint",
+    "save_checkpoint",
+    "shard_of",
+]

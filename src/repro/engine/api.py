@@ -1,0 +1,465 @@
+"""The :class:`ExplorationEngine` facade.
+
+The engine supersedes :func:`repro.analysis.explorer.explore` as the
+default way to exhaust failure-free state spaces: same graph, same
+semantics, plus worker-pool parallelism, fingerprint-based visited sets,
+disk checkpoints with resume, and a unified :class:`~repro.engine.budget.Budget`
+(states / transitions / wall-clock deadline) in place of the bare
+``max_states`` int.  ``explore()`` itself remains as a thin wrapper over
+a one-worker engine, so nothing downstream had to change.
+
+Identical-graph guarantee
+-------------------------
+
+For a run that completes (no budget raise), the engine returns a
+:class:`~repro.analysis.explorer.StateGraph` **identical to the
+sequential one, including discovery order**, at every worker count.
+Why: breadth-first search over a deterministic view is a pure function
+of the root once three choices are fixed — the expansion order of the
+frontier, the successor order within an expansion, and the dedup
+relation.  The engine fixes all three identically in both drivers:
+
+* the frontier is FIFO, and the parallel driver *merges* worker results
+  in exact frontier order (workers only precompute expansions; the
+  single-threaded merge loop is the one that discovers states), so the
+  concatenation of rounds replays the sequential queue;
+* successor order is ``view.successors`` order, computed per state
+  either way;
+* dedup is "first discovery wins", applied in merge order.
+
+Parallelism therefore changes *where* ``successors()`` runs, never
+*what* the search sees.  The only caveat is dedup by digest (used by the
+parallel driver and opt-in sequentially): a fingerprint collision would
+merge two distinct states.  The default 16-byte digests make that
+probability ~``n^2/2^129``; collision-audit mode
+(:class:`~repro.engine.fingerprint.FingerprintIndex`) upgrades the
+guarantee to a checked one.  Interrupted runs may differ from a
+sequential interrupt in *which* prefix they explored, but resuming any
+checkpoint converges to the same completed graph.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable, Hashable
+
+from ..analysis.explorer import StateGraph, StateSet
+from ..analysis.view import DeterministicSystemView
+from ..obs.events import CHECKPOINT_SAVED, STATE_EXPLORED, WORKER_ROUND
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.sinks import NULL_TRACER, Tracer
+from .budget import DEFAULT_BUDGET, Budget, BudgetExhausted, Deadline
+from .checkpoint import (
+    Checkpoint,
+    discard_checkpoint,
+    find_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .fingerprint import DIGEST_SIZE, FingerprintIndex, StateIndex, fingerprint, shard_of
+from .parallel import (
+    PRUNED,
+    expand_batch,
+    expand_batches_inline,
+    worker_pool,
+)
+
+#: Sequential deadline checks happen every this many expansions.
+_DEADLINE_STRIDE = 512
+
+
+class _Exhausted(Exception):
+    """Internal signal: a budget limit was hit (frontier already repaired)."""
+
+    def __init__(self, resource: str, limit: float) -> None:
+        self.resource = resource
+        self.limit = limit
+
+
+class _Run:
+    """Mutable working state of one exploration."""
+
+    __slots__ = (
+        "view",
+        "root",
+        "root_digest",
+        "prune",
+        "tracer",
+        "tracing",
+        "metrics",
+        "index",
+        "order",
+        "edges",
+        "frontier",
+        "transitions",
+        "expanded",
+        "rounds",
+        "since_checkpoint",
+        "resumed",
+        "started",
+        "elapsed_prior",
+        "deadline",
+    )
+
+    def elapsed(self) -> float:
+        return self.elapsed_prior + (time.monotonic() - self.started)
+
+
+class ExplorationEngine:
+    """Parallel, checkpointed, budgeted exploration of failure-free graphs.
+
+    Parameters
+    ----------
+    workers:
+        Expansion processes.  ``1`` (the default) runs in-process; so
+        does any value when the platform lacks the ``fork`` start method
+        (the system under analysis is not picklable, so workers must
+        inherit it — see :mod:`repro.engine.parallel`).
+    budget:
+        The :class:`Budget`; defaults to the explorer's historical
+        ``Budget(max_states=200_000)``.
+    checkpoint_dir:
+        When set, the engine snapshots frontier + visited set + edges
+        into this directory every ``checkpoint_interval`` expansions and
+        on budget exhaustion; files are named by the root state's digest
+        and deleted when their exploration completes.
+    resume:
+        When true (and ``checkpoint_dir`` holds a checkpoint for this
+        root), continue from the snapshot instead of starting over.
+    fingerprints:
+        ``"auto"`` (digests for parallel runs, full states
+        sequentially), or a bool to force either visited-set
+        representation.  Parallel runs always shard by digest.
+    audit:
+        Collision-audit mode: keep full states per digest and raise
+        :class:`~repro.engine.fingerprint.FingerprintCollision` if two
+        unequal states ever hash alike.  Implies digest dedup.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        budget: Budget | None = None,
+        *,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_interval: int = 50_000,
+        resume: bool = False,
+        fingerprints: bool | str = "auto",
+        audit: bool = False,
+        digest_size: int = DIGEST_SIZE,
+        tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        self.workers = workers
+        self.budget = DEFAULT_BUDGET if budget is None else budget
+        self.checkpoint_dir = None if checkpoint_dir is None else Path(checkpoint_dir)
+        self.checkpoint_interval = checkpoint_interval
+        self.resume = resume
+        self.fingerprints = fingerprints
+        self.audit = audit
+        self.digest_size = digest_size
+        self.tracer = tracer
+        self.metrics = metrics
+
+    # -- public API -----------------------------------------------------------
+
+    def explore(
+        self,
+        view: DeterministicSystemView,
+        root: Hashable,
+        prune: Callable[[Hashable], bool] | None = None,
+        *,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> StateGraph:
+        """Exhaust the failure-free graph reachable from ``root``.
+
+        Raises :class:`~repro.engine.budget.BudgetExhausted` (an
+        :class:`~repro.analysis.explorer.ExplorationBudget`) when a
+        budget limit is hit, with progress stats and — when
+        checkpointing is on — the snapshot to resume from.
+        """
+        tracer = self.tracer if tracer is None else tracer
+        metrics = self.metrics if metrics is None else metrics
+        run = self._start_run(view, root, prune, tracer, metrics)
+        try:
+            try:
+                if self.workers > 1:
+                    self._drive_parallel(run)
+                else:
+                    self._drive_sequential(run)
+            except _Exhausted as signal:
+                path = self._write_checkpoint(run)
+                if metrics.enabled:
+                    metrics.counter("explore.budget_exhausted").inc()
+                    metrics.counter("engine.budget_exhausted").inc()
+                raise BudgetExhausted(
+                    resource=signal.resource,
+                    limit=signal.limit,
+                    states=len(run.order),
+                    transitions=run.transitions,
+                    elapsed_seconds=run.elapsed(),
+                    checkpoint=path,
+                ) from None
+        finally:
+            self._publish(run)
+        if self.checkpoint_dir is not None:
+            discard_checkpoint(self.checkpoint_dir, run.root_digest)
+        return StateGraph(root=root, states=StateSet(run.order), edges=run.edges)
+
+    # -- run setup ------------------------------------------------------------
+
+    def _make_index(self):
+        if self.audit:
+            return FingerprintIndex(self.digest_size, audit=True)
+        if self.fingerprints is True or (
+            self.fingerprints == "auto" and self.workers > 1
+        ):
+            return FingerprintIndex(self.digest_size)
+        return StateIndex(self.digest_size)
+
+    def _start_run(self, view, root, prune, tracer, metrics) -> _Run:
+        run = _Run()
+        run.view = view
+        run.root = root
+        run.root_digest = fingerprint(root, self.digest_size)
+        run.prune = prune
+        run.tracer = tracer
+        run.tracing = tracer.enabled
+        run.metrics = metrics
+        run.index = self._make_index()
+        run.transitions = 0
+        run.expanded = 0
+        run.rounds = 0
+        run.since_checkpoint = 0
+        run.resumed = False
+        run.elapsed_prior = 0.0
+        checkpoint = self._load_resumable(run)
+        if checkpoint is not None:
+            run.order = checkpoint.order
+            run.edges = checkpoint.edges
+            run.frontier = deque((state, None) for state in checkpoint.frontier)
+            run.transitions = checkpoint.transitions
+            run.elapsed_prior = checkpoint.elapsed_seconds
+            run.resumed = True
+            if isinstance(run.index, StateIndex):
+                run.index.add_states(run.order)
+            else:
+                for state in run.order:
+                    run.index.add(state)
+            if metrics.enabled:
+                metrics.counter("engine.resumes").inc()
+        else:
+            run.order = [root]
+            run.edges = {}
+            run.frontier = deque([(root, run.index.add(root, run.root_digest))])
+        run.started = time.monotonic()
+        run.deadline = Deadline(
+            self.budget.deadline_seconds, already_elapsed=run.elapsed_prior
+        )
+        return run
+
+    def _load_resumable(self, run: _Run) -> Checkpoint | None:
+        if not self.resume or self.checkpoint_dir is None:
+            return None
+        path = find_checkpoint(self.checkpoint_dir, run.root_digest)
+        if path is None:
+            return None
+        return load_checkpoint(path)
+
+    # -- drivers --------------------------------------------------------------
+
+    def _drive_sequential(self, run: _Run) -> None:
+        budget = self.budget
+        deadline_enabled = run.deadline.enabled
+        while run.frontier:
+            if (
+                deadline_enabled
+                and run.expanded % _DEADLINE_STRIDE == 0
+                and run.deadline.expired()
+            ):
+                raise _Exhausted("deadline", budget.deadline_seconds)
+            state, digest = run.frontier.popleft()
+            if run.prune is not None and run.prune(state):
+                self._commit_pruned(run, state)
+            else:
+                self._commit(run, state, digest, run.view.successors(state), None)
+            self._maybe_checkpoint(run)
+
+    def _drive_parallel(self, run: _Run) -> None:
+        budget = self.budget
+        pool = worker_pool(self.workers, run.view, run.prune, self.digest_size)
+        if pool is None and run.metrics.enabled:
+            run.metrics.counter("engine.inprocess_fallbacks").inc()
+        try:
+            while run.frontier:
+                if run.deadline.expired():
+                    raise _Exhausted("deadline", budget.deadline_seconds)
+                items = [
+                    (state, digest if digest is not None else run.index.digest(state))
+                    for state, digest in run.frontier
+                ]
+                run.frontier.clear()
+                buckets: list[list] = [[] for _ in range(self.workers)]
+                for entry in items:
+                    buckets[shard_of(entry[1], self.workers)].append(entry)
+                occupied = [(k, bucket) for k, bucket in enumerate(buckets) if bucket]
+                batches = [[state for state, _ in bucket] for _, bucket in occupied]
+                if pool is not None:
+                    results = pool.map(expand_batch, batches, chunksize=1)
+                else:
+                    results = expand_batches_inline(
+                        batches, run.view, run.prune, self.digest_size
+                    )
+                queues = {}
+                for (shard, bucket), result in zip(occupied, results):
+                    queues[shard] = deque(result)
+                    if run.metrics.enabled:
+                        run.metrics.counter(f"engine.worker{shard}.expanded").inc(
+                            len(bucket)
+                        )
+                        run.metrics.counter(f"engine.worker{shard}.transitions").inc(
+                            sum(len(r) for r in result if r != PRUNED)
+                        )
+                # Merge in exact frontier order: this loop — not the
+                # workers — is where states are discovered, which is what
+                # keeps the graph identical to the sequential one.
+                position = 0
+                try:
+                    for position, (state, digest) in enumerate(items):
+                        result = queues[shard_of(digest, self.workers)].popleft()
+                        if result == PRUNED:
+                            self._commit_pruned(run, state)
+                            continue
+                        out = [(task, action, succ) for task, action, succ, _ in result]
+                        digests = [entry[3] for entry in result]
+                        self._commit(run, state, digest, out, digests)
+                except _Exhausted:
+                    # _commit repaired the frontier as [state, *partial-adds,
+                    # *earlier-discoveries]; slot the round's unmerged tail in
+                    # right after the offending state to preserve BFS order.
+                    state_entry = run.frontier.popleft()
+                    run.frontier.extendleft(reversed(items[position + 1 :]))
+                    run.frontier.appendleft(state_entry)
+                    raise
+                run.rounds += 1
+                if run.tracing:
+                    run.tracer.emit(
+                        WORKER_ROUND,
+                        round=run.rounds,
+                        expanded=len(items),
+                        shards=len(occupied),
+                        frontier=len(run.frontier),
+                    )
+                self._maybe_checkpoint(run)
+        finally:
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+
+    # -- the single merge step ------------------------------------------------
+
+    def _commit_pruned(self, run: _Run, state) -> None:
+        run.edges[state] = []
+        run.expanded += 1
+        run.since_checkpoint += 1
+        if run.tracing:
+            run.tracer.emit(STATE_EXPLORED, edges=0, pruned=True)
+
+    def _commit(self, run: _Run, state, digest, out, succ_digests) -> None:
+        """Discover ``out``'s successors and record the expansion.
+
+        On a budget breach the method leaves the run in the documented
+        checkpoint-consistent shape — the offending state is requeued at
+        the frontier's head (its edges entry withheld) with any
+        partially-added successors behind it — then signals the driver.
+        """
+        budget = self.budget
+        if (
+            budget.max_transitions is not None
+            and run.transitions + len(out) > budget.max_transitions
+        ):
+            run.frontier.appendleft((state, digest))
+            raise _Exhausted("transitions", budget.max_transitions)
+        added = []
+        for position, (_, _, successor) in enumerate(out):
+            known, succ_digest = run.index.check(
+                successor, succ_digests[position] if succ_digests else None
+            )
+            if known:
+                continue
+            if budget.max_states is not None and len(run.index) >= budget.max_states:
+                run.frontier.extend(added)
+                run.frontier.appendleft((state, digest))
+                raise _Exhausted("states", budget.max_states)
+            succ_digest = run.index.add(successor, succ_digest)
+            run.order.append(successor)
+            added.append((successor, succ_digest))
+        run.frontier.extend(added)
+        run.edges[state] = out
+        run.transitions += len(out)
+        run.expanded += 1
+        run.since_checkpoint += 1
+        if run.tracing:
+            run.tracer.emit(
+                STATE_EXPLORED, edges=len(out), frontier=len(run.frontier)
+            )
+
+    # -- checkpointing --------------------------------------------------------
+
+    def _maybe_checkpoint(self, run: _Run) -> None:
+        if (
+            self.checkpoint_dir is not None
+            and run.since_checkpoint >= self.checkpoint_interval
+        ):
+            self._write_checkpoint(run)
+
+    def _write_checkpoint(self, run: _Run) -> Path | None:
+        if self.checkpoint_dir is None:
+            return None
+        path = save_checkpoint(
+            self.checkpoint_dir,
+            Checkpoint(
+                root=run.root,
+                root_digest=run.root_digest,
+                order=run.order,
+                edges=run.edges,
+                frontier=[state for state, _ in run.frontier],
+                transitions=run.transitions,
+                elapsed_seconds=run.elapsed(),
+                digest_size=self.digest_size,
+                workers=self.workers,
+            ),
+        )
+        run.since_checkpoint = 0
+        if run.metrics.enabled:
+            run.metrics.counter("engine.checkpoints_written").inc()
+        if run.tracing:
+            run.tracer.emit(
+                CHECKPOINT_SAVED, states=len(run.order), path=str(path)
+            )
+        return path
+
+    # -- metrics --------------------------------------------------------------
+
+    def _publish(self, run: _Run) -> None:
+        metrics = run.metrics
+        if not metrics.enabled:
+            return
+        metrics.counter("explore.runs").inc()
+        metrics.counter("explore.states").inc(len(run.order))
+        metrics.counter("explore.transitions").inc(run.transitions)
+        metrics.gauge("explore.last_run_states").set(len(run.order))
+        metrics.counter("engine.runs").inc()
+        metrics.counter("engine.expanded").inc(run.expanded)
+        metrics.gauge("engine.workers").set(self.workers)
+        if run.rounds:
+            metrics.counter("engine.rounds").inc(run.rounds)
+        if run.resumed:
+            metrics.gauge("engine.resumed_states").set(len(run.order))

@@ -1,0 +1,135 @@
+"""Exploration snapshots: write, load, locate, and retire checkpoints.
+
+A checkpoint captures everything needed to continue a breadth-first
+exploration exactly where it stopped:
+
+* ``order``    — every discovered state, in discovery order (this *is*
+  the visited set; the digest set is rebuilt from it on load);
+* ``edges``    — the expansions committed so far (``state -> [(task,
+  action, successor), ...]``);
+* ``frontier`` — discovered-but-not-expanded states, in expansion order;
+* ``transitions`` / ``elapsed_seconds`` — progress counters, so resumed
+  runs keep honest budgets and reports.
+
+The invariant linking them (maintained by the engine even when a budget
+raise interrupts a half-merged expansion): every state is in ``order``;
+a state is either a key of ``edges`` or queued in ``frontier``; and
+every successor referenced by ``edges`` is in ``order``.  Resuming is
+therefore just "rebuild the visited set, continue the loop".
+
+Files are written atomically (temp file + ``os.replace``) and named by
+the digest of the exploration's **root** state, so a pipeline that runs
+several explorations against one checkpoint directory resumes exactly
+the interrupted one and starts the others fresh.  A checkpoint is
+deleted when its exploration completes.
+
+The payload is a pickle (states contain arbitrary user values, and every
+state already crossed a pickle boundary if workers were involved),
+wrapped in a tagged dict so format or version mismatches fail loudly via
+:class:`CheckpointError` rather than as attribute errors downstream.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Hashable
+
+from .fingerprint import DIGEST_SIZE, fingerprint
+
+CHECKPOINT_FORMAT = "repro-engine-checkpoint"
+CHECKPOINT_VERSION = 1
+CHECKPOINT_SUFFIX = ".ckpt"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, malformed, or from another format."""
+
+
+@dataclass
+class Checkpoint:
+    """One resumable snapshot of an in-progress exploration."""
+
+    root: Hashable
+    root_digest: bytes
+    order: list
+    edges: dict
+    frontier: list
+    transitions: int
+    elapsed_seconds: float
+    digest_size: int = DIGEST_SIZE
+    workers: int = 1
+    meta: dict = field(default_factory=dict)
+
+
+def root_digest(root: Hashable, digest_size: int = DIGEST_SIZE) -> bytes:
+    """The digest identifying the exploration rooted at ``root``."""
+    return fingerprint(root, digest_size)
+
+
+def checkpoint_path(directory: str | os.PathLike, digest: bytes) -> Path:
+    """The canonical checkpoint file for a root digest."""
+    return Path(directory) / f"engine-{digest.hex()}{CHECKPOINT_SUFFIX}"
+
+
+def save_checkpoint(directory: str | os.PathLike, checkpoint: Checkpoint) -> Path:
+    """Atomically write ``checkpoint`` into ``directory``; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = checkpoint_path(directory, checkpoint.root_digest)
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "checkpoint": checkpoint,
+    }
+    temporary = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+    try:
+        with open(temporary, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(temporary, path)
+    finally:
+        if temporary.exists():  # pragma: no cover - failed write cleanup
+            temporary.unlink()
+    return path
+
+
+def load_checkpoint(path: str | os.PathLike) -> Checkpoint:
+    """Load and validate a checkpoint file."""
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except FileNotFoundError:
+        raise CheckpointError(f"no checkpoint at {path}") from None
+    except (pickle.UnpicklingError, EOFError, AttributeError) as error:
+        raise CheckpointError(f"unreadable checkpoint {path}: {error}") from error
+    if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(f"{path} is not a {CHECKPOINT_FORMAT} file")
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path} has checkpoint version {payload.get('version')!r}, "
+            f"this engine reads version {CHECKPOINT_VERSION}"
+        )
+    checkpoint = payload["checkpoint"]
+    if not isinstance(checkpoint, Checkpoint):  # pragma: no cover - corrupt payload
+        raise CheckpointError(f"{path} payload is not a Checkpoint")
+    return checkpoint
+
+
+def find_checkpoint(
+    directory: str | os.PathLike, digest: bytes
+) -> Path | None:
+    """The checkpoint file for ``digest`` under ``directory``, if present."""
+    path = checkpoint_path(directory, digest)
+    return path if path.exists() else None
+
+
+def discard_checkpoint(directory: str | os.PathLike, digest: bytes) -> None:
+    """Remove a completed exploration's checkpoint, if any."""
+    path = checkpoint_path(directory, digest)
+    try:
+        path.unlink()
+    except FileNotFoundError:
+        pass

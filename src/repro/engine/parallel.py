@@ -1,0 +1,113 @@
+"""The multiprocessing substrate of the parallel engine.
+
+The engine parallelizes the *expensive* half of breadth-first search —
+computing ``view.successors(state)`` and the successor digests — while
+the coordinator keeps the cheap half (digest-set membership, graph
+assembly) single-threaded, which is what makes the result provably
+identical to the sequential graph (see :mod:`repro.engine.api`).
+
+Workers are plain ``multiprocessing`` pool processes created with the
+**fork** start method.  Fork is a requirement, not a preference: systems
+under analysis close over local functions (service ``delta`` closures)
+and are not picklable, so the only way a worker can hold the
+:class:`~repro.analysis.view.DeterministicSystemView` is by inheriting
+the parent's memory image.  :func:`worker_pool` returns ``None`` when
+the platform cannot fork (or when one worker was requested), and the
+engine falls back to in-process execution — same algorithm, same graph,
+no processes.
+
+States, tasks, and actions *are* picklable (plain immutable values by
+the model's design), which is all that crosses the pipe: batches of
+frontier states go out, ``(task, action, successor, digest)`` expansion
+lists come back.  Frontier states are sharded to batches by
+:func:`~repro.engine.fingerprint.shard_of` over their digest, so a
+state's owning worker is a pure function of its value — the property
+that keeps per-worker caches coherent across rounds.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Hashable, Sequence
+
+from .fingerprint import fingerprint
+
+# Worker-process globals, installed by the pool initializer.  Under the
+# fork start method these are inherited references, never pickled.
+_VIEW = None
+_PRUNE = None
+_DIGEST_SIZE = 16
+
+#: Marker returned for a pruned state instead of its successor list.
+PRUNED = "__pruned__"
+
+
+def _initialize_worker(view, prune, digest_size) -> None:
+    global _VIEW, _PRUNE, _DIGEST_SIZE
+    _VIEW = view
+    _PRUNE = prune
+    _DIGEST_SIZE = digest_size
+
+
+def expand_batch(states: Sequence[Hashable]) -> list:
+    """Expand one shard's batch of frontier states.
+
+    For each state returns either :data:`PRUNED` or the list of
+    ``(task, action, successor, successor_digest)`` tuples.  Digests are
+    computed worker-side so the coordinator's merge loop never encodes a
+    state — fingerprinting parallelizes with expansion.
+    """
+    view = _VIEW
+    prune = _PRUNE
+    size = _DIGEST_SIZE
+    results = []
+    for state in states:
+        if prune is not None and prune(state):
+            results.append(PRUNED)
+            continue
+        results.append(
+            [
+                (task, action, successor, fingerprint(successor, size))
+                for task, action, successor in view.successors(state)
+            ]
+        )
+    return results
+
+
+def fork_available() -> bool:
+    """True when the platform supports the fork start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def worker_pool(
+    workers: int,
+    view,
+    prune: Callable[[Hashable], bool] | None,
+    digest_size: int,
+):
+    """A fork-based pool of ``workers`` expansion processes, or ``None``.
+
+    ``None`` means "run in-process": requested one worker, or the
+    platform lacks fork (the unpicklable view cannot reach a spawned
+    child).  Callers must ``terminate()``/``join()`` the pool when done;
+    the engine wraps it in a ``try/finally``.
+    """
+    if workers <= 1 or not fork_available():
+        return None
+    context = multiprocessing.get_context("fork")
+    return context.Pool(
+        processes=workers,
+        initializer=_initialize_worker,
+        initargs=(view, prune, digest_size),
+    )
+
+
+def expand_batches_inline(
+    batches: Sequence[Sequence[Hashable]],
+    view,
+    prune: Callable[[Hashable], bool] | None,
+    digest_size: int,
+) -> list[list]:
+    """The in-process fallback: expand every batch in the caller."""
+    _initialize_worker(view, prune, digest_size)
+    return [expand_batch(batch) for batch in batches]

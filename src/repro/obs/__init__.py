@@ -26,6 +26,7 @@ that a cycle.
 
 from .events import (
     ACTION_FIRED,
+    CHECKPOINT_SAVED,
     FAILURE_INJECTED,
     HOOK_VERDICT,
     KINDS,
@@ -37,6 +38,7 @@ from .events import (
     STATE_EXPLORED,
     TASK_CHOSEN,
     VALENCE_VERDICT,
+    WORKER_ROUND,
     TraceEvent,
     decode_value,
     encode_value,
@@ -93,6 +95,7 @@ def __getattr__(name: str):
 
 __all__ = [
     "ACTION_FIRED",
+    "CHECKPOINT_SAVED",
     "Counter",
     "FAILURE_INJECTED",
     "Gauge",
@@ -118,6 +121,7 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "VALENCE_VERDICT",
+    "WORKER_ROUND",
     "current_tracer",
     "decode_value",
     "default_registry",

@@ -45,6 +45,8 @@ FAILURE_INJECTED = "failure_injected"
 VALENCE_VERDICT = "valence_verdict"
 HOOK_VERDICT = "hook_verdict"
 PHASE = "phase"
+WORKER_ROUND = "worker_round"  # one frontier-exchange round of the parallel engine
+CHECKPOINT_SAVED = "checkpoint_saved"  # the engine snapshotted its progress to disk
 
 KINDS = frozenset(
     {
@@ -59,6 +61,8 @@ KINDS = frozenset(
         VALENCE_VERDICT,
         HOOK_VERDICT,
         PHASE,
+        WORKER_ROUND,
+        CHECKPOINT_SAVED,
     }
 )
 

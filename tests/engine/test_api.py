@@ -1,0 +1,219 @@
+"""End-to-end tests of the ExplorationEngine facade.
+
+The load-bearing guarantees under test:
+
+* at any worker count, a completed run produces a StateGraph identical
+  to the sequential explorer's — same states *in the same discovery
+  order*, same edges;
+* budget exhaustion raises BudgetExhausted with the exact legacy
+  semantics (`len(states) == max_states` at raise time) plus progress;
+* an interrupted checkpointed run resumes to the same completed graph
+  (state set and edges) and retires its checkpoint.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import DeterministicSystemView, explore
+from repro.engine import (
+    Budget,
+    BudgetExhausted,
+    ExplorationEngine,
+    FingerprintIndex,
+    find_checkpoint,
+    fingerprint,
+)
+from repro.obs import MetricsRegistry
+from repro.protocols import delegation_consensus_system, tob_delegation_system
+
+
+@pytest.fixture(scope="module")
+def instance():
+    system = delegation_consensus_system(3, resilience=1)
+    view = DeterministicSystemView(system)
+    root = system.initialization({0: 0, 1: 1, 2: 0}).final_state
+    return view, root
+
+
+@pytest.fixture(scope="module")
+def sequential_graph(instance):
+    view, root = instance
+    return explore(view, root, max_states=50_000)
+
+
+class TestSequentialEquivalence:
+    def test_wrapper_and_engine_agree(self, instance, sequential_graph):
+        view, root = instance
+        graph = ExplorationEngine(workers=1, budget=Budget()).explore(view, root)
+        assert list(graph.states) == list(sequential_graph.states)
+        assert graph.edges == sequential_graph.edges
+
+    def test_forced_fingerprints_agree(self, instance, sequential_graph):
+        view, root = instance
+        engine = ExplorationEngine(workers=1, budget=Budget(), fingerprints=True)
+        graph = engine.explore(view, root)
+        assert list(graph.states) == list(sequential_graph.states)
+        assert graph.edges == sequential_graph.edges
+
+    def test_audit_mode_clean_run(self, instance, sequential_graph):
+        view, root = instance
+        engine = ExplorationEngine(workers=1, budget=Budget(), audit=True)
+        graph = engine.explore(view, root)
+        assert graph.states == sequential_graph.states
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_identical_graph_including_order(
+        self, instance, sequential_graph, workers
+    ):
+        view, root = instance
+        graph = ExplorationEngine(workers=workers, budget=Budget()).explore(view, root)
+        assert list(graph.states) == list(sequential_graph.states)
+        assert graph.edges == sequential_graph.edges
+        assert graph.edge_count() == sequential_graph.edge_count()
+
+    def test_prune_respected_in_parallel(self, instance):
+        view, root = instance
+
+        def decided(state):
+            return bool(view.decisions(state))
+
+        sequential = explore(view, root, max_states=50_000, prune=decided)
+        parallel = ExplorationEngine(workers=2, budget=Budget()).explore(
+            view, root, prune=decided
+        )
+        assert list(parallel.states) == list(sequential.states)
+        assert parallel.edges == sequential.edges
+
+    def test_worker_metrics_published(self, instance):
+        view, root = instance
+        metrics = MetricsRegistry()
+        ExplorationEngine(workers=2, budget=Budget(), metrics=metrics).explore(
+            view, root
+        )
+        counters = metrics.snapshot()["counters"]
+        assert counters["engine.runs"] == 1
+        assert counters["explore.states"] == counters["engine.expanded"]
+        per_worker = [
+            value
+            for name, value in counters.items()
+            if name.startswith("engine.worker") and name.endswith(".expanded")
+        ]
+        assert sum(per_worker) == counters["engine.expanded"]
+
+
+class TestBudgets:
+    def test_states_budget_matches_legacy_count(self, instance):
+        view, root = instance
+        with pytest.raises(BudgetExhausted) as info:
+            ExplorationEngine(workers=1, budget=Budget(max_states=50)).explore(
+                view, root
+            )
+        assert info.value.states == 50  # the CLI prints exactly this number
+
+    def test_transitions_budget(self, instance):
+        view, root = instance
+        with pytest.raises(BudgetExhausted) as info:
+            ExplorationEngine(
+                workers=1, budget=Budget(max_transitions=100)
+            ).explore(view, root)
+        assert info.value.resource == "transitions"
+        assert info.value.transitions <= 100
+
+    def test_deadline_budget(self, instance):
+        view, root = instance
+        with pytest.raises(BudgetExhausted) as info:
+            ExplorationEngine(
+                workers=1, budget=Budget(deadline_seconds=1e-9)
+            ).explore(view, root)
+        assert info.value.resource == "deadline"
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ExplorationEngine(workers=0)
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_interrupt_then_resume_reaches_full_graph(
+        self, instance, sequential_graph, tmp_path, workers
+    ):
+        view, root = instance
+        directory = tmp_path / f"ckpt-{workers}"
+        with pytest.raises(BudgetExhausted) as info:
+            ExplorationEngine(
+                workers=workers,
+                budget=Budget(max_states=60),
+                checkpoint_dir=directory,
+            ).explore(view, root)
+        assert info.value.checkpoint is not None
+        assert find_checkpoint(directory, fingerprint(root)) is not None
+        resumed = ExplorationEngine(
+            workers=workers, budget=Budget(), checkpoint_dir=directory, resume=True
+        ).explore(view, root)
+        assert set(resumed.states) == set(sequential_graph.states)
+        assert resumed.edges == sequential_graph.edges
+        # The completed exploration retires its checkpoint.
+        assert find_checkpoint(directory, fingerprint(root)) is None
+
+    def test_resume_without_checkpoint_starts_fresh(
+        self, instance, sequential_graph, tmp_path
+    ):
+        view, root = instance
+        graph = ExplorationEngine(
+            workers=1, budget=Budget(), checkpoint_dir=tmp_path, resume=True
+        ).explore(view, root)
+        assert list(graph.states) == list(sequential_graph.states)
+
+    def test_periodic_checkpoints_written(self, instance, tmp_path):
+        view, root = instance
+        metrics = MetricsRegistry()
+        ExplorationEngine(
+            workers=1,
+            budget=Budget(),
+            checkpoint_dir=tmp_path,
+            checkpoint_interval=25,
+            metrics=metrics,
+        ).explore(view, root)
+        counters = metrics.snapshot()["counters"]
+        assert counters["engine.checkpoints_written"] >= 1
+        # ... and still retired at the end.
+        assert find_checkpoint(tmp_path, fingerprint(root)) is None
+
+    def test_resume_metrics(self, instance, tmp_path):
+        view, root = instance
+        with pytest.raises(BudgetExhausted):
+            ExplorationEngine(
+                workers=1, budget=Budget(max_states=60), checkpoint_dir=tmp_path
+            ).explore(view, root)
+        metrics = MetricsRegistry()
+        ExplorationEngine(
+            workers=1,
+            budget=Budget(),
+            checkpoint_dir=tmp_path,
+            resume=True,
+            metrics=metrics,
+        ).explore(view, root)
+        assert metrics.snapshot()["counters"]["engine.resumes"] == 1
+
+
+class TestMultiRootCheckpointDirectory:
+    def test_only_the_interrupted_root_resumes(self, tmp_path):
+        system = tob_delegation_system(2, resilience=0)
+        view = DeterministicSystemView(system)
+        root_a = system.initialization({0: 0, 1: 1}).final_state
+        root_b = system.initialization({0: 1, 1: 0}).final_state
+        with pytest.raises(BudgetExhausted):
+            ExplorationEngine(
+                workers=1, budget=Budget(max_states=40), checkpoint_dir=tmp_path
+            ).explore(view, root_a)
+        assert find_checkpoint(tmp_path, fingerprint(root_a)) is not None
+        assert find_checkpoint(tmp_path, fingerprint(root_b)) is None
+        # Exploring the other root in the same directory starts fresh and
+        # does not disturb root_a's snapshot.
+        ExplorationEngine(
+            workers=1, budget=Budget(), checkpoint_dir=tmp_path, resume=True
+        ).explore(view, root_b)
+        assert find_checkpoint(tmp_path, fingerprint(root_a)) is not None

@@ -1,0 +1,86 @@
+"""Unit tests for the unified budget and structured exhaustion."""
+
+import pytest
+
+from repro.analysis import ExplorationBudget
+from repro.engine import Budget, BudgetExhausted, DEFAULT_BUDGET, Deadline
+
+
+class TestBudget:
+    def test_defaults_unlimited_fields(self):
+        budget = Budget()
+        assert budget.unlimited
+        assert budget.max_states is None
+
+    def test_default_budget_matches_legacy_explorer(self):
+        assert DEFAULT_BUDGET.max_states == 200_000
+        assert DEFAULT_BUDGET.max_transitions is None
+        assert DEFAULT_BUDGET.deadline_seconds is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_states": 0},
+            {"max_states": -1},
+            {"max_transitions": 0},
+            {"deadline_seconds": 0.0},
+            {"deadline_seconds": -5.0},
+        ],
+    )
+    def test_rejects_nonpositive_limits(self, kwargs):
+        with pytest.raises(ValueError):
+            Budget(**kwargs)
+
+
+class TestBudgetExhausted:
+    def test_subclasses_exploration_budget(self):
+        # Existing `except ExplorationBudget` handlers (the CLI's
+        # exit-code-2 path) must keep catching engine exhaustion.
+        assert issubclass(BudgetExhausted, ExplorationBudget)
+
+    def test_message_reports_progress(self):
+        error = BudgetExhausted(
+            resource="states",
+            limit=50,
+            states=50,
+            transitions=123,
+            elapsed_seconds=0.25,
+        )
+        message = str(error)
+        assert "50 states" in message
+        assert "123 transitions" in message
+        assert error.states == 50
+        assert error.transitions == 123
+
+    def test_message_includes_checkpoint_path(self):
+        error = BudgetExhausted(
+            resource="deadline",
+            limit=2.0,
+            states=10,
+            transitions=20,
+            elapsed_seconds=2.1,
+            checkpoint="/tmp/engine-abc.ckpt",
+        )
+        assert "checkpoint: /tmp/engine-abc.ckpt" in str(error)
+
+
+class TestDeadline:
+    def test_disabled_never_expires(self):
+        deadline = Deadline(None)
+        assert not deadline.enabled
+        assert not deadline.expired()
+        deadline.check()  # never raises
+
+    def test_expired_after_elapsed(self):
+        deadline = Deadline(0.001, already_elapsed=10.0)
+        assert deadline.enabled
+        assert deadline.expired()
+        with pytest.raises(BudgetExhausted) as info:
+            deadline.check(states=7, transitions=9)
+        assert info.value.resource == "deadline"
+        assert info.value.states == 7
+
+    def test_fresh_deadline_not_expired(self):
+        deadline = Deadline(60.0)
+        assert not deadline.expired()
+        assert deadline.remaining() > 0

@@ -1,0 +1,82 @@
+"""Unit tests for checkpoint persistence."""
+
+import pickle
+
+import pytest
+
+from repro.engine import (
+    Checkpoint,
+    CheckpointError,
+    checkpoint_path,
+    discard_checkpoint,
+    find_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+    fingerprint,
+)
+
+
+def _sample(root="root"):
+    digest = fingerprint(root)
+    return Checkpoint(
+        root=root,
+        root_digest=digest,
+        order=[root, "a", "b"],
+        edges={root: [("t", "act", "a")]},
+        frontier=["a", "b"],
+        transitions=1,
+        elapsed_seconds=0.5,
+    )
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        checkpoint = _sample()
+        path = save_checkpoint(tmp_path, checkpoint)
+        assert path == checkpoint_path(tmp_path, checkpoint.root_digest)
+        loaded = load_checkpoint(path)
+        assert loaded.order == checkpoint.order
+        assert loaded.edges == checkpoint.edges
+        assert loaded.frontier == checkpoint.frontier
+        assert loaded.transitions == checkpoint.transitions
+        assert loaded.root_digest == checkpoint.root_digest
+
+    def test_find_by_root_digest(self, tmp_path):
+        checkpoint = _sample()
+        save_checkpoint(tmp_path, checkpoint)
+        assert find_checkpoint(tmp_path, checkpoint.root_digest) is not None
+        assert find_checkpoint(tmp_path, fingerprint("other")) is None
+
+    def test_discard(self, tmp_path):
+        checkpoint = _sample()
+        save_checkpoint(tmp_path, checkpoint)
+        discard_checkpoint(tmp_path, checkpoint.root_digest)
+        assert find_checkpoint(tmp_path, checkpoint.root_digest) is None
+        # Discarding a missing checkpoint is a no-op.
+        discard_checkpoint(tmp_path, checkpoint.root_digest)
+
+    def test_no_stray_tmp_files(self, tmp_path):
+        save_checkpoint(tmp_path, _sample())
+        names = [p.name for p in tmp_path.iterdir()]
+        assert all(name.endswith(".ckpt") for name in names)
+
+
+class TestValidation:
+    def test_rejects_foreign_pickle(self, tmp_path):
+        path = tmp_path / "bogus.ckpt"
+        path.write_bytes(pickle.dumps({"not": "a checkpoint"}))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_rejects_version_mismatch(self, tmp_path):
+        checkpoint = _sample()
+        path = save_checkpoint(tmp_path, checkpoint)
+        payload = pickle.loads(path.read_bytes())
+        payload["version"] = 999
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "absent.ckpt")

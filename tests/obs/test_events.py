@@ -80,7 +80,9 @@ class TestTraceEvent:
     def test_kinds_registry_contains_all_constants(self):
         assert RUN_START in KINDS
         assert STATE_EXPLORED in KINDS
-        assert len(KINDS) == 11
+        assert "worker_round" in KINDS
+        assert "checkpoint_saved" in KINDS
+        assert len(KINDS) == 13
 
 
 class TestTracerStamping:

@@ -12,6 +12,7 @@ import pytest
 import repro
 import repro.analysis
 import repro.core
+import repro.engine
 import repro.ioa
 import repro.protocols
 import repro.services
@@ -24,6 +25,7 @@ SUBPACKAGES = [
     repro.services,
     repro.system,
     repro.analysis,
+    repro.engine,
     repro.protocols,
 ]
 
@@ -67,7 +69,15 @@ class TestHeadlineSignatures:
             "failure_aware_services",
             "tracer",
             "metrics",
+            "engine",
         ]
+
+    def test_exploration_engine_signature(self):
+        parameters = inspect.signature(
+            repro.engine.ExplorationEngine.__init__
+        ).parameters
+        for name in ("workers", "budget", "checkpoint_dir", "resume", "audit"):
+            assert name in parameters
 
     def test_run_consensus_round_signature(self):
         parameters = inspect.signature(

@@ -54,6 +54,52 @@ class TestRefute:
         ]
 
 
+class TestEngineFlags:
+    def test_workers_flag_same_verdict(self, capsys):
+        assert main(["refute", "delegation", "-n", "2", "-f", "0"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["refute", "delegation", "-n", "2", "-f", "0", "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        strip = lambda out: [
+            line for line in out.splitlines() if not line.startswith("Explored")
+        ]
+        assert strip(parallel) == strip(sequential)
+
+    def test_deadline_exhaustion_exits_2(self, capsys):
+        assert main(["refute", "delegation", "--deadline", "1e-9"]) == 2
+        out = capsys.readouterr().out
+        assert "Exploration budget exhausted" in out
+        assert "deadline" in out
+
+    def test_interrupted_run_resumes_to_same_verdict(self, capsys, tmp_path):
+        checkpoints = str(tmp_path / "ckpt")
+        assert main(["refute", "delegation"]) == 0
+        uninterrupted = capsys.readouterr().out
+        # Interrupt: a states budget too small for the Lemma 4 chain.
+        assert (
+            main(
+                [
+                    "refute",
+                    "delegation",
+                    "--max-states",
+                    "50",
+                    "--checkpoint",
+                    checkpoints,
+                ]
+            )
+            == 2
+        )
+        interrupted = capsys.readouterr().out
+        assert "checkpoint:" in interrupted
+        # Resume with the full budget: same verdict as never interrupted.
+        assert main(["refute", "delegation", "--resume", checkpoints]) == 0
+        resumed = capsys.readouterr().out
+        strip = lambda out: [
+            line for line in out.splitlines() if not line.startswith("Explored")
+        ]
+        assert strip(resumed) == strip(uninterrupted)
+
+
 class TestTrace:
     def test_trace_writes_replayable_jsonl(self, capsys, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)
