@@ -1,0 +1,81 @@
+"""E-execution: persistent ``Execution.extend`` stays linear.
+
+``Execution`` used to store its steps as a plain tuple, so every
+``extend`` copied the whole history — building an ``n``-step execution
+was O(n^2), which the long silencing runs of the refutation engine
+(100k-step horizons) and the bounded adversary both hit.  The persistent
+chain representation makes ``extend`` O(1) with structural sharing.
+
+This benchmark is the regression guard: it times ``extend`` loops at two
+sizes and asserts the per-step cost does not grow with the execution
+length (quadratic behavior makes the ratio track ``n``, persistent
+behavior keeps it near 1), and asserts the value semantics the rest of
+the library relies on (steps tuple, final state, equality, prefix
+sharing).  Rows are appended to ``BENCH_execution.json``.
+"""
+
+from time import perf_counter
+
+from conftest import report
+
+from repro.ioa.actions import Action
+from repro.ioa.execution import Execution
+
+SMALL = 10_000
+LARGE = 80_000
+#: Per-step cost at LARGE may be at most this multiple of the per-step
+#: cost at SMALL.  A quadratic extend makes the ratio track LARGE/SMALL
+#: (8x); the persistent representation keeps it near 1.  Generous bound
+#: so CI jitter cannot trip it.
+LINEARITY_BOUND = 3.0
+
+
+def _build(steps: int) -> tuple[Execution, float]:
+    action = Action("tick", ())
+    execution = Execution(start=0)
+    started = perf_counter()
+    for index in range(steps):
+        execution = execution.extend(action, index + 1, None)
+    return execution, perf_counter() - started
+
+
+def test_extend_is_linear(benchmark):
+    small, small_seconds = _build(SMALL)
+    large, large_seconds = benchmark.pedantic(_build, args=(LARGE,), rounds=1)
+
+    assert len(small) == SMALL and len(large) == LARGE
+    assert large.final_state == LARGE
+    per_step_small = small_seconds / SMALL
+    per_step_large = large_seconds / LARGE
+    ratio = per_step_large / per_step_small
+    assert ratio < LINEARITY_BOUND, (
+        f"extend per-step cost grew {ratio:.1f}x from {SMALL} to {LARGE} "
+        "steps — the persistent representation regressed to quadratic"
+    )
+
+    # Value semantics: materialization, equality, and prefix round-trips.
+    materialize_started = perf_counter()
+    steps = large.steps
+    materialize_seconds = perf_counter() - materialize_started
+    assert len(steps) == LARGE and steps[-1].post == LARGE
+    assert large.prefix(SMALL) == small
+    assert small.extend(Action("tock", ()), -1) != small
+
+    report(
+        "execution extend linearity",
+        [
+            {
+                "steps": SMALL,
+                "seconds": round(small_seconds, 4),
+                "us_per_step": round(per_step_small * 1e6, 3),
+            },
+            {
+                "steps": LARGE,
+                "seconds": round(large_seconds, 4),
+                "us_per_step": round(per_step_large * 1e6, 3),
+                "per_step_ratio_vs_small": round(ratio, 3),
+                "materialize_seconds": round(materialize_seconds, 4),
+            },
+        ],
+        artifact="BENCH_execution.json",
+    )

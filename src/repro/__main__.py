@@ -54,6 +54,11 @@ def _build_candidate(name: str, n: int, resilience: int):
     raise SystemExit(f"unknown candidate {name!r}; try: {', '.join(CANDIDATES)}")
 
 
+def _balanced_proposals(system) -> dict:
+    """Alternating 0/1 proposals (the probe/bench convention)."""
+    return {endpoint: index % 2 for index, endpoint in enumerate(system.process_ids)}
+
+
 def _print_exploration_summary(metrics, elapsed: float) -> None:
     counters = metrics.snapshot()["counters"]
     states = counters.get("explore.states", 0)
@@ -71,11 +76,26 @@ def _run_pipeline(args: argparse.Namespace, tracer, metrics):
     exhausted; the metrics registry still holds the work done so far.
     """
     from .analysis import ExplorationBudget, format_verdict, refute_candidate
-    from .engine import Budget, ExplorationEngine
+    from .engine import Budget, ExplorationEngine, ReductionConfig
     from .obs import timed
 
     system = _build_candidate(args.candidate, args.n, args.resilience)
     print(f"Candidate: {args.candidate} (n={args.n}, f={args.resilience})")
+    reduction = ReductionConfig.from_name(getattr(args, "reduction", "none"))
+    if getattr(args, "audit_reduction", False):
+        if not reduction.enabled:
+            raise SystemExit("--audit-reduction requires --reduction other than none")
+        from .engine import audit_reduction
+
+        root = system.initialization(_balanced_proposals(system)).final_state
+        comparison = audit_reduction(
+            system, root, reduction, max_states=args.max_states
+        )
+        print(
+            f"Reduction audit OK: full {comparison.full_states} states -> "
+            f"reduced {comparison.reduced_states} "
+            f"(ratio {comparison.state_ratio:.2f}x), verdicts identical"
+        )
     checkpoint_dir = args.resume if args.resume is not None else args.checkpoint
     engine = ExplorationEngine(
         workers=args.workers,
@@ -103,6 +123,7 @@ def _run_pipeline(args: argparse.Namespace, tracer, metrics):
                 tracer=tracer,
                 metrics=metrics,
                 engine=engine,
+                reduction=reduction if reduction.enabled else None,
             )
         except ExplorationBudget as budget:
             print(f"Exploration budget exhausted: {budget}")
@@ -138,6 +159,37 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def cmd_stats(args: argparse.Namespace) -> int:
     from .obs import MetricsRegistry, NULL_TRACER, render_metrics_table
 
+    if args.compare_reduction:
+        from .engine import ReductionConfig, compare_reduction
+
+        reduction = ReductionConfig.from_name(args.reduction)
+        if not reduction.enabled:
+            reduction = ReductionConfig.from_name("full")
+        system = _build_candidate(args.candidate, args.n, args.resilience)
+        root = system.initialization(_balanced_proposals(system)).final_state
+        comparison = compare_reduction(
+            system, root, reduction, max_states=args.max_states
+        )
+        print(f"Candidate: {args.candidate} (n={args.n}, f={args.resilience})")
+        print(
+            f"Symmetry group: {comparison.group_size} permutations "
+            f"({comparison.stabilizer_size} fixing the balanced inputs)"
+        )
+        print(
+            f"Full:    {comparison.full_states} states / "
+            f"{comparison.full_transitions} transitions"
+        )
+        print(
+            f"Reduced: {comparison.reduced_states} states / "
+            f"{comparison.reduced_transitions} transitions"
+        )
+        print(
+            f"Ratio:   {comparison.state_ratio:.2f}x states, "
+            f"{comparison.transition_ratio:.2f}x transitions "
+            f"(orbit hits {comparison.orbit_hits}, "
+            f"pruned tasks {comparison.pruned_tasks})"
+        )
+        return 0
     metrics = MetricsRegistry()
     _, code = _run_pipeline(args, NULL_TRACER, metrics)
     print()
@@ -266,6 +318,21 @@ def main(argv: list[str] | None = None) -> int:
             default=None,
             help="resume interrupted explorations from DIR (implies --checkpoint DIR)",
         )
+        subparser.add_argument(
+            "--reduction",
+            choices=["none", "symmetry", "por", "full"],
+            default="none",
+            help="state-space reduction: symmetry quotient, ample-set "
+            "partial order, or both (POR is dropped automatically for "
+            "the hook-search stage; see docs/reduction.md)",
+        )
+        subparser.add_argument(
+            "--audit-reduction",
+            action="store_true",
+            help="before the pipeline, explore BOTH the full and reduced "
+            "graphs from a balanced initialization and assert identical "
+            "verdicts (slow; verification mode)",
+        )
 
     refute = subparsers.add_parser("refute", help="run the adversary pipeline")
     add_pipeline_arguments(refute)
@@ -287,6 +354,12 @@ def main(argv: list[str] | None = None) -> int:
         "stats", help="run the adversary pipeline and print metrics"
     )
     add_pipeline_arguments(stats)
+    stats.add_argument(
+        "--compare-reduction",
+        action="store_true",
+        help="skip the pipeline: explore the full and reduced graphs "
+        "from a balanced initialization and print the size ratio",
+    )
     stats.set_defaults(handler=cmd_stats)
 
     kset = subparsers.add_parser("boost-kset", help="Section 4 construction")

@@ -102,6 +102,7 @@ def refute_candidate(
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
     engine=None,
+    reduction=None,
 ) -> Verdict:
     """Run the full Theorem 2/9/10 adversary pipeline against a candidate.
 
@@ -118,8 +119,23 @@ def refute_candidate(
     post-exploration stages (hook search, silencing runs): each stage
     gets a fresh wall-clock allowance of ``deadline_seconds``, matching
     the per-exploration semantics of :class:`repro.engine.Budget`.
+
+    ``reduction`` may be a :class:`repro.engine.ReductionConfig`.  The
+    Lemma 4 chain uses it as given (valence is a pure reachability
+    question, so symmetry and POR are both sound there); the hook-search
+    exploration strips POR — the Fig. 3 walk needs every single-step
+    edge, which ample sets drop — keeping only the symmetry quotient.
     """
     f = default_resilience(system) if resilience is None else resilience
+    if reduction is not None and reduction.enabled:
+        import dataclasses as _dataclasses
+
+        hook_reduction = (
+            _dataclasses.replace(reduction, por=False) if reduction.symmetry else None
+        )
+    else:
+        reduction = None
+        hook_reduction = None
 
     def stage_deadline():
         """A fresh per-stage Deadline from the engine's budget, or None."""
@@ -132,7 +148,12 @@ def refute_candidate(
     if tracer.enabled:
         tracer.emit(PHASE, stage="lemma4", resilience=f)
     lemma4 = lemma4_bivalent_initialization(
-        system, max_states=max_states, tracer=tracer, metrics=metrics, engine=engine
+        system,
+        max_states=max_states,
+        tracer=tracer,
+        metrics=metrics,
+        engine=engine,
+        reduction=reduction,
     )
     if lemma4.bivalent is None:
         # No bivalent initialization: for a correct candidate this is
@@ -173,6 +194,7 @@ def refute_candidate(
         tracer=tracer,
         metrics=metrics,
         engine=engine,
+        reduction=hook_reduction,
     )
     outcome, stats = find_hook(
         analysis, start, tracer=tracer, metrics=metrics, deadline=stage_deadline()

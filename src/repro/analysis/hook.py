@@ -118,7 +118,7 @@ def _bivalent_e_free_search(
                 cursor = previous
             path.reverse()
             return state, path, expansions
-        for task, _, successor in analysis.graph.successors(state):
+        for task, _, successor in analysis.successors_of(state):
             if task == e or successor in seen:
                 continue
             if not analysis.is_bivalent(successor):
@@ -158,7 +158,7 @@ def _locate_hook_along_path(
     target: State | None = None
     while frontier:
         state = frontier.popleft()
-        for task, _, successor in analysis.graph.successors(state):
+        for task, _, successor in analysis.successors_of(state):
             if successor in seen:
                 continue
             seen.add(successor)
@@ -229,6 +229,16 @@ def find_hook(
     :class:`~repro.engine.budget.BudgetExhausted` when the wall-clock
     budget runs out mid-search.
     """
+    reduction = getattr(analysis, "reduction", None)
+    if reduction is not None and getattr(reduction, "por", False):
+        # POR only preserves *reachability* facts (decision sets); the
+        # hook construction needs every single-step edge, which ample
+        # sets deliberately drop.  Symmetry alone is fine: the walk uses
+        # raw steps and canonicalizes valence lookups only.
+        raise ValueError(
+            "hook search requires an analysis without partial-order "
+            "reduction (symmetry-only is supported)"
+        )
     if not analysis.is_bivalent(start):
         raise ValueError("hook search must start from a bivalent state")
     view = analysis.view

@@ -81,10 +81,31 @@ class ValenceAnalysis:
     view: DeterministicSystemView
     graph: StateGraph
     decision_sets: Mapping[State, frozenset]
+    #: The :class:`repro.engine.ReducedView` the graph was explored
+    #: through, or ``None`` for a full exploration.  When set, ``graph``
+    #: holds canonical orbit representatives only, so valence lookups
+    #: canonicalize first (sound: symmetric states have equal valence)
+    #: and consumers that walk *edges* must use :meth:`successors_of`.
+    reduction: object | None = None
 
     def valence(self, state: State) -> Valence:
-        """The valence of ``state`` (must be an explored state)."""
+        """The valence of ``state`` (must be an explored state, up to symmetry)."""
+        if self.reduction is not None:
+            state = self.reduction.canonical(state)
         return classify(self.decision_sets[state])
+
+    def successors_of(self, state: State) -> list:
+        """Successor edges of ``state`` for graph walks (hook search).
+
+        On a full exploration this is the precomputed adjacency.  Under
+        reduction the graph's edges jump between orbit representatives —
+        following them would splice symmetric-but-different executions —
+        so raw single-step semantics are recomputed from the view
+        instead (the walk stays exact; only valence lookups quotient).
+        """
+        if self.reduction is None:
+            return self.graph.successors(state)
+        return self.view.successors(state)
 
     def is_bivalent(self, state: State) -> bool:
         return self.valence(state) is Valence.BIVALENT
@@ -115,6 +136,7 @@ def analyze_valence(
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
     engine=None,
+    reduction=None,
 ) -> ValenceAnalysis:
     """Explore from ``root`` and compute the valence of every state.
 
@@ -122,19 +144,36 @@ def analyze_valence(
     :class:`repro.engine.ExplorationEngine` (workers, deadline,
     checkpointing); by default a one-worker engine bounded by
     ``max_states`` is used, matching :func:`~repro.analysis.explorer.explore`.
+
+    ``reduction`` may be a :class:`repro.engine.ReductionConfig`; the
+    exploration then runs through a
+    :class:`~repro.engine.reduction.ReducedView` (symmetry quotient
+    and/or ample-set POR), and the returned analysis canonicalizes
+    valence lookups.  Both reductions preserve reachable decision sets
+    (see ``docs/reduction.md``), so every valence verdict is unchanged.
     """
     view = DeterministicSystemView(system)
     view.check_failure_free(root)
+    explore_view = view
+    reduced = None
+    if reduction is not None and reduction.enabled:
+        # Lazy: repro.engine.reduction imports this package at load time.
+        from ..engine.reduction import build_reduced_view
+
+        reduced = build_reduced_view(view, root, reduction)
+        explore_view = reduced
     if engine is None:
         graph = explore(
-            view, root, max_states=max_states, tracer=tracer, metrics=metrics
+            explore_view, root, max_states=max_states, tracer=tracer, metrics=metrics
         )
     else:
-        graph = engine.explore(view, root, tracer=tracer, metrics=metrics)
+        graph = engine.explore(explore_view, root, tracer=tracer, metrics=metrics)
     decisions = reachable_decision_sets(graph, view)
     if metrics.enabled:
         metrics.counter("valence.analyses").inc()
-    return ValenceAnalysis(view=view, graph=graph, decision_sets=decisions)
+    return ValenceAnalysis(
+        view=view, graph=graph, decision_sets=decisions, reduction=reduced
+    )
 
 
 @dataclass(frozen=True)
@@ -171,6 +210,7 @@ def lemma4_bivalent_initialization(
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
     engine=None,
+    reduction=None,
 ) -> Lemma4Result:
     """Find a bivalent initialization, per the proof of Lemma 4.
 
@@ -196,6 +236,7 @@ def lemma4_bivalent_initialization(
             tracer=tracer,
             metrics=metrics,
             engine=engine,
+            reduction=reduction,
         )
         valence = analysis.valence(execution.final_state)
         if tracer.enabled:

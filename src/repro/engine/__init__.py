@@ -17,7 +17,11 @@ The engine is the scalable successor of
   in-process fallback when ``workers=1`` or fork is unavailable;
 * :mod:`repro.engine.api`         — the :class:`ExplorationEngine`
   facade the analysis layer and the CLI drive, with a documented
-  guarantee that the produced graph is identical to the sequential one.
+  guarantee that the produced graph is identical to the sequential one;
+* :mod:`repro.engine.reduction`   — symmetry (orbit-quotient) and
+  ample-set partial-order reduction, shrinking the explored graph while
+  preserving the queries the analysis layer asks (see
+  ``docs/reduction.md`` for the soundness argument and limits).
 """
 
 from .api import ExplorationEngine
@@ -38,13 +42,25 @@ from .fingerprint import (
     StateIndex,
     canonical_bytes,
     fingerprint,
+    fingerprint_components,
     shard_of,
 )
 from .parallel import fork_available
+from .reduction import (
+    Canonicalizer,
+    ReducedView,
+    ReductionAuditError,
+    ReductionComparison,
+    ReductionConfig,
+    audit_reduction,
+    build_reduced_view,
+    compare_reduction,
+)
 
 __all__ = [
     "Budget",
     "BudgetExhausted",
+    "Canonicalizer",
     "Checkpoint",
     "CheckpointError",
     "DEFAULT_BUDGET",
@@ -53,12 +69,20 @@ __all__ = [
     "ExplorationEngine",
     "FingerprintCollision",
     "FingerprintIndex",
+    "ReducedView",
+    "ReductionAuditError",
+    "ReductionComparison",
+    "ReductionConfig",
     "StateIndex",
+    "audit_reduction",
+    "build_reduced_view",
     "canonical_bytes",
     "checkpoint_path",
+    "compare_reduction",
     "discard_checkpoint",
     "find_checkpoint",
     "fingerprint",
+    "fingerprint_components",
     "fork_available",
     "load_checkpoint",
     "save_checkpoint",

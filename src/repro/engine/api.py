@@ -60,10 +60,14 @@ from .checkpoint import (
 )
 from .fingerprint import DIGEST_SIZE, FingerprintIndex, StateIndex, fingerprint, shard_of
 from .parallel import (
+    CHUNK_DIGESTS,
+    CHUNK_STATES,
     PRUNED,
-    expand_batch,
-    expand_batches_inline,
-    worker_pool,
+    WINDOW,
+    LocalExpander,
+    start_workers,
+    stop_workers,
+    wait_ready,
 )
 
 #: Sequential deadline checks happen every this many expansions.
@@ -101,6 +105,10 @@ class _Run:
         "started",
         "elapsed_prior",
         "deadline",
+        "action_intern",
+        "phase",
+        "orbit_hits",
+        "pruned_tasks",
     )
 
     def elapsed(self) -> float:
@@ -240,6 +248,10 @@ class ExplorationEngine:
         run.since_checkpoint = 0
         run.resumed = False
         run.elapsed_prior = 0.0
+        run.action_intern = {}
+        run.phase = {}
+        run.orbit_hits = 0
+        run.pruned_tasks = 0
         checkpoint = self._load_resumable(run)
         if checkpoint is not None:
             run.order = checkpoint.order
@@ -278,6 +290,7 @@ class ExplorationEngine:
     def _drive_sequential(self, run: _Run) -> None:
         budget = self.budget
         deadline_enabled = run.deadline.enabled
+        timing = run.metrics.enabled
         while run.frontier:
             if (
                 deadline_enabled
@@ -288,57 +301,106 @@ class ExplorationEngine:
             state, digest = run.frontier.popleft()
             if run.prune is not None and run.prune(state):
                 self._commit_pruned(run, state)
+            elif timing:
+                before = time.perf_counter()
+                out = run.view.successors(state)
+                run.phase["expand_seconds"] = run.phase.get(
+                    "expand_seconds", 0.0
+                ) + (time.perf_counter() - before)
+                self._commit(run, state, digest, out, None)
             else:
                 self._commit(run, state, digest, run.view.successors(state), None)
             self._maybe_checkpoint(run)
 
     def _drive_parallel(self, run: _Run) -> None:
         budget = self.budget
-        pool = worker_pool(self.workers, run.view, run.prune, self.digest_size)
-        if pool is None and run.metrics.enabled:
-            run.metrics.counter("engine.inprocess_fallbacks").inc()
+        workers = self.workers
+        handles = start_workers(
+            workers, run.view, run.prune, self.digest_size, self.audit
+        )
+        local = handles is None
+        if local:
+            if run.metrics.enabled:
+                run.metrics.counter("engine.inprocess_fallbacks").inc()
+            handles = [
+                LocalExpander(run.view, run.prune, self.digest_size, self.audit)
+                for _ in range(workers)
+            ]
+        # Coordinator-side resolution tables for the fingerprint wire
+        # protocol: the interned state per digest (every digest in the
+        # index has an entry — seeded here, maintained by the novel
+        # lists in worker replies), the digests each worker holds (so
+        # frontier entries ship as bare digests after the first time),
+        # and each worker's action table.
+        state_of: dict = {run.root_digest: run.root}
+        if run.resumed:
+            for state in run.order:
+                state_of.setdefault(run.index.digest(state), state)
+        seen_by: list[set] = [set() for _ in range(workers)]
+        actions_of: list[list] = [[] for _ in range(workers)]
+        tasks = run.view.tasks
+        intern_action = run.action_intern
         try:
             while run.frontier:
                 if run.deadline.expired():
                     raise _Exhausted("deadline", budget.deadline_seconds)
-                items = [
-                    (state, digest if digest is not None else run.index.digest(state))
-                    for state, digest in run.frontier
-                ]
+                items = []
+                for state, digest in run.frontier:
+                    if digest is None:
+                        digest = run.index.digest(state)
+                        state_of.setdefault(digest, state)
+                    items.append((state, digest))
                 run.frontier.clear()
-                buckets: list[list] = [[] for _ in range(self.workers)]
-                for entry in items:
-                    buckets[shard_of(entry[1], self.workers)].append(entry)
-                occupied = [(k, bucket) for k, bucket in enumerate(buckets) if bucket]
-                batches = [[state for state, _ in bucket] for _, bucket in occupied]
-                if pool is not None:
-                    results = pool.map(expand_batch, batches, chunksize=1)
-                else:
-                    results = expand_batches_inline(
-                        batches, run.view, run.prune, self.digest_size
-                    )
-                queues = {}
-                for (shard, bucket), result in zip(occupied, results):
-                    queues[shard] = deque(result)
-                    if run.metrics.enabled:
+                assignment, results_by_worker = self._exchange(
+                    run, handles, local, items, state_of, seen_by, actions_of
+                )
+                queues = [deque(rows) for rows in results_by_worker]
+                if run.metrics.enabled:
+                    for shard, rows in enumerate(results_by_worker):
+                        if not rows:
+                            continue
                         run.metrics.counter(f"engine.worker{shard}.expanded").inc(
-                            len(bucket)
+                            len(rows)
                         )
                         run.metrics.counter(f"engine.worker{shard}.transitions").inc(
-                            sum(len(r) for r in result if r != PRUNED)
+                            sum(len(row) for row in rows if row != PRUNED)
                         )
                 # Merge in exact frontier order: this loop — not the
                 # workers — is where states are discovered, which is what
                 # keeps the graph identical to the sequential one.
+                merge_started = time.perf_counter()
                 position = 0
                 try:
                     for position, (state, digest) in enumerate(items):
-                        result = queues[shard_of(digest, self.workers)].popleft()
+                        result = queues[assignment[position]].popleft()
                         if result == PRUNED:
                             self._commit_pruned(run, state)
                             continue
-                        out = [(task, action, succ) for task, action, succ, _ in result]
-                        digests = [entry[3] for entry in result]
+                        worker_actions = actions_of[assignment[position]]
+                        out = []
+                        digests = []
+                        if self.audit:
+                            for task_index, action_index, succ_digest, succ in result:
+                                action = worker_actions[action_index]
+                                out.append(
+                                    (
+                                        tasks[task_index],
+                                        intern_action.setdefault(action, action),
+                                        succ,
+                                    )
+                                )
+                                digests.append(succ_digest)
+                        else:
+                            for task_index, action_index, succ_digest in result:
+                                action = worker_actions[action_index]
+                                out.append(
+                                    (
+                                        tasks[task_index],
+                                        intern_action.setdefault(action, action),
+                                        state_of[succ_digest],
+                                    )
+                                )
+                                digests.append(succ_digest)
                         self._commit(run, state, digest, out, digests)
                 except _Exhausted:
                     # _commit repaired the frontier as [state, *partial-adds,
@@ -348,20 +410,132 @@ class ExplorationEngine:
                     run.frontier.extendleft(reversed(items[position + 1 :]))
                     run.frontier.appendleft(state_entry)
                     raise
+                finally:
+                    run.phase["merge_seconds"] = run.phase.get(
+                        "merge_seconds", 0.0
+                    ) + (time.perf_counter() - merge_started)
                 run.rounds += 1
                 if run.tracing:
                     run.tracer.emit(
                         WORKER_ROUND,
                         round=run.rounds,
                         expanded=len(items),
-                        shards=len(occupied),
+                        shards=sum(1 for rows in results_by_worker if rows),
                         frontier=len(run.frontier),
                     )
                 self._maybe_checkpoint(run)
         finally:
-            if pool is not None:
-                pool.terminate()
-                pool.join()
+            if not local:
+                stop_workers(handles)
+
+    def _exchange(self, run, handles, local, items, state_of, seen_by, actions_of):
+        """Ship one round's frontier and collect every worker reply.
+
+        Returns ``(assignment, results_by_worker)``: the owning worker
+        per item, and each worker's result rows in its items order (so
+        the merge loop can replay global frontier order by popping from
+        per-worker FIFO queues).
+        """
+        workers = len(handles)
+        assignment = []
+        buckets: list[list] = [[] for _ in range(workers)]
+        for state, digest in items:
+            shard = shard_of(digest, workers)
+            assignment.append(shard)
+            buckets[shard].append((state, digest))
+        pending: list[deque] = [deque() for _ in range(workers)]
+        for shard, bucket in enumerate(buckets):
+            known = seen_by[shard]
+            chunk: list = []
+            stateful = False
+            for state, digest in bucket:
+                if digest in known:
+                    entry = digest
+                    entry_stateful = False
+                else:
+                    entry = (digest, state)
+                    entry_stateful = True
+                    known.add(digest)
+                cap = CHUNK_STATES if (stateful or entry_stateful) else CHUNK_DIGESTS
+                if chunk and len(chunk) >= cap:
+                    pending[shard].append((chunk, stateful))
+                    chunk = []
+                    stateful = False
+                chunk.append(entry)
+                stateful = stateful or entry_stateful
+            if chunk:
+                pending[shard].append((chunk, stateful))
+        results_by_worker: list[list] = [[] for _ in range(workers)]
+        outstanding = [0] * workers
+
+        def pump() -> None:
+            # Digest-only chunks ride the pipe buffer (WINDOW in flight);
+            # a state-carrying chunk of unbounded pickle size goes only
+            # to an idle worker whose blocking recv drains the pipe.
+            for shard, handle in enumerate(handles):
+                queue = pending[shard]
+                while queue:
+                    chunk, stateful = queue[0]
+                    if stateful:
+                        if outstanding[shard] > 0:
+                            break
+                    elif outstanding[shard] >= WINDOW:
+                        break
+                    queue.popleft()
+                    before = time.perf_counter()
+                    handle.send(chunk)
+                    run.phase["serialize_seconds"] = run.phase.get(
+                        "serialize_seconds", 0.0
+                    ) + (time.perf_counter() - before)
+                    outstanding[shard] += 1
+
+        pump()
+        while any(outstanding):
+            if local:
+                ready = [shard for shard, count in enumerate(outstanding) if count]
+            else:
+                ready = wait_ready(handles, outstanding)
+            for shard in ready:
+                reply = handles[shard].recv()
+                outstanding[shard] -= 1
+                self._ingest(
+                    run, reply, shard, state_of, seen_by, actions_of, results_by_worker
+                )
+            pump()
+        return assignment, results_by_worker
+
+    def _ingest(
+        self, run, reply, shard, state_of, seen_by, actions_of, results_by_worker
+    ) -> None:
+        """Fold one worker reply into the coordinator tables."""
+        results, novel, new_actions, stats = reply
+        expand_seconds, fingerprint_seconds, send_seconds, orbit_hits, pruned = stats
+        for digest, state in novel:
+            state_of.setdefault(digest, state)
+        known = seen_by[shard]
+        if self.audit:
+            for row in results:
+                if row == PRUNED:
+                    continue
+                for _, _, digest, state in row:
+                    known.add(digest)
+                    state_of.setdefault(digest, state)
+        else:
+            for row in results:
+                if row == PRUNED:
+                    continue
+                for _, _, digest in row:
+                    known.add(digest)
+        results_by_worker[shard].extend(results)
+        actions_of[shard].extend(new_actions)
+        phase = run.phase
+        phase["expand_seconds"] = phase.get("expand_seconds", 0.0) + expand_seconds
+        phase["fingerprint_seconds"] = (
+            phase.get("fingerprint_seconds", 0.0) + fingerprint_seconds
+        )
+        phase["serialize_seconds"] = phase.get("serialize_seconds", 0.0) + send_seconds
+        run.orbit_hits += orbit_hits
+        run.pruned_tasks += pruned
 
     # -- the single merge step ------------------------------------------------
 
@@ -387,12 +561,27 @@ class ExplorationEngine:
         ):
             run.frontier.appendleft((state, digest))
             raise _Exhausted("transitions", budget.max_transitions)
+        # With a state-keyed index the visited set doubles as an intern
+        # table: edges reference the first-seen object per state (and per
+        # action), so the retained graph holds one object per distinct
+        # value instead of one per discovery.
+        resolve = getattr(run.index, "resolve", None)
+        intern_action = run.action_intern
+        rebuilt = [] if resolve is not None else None
         added = []
-        for position, (_, _, successor) in enumerate(out):
+        for position, (task, action, successor) in enumerate(out):
             known, succ_digest = run.index.check(
                 successor, succ_digests[position] if succ_digests else None
             )
             if known:
+                if rebuilt is not None:
+                    rebuilt.append(
+                        (
+                            task,
+                            intern_action.setdefault(action, action),
+                            resolve(successor),
+                        )
+                    )
                 continue
             if budget.max_states is not None and len(run.index) >= budget.max_states:
                 run.frontier.extend(added)
@@ -401,8 +590,12 @@ class ExplorationEngine:
             succ_digest = run.index.add(successor, succ_digest)
             run.order.append(successor)
             added.append((successor, succ_digest))
+            if rebuilt is not None:
+                rebuilt.append(
+                    (task, intern_action.setdefault(action, action), successor)
+                )
         run.frontier.extend(added)
-        run.edges[state] = out
+        run.edges[state] = out if rebuilt is None else rebuilt
         run.transitions += len(out)
         run.expanded += 1
         run.since_checkpoint += 1
@@ -463,3 +656,20 @@ class ExplorationEngine:
             metrics.counter("engine.rounds").inc(run.rounds)
         if run.resumed:
             metrics.gauge("engine.resumed_states").set(len(run.order))
+        for name, seconds in run.phase.items():
+            if seconds:
+                metrics.counter(f"engine.phase.{name}").inc(seconds)
+        # Sequential runs accumulate reduction stats inside the view
+        # itself; drain them here.  (The drain is inside the
+        # metrics-enabled guard on purpose: engines running with
+        # NULL_METRICS — e.g. the audit/compare helpers — must leave the
+        # view's counters for their caller to read.)
+        drain = getattr(run.view, "drain_stats", None)
+        if drain is not None:
+            orbit_hits, pruned_tasks = drain()
+            run.orbit_hits += orbit_hits
+            run.pruned_tasks += pruned_tasks
+        if run.orbit_hits:
+            metrics.counter("engine.reduction.orbit_hits").inc(run.orbit_hits)
+        if run.pruned_tasks:
+            metrics.counter("engine.reduction.pruned_tasks").inc(run.pruned_tasks)

@@ -6,72 +6,69 @@ the coordinator keeps the cheap half (digest-set membership, graph
 assembly) single-threaded, which is what makes the result provably
 identical to the sequential graph (see :mod:`repro.engine.api`).
 
-Workers are plain ``multiprocessing`` pool processes created with the
-**fork** start method.  Fork is a requirement, not a preference: systems
-under analysis close over local functions (service ``delta`` closures)
-and are not picklable, so the only way a worker can hold the
+Workers are long-lived ``multiprocessing`` processes created with the
+**fork** start method, each attached to the coordinator by a duplex
+pipe.  Fork is a requirement, not a preference: systems under analysis
+close over local functions (service ``delta`` closures) and are not
+picklable, so the only way a worker can hold the
 :class:`~repro.analysis.view.DeterministicSystemView` is by inheriting
-the parent's memory image.  :func:`worker_pool` returns ``None`` when
+the parent's memory image.  :func:`start_workers` returns ``None`` when
 the platform cannot fork (or when one worker was requested), and the
-engine falls back to in-process execution — same algorithm, same graph,
-no processes.
+engine falls back to :class:`LocalExpander` — same protocol, same
+graph, no processes.
 
-States, tasks, and actions *are* picklable (plain immutable values by
-the model's design), which is all that crosses the pipe: batches of
-frontier states go out, ``(task, action, successor, digest)`` expansion
-lists come back.  Frontier states are sharded to batches by
-:func:`~repro.engine.fingerprint.shard_of` over their digest, so a
-state's owning worker is a pure function of its value — the property
-that keeps per-worker caches coherent across rounds.
+Wire protocol
+-------------
+
+Composite states are deep tuples whose pickles dwarf the real work, so
+**full states almost never cross the pipe**.  Each worker keeps a
+``digest -> state`` store of every state it has ever expanded or
+produced; the coordinator tracks which digests each worker holds and
+ships an outbound frontier entry as either
+
+* a bare 16-byte digest — the worker re-resolves the state locally; or
+* a ``(digest, state)`` bootstrap pair, exactly once per (worker,
+  state), when the digest's owner never had the state (the root, a
+  resumed frontier, or a successor first produced by another worker).
+
+Replies carry ``(task_index, action_index, successor_digest)`` triples
+— indices into the shared ``view.tasks`` tuple and a per-worker action
+table — plus a ``novel`` list of ``(digest, state)`` pairs for states
+the worker stored for the first time (so the coordinator can build the
+graph), the newly-tabled actions, and per-phase timings.  In the
+engine's collision-audit mode every reply triple carries the successor
+state as a fourth field so the coordinator's audited index can compare
+values, trading the wire savings for the checked guarantee.
+
+Flow control: outbound chunks are bounded (``CHUNK_DIGESTS`` /
+``CHUNK_STATES`` entries) and at most ``WINDOW`` digest-only chunks are
+in flight per worker — small enough to fit the pipe buffer while the
+worker is busy — while a state-carrying chunk (unbounded pickle size)
+is sent only to an idle worker, whose blocking ``recv`` drains the pipe
+as the coordinator writes.  Together these rule out the
+send-while-both-full deadlock.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
+from collections import deque
 from typing import Callable, Hashable, Sequence
 
-from .fingerprint import fingerprint
-
-# Worker-process globals, installed by the pool initializer.  Under the
-# fork start method these are inherited references, never pickled.
-_VIEW = None
-_PRUNE = None
-_DIGEST_SIZE = 16
+from .fingerprint import fingerprint_components
 
 #: Marker returned for a pruned state instead of its successor list.
 PRUNED = "__pruned__"
 
+#: Max entries per digest-only chunk (bounded pickle ≪ the pipe buffer).
+CHUNK_DIGESTS = 512
 
-def _initialize_worker(view, prune, digest_size) -> None:
-    global _VIEW, _PRUNE, _DIGEST_SIZE
-    _VIEW = view
-    _PRUNE = prune
-    _DIGEST_SIZE = digest_size
+#: Max entries per chunk carrying at least one full state.
+CHUNK_STATES = 64
 
-
-def expand_batch(states: Sequence[Hashable]) -> list:
-    """Expand one shard's batch of frontier states.
-
-    For each state returns either :data:`PRUNED` or the list of
-    ``(task, action, successor, successor_digest)`` tuples.  Digests are
-    computed worker-side so the coordinator's merge loop never encodes a
-    state — fingerprinting parallelizes with expansion.
-    """
-    view = _VIEW
-    prune = _PRUNE
-    size = _DIGEST_SIZE
-    results = []
-    for state in states:
-        if prune is not None and prune(state):
-            results.append(PRUNED)
-            continue
-        results.append(
-            [
-                (task, action, successor, fingerprint(successor, size))
-                for task, action, successor in view.successors(state)
-            ]
-        )
-    return results
+#: Digest-only chunks in flight per worker.
+WINDOW = 2
 
 
 def fork_available() -> bool:
@@ -79,35 +76,242 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def worker_pool(
+def _expand_entries(
+    entries,
+    store: dict,
+    view,
+    prune,
+    digest_size: int,
+    ship_states: bool,
+    task_ids: dict,
+    action_ids: dict,
+    new_actions: list,
+):
+    """Expand one chunk of frontier entries against the local store.
+
+    Returns ``(results, novel, expand_seconds, fingerprint_seconds)``
+    with ``results`` aligned to ``entries``.  Shared by the forked
+    worker loop and the in-process fallback.
+    """
+    results = []
+    novel = []
+    expand_seconds = 0.0
+    fingerprint_seconds = 0.0
+    encodings = store.setdefault("__encodings__", {})
+    for entry in entries:
+        if type(entry) is bytes:
+            state = store[entry]
+        else:
+            digest, state = entry
+            store[digest] = state
+        if prune is not None and prune(state):
+            results.append(PRUNED)
+            continue
+        before = time.perf_counter()
+        successors = view.successors(state)
+        after = time.perf_counter()
+        expand_seconds += after - before
+        row = []
+        for task, action, post in successors:
+            digest = fingerprint_components(post, encodings, digest_size)
+            if digest not in store:
+                store[digest] = post
+                if not ship_states:
+                    novel.append((digest, post))
+            action_index = action_ids.get(action)
+            if action_index is None:
+                action_index = action_ids[action] = len(action_ids)
+                new_actions.append(action)
+            if ship_states:
+                row.append((task_ids[task], action_index, digest, post))
+            else:
+                row.append((task_ids[task], action_index, digest))
+        fingerprint_seconds += time.perf_counter() - after
+        results.append(row)
+    return results, novel, expand_seconds, fingerprint_seconds
+
+
+def _worker_main(conn, view, prune, digest_size: int, ship_states: bool) -> None:
+    """Worker loop: expand chunks until the ``None`` sentinel (or EOF)."""
+    store: dict = {}
+    task_ids = {task: index for index, task in enumerate(view.tasks)}
+    action_ids: dict = {}
+    send_seconds = 0.0
+    drain = getattr(view, "drain_stats", None)
+    while True:
+        try:
+            chunk = conn.recv()
+        except EOFError:
+            return
+        if chunk is None:
+            conn.close()
+            return
+        new_actions: list = []
+        results, novel, expand_seconds, fingerprint_seconds = _expand_entries(
+            chunk,
+            store,
+            view,
+            prune,
+            digest_size,
+            ship_states,
+            task_ids,
+            action_ids,
+            new_actions,
+        )
+        orbit_hits = pruned_tasks = 0
+        if drain is not None:
+            orbit_hits, pruned_tasks = drain()
+        reply = (
+            results,
+            novel,
+            new_actions,
+            # send_seconds is the cost of shipping the *previous* reply,
+            # reported one beat late (and dropped for the last one).
+            (expand_seconds, fingerprint_seconds, send_seconds, orbit_hits, pruned_tasks),
+        )
+        before = time.perf_counter()
+        try:
+            conn.send(reply)
+        except BrokenPipeError:
+            return
+        send_seconds = time.perf_counter() - before
+
+
+class _WorkerHandle:
+    """One forked worker: its pipe endpoint and process object."""
+
+    __slots__ = ("conn", "process")
+
+    def __init__(self, conn, process) -> None:
+        self.conn = conn
+        self.process = process
+
+    def send(self, chunk) -> None:
+        self.conn.send(chunk)
+
+    def recv(self):
+        return self.conn.recv()
+
+
+class LocalExpander:
+    """In-process stand-in for one worker (the no-fork fallback).
+
+    Speaks the exact chunk/reply protocol of :func:`_worker_main` —
+    ``send`` expands immediately and queues the reply for ``recv`` — so
+    the driver runs one code path regardless of platform.
+    """
+
+    def __init__(self, view, prune, digest_size: int, ship_states: bool) -> None:
+        self._view = view
+        self._prune = prune
+        self._digest_size = digest_size
+        self._ship_states = ship_states
+        self._store: dict = {}
+        self._task_ids = {task: index for index, task in enumerate(view.tasks)}
+        self._action_ids: dict = {}
+        self._replies: deque = deque()
+        self._drain = getattr(view, "drain_stats", None)
+
+    def send(self, chunk) -> None:
+        if chunk is None:
+            return
+        new_actions: list = []
+        results, novel, expand_seconds, fingerprint_seconds = _expand_entries(
+            chunk,
+            self._store,
+            self._view,
+            self._prune,
+            self._digest_size,
+            self._ship_states,
+            self._task_ids,
+            self._action_ids,
+            new_actions,
+        )
+        orbit_hits = pruned_tasks = 0
+        if self._drain is not None:
+            orbit_hits, pruned_tasks = self._drain()
+        self._replies.append(
+            (
+                results,
+                novel,
+                new_actions,
+                (expand_seconds, fingerprint_seconds, 0.0, orbit_hits, pruned_tasks),
+            )
+        )
+
+    def recv(self):
+        return self._replies.popleft()
+
+
+def start_workers(
     workers: int,
     view,
     prune: Callable[[Hashable], bool] | None,
     digest_size: int,
-):
-    """A fork-based pool of ``workers`` expansion processes, or ``None``.
+    ship_states: bool,
+) -> list[_WorkerHandle] | None:
+    """Fork ``workers`` expansion processes, or ``None`` for in-process.
 
-    ``None`` means "run in-process": requested one worker, or the
-    platform lacks fork (the unpicklable view cannot reach a spawned
-    child).  Callers must ``terminate()``/``join()`` the pool when done;
-    the engine wraps it in a ``try/finally``.
+    ``None`` means "use :class:`LocalExpander`": one worker requested,
+    or the platform lacks fork (the unpicklable view cannot reach a
+    spawned child).  Callers must hand the returned handles to
+    :func:`stop_workers` when done; the engine wraps the run in a
+    ``try/finally``.
     """
     if workers <= 1 or not fork_available():
         return None
     context = multiprocessing.get_context("fork")
-    return context.Pool(
-        processes=workers,
-        initializer=_initialize_worker,
-        initargs=(view, prune, digest_size),
-    )
+    handles = []
+    for _ in range(workers):
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        process = context.Process(
+            target=_worker_main,
+            args=(child_conn, view, prune, digest_size, ship_states),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handles.append(_WorkerHandle(parent_conn, process))
+    return handles
 
 
-def expand_batches_inline(
-    batches: Sequence[Sequence[Hashable]],
-    view,
-    prune: Callable[[Hashable], bool] | None,
-    digest_size: int,
-) -> list[list]:
-    """The in-process fallback: expand every batch in the caller."""
-    _initialize_worker(view, prune, digest_size)
-    return [expand_batch(batch) for batch in batches]
+def wait_ready(handles: Sequence[_WorkerHandle], outstanding: Sequence[int]) -> list[int]:
+    """Indices of workers with a reply ready (blocking until at least one)."""
+    active = {
+        handles[index].conn: index
+        for index, pending in enumerate(outstanding)
+        if pending
+    }
+    ready = multiprocessing.connection.wait(list(active))
+    return [active[conn] for conn in ready]
+
+
+def stop_workers(handles: Sequence[_WorkerHandle]) -> None:
+    """Shut the pool down, draining stuck replies so workers can exit.
+
+    A worker interrupted mid-round may be blocked in ``send`` on a reply
+    larger than the pipe buffer; receiving (and discarding) pending
+    replies unblocks it so it can see the sentinel.  Stragglers are
+    terminated.
+    """
+    for handle in handles:
+        try:
+            handle.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+    deadline = time.monotonic() + 5.0
+    for handle in handles:
+        while handle.process.is_alive() and time.monotonic() < deadline:
+            try:
+                while handle.conn.poll(0.05):
+                    handle.conn.recv()
+            except (EOFError, OSError):
+                break
+            handle.process.join(timeout=0.05)
+        if handle.process.is_alive():
+            handle.process.terminate()
+            handle.process.join(timeout=1.0)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass

@@ -147,6 +147,20 @@ class Automaton(ABC):
             return state
         raise ValueError(f"automaton {self.name!r} has no start states")
 
+    def symmetry_key(self) -> Hashable | None:
+        """Interchangeability class for symmetry reduction, or ``None``.
+
+        Two automata of the same type returning equal non-``None`` keys
+        declare themselves interchangeable: swapping their identities
+        (and relabeling their endpoints everywhere else in the
+        composition) maps executions to executions.  Returning a
+        non-``None`` key is a contract that the automaton's *state
+        values* never embed its own identity — the exploration engine
+        moves states between interchangeable automata unchanged.  The
+        default refuses (``None``), so symmetry is strictly opt-in.
+        """
+        return None
+
 
 def is_deterministic(
     automaton: Automaton, states: Iterable[State]

@@ -62,6 +62,22 @@ class Composition(Automaton):
         """Project a composite state onto the named component."""
         return state[self._index[name]]
 
+    def symmetry_classes(self) -> dict:
+        """Group components by declared interchangeability class.
+
+        Components whose :meth:`Automaton.symmetry_key` is non-``None``
+        are grouped by ``(type name, key)``; opted-out components are
+        omitted.  Classes with at least two members are candidates for
+        symmetry reduction (see :mod:`repro.engine.reduction`).
+        """
+        classes: dict = {}
+        for component in self.components:
+            key = component.symmetry_key()
+            if key is None:
+                continue
+            classes.setdefault((type(component).__name__, key), []).append(component)
+        return classes
+
     def participants(self, action: Action) -> list[Automaton]:
         """The components that participate in ``action`` (Section 2.2.3).
 

@@ -16,7 +16,7 @@ execution of a finite-state system.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
 from .actions import Action, is_fail
@@ -39,18 +39,61 @@ class Step:
     task: Task | None = None
 
 
-@dataclass(frozen=True)
-class Execution:
-    """A finite execution: a start state plus a sequence of steps."""
+class _Chain:
+    """One reverse-linked node of an execution's appended steps.
 
-    start: State
-    steps: tuple[Step, ...] = ()
+    Extensions cons onto the front of this chain, so ``extend`` is O(1)
+    and every prefix execution keeps sharing its structure with all of
+    its extensions (schedulers and the refutation engine extend one
+    step at a time, which under the old tuple-copying representation
+    made building an ``n``-step execution O(n^2)).
+    """
+
+    __slots__ = ("step", "prev", "length")
+
+    def __init__(self, step: Step, prev: "_Chain | None") -> None:
+        self.step = step
+        self.prev = prev
+        self.length = 1 if prev is None else prev.length + 1
+
+
+class Execution:
+    """A finite execution: a start state plus a sequence of steps.
+
+    Immutable value semantics (equality and hashing over
+    ``(start, steps)``), persistent representation: an execution is a
+    materialized ``base`` tuple of steps plus a structurally shared
+    reverse chain of appended steps.  ``extend`` is O(1), ``concat`` is
+    O(len(other)), ``final_state``/``len`` are O(1); the ``steps`` tuple
+    is materialized lazily (and cached) on first access.
+    """
+
+    __slots__ = ("start", "_base", "_chain", "_steps")
+
+    def __init__(self, start: State, steps: Sequence[Step] = ()) -> None:
+        self.start = start
+        self._base = tuple(steps)
+        self._chain: _Chain | None = None
+        self._steps: tuple[Step, ...] | None = self._base
+
+    @classmethod
+    def _from_parts(
+        cls, start: State, base: tuple[Step, ...], chain: _Chain | None
+    ) -> "Execution":
+        execution = object.__new__(cls)
+        execution.start = start
+        execution._base = base
+        execution._chain = chain
+        execution._steps = None
+        return execution
 
     # -- construction --------------------------------------------------------
 
     def extend(self, action: Action, post: State, task: Task | None = None) -> "Execution":
-        """The extension of this execution by one step."""
-        return Execution(self.start, self.steps + (Step(action, post, task),))
+        """The extension of this execution by one step (O(1), shared)."""
+        return Execution._from_parts(
+            self.start, self._base, _Chain(Step(action, post, task), self._chain)
+        )
 
     def concat(self, other: "Execution") -> "Execution":
         """Concatenation ``alpha . alpha'`` (Section 2.1.1).
@@ -59,18 +102,53 @@ class Execution:
         """
         if other.start != self.final_state:
             raise ValueError("concatenation requires matching endpoint states")
-        return Execution(self.start, self.steps + other.steps)
+        chain = self._chain
+        for step in other.steps:
+            chain = _Chain(step, chain)
+        return Execution._from_parts(self.start, self._base, chain)
 
     def prefix(self, length: int) -> "Execution":
         """The prefix with the given number of steps."""
         return Execution(self.start, self.steps[:length])
+
+    # -- value semantics ------------------------------------------------------
+
+    @property
+    def steps(self) -> tuple[Step, ...]:
+        """The steps as a real tuple (materialized lazily, then cached)."""
+        steps = self._steps
+        if steps is None:
+            appended: list[Step] = []
+            cursor = self._chain
+            while cursor is not None:
+                appended.append(cursor.step)
+                cursor = cursor.prev
+            appended.reverse()
+            steps = self._steps = self._base + tuple(appended)
+        return steps
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Execution):
+            return NotImplemented
+        return self.start == other.start and self.steps == other.steps
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.steps))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Execution(start={self.start!r}, steps={self.steps!r})"
+
+    def __reduce__(self):
+        return (Execution, (self.start, self.steps))
 
     # -- observation ---------------------------------------------------------
 
     @property
     def final_state(self) -> State:
         """The last state of the execution."""
-        return self.steps[-1].post if self.steps else self.start
+        if self._chain is not None:
+            return self._chain.step.post
+        return self._base[-1].post if self._base else self.start
 
     @property
     def actions(self) -> tuple[Action, ...]:
@@ -89,7 +167,8 @@ class Execution:
             yield step.post
 
     def __len__(self) -> int:
-        return len(self.steps)
+        base = len(self._base)
+        return base if self._chain is None else base + self._chain.length
 
     def __iter__(self) -> Iterator[Step]:
         return iter(self.steps)

@@ -61,6 +61,11 @@ class DelegationProcess(Process):
         )
         self.target_service = service_id
 
+    def symmetry_key(self):
+        # Locals hold only phase/value tuples — never the endpoint — so
+        # any two delegates of the same service are interchangeable.
+        return ("delegation", self.target_service)
+
     def initial_locals(self):
         return ("idle",)
 
@@ -115,6 +120,9 @@ class TOBDelegationProcess(Process):
             endpoint, connections=(service_id,), input_values=(0, 1)
         )
         self.target_service = service_id
+
+    def symmetry_key(self):
+        return ("tob-delegation", self.target_service)
 
     def initial_locals(self):
         return ("idle",)
@@ -180,6 +188,12 @@ class MinRegisterProcess(Process):
         self.own_register = own_register
         self.peer_register = peer_register
 
+    def symmetry_key(self):
+        # The crossed own/peer wiring makes the two processes of
+        # min_register_consensus_system asymmetric: their keys differ,
+        # so the orbit computation (correctly) finds no permutation.
+        return ("min-register", self.own_register, self.peer_register)
+
     def initial_locals(self):
         return ("idle",)
 
@@ -242,6 +256,9 @@ class RaceRegisterProcess(Process):
     def __init__(self, endpoint: Hashable, register: Hashable) -> None:
         super().__init__(endpoint, connections=(register,), input_values=(0, 1))
         self.register = register
+
+    def symmetry_key(self):
+        return ("race", self.register)
 
     def initial_locals(self):
         return ("idle",)
@@ -346,6 +363,11 @@ class LastWriterProcess(Process):
         self.value_register = value_register
         self.own_flag = own_flag
         self.peer_flag = peer_flag
+
+    def symmetry_key(self):
+        # Crossed flag wiring — like MinRegisterProcess, deliberately
+        # asymmetric keys, so the symmetry group is trivial.
+        return ("last-writer", self.value_register, self.own_flag, self.peer_flag)
 
     def initial_locals(self):
         return ("idle",)

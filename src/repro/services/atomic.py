@@ -33,6 +33,16 @@ from .base import CanonicalServiceBase, ServiceState
 class CanonicalAtomicObject(CanonicalServiceBase):
     """The canonical f-resilient atomic object automaton of Fig. 1."""
 
+    #: Endpoint permutations are sound: ``T.delta`` never inspects the
+    #: endpoint identity (``perform_results`` passes only the invocation
+    #: and the value), so buffers move with their endpoint unchanged.
+    supports_endpoint_symmetry = True
+
+    #: Every ``perform`` responds via ``single_response(endpoint, ...)``
+    #: to the invoking endpoint only — the contract backing the
+    #: endpoint-local ample sets of the partial-order reduction.
+    por_responses_to_invoker_only = True
+
     def __init__(
         self,
         sequential_type: SequentialType,

@@ -88,6 +88,74 @@ class CanonicalServiceBase(Automaton):
             endpoint: position for position, endpoint in enumerate(self.endpoints)
         }
 
+    # -- reduction declarations (see repro.engine.reduction) -------------------
+
+    #: Opt-in to endpoint symmetry reduction: declares that permuting the
+    #: service's endpoints (via :meth:`permute_state`) maps executions to
+    #: executions.  Refused by default — a subclass whose semantics are
+    #: endpoint-sensitive must not set this.
+    supports_endpoint_symmetry = False
+
+    #: Declares that every ``perform`` responds only to the invoking
+    #: endpoint (atomic objects).  Licenses the endpoint-local ample sets
+    #: of the partial-order reduction; must stay ``False`` for services
+    #: whose performs or computes respond at other endpoints (e.g.
+    #: totally ordered broadcast).
+    por_responses_to_invoker_only = False
+
+    #: Declares the FIFO-pipeline shape: performs enqueue into ``val``
+    #: without responding, and a single global task delivers from the
+    #: queue head.  Licenses the pipeline ``compute`` ample singleton.
+    por_queue_pipeline = False
+
+    def symmetry_relabel_val(self, val: Hashable, perm: dict) -> Hashable:
+        """Relabel endpoint identities inside ``val`` under ``perm``.
+
+        Identity by default — correct whenever ``val`` never mentions
+        endpoints.  Subclasses whose value embeds endpoint identities
+        (e.g. the TOB message queue of ``(message, sender)`` pairs) must
+        override.
+        """
+        return val
+
+    def symmetry_relabel_invocation(self, invocation: Any, perm: dict) -> Any:
+        """Relabel endpoint identities inside a buffered invocation."""
+        return invocation
+
+    def symmetry_relabel_response(self, response: Any, perm: dict) -> Any:
+        """Relabel endpoint identities inside a buffered response."""
+        return response
+
+    def permute_state(self, state: ServiceState, perm: dict) -> ServiceState:
+        """The action of endpoint permutation ``perm`` on a service state.
+
+        Buffer contents move with their endpoint (the permuted state's
+        buffers at ``perm[e]``'s position are the original buffers of
+        ``e``), with entries relabeled via the ``symmetry_relabel_*``
+        hooks; ``val`` is relabeled; the failed set is mapped through
+        ``perm``.  Only meaningful when ``supports_endpoint_symmetry``
+        and ``perm`` preserves this service's endpoint set.
+        """
+        inv = list(state.inv_buffers)
+        resp = list(state.resp_buffers)
+        for endpoint in self.endpoints:
+            source = self.endpoint_position(endpoint)
+            target = self.endpoint_position(perm.get(endpoint, endpoint))
+            inv[target] = tuple(
+                self.symmetry_relabel_invocation(entry, perm)
+                for entry in state.inv_buffers[source]
+            )
+            resp[target] = tuple(
+                self.symmetry_relabel_response(entry, perm)
+                for entry in state.resp_buffers[source]
+            )
+        return ServiceState(
+            val=self.symmetry_relabel_val(state.val, perm),
+            inv_buffers=tuple(inv),
+            resp_buffers=tuple(resp),
+            failed=frozenset(perm.get(e, e) for e in state.failed),
+        )
+
     # -- subclass contract ----------------------------------------------------
 
     def initial_values(self) -> Iterable[Hashable]:

@@ -96,6 +96,25 @@ class TotallyOrderedBroadcast(CanonicalFailureObliviousService):
     endpoint set ``J``, and index ``k`` (Section 5.2).
     """
 
+    #: Endpoint permutations are sound once ``msgs`` entries and ``rcv``
+    #: responses have their sender fields relabeled (the hooks below);
+    #: ``delta1``/``delta2`` are otherwise endpoint-oblivious.
+    supports_endpoint_symmetry = True
+
+    #: ``delta1`` enqueues without responding and the single global task
+    #: ``g`` delivers from the queue head — the FIFO-pipeline shape the
+    #: partial-order reduction exploits.  Responses go to *every*
+    #: endpoint, so ``por_responses_to_invoker_only`` stays ``False``.
+    por_queue_pipeline = True
+
+    def symmetry_relabel_val(self, val, perm: dict):
+        return tuple((message, perm.get(sender, sender)) for message, sender in val)
+
+    def symmetry_relabel_response(self, response, perm: dict):
+        if isinstance(response, tuple) and response[0] == "rcv":
+            return ("rcv", response[1], perm.get(response[2], response[2]))
+        return response
+
     def __init__(
         self,
         service_id: Hashable,

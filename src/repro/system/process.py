@@ -184,6 +184,11 @@ class IdleProcess(Process):
     fairness machinery.
     """
 
+    def symmetry_key(self):
+        # Stateless and connection-free: any two idle processes are
+        # interchangeable.
+        return ("idle",)
+
     def initial_locals(self) -> Hashable:
         return ()
 

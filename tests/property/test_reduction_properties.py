@@ -1,0 +1,129 @@
+"""Property tests: reductions never change what the analysis concludes.
+
+The soundness contract of :mod:`repro.engine.reduction` is semantic:
+whatever the symmetry quotient and the ample sets drop, every reachable
+decision set — hence every valence verdict and every pipeline outcome —
+must come out identical to the full exploration.  These properties drive
+the audit over randomized proposal assignments (each assignment changes
+the stabilizer, so the quotient group genuinely varies), compare the
+end-to-end ``refute_candidate`` verdicts with and without reduction, and
+pin the refusal behavior on deliberately asymmetric instances.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_valence, refute_candidate
+from repro.engine import Canonicalizer, ReductionConfig, audit_reduction
+from repro.protocols import (
+    delegation_consensus_system,
+    last_writer_register_system,
+    min_register_consensus_system,
+    race_register_consensus_system,
+    tob_delegation_system,
+)
+
+FACTORIES = {
+    "delegation-2": lambda: delegation_consensus_system(2, resilience=1),
+    "delegation-3": lambda: delegation_consensus_system(3, resilience=1),
+    "tob-2": lambda: tob_delegation_system(2, resilience=1),
+    "race-2": lambda: race_register_consensus_system(2),
+    "min-register": min_register_consensus_system,
+    "last-writer": last_writer_register_system,
+}
+MODES = ("symmetry", "por", "full")
+
+_SYSTEMS: dict = {}
+_VERDICTS: dict = {}
+
+
+def _system(name):
+    if name not in _SYSTEMS:
+        _SYSTEMS[name] = FACTORIES[name]()
+    return _SYSTEMS[name]
+
+
+def _baseline_verdict(name):
+    if name not in _VERDICTS:
+        verdict = refute_candidate(_system(name))
+        _VERDICTS[name] = (verdict.refuted, verdict.mechanism)
+    return _VERDICTS[name]
+
+
+def _root(system, bits):
+    proposals = {
+        endpoint: bits[index % len(bits)]
+        for index, endpoint in enumerate(system.process_ids)
+    }
+    return system.initialization(proposals).final_state
+
+
+class TestAuditNeverFails:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(FACTORIES)),
+        mode=st.sampled_from(MODES),
+        bits=st.lists(st.integers(0, 1), min_size=1, max_size=4),
+    )
+    def test_reduced_graph_preserves_decision_sets(self, name, mode, bits):
+        """audit_reduction explores BOTH graphs and raises on any verdict
+        drift — reduced states must be genuine full-graph states with
+        identical reachable decision sets (both directions when no POR)."""
+        system = _system(name)
+        comparison = audit_reduction(
+            system, _root(system, bits), ReductionConfig.from_name(mode)
+        )
+        assert comparison.reduced_states <= comparison.full_states
+        assert comparison.state_ratio >= 1.0
+
+
+class TestVerdictsUnchanged:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(FACTORIES)),
+        mode=st.sampled_from(MODES),
+    )
+    def test_refute_candidate_agrees_with_full_exploration(self, name, mode):
+        system = _system(name)
+        verdict = refute_candidate(
+            system, reduction=ReductionConfig.from_name(mode)
+        )
+        assert (verdict.refuted, verdict.mechanism) == _baseline_verdict(name)
+
+
+class TestValenceUnchanged:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        name=st.sampled_from(["delegation-2", "delegation-3", "tob-2"]),
+        bits=st.lists(st.integers(0, 1), min_size=1, max_size=3),
+    )
+    def test_symmetry_quotient_valence_lookup(self, name, bits):
+        """Every full-graph state's valence, looked up through the
+        quotient analysis (canonicalize, then classify), matches the full
+        analysis — the exact lookup path the hook search relies on."""
+        system = _system(name)
+        root = _root(system, bits)
+        plain = analyze_valence(system, root)
+        reduced = analyze_valence(
+            system, root, reduction=ReductionConfig.from_name("symmetry")
+        )
+        for state in plain.graph.states:
+            assert reduced.valence(state) == plain.valence(state)
+
+
+class TestAsymmetryRefusal:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        name=st.sampled_from(["min-register", "last-writer"]),
+        bits=st.lists(st.integers(0, 1), min_size=1, max_size=2),
+    )
+    def test_crossed_wiring_never_admits_a_permutation(self, name, bits):
+        """The asymmetric instances (each process reads the PEER's
+        register) must yield a trivial group for every assignment: an
+        orbit computation willing to swap these processes would be
+        unsound, and the audit above would catch the resulting verdict
+        drift."""
+        system = _system(name)
+        canonicalizer = Canonicalizer(system, _root(system, bits))
+        assert not canonicalizer.permuters
+        assert canonicalizer.group_size == 1

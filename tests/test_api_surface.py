@@ -70,6 +70,7 @@ class TestHeadlineSignatures:
             "tracer",
             "metrics",
             "engine",
+            "reduction",
         ]
 
     def test_exploration_engine_signature(self):
