@@ -30,12 +30,13 @@ from repro.analysis import (
 )
 from repro.analysis.hook import Hook
 from repro.protocols import delegation_consensus_system
+from repro.engine import Budget
 
 
 def prepared(n=3, f=1):
     system = delegation_consensus_system(n, resilience=f)
     root = system.initialization({i: i % 2 for i in range(n)}).final_state
-    analysis = analyze_valence(system, root, max_states=600_000)
+    analysis = analyze_valence(system, root, budget=Budget(max_states=600_000))
     return system, root, analysis
 
 
@@ -140,7 +141,7 @@ def test_a3_exploration_with_and_without_cache(benchmark, view_class):
 
     def run_exploration():
         view = view_class(system)
-        graph = explore(view, root, max_states=600_000)
+        graph = explore(view, root, budget=Budget(max_states=600_000))
         return len(graph)
 
     states = benchmark(run_exploration)

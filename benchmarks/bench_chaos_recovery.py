@@ -1,0 +1,123 @@
+"""E-chaos: crash-recovery overhead of the fault-tolerant engine.
+
+Times :class:`repro.engine.ExplorationEngine` at 2 workers twice on the
+same instance — once clean, once with a :class:`repro.engine.FaultPlan`
+that SIGKILLs worker 0 mid-exploration — verifies both runs reproduce
+the sequential graph exactly (the identical-graph guarantee survives a
+worker crash), and appends ``{clean_seconds, chaos_seconds,
+recovery_overhead}`` rows to ``BENCH_engine.json``.
+
+The overhead ceiling is deliberately loose (kill detection waits out a
+heartbeat timeout, and the respawned worker re-imports the interpreter),
+and is asserted only on the full-size instance where the exploration
+itself dominates: on the small default the fixed recovery cost swamps a
+sub-second run and the ratio is noise.
+
+Instance selection mirrors ``bench_engine_scaling.py``: the default is
+``delegation_consensus_system(6, 1)`` (~29k states); set
+``REPRO_BENCH_FULL=1`` for ``tob_delegation_system(4, 1)``.
+"""
+
+import gc
+import os
+from time import perf_counter
+
+import pytest
+from conftest import report
+
+from repro.analysis import DeterministicSystemView, explore
+from repro.engine import Budget, ExplorationEngine, FaultPlan, fork_available
+from repro.obs import MetricsRegistry
+from repro.protocols import delegation_consensus_system, tob_delegation_system
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+WORKERS = 2
+KILL_ROUND = 3  # deep enough that the frontier spans both workers
+OVERHEAD_CEILING = 3.0  # chaos run may cost at most 3x clean (FULL only)
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="fault injection needs forked workers"
+)
+
+
+def _instance():
+    if FULL:
+        system = tob_delegation_system(4, resilience=1)
+        label = "tob(n=4, f=1)"
+    else:
+        system = delegation_consensus_system(6, resilience=1)
+        label = "delegation(n=6, f=1)"
+    proposals = {
+        endpoint: index % 2 for index, endpoint in enumerate(system.process_ids)
+    }
+    root = system.initialization(proposals).final_state
+    return system, root, label
+
+
+def test_chaos_recovery_overhead():
+    system, root, label = _instance()
+    budget = Budget(max_states=2_000_000)
+
+    baseline = explore(
+        DeterministicSystemView(system), root, budget=Budget(max_states=budget.max_states)
+    )
+    baseline_order = list(baseline.states)
+    baseline_edge_count = baseline.edge_count()
+    del baseline
+
+    # Fresh views per run, as in bench_engine_scaling: a warm memoized
+    # view would reduce the measurement to IPC + recovery overhead alone.
+    gc.collect()
+    started = perf_counter()
+    engine = ExplorationEngine(workers=WORKERS, budget=budget)
+    clean_graph = engine.explore(DeterministicSystemView(system), root)
+    clean_seconds = perf_counter() - started
+    assert list(clean_graph.states) == baseline_order
+    assert clean_graph.edge_count() == baseline_edge_count
+    del clean_graph
+
+    plan = FaultPlan(kills=frozenset({(KILL_ROUND, 0)}))
+    metrics = MetricsRegistry()
+    gc.collect()
+    started = perf_counter()
+    engine = ExplorationEngine(workers=WORKERS, budget=budget, fault_plan=plan)
+    chaos_graph = engine.explore(
+        DeterministicSystemView(system), root, metrics=metrics
+    )
+    chaos_seconds = perf_counter() - started
+    assert list(chaos_graph.states) == baseline_order, (
+        "recovery changed the explored graph"
+    )
+    assert chaos_graph.edge_count() == baseline_edge_count
+    del chaos_graph
+
+    chaos_report = engine.last_report
+    assert chaos_report.worker_failures == 1
+    assert chaos_report.worker_respawns == 1
+    assert not chaos_report.degraded
+    counters = metrics.snapshot()["counters"]
+    overhead = chaos_seconds / clean_seconds if clean_seconds else 0.0
+    report(
+        "chaos recovery" + (" (full)" if FULL else ""),
+        [
+            {
+                "instance": label,
+                "workers": WORKERS,
+                "states": len(baseline_order),
+                "transitions": baseline_edge_count,
+                "kill": f"round {KILL_ROUND}, worker 0",
+                "clean_seconds": round(clean_seconds, 3),
+                "chaos_seconds": round(chaos_seconds, 3),
+                "recovery_overhead": round(overhead, 3),
+                "partitions_reassigned": counters.get(
+                    "engine.partitions_reassigned", 0
+                ),
+            }
+        ],
+        artifact="BENCH_engine.json",
+    )
+    if FULL:
+        assert overhead <= OVERHEAD_CEILING, (
+            f"crash recovery cost {overhead:.2f}x the clean run on {label}, "
+            f"ceiling is {OVERHEAD_CEILING}x"
+        )

@@ -82,7 +82,7 @@ def test_engine_scaling_and_equivalence():
     # the engine's actual use case, the first exploration of a space.
     started = perf_counter()
     baseline = explore(
-        DeterministicSystemView(system), root, max_states=budget.max_states
+        DeterministicSystemView(system), root, budget=Budget(max_states=budget.max_states)
     )
     baseline_seconds = perf_counter() - started
     baseline_order = list(baseline.states)
@@ -145,7 +145,7 @@ def test_reduction_ratio():
 
     started = perf_counter()
     full_graph = explore(
-        DeterministicSystemView(system), root, max_states=budget.max_states
+        DeterministicSystemView(system), root, budget=Budget(max_states=budget.max_states)
     )
     full_seconds = perf_counter() - started
     full_states = len(full_graph.states)
@@ -155,7 +155,7 @@ def test_reduction_ratio():
     reduced_view = build_reduced_view(DeterministicSystemView(system), root, config)
     gc.collect()
     started = perf_counter()
-    reduced_graph = explore(reduced_view, root, max_states=budget.max_states)
+    reduced_graph = explore(reduced_view, root, budget=Budget(max_states=budget.max_states))
     reduced_seconds = perf_counter() - started
     reduced_states = len(reduced_graph.states)
     reduced_transitions = reduced_graph.edge_count()

@@ -9,11 +9,12 @@ import pytest
 
 from repro.analysis import Hook, analyze_valence, find_hook
 from repro.protocols import delegation_consensus_system, tob_delegation_system
+from repro.engine import Budget
 
 
 def run_hook_search(system, proposals, max_states):
     root = system.initialization(proposals).final_state
-    analysis = analyze_valence(system, root, max_states=max_states)
+    analysis = analyze_valence(system, root, budget=Budget(max_states=max_states))
     outcome, stats = find_hook(analysis, root)
     return analysis, outcome, stats
 
@@ -49,7 +50,7 @@ def test_hook_search_cost_breakdown(benchmark):
     """Time just the search (valence analysis precomputed)."""
     system = delegation_consensus_system(3, resilience=1)
     root = system.initialization({0: 0, 1: 1, 2: 0}).final_state
-    analysis = analyze_valence(system, root, max_states=600_000)
+    analysis = analyze_valence(system, root, budget=Budget(max_states=600_000))
     outcome, stats = benchmark(find_hook, analysis, root)
     assert isinstance(outcome, Hook)
     assert stats.inner_bfs_expansions >= stats.outer_iterations

@@ -18,11 +18,12 @@ from repro.analysis import (
     scan_for_similarity_violations,
 )
 from repro.protocols import delegation_consensus_system, tob_delegation_system
+from repro.engine import Budget
 
 
 def prepared(system, proposals, max_states=600_000):
     root = system.initialization(proposals).final_state
-    analysis = analyze_valence(system, root, max_states=max_states)
+    analysis = analyze_valence(system, root, budget=Budget(max_states=max_states))
     return root, analysis
 
 

@@ -30,6 +30,7 @@ from repro.protocols import (
     tob_delegation_system,
 )
 from repro.system import upfront_failures
+from repro.engine import Budget
 
 WIDTH = 78
 
@@ -68,7 +69,7 @@ def main() -> None:
         ("last-writer (registers, f=0)", last_writer_register_system()),
         ("arbiter (message passing, f=0)", arbiter_consensus_system(3, 0)),
     ):
-        impossibility_row(name, refute_candidate(system, max_states=900_000))
+        impossibility_row(name, refute_candidate(system, budget=Budget(max_states=900_000)))
     print("\nvia the direct liveness attack:")
     for name, system, victims, aware in (
         ("min-register (FLP, f=0)", min_register_consensus_system(), [1], []),

@@ -32,25 +32,40 @@ Layering (bottom to top):
 
 Quickstart::
 
+    from repro import Budget, refute_candidate
     from repro.protocols import delegation_consensus_system
-    from repro.analysis import refute_candidate
 
     system = delegation_consensus_system(n=3, resilience=1)
-    verdict = refute_candidate(system)
+    verdict = refute_candidate(system, budget=Budget(max_states=100_000))
     assert verdict.refuted  # Theorem 2, witnessed on this instance
+
+Stable top-level surface: the names re-exported below (the analysis
+entry points, :class:`Budget`, :class:`ReductionConfig`, and
+:class:`ExplorationEngine`) are the supported public API; everything
+else is importable from its subpackage but may move between minor
+versions.  See ``docs/api.md``.
 """
 
 from . import analysis, core, engine, ioa, obs, protocols, services, system, types
+from .analysis import analyze_valence, explore, find_hook, refute_candidate
+from .engine import Budget, ExplorationEngine, ReductionConfig
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Budget",
+    "ExplorationEngine",
+    "ReductionConfig",
     "analysis",
+    "analyze_valence",
     "core",
     "engine",
+    "explore",
+    "find_hook",
     "ioa",
     "obs",
     "protocols",
+    "refute_candidate",
     "services",
     "system",
     "types",

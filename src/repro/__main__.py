@@ -15,13 +15,17 @@ Exposes the headline reproductions without writing any code:
 Exit codes for ``refute``/``trace``/``stats``: 0 when the candidate was
 refuted, 1 when it was not, 2 when the exploration budget
 (``--max-states`` / ``--deadline``) was exhausted before the pipeline
-finished.
+finished — in which case the checkpoint path and the exact resume
+command are printed, so the run is continuable, not just dead.
 
 The pipeline commands drive :class:`repro.engine.ExplorationEngine`
 directly: ``--workers N`` parallelizes the explorations, ``--deadline
-SECONDS`` bounds each stage's wall clock, and ``--checkpoint DIR`` /
-``--resume DIR`` snapshot interrupted explorations and continue them on
-the next invocation instead of starting over.
+SECONDS`` bounds each stage's wall clock, ``--max-worker-restarts N``
+tunes crash recovery, and ``--checkpoint DIR`` / ``--resume DIR``
+snapshot interrupted explorations and continue them on the next
+invocation instead of starting over.  ``--json`` replaces the narrative
+with one machine-readable document built from the results' shared
+``summary()``/``to_json()`` protocol.
 """
 
 from __future__ import annotations
@@ -70,17 +74,22 @@ def _print_exploration_summary(metrics, elapsed: float) -> None:
 
 
 def _run_pipeline(args: argparse.Namespace, tracer, metrics):
-    """Shared refute/trace/stats driver: returns (verdict|None, exit_code).
+    """Shared refute/trace/stats driver.
 
-    ``verdict=None`` with exit code 2 means the ``--max-states`` budget was
-    exhausted; the metrics registry still holds the work done so far.
+    Returns ``(verdict|None, exit_code, document|None)``: ``verdict=None``
+    with exit code 2 means the budget was exhausted (the metrics registry
+    still holds the work done so far); ``document`` is the
+    JSON-serializable report built from the shared ``summary()``/
+    ``to_json()`` protocol when ``--json`` was given, else ``None``.
     """
     from .analysis import ExplorationBudget, format_verdict, refute_candidate
     from .engine import Budget, ExplorationEngine, ReductionConfig
     from .obs import timed
 
+    emit_json = bool(getattr(args, "json", False))
+    say = (lambda *a, **k: None) if emit_json else print
     system = _build_candidate(args.candidate, args.n, args.resilience)
-    print(f"Candidate: {args.candidate} (n={args.n}, f={args.resilience})")
+    say(f"Candidate: {args.candidate} (n={args.n}, f={args.resilience})")
     reduction = ReductionConfig.from_name(getattr(args, "reduction", "none"))
     if getattr(args, "audit_reduction", False):
         if not reduction.enabled:
@@ -91,7 +100,7 @@ def _run_pipeline(args: argparse.Namespace, tracer, metrics):
         comparison = audit_reduction(
             system, root, reduction, max_states=args.max_states
         )
-        print(
+        say(
             f"Reduction audit OK: full {comparison.full_states} states -> "
             f"reduced {comparison.reduced_states} "
             f"(ratio {comparison.state_ratio:.2f}x), verdicts identical"
@@ -104,6 +113,12 @@ def _run_pipeline(args: argparse.Namespace, tracer, metrics):
         ),
         checkpoint_dir=checkpoint_dir,
         resume=args.resume is not None,
+        max_worker_restarts=getattr(args, "max_worker_restarts", None),
+    )
+    document = (
+        {"candidate": {"name": args.candidate, "n": args.n, "f": args.resilience}}
+        if emit_json
+        else None
     )
     if getattr(args, "seed", None) is not None:
         from .analysis import random_decision_probe
@@ -111,33 +126,65 @@ def _run_pipeline(args: argparse.Namespace, tracer, metrics):
         probe = random_decision_probe(
             system, seed=args.seed, tracer=tracer, metrics=metrics
         )
-        print(
-            f"Seeded probe (seed={probe.seed}): decided {probe.decisions!r} "
-            f"after {probe.steps} failure-free random-fair steps"
-        )
+        say(probe.summary())
+        if document is not None:
+            document["probe"] = probe.to_json()
     with timed(metrics, "pipeline.wall_seconds") as timer:
         try:
             verdict = refute_candidate(
                 system,
-                max_states=args.max_states,
                 tracer=tracer,
                 metrics=metrics,
                 engine=engine,
                 reduction=reduction if reduction.enabled else None,
             )
         except ExplorationBudget as budget:
-            print(f"Exploration budget exhausted: {budget}")
-            _print_exploration_summary(metrics, timer.elapsed)
-            return None, 2
-    print(format_verdict(verdict))
-    _print_exploration_summary(metrics, timer.elapsed)
-    return verdict, 0 if verdict.refuted else 1
+            say(f"Exploration budget exhausted: {budget}")
+            checkpoint = getattr(budget, "checkpoint", None)
+            if checkpoint is not None:
+                say(f"Checkpoint: {checkpoint}")
+                say(f"Resume:     {getattr(budget, 'resume_command', None)}")
+            if not emit_json:
+                _print_exploration_summary(metrics, timer.elapsed)
+            if document is not None:
+                document["verdict"] = None
+                document["error"] = (
+                    budget.to_json()
+                    if hasattr(budget, "to_json")
+                    else {"error": "budget_exhausted", "detail": str(budget)}
+                )
+                document["engine"] = (
+                    None
+                    if engine.last_report is None
+                    else engine.last_report.to_json()
+                )
+            return None, 2, document
+    report = engine.last_report
+    if document is not None:
+        document["verdict"] = verdict.to_json()
+        document["engine"] = None if report is None else report.to_json()
+    else:
+        print(format_verdict(verdict))
+        _print_exploration_summary(metrics, timer.elapsed)
+        if report is not None and (
+            report.worker_failures or report.quarantined or report.degraded
+        ):
+            print(report.summary())
+    return verdict, 0 if verdict.refuted else 1, document
+
+
+def _emit_document(document) -> None:
+    import json
+
+    if document is not None:
+        print(json.dumps(document, indent=2, sort_keys=True))
 
 
 def cmd_refute(args: argparse.Namespace) -> int:
     from .obs import NULL_TRACER, MetricsRegistry
 
-    _, code = _run_pipeline(args, NULL_TRACER, MetricsRegistry())
+    _, code, document = _run_pipeline(args, NULL_TRACER, MetricsRegistry())
+    _emit_document(document)
     return code
 
 
@@ -151,8 +198,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
         # Install process-wide too, so layers without a tracer parameter
         # (service input dispatch) report into the same trace.
         with use_tracer(tracer):
-            _, code = _run_pipeline(args, tracer, metrics)
-        print(f"Trace: {sink.events_written} events -> {output}")
+            _, code, document = _run_pipeline(args, tracer, metrics)
+        if document is not None:
+            document["trace"] = {"events": sink.events_written, "path": output}
+        else:
+            print(f"Trace: {sink.events_written} events -> {output}")
+    _emit_document(document)
     return code
 
 
@@ -191,9 +242,13 @@ def cmd_stats(args: argparse.Namespace) -> int:
         )
         return 0
     metrics = MetricsRegistry()
-    _, code = _run_pipeline(args, NULL_TRACER, metrics)
-    print()
-    print(render_metrics_table(metrics.snapshot()))
+    _, code, document = _run_pipeline(args, NULL_TRACER, metrics)
+    if document is not None:
+        document["metrics"] = metrics.snapshot()
+        _emit_document(document)
+    else:
+        print()
+        print(render_metrics_table(metrics.snapshot()))
     return code
 
 
@@ -299,6 +354,22 @@ def main(argv: list[str] | None = None) -> int:
             default=int(os.environ.get("REPRO_ENGINE_WORKERS", "1")),
             help="parallel exploration workers (1 = in-process; "
             "default from $REPRO_ENGINE_WORKERS)",
+        )
+        subparser.add_argument(
+            "--max-worker-restarts",
+            type=int,
+            default=None,
+            metavar="N",
+            help="respawn a crashed worker up to N times before "
+            "redistributing its partition (default from "
+            "$REPRO_ENGINE_MAX_RESTARTS, else 3)",
+        )
+        subparser.add_argument(
+            "--json",
+            action="store_true",
+            help="suppress the narrative and print one JSON document "
+            "built from the results' to_json() payloads (also on the "
+            "budget-exhausted exit-2 path)",
         )
         subparser.add_argument(
             "--deadline",

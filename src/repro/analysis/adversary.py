@@ -81,6 +81,33 @@ class Verdict:
     refutation: RefutationOutcome | None = None
     detail: str = ""
 
+    def summary(self) -> str:
+        """One-line human summary (the shared report protocol)."""
+        status = "refuted" if self.refuted else "not refuted"
+        return f"verdict: {status} via {self.mechanism}: {self.detail}"
+
+    def to_json(self) -> dict:
+        """JSON-serializable payload (the shared report protocol).
+
+        Nested stage results are included through their own ``to_json``
+        whenever the stage ran, so one document captures the whole
+        pipeline.
+        """
+        return {
+            "refuted": self.refuted,
+            "mechanism": self.mechanism,
+            "detail": self.detail,
+            "lemma4": None if self.lemma4 is None else self.lemma4.to_json(),
+            "hook": None if self.hook is None else self.hook.to_json(),
+            "fair_cycle": (
+                None if self.fair_cycle is None else self.fair_cycle.to_json()
+            ),
+            "lemma8": None if self.lemma8 is None else self.lemma8.to_json(),
+            "refutation": (
+                None if self.refutation is None else self.refutation.to_json()
+            ),
+        }
+
 
 def default_resilience(system: DistributedSystem) -> int:
     """The theorem's ``f``: the common resilience of the resilient services.
@@ -96,15 +123,25 @@ def default_resilience(system: DistributedSystem) -> int:
 def refute_candidate(
     system: DistributedSystem,
     resilience: int | None = None,
-    max_states: int = 200_000,
+    max_states: int | None = None,
     horizon: int = 100_000,
     failure_aware_services: Collection[Hashable] = (),
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
     engine=None,
     reduction=None,
+    *,
+    budget=None,
 ) -> Verdict:
     """Run the full Theorem 2/9/10 adversary pipeline against a candidate.
+
+    ``budget`` is a :class:`repro.engine.Budget` bounding every
+    exploration of the pipeline (default ``Budget(max_states=200_000)``);
+    when it carries a deadline, each post-exploration stage (hook search,
+    silencing runs) also gets a fresh wall-clock allowance of
+    ``deadline_seconds``.  ``max_states`` survives as a deprecated alias
+    for ``budget=Budget(max_states=...)`` and warns once for the whole
+    pipeline.
 
     ``tracer``/``metrics`` (defaulting to the disabled singletons) are
     threaded through every stage — Lemma 4 exploration, the Fig. 3 hook
@@ -126,6 +163,10 @@ def refute_candidate(
     exploration strips POR — the Fig. 3 walk needs every single-step
     edge, which ample sets drop — keeping only the symmetry quotient.
     """
+    # Lazy: repro.engine imports this package at load time.
+    from ..engine.budget import resolve_budget
+
+    budget = resolve_budget(budget, max_states)
     f = default_resilience(system) if resilience is None else resilience
     if reduction is not None and reduction.enabled:
         import dataclasses as _dataclasses
@@ -138,22 +179,23 @@ def refute_candidate(
         hook_reduction = None
 
     def stage_deadline():
-        """A fresh per-stage Deadline from the engine's budget, or None."""
-        if engine is None or engine.budget.deadline_seconds is None:
+        """A fresh per-stage Deadline from the governing budget, or None."""
+        governing = engine.budget if engine is not None else budget
+        if governing is None or governing.deadline_seconds is None:
             return None
         from ..engine import Deadline
 
-        return Deadline(engine.budget.deadline_seconds)
+        return Deadline(governing.deadline_seconds)
 
     if tracer.enabled:
         tracer.emit(PHASE, stage="lemma4", resilience=f)
     lemma4 = lemma4_bivalent_initialization(
         system,
-        max_states=max_states,
         tracer=tracer,
         metrics=metrics,
         engine=engine,
         reduction=reduction,
+        budget=budget,
     )
     if lemma4.bivalent is None:
         # No bivalent initialization: for a correct candidate this is
@@ -190,11 +232,11 @@ def refute_candidate(
     analysis = analyze_valence(
         system,
         start,
-        max_states=max_states,
         tracer=tracer,
         metrics=metrics,
         engine=engine,
         reduction=hook_reduction,
+        budget=budget,
     )
     outcome, stats = find_hook(
         analysis, start, tracer=tracer, metrics=metrics, deadline=stage_deadline()
@@ -272,6 +314,22 @@ class UndecidedRun:
     decided: bool
     visited_states: int
 
+    def summary(self) -> str:
+        """One-line human summary (the shared report protocol)."""
+        outcome = "forced to decide" if self.decided else "still undecided"
+        return (
+            f"adversary: {outcome} after {self.steps} steps "
+            f"({self.visited_states} states visited)"
+        )
+
+    def to_json(self) -> dict:
+        """JSON-serializable payload (the shared report protocol)."""
+        return {
+            "steps": self.steps,
+            "decided": self.decided,
+            "visited_states": self.visited_states,
+        }
+
 
 @dataclass
 class ProbeResult:
@@ -281,6 +339,25 @@ class ProbeResult:
     seed: int
     steps: int
     decisions: dict
+
+    def summary(self) -> str:
+        """One-line human summary (the shared report protocol)."""
+        if self.decisions:
+            decided = ", ".join(
+                f"{process}={value!r}" for process, value in self.decisions.items()
+            )
+            return f"probe[seed={self.seed}]: decided after {self.steps} steps ({decided})"
+        return f"probe[seed={self.seed}]: undecided after {self.steps} steps"
+
+    def to_json(self) -> dict:
+        """JSON-serializable payload (the shared report protocol)."""
+        from ..obs.events import encode_value
+
+        return {
+            "seed": self.seed,
+            "steps": self.steps,
+            "decisions": encode_value(self.decisions),
+        }
 
 
 def random_decision_probe(
@@ -331,10 +408,17 @@ def random_decision_probe(
 def bounded_undecided_run(
     system: DistributedSystem,
     start: State,
-    max_steps: int,
+    max_steps: int | None = None,
     metrics: MetricsRegistry = NULL_METRICS,
+    *,
+    budget=None,
 ) -> UndecidedRun:
     """A fair scheduler that postpones decisions as long as it can.
+
+    The step bound comes from ``max_steps`` or, equivalently, from
+    ``budget=Budget(max_transitions=...)`` (each adversary step is one
+    transition).  Exactly one of the two must be given; passing both —
+    or a budget without ``max_transitions`` — is a :class:`TypeError`.
 
     Round-robin over tasks, but a task whose unique next action would
     record a decision is skipped whenever any other applicable task
@@ -348,6 +432,16 @@ def bounded_undecided_run(
     this adversary to measure how far decisions can be postponed on
     instances too large for exact valence analysis.
     """
+    if budget is not None:
+        if max_steps is not None:
+            raise TypeError("pass max_steps or budget=, not both")
+        if budget.max_transitions is None:
+            raise TypeError(
+                "bounded_undecided_run needs Budget(max_transitions=...)"
+            )
+        max_steps = budget.max_transitions
+    elif max_steps is None:
+        raise TypeError("pass max_steps or budget=Budget(max_transitions=...)")
     view = DeterministicSystemView(system)
     tasks = view.tasks
     state = start

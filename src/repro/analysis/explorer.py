@@ -127,12 +127,20 @@ class StateGraph:
 def explore(
     view: DeterministicSystemView,
     root: State,
-    max_states: int = 200_000,
+    max_states: int | None = None,
     prune: Callable[[State], bool] | None = None,
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
+    *,
+    budget=None,
 ) -> StateGraph:
     """Breadth-first exploration of the failure-free reachable graph.
+
+    ``budget`` is a :class:`repro.engine.Budget` bounding the search
+    (defaulting to the historical ``Budget(max_states=200_000)``);
+    ``max_states`` survives as a deprecated alias for
+    ``budget=Budget(max_states=...)`` and emits a
+    :class:`DeprecationWarning`.
 
     ``prune`` may cut off exploration below selected states (used, e.g.,
     to stop below states where every process has decided — their
@@ -146,15 +154,17 @@ def explore(
     failures still report how much work was done.
 
     This is a compatibility wrapper: the actual search lives in
-    :class:`repro.engine.ExplorationEngine`, driven here with one worker
-    and a states-only budget.  Callers needing parallelism, transitions
-    or wall-clock budgets, checkpoints, or resume should construct an
-    engine directly.
+    :class:`repro.engine.ExplorationEngine`, driven here with one worker.
+    Callers needing parallelism, checkpoints, or resume should construct
+    an engine directly.
     """
     # Imported lazily: repro.engine imports this module at load time.
-    from ..engine import Budget, ExplorationEngine
+    from ..engine import ExplorationEngine
+    from ..engine.budget import resolve_budget
 
-    engine = ExplorationEngine(workers=1, budget=Budget(max_states=max_states))
+    engine = ExplorationEngine(
+        workers=1, budget=resolve_budget(budget, max_states)
+    )
     return engine.explore(view, root, prune=prune, tracer=tracer, metrics=metrics)
 
 

@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
 from ..ioa.automaton import State, Task
-from ..obs.events import HOOK_VERDICT
+from ..obs.events import HOOK_VERDICT, encode_value
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.sinks import NULL_TRACER, Tracer
 from ..system.system import DistributedSystem
@@ -59,6 +59,24 @@ class Hook:
     valence0: Valence
     valence1: Valence
 
+    def summary(self) -> str:
+        """One-line human summary (the shared report protocol)."""
+        return (
+            f"hook: e={self.e.owner}/{self.e.name!r} "
+            f"e'={self.e_prime.owner}/{self.e_prime.name!r} "
+            f"({self.valence0.value} vs {self.valence1.value})"
+        )
+
+    def to_json(self) -> dict:
+        """JSON-serializable payload (the shared report protocol)."""
+        return {
+            "kind": "hook",
+            "e": encode_value(self.e),
+            "e_prime": encode_value(self.e_prime),
+            "valence0": self.valence0.value,
+            "valence1": self.valence1.value,
+        }
+
 
 @dataclass
 class FairCycle:
@@ -76,6 +94,23 @@ class FairCycle:
     cycle_tasks: list[Task]
     cycle_states: list[State]
     decisions_on_cycle: frozenset
+
+    def summary(self) -> str:
+        """One-line human summary (the shared report protocol)."""
+        return (
+            f"fair cycle: period {len(self.cycle_tasks)} after "
+            f"{len(self.prefix_tasks)}-task prefix, no decisions on cycle"
+        )
+
+    def to_json(self) -> dict:
+        """JSON-serializable payload (the shared report protocol)."""
+        return {
+            "kind": "fair_cycle",
+            "prefix_length": len(self.prefix_tasks),
+            "cycle_length": len(self.cycle_tasks),
+            "cycle_tasks": [encode_value(task) for task in self.cycle_tasks],
+            "decisions_on_cycle": encode_value(self.decisions_on_cycle),
+        }
 
 
 @dataclass
@@ -216,6 +251,8 @@ def find_hook(
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
     deadline=None,
+    *,
+    budget=None,
 ) -> tuple[Hook | FairCycle, HookSearchStats]:
     """Run the Fig. 3 construction from a bivalent start state.
 
@@ -227,8 +264,17 @@ def find_hook(
     ``deadline`` may be a :class:`repro.engine.Deadline`; it is checked
     once per outer iteration and raises
     :class:`~repro.engine.budget.BudgetExhausted` when the wall-clock
-    budget runs out mid-search.
+    budget runs out mid-search.  Alternatively pass
+    ``budget=Budget(deadline_seconds=...)`` — a fresh deadline is started
+    from it (passing both is a :class:`TypeError`).
     """
+    if budget is not None:
+        if deadline is not None:
+            raise TypeError("pass deadline= or budget=, not both")
+        # Lazy: repro.engine imports this package at load time.
+        from ..engine.budget import Deadline
+
+        deadline = Deadline(budget.deadline_seconds)
     reduction = getattr(analysis, "reduction", None)
     if reduction is not None and getattr(reduction, "por", False):
         # POR only preserves *reachability* facts (decision sets); the
@@ -358,6 +404,29 @@ class Lemma8Report:
     shared_participants: tuple[str, ...]
     commuted: bool
     violation: SimilarityViolation | None
+
+    def summary(self) -> str:
+        """One-line human summary (the shared report protocol)."""
+        outcome = "commuted" if self.commuted else "similarity violation"
+        shared = ", ".join(self.shared_participants) or "none"
+        return f"lemma8: {self.claim} -> {outcome} (shared: {shared})"
+
+    def to_json(self) -> dict:
+        """JSON-serializable payload (the shared report protocol)."""
+        return {
+            "claim": self.claim,
+            "shared_participants": list(self.shared_participants),
+            "commuted": self.commuted,
+            "violation": (
+                None
+                if self.violation is None
+                else {
+                    "kind": self.violation.kind,
+                    "index": encode_value(self.violation.index),
+                }
+            ),
+            "hook": self.hook.to_json(),
+        }
 
 
 def _pending_invocation(system: DistributedSystem, state, service_id, endpoint):

@@ -41,6 +41,7 @@ from ..obs.events import (
     RUN_END,
     RUN_START,
     TASK_CHOSEN,
+    encode_value,
 )
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.sinks import NULL_TRACER, Tracer
@@ -65,6 +66,28 @@ class TerminationViolation:
     survivors: frozenset
     description: str
 
+    def summary(self) -> str:
+        """One-line human summary (the shared report protocol)."""
+        witness = (
+            f"cycle of period {self.cycle_length}"
+            if self.exact
+            else f"undecided after {self.steps_run} steps"
+        )
+        victims = ", ".join(str(v) for v in sorted(self.victims, key=str))
+        return f"termination violation: {witness} (victims: {victims})"
+
+    def to_json(self) -> dict:
+        """JSON-serializable payload (the shared report protocol)."""
+        return {
+            "kind": "termination_violation",
+            "victims": encode_value(self.victims),
+            "survivors": encode_value(self.survivors),
+            "steps_run": self.steps_run,
+            "exact": self.exact,
+            "cycle_length": self.cycle_length,
+            "description": self.description,
+        }
+
 
 @dataclass
 class DecisionContradiction:
@@ -82,6 +105,29 @@ class DecisionContradiction:
     value_from_s0: Hashable
     value_from_s1: Hashable | None
     replay_decided: bool
+
+    def summary(self) -> str:
+        """One-line human summary (the shared report protocol)."""
+        replay = (
+            f"decided {self.value_from_s1!r}"
+            if self.replay_decided
+            else "never decided"
+        )
+        return (
+            f"decision contradiction: {self.decider} decided "
+            f"{self.value_from_s0!r} from s0, replay from s1 {replay}"
+        )
+
+    def to_json(self) -> dict:
+        """JSON-serializable payload (the shared report protocol)."""
+        return {
+            "kind": "decision_contradiction",
+            "victims": encode_value(self.victims),
+            "decider": encode_value(self.decider),
+            "value_from_s0": encode_value(self.value_from_s0),
+            "value_from_s1": encode_value(self.value_from_s1),
+            "replay_decided": self.replay_decided,
+        }
 
 
 RefutationOutcome = TerminationViolation | DecisionContradiction
@@ -408,6 +454,8 @@ def liveness_attack(
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
     deadline=None,
+    *,
+    budget=None,
 ) -> TerminationViolation | None:
     """Direct liveness attack: fail ``victims`` and run fairly.
 
@@ -416,7 +464,18 @@ def liveness_attack(
     can still decide under a fair schedule in which exceeded services go
     silent.  Returns a :class:`TerminationViolation` when they cannot,
     ``None`` when some survivor decided (the attack failed).
+
+    ``deadline`` may be a :class:`repro.engine.Deadline`; alternatively
+    pass ``budget=Budget(deadline_seconds=...)`` to start a fresh
+    deadline from it (passing both is a :class:`TypeError`).
     """
+    if budget is not None:
+        if deadline is not None:
+            raise TypeError("pass deadline= or budget=, not both")
+        # Lazy: repro.engine imports this package at load time.
+        from ..engine.budget import Deadline
+
+        deadline = Deadline(budget.deadline_seconds)
     victims = frozenset(victims)
     silenced = silenced_services_for(
         system, victims, also=tuple(failure_aware_services)

@@ -8,10 +8,34 @@ analysis modules themselves so the data stays plain and testable.
 
 from __future__ import annotations
 
+from typing import Protocol, runtime_checkable
+
 from .adversary import Verdict
 from .hook import FairCycle, Hook, Lemma8Report
 from .refutation import DecisionContradiction, TerminationViolation
 from .valence import Lemma4Result
+
+
+@runtime_checkable
+class Summarizable(Protocol):
+    """The shared report protocol of analysis and engine results.
+
+    Every substantial result object — :class:`~repro.analysis.Verdict`,
+    :class:`~repro.analysis.ValenceAnalysis`,
+    :class:`~repro.analysis.Lemma4Result`, hook/cycle/refutation
+    witnesses, :class:`~repro.engine.EngineReport`, and
+    :class:`~repro.engine.BudgetExhausted` — implements both methods, so
+    the CLI (and any caller) can render one-line summaries and ``--json``
+    documents without knowing the concrete type.
+    """
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        ...
+
+    def to_json(self) -> dict:
+        """JSON-serializable payload (scalars, lists, dicts only)."""
+        ...
 
 
 def format_lemma4(result: Lemma4Result) -> list[str]:

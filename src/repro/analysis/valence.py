@@ -38,7 +38,7 @@ from typing import Hashable, Mapping, Sequence
 
 from ..ioa.automaton import State
 from ..ioa.execution import Execution
-from ..obs.events import VALENCE_VERDICT
+from ..obs.events import VALENCE_VERDICT, encode_value
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.sinks import NULL_TRACER, Tracer
 from ..system.system import DistributedSystem
@@ -128,22 +128,54 @@ class ValenceAnalysis:
             histogram[self.valence(state)] += 1
         return histogram
 
+    def summary(self) -> str:
+        """One-line human summary (the shared report protocol)."""
+        histogram = self.counts()
+        parts = ", ".join(
+            f"{count} {valence.value}"
+            for valence, count in histogram.items()
+            if count
+        )
+        reduced = " [reduced]" if self.reduction is not None else ""
+        return (
+            f"valence: {len(self.graph)} states / "
+            f"{self.graph.edge_count()} transitions{reduced}: {parts or 'empty'}"
+        )
+
+    def to_json(self) -> dict:
+        """JSON-serializable payload (the shared report protocol)."""
+        return {
+            "states": len(self.graph),
+            "transitions": self.graph.edge_count(),
+            "reduced": self.reduction is not None,
+            "valences": {
+                valence.value: count for valence, count in self.counts().items()
+            },
+        }
+
 
 def analyze_valence(
     system: DistributedSystem,
     root: State,
-    max_states: int = 200_000,
+    max_states: int | None = None,
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
     engine=None,
     reduction=None,
+    *,
+    budget=None,
 ) -> ValenceAnalysis:
     """Explore from ``root`` and compute the valence of every state.
 
+    ``budget`` is a :class:`repro.engine.Budget` bounding the
+    exploration (default ``Budget(max_states=200_000)``); ``max_states``
+    survives as a deprecated alias for ``budget=Budget(max_states=...)``
+    and emits a :class:`DeprecationWarning`.
+
     ``engine`` may be a preconfigured
     :class:`repro.engine.ExplorationEngine` (workers, deadline,
-    checkpointing); by default a one-worker engine bounded by
-    ``max_states`` is used, matching :func:`~repro.analysis.explorer.explore`.
+    checkpointing); its own budget then governs the exploration, and the
+    ``budget``/``max_states`` arguments here are ignored.
 
     ``reduction`` may be a :class:`repro.engine.ReductionConfig`; the
     exploration then runs through a
@@ -152,19 +184,22 @@ def analyze_valence(
     valence lookups.  Both reductions preserve reachable decision sets
     (see ``docs/reduction.md``), so every valence verdict is unchanged.
     """
+    # Lazy: repro.engine imports this package at load time.
+    from ..engine.budget import resolve_budget
+
+    budget = resolve_budget(budget, max_states)
     view = DeterministicSystemView(system)
     view.check_failure_free(root)
     explore_view = view
     reduced = None
     if reduction is not None and reduction.enabled:
-        # Lazy: repro.engine.reduction imports this package at load time.
         from ..engine.reduction import build_reduced_view
 
         reduced = build_reduced_view(view, root, reduction)
         explore_view = reduced
     if engine is None:
         graph = explore(
-            explore_view, root, max_states=max_states, tracer=tracer, metrics=metrics
+            explore_view, root, budget=budget, tracer=tracer, metrics=metrics
         )
     else:
         graph = engine.explore(explore_view, root, tracer=tracer, metrics=metrics)
@@ -203,14 +238,53 @@ class Lemma4Result:
     bivalent: InitializationValence | None
     critical_pair: tuple[int, int] | None
 
+    def summary(self) -> str:
+        """One-line human summary (the shared report protocol)."""
+        valences = " ".join(entry.valence.value for entry in self.chain)
+        if self.bivalent is not None:
+            index = next(
+                position
+                for position, entry in enumerate(self.chain)
+                if entry is self.bivalent
+            )
+            found = f"bivalent initialization at chain index {index}"
+        else:
+            found = "no bivalent initialization"
+        return f"lemma4: {found} (chain: {valences})"
+
+    def to_json(self) -> dict:
+        """JSON-serializable payload (the shared report protocol)."""
+        bivalent_index = None
+        if self.bivalent is not None:
+            bivalent_index = next(
+                position
+                for position, entry in enumerate(self.chain)
+                if entry is self.bivalent
+            )
+        return {
+            "chain": [
+                {
+                    "assignment": encode_value(entry.assignment),
+                    "valence": entry.valence.value,
+                }
+                for entry in self.chain
+            ],
+            "bivalent_index": bivalent_index,
+            "critical_pair": (
+                None if self.critical_pair is None else list(self.critical_pair)
+            ),
+        }
+
 
 def lemma4_bivalent_initialization(
     system: DistributedSystem,
-    max_states: int = 200_000,
+    max_states: int | None = None,
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
     engine=None,
     reduction=None,
+    *,
+    budget=None,
 ) -> Lemma4Result:
     """Find a bivalent initialization, per the proof of Lemma 4.
 
@@ -220,7 +294,13 @@ def lemma4_bivalent_initialization(
     with the full chain.  For a correct consensus system the chain
     endpoints are 0-valent and 1-valent by validity, so a bivalent
     element or a critical adjacent pair must exist.
+
+    ``budget`` bounds each exploration of the chain (``max_states`` is
+    the deprecated alias, warning once for the whole chain).
     """
+    from ..engine.budget import resolve_budget
+
+    budget = resolve_budget(budget, max_states)
     endpoints = list(system.process_ids)
     chain: list[InitializationValence] = []
     for split in range(len(endpoints) + 1):
@@ -232,11 +312,11 @@ def lemma4_bivalent_initialization(
         analysis = analyze_valence(
             system,
             execution.final_state,
-            max_states,
             tracer=tracer,
             metrics=metrics,
             engine=engine,
             reduction=reduction,
+            budget=budget,
         )
         valence = analysis.valence(execution.final_state)
         if tracer.enabled:

@@ -18,14 +18,27 @@ The engine is the scalable successor of
 * :mod:`repro.engine.api`         — the :class:`ExplorationEngine`
   facade the analysis layer and the CLI drive, with a documented
   guarantee that the produced graph is identical to the sequential one;
+* :mod:`repro.engine.errors`      — the structured :class:`EngineError`
+  taxonomy for worker failures (:class:`WorkerLost`,
+  :class:`PartitionRetryExhausted`, :class:`StateQuarantined`);
+* :mod:`repro.engine.chaos`       — the deterministic fault-injection
+  harness (:class:`FaultPlan`, the ``REPRO_CHAOS`` environment
+  variable) used to test the pool's crash recovery;
 * :mod:`repro.engine.reduction`   — symmetry (orbit-quotient) and
   ample-set partial-order reduction, shrinking the explored graph while
   preserving the queries the analysis layer asks (see
   ``docs/reduction.md`` for the soundness argument and limits).
 """
 
-from .api import ExplorationEngine
-from .budget import DEFAULT_BUDGET, Budget, BudgetExhausted, Deadline
+from .api import EngineReport, ExplorationEngine
+from .budget import (
+    DEFAULT_BUDGET,
+    Budget,
+    BudgetExhausted,
+    Deadline,
+    resolve_budget,
+)
+from .chaos import FaultPlan
 from .checkpoint import (
     Checkpoint,
     CheckpointError,
@@ -33,7 +46,14 @@ from .checkpoint import (
     discard_checkpoint,
     find_checkpoint,
     load_checkpoint,
+    resume_hint,
     save_checkpoint,
+)
+from .errors import (
+    EngineError,
+    PartitionRetryExhausted,
+    StateQuarantined,
+    WorkerLost,
 )
 from .fingerprint import (
     DIGEST_SIZE,
@@ -45,7 +65,7 @@ from .fingerprint import (
     fingerprint_components,
     shard_of,
 )
-from .parallel import fork_available
+from .parallel import WorkerPool, fork_available
 from .reduction import (
     Canonicalizer,
     ReducedView,
@@ -66,14 +86,21 @@ __all__ = [
     "DEFAULT_BUDGET",
     "DIGEST_SIZE",
     "Deadline",
+    "EngineError",
+    "EngineReport",
     "ExplorationEngine",
+    "FaultPlan",
     "FingerprintCollision",
     "FingerprintIndex",
+    "PartitionRetryExhausted",
     "ReducedView",
     "ReductionAuditError",
     "ReductionComparison",
     "ReductionConfig",
     "StateIndex",
+    "StateQuarantined",
+    "WorkerLost",
+    "WorkerPool",
     "audit_reduction",
     "build_reduced_view",
     "canonical_bytes",
@@ -85,6 +112,8 @@ __all__ = [
     "fingerprint_components",
     "fork_available",
     "load_checkpoint",
+    "resolve_budget",
+    "resume_hint",
     "save_checkpoint",
     "shard_of",
 ]

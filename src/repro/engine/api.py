@@ -36,12 +36,29 @@ probability ~``n^2/2^129``; collision-audit mode
 guarantee to a checked one.  Interrupted runs may differ from a
 sequential interrupt in *which* prefix they explored, but resuming any
 checkpoint converges to the same completed graph.
+
+Fault tolerance
+---------------
+
+Worker crashes do not abort a run: the
+:class:`~repro.engine.parallel.WorkerPool` detects dead workers,
+re-dispatches their frontier partitions (re-expansion is idempotent, so
+the guarantee above survives), respawns crashed slots with bounded
+backoff, and degrades to in-process expansion when the whole pool dies.
+The one escape hatch is **quarantine**: a state that repeatedly kills
+whoever expands it is skipped — keeping its node, dropping its outgoing
+edges — and surfaced in :attr:`ExplorationEngine.last_report` (an
+:class:`EngineReport`), never silently.  A run with a non-empty
+``quarantined`` list is the one case where the produced graph is *not*
+the full sequential graph.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Hashable
 
@@ -51,24 +68,17 @@ from ..obs.events import CHECKPOINT_SAVED, STATE_EXPLORED, WORKER_ROUND
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.sinks import NULL_TRACER, Tracer
 from .budget import DEFAULT_BUDGET, Budget, BudgetExhausted, Deadline
+from .chaos import FaultPlan
 from .checkpoint import (
     Checkpoint,
     discard_checkpoint,
     find_checkpoint,
     load_checkpoint,
+    resume_hint,
     save_checkpoint,
 )
-from .fingerprint import DIGEST_SIZE, FingerprintIndex, StateIndex, fingerprint, shard_of
-from .parallel import (
-    CHUNK_DIGESTS,
-    CHUNK_STATES,
-    PRUNED,
-    WINDOW,
-    LocalExpander,
-    start_workers,
-    stop_workers,
-    wait_ready,
-)
+from .fingerprint import DIGEST_SIZE, FingerprintIndex, StateIndex, fingerprint
+from .parallel import PRUNED, QUARANTINED, WorkerPool
 
 #: Sequential deadline checks happen every this many expansions.
 _DEADLINE_STRIDE = 512
@@ -109,10 +119,76 @@ class _Run:
         "phase",
         "orbit_hits",
         "pruned_tasks",
+        "quarantined",
+        "pool",
     )
 
     def elapsed(self) -> float:
         return self.elapsed_prior + (time.monotonic() - self.started)
+
+
+@dataclass(frozen=True)
+class EngineReport:
+    """Progress and fault-tolerance summary of one completed exploration.
+
+    Exposed as :attr:`ExplorationEngine.last_report` after every
+    ``explore()`` call (including ones that raised
+    :class:`~repro.engine.budget.BudgetExhausted`).  ``degraded`` is
+    true when the run finished on in-process expanders despite multiple
+    workers being requested — either fork was unavailable or the pool
+    collapsed; ``quarantined`` lists the digests of states skipped
+    because they repeatedly killed workers (``quarantined_states`` holds
+    the states themselves), the one case where the produced graph is
+    not the full one.
+    """
+
+    states: int
+    transitions: int
+    rounds: int
+    elapsed_seconds: float
+    workers: int
+    degraded: bool
+    worker_failures: int
+    worker_respawns: int
+    partitions_reassigned: int
+    quarantined: tuple = ()
+    quarantined_states: tuple = ()
+
+    def summary(self) -> str:
+        """One-line human summary (the shared report protocol)."""
+        line = (
+            f"engine: {self.states} states / {self.transitions} transitions"
+            f" in {self.elapsed_seconds:.3f}s"
+            f" ({self.workers} worker{'s' if self.workers != 1 else ''}"
+            f", {self.rounds} rounds)"
+        )
+        if self.worker_failures:
+            line += (
+                f"; {self.worker_failures} worker failure"
+                f"{'s' if self.worker_failures != 1 else ''}"
+                f" ({self.worker_respawns} respawned,"
+                f" {self.partitions_reassigned} partitions re-dispatched)"
+            )
+        if self.quarantined:
+            line += f"; {len(self.quarantined)} state(s) QUARANTINED"
+        if self.degraded:
+            line += "; degraded to in-process expansion"
+        return line
+
+    def to_json(self) -> dict:
+        """JSON-serializable payload (the shared report protocol)."""
+        return {
+            "states": self.states,
+            "transitions": self.transitions,
+            "rounds": self.rounds,
+            "elapsed_seconds": self.elapsed_seconds,
+            "workers": self.workers,
+            "degraded": self.degraded,
+            "worker_failures": self.worker_failures,
+            "worker_respawns": self.worker_respawns,
+            "partitions_reassigned": self.partitions_reassigned,
+            "quarantined": list(self.quarantined),
+        }
 
 
 class ExplorationEngine:
@@ -144,6 +220,35 @@ class ExplorationEngine:
         Collision-audit mode: keep full states per digest and raise
         :class:`~repro.engine.fingerprint.FingerprintCollision` if two
         unequal states ever hash alike.  Implies digest dedup.
+    max_worker_restarts:
+        How many times a crashed worker slot is respawned (with
+        exponential backoff) before its partitions are redistributed to
+        survivors.  ``None`` (the default) reads
+        ``REPRO_ENGINE_MAX_RESTARTS`` from the environment, falling back
+        to 3.
+    restart_backoff_seconds:
+        Base of the exponential respawn backoff (doubles per restart of
+        the same slot, capped at 2s per sleep).
+    max_partition_retries:
+        Hard ceiling on how often one frontier partition may be
+        re-dispatched after worker losses before the run raises
+        :class:`~repro.engine.errors.PartitionRetryExhausted`.
+    max_state_retries:
+        Worker losses a *single* state may cause before it is
+        quarantined (skipped and surfaced in :attr:`last_report`).
+    quarantine:
+        When false, a state hitting ``max_state_retries`` raises
+        :class:`~repro.engine.errors.StateQuarantined` instead of being
+        skipped (for runs that must not give up the identical-graph
+        guarantee).
+    fault_plan:
+        A :class:`~repro.engine.chaos.FaultPlan` scheduling
+        deterministic worker kills (testing the recovery paths).
+        ``None`` reads the ``REPRO_CHAOS`` environment variable.
+    heartbeat_seconds:
+        Liveness-check interval: when no worker replies for this long,
+        every waited-on worker's process is checked (catches deaths the
+        pipe has not reported yet).
     """
 
     def __init__(
@@ -159,11 +264,30 @@ class ExplorationEngine:
         digest_size: int = DIGEST_SIZE,
         tracer: Tracer = NULL_TRACER,
         metrics: MetricsRegistry = NULL_METRICS,
+        max_worker_restarts: int | None = None,
+        restart_backoff_seconds: float = 0.05,
+        max_partition_retries: int = 5,
+        max_state_retries: int = 2,
+        quarantine: bool = True,
+        fault_plan: FaultPlan | None = None,
+        heartbeat_seconds: float = 5.0,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be >= 1")
+        if max_worker_restarts is None:
+            max_worker_restarts = int(os.environ.get("REPRO_ENGINE_MAX_RESTARTS", "3"))
+        if max_worker_restarts < 0:
+            raise ValueError(
+                f"max_worker_restarts must be >= 0, got {max_worker_restarts}"
+            )
+        if max_partition_retries < 0:
+            raise ValueError(
+                f"max_partition_retries must be >= 0, got {max_partition_retries}"
+            )
+        if max_state_retries < 1:
+            raise ValueError(f"max_state_retries must be >= 1, got {max_state_retries}")
         self.workers = workers
         self.budget = DEFAULT_BUDGET if budget is None else budget
         self.checkpoint_dir = None if checkpoint_dir is None else Path(checkpoint_dir)
@@ -174,6 +298,15 @@ class ExplorationEngine:
         self.digest_size = digest_size
         self.tracer = tracer
         self.metrics = metrics
+        self.max_worker_restarts = max_worker_restarts
+        self.restart_backoff_seconds = restart_backoff_seconds
+        self.max_partition_retries = max_partition_retries
+        self.max_state_retries = max_state_retries
+        self.quarantine = quarantine
+        self.fault_plan = FaultPlan.from_env() if fault_plan is None else fault_plan
+        self.heartbeat_seconds = heartbeat_seconds
+        #: :class:`EngineReport` of the most recent ``explore()`` call.
+        self.last_report: EngineReport | None = None
 
     # -- public API -----------------------------------------------------------
 
@@ -214,9 +347,13 @@ class ExplorationEngine:
                     transitions=run.transitions,
                     elapsed_seconds=run.elapsed(),
                     checkpoint=path,
+                    resume_command=(
+                        None if path is None else resume_hint(self.checkpoint_dir)
+                    ),
                 ) from None
         finally:
             self._publish(run)
+            self.last_report = self._build_report(run)
         if self.checkpoint_dir is not None:
             discard_checkpoint(self.checkpoint_dir, run.root_digest)
         return StateGraph(root=root, states=StateSet(run.order), edges=run.edges)
@@ -252,6 +389,8 @@ class ExplorationEngine:
         run.phase = {}
         run.orbit_hits = 0
         run.pruned_tasks = 0
+        run.quarantined = []
+        run.pool = None
         checkpoint = self._load_resumable(run)
         if checkpoint is not None:
             run.order = checkpoint.order
@@ -314,30 +453,31 @@ class ExplorationEngine:
 
     def _drive_parallel(self, run: _Run) -> None:
         budget = self.budget
-        workers = self.workers
-        handles = start_workers(
-            workers, run.view, run.prune, self.digest_size, self.audit
-        )
-        local = handles is None
-        if local:
-            if run.metrics.enabled:
-                run.metrics.counter("engine.inprocess_fallbacks").inc()
-            handles = [
-                LocalExpander(run.view, run.prune, self.digest_size, self.audit)
-                for _ in range(workers)
-            ]
-        # Coordinator-side resolution tables for the fingerprint wire
-        # protocol: the interned state per digest (every digest in the
-        # index has an entry — seeded here, maintained by the novel
-        # lists in worker replies), the digests each worker holds (so
-        # frontier entries ship as bare digests after the first time),
-        # and each worker's action table.
+        pool = WorkerPool(
+            self.workers,
+            run.view,
+            run.prune,
+            self.digest_size,
+            self.audit,
+            max_worker_restarts=self.max_worker_restarts,
+            restart_backoff_seconds=self.restart_backoff_seconds,
+            max_partition_retries=self.max_partition_retries,
+            max_state_retries=self.max_state_retries,
+            quarantine=self.quarantine,
+            fault_plan=self.fault_plan,
+            heartbeat_seconds=self.heartbeat_seconds,
+            tracer=run.tracer,
+            metrics=run.metrics,
+        ).start()
+        run.pool = pool
+        # Coordinator-side digest-to-state table for the fingerprint wire
+        # protocol: every digest in the index has an entry — seeded here,
+        # maintained from the novel lists in worker replies (the pool
+        # owns the per-worker seen/action tables).
         state_of: dict = {run.root_digest: run.root}
         if run.resumed:
             for state in run.order:
                 state_of.setdefault(run.index.digest(state), state)
-        seen_by: list[set] = [set() for _ in range(workers)]
-        actions_of: list[list] = [[] for _ in range(workers)]
         tasks = run.view.tasks
         intern_action = run.action_intern
         try:
@@ -351,20 +491,7 @@ class ExplorationEngine:
                         state_of.setdefault(digest, state)
                     items.append((state, digest))
                 run.frontier.clear()
-                assignment, results_by_worker = self._exchange(
-                    run, handles, local, items, state_of, seen_by, actions_of
-                )
-                queues = [deque(rows) for rows in results_by_worker]
-                if run.metrics.enabled:
-                    for shard, rows in enumerate(results_by_worker):
-                        if not rows:
-                            continue
-                        run.metrics.counter(f"engine.worker{shard}.expanded").inc(
-                            len(rows)
-                        )
-                        run.metrics.counter(f"engine.worker{shard}.transitions").inc(
-                            sum(len(row) for row in rows if row != PRUNED)
-                        )
+                results = pool.run_round(run.rounds + 1, items, state_of, run.phase)
                 # Merge in exact frontier order: this loop — not the
                 # workers — is where states are discovered, which is what
                 # keeps the graph identical to the sequential one.
@@ -372,16 +499,17 @@ class ExplorationEngine:
                 position = 0
                 try:
                     for position, (state, digest) in enumerate(items):
-                        result = queues[assignment[position]].popleft()
+                        result = results[position]
                         if result == PRUNED:
                             self._commit_pruned(run, state)
                             continue
-                        worker_actions = actions_of[assignment[position]]
+                        if result == QUARANTINED:
+                            self._commit_quarantined(run, state)
+                            continue
                         out = []
                         digests = []
                         if self.audit:
-                            for task_index, action_index, succ_digest, succ in result:
-                                action = worker_actions[action_index]
+                            for task_index, action, succ_digest, succ in result:
                                 out.append(
                                     (
                                         tasks[task_index],
@@ -391,8 +519,7 @@ class ExplorationEngine:
                                 )
                                 digests.append(succ_digest)
                         else:
-                            for task_index, action_index, succ_digest in result:
-                                action = worker_actions[action_index]
+                            for task_index, action, succ_digest in result:
                                 out.append(
                                     (
                                         tasks[task_index],
@@ -420,122 +547,12 @@ class ExplorationEngine:
                         WORKER_ROUND,
                         round=run.rounds,
                         expanded=len(items),
-                        shards=sum(1 for rows in results_by_worker if rows),
+                        shards=pool.last_round_producers,
                         frontier=len(run.frontier),
                     )
                 self._maybe_checkpoint(run)
         finally:
-            if not local:
-                stop_workers(handles)
-
-    def _exchange(self, run, handles, local, items, state_of, seen_by, actions_of):
-        """Ship one round's frontier and collect every worker reply.
-
-        Returns ``(assignment, results_by_worker)``: the owning worker
-        per item, and each worker's result rows in its items order (so
-        the merge loop can replay global frontier order by popping from
-        per-worker FIFO queues).
-        """
-        workers = len(handles)
-        assignment = []
-        buckets: list[list] = [[] for _ in range(workers)]
-        for state, digest in items:
-            shard = shard_of(digest, workers)
-            assignment.append(shard)
-            buckets[shard].append((state, digest))
-        pending: list[deque] = [deque() for _ in range(workers)]
-        for shard, bucket in enumerate(buckets):
-            known = seen_by[shard]
-            chunk: list = []
-            stateful = False
-            for state, digest in bucket:
-                if digest in known:
-                    entry = digest
-                    entry_stateful = False
-                else:
-                    entry = (digest, state)
-                    entry_stateful = True
-                    known.add(digest)
-                cap = CHUNK_STATES if (stateful or entry_stateful) else CHUNK_DIGESTS
-                if chunk and len(chunk) >= cap:
-                    pending[shard].append((chunk, stateful))
-                    chunk = []
-                    stateful = False
-                chunk.append(entry)
-                stateful = stateful or entry_stateful
-            if chunk:
-                pending[shard].append((chunk, stateful))
-        results_by_worker: list[list] = [[] for _ in range(workers)]
-        outstanding = [0] * workers
-
-        def pump() -> None:
-            # Digest-only chunks ride the pipe buffer (WINDOW in flight);
-            # a state-carrying chunk of unbounded pickle size goes only
-            # to an idle worker whose blocking recv drains the pipe.
-            for shard, handle in enumerate(handles):
-                queue = pending[shard]
-                while queue:
-                    chunk, stateful = queue[0]
-                    if stateful:
-                        if outstanding[shard] > 0:
-                            break
-                    elif outstanding[shard] >= WINDOW:
-                        break
-                    queue.popleft()
-                    before = time.perf_counter()
-                    handle.send(chunk)
-                    run.phase["serialize_seconds"] = run.phase.get(
-                        "serialize_seconds", 0.0
-                    ) + (time.perf_counter() - before)
-                    outstanding[shard] += 1
-
-        pump()
-        while any(outstanding):
-            if local:
-                ready = [shard for shard, count in enumerate(outstanding) if count]
-            else:
-                ready = wait_ready(handles, outstanding)
-            for shard in ready:
-                reply = handles[shard].recv()
-                outstanding[shard] -= 1
-                self._ingest(
-                    run, reply, shard, state_of, seen_by, actions_of, results_by_worker
-                )
-            pump()
-        return assignment, results_by_worker
-
-    def _ingest(
-        self, run, reply, shard, state_of, seen_by, actions_of, results_by_worker
-    ) -> None:
-        """Fold one worker reply into the coordinator tables."""
-        results, novel, new_actions, stats = reply
-        expand_seconds, fingerprint_seconds, send_seconds, orbit_hits, pruned = stats
-        for digest, state in novel:
-            state_of.setdefault(digest, state)
-        known = seen_by[shard]
-        if self.audit:
-            for row in results:
-                if row == PRUNED:
-                    continue
-                for _, _, digest, state in row:
-                    known.add(digest)
-                    state_of.setdefault(digest, state)
-        else:
-            for row in results:
-                if row == PRUNED:
-                    continue
-                for _, _, digest in row:
-                    known.add(digest)
-        results_by_worker[shard].extend(results)
-        actions_of[shard].extend(new_actions)
-        phase = run.phase
-        phase["expand_seconds"] = phase.get("expand_seconds", 0.0) + expand_seconds
-        phase["fingerprint_seconds"] = (
-            phase.get("fingerprint_seconds", 0.0) + fingerprint_seconds
-        )
-        phase["serialize_seconds"] = phase.get("serialize_seconds", 0.0) + send_seconds
-        run.orbit_hits += orbit_hits
-        run.pruned_tasks += pruned
+            pool.stop()
 
     # -- the single merge step ------------------------------------------------
 
@@ -545,6 +562,16 @@ class ExplorationEngine:
         run.since_checkpoint += 1
         if run.tracing:
             run.tracer.emit(STATE_EXPLORED, edges=0, pruned=True)
+
+    def _commit_quarantined(self, run: _Run, state) -> None:
+        # The state keeps its node but loses its outgoing edges — the
+        # documented breach of the identical-graph guarantee, surfaced
+        # via run.quarantined -> EngineReport (the pool already emitted
+        # the state_quarantined trace event at detection time).
+        run.edges[state] = []
+        run.expanded += 1
+        run.since_checkpoint += 1
+        run.quarantined.append(state)
 
     def _commit(self, run: _Run, state, digest, out, succ_digests) -> None:
         """Discover ``out``'s successors and record the expansion.
@@ -639,9 +666,39 @@ class ExplorationEngine:
             )
         return path
 
+    # -- reporting ------------------------------------------------------------
+
+    def _build_report(self, run: _Run) -> EngineReport:
+        pool = run.pool
+        return EngineReport(
+            states=len(run.order),
+            transitions=run.transitions,
+            rounds=run.rounds,
+            elapsed_seconds=run.elapsed(),
+            workers=self.workers,
+            degraded=bool(pool is not None and pool.local and self.workers > 1),
+            worker_failures=0 if pool is None else pool.worker_failures,
+            worker_respawns=0 if pool is None else pool.worker_respawns,
+            partitions_reassigned=0 if pool is None else pool.partitions_reassigned,
+            quarantined=(
+                ()
+                if pool is None
+                else tuple(digest.hex() for _, digest in pool.quarantined)
+            ),
+            quarantined_states=(
+                () if pool is None else tuple(state for state, _ in pool.quarantined)
+            ),
+        )
+
     # -- metrics --------------------------------------------------------------
 
     def _publish(self, run: _Run) -> None:
+        # Reduction stats gathered by the pool (worker replies) belong to
+        # the run, metrics or not.
+        if run.pool is not None:
+            run.orbit_hits += run.pool.orbit_hits
+            run.pruned_tasks += run.pool.pruned_tasks
+            run.pool.orbit_hits = run.pool.pruned_tasks = 0
         metrics = run.metrics
         if not metrics.enabled:
             return

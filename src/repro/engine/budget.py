@@ -17,6 +17,7 @@ is hit the engine raises :class:`BudgetExhausted`, which
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 
 from ..analysis.explorer import ExplorationBudget
@@ -55,13 +56,53 @@ class Budget:
 DEFAULT_BUDGET = Budget(max_states=200_000)
 
 
+def resolve_budget(
+    budget: Budget | None,
+    max_states: int | None,
+    *,
+    default: Budget | None = DEFAULT_BUDGET,
+    stacklevel: int = 3,
+) -> Budget | None:
+    """Resolve the ``budget=`` / legacy ``max_states=`` pair of an entry point.
+
+    Every analysis entry point accepts ``budget=Budget(...)`` as the one
+    way to bound an exploration; ``max_states=`` survives as a
+    deprecated alias.  This helper implements the shared contract:
+
+    * both given — :class:`TypeError` (they would contradict);
+    * ``max_states`` given — emit exactly one :class:`DeprecationWarning`
+      and return ``Budget(max_states=max_states)``;
+    * ``budget`` given — return it unchanged;
+    * neither — return ``default``.
+
+    Callers resolve once at the outermost entry point and pass
+    ``budget=`` downstream, so a deprecated call warns exactly once.
+    """
+    if budget is not None and max_states is not None:
+        raise TypeError(
+            "pass budget=Budget(...) or the deprecated max_states=, not both"
+        )
+    if max_states is not None:
+        warnings.warn(
+            "max_states= is deprecated; pass budget=Budget(max_states=...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        return Budget(max_states=max_states)
+    if budget is not None:
+        return budget
+    return default
+
+
 class BudgetExhausted(ExplorationBudget):
     """A budget limit was hit; carries partial-progress statistics.
 
     ``resource`` is ``"states"``, ``"transitions"`` or ``"deadline"``;
     ``checkpoint`` is the path of the snapshot written on exhaustion
     (``None`` when checkpointing was off), from which
-    :meth:`~repro.engine.api.ExplorationEngine.explore` can resume.
+    :meth:`~repro.engine.api.ExplorationEngine.explore` can resume;
+    ``resume_command`` is the ready-to-run recipe for doing so (set
+    whenever ``checkpoint`` is), so the exit-2 path is actionable.
     """
 
     def __init__(
@@ -72,6 +113,7 @@ class BudgetExhausted(ExplorationBudget):
         transitions: int,
         elapsed_seconds: float,
         checkpoint: object = None,
+        resume_command: str | None = None,
     ) -> None:
         self.resource = resource
         self.limit = limit
@@ -79,6 +121,7 @@ class BudgetExhausted(ExplorationBudget):
         self.transitions = transitions
         self.elapsed_seconds = elapsed_seconds
         self.checkpoint = checkpoint
+        self.resume_command = resume_command
         noun = {
             "states": f"reachable state space exceeds {limit:g} states",
             "transitions": f"transition budget of {limit:g} exceeded",
@@ -89,7 +132,26 @@ class BudgetExhausted(ExplorationBudget):
             f"in {elapsed_seconds:.3f}s before exhaustion"
         )
         suffix += f"; checkpoint: {checkpoint})" if checkpoint else ")"
+        if resume_command:
+            suffix += f"; resume: {resume_command}"
         super().__init__(noun + suffix)
+
+    def summary(self) -> str:
+        """One-line human summary (the shared report protocol)."""
+        return str(self)
+
+    def to_json(self) -> dict:
+        """JSON-serializable payload (the shared report protocol)."""
+        return {
+            "error": "budget_exhausted",
+            "resource": self.resource,
+            "limit": self.limit,
+            "states": self.states,
+            "transitions": self.transitions,
+            "elapsed_seconds": self.elapsed_seconds,
+            "checkpoint": None if self.checkpoint is None else str(self.checkpoint),
+            "resume_command": self.resume_command,
+        }
 
 
 class Deadline:

@@ -1,0 +1,120 @@
+"""Deterministic fault injection for the parallel engine.
+
+The recovery paths of :mod:`repro.engine.parallel` — crash detection,
+partition reassignment, bounded respawn, quarantine, pool collapse —
+only matter when workers actually die, which they conveniently refuse
+to do under test.  A :class:`FaultPlan` makes worker death a
+*deterministic, scheduled* event:
+
+* ``kills`` — a set of ``(round, worker)`` pairs; at the start of the
+  named exchange round (1-based), the coordinator SIGKILLs that
+  worker's process after the round's first chunks are in flight, so the
+  loss is detected mid-round exactly like a real OOM kill;
+* ``poison`` — a set of state digests; any forked worker asked to
+  expand a poisoned state exits hard (``os._exit``) *before* expanding,
+  which makes the same state kill every worker it is re-dispatched to —
+  the scenario quarantine exists for.
+
+Plans are plain data, so a chaos test and the production engine run the
+very same recovery code; nothing is mocked.  The ``REPRO_CHAOS``
+environment variable carries a plan into CLI runs (the chaos-smoke CI
+job), with the grammar::
+
+    REPRO_CHAOS="kill=ROUND:WORKER[,ROUND:WORKER...] poison=HEX[,HEX...]"
+
+e.g. ``REPRO_CHAOS="kill=2:0"`` kills worker 0 in round 2.  Directives
+are whitespace- or semicolon-separated; unknown directives are errors
+(a typo silently disabling chaos would defeat the point).
+
+In-process expanders (the no-fork fallback, or a collapsed pool) ignore
+fault plans: there is no process to kill.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+#: Environment variable consulted by :meth:`FaultPlan.from_env`.
+REPRO_CHAOS = "REPRO_CHAOS"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of worker faults.
+
+    ``kills`` holds ``(round, worker)`` pairs (rounds are 1-based,
+    matching the engine's ``worker_round`` trace events); ``poison``
+    holds state digests whose expansion hard-exits the worker.
+    """
+
+    kills: frozenset = field(default_factory=frozenset)
+    poison: frozenset = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        for pair in self.kills:
+            if (
+                not isinstance(pair, tuple)
+                or len(pair) != 2
+                or not all(isinstance(part, int) and part >= 0 for part in pair)
+            ):
+                raise ValueError(
+                    f"kills entries must be (round, worker) int pairs, got {pair!r}"
+                )
+        for digest in self.poison:
+            if not isinstance(digest, bytes):
+                raise ValueError(f"poison entries must be digest bytes, got {digest!r}")
+        object.__setattr__(self, "kills", frozenset(self.kills))
+        object.__setattr__(self, "poison", frozenset(self.poison))
+
+    @property
+    def enabled(self) -> bool:
+        """True when the plan schedules any fault at all."""
+        return bool(self.kills) or bool(self.poison)
+
+    def victims_at(self, round_index: int) -> tuple[int, ...]:
+        """The workers to kill at the start of ``round_index`` (sorted)."""
+        return tuple(
+            sorted(worker for round_, worker in self.kills if round_ == round_index)
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the ``REPRO_CHAOS`` grammar into a plan.
+
+        Raises :class:`ValueError` on malformed or unknown directives.
+        """
+        kills = set()
+        poison = set()
+        for directive in spec.replace(";", " ").split():
+            key, _, value = directive.partition("=")
+            if not value:
+                raise ValueError(f"malformed chaos directive {directive!r}")
+            if key == "kill":
+                for pair in value.split(","):
+                    round_text, _, worker_text = pair.partition(":")
+                    try:
+                        kills.add((int(round_text), int(worker_text)))
+                    except ValueError:
+                        raise ValueError(
+                            f"malformed kill entry {pair!r} (want ROUND:WORKER)"
+                        ) from None
+            elif key == "poison":
+                for hex_text in value.split(","):
+                    try:
+                        poison.add(bytes.fromhex(hex_text))
+                    except ValueError:
+                        raise ValueError(
+                            f"malformed poison digest {hex_text!r} (want hex)"
+                        ) from None
+            else:
+                raise ValueError(f"unknown chaos directive {key!r}")
+        return cls(kills=frozenset(kills), poison=frozenset(poison))
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultPlan | None":
+        """The plan from ``REPRO_CHAOS``, or ``None`` when unset/empty."""
+        spec = (environ if environ is not None else os.environ).get(REPRO_CHAOS, "")
+        if not spec.strip():
+            return None
+        return cls.parse(spec)

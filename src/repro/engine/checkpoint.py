@@ -126,6 +126,19 @@ def find_checkpoint(
     return path if path.exists() else None
 
 
+def resume_hint(directory: str | os.PathLike) -> str:
+    """The ready-to-run recipe for resuming checkpoints under ``directory``.
+
+    Attached to :class:`~repro.engine.budget.BudgetExhausted` whenever
+    the engine writes a checkpoint on the way out, so the exit-2 path
+    tells the caller *how* to continue, not just that a snapshot exists.
+    """
+    return (
+        f"ExplorationEngine(checkpoint_dir={str(directory)!r}, resume=True)"
+        f" (CLI: --resume {directory})"
+    )
+
+
 def discard_checkpoint(directory: str | os.PathLike, digest: bytes) -> None:
     """Remove a completed exploration's checkpoint, if any."""
     path = checkpoint_path(directory, digest)

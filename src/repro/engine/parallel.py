@@ -12,10 +12,10 @@ pipe.  Fork is a requirement, not a preference: systems under analysis
 close over local functions (service ``delta`` closures) and are not
 picklable, so the only way a worker can hold the
 :class:`~repro.analysis.view.DeterministicSystemView` is by inheriting
-the parent's memory image.  :func:`start_workers` returns ``None`` when
-the platform cannot fork (or when one worker was requested), and the
-engine falls back to :class:`LocalExpander` — same protocol, same
-graph, no processes.
+the parent's memory image.  When the platform cannot fork (or one
+worker was requested), :class:`WorkerPool` runs on
+:class:`LocalExpander` stand-ins — same protocol, same graph, no
+processes.
 
 Wire protocol
 -------------
@@ -47,19 +47,66 @@ worker is busy — while a state-carrying chunk (unbounded pickle size)
 is sent only to an idle worker, whose blocking ``recv`` drains the pipe
 as the coordinator writes.  Together these rule out the
 send-while-both-full deadlock.
+
+Fault tolerance
+---------------
+
+:class:`WorkerPool` assumes workers can die at any moment — OOM kills,
+segfaults in native extensions, or the scheduled kills of a
+:class:`~repro.engine.chaos.FaultPlan` — and recovers without
+sacrificing the identical-graph guarantee:
+
+* **detection** — a dead worker surfaces as ``EOFError``/``OSError`` on
+  its pipe; workers that die without closing the pipe (SIGKILL can race
+  the kernel's cleanup) are caught by a heartbeat: whenever no reply
+  arrives for ``heartbeat_seconds``, every waited-on worker's process
+  is liveness-checked;
+* **retry** — the chunks in flight on a lost worker are re-dispatched.
+  Re-expansion is idempotent: the view is deterministic and chunk
+  results are keyed by absolute frontier position, so a retried chunk
+  yields byte-identical rows no matter which worker runs it.  Each loss
+  bumps the chunk's retry count; past ``max_partition_retries`` the
+  pool raises :class:`~repro.engine.errors.PartitionRetryExhausted`;
+* **respawn** — a crashed worker slot is restarted (fresh fork, empty
+  store) up to ``max_worker_restarts`` times with exponential backoff;
+  past that, its partitions are redistributed across the survivors;
+* **quarantine** — a multi-state chunk that kills its worker is split
+  into singletons to isolate the killer; a singleton that reaches
+  ``max_state_retries`` losses is quarantined (skipped, recorded, and
+  surfaced in the final report) rather than retried forever — or, with
+  ``quarantine=False``, raises
+  :class:`~repro.engine.errors.StateQuarantined`;
+* **collapse** — when every worker is dead and respawns are exhausted,
+  the pool degrades to in-process :class:`LocalExpander` drivers and
+  finishes the run rather than raising.
+
+Quarantining is the one deliberate breach of the identical-graph
+guarantee — a quarantined state keeps its node but loses its outgoing
+edges — which is why quarantined states are always surfaced in the
+engine's report, never silently dropped.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
+import os
 import time
 from collections import deque
 from typing import Callable, Hashable, Sequence
 
-from .fingerprint import fingerprint_components
+from ..obs.events import STATE_QUARANTINED, WORKER_LOST, WORKER_RESPAWNED
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.sinks import NULL_TRACER, Tracer
+from .chaos import FaultPlan
+from .errors import PartitionRetryExhausted, StateQuarantined
+from .fingerprint import fingerprint_components, shard_of
 
 #: Marker returned for a pruned state instead of its successor list.
 PRUNED = "__pruned__"
+
+#: Marker returned for a quarantined state (it repeatedly killed workers).
+QUARANTINED = "__quarantined__"
 
 #: Max entries per digest-only chunk (bounded pickle ≪ the pipe buffer).
 CHUNK_DIGESTS = 512
@@ -131,8 +178,21 @@ def _expand_entries(
     return results, novel, expand_seconds, fingerprint_seconds
 
 
-def _worker_main(conn, view, prune, digest_size: int, ship_states: bool) -> None:
-    """Worker loop: expand chunks until the ``None`` sentinel (or EOF)."""
+def _worker_main(
+    conn,
+    view,
+    prune,
+    digest_size: int,
+    ship_states: bool,
+    poison: frozenset = frozenset(),
+) -> None:
+    """Worker loop: expand chunks until the ``None`` sentinel (or EOF).
+
+    ``poison`` is the fault-injection digest set of
+    :class:`~repro.engine.chaos.FaultPlan`: asked to expand a poisoned
+    state, the worker hard-exits before expanding — the deterministic
+    stand-in for "this state segfaults whoever touches it".
+    """
     store: dict = {}
     task_ids = {task: index for index, task in enumerate(view.tasks)}
     action_ids: dict = {}
@@ -146,6 +206,11 @@ def _worker_main(conn, view, prune, digest_size: int, ship_states: bool) -> None
         if chunk is None:
             conn.close()
             return
+        if poison:
+            for entry in chunk:
+                digest = entry if type(entry) is bytes else entry[0]
+                if digest in poison:
+                    os._exit(137)
         new_actions: list = []
         results, novel, expand_seconds, fingerprint_seconds = _expand_entries(
             chunk,
@@ -198,7 +263,8 @@ class LocalExpander:
 
     Speaks the exact chunk/reply protocol of :func:`_worker_main` —
     ``send`` expands immediately and queues the reply for ``recv`` — so
-    the driver runs one code path regardless of platform.
+    the driver runs one code path regardless of platform.  Local
+    expanders cannot crash, so fault plans do not apply to them.
     """
 
     def __init__(self, view, prune, digest_size: int, ship_states: bool) -> None:
@@ -243,47 +309,493 @@ class LocalExpander:
         return self._replies.popleft()
 
 
-def start_workers(
-    workers: int,
-    view,
-    prune: Callable[[Hashable], bool] | None,
-    digest_size: int,
-    ship_states: bool,
-) -> list[_WorkerHandle] | None:
-    """Fork ``workers`` expansion processes, or ``None`` for in-process.
+class _Chunk:
+    """One dispatchable slice of the round's frontier.
 
-    ``None`` means "use :class:`LocalExpander`": one worker requested,
-    or the platform lacks fork (the unpicklable view cannot reach a
-    spawned child).  Callers must hand the returned handles to
-    :func:`stop_workers` when done; the engine wraps the run in a
-    ``try/finally``.
+    ``positions`` are absolute indices into the round's item list (the
+    coordinator's results array is keyed by them, which is what makes
+    re-dispatching to *any* worker sound); ``items`` are the matching
+    ``(state, digest)`` pairs; ``retries`` counts how many worker
+    losses this chunk has survived.
     """
-    if workers <= 1 or not fork_available():
-        return None
-    context = multiprocessing.get_context("fork")
-    handles = []
-    for _ in range(workers):
-        parent_conn, child_conn = context.Pipe(duplex=True)
-        process = context.Process(
+
+    __slots__ = ("positions", "items", "retries")
+
+    def __init__(self, positions: list, items: list, retries: int = 0) -> None:
+        self.positions = positions
+        self.items = items
+        self.retries = retries
+
+
+class WorkerPool:
+    """A crash-tolerant pool of expansion workers.
+
+    Owns the full worker lifecycle — forking, chunking and dispatch,
+    reply ingestion, crash detection, retry/respawn/quarantine, and the
+    in-process collapse fallback (see the module docstring for the
+    recovery model).  One pool serves one exploration run.
+
+    :meth:`run_round` is the only work entry point: it ships one
+    round's frontier and returns a results list aligned to it, where
+    each slot is a successor row list, :data:`PRUNED`, or
+    :data:`QUARANTINED`.  Rows carry *decoded* actions (the per-worker
+    action-index indirection is resolved at ingest), so results are
+    independent of which worker produced them.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        view,
+        prune: Callable[[Hashable], bool] | None,
+        digest_size: int,
+        ship_states: bool,
+        *,
+        max_worker_restarts: int = 3,
+        restart_backoff_seconds: float = 0.05,
+        max_partition_retries: int = 5,
+        max_state_retries: int = 2,
+        quarantine: bool = True,
+        fault_plan: FaultPlan | None = None,
+        heartbeat_seconds: float = 5.0,
+        tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ) -> None:
+        self.workers = max(1, workers)
+        self._view = view
+        self._prune = prune
+        self._digest_size = digest_size
+        self._ship_states = ship_states
+        self.max_worker_restarts = max_worker_restarts
+        self.restart_backoff_seconds = restart_backoff_seconds
+        self.max_partition_retries = max_partition_retries
+        self.max_state_retries = max_state_retries
+        self.quarantine = quarantine
+        self.fault_plan = fault_plan
+        self.heartbeat_seconds = heartbeat_seconds
+        self.tracer = tracer
+        self.metrics = metrics
+        # Recovery bookkeeping, read by the engine's final report.
+        self.local = False
+        self.collapsed = False
+        self.worker_failures = 0
+        self.worker_respawns = 0
+        self.partitions_reassigned = 0
+        self.quarantined: list = []  # (state, digest) in quarantine order
+        self.orbit_hits = 0
+        self.pruned_tasks = 0
+        self.last_round_producers = 0
+        self._handles: list = []
+        self._alive: list[bool] = []
+        self._restarts: list[int] = []
+        self.seen: list[set] = []
+        self.actions: list[list] = []
+        self._context = None
+        self._round = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        """Fork the workers (or fall back to in-process expanders)."""
+        self.local = self.workers <= 1 or not fork_available()
+        if self.local:
+            self._handles = [
+                LocalExpander(self._view, self._prune, self._digest_size, self._ship_states)
+                for _ in range(self.workers)
+            ]
+            if self.workers > 1 and self.metrics.enabled:
+                self.metrics.counter("engine.inprocess_fallbacks").inc()
+        else:
+            self._context = multiprocessing.get_context("fork")
+            self._handles = [self._spawn() for _ in range(self.workers)]
+        self._alive = [True] * self.workers
+        self._restarts = [0] * self.workers
+        self.seen = [set() for _ in range(self.workers)]
+        self.actions = [[] for _ in range(self.workers)]
+        return self
+
+    def stop(self) -> None:
+        """Shut the pool down (no-op after collapse to in-process)."""
+        if self.local:
+            return
+        stop_workers(
+            [self._handles[w] for w in range(self.workers) if self._alive[w]]
+        )
+
+    def _spawn(self) -> _WorkerHandle:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        poison = self.fault_plan.poison if self.fault_plan is not None else frozenset()
+        process = self._context.Process(
             target=_worker_main,
-            args=(child_conn, view, prune, digest_size, ship_states),
+            args=(
+                child_conn,
+                self._view,
+                self._prune,
+                self._digest_size,
+                self._ship_states,
+                poison,
+            ),
             daemon=True,
         )
         process.start()
         child_conn.close()
-        handles.append(_WorkerHandle(parent_conn, process))
-    return handles
+        return _WorkerHandle(parent_conn, process)
 
+    # -- one exchange round -------------------------------------------------
 
-def wait_ready(handles: Sequence[_WorkerHandle], outstanding: Sequence[int]) -> list[int]:
-    """Indices of workers with a reply ready (blocking until at least one)."""
-    active = {
-        handles[index].conn: index
-        for index, pending in enumerate(outstanding)
-        if pending
-    }
-    ready = multiprocessing.connection.wait(list(active))
-    return [active[conn] for conn in ready]
+    def run_round(self, round_index: int, items, state_of: dict, phase: dict) -> list:
+        """Expand one round's frontier; returns results by item position.
+
+        ``items`` is the round's ``(state, digest)`` list in frontier
+        order; ``state_of`` is the coordinator's digest-to-state table
+        (novel successors are folded into it); ``phase`` accumulates
+        per-phase timings.  Each result slot is a row list of
+        ``(task_index, action, digest[, state])`` tuples (actions
+        decoded, state present in audit mode), :data:`PRUNED`, or
+        :data:`QUARANTINED`.
+        """
+        self._round = round_index
+        self._state_of = state_of
+        self._phase = phase
+        self._results: list = [None] * len(items)
+        self._pending: list[deque] = [deque() for _ in range(self.workers)]
+        self._inflight: list[deque] = [deque() for _ in range(self.workers)]
+        self._outstanding = [0] * self.workers
+        self._producers: set[int] = set()
+        self._build_chunks(items)
+        self._pump_all()
+        self._apply_scheduled_faults(round_index)
+        while True:
+            self._pump_all()
+            if not any(self._outstanding):
+                break
+            for worker in self._collect_ready():
+                try:
+                    reply = self._handles[worker].recv()
+                except (EOFError, OSError):
+                    self._worker_lost(worker)
+                    continue
+                self._outstanding[worker] -= 1
+                self._ingest(worker, self._inflight[worker].popleft(), reply)
+        self.last_round_producers = len(self._producers)
+        return self._results
+
+    def _build_chunks(self, items) -> None:
+        # Shard by digest as always; a dead shard's bucket is routed to a
+        # survivor up front (states re-ship via the encode-at-send path).
+        workers = self.workers
+        buckets: list[list] = [[] for _ in range(workers)]
+        for position, (state, digest) in enumerate(items):
+            buckets[shard_of(digest, workers)].append((position, state, digest))
+        survivors = [w for w in range(workers) if self._alive[w]]
+        for shard, bucket in enumerate(buckets):
+            if not bucket:
+                continue
+            worker = shard if self._alive[shard] else survivors[shard % len(survivors)]
+            seen = self.seen[worker]
+            positions: list = []
+            chunk_items: list = []
+            stateful = False
+            for position, state, digest in bucket:
+                entry_stateful = digest not in seen
+                cap = CHUNK_STATES if (stateful or entry_stateful) else CHUNK_DIGESTS
+                if chunk_items and len(chunk_items) >= cap:
+                    self._pending[worker].append(_Chunk(positions, chunk_items))
+                    positions, chunk_items, stateful = [], [], False
+                positions.append(position)
+                chunk_items.append((state, digest))
+                stateful = stateful or entry_stateful
+            if chunk_items:
+                self._pending[worker].append(_Chunk(positions, chunk_items))
+
+    def _apply_scheduled_faults(self, round_index: int) -> None:
+        if self.local or self.fault_plan is None:
+            return
+        for worker in self.fault_plan.victims_at(round_index):
+            if worker < self.workers and self._alive[worker]:
+                # SIGKILL after the first pump, so the loss is in-flight:
+                # detection, retry, and respawn all run for real.
+                self._handles[worker].process.kill()
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _pump_all(self) -> None:
+        # A lost worker mid-pump moves chunks onto queues already visited
+        # this pass, so pump to fixpoint.  Terminates: every pass either
+        # sends a chunk (finite pending) or buries a worker (finite pool).
+        progressed = True
+        while progressed:
+            progressed = False
+            for worker in range(self.workers):
+                progressed |= self._pump(worker)
+
+    def _pump(self, worker: int) -> bool:
+        queue = self._pending[worker]
+        if not queue:
+            return False
+        if not self._alive[worker]:
+            chunks = list(queue)
+            queue.clear()
+            self._reassign(worker, chunks)
+            return True
+        progressed = False
+        while queue:
+            chunk = queue[0]
+            entries, stateful, fresh = self._encode(worker, chunk)
+            # Digest-only chunks ride the pipe buffer (WINDOW in flight);
+            # a state-carrying chunk of unbounded pickle size goes only
+            # to an idle worker whose blocking recv drains the pipe.
+            if stateful:
+                if self._outstanding[worker] > 0:
+                    break
+            elif self._outstanding[worker] >= WINDOW:
+                break
+            queue.popleft()
+            before = time.perf_counter()
+            try:
+                self._handles[worker].send(entries)
+            except (BrokenPipeError, OSError):
+                queue.appendleft(chunk)
+                self._worker_lost(worker)
+                return True
+            self._phase["serialize_seconds"] = self._phase.get(
+                "serialize_seconds", 0.0
+            ) + (time.perf_counter() - before)
+            self.seen[worker].update(fresh)
+            self._inflight[worker].append(chunk)
+            self._outstanding[worker] += 1
+            progressed = True
+        return progressed
+
+    def _encode(self, worker: int, chunk: _Chunk):
+        # Encoded at send time, against the *current* target's store:
+        # after a reassignment or respawn the same chunk may need its
+        # states re-shipped, which deciding at build time would miss.
+        seen = self.seen[worker]
+        entries: list = []
+        fresh: list = []
+        for state, digest in chunk.items:
+            if digest in seen:
+                entries.append(digest)
+            else:
+                entries.append((digest, state))
+                fresh.append(digest)
+        return entries, bool(fresh), fresh
+
+    def _collect_ready(self) -> list[int]:
+        if self.local:
+            return [w for w, count in enumerate(self._outstanding) if count]
+        waitable = {
+            self._handles[w].conn: w
+            for w in range(self.workers)
+            if self._alive[w] and self._outstanding[w]
+        }
+        ready = multiprocessing.connection.wait(
+            list(waitable), timeout=self.heartbeat_seconds
+        )
+        if not ready:
+            # Heartbeat expired with no replies: a worker may have died
+            # without the pipe reporting EOF yet.  Liveness-check them.
+            for worker in list(waitable.values()):
+                if not self._handles[worker].process.is_alive():
+                    self._worker_lost(worker)
+            return []
+        return [waitable[conn] for conn in ready]
+
+    # -- ingestion ----------------------------------------------------------
+
+    def _ingest(self, worker: int, chunk: _Chunk, reply) -> None:
+        results, novel, new_actions, stats = reply
+        expand_seconds, fingerprint_seconds, send_seconds, orbit_hits, pruned = stats
+        state_of = self._state_of
+        for digest, state in novel:
+            state_of.setdefault(digest, state)
+        table = self.actions[worker]
+        table.extend(new_actions)
+        seen = self.seen[worker]
+        transitions = 0
+        decoded: list = []
+        # Decode action indices against the producing worker's table now,
+        # so result rows are self-contained (a retried chunk may be
+        # expanded by a different worker than the merge loop expects).
+        if self._ship_states:
+            for row in results:
+                if row == PRUNED:
+                    decoded.append(PRUNED)
+                    continue
+                out = []
+                for task_index, action_index, digest, state in row:
+                    seen.add(digest)
+                    state_of.setdefault(digest, state)
+                    out.append((task_index, table[action_index], digest, state))
+                transitions += len(out)
+                decoded.append(out)
+        else:
+            for row in results:
+                if row == PRUNED:
+                    decoded.append(PRUNED)
+                    continue
+                out = []
+                for task_index, action_index, digest in row:
+                    seen.add(digest)
+                    out.append((task_index, table[action_index], digest))
+                transitions += len(out)
+                decoded.append(out)
+        if self.metrics.enabled:
+            self.metrics.counter(f"engine.worker{worker}.expanded").inc(len(results))
+            self.metrics.counter(f"engine.worker{worker}.transitions").inc(transitions)
+        phase = self._phase
+        phase["expand_seconds"] = phase.get("expand_seconds", 0.0) + expand_seconds
+        phase["fingerprint_seconds"] = (
+            phase.get("fingerprint_seconds", 0.0) + fingerprint_seconds
+        )
+        phase["serialize_seconds"] = phase.get("serialize_seconds", 0.0) + send_seconds
+        self.orbit_hits += orbit_hits
+        self.pruned_tasks += pruned
+        if results:
+            self._producers.add(worker)
+        for offset, position in enumerate(chunk.positions):
+            self._results[position] = decoded[offset]
+
+    # -- recovery -----------------------------------------------------------
+
+    def _worker_lost(self, worker: int) -> None:
+        if self.local or not self._alive[worker]:
+            return
+        self._alive[worker] = False
+        self.worker_failures += 1
+        handle = self._handles[worker]
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        handle.process.join(timeout=0.2)
+        inflight = list(self._inflight[worker])
+        pending = list(self._pending[worker])
+        self._inflight[worker].clear()
+        self._pending[worker].clear()
+        self._outstanding[worker] = 0
+        if self.metrics.enabled:
+            self.metrics.counter("engine.worker_failures").inc()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                WORKER_LOST,
+                worker=worker,
+                round=self._round,
+                inflight=len(inflight),
+                pending=len(pending),
+                restarts=self._restarts[worker],
+            )
+        requeue: list = []
+        # Workers process chunks strictly FIFO, so only the *first*
+        # un-replied chunk was being expanded when the worker died —
+        # that one takes the blame (retry bump, split, quarantine).
+        # Later in-flight chunks sat unread in the pipe: re-dispatching
+        # them unbumped keeps cascading crashes (several workers dying
+        # while partitions bounce between them) from quarantining
+        # innocent states.
+        for index, chunk in enumerate(inflight):
+            if index > 0:
+                requeue.append(chunk)
+                continue
+            chunk.retries += 1
+            if chunk.retries > self.max_partition_retries:
+                raise PartitionRetryExhausted(
+                    len(chunk.items), chunk.retries, self.max_partition_retries
+                )
+            if len(chunk.items) > 1:
+                # Split to isolate a potential killer state; each
+                # singleton restarts its own retry count.
+                for offset, item in enumerate(chunk.items):
+                    requeue.append(_Chunk([chunk.positions[offset]], [item]))
+            elif chunk.retries >= self.max_state_retries:
+                self._quarantine(chunk)
+            else:
+                requeue.append(chunk)
+        requeue.extend(pending)
+        self._revive_or_reassign(worker, requeue)
+
+    def _quarantine(self, chunk: _Chunk) -> None:
+        state, digest = chunk.items[0]
+        if not self.quarantine:
+            raise StateQuarantined(state, digest, chunk.retries)
+        self.quarantined.append((state, digest))
+        self._results[chunk.positions[0]] = QUARANTINED
+        if self.metrics.enabled:
+            self.metrics.counter("engine.quarantined_states").inc()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                STATE_QUARANTINED,
+                digest=digest.hex(),
+                retries=chunk.retries,
+                round=self._round,
+            )
+
+    def _revive_or_reassign(self, worker: int, chunks: list) -> None:
+        if self._restarts[worker] < self.max_worker_restarts:
+            delay = self.restart_backoff_seconds * (2 ** self._restarts[worker])
+            if delay > 0:
+                time.sleep(min(delay, 2.0))
+            self._restarts[worker] += 1
+            self.worker_respawns += 1
+            self._handles[worker] = self._spawn()
+            self._alive[worker] = True
+            # The new incarnation starts with an empty store; resetting
+            # the coordinator's view of it makes encode re-ship states.
+            self.seen[worker] = set()
+            self.actions[worker] = []
+            if self.metrics.enabled:
+                self.metrics.counter("engine.worker_respawns").inc()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    WORKER_RESPAWNED,
+                    worker=worker,
+                    round=self._round,
+                    restarts=self._restarts[worker],
+                )
+            self._requeue(chunks, [worker])
+        else:
+            survivors = [w for w in range(self.workers) if self._alive[w]]
+            if not survivors:
+                self._collapse(chunks)
+            else:
+                self._requeue(chunks, survivors)
+
+    def _reassign(self, worker: int, chunks: list) -> None:
+        # Chunks found queued on an already-dead worker (a send raced the
+        # death): move them to survivors without touching retry counts.
+        survivors = [w for w in range(self.workers) if self._alive[w]]
+        if not survivors:
+            self._collapse(chunks)
+        else:
+            self._requeue(chunks, survivors)
+
+    def _requeue(self, chunks: list, targets: list[int]) -> None:
+        if not chunks:
+            return
+        self.partitions_reassigned += len(chunks)
+        if self.metrics.enabled:
+            self.metrics.counter("engine.partitions_reassigned").inc(len(chunks))
+        for index, chunk in enumerate(chunks):
+            self._pending[targets[index % len(targets)]].append(chunk)
+
+    def _collapse(self, chunks: list) -> None:
+        """Degrade to in-process expansion: the pool is gone, the run is not."""
+        self.collapsed = True
+        self.local = True
+        self._handles = [
+            LocalExpander(self._view, self._prune, self._digest_size, self._ship_states)
+            for _ in range(self.workers)
+        ]
+        self._alive = [True] * self.workers
+        self.seen = [set() for _ in range(self.workers)]
+        self.actions = [[] for _ in range(self.workers)]
+        self._inflight = [deque() for _ in range(self.workers)]
+        self._outstanding = [0] * self.workers
+        if self.metrics.enabled:
+            self.metrics.counter("engine.pool_collapses").inc()
+        for index, chunk in enumerate(chunks):
+            self._pending[index % self.workers].append(chunk)
 
 
 def stop_workers(handles: Sequence[_WorkerHandle]) -> None:

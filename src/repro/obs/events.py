@@ -47,6 +47,9 @@ HOOK_VERDICT = "hook_verdict"
 PHASE = "phase"
 WORKER_ROUND = "worker_round"  # one frontier-exchange round of the parallel engine
 CHECKPOINT_SAVED = "checkpoint_saved"  # the engine snapshotted its progress to disk
+WORKER_LOST = "worker_lost"  # a pool worker died (crash or injected fault)
+WORKER_RESPAWNED = "worker_respawned"  # a lost worker slot was restarted
+STATE_QUARANTINED = "state_quarantined"  # a state repeatedly killed workers; skipped
 
 KINDS = frozenset(
     {
@@ -63,6 +66,9 @@ KINDS = frozenset(
         PHASE,
         WORKER_ROUND,
         CHECKPOINT_SAVED,
+        WORKER_LOST,
+        WORKER_RESPAWNED,
+        STATE_QUARANTINED,
     }
 )
 

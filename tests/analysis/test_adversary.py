@@ -14,6 +14,7 @@ from repro.protocols import (
     min_register_consensus_system,
     tob_delegation_system,
 )
+from repro.engine import Budget
 
 
 class TestDefaultResilience:
@@ -39,7 +40,7 @@ class TestRefuteCandidate:
 
     def test_tob_candidate(self):
         verdict = refute_candidate(
-            tob_delegation_system(2, resilience=0), max_states=400_000
+            tob_delegation_system(2, resilience=0), budget=Budget(max_states=400_000)
         )
         assert verdict.refuted
         assert verdict.mechanism == "similarity-termination"

@@ -11,6 +11,7 @@ from repro.analysis import (
     shortest_task_path,
 )
 from repro.protocols import delegation_consensus_system
+from repro.engine import Budget
 
 
 @pytest.fixture
@@ -18,7 +19,7 @@ def explored():
     system = delegation_consensus_system(2, resilience=0)
     view = DeterministicSystemView(system)
     root = system.initialization({0: 0, 1: 1}).final_state
-    graph = explore(view, root, max_states=50_000)
+    graph = explore(view, root, budget=Budget(max_states=50_000))
     return system, view, root, graph
 
 
@@ -37,7 +38,7 @@ class TestExplore:
     def test_budget_enforced(self, explored):
         system, view, root, _ = explored
         with pytest.raises(ExplorationBudget):
-            explore(view, root, max_states=3)
+            explore(view, root, budget=Budget(max_states=3))
 
     def test_prune_cuts_exploration(self, explored):
         system, view, root, full = explored
@@ -45,7 +46,7 @@ class TestExplore:
         def decided(state):
             return bool(view.decisions(state))
 
-        pruned = explore(view, root, max_states=50_000, prune=decided)
+        pruned = explore(view, root, budget=Budget(max_states=50_000), prune=decided)
         assert len(pruned) <= len(full)
         # Pruned states have no outgoing edges.
         for state in pruned.states:

@@ -11,11 +11,12 @@ from repro.analysis import (
     lemma8_case_analysis,
 )
 from repro.protocols import delegation_consensus_system, tob_delegation_system
+from repro.engine import Budget
 
 
 def hook_for(system, proposals, max_states=400_000):
     analysis = analyze_valence(
-        system, system.initialization(proposals).final_state, max_states=max_states
+        system, system.initialization(proposals).final_state, budget=Budget(max_states=max_states)
     )
     root = system.initialization(proposals).final_state
     outcome, stats = find_hook(analysis, root)

@@ -30,6 +30,7 @@ from repro.protocols import (
 from repro.services import CanonicalAtomicObject, CanonicalRegister
 from repro.system import DistributedSystem, ScriptProcess
 from repro.types import binary_consensus_type
+from repro.engine import Budget
 
 
 def make_hook(view, state, e, e_prime):
@@ -90,7 +91,7 @@ class TestGenuineHooks:
     def test_last_writer_hooks_hit_register_case(self):
         system = last_writer_register_system()
         root = system.initialization({0: 0, 1: 1}).final_state
-        analysis = analyze_valence(system, root, max_states=500_000)
+        analysis = analyze_valence(system, root, budget=Budget(max_states=500_000))
         hooks = enumerate_hooks(analysis)
         assert hooks
         claims = {
@@ -106,7 +107,7 @@ class TestGenuineHooks:
         ):
             system = factory()
             root = system.initialization(proposals).final_state
-            analysis = analyze_valence(system, root, max_states=500_000)
+            analysis = analyze_valence(system, root, budget=Budget(max_states=500_000))
             for hook in enumerate_hooks(analysis):
                 report = lemma8_case_analysis(system, analysis, hook)
                 assert report.commuted or report.violation is not None

@@ -20,6 +20,7 @@ from repro.protocols import (
     min_register_consensus_system,
     tob_delegation_system,
 )
+from repro.engine import Budget
 
 
 class TestVictimSelection:
@@ -112,7 +113,7 @@ class TestRunSilenced:
 class TestRefuteFromSimilarity:
     def refutable_violation(self, system, proposals):
         root = system.initialization(proposals).final_state
-        analysis = analyze_valence(system, root, max_states=400_000)
+        analysis = analyze_valence(system, root, budget=Budget(max_states=400_000))
         hook, _ = find_hook(analysis, root)
         report = lemma8_case_analysis(system, analysis, hook)
         assert report.violation is not None

@@ -13,6 +13,7 @@ from repro.protocols import (
     min_register_consensus_system,
     tob_delegation_system,
 )
+from repro.engine import Budget
 
 
 class TestClassify:
@@ -91,7 +92,7 @@ class TestValenceAnalysis:
     def test_no_blocked_states_in_live_candidate(self):
         system = tob_delegation_system(2, resilience=0)
         root = system.initialization({0: 0, 1: 1}).final_state
-        analysis = analyze_valence(system, root, max_states=100_000)
+        analysis = analyze_valence(system, root, budget=Budget(max_states=100_000))
         assert analysis.blocked_states() == []
 
     def test_rejects_failed_roots(self):
@@ -125,7 +126,7 @@ class TestLemma4:
 
     def test_tob_candidate_also_has_bivalent_initialization(self):
         result = lemma4_bivalent_initialization(
-            tob_delegation_system(2, resilience=0), max_states=100_000
+            tob_delegation_system(2, resilience=0), budget=Budget(max_states=100_000)
         )
         assert result.bivalent is not None
 

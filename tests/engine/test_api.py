@@ -39,7 +39,7 @@ def instance():
 @pytest.fixture(scope="module")
 def sequential_graph(instance):
     view, root = instance
-    return explore(view, root, max_states=50_000)
+    return explore(view, root, budget=Budget(max_states=50_000))
 
 
 class TestSequentialEquivalence:
@@ -80,7 +80,7 @@ class TestParallelEquivalence:
         def decided(state):
             return bool(view.decisions(state))
 
-        sequential = explore(view, root, max_states=50_000, prune=decided)
+        sequential = explore(view, root, budget=Budget(max_states=50_000), prune=decided)
         parallel = ExplorationEngine(workers=2, budget=Budget()).explore(
             view, root, prune=decided
         )

@@ -63,6 +63,74 @@ class TestBudgetExhausted:
         )
         assert "checkpoint: /tmp/engine-abc.ckpt" in str(error)
 
+    def test_message_includes_resume_command(self):
+        error = BudgetExhausted(
+            resource="states",
+            limit=50,
+            states=50,
+            transitions=123,
+            elapsed_seconds=0.25,
+            checkpoint="/tmp/ckpt/engine-abc.ckpt",
+            resume_command="--resume /tmp/ckpt",
+        )
+        assert error.resume_command == "--resume /tmp/ckpt"
+        assert "resume: --resume /tmp/ckpt" in str(error)
+
+    def test_summary_and_to_json_protocol(self):
+        error = BudgetExhausted(
+            resource="states",
+            limit=50,
+            states=50,
+            transitions=123,
+            elapsed_seconds=0.25,
+            checkpoint="/tmp/ckpt/engine-abc.ckpt",
+            resume_command="--resume /tmp/ckpt",
+        )
+        assert error.summary() == str(error)
+        payload = error.to_json()
+        assert payload["error"] == "budget_exhausted"
+        assert payload["resource"] == "states"
+        assert payload["checkpoint"] == "/tmp/ckpt/engine-abc.ckpt"
+        assert payload["resume_command"] == "--resume /tmp/ckpt"
+
+    def test_engine_attaches_checkpoint_and_resume_command(self, tmp_path):
+        # The actionable exit-2 contract: exhaustion *after a checkpoint
+        # write* must say where the snapshot is and how to continue.
+        from repro.analysis.view import DeterministicSystemView
+        from repro.engine import Budget, ExplorationEngine
+        from repro.protocols import delegation_consensus_system
+
+        system = delegation_consensus_system(3, resilience=1)
+        view = DeterministicSystemView(system)
+        root = system.initialization({0: 0, 1: 1, 2: 0}).final_state
+        engine = ExplorationEngine(
+            workers=1,
+            budget=Budget(max_states=50),
+            checkpoint_dir=tmp_path,
+        )
+        with pytest.raises(BudgetExhausted) as excinfo:
+            engine.explore(view, root)
+        error = excinfo.value
+        assert error.checkpoint is not None
+        assert str(error.checkpoint).startswith(str(tmp_path))
+        assert error.resume_command is not None
+        assert f"--resume {tmp_path}" in error.resume_command
+        assert "resume=True" in error.resume_command
+
+    def test_no_checkpoint_no_resume_command(self):
+        from repro.analysis.view import DeterministicSystemView
+        from repro.engine import Budget, ExplorationEngine
+        from repro.protocols import delegation_consensus_system
+
+        system = delegation_consensus_system(3, resilience=1)
+        view = DeterministicSystemView(system)
+        root = system.initialization({0: 0, 1: 1, 2: 0}).final_state
+        engine = ExplorationEngine(workers=1, budget=Budget(max_states=50))
+        with pytest.raises(BudgetExhausted) as excinfo:
+            engine.explore(view, root)
+        assert excinfo.value.checkpoint is None
+        assert excinfo.value.resume_command is None
+
 
 class TestDeadline:
     def test_disabled_never_expires(self):

@@ -28,6 +28,7 @@ from repro.protocols import (
     min_register_consensus_system,
     tob_delegation_system,
 )
+from repro.engine import Budget
 
 
 def _root(system, proposals=None):
@@ -109,10 +110,10 @@ class TestReducedView:
         )
         from repro.analysis import explore
 
-        graph = explore(view, root, max_states=100_000)
+        graph = explore(view, root, budget=Budget(max_states=100_000))
         assert view.canonicalizer.orbit_hits > 0
         assert view.pruned_tasks > 0
-        full = explore(DeterministicSystemView(system), root, max_states=100_000)
+        full = explore(DeterministicSystemView(system), root, budget=Budget(max_states=100_000))
         assert len(graph.states) < len(full.states)
 
     def test_disabled_config_builds_passthrough(self):

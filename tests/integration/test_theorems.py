@@ -21,6 +21,7 @@ from repro.protocols import (
     min_register_consensus_system,
     tob_delegation_system,
 )
+from repro.engine import Budget
 
 
 class TestTheorem2:
@@ -31,7 +32,7 @@ class TestTheorem2:
     def test_delegation_candidates_refuted(self, n, f):
         assert f < n - 1  # the theorem's hypothesis
         verdict = refute_candidate(
-            delegation_consensus_system(n, resilience=f), max_states=600_000
+            delegation_consensus_system(n, resilience=f), budget=Budget(max_states=600_000)
         )
         assert verdict.refuted
         assert verdict.mechanism == "similarity-termination"
@@ -78,7 +79,7 @@ class TestTheorem9:
     @pytest.mark.parametrize("n,f", [(2, 0), (3, 1)])
     def test_tob_candidates_refuted(self, n, f):
         verdict = refute_candidate(
-            tob_delegation_system(n, resilience=f), max_states=900_000
+            tob_delegation_system(n, resilience=f), budget=Budget(max_states=900_000)
         )
         assert verdict.refuted
         assert isinstance(verdict.refutation, TerminationViolation)
@@ -86,7 +87,7 @@ class TestTheorem9:
 
     def test_hook_involves_the_oblivious_service(self):
         verdict = refute_candidate(
-            tob_delegation_system(2, resilience=0), max_states=400_000
+            tob_delegation_system(2, resilience=0), budget=Budget(max_states=400_000)
         )
         assert verdict.lemma8.violation.index == "tob"
 

@@ -82,7 +82,10 @@ class TestTraceEvent:
         assert STATE_EXPLORED in KINDS
         assert "worker_round" in KINDS
         assert "checkpoint_saved" in KINDS
-        assert len(KINDS) == 13
+        assert "worker_lost" in KINDS
+        assert "worker_respawned" in KINDS
+        assert "state_quarantined" in KINDS
+        assert len(KINDS) == 16
 
 
 class TestTracerStamping:

@@ -39,7 +39,7 @@ def _instance(name):
             for index, endpoint in enumerate(system.process_ids)
         }
         root = system.initialization(proposals).final_state
-        _CACHE[name] = (view, root, explore(view, root, max_states=100_000))
+        _CACHE[name] = (view, root, explore(view, root, budget=Budget(max_states=100_000)))
     return _CACHE[name]
 
 

@@ -16,6 +16,7 @@ from repro.protocols import (
     tob_delegation_system,
 )
 from repro.system import upfront_failures
+from repro.engine import Budget
 
 
 class TestDelegation:
@@ -186,7 +187,7 @@ class TestLastWriter:
         from repro.protocols import last_writer_register_system
 
         verdict = refute_candidate(
-            last_writer_register_system(), max_states=500_000
+            last_writer_register_system(), budget=Budget(max_states=500_000)
         )
         assert verdict.refuted
         assert verdict.mechanism == "similarity-termination"

@@ -19,6 +19,7 @@ from repro.protocols.message_passing import (
     exchange_consensus_system,
 )
 from repro.system import upfront_failures
+from repro.engine import Budget
 
 
 class TestArbiterCandidate:
@@ -50,7 +51,7 @@ class TestArbiterCandidate:
         """The message-passing instantiation of Theorem 9: the hook's
         tasks are perform tasks of the network service."""
         verdict = refute_candidate(
-            arbiter_consensus_system(3, 0), max_states=600_000
+            arbiter_consensus_system(3, 0), budget=Budget(max_states=600_000)
         )
         assert verdict.refuted
         assert verdict.mechanism == "similarity-termination"
@@ -60,7 +61,7 @@ class TestArbiterCandidate:
 
     def test_higher_resilience_instance(self):
         verdict = refute_candidate(
-            arbiter_consensus_system(3, 1), max_states=900_000
+            arbiter_consensus_system(3, 1), budget=Budget(max_states=900_000)
         )
         assert verdict.refuted
         assert len(verdict.refutation.victims) == 2  # f + 1

@@ -17,6 +17,7 @@ from repro.protocols import (
     min_register_consensus_system,
     tob_delegation_system,
 )
+from repro.engine import Budget
 
 
 def assert_lemma1_on(system, proposals, max_states=20_000):
@@ -27,7 +28,7 @@ def assert_lemma1_on(system, proposals, max_states=20_000):
     """
     view = DeterministicSystemView(system)
     root = system.initialization(proposals).final_state
-    graph = explore(view, root, max_states=max_states)
+    graph = explore(view, root, budget=Budget(max_states=max_states))
     checked = 0
     for state in graph.states:
         applicable = [t for t in view.tasks if view.applicable(state, t)]
@@ -66,7 +67,7 @@ class TestLemma1:
         system = delegation_consensus_system(2, resilience=0)
         view = DeterministicSystemView(system)
         root = system.initialization({0: 1, 1: 0}).final_state
-        graph = explore(view, root, max_states=20_000)
+        graph = explore(view, root, budget=Budget(max_states=20_000))
         process_tasks = system.process_tasks()
         for state in graph.states:
             for task in process_tasks:

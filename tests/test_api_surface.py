@@ -55,6 +55,40 @@ class TestExports:
         for name in repro.analysis.__all__:
             assert getattr(repro.core, name) is getattr(repro.analysis, name)
 
+    def test_top_level_surface_snapshot(self):
+        """The stable top-level surface, snapshotted.
+
+        Extending this list is an API addition (update the snapshot and
+        docs/api.md together); removing or renaming a name is a breaking
+        change.
+        """
+        assert sorted(repro.__all__) == [
+            "Budget",
+            "ExplorationEngine",
+            "ReductionConfig",
+            "__version__",
+            "analysis",
+            "analyze_valence",
+            "core",
+            "engine",
+            "explore",
+            "find_hook",
+            "ioa",
+            "obs",
+            "protocols",
+            "refute_candidate",
+            "services",
+            "system",
+            "types",
+        ]
+        assert repro.explore is repro.analysis.explore
+        assert repro.analyze_valence is repro.analysis.analyze_valence
+        assert repro.refute_candidate is repro.analysis.refute_candidate
+        assert repro.find_hook is repro.analysis.find_hook
+        assert repro.Budget is repro.engine.Budget
+        assert repro.ReductionConfig is repro.engine.ReductionConfig
+        assert repro.ExplorationEngine is repro.engine.ExplorationEngine
+
 
 class TestHeadlineSignatures:
     def test_refute_candidate_signature(self):
@@ -71,7 +105,33 @@ class TestHeadlineSignatures:
             "metrics",
             "engine",
             "reduction",
+            "budget",
         ]
+        assert (
+            parameters["budget"].kind is inspect.Parameter.KEYWORD_ONLY
+        )
+        assert parameters["max_states"].default is None
+
+    @pytest.mark.parametrize(
+        "entry_point",
+        [
+            "explore",
+            "analyze_valence",
+            "lemma4_bivalent_initialization",
+            "find_hook",
+            "refute_candidate",
+            "liveness_attack",
+            "bounded_undecided_run",
+        ],
+    )
+    def test_budget_first_entry_points(self, entry_point):
+        """Every analysis entry point takes keyword-only ``budget=``."""
+        parameters = inspect.signature(
+            getattr(repro.analysis, entry_point)
+        ).parameters
+        assert "budget" in parameters
+        assert parameters["budget"].kind is inspect.Parameter.KEYWORD_ONLY
+        assert parameters["budget"].default is None
 
     def test_exploration_engine_signature(self):
         parameters = inspect.signature(

@@ -46,11 +46,11 @@ class TestRefute:
         assert main(["refute", "delegation", "--seed", "7"]) == 0
         second = capsys.readouterr().out
         probe_lines = [
-            line for line in first.splitlines() if line.startswith("Seeded probe")
+            line for line in first.splitlines() if line.startswith("probe[")
         ]
         assert probe_lines and "seed=7" in probe_lines[0]
         assert probe_lines == [
-            line for line in second.splitlines() if line.startswith("Seeded probe")
+            line for line in second.splitlines() if line.startswith("probe[")
         ]
 
 
@@ -98,6 +98,113 @@ class TestEngineFlags:
             line for line in out.splitlines() if not line.startswith("Explored")
         ]
         assert strip(resumed) == strip(uninterrupted)
+
+
+class TestJsonOutput:
+    def test_json_document_replaces_narrative(self, capsys):
+        import json
+
+        assert main(["refute", "delegation", "--json"]) == 0
+        out = capsys.readouterr().out
+        document = json.loads(out)  # the whole stdout is one document
+        assert document["candidate"] == {"name": "delegation", "n": 3, "f": 1}
+        assert document["verdict"]["refuted"] is True
+        assert document["verdict"]["mechanism"]
+        assert document["verdict"]["lemma4"]["bivalent_index"] is not None
+        assert document["engine"]["states"] > 0
+        assert "refuted:" not in out  # narrative suppressed
+
+    def test_json_budget_exhaustion_is_actionable(self, capsys, tmp_path):
+        import json
+
+        checkpoints = str(tmp_path / "ckpt")
+        assert (
+            main(
+                [
+                    "refute",
+                    "delegation",
+                    "--max-states",
+                    "50",
+                    "--checkpoint",
+                    checkpoints,
+                    "--json",
+                ]
+            )
+            == 2
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["verdict"] is None
+        assert document["error"]["error"] == "budget_exhausted"
+        assert document["error"]["resource"] == "states"
+        assert document["error"]["checkpoint"]
+        assert "--resume" in document["error"]["resume_command"]
+
+    def test_stats_json_includes_metrics(self, capsys):
+        import json
+
+        assert main(["stats", "delegation", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["metrics"]["counters"]["explore.states"] > 0
+
+    def test_trace_json_reports_trace_file(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "delegation", "-o", "t.jsonl", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["trace"]["path"] == "t.jsonl"
+        assert document["trace"]["events"] > 0
+
+
+class TestBudgetExhaustionPath:
+    def test_exit_2_prints_checkpoint_and_resume_command(self, capsys, tmp_path):
+        checkpoints = str(tmp_path / "ckpt")
+        assert (
+            main(
+                [
+                    "refute",
+                    "delegation",
+                    "--max-states",
+                    "50",
+                    "--checkpoint",
+                    checkpoints,
+                ]
+            )
+            == 2
+        )
+        out = capsys.readouterr().out
+        assert "Checkpoint: " in out
+        assert f"--resume {checkpoints}" in out
+
+
+class TestChaosFlags:
+    def test_chaos_kill_recovers_to_same_verdict(self, capsys, monkeypatch):
+        assert main(["refute", "delegation", "--workers", "2"]) == 0
+        clean = capsys.readouterr().out
+        monkeypatch.setenv("REPRO_CHAOS", "kill=2:0")
+        assert main(["refute", "delegation", "--workers", "2"]) == 0
+        chaotic = capsys.readouterr().out
+        strip = lambda out: [
+            line
+            for line in out.splitlines()
+            if not line.startswith(("Explored", "engine:"))
+        ]
+        assert strip(chaotic) == strip(clean)
+
+    def test_max_worker_restarts_flag_accepted(self, capsys):
+        assert (
+            main(
+                [
+                    "refute",
+                    "delegation",
+                    "--workers",
+                    "2",
+                    "--max-worker-restarts",
+                    "0",
+                ]
+            )
+            == 0
+        )
 
 
 class TestTrace:
