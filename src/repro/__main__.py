@@ -7,6 +7,11 @@ Exposes the headline reproductions without writing any code:
 * ``trace``   — run the same pipeline with the tracer on, writing a JSONL
   event trace replayable via :mod:`repro.obs.replay`;
 * ``stats``   — run the pipeline with metrics on and print the registry;
+* ``obs``     — inspect traces offline: ``obs summarize`` (per-span
+  latency table), ``obs flame`` (folded stacks for flamegraph.pl),
+  ``obs diff`` (compare two traces), ``obs chrome`` (Chrome
+  ``trace_event`` JSON for chrome://tracing / Perfetto), and ``obs
+  prom`` (Prometheus textfile from a trace or a metrics snapshot);
 * ``boost-kset`` — run the Section 4 possibility construction;
 * ``boost-fd``   — run the Section 6.3 possibility construction;
 * ``paxos``      — run the shared-memory Paxos extension;
@@ -114,6 +119,7 @@ def _run_pipeline(args: argparse.Namespace, tracer, metrics):
         checkpoint_dir=checkpoint_dir,
         resume=args.resume is not None,
         max_worker_restarts=getattr(args, "max_worker_restarts", None),
+        progress=True if getattr(args, "progress", False) else None,
     )
     document = (
         {"candidate": {"name": args.candidate, "n": args.n, "f": args.resilience}}
@@ -319,6 +325,108 @@ def cmd_paxos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_text(text: str, output: str | None) -> None:
+    """Print ``text``, or write it to ``output`` and report the path."""
+    if output is None:
+        print(text, end="" if text.endswith("\n") else "\n")
+    else:
+        with open(output, "w", encoding="utf-8") as stream:
+            stream.write(text if text.endswith("\n") else text + "\n")
+        print(f"Wrote {output}")
+
+
+def _load_trace_spans(path: str):
+    from .obs import assemble_spans
+    from .obs.replay import load_events
+
+    return assemble_spans(load_events(path))
+
+
+def cmd_obs_summarize(args: argparse.Namespace) -> int:
+    from .obs import render_span_table, summarize_spans
+
+    profile = summarize_spans(_load_trace_spans(args.trace))
+    if args.json:
+        import json
+
+        print(json.dumps(profile, indent=2, sort_keys=True))
+    else:
+        print(render_span_table(profile))
+    return 0
+
+
+def cmd_obs_flame(args: argparse.Namespace) -> int:
+    from .obs import folded_stacks, render_folded_stacks
+
+    folded = folded_stacks(_load_trace_spans(args.trace))
+    _write_text(render_folded_stacks(folded), args.output)
+    return 0
+
+
+def cmd_obs_diff(args: argparse.Namespace) -> int:
+    from .obs import diff_span_profiles, render_span_diff, summarize_spans
+
+    rows = diff_span_profiles(
+        summarize_spans(_load_trace_spans(args.before)),
+        summarize_spans(_load_trace_spans(args.after)),
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(rows, indent=2))
+    else:
+        print(render_span_diff(rows))
+    return 0
+
+
+def cmd_obs_chrome(args: argparse.Namespace) -> int:
+    from .obs import write_chrome_trace
+    from .obs.replay import load_events
+
+    output = args.output or f"{args.trace}.chrome.json"
+    count = write_chrome_trace(load_events(args.trace), output)
+    print(f"Wrote {count} trace events -> {output}")
+    return 0
+
+
+def _load_snapshot(path: str) -> dict:
+    """A metrics snapshot from either input kind ``obs prom`` accepts.
+
+    A JSON document (one object: a raw ``snapshot()`` dict, or a ``stats
+    --json`` report carrying one under ``"metrics"``) is used directly; a
+    JSONL event trace is reduced via
+    :func:`~repro.obs.export.snapshot_from_trace`.
+    """
+    import json
+
+    from .obs import snapshot_from_trace
+    from .obs.replay import load_events
+
+    with open(path, "r", encoding="utf-8") as stream:
+        head = stream.read(1)
+        if not head:
+            raise SystemExit(f"{path}: empty input")
+        stream.seek(0)
+        if head == "{":
+            try:
+                document = json.load(stream)
+            except json.JSONDecodeError:
+                document = None
+            if isinstance(document, dict) and not document.get("kind"):
+                snapshot = document.get("metrics", document)
+                if not isinstance(snapshot, dict):
+                    raise SystemExit(f"{path}: no metrics snapshot in document")
+                return snapshot
+    return snapshot_from_trace(load_events(path))
+
+
+def cmd_obs_prom(args: argparse.Namespace) -> int:
+    from .obs import prometheus_textfile
+
+    _write_text(prometheus_textfile(_load_snapshot(args.input)), args.output)
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     print("Candidates for `refute`:")
     for name, blurb in CANDIDATES.items():
@@ -404,6 +512,12 @@ def main(argv: list[str] | None = None) -> int:
             "graphs from a balanced initialization and assert identical "
             "verdicts (slow; verification mode)",
         )
+        subparser.add_argument(
+            "--progress",
+            action="store_true",
+            help="render a live states/s progress line on stderr while "
+            "explorations run (also enabled by $REPRO_PROGRESS)",
+        )
 
     refute = subparsers.add_parser("refute", help="run the adversary pipeline")
     add_pipeline_arguments(refute)
@@ -432,6 +546,58 @@ def main(argv: list[str] | None = None) -> int:
         "from a balanced initialization and print the size ratio",
     )
     stats.set_defaults(handler=cmd_stats)
+
+    obs = subparsers.add_parser(
+        "obs", help="inspect JSONL traces: span profiles, flamegraphs, exporters"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    summarize = obs_sub.add_parser(
+        "summarize", help="per-span-kind latency table from a trace"
+    )
+    summarize.add_argument("trace", help="JSONL trace path")
+    summarize.add_argument(
+        "--json", action="store_true", help="print the profile as JSON"
+    )
+    summarize.set_defaults(handler=cmd_obs_summarize)
+
+    flame = obs_sub.add_parser(
+        "flame", help="folded stacks (flamegraph.pl input) from a trace"
+    )
+    flame.add_argument("trace", help="JSONL trace path")
+    flame.add_argument(
+        "-o", "--output", default=None, help="write to file instead of stdout"
+    )
+    flame.set_defaults(handler=cmd_obs_flame)
+
+    diff = obs_sub.add_parser(
+        "diff", help="compare the span profiles of two traces"
+    )
+    diff.add_argument("before", help="baseline JSONL trace")
+    diff.add_argument("after", help="comparison JSONL trace")
+    diff.add_argument("--json", action="store_true", help="print rows as JSON")
+    diff.set_defaults(handler=cmd_obs_diff)
+
+    chrome = obs_sub.add_parser(
+        "chrome",
+        help="Chrome trace_event JSON (chrome://tracing, Perfetto) from a trace",
+    )
+    chrome.add_argument("trace", help="JSONL trace path")
+    chrome.add_argument(
+        "-o", "--output", default=None, help="output path (default: <trace>.chrome.json)"
+    )
+    chrome.set_defaults(handler=cmd_obs_chrome)
+
+    prom = obs_sub.add_parser(
+        "prom",
+        help="Prometheus textfile from a JSONL trace or a metrics snapshot "
+        "(raw snapshot JSON or a `stats --json` document)",
+    )
+    prom.add_argument("input", help="JSONL trace or JSON snapshot path")
+    prom.add_argument(
+        "-o", "--output", default=None, help="write to file instead of stdout"
+    )
+    prom.set_defaults(handler=cmd_obs_prom)
 
     kset = subparsers.add_parser("boost-kset", help="Section 4 construction")
     kset.add_argument("-n", type=int, default=4, help="number of processes (even)")

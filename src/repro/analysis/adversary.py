@@ -37,6 +37,7 @@ from ..ioa.automaton import State, Task
 from ..obs.events import PHASE
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.sinks import NULL_TRACER, Tracer
+from ..obs.spans import end_span, span as _span, start_span
 from ..system.system import DistributedSystem
 from .hook import FairCycle, Hook, Lemma8Report, find_hook, lemma8_case_analysis
 from .refutation import (
@@ -187,123 +188,156 @@ def refute_candidate(
 
         return Deadline(governing.deadline_seconds)
 
-    if tracer.enabled:
-        tracer.emit(PHASE, stage="lemma4", resilience=f)
-    lemma4 = lemma4_bivalent_initialization(
-        system,
-        tracer=tracer,
-        metrics=metrics,
-        engine=engine,
-        reduction=reduction,
-        budget=budget,
-    )
-    if lemma4.bivalent is None:
-        # No bivalent initialization: for a correct candidate this is
-        # impossible (Lemma 4), so something is already broken.  A blocked
-        # initialization is a direct failure-free termination violation.
-        blocked = next(
-            (entry for entry in lemma4.chain if entry.valence is Valence.BLOCKED),
-            None,
+    pipeline_span = start_span(tracer, "pipeline", resilience=f)
+
+    def done(verdict: Verdict) -> Verdict:
+        """Close the pipeline span with the verdict's outcome attached."""
+        end_span(
+            tracer,
+            pipeline_span,
+            mechanism=verdict.mechanism,
+            refuted=verdict.refuted,
         )
-        if blocked is not None:
-            return Verdict(
-                refuted=True,
-                mechanism="blocked-initialization",
-                lemma4=lemma4,
-                detail=(
-                    "initialization with assignment "
-                    f"{dict(blocked.assignment)!r} has no deciding "
-                    "failure-free extension"
-                ),
+        return verdict
+
+    try:
+        if tracer.enabled:
+            tracer.emit(PHASE, stage="lemma4", resilience=f)
+        with _span(tracer, "lemma4", resilience=f):
+            lemma4 = lemma4_bivalent_initialization(
+                system,
+                tracer=tracer,
+                metrics=metrics,
+                engine=engine,
+                reduction=reduction,
+                budget=budget,
             )
-        return Verdict(
-            refuted=False,
-            mechanism="no-bivalent-initialization",
-            lemma4=lemma4,
-            detail=(
-                "all initializations univalent; the candidate dodges the "
-                "bivalence argument on this instance (check validity "
-                "separately)"
-            ),
+        if lemma4.bivalent is None:
+            # No bivalent initialization: for a correct candidate this is
+            # impossible (Lemma 4), so something is already broken.  A blocked
+            # initialization is a direct failure-free termination violation.
+            blocked = next(
+                (entry for entry in lemma4.chain if entry.valence is Valence.BLOCKED),
+                None,
+            )
+            if blocked is not None:
+                return done(
+                    Verdict(
+                        refuted=True,
+                        mechanism="blocked-initialization",
+                        lemma4=lemma4,
+                        detail=(
+                            "initialization with assignment "
+                            f"{dict(blocked.assignment)!r} has no deciding "
+                            "failure-free extension"
+                        ),
+                    )
+                )
+            return done(
+                Verdict(
+                    refuted=False,
+                    mechanism="no-bivalent-initialization",
+                    lemma4=lemma4,
+                    detail=(
+                        "all initializations univalent; the candidate dodges the "
+                        "bivalence argument on this instance (check validity "
+                        "separately)"
+                    ),
+                )
+            )
+        start = lemma4.bivalent.execution.final_state
+        if tracer.enabled:
+            tracer.emit(PHASE, stage="hook-search")
+        with _span(tracer, "hook-search"):
+            analysis = analyze_valence(
+                system,
+                start,
+                tracer=tracer,
+                metrics=metrics,
+                engine=engine,
+                reduction=hook_reduction,
+                budget=budget,
+            )
+            outcome, stats = find_hook(
+                analysis, start, tracer=tracer, metrics=metrics, deadline=stage_deadline()
+            )
+        if isinstance(outcome, FairCycle):
+            return done(
+                Verdict(
+                    refuted=not outcome.decisions_on_cycle,
+                    mechanism="fair-bivalent-cycle",
+                    lemma4=lemma4,
+                    fair_cycle=outcome,
+                    detail=(
+                        f"Fig. 3 construction cycles after {len(outcome.prefix_tasks)} "
+                        f"steps with period {len(outcome.cycle_tasks)}: an infinite "
+                        "fair failure-free execution on which no process decides"
+                    ),
+                )
+            )
+        hook = outcome
+        report = lemma8_case_analysis(system, analysis, hook)
+        if report.violation is None:
+            # Commutation cases cannot coexist with a genuine hook (the two
+            # endpoint states would be equal, hence equal-valent); reaching
+            # this branch means the explored instance contradicts Lemma 8's
+            # premises, which the test suite asserts never happens.
+            return done(
+                Verdict(
+                    refuted=False,
+                    mechanism="hook-commuted",
+                    lemma4=lemma4,
+                    hook=hook,
+                    lemma8=report,
+                    detail=(
+                        "hook tasks commuted — inconsistent hook, candidate "
+                        "not refuted"
+                    ),
+                )
+            )
+        if tracer.enabled:
+            tracer.emit(PHASE, stage="refutation", claim=report.claim)
+        with _span(tracer, "refutation", claim=report.claim):
+            refutation = refute_from_similarity(
+                system,
+                report.violation,
+                resilience=f,
+                horizon=horizon,
+                failure_aware_services=failure_aware_services,
+                tracer=tracer,
+                metrics=metrics,
+                deadline=stage_deadline(),
+            )
+        if isinstance(refutation, TerminationViolation):
+            mechanism = "similarity-termination"
+            refuted = True
+            detail = (
+                f"failing J={sorted(refutation.victims, key=str)!r} leaves "
+                f"survivors undecided "
+                f"({'exact cycle' if refutation.exact else 'horizon'})"
+            )
+        else:
+            mechanism = "similarity-contradiction"
+            refuted = True
+            detail = (
+                f"decider {refutation.decider!r} reaches "
+                f"{refutation.value_from_s0!r} from the 0-valent side and "
+                f"{refutation.value_from_s1!r} from the 1-valent side"
+            )
+        return done(
+            Verdict(
+                refuted=refuted,
+                mechanism=mechanism,
+                lemma4=lemma4,
+                hook=hook,
+                lemma8=report,
+                refutation=refutation,
+                detail=detail,
+            )
         )
-    start = lemma4.bivalent.execution.final_state
-    if tracer.enabled:
-        tracer.emit(PHASE, stage="hook-search")
-    analysis = analyze_valence(
-        system,
-        start,
-        tracer=tracer,
-        metrics=metrics,
-        engine=engine,
-        reduction=hook_reduction,
-        budget=budget,
-    )
-    outcome, stats = find_hook(
-        analysis, start, tracer=tracer, metrics=metrics, deadline=stage_deadline()
-    )
-    if isinstance(outcome, FairCycle):
-        return Verdict(
-            refuted=not outcome.decisions_on_cycle,
-            mechanism="fair-bivalent-cycle",
-            lemma4=lemma4,
-            fair_cycle=outcome,
-            detail=(
-                f"Fig. 3 construction cycles after {len(outcome.prefix_tasks)} "
-                f"steps with period {len(outcome.cycle_tasks)}: an infinite "
-                "fair failure-free execution on which no process decides"
-            ),
-        )
-    hook = outcome
-    report = lemma8_case_analysis(system, analysis, hook)
-    if report.violation is None:
-        # Commutation cases cannot coexist with a genuine hook (the two
-        # endpoint states would be equal, hence equal-valent); reaching
-        # this branch means the explored instance contradicts Lemma 8's
-        # premises, which the test suite asserts never happens.
-        return Verdict(
-            refuted=False,
-            mechanism="hook-commuted",
-            lemma4=lemma4,
-            hook=hook,
-            lemma8=report,
-            detail="hook tasks commuted — inconsistent hook, candidate not refuted",
-        )
-    if tracer.enabled:
-        tracer.emit(PHASE, stage="refutation", claim=report.claim)
-    refutation = refute_from_similarity(
-        system,
-        report.violation,
-        resilience=f,
-        horizon=horizon,
-        failure_aware_services=failure_aware_services,
-        tracer=tracer,
-        metrics=metrics,
-        deadline=stage_deadline(),
-    )
-    if isinstance(refutation, TerminationViolation):
-        mechanism = "similarity-termination"
-        refuted = True
-        detail = (
-            f"failing J={sorted(refutation.victims, key=str)!r} leaves "
-            f"survivors undecided ({'exact cycle' if refutation.exact else 'horizon'})"
-        )
-    else:
-        mechanism = "similarity-contradiction"
-        refuted = True
-        detail = (
-            f"decider {refutation.decider!r} reaches "
-            f"{refutation.value_from_s0!r} from the 0-valent side and "
-            f"{refutation.value_from_s1!r} from the 1-valent side"
-        )
-    return Verdict(
-        refuted=refuted,
-        mechanism=mechanism,
-        lemma4=lemma4,
-        hook=hook,
-        lemma8=report,
-        refutation=refutation,
-        detail=detail,
-    )
+    except BaseException:
+        end_span(tracer, pipeline_span, status="error")
+        raise
 
 
 @dataclass

@@ -66,7 +66,9 @@ from ..analysis.explorer import StateGraph, StateSet
 from ..analysis.view import DeterministicSystemView
 from ..obs.events import CHECKPOINT_SAVED, STATE_EXPLORED, WORKER_ROUND
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.progress import ProgressReporter, progress_from_env
 from ..obs.sinks import NULL_TRACER, Tracer
+from ..obs.spans import end_span, start_span
 from .budget import DEFAULT_BUDGET, Budget, BudgetExhausted, Deadline
 from .chaos import FaultPlan
 from .checkpoint import (
@@ -249,6 +251,12 @@ class ExplorationEngine:
         Liveness-check interval: when no worker replies for this long,
         every waited-on worker's process is checked (catches deaths the
         pipe has not reported yet).
+    progress:
+        A :class:`~repro.obs.progress.ProgressReporter` for live
+        ``states/s`` lines on stderr (driven per round in parallel runs,
+        every few hundred expansions sequentially).  ``None`` (the
+        default) consults the ``REPRO_PROGRESS`` environment variable;
+        pass ``False`` to force it off regardless of the environment.
     """
 
     def __init__(
@@ -271,6 +279,7 @@ class ExplorationEngine:
         quarantine: bool = True,
         fault_plan: FaultPlan | None = None,
         heartbeat_seconds: float = 5.0,
+        progress: ProgressReporter | bool | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -305,6 +314,14 @@ class ExplorationEngine:
         self.quarantine = quarantine
         self.fault_plan = FaultPlan.from_env() if fault_plan is None else fault_plan
         self.heartbeat_seconds = heartbeat_seconds
+        if progress is None:
+            self.progress = progress_from_env()
+        elif progress is False:
+            self.progress = None
+        elif progress is True:
+            self.progress = ProgressReporter()
+        else:
+            self.progress = progress
         #: :class:`EngineReport` of the most recent ``explore()`` call.
         self.last_report: EngineReport | None = None
 
@@ -329,6 +346,10 @@ class ExplorationEngine:
         tracer = self.tracer if tracer is None else tracer
         metrics = self.metrics if metrics is None else metrics
         run = self._start_run(view, root, prune, tracer, metrics)
+        run_span = start_span(
+            tracer, "engine.run", workers=self.workers, resumed=run.resumed
+        )
+        status = "ok"
         try:
             try:
                 if self.workers > 1:
@@ -336,6 +357,7 @@ class ExplorationEngine:
                 else:
                     self._drive_sequential(run)
             except _Exhausted as signal:
+                status = "exhausted"
                 path = self._write_checkpoint(run)
                 if metrics.enabled:
                     metrics.counter("explore.budget_exhausted").inc()
@@ -352,6 +374,24 @@ class ExplorationEngine:
                     ),
                 ) from None
         finally:
+            end_span(
+                tracer,
+                run_span,
+                status=status,
+                states=len(run.order),
+                transitions=run.transitions,
+                rounds=run.rounds,
+            )
+            if self.progress is not None:
+                self.progress.update(
+                    states=len(run.order),
+                    frontier=len(run.frontier),
+                    workers=self.workers,
+                    elapsed=run.elapsed(),
+                    budget=self.budget,
+                    force=True,
+                )
+                self.progress.finish()
             self._publish(run)
             self.last_report = self._build_report(run)
         if self.checkpoint_dir is not None:
@@ -430,6 +470,7 @@ class ExplorationEngine:
         budget = self.budget
         deadline_enabled = run.deadline.enabled
         timing = run.metrics.enabled
+        progress = self.progress
         while run.frontier:
             if (
                 deadline_enabled
@@ -437,6 +478,14 @@ class ExplorationEngine:
                 and run.deadline.expired()
             ):
                 raise _Exhausted("deadline", budget.deadline_seconds)
+            if progress is not None and run.expanded % 256 == 0:
+                progress.update(
+                    states=len(run.order),
+                    frontier=len(run.frontier),
+                    workers=1,
+                    elapsed=run.elapsed(),
+                    budget=budget,
+                )
             state, digest = run.frontier.popleft()
             if run.prune is not None and run.prune(state):
                 self._commit_pruned(run, state)
@@ -491,7 +540,16 @@ class ExplorationEngine:
                         state_of.setdefault(digest, state)
                     items.append((state, digest))
                 run.frontier.clear()
-                results = pool.run_round(run.rounds + 1, items, state_of, run.phase)
+                round_span = start_span(
+                    run.tracer, "round", round=run.rounds + 1, states=len(items)
+                )
+                results = pool.run_round(
+                    run.rounds + 1,
+                    items,
+                    state_of,
+                    run.phase,
+                    round_span_id=None if round_span is None else round_span.span_id,
+                )
                 # Merge in exact frontier order: this loop — not the
                 # workers — is where states are discovered, which is what
                 # keeps the graph identical to the sequential one.
@@ -536,6 +594,7 @@ class ExplorationEngine:
                     state_entry = run.frontier.popleft()
                     run.frontier.extendleft(reversed(items[position + 1 :]))
                     run.frontier.appendleft(state_entry)
+                    end_span(run.tracer, round_span, status="exhausted")
                     raise
                 finally:
                     run.phase["merge_seconds"] = run.phase.get(
@@ -549,6 +608,15 @@ class ExplorationEngine:
                         expanded=len(items),
                         shards=pool.last_round_producers,
                         frontier=len(run.frontier),
+                    )
+                end_span(run.tracer, round_span, frontier=len(run.frontier))
+                if self.progress is not None:
+                    self.progress.update(
+                        states=len(run.order),
+                        frontier=len(run.frontier),
+                        workers=self.workers,
+                        elapsed=run.elapsed(),
+                        budget=budget,
                     )
                 self._maybe_checkpoint(run)
         finally:
@@ -643,6 +711,7 @@ class ExplorationEngine:
     def _write_checkpoint(self, run: _Run) -> Path | None:
         if self.checkpoint_dir is None:
             return None
+        checkpoint_span = start_span(run.tracer, "checkpoint", states=len(run.order))
         path = save_checkpoint(
             self.checkpoint_dir,
             Checkpoint(
@@ -664,6 +733,7 @@ class ExplorationEngine:
             run.tracer.emit(
                 CHECKPOINT_SAVED, states=len(run.order), path=str(path)
             )
+        end_span(run.tracer, checkpoint_span, path=str(path))
         return path
 
     # -- reporting ------------------------------------------------------------

@@ -35,7 +35,10 @@ Replies carry ``(task_index, action_index, successor_digest)`` triples
 — indices into the shared ``view.tasks`` tuple and a per-worker action
 table — plus a ``novel`` list of ``(digest, state)`` pairs for states
 the worker stored for the first time (so the coordinator can build the
-graph), the newly-tabled actions, and per-phase timings.  In the
+graph), the newly-tabled actions, per-phase timings, and — when the
+coordinator's tracer or metrics registry is enabled — a self-contained
+telemetry batch of span events and counters (see
+:mod:`repro.obs.spans`), ``None`` otherwise.  In the
 engine's collision-audit mode every reply triple carries the successor
 state as a fourth field so the coordinator's audited index can compare
 values, trading the wire savings for the checked guarantee.
@@ -98,6 +101,7 @@ from typing import Callable, Hashable, Sequence
 from ..obs.events import STATE_QUARANTINED, WORKER_LOST, WORKER_RESPAWNED
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.sinks import NULL_TRACER, Tracer
+from ..obs.spans import WorkerTelemetry, merge_worker_events, record_span
 from .chaos import FaultPlan
 from .errors import PartitionRetryExhausted, StateQuarantined
 from .fingerprint import fingerprint_components, shard_of
@@ -178,6 +182,28 @@ def _expand_entries(
     return results, novel, expand_seconds, fingerprint_seconds
 
 
+def _close_chunk_telemetry(
+    tel, span, results, stored, expand_seconds, fingerprint_seconds
+):
+    """Close one chunk's ``partition`` span and record its counters.
+
+    The span was opened before expansion (so its wall time covers the
+    real work); here it gains ``expand``/``fingerprint`` child spans
+    carrying the accumulated phase time, plus the worker-side
+    ``explore.states`` counter (states stored in this worker's shard —
+    the one number the coordinator cannot attribute itself; expanded
+    and transition counts are already published per worker from the
+    reply).  Shared by forked workers and the in-process fallback.
+    """
+    transitions = sum(len(row) for row in results if row != PRUNED)
+    if expand_seconds:
+        tel.record_span("expand", expand_seconds, parent=span)
+    if fingerprint_seconds:
+        tel.record_span("fingerprint", fingerprint_seconds, parent=span)
+    tel.end_span(span, transitions=transitions, stored=stored)
+    tel.inc("explore.states", stored)
+
+
 def _worker_main(
     conn,
     view,
@@ -185,6 +211,7 @@ def _worker_main(
     digest_size: int,
     ship_states: bool,
     poison: frozenset = frozenset(),
+    telemetry: bool = False,
 ) -> None:
     """Worker loop: expand chunks until the ``None`` sentinel (or EOF).
 
@@ -192,12 +219,18 @@ def _worker_main(
     :class:`~repro.engine.chaos.FaultPlan`: asked to expand a poisoned
     state, the worker hard-exits before expanding — the deterministic
     stand-in for "this state segfaults whoever touches it".
+
+    With ``telemetry`` on (the parent's tracer is enabled), the worker
+    buffers spans/counters into a :class:`~repro.obs.spans.WorkerTelemetry`
+    flushed with every reply — each batch is self-contained, so a crash
+    loses at most the in-flight chunk's telemetry, never a half-open span.
     """
-    store: dict = {}
+    store: dict = {"__encodings__": {}}
     task_ids = {task: index for index, task in enumerate(view.tasks)}
     action_ids: dict = {}
     send_seconds = 0.0
     drain = getattr(view, "drain_stats", None)
+    tel = WorkerTelemetry(f"w{os.getpid()}") if telemetry else None
     while True:
         try:
             chunk = conn.recv()
@@ -212,6 +245,10 @@ def _worker_main(
                 if digest in poison:
                     os._exit(137)
         new_actions: list = []
+        stored_before = len(store)
+        chunk_span = (
+            tel.start_span("partition", states=len(chunk)) if tel is not None else None
+        )
         results, novel, expand_seconds, fingerprint_seconds = _expand_entries(
             chunk,
             store,
@@ -226,6 +263,15 @@ def _worker_main(
         orbit_hits = pruned_tasks = 0
         if drain is not None:
             orbit_hits, pruned_tasks = drain()
+        if tel is not None:
+            _close_chunk_telemetry(
+                tel,
+                chunk_span,
+                results,
+                len(store) - stored_before,
+                expand_seconds,
+                fingerprint_seconds,
+            )
         reply = (
             results,
             novel,
@@ -233,6 +279,7 @@ def _worker_main(
             # send_seconds is the cost of shipping the *previous* reply,
             # reported one beat late (and dropped for the last one).
             (expand_seconds, fingerprint_seconds, send_seconds, orbit_hits, pruned_tasks),
+            None if tel is None else tel.flush(),
         )
         before = time.perf_counter()
         try:
@@ -267,21 +314,43 @@ class LocalExpander:
     expanders cannot crash, so fault plans do not apply to them.
     """
 
-    def __init__(self, view, prune, digest_size: int, ship_states: bool) -> None:
+    _incarnations = 0
+
+    def __init__(
+        self,
+        view,
+        prune,
+        digest_size: int,
+        ship_states: bool,
+        telemetry: bool = False,
+    ) -> None:
         self._view = view
         self._prune = prune
         self._digest_size = digest_size
         self._ship_states = ship_states
-        self._store: dict = {}
+        self._store: dict = {"__encodings__": {}}
         self._task_ids = {task: index for index, task in enumerate(view.tasks)}
         self._action_ids: dict = {}
         self._replies: deque = deque()
         self._drain = getattr(view, "drain_stats", None)
+        self._telemetry = None
+        if telemetry:
+            # In-process expanders share the coordinator's pid, so the
+            # label carries an incarnation counter to keep span ids unique.
+            LocalExpander._incarnations += 1
+            self._telemetry = WorkerTelemetry(
+                f"local{LocalExpander._incarnations}"
+            )
 
     def send(self, chunk) -> None:
         if chunk is None:
             return
         new_actions: list = []
+        stored_before = len(self._store)
+        tel = self._telemetry
+        chunk_span = (
+            tel.start_span("partition", states=len(chunk)) if tel is not None else None
+        )
         results, novel, expand_seconds, fingerprint_seconds = _expand_entries(
             chunk,
             self._store,
@@ -296,12 +365,22 @@ class LocalExpander:
         orbit_hits = pruned_tasks = 0
         if self._drain is not None:
             orbit_hits, pruned_tasks = self._drain()
+        if tel is not None:
+            _close_chunk_telemetry(
+                tel,
+                chunk_span,
+                results,
+                len(self._store) - stored_before,
+                expand_seconds,
+                fingerprint_seconds,
+            )
         self._replies.append(
             (
                 results,
                 novel,
                 new_actions,
                 (expand_seconds, fingerprint_seconds, 0.0, orbit_hits, pruned_tasks),
+                None if tel is None else tel.flush(),
             )
         )
 
@@ -392,6 +471,7 @@ class WorkerPool:
         self.actions: list[list] = []
         self._context = None
         self._round = 0
+        self._round_span: str | None = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -400,7 +480,13 @@ class WorkerPool:
         self.local = self.workers <= 1 or not fork_available()
         if self.local:
             self._handles = [
-                LocalExpander(self._view, self._prune, self._digest_size, self._ship_states)
+                LocalExpander(
+                    self._view,
+                    self._prune,
+                    self._digest_size,
+                    self._ship_states,
+                    telemetry=self.tracer.enabled or self.metrics.enabled,
+                )
                 for _ in range(self.workers)
             ]
             if self.workers > 1 and self.metrics.enabled:
@@ -434,6 +520,7 @@ class WorkerPool:
                 self._digest_size,
                 self._ship_states,
                 poison,
+                self.tracer.enabled or self.metrics.enabled,
             ),
             daemon=True,
         )
@@ -443,7 +530,14 @@ class WorkerPool:
 
     # -- one exchange round -------------------------------------------------
 
-    def run_round(self, round_index: int, items, state_of: dict, phase: dict) -> list:
+    def run_round(
+        self,
+        round_index: int,
+        items,
+        state_of: dict,
+        phase: dict,
+        round_span_id: str | None = None,
+    ) -> list:
         """Expand one round's frontier; returns results by item position.
 
         ``items`` is the round's ``(state, digest)`` list in frontier
@@ -453,8 +547,13 @@ class WorkerPool:
         ``(task_index, action, digest[, state])`` tuples (actions
         decoded, state present in audit mode), :data:`PRUNED`, or
         :data:`QUARANTINED`.
+
+        ``round_span_id`` is the coordinator's open ``round`` span:
+        merged worker spans (and the synthesized ``lost`` partition of a
+        dead worker) are re-parented under it.
         """
         self._round = round_index
+        self._round_span = round_span_id
         self._state_of = state_of
         self._phase = phase
         self._results: list = [None] * len(items)
@@ -605,8 +704,10 @@ class WorkerPool:
     # -- ingestion ----------------------------------------------------------
 
     def _ingest(self, worker: int, chunk: _Chunk, reply) -> None:
-        results, novel, new_actions, stats = reply
+        results, novel, new_actions, stats, batch = reply
         expand_seconds, fingerprint_seconds, send_seconds, orbit_hits, pruned = stats
+        if batch is not None:
+            self._merge_telemetry(worker, batch)
         state_of = self._state_of
         for digest, state in novel:
             state_of.setdefault(digest, state)
@@ -644,6 +745,12 @@ class WorkerPool:
         if self.metrics.enabled:
             self.metrics.counter(f"engine.worker{worker}.expanded").inc(len(results))
             self.metrics.counter(f"engine.worker{worker}.transitions").inc(transitions)
+            self.metrics.histogram(f"engine.worker{worker}.phase.expand_seconds").observe(
+                expand_seconds
+            )
+            self.metrics.histogram(
+                f"engine.worker{worker}.phase.fingerprint_seconds"
+            ).observe(fingerprint_seconds)
         phase = self._phase
         phase["expand_seconds"] = phase.get("expand_seconds", 0.0) + expand_seconds
         phase["fingerprint_seconds"] = (
@@ -656,6 +763,28 @@ class WorkerPool:
             self._producers.add(worker)
         for offset, position in enumerate(chunk.positions):
             self._results[position] = decoded[offset]
+
+    def _merge_telemetry(self, worker: int, batch) -> None:
+        """Fold one worker batch into the coordinator's tracer/metrics.
+
+        Events are re-emitted through the parent tracer in buffer order
+        (re-stamping ``seq``/``lamport``), with the worker's top-level
+        spans re-parented under the current round span and tagged with
+        the worker slot.  Worker counters merge *namespaced*
+        (``engine.worker<w>.<name>``) — never into the coordinator's own
+        ``explore.*`` counters, which already count the same work once.
+        """
+        events, counters = batch
+        if events and self.tracer.enabled:
+            merge_worker_events(
+                self.tracer,
+                events,
+                parent_id=self._round_span,
+                attach={"worker": worker, "round": self._round},
+            )
+        if counters and self.metrics.enabled:
+            for name, value in counters.items():
+                self.metrics.counter(f"engine.worker{worker}.{name}").inc(value)
 
     # -- recovery -----------------------------------------------------------
 
@@ -686,6 +815,20 @@ class WorkerPool:
                 pending=len(pending),
                 restarts=self._restarts[worker],
             )
+            if inflight:
+                # The blamed chunk died with the worker; its telemetry is
+                # gone, so the coordinator synthesizes the closed span the
+                # worker never got to flush.
+                record_span(
+                    self.tracer,
+                    "partition",
+                    0.0,
+                    parent_id=self._round_span,
+                    status="lost",
+                    worker=worker,
+                    round=self._round,
+                    states=len(inflight[0].items),
+                )
         requeue: list = []
         # Workers process chunks strictly FIFO, so only the *first*
         # un-replied chunk was being expanded when the worker died —
@@ -784,7 +927,13 @@ class WorkerPool:
         self.collapsed = True
         self.local = True
         self._handles = [
-            LocalExpander(self._view, self._prune, self._digest_size, self._ship_states)
+            LocalExpander(
+                self._view,
+                self._prune,
+                self._digest_size,
+                self._ship_states,
+                telemetry=self.tracer.enabled or self.metrics.enabled,
+            )
             for _ in range(self.workers)
         ]
         self._alive = [True] * self.workers

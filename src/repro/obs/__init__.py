@@ -11,6 +11,16 @@ and the adversary pipeline *do* as inspectable data:
   ``snapshot()`` dict export;
 * :mod:`repro.obs.profile` — context-manager timers and a ``@profiled``
   decorator feeding the registry;
+* :mod:`repro.obs.spans`   — hierarchical spans (wall + CPU time,
+  parent links, attributes) layered on the event stream as
+  ``span_start``/``span_end`` pairs, plus :class:`WorkerTelemetry`
+  (worker-side buffering) and :func:`merge_worker_events` (ordered
+  merge into the coordinator's trace), and offline tooling: assembly,
+  latency profiles, folded flamegraph stacks, trace diffing;
+* :mod:`repro.obs.progress` — throttled, TTY-aware live progress lines
+  on stderr (``REPRO_PROGRESS=1`` or ``ExplorationEngine(progress=…)``);
+* :mod:`repro.obs.export`  — Prometheus textfile and Chrome
+  ``trace_event`` exporters for metrics snapshots and span traces;
 * :mod:`repro.obs.replay`  — reconstruct the task sequence of a JSONL
   trace as a :class:`~repro.ioa.scheduler.ScriptedScheduler` and replay
   any observed run bit-for-bit.
@@ -35,6 +45,8 @@ from .events import (
     RUN_START,
     SERVICE_INVOCATION,
     SERVICE_RESPONSE,
+    SPAN_END,
+    SPAN_START,
     STATE_EXPLORED,
     TASK_CHOSEN,
     VALENCE_VERDICT,
@@ -42,6 +54,12 @@ from .events import (
     TraceEvent,
     decode_value,
     encode_value,
+)
+from .export import (
+    chrome_trace,
+    prometheus_textfile,
+    snapshot_from_trace,
+    write_chrome_trace,
 )
 from .metrics import (
     Counter,
@@ -51,10 +69,30 @@ from .metrics import (
     NULL_METRICS,
     NullMetricsRegistry,
     default_registry,
+    percentile,
     render_metrics_table,
     set_default_registry,
 )
 from .profile import Timer, profiled, timed
+from .progress import ProgressReporter, progress_from_env
+from .spans import (
+    Span,
+    SpanRecord,
+    WorkerTelemetry,
+    assemble_spans,
+    current_span_id,
+    diff_span_profiles,
+    end_span,
+    folded_stacks,
+    merge_worker_events,
+    record_span,
+    render_folded_stacks,
+    render_span_diff,
+    render_span_table,
+    span,
+    start_span,
+    summarize_spans,
+)
 from .sinks import (
     JsonlSink,
     NULL_TRACER,
@@ -109,30 +147,55 @@ __all__ = [
     "NullMetricsRegistry",
     "NullSink",
     "PHASE",
+    "ProgressReporter",
     "RUN_END",
     "RUN_START",
     "RingBufferSink",
     "SERVICE_INVOCATION",
     "SERVICE_RESPONSE",
+    "SPAN_END",
+    "SPAN_START",
     "STATE_EXPLORED",
     "Sink",
+    "Span",
+    "SpanRecord",
     "TASK_CHOSEN",
     "Timer",
     "TraceEvent",
     "Tracer",
     "VALENCE_VERDICT",
     "WORKER_ROUND",
+    "WorkerTelemetry",
+    "assemble_spans",
+    "chrome_trace",
+    "current_span_id",
     "current_tracer",
     "decode_value",
     "default_registry",
+    "diff_span_profiles",
     "encode_value",
+    "end_span",
+    "folded_stacks",
+    "merge_worker_events",
+    "percentile",
     "profiled",
+    "progress_from_env",
+    "prometheus_textfile",
+    "record_span",
+    "render_folded_stacks",
     "render_metrics_table",
+    "render_span_diff",
+    "render_span_table",
     "replay",
     "set_current_tracer",
     "set_default_registry",
+    "snapshot_from_trace",
+    "span",
+    "start_span",
+    "summarize_spans",
     "timed",
     "use_tracer",
+    "write_chrome_trace",
     # lazy re-exports from repro.obs.replay
     "load_events",
     "split_runs",

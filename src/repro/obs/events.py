@@ -50,6 +50,8 @@ CHECKPOINT_SAVED = "checkpoint_saved"  # the engine snapshotted its progress to 
 WORKER_LOST = "worker_lost"  # a pool worker died (crash or injected fault)
 WORKER_RESPAWNED = "worker_respawned"  # a lost worker slot was restarted
 STATE_QUARANTINED = "state_quarantined"  # a state repeatedly killed workers; skipped
+SPAN_START = "span_start"  # a hierarchical span opened (see repro.obs.spans)
+SPAN_END = "span_end"  # a span closed, carrying wall/CPU time and status
 
 KINDS = frozenset(
     {
@@ -69,6 +71,8 @@ KINDS = frozenset(
         WORKER_LOST,
         WORKER_RESPAWNED,
         STATE_QUARANTINED,
+        SPAN_START,
+        SPAN_END,
     }
 )
 

@@ -1,0 +1,184 @@
+"""Exporters: Prometheus textfiles and Chrome ``trace_event`` JSON.
+
+Two one-way bridges out of the observability subsystem:
+
+* :func:`prometheus_textfile` renders a
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dict in the
+  Prometheus text exposition format (node_exporter's textfile collector
+  consumes it as-is): counters become ``repro_<name>_total``, gauges
+  ``repro_<name>``, histograms a ``_count``/``_sum`` pair plus
+  p50/p95/p99 quantile gauges.  Dots and other non-metric characters in
+  instrument names become underscores.
+
+* :func:`chrome_trace` converts the span events of any trace (see
+  :mod:`repro.obs.spans`) into the Chrome ``trace_event`` JSON object
+  format, loadable in ``chrome://tracing`` and Perfetto.  Each emitting
+  process (coordinator, each worker incarnation) becomes a track;
+  timestamps are each track's own ``perf_counter`` values, normalized so
+  the earliest span in the trace sits at zero.  Cross-track alignment is
+  therefore approximate (different processes, different clock origins —
+  worker tracks are additionally pinned to the first merge point), which
+  is fine for the intended use: seeing where the time went, per track.
+
+* :func:`snapshot_from_trace` builds a metrics-style snapshot from a raw
+  trace — event counts per kind, span-latency histogram summaries per
+  span name — so ``obs prom`` can serve either input kind.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping
+
+from .events import TraceEvent
+from .metrics import percentile
+from .spans import SpanRecord, assemble_spans
+
+
+def _metric_name(name: str) -> str:
+    """A Prometheus-legal metric name from a dotted instrument name."""
+    cleaned = [
+        ch if ch.isalnum() or ch in ("_", ":") else "_" for ch in name
+    ]
+    if cleaned and cleaned[0].isdigit():
+        cleaned.insert(0, "_")
+    return "".join(cleaned)
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(float(value)) if isinstance(value, float) else str(value)
+    return "NaN"
+
+
+def prometheus_textfile(snapshot: Mapping, prefix: str = "repro") -> str:
+    """Render a metrics snapshot in the Prometheus text format."""
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = f"{prefix}_{_metric_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = f"{prefix}_{_metric_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, summary in snapshot.get("histograms", {}).items():
+        metric = f"{prefix}_{_metric_name(name)}"
+        lines.append(f"# TYPE {metric} summary")
+        for quantile_key, q in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
+            value = summary.get(quantile_key)
+            if value is not None:
+                lines.append(
+                    f'{metric}{{quantile="{q}"}} {_format_value(value)}'
+                )
+        lines.append(f"{metric}_sum {_format_value(summary.get('total', 0.0))}")
+        lines.append(f"{metric}_count {summary.get('count', 0)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot_from_trace(events: Iterable[TraceEvent]) -> dict:
+    """A metrics-style snapshot derived from a raw event trace.
+
+    Counters: ``trace.events.<kind>`` per event kind.  Histograms:
+    ``span.<name>`` wall-time summaries per span name (same keys as
+    :meth:`~repro.obs.metrics.Histogram.summary`).
+    """
+    events = list(events)
+    counters: dict[str, int] = {}
+    for event in events:
+        key = f"trace.events.{event.kind}"
+        counters[key] = counters.get(key, 0) + 1
+    histograms: dict[str, dict] = {}
+    samples: dict[str, list[float]] = {}
+    for record in assemble_spans(events):
+        samples.setdefault(f"span.{record.name}", []).append(record.wall_seconds)
+    for name, walls in samples.items():
+        walls.sort()
+        histograms[name] = {
+            "count": len(walls),
+            "total": sum(walls),
+            "mean": sum(walls) / len(walls),
+            "min": walls[0],
+            "max": walls[-1],
+            "p50": percentile(walls, 0.50),
+            "p95": percentile(walls, 0.95),
+            "p99": percentile(walls, 0.99),
+        }
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": {},
+        "histograms": dict(sorted(histograms.items())),
+    }
+
+
+def _track_name(record: SpanRecord) -> str:
+    process = record.process
+    return "coordinator" if process is None else str(process)
+
+
+def chrome_trace(events: Iterable[TraceEvent]) -> dict:
+    """The trace's spans as a Chrome ``trace_event`` JSON object.
+
+    Every span becomes one complete (``ph="X"``) event; open spans
+    (never closed — should not exist in a well-formed merged trace) are
+    skipped.  ``args`` carries the span's attributes plus its id/parent
+    so Perfetto's query panel can reconstruct the hierarchy.
+    """
+    records = assemble_spans(events)
+    tracks: dict[str, int] = {}
+    origin: dict[str, float] = {}
+    for record in records:
+        track = _track_name(record)
+        if track not in tracks:
+            tracks[track] = len(tracks) + 1
+        origin[track] = min(origin.get(track, record.start_t), record.start_t)
+    trace_events: list[dict] = []
+    for track, tid in tracks.items():
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for record in records:
+        if record.status == "open":
+            continue
+        track = _track_name(record)
+        trace_events.append(
+            {
+                "name": record.name,
+                "cat": "span",
+                "ph": "X",
+                "pid": 1,
+                "tid": tracks[track],
+                "ts": round((record.start_t - origin[track]) * 1e6, 3),
+                "dur": round(record.wall_seconds * 1e6, 3),
+                "args": {
+                    "span": record.span_id,
+                    "parent": record.parent_id,
+                    "status": record.status,
+                    **{
+                        key: value
+                        for key, value in record.attrs.items()
+                        if isinstance(value, (str, int, float, bool, type(None)))
+                    },
+                },
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], path) -> int:
+    """Write :func:`chrome_trace` output to ``path``; returns event count."""
+    document = chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, separators=(",", ":"))
+        stream.write("\n")
+    return len(document["traceEvents"])

@@ -49,10 +49,35 @@ class Gauge:
         self.value = value
 
 
-class Histogram:
-    """A streaming summary of observed samples."""
+def percentile(sorted_samples, q: float) -> float:
+    """Linear-interpolated quantile ``q`` of an ascending sample list."""
+    if not sorted_samples:
+        raise ValueError("percentile of an empty sample list")
+    if len(sorted_samples) == 1:
+        return sorted_samples[0]
+    position = q * (len(sorted_samples) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return sorted_samples[lower]
+    weight = position - lower
+    return sorted_samples[lower] * (1 - weight) + sorted_samples[upper] * weight
 
-    __slots__ = ("name", "count", "total", "min", "max")
+
+class Histogram:
+    """A streaming summary of observed samples.
+
+    Besides the exact count/total/min/max, the histogram retains a
+    bounded sample set for quantiles: every ``_stride``-th observation
+    is kept, and when the retained set hits :data:`SAMPLE_CAP` it is
+    decimated (every other sample dropped, stride doubled).  Quantiles
+    are therefore exact up to ``SAMPLE_CAP`` observations and a uniform
+    thinning beyond — deterministic, no RNG involved.
+    """
+
+    SAMPLE_CAP = 8192
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples", "_stride")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -60,8 +85,16 @@ class Histogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._samples: list = []
+        self._stride = 1
 
     def observe(self, sample: float) -> None:
+        if self.count % self._stride == 0:
+            samples = self._samples
+            samples.append(sample)
+            if len(samples) >= self.SAMPLE_CAP:
+                del samples[::2]
+                self._stride *= 2
         self.count += 1
         self.total += sample
         if sample < self.min:
@@ -73,13 +106,23 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """Interpolated quantile from the retained samples (None if empty)."""
+        if not self._samples:
+            return None
+        return percentile(sorted(self._samples), q)
+
     def summary(self) -> dict:
+        retained = sorted(self._samples)
         return {
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
+            "p50": percentile(retained, 0.50) if retained else None,
+            "p95": percentile(retained, 0.95) if retained else None,
+            "p99": percentile(retained, 0.99) if retained else None,
         }
 
 
@@ -209,6 +252,11 @@ def render_metrics_table(snapshot: dict) -> str:
             f"count={summary['count']} total={summary['total']:.6g} "
             f"mean={summary['mean']:.6g}"
         )
+        if summary.get("p50") is not None:
+            rendered += (
+                f" p50={summary['p50']:.6g} p95={summary['p95']:.6g} "
+                f"p99={summary['p99']:.6g}"
+            )
         rows.append(("histogram", name, rendered))
     if not rows:
         return "(no metrics recorded)"

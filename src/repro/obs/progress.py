@@ -1,0 +1,132 @@
+"""Live exploration progress on stderr.
+
+A :class:`ProgressReporter` renders one-line status updates —
+``states/s``, frontier size, worker count, and ETA against the run's
+:class:`~repro.engine.budget.Budget` — while an exploration runs.  On a
+TTY the line is redrawn in place (carriage return, no scrollback spam);
+on a pipe it degrades to one plain line per report interval, so CI logs
+stay readable.
+
+The reporter throttles itself (``interval_seconds`` between renders)
+and is driven by the engine's drivers: per round in parallel runs, every
+few hundred expansions sequentially.  It is pure presentation — nothing
+reads it back — so it deliberately lives in ``repro.obs`` next to the
+other observers rather than in the engine.
+
+Enable it per run (``ExplorationEngine(progress=ProgressReporter())``),
+via the CLI ``--progress`` flag, or process-wide with the
+``REPRO_PROGRESS`` environment variable (any non-empty value other than
+``0``; :func:`progress_from_env`).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+#: Environment variable consulted by :func:`progress_from_env`.
+REPRO_PROGRESS = "REPRO_PROGRESS"
+
+
+class ProgressReporter:
+    """Throttled one-line progress rendering for exploration runs."""
+
+    def __init__(
+        self,
+        stream=None,
+        interval_seconds: float = 0.25,
+        clock=time.monotonic,
+    ) -> None:
+        self.stream = sys.stderr if stream is None else stream
+        self.interval_seconds = interval_seconds
+        self._clock = clock
+        self._last_render = -interval_seconds  # first update always renders
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._dirty = False
+        self.renders = 0
+
+    # -- driving --------------------------------------------------------------
+
+    def update(
+        self,
+        *,
+        states: int,
+        frontier: int,
+        workers: int,
+        elapsed: float,
+        budget=None,
+        force: bool = False,
+    ) -> bool:
+        """Render a progress line if the throttle interval has passed.
+
+        Returns True when a line was actually written (tests hook this).
+        """
+        now = self._clock()
+        if not force and now - self._last_render < self.interval_seconds:
+            return False
+        self._last_render = now
+        self._write(self.format_line(states, frontier, workers, elapsed, budget))
+        self.renders += 1
+        return True
+
+    def finish(self) -> None:
+        """Terminate the in-place line (no-op if nothing was rendered)."""
+        if self._tty and self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+        self._dirty = False
+
+    # -- formatting -----------------------------------------------------------
+
+    def format_line(
+        self, states: int, frontier: int, workers: int, elapsed: float, budget
+    ) -> str:
+        rate = states / elapsed if elapsed > 0 else 0.0
+        parts = [
+            f"{states} states",
+            f"{rate:,.0f} st/s",
+            f"frontier {frontier}",
+            f"workers {workers}",
+        ]
+        eta = self._eta(states, rate, elapsed, budget)
+        if eta:
+            parts.append(eta)
+        return "[repro] " + " | ".join(parts)
+
+    @staticmethod
+    def _eta(states: int, rate: float, elapsed: float, budget) -> str:
+        """ETA-vs-Budget: time to the binding limit, whichever is nearer."""
+        if budget is None:
+            return ""
+        clauses = []
+        max_states = getattr(budget, "max_states", None)
+        if max_states:
+            if rate > 0:
+                remaining = max(0, max_states - states) / rate
+                clauses.append(
+                    f"{100 * states / max_states:.0f}% of {max_states} states,"
+                    f" ~{remaining:.0f}s to cap"
+                )
+            else:
+                clauses.append(f"{states}/{max_states} states")
+        deadline = getattr(budget, "deadline_seconds", None)
+        if deadline:
+            clauses.append(f"deadline {max(0.0, deadline - elapsed):.0f}s left")
+        return "; ".join(clauses)
+
+    def _write(self, line: str) -> None:
+        if self._tty:
+            self.stream.write("\r\x1b[2K" + line)
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+        self._dirty = True
+
+
+def progress_from_env(environ=None) -> ProgressReporter | None:
+    """A stderr reporter when ``REPRO_PROGRESS`` is set (and not ``0``)."""
+    value = (environ if environ is not None else os.environ).get(REPRO_PROGRESS, "")
+    if not value.strip() or value.strip() == "0":
+        return None
+    return ProgressReporter()

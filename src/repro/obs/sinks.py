@@ -77,16 +77,24 @@ class JsonlSink(Sink):
 
     Usable as a context manager; ``events_written`` counts the lines
     emitted through this sink instance.
+
+    The stream is line-buffered and each event is a single complete
+    write, so the OS-level buffer is empty between appends.  That makes
+    the sink fork-safe: a forked pool worker inheriting the open file
+    has nothing buffered to re-flush at exit (a block-buffered stream
+    here produced duplicated partial lines — corrupt JSONL — whenever a
+    worker process exited while the coordinator's buffer was dirty).
+    It also means a crashed run keeps every event emitted before the
+    crash.
     """
 
     def __init__(self, path, mode: str = "w") -> None:
         self.path = path
-        self._file = open(path, mode, encoding="utf-8")
+        self._file = open(path, mode, encoding="utf-8", buffering=1)
         self.events_written = 0
 
     def append(self, event: TraceEvent) -> None:
-        self._file.write(event.to_json())
-        self._file.write("\n")
+        self._file.write(event.to_json() + "\n")
         self.events_written += 1
 
     def close(self) -> None:
@@ -108,15 +116,27 @@ class Tracer:
     :class:`~repro.obs.events.TraceEvent` carrying the next sequence
     number and, when ``process`` is given, that process's next Lamport
     counter, then appends it to the sink.
+
+    ``span_stack`` and ``_span_counter`` belong to :mod:`repro.obs.spans`:
+    the stack of currently-open span ids (parent links) and the id
+    allocator.  They live on the tracer so every instrumented layer
+    sharing a tracer shares one span hierarchy.
     """
 
-    __slots__ = ("sink", "enabled", "_seq", "_lamport")
+    __slots__ = ("sink", "enabled", "_seq", "_lamport", "span_stack", "_span_counter")
 
     def __init__(self, sink: Sink, enabled: bool = True) -> None:
         self.sink = sink
         self.enabled = enabled
         self._seq = 0
         self._lamport: dict[Hashable, int] = {}
+        self.span_stack: list[str] = []
+        self._span_counter = 0
+
+    def next_span_id(self) -> str:
+        """Allocate the next span id of this tracer's stream."""
+        self._span_counter += 1
+        return f"s{self._span_counter}"
 
     def emit(self, kind: str, process: Hashable = None, **data) -> None:
         """Append one event to the stream (no-op when disabled)."""

@@ -85,7 +85,9 @@ class TestTraceEvent:
         assert "worker_lost" in KINDS
         assert "worker_respawned" in KINDS
         assert "state_quarantined" in KINDS
-        assert len(KINDS) == 16
+        assert "span_start" in KINDS
+        assert "span_end" in KINDS
+        assert len(KINDS) == 18
 
 
 class TestTracerStamping:

@@ -1,0 +1,102 @@
+"""Unit tests for the Prometheus and Chrome trace_event exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    RingBufferSink,
+    Tracer,
+    chrome_trace,
+    prometheus_textfile,
+    record_span,
+    snapshot_from_trace,
+    span,
+    start_span,
+    write_chrome_trace,
+)
+
+
+def traced_events():
+    sink = RingBufferSink()
+    tracer = Tracer(sink)
+    with span(tracer, "outer", items=2):
+        with span(tracer, "inner"):
+            pass
+    tracer.emit("phase", stage="lemma4")
+    return sink.events()
+
+
+class TestPrometheus:
+    def test_counters_gauges_histograms_render(self):
+        registry = MetricsRegistry()
+        registry.counter("explore.states").inc(42)
+        registry.gauge("engine.workers").set(2)
+        for value in (0.1, 0.2, 0.3):
+            registry.histogram("round.seconds").observe(value)
+        text = prometheus_textfile(registry.snapshot())
+        assert "# TYPE repro_explore_states_total counter" in text
+        assert "repro_explore_states_total 42" in text
+        assert "repro_engine_workers 2" in text
+        assert 'repro_round_seconds{quantile="0.5"}' in text
+        assert "repro_round_seconds_count 3" in text
+        assert text.endswith("\n")
+
+    def test_metric_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.worker0.explore.states").inc()
+        text = prometheus_textfile(registry.snapshot())
+        assert "repro_engine_worker0_explore_states_total 1" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert prometheus_textfile(MetricsRegistry().snapshot()) == ""
+
+    def test_snapshot_from_trace(self):
+        snapshot = snapshot_from_trace(traced_events())
+        assert snapshot["counters"]["trace.events.span_start"] == 2
+        assert snapshot["counters"]["trace.events.phase"] == 1
+        assert snapshot["histograms"]["span.outer"]["count"] == 1
+        text = prometheus_textfile(snapshot)
+        assert "repro_trace_events_span_start_total 2" in text
+
+
+class TestChromeTrace:
+    def test_spans_become_complete_events(self):
+        document = chrome_trace(traced_events())
+        assert document["displayTimeUnit"] == "ms"
+        phases = [event["ph"] for event in document["traceEvents"]]
+        assert phases.count("X") == 2
+        assert phases.count("M") == 1  # one track: the coordinator
+        complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        by_name = {event["name"]: event for event in complete}
+        assert by_name["inner"]["args"]["parent"] == by_name["outer"]["args"]["span"]
+        assert by_name["outer"]["args"]["items"] == 2
+        assert all(event["ts"] >= 0 for event in complete)
+
+    def test_open_spans_are_skipped(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        start_span(tracer, "never-closed")
+        document = chrome_trace(sink.events())
+        assert [e for e in document["traceEvents"] if e["ph"] == "X"] == []
+
+    def test_processes_become_tracks(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        record_span(tracer, "a", 0.1)
+        record_span(tracer, "b", 0.1, process="w1")
+        document = chrome_trace(sink.events())
+        names = {
+            event["args"]["name"]
+            for event in document["traceEvents"]
+            if event["ph"] == "M"
+        }
+        assert names == {"coordinator", "w1"}
+
+    def test_write_chrome_trace_is_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.chrome.json"
+        count = write_chrome_trace(traced_events(), path)
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == count
+        assert count == 3

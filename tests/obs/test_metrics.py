@@ -73,6 +73,48 @@ class TestInstruments:
         assert summary["min"] == 1.0
         assert summary["max"] == 3.0
         assert summary["mean"] == pytest.approx(2.0)
+        assert summary["p50"] == pytest.approx(2.0)
+
+    def test_histogram_percentiles_interpolate(self):
+        histogram = MetricsRegistry().histogram("lat")
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        summary = histogram.summary()
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p95"] == pytest.approx(95.05)
+        assert summary["p99"] == pytest.approx(99.01)
+
+    def test_histogram_empty_percentiles_are_none(self):
+        summary = MetricsRegistry().histogram("lat").summary()
+        assert summary["p50"] is None
+        assert summary["p95"] is None
+        assert summary["p99"] is None
+
+    def test_percentile_function(self):
+        from repro.obs import percentile
+
+        assert percentile([5.0], 0.99) == 5.0
+        assert percentile([1.0, 3.0], 0.5) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_histogram_sample_cap_keeps_quantiles_sane(self):
+        histogram = MetricsRegistry().histogram("lat")
+        n = histogram.SAMPLE_CAP * 3
+        for value in range(n):
+            histogram.observe(float(value))
+        assert histogram.count == n
+        assert len(histogram._samples) < histogram.SAMPLE_CAP
+        # Decimation is uniform, so quantiles stay close to exact.
+        assert histogram.quantile(0.5) == pytest.approx(n / 2, rel=0.01)
+        assert histogram.quantile(0.99) == pytest.approx(0.99 * n, rel=0.01)
+
+    def test_render_table_shows_percentiles(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            registry.histogram("lat").observe(value)
+        text = render_metrics_table(registry.snapshot())
+        assert "p50=2" in text and "p95=" in text and "p99=" in text
 
     def test_create_or_get_returns_same_instrument(self):
         registry = MetricsRegistry()

@@ -1,0 +1,119 @@
+"""Unit tests for the live progress reporter."""
+
+import io
+
+from repro.obs import ProgressReporter, progress_from_env
+from repro.engine import Budget
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def reporter(stream=None, **kwargs):
+    stream = io.StringIO() if stream is None else stream
+    clock = FakeClock()
+    return ProgressReporter(stream=stream, clock=clock, **kwargs), stream, clock
+
+
+class TestThrottle:
+    def test_first_update_renders_then_throttles(self):
+        progress, stream, clock = reporter(interval_seconds=0.25)
+        assert progress.update(states=10, frontier=5, workers=2, elapsed=1.0)
+        assert not progress.update(states=11, frontier=5, workers=2, elapsed=1.1)
+        clock.now += 0.3
+        assert progress.update(states=12, frontier=5, workers=2, elapsed=1.4)
+        assert progress.renders == 2
+
+    def test_force_bypasses_throttle(self):
+        progress, stream, clock = reporter()
+        progress.update(states=1, frontier=1, workers=1, elapsed=0.1)
+        assert progress.update(
+            states=2, frontier=1, workers=1, elapsed=0.2, force=True
+        )
+
+
+class TestFormatting:
+    def test_line_contains_rate_frontier_workers(self):
+        progress, stream, _ = reporter()
+        line = progress.format_line(1000, 50, 4, 2.0, None)
+        assert "1000 states" in line
+        assert "500 st/s" in line
+        assert "frontier 50" in line
+        assert "workers 4" in line
+
+    def test_eta_against_max_states(self):
+        progress, _, _ = reporter()
+        line = progress.format_line(500, 10, 1, 1.0, Budget(max_states=1000))
+        assert "50% of 1000 states" in line
+        assert "~1s to cap" in line
+
+    def test_eta_against_deadline(self):
+        progress, _, _ = reporter()
+        line = progress.format_line(
+            100, 10, 1, 2.0, Budget(deadline_seconds=10.0)
+        )
+        assert "deadline 8s left" in line
+
+    def test_non_tty_writes_plain_lines(self):
+        progress, stream, _ = reporter()
+        progress.update(states=1, frontier=1, workers=1, elapsed=0.1)
+        progress.finish()
+        output = stream.getvalue()
+        assert output.endswith("\n")
+        assert "\r" not in output
+
+    def test_tty_redraws_in_place(self):
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        stream = Tty()
+        progress, stream, clock = reporter(stream=stream)
+        progress.update(states=1, frontier=1, workers=1, elapsed=0.1)
+        clock.now += 1.0
+        progress.update(states=2, frontier=1, workers=1, elapsed=0.2)
+        progress.finish()
+        output = stream.getvalue()
+        assert output.count("\r") == 2
+        assert output.endswith("\n")
+
+
+class TestEnv:
+    def test_unset_or_zero_disables(self):
+        assert progress_from_env({}) is None
+        assert progress_from_env({"REPRO_PROGRESS": "0"}) is None
+        assert progress_from_env({"REPRO_PROGRESS": "  "}) is None
+
+    def test_set_enables(self):
+        assert progress_from_env({"REPRO_PROGRESS": "1"}) is not None
+
+
+class TestEngineIntegration:
+    def test_sequential_run_drives_reporter(self):
+        from repro.analysis import DeterministicSystemView
+        from repro.engine import ExplorationEngine
+        from repro.protocols import last_writer_register_system
+
+        system = last_writer_register_system()
+        view = DeterministicSystemView(system)
+        root = system.initialization(
+            {pid: 0 for pid in system.process_ids}
+        ).final_state
+        stream = io.StringIO()
+        progress = ProgressReporter(stream=stream, interval_seconds=0.0)
+        engine = ExplorationEngine(progress=progress)
+        engine.explore(view, root)
+        assert progress.renders >= 1
+        assert "states" in stream.getvalue()
+
+    def test_progress_false_forces_off(self, monkeypatch):
+        from repro.engine import ExplorationEngine
+
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        assert ExplorationEngine(progress=False).progress is None
+        assert ExplorationEngine().progress is not None

@@ -1,0 +1,197 @@
+"""Unit tests for hierarchical spans, worker telemetry, and span tooling."""
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    RingBufferSink,
+    SPAN_END,
+    SPAN_START,
+    Tracer,
+    WorkerTelemetry,
+    assemble_spans,
+    current_span_id,
+    diff_span_profiles,
+    end_span,
+    folded_stacks,
+    merge_worker_events,
+    render_folded_stacks,
+    render_span_diff,
+    render_span_table,
+    record_span,
+    span,
+    start_span,
+    summarize_spans,
+)
+
+
+def tracer_pair():
+    sink = RingBufferSink()
+    return Tracer(sink), sink
+
+
+class TestSpanEvents:
+    def test_span_emits_start_and_end_pair(self):
+        tracer, sink = tracer_pair()
+        opened = start_span(tracer, "work", items=3)
+        end_span(tracer, opened, status="ok", done=True)
+        kinds = [event.kind for event in sink.events()]
+        assert kinds == [SPAN_START, SPAN_END]
+        start, end = sink.events()
+        assert start.data["span"] == end.data["span"]
+        assert start.data["name"] == "work"
+        assert start.data["parent"] is None
+        assert start.data["items"] == 3
+        assert end.data["status"] == "ok"
+        assert end.data["wall_seconds"] >= 0.0
+        assert end.data["cpu_seconds"] >= 0.0
+
+    def test_nested_spans_link_parents_via_tracer_stack(self):
+        tracer, sink = tracer_pair()
+        outer = start_span(tracer, "outer")
+        assert current_span_id(tracer) == outer.span_id
+        inner = start_span(tracer, "inner")
+        assert inner.parent_id == outer.span_id
+        end_span(tracer, inner)
+        assert current_span_id(tracer) == outer.span_id
+        end_span(tracer, outer)
+        assert current_span_id(tracer) is None
+
+    def test_disabled_tracer_emits_nothing_and_returns_none(self):
+        assert start_span(NULL_TRACER, "work") is None
+        end_span(NULL_TRACER, None)  # must not raise
+        record_span(NULL_TRACER, "work", 1.0)
+
+    def test_context_manager_sets_error_status_on_raise(self):
+        tracer, sink = tracer_pair()
+        with pytest.raises(ValueError):
+            with span(tracer, "work"):
+                raise ValueError("boom")
+        (record,) = assemble_spans(sink.events())
+        assert record.status == "error"
+        assert current_span_id(tracer) is None
+
+    def test_record_span_never_joins_stack(self):
+        tracer, sink = tracer_pair()
+        outer = start_span(tracer, "outer")
+        record_span(tracer, "phase", 0.25, cpu_seconds=0.1)
+        assert current_span_id(tracer) == outer.span_id
+        end_span(tracer, outer)
+        records = {r.name: r for r in assemble_spans(sink.events())}
+        assert records["phase"].parent_id == outer.span_id
+        assert records["phase"].wall_seconds == pytest.approx(0.25)
+        assert records["phase"].cpu_seconds == pytest.approx(0.1)
+
+
+class TestAssembly:
+    def test_unclosed_span_is_open(self):
+        tracer, sink = tracer_pair()
+        start_span(tracer, "lonely")
+        (record,) = assemble_spans(sink.events())
+        assert record.status == "open"
+        assert record.wall_seconds == 0.0
+
+    def test_end_without_start_is_ignored(self):
+        tracer, sink = tracer_pair()
+        tracer.emit(SPAN_END, span="ghost", name="ghost", status="ok")
+        assert assemble_spans(sink.events()) == []
+
+    def test_summarize_and_render(self):
+        tracer, sink = tracer_pair()
+        for _ in range(3):
+            with span(tracer, "step"):
+                pass
+        profile = summarize_spans(assemble_spans(sink.events()))
+        assert profile["step"]["count"] == 3
+        assert profile["step"]["p50"] <= profile["step"]["p99"]
+        assert profile["step"]["statuses"] == {"ok": 3}
+        table = render_span_table(profile)
+        assert "step" in table and "p95_ms" in table
+
+    def test_folded_stacks_self_time(self):
+        tracer, sink = tracer_pair()
+        record_span(tracer, "root", 1.0)
+        records = assemble_spans(sink.events())
+        # Hand-build a child under the root.
+        record_span(tracer, "leaf", 0.25, parent_id=records[0].span_id)
+        folded = folded_stacks(assemble_spans(sink.events()))
+        assert folded["root"] == 750_000  # self time: 1.0s - 0.25s child
+        assert folded["root;leaf"] == 250_000
+        text = render_folded_stacks(folded)
+        assert "root;leaf 250000" in text
+
+    def test_diff_profiles(self):
+        tracer_a, sink_a = tracer_pair()
+        record_span(tracer_a, "work", 1.0)
+        tracer_b, sink_b = tracer_pair()
+        record_span(tracer_b, "work", 2.0)
+        record_span(tracer_b, "extra", 0.5)
+        rows = diff_span_profiles(
+            summarize_spans(assemble_spans(sink_a.events())),
+            summarize_spans(assemble_spans(sink_b.events())),
+        )
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["work"]["ratio"] == pytest.approx(2.0)
+        assert by_name["extra"]["count_a"] == 0
+        assert "extra" in render_span_diff(rows)
+
+
+class TestWorkerTelemetry:
+    def test_buffer_spans_and_counters_roundtrip(self):
+        telemetry = WorkerTelemetry("w1")
+        opened = telemetry.start_span("partition", states=4)
+        telemetry.record_span("expand", 0.5, parent=opened)
+        telemetry.end_span(opened, transitions=7)
+        telemetry.inc("explore.states", 3)
+        events, counters = telemetry.flush()
+        assert counters == {"explore.states": 3}
+        assert [kind for kind, _, _ in events] == [
+            SPAN_START,
+            SPAN_START,
+            SPAN_END,
+            SPAN_END,
+        ]
+        assert telemetry.flush() is None  # buffer reset
+
+    def test_span_ids_are_label_namespaced(self):
+        telemetry = WorkerTelemetry("w42")
+        opened = telemetry.start_span("partition")
+        assert opened.span_id.startswith("w42:")
+
+    def test_merge_reparents_and_tags(self):
+        telemetry = WorkerTelemetry("w1")
+        opened = telemetry.start_span("partition")
+        telemetry.record_span("expand", 0.1, parent=opened)
+        telemetry.end_span(opened)
+        events, _ = telemetry.flush()
+
+        tracer, sink = tracer_pair()
+        round_span = start_span(tracer, "round")
+        merged = merge_worker_events(
+            tracer, events, parent_id=round_span.span_id, attach={"worker": 0}
+        )
+        end_span(tracer, round_span)
+        assert merged == len(events)
+        records = {r.name: r for r in assemble_spans(sink.events())}
+        # Top-level worker span re-parented under the round; child kept.
+        assert records["partition"].parent_id == round_span.span_id
+        assert records["partition"].attrs["worker"] == 0
+        assert records["expand"].parent_id == records["partition"].span_id
+
+    def test_merge_restamps_seq_monotonically(self):
+        telemetry = WorkerTelemetry("w1")
+        opened = telemetry.start_span("partition")
+        telemetry.end_span(opened)
+        events, _ = telemetry.flush()
+        tracer, sink = tracer_pair()
+        tracer.emit("phase", stage="before")
+        merge_worker_events(tracer, events)
+        seqs = [event.seq for event in sink.events()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_merge_into_disabled_tracer_is_noop(self):
+        telemetry = WorkerTelemetry("w1")
+        telemetry.end_span(telemetry.start_span("partition"))
+        events, _ = telemetry.flush()
+        assert merge_worker_events(NULL_TRACER, events) == 0

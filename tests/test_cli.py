@@ -245,6 +245,83 @@ class TestStats:
         assert "pipeline.wall_seconds" in out
 
 
+class TestObs:
+    @pytest.fixture()
+    def trace_path(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["trace", "last-writer", "-o", str(path)]) == 0
+        capsys.readouterr()
+        return str(path)
+
+    def test_summarize_renders_span_table(self, capsys, trace_path):
+        assert main(["obs", "summarize", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "engine.run" in out
+        assert "p95_ms" in out
+
+    def test_summarize_json(self, capsys, trace_path):
+        import json
+
+        assert main(["obs", "summarize", trace_path, "--json"]) == 0
+        profile = json.loads(capsys.readouterr().out)
+        assert profile["engine.run"]["count"] >= 1
+        assert set(profile["engine.run"]["statuses"]) == {"ok"}
+
+    def test_flame_writes_folded_stacks(self, capsys, tmp_path, trace_path):
+        output = tmp_path / "stacks.folded"
+        assert main(["obs", "flame", trace_path, "-o", str(output)]) == 0
+        assert f"Wrote {output}" in capsys.readouterr().out
+        lines = output.read_text().splitlines()
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert stack and int(count) >= 0
+
+    def test_diff_against_itself_is_flat(self, capsys, trace_path):
+        import json
+
+        assert main(["obs", "diff", trace_path, trace_path, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows
+        for row in rows:
+            assert row["ratio"] == pytest.approx(1.0)
+
+    def test_chrome_defaults_output_next_to_trace(self, capsys, trace_path):
+        import json
+
+        assert main(["obs", "chrome", trace_path]) == 0
+        out = capsys.readouterr().out
+        expected = f"{trace_path}.chrome.json"
+        assert expected in out
+        document = json.loads(open(expected, encoding="utf-8").read())
+        assert any(event["ph"] == "X" for event in document["traceEvents"])
+
+    def test_prom_from_trace(self, capsys, trace_path):
+        assert main(["obs", "prom", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_trace_events_span_start_total counter" in out
+
+    def test_prom_from_stats_json_document(self, capsys, tmp_path):
+        assert main(["stats", "last-writer", "--json"]) == 0
+        document = capsys.readouterr().out
+        path = tmp_path / "stats.json"
+        path.write_text(document, encoding="utf-8")
+        assert main(["obs", "prom", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_explore_states_total" in out
+
+    def test_prom_empty_input_exits_loudly(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(SystemExit):
+            main(["obs", "prom", str(empty)])
+
+    def test_refute_progress_flag_reports_on_stderr(self, capsys):
+        assert main(["refute", "last-writer", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "states" in err
+
+
 class TestConstructions:
     def test_boost_kset(self, capsys):
         assert main(["boost-kset", "-n", "4"]) == 0
