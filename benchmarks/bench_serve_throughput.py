@@ -1,0 +1,115 @@
+"""E-serve: verdict-server latency — cold runs versus cache hits.
+
+Stands up a real :class:`repro.serve.VerdictServer` on an ephemeral port
+(in-process thread, no persistence) and measures over HTTP:
+
+* **cold** — the first submission of a candidate: full queue + engine
+  exploration + verdict;
+* **cached** — the identical resubmission, answered from the verdict
+  cache without touching the engine;
+* **fan-out** — a burst of cached submissions from three tenants, as a
+  jobs/second figure for the hot path.
+
+Asserts the properties the serving layer exists for: the cached answer
+carries the same verdict document, arrives out of cache (the hit counter
+moves, `engine.runs` does not), and is at least 10x faster than the cold
+run.  Rows land in ``BENCH_serve.json``.
+"""
+
+import json
+import time
+import urllib.request
+
+from conftest import report
+
+from repro.obs import MetricsRegistry
+from repro.serve import ServeConfig, run_in_thread
+
+SPEC = {
+    "candidate": "delegation",
+    "n": 3,
+    "f": 1,
+    "budget": {"max_states": 600_000},
+}
+TENANTS = ("alice", "bob", "carol")
+BURST = 20  # cached submissions per tenant in the fan-out measurement
+
+
+def _request(url, method="GET", body=None, tenant=None):
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    headers = {} if tenant is None else {"X-Repro-Tenant": tenant}
+    request = urllib.request.Request(url, data=data, method=method, headers=headers)
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return response.status, json.loads(response.read())
+
+
+def _await_terminal(base, job_id, timeout=300.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, document = _request(f"{base}/jobs/{job_id}")
+        if document["state"] in ("completed", "exhausted", "failed", "cancelled"):
+            return document
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not finish within {timeout}s")
+
+
+def test_serve_cold_vs_cached_throughput():
+    metrics = MetricsRegistry()
+    handle = run_in_thread(ServeConfig(port=0, fleet=2, metrics=metrics))
+    try:
+        base = handle.url
+
+        started = time.perf_counter()
+        status, submitted = _request(f"{base}/jobs", "POST", SPEC, tenant="alice")
+        assert status == 202
+        document = _await_terminal(base, submitted["id"])
+        cold_seconds = time.perf_counter() - started
+        assert document["state"] == "completed"
+        assert document["verdict"]["refuted"] is True
+
+        runs_before = metrics.snapshot()["counters"].get("engine.runs", 0)
+        started = time.perf_counter()
+        status, answer = _request(f"{base}/jobs", "POST", SPEC, tenant="bob")
+        cached_seconds = time.perf_counter() - started
+        assert status == 200 and answer["cached"] is True
+        assert answer["verdict"] == document["verdict"]
+        counters = metrics.snapshot()["counters"]
+        assert counters["serve.cache.hits"] == 1
+        assert counters.get("engine.runs", 0) == runs_before  # nothing ran
+        assert cached_seconds * 10 < cold_seconds, (
+            f"cache hit ({cached_seconds:.3f}s) not clearly faster than the "
+            f"cold run ({cold_seconds:.3f}s)"
+        )
+
+        started = time.perf_counter()
+        answered = 0
+        for round_ in range(BURST):
+            for tenant in TENANTS:
+                status, answer = _request(f"{base}/jobs", "POST", SPEC, tenant=tenant)
+                assert status == 200 and answer["cached"] is True
+                answered += 1
+        burst_seconds = time.perf_counter() - started
+        jobs_per_second = answered / burst_seconds
+
+        report(
+            "serve: cold vs cached verdict latency (delegation n=3 f=1)",
+            [
+                {
+                    "path": "cold (queue + engine + verdict)",
+                    "seconds": round(cold_seconds, 4),
+                },
+                {
+                    "path": "cached resubmission",
+                    "seconds": round(cached_seconds, 4),
+                    "speedup": round(cold_seconds / cached_seconds, 1),
+                },
+                {
+                    "path": f"cached burst, {len(TENANTS)} tenants x {BURST}",
+                    "seconds": round(burst_seconds, 4),
+                    "jobs_per_second": round(jobs_per_second, 1),
+                },
+            ],
+            artifact="BENCH_serve.json",
+        )
+    finally:
+        handle.stop()

@@ -15,7 +15,14 @@ Exposes the headline reproductions without writing any code:
 * ``boost-kset`` — run the Section 4 possibility construction;
 * ``boost-fd``   — run the Section 6.3 possibility construction;
 * ``paxos``      — run the shared-memory Paxos extension;
+* ``serve``      — run the long-lived verdict server: ``POST /jobs``
+  analysis requests over HTTP/JSON, answered from a fingerprint-keyed
+  verdict cache when possible, scheduled fairly across tenants
+  otherwise (see :mod:`repro.serve` and ``docs/serve.md``);
 * ``list``       — list the built-in candidates and constructions.
+
+``repro --version`` prints the package version (also reported by the
+server's ``/healthz`` and embedded in every JSON error document).
 
 Exit codes for ``refute``/``trace``/``stats``: 0 when the candidate was
 refuted, 1 when it was not, 2 when the exploration budget
@@ -39,28 +46,14 @@ import argparse
 import os
 import sys
 
-
-CANDIDATES = {
-    "delegation": "n processes over one f-resilient consensus object (Thm 2)",
-    "tob": "n processes over one f-resilient totally ordered broadcast (Thm 9)",
-    "last-writer": "2 processes, registers only, decide-the-last-write (Thm 2, register case)",
-}
+from .serve.wire import CANDIDATES, WireError, build_system, package_version
 
 
 def _build_candidate(name: str, n: int, resilience: int):
-    from .protocols import (
-        delegation_consensus_system,
-        last_writer_register_system,
-        tob_delegation_system,
-    )
-
-    if name == "delegation":
-        return delegation_consensus_system(n, resilience)
-    if name == "tob":
-        return tob_delegation_system(n, resilience)
-    if name == "last-writer":
-        return last_writer_register_system()
-    raise SystemExit(f"unknown candidate {name!r}; try: {', '.join(CANDIDATES)}")
+    try:
+        return build_system(name, n, resilience)
+    except WireError as error:
+        raise SystemExit(error.detail) from None
 
 
 def _balanced_proposals(system) -> dict:
@@ -427,6 +420,31 @@ def cmd_obs_prom(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .obs import JsonlSink, MetricsRegistry, Tracer
+    from .serve import ServeConfig, serve_forever
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        fleet=args.fleet,
+        max_engine_workers=args.engine_workers,
+        data_dir=args.data_dir,
+        cache_capacity=args.cache_size,
+        max_queue_depth=args.max_queue_depth,
+        max_tenant_depth=args.max_tenant_depth,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        checkpoint_interval=args.checkpoint_interval,
+        metrics=MetricsRegistry(),
+    )
+    if args.trace is not None:
+        with JsonlSink(args.trace) as sink:
+            config.tracer = Tracer(sink)
+            return serve_forever(config)
+    return serve_forever(config)
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     print("Candidates for `refute`:")
     for name, blurb in CANDIDATES.items():
@@ -440,6 +458,11 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro",
         description="Executable reproduction of 'The Impossibility of "
         "Boosting Distributed Service Resilience'",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {package_version()}",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -610,6 +633,56 @@ def main(argv: list[str] | None = None) -> int:
     paxos = subparsers.add_parser("paxos", help="shared-memory Paxos extension")
     paxos.add_argument("-n", type=int, default=3)
     paxos.set_defaults(handler=cmd_paxos)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the verdict server: HTTP/JSON analysis jobs with "
+        "caching, fair queueing, and load shedding (see docs/serve.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765, help="0 = ephemeral")
+    serve.add_argument(
+        "--fleet",
+        type=int,
+        default=2,
+        help="concurrent analysis jobs (0 = accept-only; jobs queue but never run)",
+    )
+    serve.add_argument(
+        "--engine-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="cap on exploration workers per job (a job's own `workers` "
+        "request is clamped to this)",
+    )
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="journal + verdict cache + engine checkpoints live here; "
+        "restart with the same DIR to resume in-flight jobs "
+        "(default: no persistence)",
+    )
+    serve.add_argument("--cache-size", type=int, default=1024, metavar="KEYS")
+    serve.add_argument("--max-queue-depth", type=int, default=64)
+    serve.add_argument("--max-tenant-depth", type=int, default=16)
+    serve.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=5.0,
+        help="per-tenant submissions per second (token-bucket refill)",
+    )
+    serve.add_argument(
+        "--tenant-burst", type=float, default=10.0, help="per-tenant burst capacity"
+    )
+    serve.add_argument("--checkpoint-interval", type=int, default=20_000)
+    serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL event trace of every engine run to PATH",
+    )
+    serve.set_defaults(handler=cmd_serve)
 
     lister = subparsers.add_parser("list", help="list built-ins")
     lister.set_defaults(handler=cmd_list)

@@ -45,6 +45,7 @@ from .checkpoint import (
     checkpoint_path,
     discard_checkpoint,
     find_checkpoint,
+    list_checkpoints,
     load_checkpoint,
     resume_hint,
     save_checkpoint,
@@ -111,6 +112,7 @@ __all__ = [
     "fingerprint",
     "fingerprint_components",
     "fork_available",
+    "list_checkpoints",
     "load_checkpoint",
     "resolve_budget",
     "resume_hint",

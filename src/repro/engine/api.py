@@ -257,6 +257,16 @@ class ExplorationEngine:
         every few hundred expansions sequentially).  ``None`` (the
         default) consults the ``REPRO_PROGRESS`` environment variable;
         pass ``False`` to force it off regardless of the environment.
+    cancel:
+        A cooperative stop signal: a zero-argument callable (or a
+        :class:`threading.Event`, whose ``is_set`` is used) polled at
+        the same cadence as the deadline.  When it reports true, the
+        run exits through the budget machinery —
+        :class:`~repro.engine.budget.BudgetExhausted` with
+        ``resource="cancelled"``, checkpoint written when checkpointing
+        is on — so a cancelled exploration is resumable, not lost.
+        This is how ``repro serve`` aborts jobs on DELETE and drains
+        in-flight work at shutdown.
     """
 
     def __init__(
@@ -280,6 +290,7 @@ class ExplorationEngine:
         fault_plan: FaultPlan | None = None,
         heartbeat_seconds: float = 5.0,
         progress: ProgressReporter | bool | None = None,
+        cancel=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -322,6 +333,9 @@ class ExplorationEngine:
             self.progress = ProgressReporter()
         else:
             self.progress = progress
+        self.cancel = getattr(cancel, "is_set", cancel)
+        if self.cancel is not None and not callable(self.cancel):
+            raise TypeError("cancel must be callable or carry is_set()")
         #: :class:`EngineReport` of the most recent ``explore()`` call.
         self.last_report: EngineReport | None = None
 
@@ -468,16 +482,17 @@ class ExplorationEngine:
 
     def _drive_sequential(self, run: _Run) -> None:
         budget = self.budget
+        cancel = self.cancel
         deadline_enabled = run.deadline.enabled
+        polling = deadline_enabled or cancel is not None
         timing = run.metrics.enabled
         progress = self.progress
         while run.frontier:
-            if (
-                deadline_enabled
-                and run.expanded % _DEADLINE_STRIDE == 0
-                and run.deadline.expired()
-            ):
-                raise _Exhausted("deadline", budget.deadline_seconds)
+            if polling and run.expanded % _DEADLINE_STRIDE == 0:
+                if cancel is not None and cancel():
+                    raise _Exhausted("cancelled", 0.0)
+                if deadline_enabled and run.deadline.expired():
+                    raise _Exhausted("deadline", budget.deadline_seconds)
             if progress is not None and run.expanded % 256 == 0:
                 progress.update(
                     states=len(run.order),
@@ -529,8 +544,11 @@ class ExplorationEngine:
                 state_of.setdefault(run.index.digest(state), state)
         tasks = run.view.tasks
         intern_action = run.action_intern
+        cancel = self.cancel
         try:
             while run.frontier:
+                if cancel is not None and cancel():
+                    raise _Exhausted("cancelled", 0.0)
                 if run.deadline.expired():
                     raise _Exhausted("deadline", budget.deadline_seconds)
                 items = []

@@ -51,6 +51,53 @@ class Budget:
             and self.deadline_seconds is None
         )
 
+    def to_json(self) -> dict:
+        """JSON-serializable payload (the shared report protocol)."""
+        return {
+            "max_states": self.max_states,
+            "max_transitions": self.max_transitions,
+            "deadline_seconds": self.deadline_seconds,
+        }
+
+    @classmethod
+    def from_json(cls, document: object) -> "Budget":
+        """The inverse of :meth:`to_json`, for budgets arriving over a wire.
+
+        Accepts exactly the keys ``to_json`` emits (each optional,
+        ``None`` meaning unlimited) and validates types before handing
+        off to the constructor's positivity checks, so a malformed
+        document fails with a :class:`ValueError`/:class:`TypeError`
+        naming the offending field rather than surfacing later as an
+        engine crash.
+        """
+        if not isinstance(document, dict):
+            raise TypeError(
+                f"Budget.from_json expects a dict, got {type(document).__name__}"
+            )
+        unknown = set(document) - {
+            "max_states",
+            "max_transitions",
+            "deadline_seconds",
+        }
+        if unknown:
+            raise ValueError(f"unknown Budget field(s): {', '.join(sorted(unknown))}")
+        for name in ("max_states", "max_transitions"):
+            value = document.get(name)
+            if value is not None and (isinstance(value, bool) or not isinstance(value, int)):
+                raise TypeError(f"{name} must be an int or None, got {value!r}")
+        deadline = document.get("deadline_seconds")
+        if deadline is not None and (
+            isinstance(deadline, bool) or not isinstance(deadline, (int, float))
+        ):
+            raise TypeError(
+                f"deadline_seconds must be a number or None, got {deadline!r}"
+            )
+        return cls(
+            max_states=document.get("max_states"),
+            max_transitions=document.get("max_transitions"),
+            deadline_seconds=None if deadline is None else float(deadline),
+        )
+
 
 #: The default budget, matching the original explorer's ``max_states``.
 DEFAULT_BUDGET = Budget(max_states=200_000)
@@ -97,7 +144,9 @@ def resolve_budget(
 class BudgetExhausted(ExplorationBudget):
     """A budget limit was hit; carries partial-progress statistics.
 
-    ``resource`` is ``"states"``, ``"transitions"`` or ``"deadline"``;
+    ``resource`` is ``"states"``, ``"transitions"``, ``"deadline"``, or
+    ``"cancelled"`` (a cooperative stop via the engine's ``cancel``
+    hook — same checkpoint-consistent exit as a deadline);
     ``checkpoint`` is the path of the snapshot written on exhaustion
     (``None`` when checkpointing was off), from which
     :meth:`~repro.engine.api.ExplorationEngine.explore` can resume;
@@ -126,6 +175,7 @@ class BudgetExhausted(ExplorationBudget):
             "states": f"reachable state space exceeds {limit:g} states",
             "transitions": f"transition budget of {limit:g} exceeded",
             "deadline": f"deadline of {limit:g}s exceeded",
+            "cancelled": "exploration cancelled",
         }.get(resource, f"{resource} budget of {limit:g} exceeded")
         suffix = (
             f" (explored {states} states / {transitions} transitions "

@@ -126,6 +126,20 @@ def find_checkpoint(
     return path if path.exists() else None
 
 
+def list_checkpoints(directory: str | os.PathLike) -> list[Path]:
+    """Every checkpoint file under ``directory``, sorted by root digest.
+
+    The serving layer uses this at restart to discover which
+    explorations were in flight when the process died: each returned
+    path names its root digest (``engine-<digest>.ckpt``), so in-flight
+    jobs can be matched to their snapshots without loading payloads.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob(f"engine-*{CHECKPOINT_SUFFIX}"))
+
+
 def resume_hint(directory: str | os.PathLike) -> str:
     """The ready-to-run recipe for resuming checkpoints under ``directory``.
 

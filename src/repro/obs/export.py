@@ -28,6 +28,7 @@ Two one-way bridges out of the observability subsystem:
 from __future__ import annotations
 
 import json
+import re
 from typing import Iterable, Mapping
 
 from .events import TraceEvent
@@ -45,6 +46,33 @@ def _metric_name(name: str) -> str:
     return "".join(cleaned)
 
 
+_LABELLED = re.compile(r"^(?P<base>[^{}]+)\{(?P<labels>[^{}]*)\}$")
+
+
+def _split_labels(name: str) -> tuple[str, str]:
+    """Split an instrument name into ``(base, label-clause)``.
+
+    Instrument names may embed Prometheus labels directly —
+    ``serve.admitted{tenant="alice"}`` — which keeps the
+    :class:`~repro.obs.metrics.MetricsRegistry` label-free (each
+    labelled series is simply its own instrument) while letting the
+    exporter render proper labelled series instead of mangling the
+    braces into underscores.  Names without a well-formed label clause
+    come back with an empty clause.
+    """
+    match = _LABELLED.match(name)
+    if match is None:
+        return name, ""
+    return match.group("base"), "{" + match.group("labels") + "}"
+
+
+def _merge_labels(clause: str, extra: str) -> str:
+    """Merge an extra ``key="value"`` pair into a label clause."""
+    if not clause:
+        return "{" + extra + "}"
+    return clause[:-1] + "," + extra + "}"
+
+
 def _format_value(value) -> str:
     if value is None:
         return "NaN"
@@ -56,27 +84,48 @@ def _format_value(value) -> str:
 
 
 def prometheus_textfile(snapshot: Mapping, prefix: str = "repro") -> str:
-    """Render a metrics snapshot in the Prometheus text format."""
+    """Render a metrics snapshot in the Prometheus text format.
+
+    Instrument names carrying an embedded label clause (see
+    :func:`_split_labels`) render as labelled series; the ``# TYPE``
+    header is emitted once per base metric, so per-tenant counters like
+    ``serve.admitted{tenant="a"}`` / ``serve.admitted{tenant="b"}``
+    form one metric family.
+    """
     lines: list[str] = []
+    typed: set[str] = set()
+
+    def declare(metric: str, kind: str) -> None:
+        if metric not in typed:
+            typed.add(metric)
+            lines.append(f"# TYPE {metric} {kind}")
+
     for name, value in snapshot.get("counters", {}).items():
-        metric = f"{prefix}_{_metric_name(name)}_total"
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {_format_value(value)}")
+        base, labels = _split_labels(name)
+        metric = f"{prefix}_{_metric_name(base)}_total"
+        declare(metric, "counter")
+        lines.append(f"{metric}{labels} {_format_value(value)}")
     for name, value in snapshot.get("gauges", {}).items():
-        metric = f"{prefix}_{_metric_name(name)}"
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_format_value(value)}")
+        base, labels = _split_labels(name)
+        metric = f"{prefix}_{_metric_name(base)}"
+        declare(metric, "gauge")
+        lines.append(f"{metric}{labels} {_format_value(value)}")
     for name, summary in snapshot.get("histograms", {}).items():
-        metric = f"{prefix}_{_metric_name(name)}"
-        lines.append(f"# TYPE {metric} summary")
+        base, labels = _split_labels(name)
+        metric = f"{prefix}_{_metric_name(base)}"
+        declare(metric, "summary")
         for quantile_key, q in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
             value = summary.get(quantile_key)
             if value is not None:
+                quantile = 'quantile="%s"' % q
                 lines.append(
-                    f'{metric}{{quantile="{q}"}} {_format_value(value)}'
+                    f"{metric}{_merge_labels(labels, quantile)} "
+                    f"{_format_value(value)}"
                 )
-        lines.append(f"{metric}_sum {_format_value(summary.get('total', 0.0))}")
-        lines.append(f"{metric}_count {summary.get('count', 0)}")
+        lines.append(
+            f"{metric}_sum{labels} {_format_value(summary.get('total', 0.0))}"
+        )
+        lines.append(f"{metric}_count{labels} {summary.get('count', 0)}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -1,0 +1,86 @@
+"""``repro.serve`` — exploration-as-a-service.
+
+A long-running asyncio HTTP/JSON server (``repro serve``) that answers
+candidate-protocol analysis queries with the same verdicts the CLI
+produces, adding the serving-layer concerns the one-shot CLI cannot:
+fingerprint-keyed verdict caching with budget dominance, per-tenant
+admission control and deficit-round-robin fair queueing, watermark load
+shedding, and journal + checkpoint based resume across restarts.
+
+The interesting exports:
+
+* :class:`ServeConfig` / :class:`VerdictServer` — the server itself;
+  :func:`serve_forever` runs it in the foreground (the CLI body) and
+  :func:`run_in_thread` on a daemon thread (tests, benchmarks).
+* :class:`JobSpec` — the wire schema of a submission.
+* :func:`job_key` / :class:`VerdictCache` — canonical-root cache keying
+  and the dominance-aware cache.
+* :class:`FairScheduler` / :class:`TokenBucket` / :class:`LoadShedder` —
+  the admission and fairness machinery, usable standalone.
+"""
+
+from .app import ServeConfig, ServerHandle, VerdictServer, run_in_thread, serve_forever
+from .cache import CacheEntry, VerdictCache, budget_dominates, canonical_root, job_key
+from .jobs import (
+    CANCELLED,
+    COMPLETED,
+    EXHAUSTED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL,
+    Job,
+    JobStore,
+)
+from .runner import JobOutcome, JobProgressReporter, execute_job, job_checkpoint_dir
+from .scheduler import FairScheduler, LoadShedder, ShedDecision, TokenBucket
+from .wire import (
+    CANDIDATES,
+    DEFAULT_TENANT,
+    MAX_BODY_BYTES,
+    REDUCTIONS,
+    JobSpec,
+    WireError,
+    build_system,
+    error_document,
+    package_version,
+)
+
+__all__ = [
+    "CANDIDATES",
+    "CANCELLED",
+    "COMPLETED",
+    "CacheEntry",
+    "DEFAULT_TENANT",
+    "EXHAUSTED",
+    "FAILED",
+    "FairScheduler",
+    "Job",
+    "JobOutcome",
+    "JobProgressReporter",
+    "JobSpec",
+    "JobStore",
+    "LoadShedder",
+    "MAX_BODY_BYTES",
+    "QUEUED",
+    "REDUCTIONS",
+    "RUNNING",
+    "ServeConfig",
+    "ServerHandle",
+    "ShedDecision",
+    "TERMINAL",
+    "TokenBucket",
+    "VerdictCache",
+    "VerdictServer",
+    "WireError",
+    "budget_dominates",
+    "build_system",
+    "canonical_root",
+    "error_document",
+    "execute_job",
+    "job_checkpoint_dir",
+    "job_key",
+    "package_version",
+    "run_in_thread",
+    "serve_forever",
+]

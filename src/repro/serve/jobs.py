@@ -1,0 +1,252 @@
+"""Job records, their event streams, and the restart journal.
+
+A :class:`Job` is the unit the scheduler queues and the fleet runs.  Its
+lifecycle::
+
+    queued -> running -> completed | exhausted | failed | cancelled
+         \\--------------------------------------^ (cancel while queued)
+
+Each job carries an append-only **event buffer** (state transitions plus
+engine progress snapshots) with future-based wakeups, which is what
+``GET /jobs/{id}/events`` streams; events are published from worker
+threads via ``loop.call_soon_threadsafe``, so buffer mutation stays on
+the event loop.
+
+The :class:`JobStore` persists a JSONL **journal** (``submit`` and
+``done`` records).  On restart, submitted-but-not-done jobs are
+recreated and re-enqueued with ``resume=True``; together with the
+engine's root-digest checkpoints under the job's work directory this is
+the resume-on-restart guarantee — a server killed mid-exploration picks
+the work back up instead of orphaning it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import secrets
+import threading
+import time
+from pathlib import Path
+
+from .wire import JobSpec
+
+#: Lifecycle states a job can report.
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+EXHAUSTED = "exhausted"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+TERMINAL = frozenset({COMPLETED, EXHAUSTED, FAILED, CANCELLED})
+
+
+class Job:
+    """One submitted analysis: spec, cache key, lifecycle, event stream."""
+
+    def __init__(
+        self,
+        job_id: str,
+        spec: JobSpec,
+        key: bytes,
+        *,
+        resume: bool = False,
+        clock=time.time,
+    ) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.key = key
+        self.resume = resume
+        self.state = QUEUED
+        self.submitted_at = clock()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.verdict: dict | None = None
+        self.error: dict | None = None
+        self.engine_report: dict | None = None
+        self.cached = False
+        self.cancel_event = threading.Event()
+        self._clock = clock
+        self.events: list[dict] = []
+        self._waiters: list[asyncio.Future] = []
+        self.publish({"kind": "state", "state": QUEUED})
+
+    # -- events ---------------------------------------------------------------
+
+    def publish(self, event: dict) -> None:
+        """Append an event and wake streamers (event-loop thread only)."""
+        event = dict(event)
+        event.setdefault("t", round(self._clock(), 3))
+        event["job"] = self.id
+        self.events.append(event)
+        for waiter in self._waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+        self._waiters.clear()
+
+    async def wait_events(self, index: int) -> tuple[list[dict], bool]:
+        """Events from ``index`` on (blocking until some exist), plus done."""
+        while index >= len(self.events) and self.state not in TERMINAL:
+            waiter = asyncio.get_running_loop().create_future()
+            self._waiters.append(waiter)
+            await waiter
+        return self.events[index:], self.state in TERMINAL
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def mark_running(self) -> None:
+        self.state = RUNNING
+        self.started_at = self._clock()
+        self.publish({"kind": "state", "state": RUNNING, "resume": self.resume})
+
+    def finish(
+        self,
+        state: str,
+        *,
+        verdict: dict | None = None,
+        error: dict | None = None,
+        engine_report: dict | None = None,
+    ) -> None:
+        assert state in TERMINAL, state
+        self.state = state
+        self.finished_at = self._clock()
+        self.verdict = verdict
+        self.error = error
+        self.engine_report = engine_report
+        self.publish({"kind": "state", "state": state})
+
+    @property
+    def wall_seconds(self) -> float | None:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def to_json(self) -> dict:
+        """The job document ``GET /jobs/{id}`` serves."""
+        return {
+            "id": self.id,
+            "state": self.state,
+            "spec": self.spec.to_json(),
+            "key": self.key.hex(),
+            "cached": self.cached,
+            "resumed": self.resume,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "wall_seconds": self.wall_seconds,
+            "verdict": self.verdict,
+            "error": self.error,
+            "engine": self.engine_report,
+        }
+
+
+class JobStore:
+    """In-memory job table with an append-only JSONL journal.
+
+    ``journal_path=None`` disables persistence (unit tests, ephemeral
+    servers).  The journal holds ``{"op": "submit", ...}`` and
+    ``{"op": "done", ...}`` records; :meth:`recover` replays it and
+    returns the jobs that were in flight, ready to re-enqueue.
+    """
+
+    def __init__(self, journal_path: str | Path | None = None, *, clock=time.time) -> None:
+        self.journal_path = None if journal_path is None else Path(journal_path)
+        self._clock = clock
+        self._jobs: dict[str, Job] = {}
+        self._sequence = itertools.count(1)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def get(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        return list(self._jobs.values())
+
+    def new_job_id(self) -> str:
+        return f"job-{next(self._sequence):06d}-{secrets.token_hex(3)}"
+
+    def create(self, spec: JobSpec, key: bytes, *, resume: bool = False) -> Job:
+        job = Job(self.new_job_id(), spec, key, resume=resume, clock=self._clock)
+        self._jobs[job.id] = job
+        self._append(
+            {
+                "op": "submit",
+                "id": job.id,
+                "spec": spec.to_json(),
+                "key": key.hex(),
+                "submitted_at": job.submitted_at,
+            }
+        )
+        return job
+
+    def record_done(self, job: Job) -> None:
+        """Journal a terminal transition (idempotent per job)."""
+        self._append(
+            {
+                "op": "done",
+                "id": job.id,
+                "state": job.state,
+                "finished_at": job.finished_at,
+            }
+        )
+
+    # -- journal --------------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        if self.journal_path is None:
+            return
+        self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.journal_path, "a", encoding="utf-8") as stream:
+            stream.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def recover(self) -> list[Job]:
+        """Replay the journal; returns in-flight jobs to re-enqueue.
+
+        Recovered jobs keep their original ids (clients polling across
+        the restart keep working) and are marked ``resume=True`` so the
+        runner picks up any engine checkpoint under the job's work
+        directory.  Jobs whose ``done`` record exists are *not*
+        recreated: their verdicts live in the verdict cache, which has
+        its own persistence.
+        """
+        if self.journal_path is None or not self.journal_path.exists():
+            return []
+        submitted: dict[str, dict] = {}
+        with open(self.journal_path, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # a torn tail from the crash is expected
+                if record.get("op") == "submit":
+                    submitted[record["id"]] = record
+                elif record.get("op") == "done":
+                    submitted.pop(record.get("id"), None)
+        recovered = []
+        for record in submitted.values():
+            try:
+                spec = JobSpec.from_json(record["spec"])
+                key = bytes.fromhex(record["key"])
+            except (KeyError, ValueError, TypeError):
+                continue
+            job = Job(record["id"], spec, key, resume=True, clock=self._clock)
+            job.submitted_at = record.get("submitted_at", job.submitted_at)
+            self._jobs[job.id] = job
+            recovered.append(job)
+        if recovered:
+            # Keep fresh ids clear of recovered ones.
+            highest = 0
+            for job_id in self._jobs:
+                try:
+                    highest = max(highest, int(job_id.split("-")[1]))
+                except (IndexError, ValueError):
+                    continue
+            self._sequence = itertools.count(highest + 1)
+        return recovered

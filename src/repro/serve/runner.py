@@ -1,0 +1,186 @@
+"""Job execution: the bridge from a queued job to the analysis pipeline.
+
+:func:`execute_job` runs synchronously inside a fleet worker thread and
+reuses the repo's machinery end to end rather than duplicating any of
+it: the candidate is built from the registry, the exploration runs
+through :class:`~repro.engine.ExplorationEngine` (gaining the PR-4
+crash-recovery worker pool, chaos plans from ``REPRO_CHAOS``, and
+checkpoint/resume), progress flows through the PR-5
+:class:`~repro.obs.progress.ProgressReporter` plumbing via
+:class:`JobProgressReporter`, and the verdict comes from
+:func:`repro.analysis.refute_candidate` — byte-for-byte the JSON the
+CLI's ``refute --json`` path emits.
+
+Checkpoints land in a per-cache-key directory under the server's data
+dir.  The engine names checkpoint files by each exploration's root
+digest, so a restarted server re-running the job with ``resume=True``
+continues the interrupted stage instead of starting over; the directory
+is removed once the job reaches a terminal verdict.
+"""
+
+from __future__ import annotations
+
+import shutil
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from ..analysis.explorer import ExplorationBudget
+from ..engine import ExplorationEngine, ReductionConfig
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.progress import ProgressReporter
+from ..obs.sinks import NULL_TRACER, Tracer
+from .jobs import CANCELLED, COMPLETED, EXHAUSTED, FAILED, Job
+from .wire import error_document
+
+
+class JobProgressReporter(ProgressReporter):
+    """Progress reporting into a job's event stream instead of stderr.
+
+    The engine drives this exactly like the TTY reporter (per round in
+    parallel runs, every few hundred expansions sequentially); instead
+    of rendering a line it publishes a structured snapshot through the
+    supplied callback, which the fleet routes onto the job's event
+    buffer for ``GET /jobs/{id}/events`` streaming.
+    """
+
+    def __init__(self, publish: Callable[[dict], None], interval_seconds: float = 0.2) -> None:
+        super().__init__(stream=_NullStream(), interval_seconds=interval_seconds)
+        self._publish = publish
+
+    def update(self, *, states, frontier, workers, elapsed, budget=None, force=False):
+        now = self._clock()
+        if not force and now - self._last_render < self.interval_seconds:
+            return False
+        self._last_render = now
+        self.renders += 1
+        self._publish(
+            {
+                "kind": "progress",
+                "states": states,
+                "frontier": frontier,
+                "workers": workers,
+                "elapsed": round(elapsed, 3),
+            }
+        )
+        return True
+
+    def finish(self) -> None:
+        pass
+
+
+class _NullStream:
+    def write(self, text: str) -> None:  # pragma: no cover - never driven
+        pass
+
+    def flush(self) -> None:  # pragma: no cover - never driven
+        pass
+
+
+@dataclass
+class JobOutcome:
+    """What a worker thread hands back to the fleet."""
+
+    state: str
+    verdict: dict | None = None
+    error: dict | None = None
+    engine_report: dict | None = None
+
+
+def job_checkpoint_dir(data_dir: str | Path, key: bytes) -> Path:
+    """Where a job's engine checkpoints live (per cache key)."""
+    return Path(data_dir) / "checkpoints" / key.hex()
+
+
+def execute_job(
+    job: Job,
+    *,
+    data_dir: str | Path | None,
+    publish: Callable[[dict], None],
+    metrics: MetricsRegistry = NULL_METRICS,
+    tracer: Tracer = NULL_TRACER,
+    max_engine_workers: int = 1,
+    checkpoint_interval: int = 50_000,
+) -> JobOutcome:
+    """Run one job to a terminal outcome (worker-thread entry point).
+
+    Every exception is folded into the outcome: the fleet must never die
+    because a candidate was malformed or a budget ran out.  Budget
+    exhaustion and cancellation surface as their own states with the
+    standard error document (checkpoint path and resume command
+    included), so a client can grow the budget and resubmit — the rerun
+    resumes from the checkpoint.
+    """
+    spec = job.spec
+    checkpoint_dir = (
+        None if data_dir is None else job_checkpoint_dir(data_dir, job.key)
+    )
+    try:
+        from ..analysis import refute_candidate
+
+        system = spec.build()
+        reduction = ReductionConfig.from_name(spec.reduction)
+        engine = ExplorationEngine(
+            workers=min(spec.workers, max_engine_workers),
+            budget=spec.budget,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_interval=checkpoint_interval,
+            resume=checkpoint_dir is not None,
+            progress=JobProgressReporter(publish),
+            cancel=job.cancel_event,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        verdict = refute_candidate(
+            system,
+            tracer=tracer,
+            metrics=metrics,
+            engine=engine,
+            reduction=reduction if reduction.enabled else None,
+        )
+    except ExplorationBudget as budget:
+        report = _last_report(locals())
+        payload = budget.to_json() if hasattr(budget, "to_json") else {}
+        extra = {
+            name: value
+            for name, value in payload.items()
+            if name not in ("error", "detail", "status", "version")
+        }
+        if getattr(budget, "resource", None) == "cancelled" or job.cancel_event.is_set():
+            return JobOutcome(
+                state=CANCELLED,
+                error=error_document(499, "cancelled", str(budget), **extra),
+                engine_report=report,
+            )
+        return JobOutcome(
+            state=EXHAUSTED,
+            error=error_document(200, "budget_exhausted", str(budget), **extra),
+            engine_report=report,
+        )
+    except Exception as error:  # noqa: BLE001 - the fleet must survive anything
+        return JobOutcome(
+            state=FAILED,
+            error=error_document(
+                500,
+                "job_failed",
+                f"{type(error).__name__}: {error}",
+                traceback=traceback.format_exc(limit=8),
+            ),
+        )
+    if checkpoint_dir is not None:
+        shutil.rmtree(checkpoint_dir, ignore_errors=True)
+    return JobOutcome(
+        state=COMPLETED,
+        verdict=verdict.to_json(),
+        engine_report=(
+            None if engine.last_report is None else engine.last_report.to_json()
+        ),
+    )
+
+
+def _last_report(frame_locals: dict) -> dict | None:
+    engine = frame_locals.get("engine")
+    if engine is None or engine.last_report is None:
+        return None
+    return engine.last_report.to_json()

@@ -1,0 +1,227 @@
+"""Admission control and fair scheduling for the verdict server.
+
+Three cooperating mechanisms, applied in order at submission time and
+dispatch time:
+
+* **Load shedding** (:class:`LoadShedder`) — the upstream-resiliency
+  move: once total queue depth crosses the watermark the server refuses
+  new work with 429 + ``Retry-After`` instead of letting latency grow
+  without bound and degrading the jobs already admitted.  The retry
+  hint is estimated from the fleet's recent job durations (EWMA).
+
+* **Per-tenant token buckets** (:class:`TokenBucket`) — each tenant may
+  burst up to ``burst`` submissions and refills at ``rate`` per second;
+  beyond that its submissions are rejected (429, per-tenant
+  ``serve.rejected{tenant=...}`` counter) without affecting anyone
+  else's admission.
+
+* **Deficit round-robin** (:class:`FairScheduler`) — admitted jobs are
+  queued per tenant and dispatched by DRR: each visit grants a tenant
+  ``quantum`` credits; a job dispatches when the tenant's deficit
+  covers its cost (:attr:`~repro.serve.wire.JobSpec.cost`, kilostates
+  of budgeted work).  A tenant submitting huge explorations therefore
+  cannot starve one submitting small ones — fairness is by *work*, not
+  by job count.
+
+The scheduler is asyncio-native and single-loop: mutation happens only
+on the event loop; worker tasks block in :meth:`FairScheduler.next_job`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+
+
+class TokenBucket:
+    """A classic token bucket: ``burst`` capacity, ``rate`` tokens/second."""
+
+    __slots__ = ("rate", "burst", "tokens", "_clock", "_last")
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self._clock = clock
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def try_take(self, tokens: float = 1.0) -> bool:
+        self._refill()
+        if self.tokens >= tokens:
+            self.tokens -= tokens
+            return True
+        return False
+
+    def retry_after(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` will be available (0 if already are)."""
+        self._refill()
+        missing = tokens - self.tokens
+        return max(0.0, missing / self.rate)
+
+
+@dataclass(frozen=True)
+class ShedDecision:
+    """Why a submission was refused, and when to come back."""
+
+    reason: str
+    retry_after: float
+
+
+class LoadShedder:
+    """Watermark-based admission control with a duration-aware retry hint."""
+
+    def __init__(
+        self,
+        max_queue_depth: int = 64,
+        max_tenant_depth: int = 16,
+        *,
+        default_job_seconds: float = 1.0,
+    ) -> None:
+        if max_queue_depth < 1 or max_tenant_depth < 1:
+            raise ValueError("watermarks must be >= 1")
+        self.max_queue_depth = max_queue_depth
+        self.max_tenant_depth = max_tenant_depth
+        self._job_seconds = default_job_seconds
+
+    def observe_job_seconds(self, seconds: float) -> None:
+        """Fold one completed job's duration into the EWMA."""
+        self._job_seconds = 0.8 * self._job_seconds + 0.2 * max(seconds, 0.001)
+
+    @property
+    def job_seconds(self) -> float:
+        return self._job_seconds
+
+    def check(self, queue_depth: int, tenant_depth: int, fleet: int) -> ShedDecision | None:
+        """A :class:`ShedDecision` when the request must be shed, else None."""
+        if queue_depth >= self.max_queue_depth:
+            return ShedDecision("queue_full", self._eta(queue_depth, fleet))
+        if tenant_depth >= self.max_tenant_depth:
+            return ShedDecision("tenant_queue_full", self._eta(tenant_depth, fleet))
+        return None
+
+    def _eta(self, depth: int, fleet: int) -> float:
+        drain = depth * self._job_seconds / max(fleet, 1)
+        return min(300.0, max(1.0, round(drain, 1)))
+
+
+class FairScheduler:
+    """Deficit-round-robin dispatch over per-tenant FIFO queues.
+
+    ``enqueue`` and ``next_job`` must run on the same event loop.  The
+    DRR scan keeps its cursor on a tenant while that tenant's deficit
+    still covers its queue head (so cheap jobs drain in bursts), adds
+    ``quantum`` and moves on when it does not, and resets the deficit of
+    empty queues (an idle tenant does not bank credit).
+    """
+
+    def __init__(
+        self,
+        quantum: int = 64,
+        *,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ) -> None:
+        if quantum < 1:
+            raise ValueError(f"quantum must be >= 1, got {quantum}")
+        self.quantum = quantum
+        self.metrics = metrics
+        self._queues: dict[str, deque] = {}
+        self._deficit: dict[str, float] = {}
+        self._ring: list[str] = []
+        self._cursor = 0
+        self._wakeups: list[asyncio.Future] = []
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def tenant_depth(self, tenant: str) -> int:
+        queue = self._queues.get(tenant)
+        return 0 if queue is None else len(queue)
+
+    def queued_jobs(self) -> list:
+        return [job for queue in self._queues.values() for job in queue]
+
+    # -- producing ------------------------------------------------------------
+
+    def enqueue(self, job) -> None:
+        """Queue an admitted job for its tenant (loop thread only)."""
+        tenant = job.spec.tenant
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = self._queues[tenant] = deque()
+            self._deficit[tenant] = 0.0
+            self._ring.append(tenant)
+        queue.append(job)
+        self.metrics.gauge("serve.queue_depth").set(self.depth)
+        for waiter in self._wakeups:
+            if not waiter.done():
+                waiter.set_result(None)
+        self._wakeups.clear()
+
+    def remove(self, job) -> bool:
+        """Drop a still-queued job (cancellation); True when found."""
+        queue = self._queues.get(job.spec.tenant)
+        if queue is None:
+            return False
+        try:
+            queue.remove(job)
+        except ValueError:
+            return False
+        self.metrics.gauge("serve.queue_depth").set(self.depth)
+        return True
+
+    # -- consuming ------------------------------------------------------------
+
+    def poll(self):
+        """The next job by DRR, or ``None`` when every queue is empty."""
+        if self.depth == 0:
+            return None
+        for _ in range(2 * len(self._ring)):
+            tenant = self._ring[self._cursor % len(self._ring)]
+            queue = self._queues[tenant]
+            if not queue:
+                self._deficit[tenant] = 0.0
+                self._cursor += 1
+                continue
+            head = queue[0]
+            if self._deficit[tenant] >= head.spec.cost:
+                self._deficit[tenant] -= head.spec.cost
+                queue.popleft()
+                self.metrics.gauge("serve.queue_depth").set(self.depth)
+                return head
+            self._deficit[tenant] += self.quantum
+            self._cursor += 1
+        # Two full rotations always accumulate enough deficit for some
+        # head unless costs dwarf the quantum; grant the cheapest head
+        # directly rather than spinning.
+        tenant = min(
+            (t for t in self._ring if self._queues[t]),
+            key=lambda t: self._queues[t][0].spec.cost,
+        )
+        self._deficit[tenant] = 0.0
+        job = self._queues[tenant].popleft()
+        self.metrics.gauge("serve.queue_depth").set(self.depth)
+        return job
+
+    async def next_job(self):
+        """Await the next dispatchable job (worker tasks block here)."""
+        while True:
+            job = self.poll()
+            if job is not None:
+                return job
+            waiter = asyncio.get_running_loop().create_future()
+            self._wakeups.append(waiter)
+            await waiter

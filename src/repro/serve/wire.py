@@ -1,0 +1,239 @@
+"""Wire schemas: job specs, documents, and error envelopes.
+
+Everything that crosses the HTTP boundary is defined here, so the rest
+of the serving layer works with validated dataclasses instead of raw
+dicts.  The module is deliberately import-light (no asyncio, no engine)
+— the CLI imports it at parser-build time for the candidate registry and
+the package version.
+
+A job request is one JSON object::
+
+    {
+      "candidate": "tob",          // required: see CANDIDATES
+      "n": 3,                      // processes (default 3)
+      "f": 1,                      // service resilience (default 1)
+      "budget": {"max_states": 200000, "deadline_seconds": 60},
+      "workers": 1,                // engine workers (server-clamped)
+      "reduction": "none",         // none | symmetry | por | full
+      "proposals": {"0": 0, "1": 1},  // optional: cache-key root inputs
+      "tenant": "alice"            // fair-queueing identity
+    }
+
+``tenant`` may instead arrive as an ``X-Repro-Tenant`` header; the body
+wins when both are present.  ``proposals`` only influences the cache
+key's root state (the refutation pipeline itself explores every
+initialization); omitted, the balanced 0/1 assignment is used — the
+probe/bench convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..engine.budget import DEFAULT_BUDGET, Budget
+
+#: The candidates a job may name, with the blurbs ``repro list`` prints.
+CANDIDATES = {
+    "delegation": "n processes over one f-resilient consensus object (Thm 2)",
+    "tob": "n processes over one f-resilient totally ordered broadcast (Thm 9)",
+    "last-writer": "2 processes, registers only, decide-the-last-write (Thm 2, register case)",
+}
+
+REDUCTIONS = ("none", "symmetry", "por", "full")
+
+#: Submitted request bodies larger than this are refused with 413.
+MAX_BODY_BYTES = 1 << 20
+
+DEFAULT_TENANT = "anonymous"
+
+
+class WireError(ValueError):
+    """A request document failed validation; ``detail`` is client-safe."""
+
+    def __init__(self, detail: str, status: int = 400) -> None:
+        super().__init__(detail)
+        self.detail = detail
+        self.status = status
+
+
+def package_version() -> str:
+    """The installed package version, falling back to ``__version__``.
+
+    Reads importlib metadata first so an installed wheel reports its
+    true version even if the source tree drifts; source-tree runs (the
+    common test path) fall back to :data:`repro.__version__`.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except Exception:  # pragma: no cover - metadata backend quirks
+        pass
+    from .. import __version__
+
+    return __version__
+
+
+def build_system(name: str, n: int, resilience: int):
+    """Instantiate the named candidate system (the CLI's registry too)."""
+    from ..protocols import (
+        delegation_consensus_system,
+        last_writer_register_system,
+        tob_delegation_system,
+    )
+
+    if name == "delegation":
+        return delegation_consensus_system(n, resilience)
+    if name == "tob":
+        return tob_delegation_system(n, resilience)
+    if name == "last-writer":
+        return last_writer_register_system()
+    raise WireError(
+        f"unknown candidate {name!r}; try: {', '.join(sorted(CANDIDATES))}"
+    )
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A validated analysis request: what to refute, under which limits."""
+
+    candidate: str
+    n: int = 3
+    resilience: int = 1
+    budget: Budget = DEFAULT_BUDGET
+    workers: int = 1
+    reduction: str = "none"
+    proposals: tuple = ()  # sorted ((endpoint, value), ...) or () = balanced
+    tenant: str = DEFAULT_TENANT
+
+    def build(self):
+        """The candidate :class:`~repro.system.DistributedSystem`."""
+        return build_system(self.candidate, self.n, self.resilience)
+
+    def root_proposals(self, system) -> dict:
+        """The initialization assignment keying this job's cache root."""
+        if self.proposals:
+            return dict(self.proposals)
+        return {
+            endpoint: index % 2
+            for index, endpoint in enumerate(system.process_ids)
+        }
+
+    @property
+    def cost(self) -> int:
+        """Deficit-round-robin cost, in kilostates of budgeted work."""
+        states = self.budget.max_states
+        if states is None:
+            states = 1_000_000
+        return max(1, -(-states // 1000))
+
+    def to_json(self) -> dict:
+        return {
+            "candidate": self.candidate,
+            "n": self.n,
+            "f": self.resilience,
+            "budget": self.budget.to_json(),
+            "workers": self.workers,
+            "reduction": self.reduction,
+            "proposals": (
+                {str(endpoint): value for endpoint, value in self.proposals}
+                if self.proposals
+                else None
+            ),
+            "tenant": self.tenant,
+        }
+
+    @classmethod
+    def from_json(cls, document: object, *, default_tenant: str | None = None) -> "JobSpec":
+        """Validate a request body into a spec; raises :class:`WireError`."""
+        if not isinstance(document, Mapping):
+            raise WireError("request body must be a JSON object")
+        unknown = set(document) - {
+            "candidate",
+            "n",
+            "f",
+            "resilience",
+            "budget",
+            "workers",
+            "reduction",
+            "proposals",
+            "tenant",
+        }
+        if unknown:
+            raise WireError(f"unknown field(s): {', '.join(sorted(unknown))}")
+        candidate = document.get("candidate")
+        if candidate not in CANDIDATES:
+            raise WireError(
+                f"candidate must be one of {', '.join(sorted(CANDIDATES))}; "
+                f"got {candidate!r}"
+            )
+        if "f" in document and "resilience" in document:
+            raise WireError("pass f or resilience, not both")
+        n = _int_field(document, "n", default=3, minimum=1)
+        resilience = _int_field(
+            document,
+            "f" if "f" in document else "resilience",
+            default=1,
+            minimum=0,
+        )
+        workers = _int_field(document, "workers", default=1, minimum=1)
+        reduction = document.get("reduction", "none")
+        if reduction not in REDUCTIONS:
+            raise WireError(
+                f"reduction must be one of {', '.join(REDUCTIONS)}; "
+                f"got {reduction!r}"
+            )
+        try:
+            budget = (
+                DEFAULT_BUDGET
+                if document.get("budget") is None
+                else Budget.from_json(document["budget"])
+            )
+        except (TypeError, ValueError) as error:
+            raise WireError(f"bad budget: {error}") from None
+        proposals: tuple = ()
+        raw = document.get("proposals")
+        if raw is not None:
+            if not isinstance(raw, Mapping):
+                raise WireError("proposals must be a JSON object")
+            try:
+                proposals = tuple(
+                    sorted((int(endpoint), value) for endpoint, value in raw.items())
+                )
+            except (TypeError, ValueError):
+                raise WireError("proposal endpoints must be integers") from None
+        tenant = document.get("tenant", default_tenant) or DEFAULT_TENANT
+        if not isinstance(tenant, str) or len(tenant) > 128:
+            raise WireError("tenant must be a string of at most 128 characters")
+        return cls(
+            candidate=candidate,
+            n=n,
+            resilience=resilience,
+            budget=budget,
+            workers=workers,
+            reduction=reduction,
+            proposals=proposals,
+            tenant=tenant,
+        )
+
+
+def _int_field(document: Mapping, name: str, *, default: int, minimum: int) -> int:
+    value = document.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise WireError(f"{name} must be an integer, got {value!r}")
+    if value < minimum:
+        raise WireError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def error_document(status: int, error: str, detail: str, **extra) -> dict:
+    """The uniform JSON error envelope (always carries the version)."""
+    document = {
+        "error": error,
+        "detail": detail,
+        "status": status,
+        "version": package_version(),
+    }
+    document.update(extra)
+    return document

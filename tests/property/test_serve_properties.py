@@ -1,0 +1,91 @@
+"""Property tests for the serving layer's value types.
+
+* ``Budget.to_json``/``from_json`` is an exact round trip over the whole
+  parameter space (the issue's satellite requirement);
+* budget dominance is a partial order — reflexive, transitive, and
+  antisymmetric up to componentwise equality — which is what makes the
+  verdict cache's frontier maintenance sound;
+* ``JobSpec`` round-trips through its wire form.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Budget
+from repro.serve import JobSpec, budget_dominates
+
+limits = st.one_of(st.none(), st.integers(min_value=1, max_value=10**9))
+deadlines = st.one_of(
+    st.none(),
+    st.floats(min_value=0.001, max_value=10**6, allow_nan=False),
+)
+budgets = st.builds(
+    Budget,
+    max_states=limits,
+    max_transitions=limits,
+    deadline_seconds=deadlines,
+)
+
+
+class TestBudgetRoundTrip:
+    @given(budget=budgets)
+    def test_to_json_from_json_is_identity(self, budget):
+        assert Budget.from_json(budget.to_json()) == budget
+
+    @given(budget=budgets)
+    def test_json_form_is_plain_data(self, budget):
+        document = budget.to_json()
+        assert set(document) == {
+            "max_states",
+            "max_transitions",
+            "deadline_seconds",
+        }
+        for value in document.values():
+            assert value is None or isinstance(value, (int, float))
+
+
+class TestDominanceIsAPartialOrder:
+    @given(budget=budgets)
+    def test_reflexive(self, budget):
+        assert budget_dominates(budget, budget)
+
+    @settings(max_examples=200)
+    @given(a=budgets, b=budgets, c=budgets)
+    def test_transitive(self, a, b, c):
+        if budget_dominates(a, b) and budget_dominates(b, c):
+            assert budget_dominates(a, c)
+
+    @given(a=budgets, b=budgets)
+    def test_antisymmetric(self, a, b):
+        if budget_dominates(a, b) and budget_dominates(b, a):
+            assert a.to_json() == b.to_json()
+
+    @given(budget=budgets)
+    def test_unlimited_dominates_everything(self, budget):
+        assert budget_dominates(Budget(), budget)
+
+
+specs = st.builds(
+    dict,
+    candidate=st.sampled_from(["delegation", "tob", "last-writer"]),
+    n=st.integers(min_value=1, max_value=6),
+    f=st.integers(min_value=0, max_value=3),
+    budget=st.builds(
+        dict,
+        max_states=st.one_of(st.none(), st.integers(min_value=1, max_value=10**7)),
+    ),
+    workers=st.integers(min_value=1, max_value=4),
+    reduction=st.sampled_from(["none", "symmetry", "por", "full"]),
+    tenant=st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+        min_size=1,
+        max_size=16,
+    ),
+)
+
+
+class TestJobSpecRoundTrip:
+    @given(document=specs)
+    def test_wire_round_trip_is_identity(self, document):
+        spec = JobSpec.from_json(document)
+        assert JobSpec.from_json(spec.to_json()) == spec

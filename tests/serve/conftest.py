@@ -1,0 +1,86 @@
+"""Shared fixtures for the serve tests: a server factory and HTTP client."""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import ServeConfig, run_in_thread
+
+#: Terminal job states, mirrored here so client helpers don't import jobs.
+DONE = ("completed", "exhausted", "failed", "cancelled")
+
+
+class ServeClient:
+    """A tiny urllib client speaking the server's JSON dialect."""
+
+    def __init__(self, url: str) -> None:
+        self.url = url
+
+    def request(self, method, path, body=None, headers=None):
+        """Returns ``(status, headers, document)``; non-2xx is not raised."""
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.url + path, data=data, method=method, headers=headers or {}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=60) as response:
+                return response.status, dict(response.headers), _decode(response)
+        except urllib.error.HTTPError as error:
+            return error.code, dict(error.headers), _decode(error)
+
+    def get(self, path, **kwargs):
+        return self.request("GET", path, **kwargs)
+
+    def post(self, path, body, **kwargs):
+        return self.request("POST", path, body=body, **kwargs)
+
+    def submit(self, spec, tenant=None):
+        headers = {} if tenant is None else {"X-Repro-Tenant": tenant}
+        return self.post("/jobs", spec, headers=headers)
+
+    def poll(self, job_id, timeout=120.0):
+        """The job document once it reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, _, document = self.get(f"/jobs/{job_id}")
+            assert status == 200, document
+            if document["state"] in DONE:
+                return document
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} did not finish within {timeout}s")
+
+
+def _decode(response):
+    payload = response.read()
+    content_type = response.headers.get("Content-Type", "")
+    if "json" in content_type:
+        return json.loads(payload) if payload else {}
+    return payload.decode("utf-8", "replace")
+
+
+@pytest.fixture
+def serve_factory():
+    """Start servers on ephemeral ports; everything stops at teardown."""
+    handles = []
+
+    def start(**overrides):
+        overrides.setdefault("port", 0)
+        handle = run_in_thread(ServeConfig(**overrides))
+        handles.append(handle)
+        return handle, ServeClient(handle.url)
+
+    yield start
+    for handle in handles:
+        handle.stop()
+
+
+#: A small, fast candidate (~0.3s to refute) used throughout these tests.
+FAST_SPEC = {
+    "candidate": "delegation",
+    "n": 2,
+    "f": 0,
+    "budget": {"max_states": 600_000},
+}

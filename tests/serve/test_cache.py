@@ -1,0 +1,163 @@
+"""Cache-correctness tests: canonical keys, budget dominance, persistence.
+
+The two acceptance properties from the issue live here:
+
+* symmetry-equivalent submissions (same candidate, relabeled proposals)
+  produce the *same* cache key and therefore hit the same entry;
+* an entry computed under a smaller budget must NOT satisfy a request
+  for a larger one (dominance, componentwise, ``None`` = unlimited).
+"""
+
+import json
+
+import pytest
+
+from repro.engine import Budget
+from repro.serve import JobSpec, VerdictCache, budget_dominates, job_key
+
+
+def spec_for(proposals=None, *, candidate="tob", n=3, f=1, reduction="none"):
+    document = {"candidate": candidate, "n": n, "f": f, "reduction": reduction}
+    if proposals is not None:
+        document["proposals"] = {str(k): v for k, v in proposals.items()}
+    return JobSpec.from_json(document)
+
+
+class TestJobKey:
+    def test_symmetry_equivalent_proposals_share_a_key(self):
+        # tob(3,1): every process is symmetric, so any one-out-of-three
+        # placement of the minority proposal is the same question.
+        keys = {
+            job_key(spec_for({0: 1, 1: 0, 2: 0})),
+            job_key(spec_for({0: 0, 1: 1, 2: 0})),
+            job_key(spec_for({0: 0, 1: 0, 2: 1})),
+        }
+        assert len(keys) == 1
+
+    def test_default_proposals_equal_their_explicit_form(self):
+        assert job_key(spec_for()) == job_key(spec_for({0: 0, 1: 1, 2: 0}))
+
+    def test_inequivalent_proposals_differ(self):
+        assert job_key(spec_for({0: 1, 1: 0, 2: 0})) != job_key(
+            spec_for({0: 1, 1: 1, 2: 0})
+        )
+
+    def test_candidate_shape_is_part_of_the_key(self):
+        base = job_key(spec_for())
+        assert job_key(spec_for(candidate="delegation")) != base
+        assert job_key(spec_for(f=0)) != base
+        assert job_key(spec_for(reduction="symmetry")) != base
+
+    def test_key_is_stable_across_calls(self):
+        assert job_key(spec_for()) == job_key(spec_for())
+
+
+class TestBudgetDominance:
+    def test_reflexive(self):
+        budget = Budget(max_states=100, deadline_seconds=5.0)
+        assert budget_dominates(budget, budget)
+
+    def test_none_is_unlimited(self):
+        assert budget_dominates(Budget(), Budget(max_states=10**9))
+        assert not budget_dominates(Budget(max_states=10**9), Budget())
+
+    def test_componentwise(self):
+        bigger = Budget(max_states=200, deadline_seconds=10.0)
+        smaller = Budget(max_states=100, deadline_seconds=5.0)
+        assert budget_dominates(bigger, smaller)
+        assert not budget_dominates(smaller, bigger)
+        # Mixed: more states but less time does not dominate.
+        mixed = Budget(max_states=300, deadline_seconds=1.0)
+        assert not budget_dominates(mixed, smaller)
+
+
+KEY_A = b"a" * 16
+KEY_B = b"b" * 16
+KEY_C = b"c" * 16
+VERDICT = {"refuted": True, "mechanism": "hook"}
+
+
+class TestVerdictCache:
+    def test_miss_then_hit(self):
+        cache = VerdictCache()
+        assert cache.get(KEY_A, Budget(max_states=100)) is None
+        cache.put(KEY_A, Budget(max_states=100), VERDICT, "job-1")
+        entry = cache.get(KEY_A, Budget(max_states=100))
+        assert entry is not None and entry.verdict == VERDICT
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_smaller_budget_entry_does_not_answer_larger_request(self):
+        cache = VerdictCache()
+        cache.put(KEY_A, Budget(max_states=10_000), VERDICT, "job-1")
+        assert cache.get(KEY_A, Budget(max_states=1_000_000)) is None
+        assert cache.get(KEY_A, Budget()) is None  # unlimited request
+
+    def test_larger_budget_entry_answers_smaller_request(self):
+        cache = VerdictCache()
+        cache.put(KEY_A, Budget(), VERDICT, "job-1")  # unlimited run
+        assert cache.get(KEY_A, Budget(max_states=10)) is not None
+
+    def test_dominance_frontier_replaces_weaker_entries(self):
+        cache = VerdictCache()
+        cache.put(KEY_A, Budget(max_states=100), VERDICT, "job-1")
+        cache.put(KEY_A, Budget(max_states=1_000), VERDICT, "job-2")
+        assert len(cache) == 1  # the weaker entry was dropped
+        entry = cache.get(KEY_A, Budget(max_states=50))
+        assert entry is not None and entry.job_id == "job-2"
+
+    def test_dominated_put_returns_the_existing_entry(self):
+        cache = VerdictCache()
+        stored = cache.put(KEY_A, Budget(max_states=1_000), VERDICT, "job-1")
+        again = cache.put(KEY_A, Budget(max_states=10), VERDICT, "job-2")
+        assert again is stored
+        assert len(cache) == 1
+
+    def test_incomparable_budgets_coexist(self):
+        cache = VerdictCache()
+        cache.put(KEY_A, Budget(max_states=1_000, deadline_seconds=1.0), VERDICT, "j1")
+        cache.put(KEY_A, Budget(max_states=10, deadline_seconds=100.0), VERDICT, "j2")
+        assert len(cache) == 2
+
+    def test_lru_eviction(self):
+        cache = VerdictCache(capacity=2)
+        cache.put(KEY_A, Budget(max_states=1), VERDICT, "j1")
+        cache.put(KEY_B, Budget(max_states=1), VERDICT, "j2")
+        cache.get(KEY_A, Budget(max_states=1))  # freshen A; B is now LRU
+        cache.put(KEY_C, Budget(max_states=1), VERDICT, "j3")
+        assert cache.get(KEY_B, Budget(max_states=1)) is None
+        assert cache.get(KEY_A, Budget(max_states=1)) is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_rejects_silly_capacity(self):
+        with pytest.raises(ValueError):
+            VerdictCache(capacity=0)
+
+
+class TestPersistence:
+    def test_entries_survive_a_restart(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        first = VerdictCache(path=path)
+        first.put(KEY_A, Budget(max_states=500), VERDICT, "job-1")
+        reborn = VerdictCache(path=path)
+        entry = reborn.get(KEY_A, Budget(max_states=500))
+        assert entry is not None
+        assert entry.verdict == VERDICT
+        assert entry.job_id == "job-1"
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        VerdictCache(path=path).put(KEY_A, Budget(max_states=5), VERDICT, "j")
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write('{"key": "zz", "trunca')  # the crash mid-write
+        reborn = VerdictCache(path=path)
+        assert len(reborn) == 1
+
+    def test_entry_json_round_trip(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        VerdictCache(path=path).put(KEY_A, Budget(max_states=5), VERDICT, "j")
+        with open(path, encoding="utf-8") as stream:
+            document = json.loads(stream.readline())
+        assert document["key"] == KEY_A.hex()
+        assert document["budget"] == {"max_states": 5, "max_transitions": None,
+                                      "deadline_seconds": None}

@@ -1,0 +1,111 @@
+"""Runner tests: outcomes, cancellation, and checkpoint resume.
+
+These drive :func:`repro.serve.runner.execute_job` directly (no HTTP, no
+event loop) — the fleet calls it exactly this way from a worker thread.
+"""
+
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    CANCELLED,
+    COMPLETED,
+    EXHAUSTED,
+    FAILED,
+    Job,
+    JobSpec,
+    execute_job,
+    job_checkpoint_dir,
+    job_key,
+)
+
+
+def make_job(document, job_id="job-test", resume=False):
+    spec = JobSpec.from_json(document)
+    return Job(job_id, spec, job_key(spec), resume=resume)
+
+
+def run(job, data_dir=None, metrics=None):
+    events = []
+    return (
+        execute_job(
+            job,
+            data_dir=data_dir,
+            publish=events.append,
+            metrics=metrics if metrics is not None else MetricsRegistry(),
+        ),
+        events,
+    )
+
+
+class TestOutcomes:
+    def test_fast_candidate_completes_with_a_refutation(self):
+        job = make_job({"candidate": "delegation", "n": 2, "f": 0})
+        outcome, _ = run(job)
+        assert outcome.state == COMPLETED
+        assert outcome.verdict["refuted"] is True
+        assert outcome.engine_report is not None
+
+    def test_progress_events_flow_through(self):
+        job = make_job({"candidate": "delegation", "n": 2, "f": 0})
+        _, events = run(job)
+        # The reporter throttles, so a short run may publish few events,
+        # but any published one carries the structured snapshot fields.
+        for event in events:
+            assert event["kind"] == "progress"
+            assert set(event) >= {"states", "frontier", "workers", "elapsed"}
+
+    def test_exhausted_budget_is_a_state_not_an_exception(self):
+        job = make_job(
+            {"candidate": "delegation", "budget": {"max_states": 50}}
+        )
+        outcome, _ = run(job)
+        assert outcome.state == EXHAUSTED
+        assert outcome.verdict is None
+        assert outcome.error["error"] == "budget_exhausted"
+        assert "version" in outcome.error
+
+    def test_preset_cancel_event_yields_cancelled(self):
+        job = make_job({"candidate": "delegation", "n": 3, "f": 1})
+        job.cancel_event.set()
+        outcome, _ = run(job)
+        assert outcome.state == CANCELLED
+        assert outcome.error["error"] == "cancelled"
+        assert outcome.error["status"] == 499
+
+    def test_pipeline_exception_yields_failed(self, monkeypatch):
+        import repro.analysis
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("the pipeline broke")
+
+        monkeypatch.setattr(repro.analysis, "refute_candidate", boom)
+        job = make_job({"candidate": "last-writer"})
+        outcome, _ = run(job)
+        assert outcome.state == FAILED
+        assert "the pipeline broke" in outcome.error["detail"]
+        assert "traceback" in outcome.error
+
+
+class TestCheckpointResume:
+    def test_exhausted_run_resumes_and_completes(self, tmp_path):
+        document = {"candidate": "delegation", "n": 2, "f": 0}
+        starved = make_job({**document, "budget": {"max_states": 20}})
+        outcome, _ = run(starved, data_dir=tmp_path)
+        assert outcome.state == EXHAUSTED
+        checkpoints = job_checkpoint_dir(tmp_path, starved.key)
+        assert checkpoints.is_dir() and any(checkpoints.iterdir())
+
+        metrics = MetricsRegistry()
+        retry = make_job(document, job_id="job-retry", resume=True)
+        assert retry.key == starved.key  # budget is not part of the key
+        outcome, _ = run(retry, data_dir=tmp_path, metrics=metrics)
+        assert outcome.state == COMPLETED
+        assert outcome.verdict["refuted"] is True
+        assert metrics.snapshot()["counters"].get("engine.resumes", 0) >= 1
+        # Terminal success cleans the checkpoint directory up.
+        assert not checkpoints.exists()
+
+    def test_no_data_dir_means_no_checkpoints(self, tmp_path):
+        job = make_job({"candidate": "delegation", "n": 2, "f": 0})
+        outcome, _ = run(job, data_dir=None)
+        assert outcome.state == COMPLETED
+        assert not any(tmp_path.iterdir())

@@ -1,0 +1,120 @@
+"""Wire-schema tests: JobSpec validation and the error envelope."""
+
+import pytest
+
+from repro.engine import Budget
+from repro.serve import CANDIDATES, JobSpec, WireError, error_document, package_version
+from repro.serve.wire import DEFAULT_TENANT
+
+
+class TestJobSpecFromJson:
+    def test_minimal_document_gets_defaults(self):
+        spec = JobSpec.from_json({"candidate": "last-writer"})
+        assert spec.n == 3
+        assert spec.resilience == 1
+        assert spec.workers == 1
+        assert spec.reduction == "none"
+        assert spec.proposals == ()
+        assert spec.tenant == DEFAULT_TENANT
+
+    def test_round_trip(self):
+        spec = JobSpec.from_json(
+            {
+                "candidate": "tob",
+                "n": 3,
+                "f": 1,
+                "budget": {"max_states": 10_000, "deadline_seconds": 2.5},
+                "workers": 2,
+                "reduction": "symmetry",
+                "proposals": {"0": 1, "1": 0, "2": 0},
+                "tenant": "alice",
+            }
+        )
+        assert JobSpec.from_json(spec.to_json()) == spec
+
+    def test_resilience_alias(self):
+        assert JobSpec.from_json({"candidate": "tob", "resilience": 2}).resilience == 2
+
+    def test_f_and_resilience_together_rejected(self):
+        with pytest.raises(WireError, match="not both"):
+            JobSpec.from_json({"candidate": "tob", "f": 1, "resilience": 1})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(WireError, match="JSON object"):
+            JobSpec.from_json([1, 2, 3])
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(WireError, match="unknown field"):
+            JobSpec.from_json({"candidate": "tob", "bananas": 1})
+
+    def test_unknown_candidate_rejected(self):
+        with pytest.raises(WireError, match="candidate"):
+            JobSpec.from_json({"candidate": "nonsense"})
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(WireError, match="n must be an integer"):
+            JobSpec.from_json({"candidate": "tob", "n": True})
+
+    def test_bad_budget_wrapped(self):
+        with pytest.raises(WireError, match="bad budget"):
+            JobSpec.from_json({"candidate": "tob", "budget": {"max_states": "lots"}})
+
+    def test_bad_reduction_rejected(self):
+        with pytest.raises(WireError, match="reduction"):
+            JobSpec.from_json({"candidate": "tob", "reduction": "telepathy"})
+
+    def test_proposals_keys_coerced_to_int(self):
+        spec = JobSpec.from_json(
+            {"candidate": "tob", "proposals": {"1": 0, "0": 1}}
+        )
+        assert spec.proposals == ((0, 1), (1, 0))
+
+    def test_non_integer_proposal_endpoint_rejected(self):
+        with pytest.raises(WireError, match="integers"):
+            JobSpec.from_json({"candidate": "tob", "proposals": {"p0": 1}})
+
+    def test_tenant_header_default(self):
+        spec = JobSpec.from_json({"candidate": "tob"}, default_tenant="carol")
+        assert spec.tenant == "carol"
+        explicit = JobSpec.from_json(
+            {"candidate": "tob", "tenant": "dave"}, default_tenant="carol"
+        )
+        assert explicit.tenant == "dave"
+
+    def test_overlong_tenant_rejected(self):
+        with pytest.raises(WireError, match="tenant"):
+            JobSpec.from_json({"candidate": "tob", "tenant": "x" * 129})
+
+
+class TestCost:
+    def test_cost_is_kilostates(self):
+        spec = JobSpec.from_json(
+            {"candidate": "tob", "budget": {"max_states": 5_500}}
+        )
+        assert spec.cost == 6
+
+    def test_unlimited_budget_costs_a_lot(self):
+        spec = JobSpec.from_json({"candidate": "tob", "budget": {}})
+        assert spec.cost == 1_000
+
+    def test_tiny_budget_costs_at_least_one(self):
+        spec = JobSpec.from_json({"candidate": "tob", "budget": {"max_states": 1}})
+        assert spec.cost == 1
+
+
+class TestErrorDocument:
+    def test_carries_version_and_status(self):
+        document = error_document(429, "overloaded", "queue full", retry_after=3.0)
+        assert document["status"] == 429
+        assert document["error"] == "overloaded"
+        assert document["retry_after"] == 3.0
+        assert document["version"] == package_version()
+
+    def test_package_version_is_a_version_string(self):
+        version = package_version()
+        assert version and version[0].isdigit()
+
+
+class TestRegistry:
+    def test_candidates_cover_the_paper(self):
+        assert set(CANDIDATES) == {"delegation", "tob", "last-writer"}

@@ -5,6 +5,16 @@ import pytest
 from repro.__main__ import main
 
 
+class TestVersion:
+    def test_version_flag_prints_the_package_version(self, capsys):
+        from repro.serve import package_version
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {package_version()}"
+
+
 class TestList:
     def test_list_runs(self, capsys):
         assert main(["list"]) == 0
