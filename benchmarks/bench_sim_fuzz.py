@@ -1,0 +1,102 @@
+"""E20: deterministic simulation and fuzzing throughput.
+
+The sim subsystem's two headline numbers, recorded to ``BENCH_sim.json``:
+
+* **schedules/second** — how fast the seeded harness burns through
+  randomized fault schedules (the fuzzer's inner loop);
+* **shrink ratio** — how much delta debugging cuts a failing schedule
+  before it is emitted as a replay script (the acceptance bar is >= 50%
+  on the known-refutable lossy exchange candidate).
+
+Both are asserted, not just measured, so the bench doubles as the
+acceptance-criterion check outside the unit suite.
+"""
+
+from conftest import report
+
+from repro.sim import (
+    CandidateSpec,
+    SimConfig,
+    build_candidate,
+    fuzz,
+    replay,
+    simulate,
+)
+
+LOSSY_EXCHANGE = CandidateSpec(
+    family="exchange", n=2, resilience=0, faults=(("drop", 1),)
+)
+
+ARTIFACT = "BENCH_sim.json"
+
+
+def test_simulation_throughput(benchmark):
+    """Seeded schedules per second on the lossy exchange candidate."""
+    system = build_candidate(LOSSY_EXCHANGE)
+    batch = 50
+
+    def run_batch():
+        return [
+            simulate(system, SimConfig(seed=seed, fault_rate=0.4))
+            for seed in range(batch)
+        ]
+
+    results = benchmark(run_batch)
+    steps = sum(result.steps for result in results)
+    violations = sum(1 for result in results if not result.ok)
+    assert violations > 0  # drop=1 must bite within 50 seeds
+    report(
+        "sim harness throughput (lossy exchange)",
+        [
+            f"schedules per round: {batch}",
+            f"steps per round: {steps}",
+            f"violating schedules: {violations}/{batch}",
+        ],
+        artifact=ARTIFACT,
+    )
+
+
+def test_fuzz_finds_and_shrinks_at_least_half(benchmark):
+    """The CI acceptance bar: find, shrink >= 50%, replay bit-for-bit."""
+    result = benchmark(fuzz, [LOSSY_EXCHANGE], runs=8, seed=19)
+    assert result.found, "seeded campaign must find the dropped message"
+    counterexample = result.found[0]
+    assert counterexample.shrink_ratio >= 0.5
+    system = build_candidate(LOSSY_EXCHANGE)
+    shrunk = counterexample.result
+    again = replay(
+        system,
+        shrunk.script,
+        inputs=shrunk.inputs,
+        proposals=shrunk.proposals,
+        config=shrunk.config,
+    )
+    assert again.execution == shrunk.execution
+    report(
+        "fuzz + shrink (lossy exchange, seed 19)",
+        [
+            f"schedules/second: {result.schedules_per_second:.0f}",
+            f"schedule steps: {counterexample.original_steps} -> "
+            f"{counterexample.shrunk_steps}",
+            f"shrink ratio: {counterexample.shrink_ratio:.0%}",
+            f"shrink rounds: {counterexample.shrink_rounds}",
+        ],
+        artifact=ARTIFACT,
+    )
+
+
+def test_random_campaign_throughput(benchmark):
+    """Mixed-family random campaign: specs/schedules per second."""
+    result = benchmark(
+        fuzz, None, campaigns=6, runs=4, seed=7, stop_after=None
+    )
+    assert result.specs_tried == 6
+    report(
+        "random fuzz campaign (6 specs x 4 runs)",
+        [
+            f"schedules: {result.runs} ({result.steps} steps)",
+            f"schedules/second: {result.schedules_per_second:.0f}",
+            f"counterexamples: {len(result.found)}",
+        ],
+        artifact=ARTIFACT,
+    )

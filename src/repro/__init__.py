@@ -28,7 +28,11 @@ Layering (bottom to top):
 * :mod:`repro.obs`       — tracing, metrics, profiling, and trace replay
   for every layer above (disabled by default, zero-overhead when off);
 * :mod:`repro.protocols` — the Section 4 and Section 6.3 possibility
-  constructions, plus the doomed candidates the adversary refutes.
+  constructions, plus the doomed candidates the adversary refutes;
+* :mod:`repro.sim`       — deterministic network-fault simulation
+  (:class:`~repro.sim.FaultyNetwork`, seeded harness, bit-for-bit
+  replay scripts) and the adversary fuzzer with counterexample
+  shrinking.
 
 Quickstart::
 
@@ -46,7 +50,18 @@ else is importable from its subpackage but may move between minor
 versions.  See ``docs/api.md``.
 """
 
-from . import analysis, core, engine, ioa, obs, protocols, services, system, types
+from . import (
+    analysis,
+    core,
+    engine,
+    ioa,
+    obs,
+    protocols,
+    services,
+    sim,
+    system,
+    types,
+)
 from .analysis import analyze_valence, explore, find_hook, refute_candidate
 from .engine import Budget, ExplorationEngine, ReductionConfig
 
@@ -67,6 +82,7 @@ __all__ = [
     "protocols",
     "refute_candidate",
     "services",
+    "sim",
     "system",
     "types",
     "__version__",

@@ -19,6 +19,13 @@ Exposes the headline reproductions without writing any code:
   analysis requests over HTTP/JSON, answered from a fingerprint-keyed
   verdict cache when possible, scheduled fairly across tenants
   otherwise (see :mod:`repro.serve` and ``docs/serve.md``);
+* ``sim``        — one seeded deterministic simulation of a candidate
+  over a :class:`~repro.sim.FaultyNetwork`, or ``sim --replay FILE``:
+  bit-for-bit verification of a saved counterexample script (exit 1 on
+  divergence);
+* ``fuzz``       — seeded adversary fuzzing: random candidates and
+  fault schedules, safety/liveness checks each run, failing schedules
+  shrunk to minimal replay scripts (see ``docs/simulation.md``);
 * ``list``       — list the built-in candidates and constructions.
 
 ``repro --version`` prints the package version (also reported by the
@@ -445,6 +452,139 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return serve_forever(config)
 
 
+def _parse_faults(text: str | None):
+    """``drop=1,duplicate=2`` -> :class:`~repro.sim.FaultBudget`."""
+    from .sim import FaultBudget
+
+    if not text:
+        return FaultBudget()
+    document = {}
+    for pair in text.split(","):
+        name, _, value = pair.partition("=")
+        try:
+            document[name.strip()] = int(value)
+        except ValueError:
+            raise SystemExit(
+                f"bad --faults entry {pair!r}; expected name=int"
+            ) from None
+    try:
+        return FaultBudget.from_json(document)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+
+
+def _sim_spec(args: argparse.Namespace):
+    from .sim import CandidateSpec
+
+    budget = _parse_faults(args.faults)
+    return CandidateSpec(
+        family=args.family,
+        n=args.n,
+        resilience=args.resilience,
+        faults=tuple(sorted(budget.to_json().items())),
+        gen_seed=args.gen_seed,
+    )
+
+
+def cmd_sim(args: argparse.Namespace) -> int:
+    import json
+
+    from .sim import (
+        CandidateSpec,
+        ReplayMismatch,
+        SimConfig,
+        build_candidate,
+        load_script,
+        save_script,
+        script_document,
+        simulate,
+        verify_replay,
+    )
+
+    if args.replay is not None:
+        document = load_script(args.replay)
+        spec = CandidateSpec.from_json(document.get("candidate", {}))
+        system = build_candidate(spec)
+        try:
+            result = verify_replay(system, document)
+        except ReplayMismatch as mismatch:
+            print(f"REPLAY MISMATCH: {mismatch}")
+            return 1
+        if args.json:
+            print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+        else:
+            print(f"Replay OK: {spec.describe()}")
+            print(result.summary())
+        return 0
+    if args.family is None:
+        raise SystemExit("repro sim: give a candidate family or --replay FILE")
+    spec = _sim_spec(args)
+    system = build_candidate(spec)
+    config = SimConfig(
+        seed=args.seed, max_steps=args.steps, fault_rate=args.fault_rate
+    )
+    result = simulate(system, config)
+    if args.output is not None:
+        save_script(args.output, script_document(spec.to_json(), result))
+    if args.json:
+        document = result.to_json()
+        document["candidate"] = spec.to_json()
+        if args.output is not None:
+            document["script"] = args.output
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(f"Candidate: {spec.describe()}")
+        print(result.summary())
+        if args.output is not None:
+            print(f"Replay script: {args.output}")
+            print(f"Replay:        repro sim --replay {args.output}")
+    return 1 if result.violations else 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from .sim import FAMILIES, save_script, fuzz
+
+    specs = None
+    families = tuple(args.family) if args.family else FAMILIES
+    if args.faults:
+        if len(families) != 1:
+            raise SystemExit("--faults pins one spec; give exactly one --family")
+        args.gen_seed = getattr(args, "gen_seed", None)
+        args.family = families[0]
+        specs = [_sim_spec(args)]
+    report = fuzz(
+        specs,
+        campaigns=args.campaigns,
+        runs=args.runs,
+        seed=args.seed,
+        max_steps=args.steps,
+        fault_rate=args.fault_rate,
+        crash_budget=args.crash_budget,
+        families=families,
+        stop_after=None if args.stop_after == 0 else args.stop_after,
+    )
+    saved = None
+    if args.output is not None and report.found:
+        save_script(args.output, report.found[0].to_document())
+        saved = args.output
+    if args.json:
+        document = report.to_json()
+        if saved is not None:
+            document["script"] = saved
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+        if saved is not None:
+            print(f"Replay script: {saved}")
+            print(f"Replay:        repro sim --replay {saved}")
+    if args.expect_violation and not report.found:
+        print("expected a violation; none found", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     print("Candidates for `refute`:")
     for name, blurb in CANDIDATES.items():
@@ -683,6 +823,116 @@ def main(argv: list[str] | None = None) -> int:
         help="write a JSONL event trace of every engine run to PATH",
     )
     serve.set_defaults(handler=cmd_serve)
+
+    sim = subparsers.add_parser(
+        "sim",
+        help="one seeded deterministic simulation, or --replay verification "
+        "of a saved counterexample script (see docs/simulation.md)",
+    )
+    sim.add_argument(
+        "family",
+        nargs="?",
+        choices=["exchange", "arbiter", "random-table"],
+        help="candidate family to simulate (omit with --replay)",
+    )
+    sim.add_argument("--seed", type=int, default=0, help="schedule seed")
+    sim.add_argument("--steps", type=int, default=400, help="step bound")
+    sim.add_argument("-n", type=int, default=2, help="number of processes")
+    sim.add_argument(
+        "-f", "--resilience", type=int, default=0, help="network resilience f"
+    )
+    sim.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="fault budget, e.g. drop=1,duplicate=2,partitions=1",
+    )
+    sim.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.3,
+        help="probability the scheduler prefers a fault task when one is enabled",
+    )
+    sim.add_argument(
+        "--gen-seed",
+        type=int,
+        default=None,
+        help="random-table family: the seed its decision tables are drawn from",
+    )
+    sim.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="verify a saved replay script bit-for-bit instead of simulating",
+    )
+    sim.add_argument(
+        "-o", "--output", default=None, help="save the run as a replay script"
+    )
+    sim.add_argument("--json", action="store_true", help="print the result as JSON")
+    sim.set_defaults(handler=cmd_sim)
+
+    fuzzer = subparsers.add_parser(
+        "fuzz",
+        help="seeded adversary fuzzing with counterexample shrinking "
+        "(see docs/simulation.md)",
+    )
+    fuzzer.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzzer.add_argument(
+        "--campaigns", type=int, default=8, help="random candidate specs to draw"
+    )
+    fuzzer.add_argument(
+        "--runs", type=int, default=8, help="seeded schedules per candidate"
+    )
+    fuzzer.add_argument("--steps", type=int, default=300, help="step bound per run")
+    fuzzer.add_argument(
+        "--family",
+        action="append",
+        choices=["exchange", "arbiter", "random-table"],
+        default=None,
+        help="restrict the families drawn (repeatable)",
+    )
+    fuzzer.add_argument("-n", type=int, default=2, help="processes for a pinned spec")
+    fuzzer.add_argument(
+        "-f", "--resilience", type=int, default=0, help="resilience for a pinned spec"
+    )
+    fuzzer.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="pin ONE spec (requires exactly one --family): fault budget "
+        "like drop=1,duplicate=2",
+    )
+    fuzzer.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.3,
+        help="per-step probability of preferring an enabled fault task",
+    )
+    fuzzer.add_argument(
+        "--crash-budget",
+        type=int,
+        default=0,
+        help="random process crashes injected per schedule",
+    )
+    fuzzer.add_argument(
+        "--stop-after",
+        type=int,
+        default=1,
+        help="stop after this many counterexamples (0 = never)",
+    )
+    fuzzer.add_argument(
+        "--expect-violation",
+        action="store_true",
+        help="exit 1 if the campaign finds no counterexample (CI mode)",
+    )
+    fuzzer.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="save the first counterexample as a replay script",
+    )
+    fuzzer.add_argument("--json", action="store_true", help="print the report as JSON")
+    fuzzer.set_defaults(handler=cmd_fuzz)
 
     lister = subparsers.add_parser("list", help="list built-ins")
     lister.set_defaults(handler=cmd_list)

@@ -38,6 +38,8 @@ from .events import (
     ACTION_FIRED,
     CHECKPOINT_SAVED,
     FAILURE_INJECTED,
+    FAULT_FIRED,
+    FUZZ_CANDIDATE,
     HOOK_VERDICT,
     KINDS,
     PHASE,
@@ -45,6 +47,8 @@ from .events import (
     RUN_START,
     SERVICE_INVOCATION,
     SERVICE_RESPONSE,
+    SHRINK_STEP,
+    SIM_RUN,
     SPAN_END,
     SPAN_START,
     STATE_EXPLORED,
@@ -136,6 +140,8 @@ __all__ = [
     "CHECKPOINT_SAVED",
     "Counter",
     "FAILURE_INJECTED",
+    "FAULT_FIRED",
+    "FUZZ_CANDIDATE",
     "Gauge",
     "HOOK_VERDICT",
     "Histogram",
@@ -153,6 +159,8 @@ __all__ = [
     "RingBufferSink",
     "SERVICE_INVOCATION",
     "SERVICE_RESPONSE",
+    "SHRINK_STEP",
+    "SIM_RUN",
     "SPAN_END",
     "SPAN_START",
     "STATE_EXPLORED",

@@ -52,6 +52,10 @@ WORKER_RESPAWNED = "worker_respawned"  # a lost worker slot was restarted
 STATE_QUARANTINED = "state_quarantined"  # a state repeatedly killed workers; skipped
 SPAN_START = "span_start"  # a hierarchical span opened (see repro.obs.spans)
 SPAN_END = "span_end"  # a span closed, carrying wall/CPU time and status
+SIM_RUN = "sim_run"  # one seeded simulation finished (see repro.sim.harness)
+FAULT_FIRED = "fault_fired"  # a network fault transition fired during a sim run
+FUZZ_CANDIDATE = "fuzz_candidate"  # the fuzzer started attacking a candidate
+SHRINK_STEP = "shrink_step"  # one successful ddmin reduction of a failing schedule
 
 KINDS = frozenset(
     {
@@ -73,6 +77,10 @@ KINDS = frozenset(
         STATE_QUARANTINED,
         SPAN_START,
         SPAN_END,
+        SIM_RUN,
+        FAULT_FIRED,
+        FUZZ_CANDIDATE,
+        SHRINK_STEP,
     }
 )
 

@@ -106,18 +106,46 @@ class ArbiterProcess(Process):
         return None, locals_value
 
 
-def arbiter_consensus_system(n: int = 3, resilience: int = 0) -> DistributedSystem:
+def _build_network(endpoints: tuple, resilience: int, faults):
+    """The network service: benign, or faulty under a nonzero budget.
+
+    ``faults`` is a :class:`repro.sim.faults.FaultBudget` (or ``None``
+    for the benign network).  A zero budget still instantiates the
+    faulty wrapper — whose automaton is state-for-state identical to
+    the benign one, the conservativity guarantee the sim test suite
+    asserts.
+    """
+    if faults is None:
+        return AsynchronousNetwork(
+            NETWORK_ID, endpoints=endpoints, messages=(0, 1), resilience=resilience
+        )
+    # Imported lazily: repro.sim builds on repro.protocols at load time.
+    from ..sim.faults import FaultyNetwork
+
+    return FaultyNetwork(
+        NETWORK_ID,
+        endpoints=endpoints,
+        messages=(0, 1),
+        resilience=resilience,
+        budget=faults,
+    )
+
+
+def arbiter_consensus_system(
+    n: int = 3, resilience: int = 0, faults=None
+) -> DistributedSystem:
     """``n-1`` proposers and one arbiter over an f-resilient network.
 
     The first proposal to *reach* the arbiter wins, so the decision is
-    schedule-dependent and the valence machinery engages fully.
+    schedule-dependent and the valence machinery engages fully.  With a
+    ``faults`` budget the network is a
+    :class:`~repro.sim.faults.FaultyNetwork` and the budgeted message
+    adversary joins the schedule adversary.
     """
     endpoints = tuple(range(n))
     arbiter = n - 1
     proposers = endpoints[:-1]
-    network = AsynchronousNetwork(
-        NETWORK_ID, endpoints=endpoints, messages=(0, 1), resilience=resilience
-    )
+    network = _build_network(endpoints, resilience, faults)
     processes: list[Process] = [
         ArbiterProposer(endpoint, arbiter) for endpoint in proposers
     ]
@@ -143,11 +171,15 @@ class ExchangeProcess(Process):
             response = action.args[2]
             if isinstance(response, tuple) and response[0] == "deliver":
                 if phase in ("send", "sent") and response[1] == self.peer:
-                    # min() needs our own value; if the peer's value beat
-                    # our init we stash it and resolve on init.  With
-                    # input-first executions own is always set here.
-                    if own is not None:
-                        return ("resolve", min(own, response[2]))
+                    if own is None:
+                        return locals_value
+                    decision = min(own, response[2])
+                    if phase == "send":
+                        # The peer's value overtook our own send step: we
+                        # still owe the peer our value, or it waits
+                        # forever (a liveness bug the sim fuzzer found).
+                        return ("send-resolve", (own, decision))
+                    return ("resolve", decision)
         return locals_value
 
     def next_action(self, locals_value):
@@ -157,15 +189,25 @@ class ExchangeProcess(Process):
                 invoke(NETWORK_ID, self.endpoint, send(self.peer, value)),
                 ("sent", value),
             )
+        if phase == "send-resolve":
+            own, decision = value
+            return (
+                invoke(NETWORK_ID, self.endpoint, send(self.peer, own)),
+                ("resolve", decision),
+            )
         if phase == "resolve":
             return decide(self.endpoint, value), ("done", value)
         return None, locals_value
 
 
-def exchange_consensus_system(resilience: int = 0) -> DistributedSystem:
-    """Two processes swap values over an f-resilient network; decide min."""
-    network = AsynchronousNetwork(
-        NETWORK_ID, endpoints=(0, 1), messages=(0, 1), resilience=resilience
-    )
+def exchange_consensus_system(resilience: int = 0, faults=None) -> DistributedSystem:
+    """Two processes swap values over an f-resilient network; decide min.
+
+    With a ``faults`` budget the network is a
+    :class:`~repro.sim.faults.FaultyNetwork`: one dropped message
+    leaves a peer waiting forever, the canonical stuck-undecided
+    counterexample the fuzzer finds and shrinks.
+    """
+    network = _build_network((0, 1), resilience, faults)
     processes = [ExchangeProcess(0, 1), ExchangeProcess(1, 0)]
     return DistributedSystem(processes, services=[network])

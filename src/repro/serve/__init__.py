@@ -44,6 +44,7 @@ from .wire import (
     build_system,
     error_document,
     package_version,
+    register_candidate,
 )
 
 __all__ = [
@@ -81,6 +82,7 @@ __all__ = [
     "job_checkpoint_dir",
     "job_key",
     "package_version",
+    "register_candidate",
     "run_in_thread",
     "serve_forever",
 ]

@@ -34,11 +34,75 @@ from typing import Mapping
 from ..engine.budget import DEFAULT_BUDGET, Budget
 
 #: The candidates a job may name, with the blurbs ``repro list`` prints.
-CANDIDATES = {
-    "delegation": "n processes over one f-resilient consensus object (Thm 2)",
-    "tob": "n processes over one f-resilient totally ordered broadcast (Thm 9)",
-    "last-writer": "2 processes, registers only, decide-the-last-write (Thm 2, register case)",
-}
+#: Populated by :func:`register_candidate`; kept as a plain name->blurb
+#: dict because the CLI and server treat it as the authoritative menu.
+CANDIDATES: dict = {}
+
+#: name -> builder(n, resilience) -> DistributedSystem.
+_BUILDERS: dict = {}
+
+
+def register_candidate(name: str, blurb: str, builder) -> None:
+    """Register a candidate system in the serving/CLI registry.
+
+    ``builder(n, resilience)`` must return a
+    :class:`~repro.system.DistributedSystem`; it should import its
+    protocol lazily so this module stays import-light.  Registering an
+    existing name replaces it (last registration wins), so downstream
+    code can shadow a built-in with a variant.
+    """
+    if not name or not isinstance(name, str):
+        raise WireError(f"candidate name must be a nonempty string, got {name!r}")
+    CANDIDATES[name] = blurb
+    _BUILDERS[name] = builder
+
+
+def _delegation(n: int, resilience: int):
+    from ..protocols import delegation_consensus_system
+
+    return delegation_consensus_system(n, resilience)
+
+
+def _tob(n: int, resilience: int):
+    from ..protocols import tob_delegation_system
+
+    return tob_delegation_system(n, resilience)
+
+
+def _last_writer(n: int, resilience: int):
+    from ..protocols import last_writer_register_system
+
+    return last_writer_register_system()
+
+
+def _arbiter(n: int, resilience: int):
+    from ..protocols.message_passing import arbiter_consensus_system
+
+    return arbiter_consensus_system(max(n, 3), resilience)
+
+
+def _exchange(n: int, resilience: int):
+    from ..protocols.message_passing import exchange_consensus_system
+
+    return exchange_consensus_system(resilience)
+
+
+def _lossy_budget():
+    from ..sim.faults import FaultBudget
+
+    return FaultBudget(drop=1)
+
+
+def _arbiter_lossy(n: int, resilience: int):
+    from ..protocols.message_passing import arbiter_consensus_system
+
+    return arbiter_consensus_system(max(n, 3), resilience, faults=_lossy_budget())
+
+
+def _exchange_lossy(n: int, resilience: int):
+    from ..protocols.message_passing import exchange_consensus_system
+
+    return exchange_consensus_system(resilience, faults=_lossy_budget())
 
 REDUCTIONS = ("none", "symmetry", "por", "full")
 
@@ -75,23 +139,51 @@ def package_version() -> str:
     return __version__
 
 
+register_candidate(
+    "delegation",
+    "n processes over one f-resilient consensus object (Thm 2)",
+    _delegation,
+)
+register_candidate(
+    "tob",
+    "n processes over one f-resilient totally ordered broadcast (Thm 9)",
+    _tob,
+)
+register_candidate(
+    "last-writer",
+    "2 processes, registers only, decide-the-last-write (Thm 2, register case)",
+    _last_writer,
+)
+register_candidate(
+    "arbiter",
+    "n-1 proposers and an arbiter over an f-resilient network (2002 TR setting)",
+    _arbiter,
+)
+register_candidate(
+    "exchange",
+    "2 processes swap values over an f-resilient network, decide min",
+    _exchange,
+)
+register_candidate(
+    "arbiter-lossy",
+    "the arbiter candidate over a FaultyNetwork with a drop=1 budget",
+    _arbiter_lossy,
+)
+register_candidate(
+    "exchange-lossy",
+    "the exchange candidate over a FaultyNetwork with a drop=1 budget",
+    _exchange_lossy,
+)
+
+
 def build_system(name: str, n: int, resilience: int):
     """Instantiate the named candidate system (the CLI's registry too)."""
-    from ..protocols import (
-        delegation_consensus_system,
-        last_writer_register_system,
-        tob_delegation_system,
-    )
-
-    if name == "delegation":
-        return delegation_consensus_system(n, resilience)
-    if name == "tob":
-        return tob_delegation_system(n, resilience)
-    if name == "last-writer":
-        return last_writer_register_system()
-    raise WireError(
-        f"unknown candidate {name!r}; try: {', '.join(sorted(CANDIDATES))}"
-    )
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise WireError(
+            f"unknown candidate {name!r}; try: {', '.join(sorted(CANDIDATES))}"
+        )
+    return builder(n, resilience)
 
 
 @dataclass(frozen=True)

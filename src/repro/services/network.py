@@ -43,9 +43,26 @@ def deliver(sender: Hashable, message: Hashable) -> tuple:
 
 
 def network_type(
-    endpoints: Sequence, messages: Sequence
+    endpoints: Sequence, messages: Sequence, *, strict: bool = False
 ) -> FailureObliviousServiceType:
-    """The service type of the asynchronous reliable FIFO network."""
+    """The service type of the asynchronous reliable FIFO network.
+
+    **Unknown targets.**  By default (``strict=False``) a
+    ``send(j, m)`` whose target ``j`` is not in ``endpoints`` is
+    *accepted and silently discarded*: the invocation set contains every
+    3-tuple starting with ``"send"``, and ``delta1`` performs the send
+    as a legal, total step that delivers nothing.  This mirrors a
+    datagram network that routes to nowhere, and keeps the type total —
+    but it can hide protocol bugs (a typoed endpoint never errors).
+
+    With ``strict=True`` the endpoint set is treated as static and
+    closed: sends to unknown targets are **not invocations of the
+    type** (``contains_invocation`` rejects them, so the service never
+    accepts the ``invoke`` as an input), and a stray one reaching
+    ``delta1`` anyway raises ``ValueError``.  :class:`Channel` uses
+    strict mode — a directed channel's two endpoints are fixed at
+    construction, so an unknown target is always a bug.
+    """
     endpoints = tuple(endpoints)
     messages = tuple(messages)
 
@@ -54,6 +71,11 @@ def network_type(
             raise ValueError(f"network: unknown invocation {invocation!r}")
         _, target, message = invocation
         if target not in endpoints:
+            if strict:
+                raise ValueError(
+                    f"network: send to unknown target {target!r} "
+                    f"(endpoints are {endpoints!r})"
+                )
             # Sends to unknown targets vanish (still a legal, total step).
             return (({}, value),)
         return (({target: (deliver(endpoint, message),)}, value),)
@@ -62,11 +84,13 @@ def network_type(
         raise ValueError("network has no global tasks")
 
     def member(invocation) -> bool:
-        return (
+        if not (
             isinstance(invocation, tuple)
             and len(invocation) == 3
             and invocation[0] == "send"
-        )
+        ):
+            return False
+        return invocation[1] in endpoints if strict else True
 
     return FailureObliviousServiceType(
         name="async-network",
@@ -118,6 +142,11 @@ class Channel(CanonicalFailureObliviousService):
     Pairwise channels let a system give different links different
     resilience — the "arbitrary connection pattern" freedom Theorems 2
     and 9 explicitly allow.
+
+    The endpoint set of a channel is static (fixed at construction), so
+    the channel uses the network type's *strict* mode: a send addressed
+    to anything but the channel's two endpoints is rejected as a
+    non-invocation instead of silently vanishing.
     """
 
     def __init__(
@@ -130,7 +159,7 @@ class Channel(CanonicalFailureObliviousService):
     ) -> None:
         endpoints = (sender, receiver)
         super().__init__(
-            service_type=network_type(endpoints, messages),
+            service_type=network_type(endpoints, messages, strict=True),
             endpoints=endpoints,
             resilience=resilience,
             service_id=channel_id(sender, receiver),

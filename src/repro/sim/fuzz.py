@@ -1,0 +1,588 @@
+"""The adversary fuzzer: generate candidates, break them, shrink proof.
+
+The bivalence-preserving adversary of :mod:`repro.analysis` is a proof
+artifact; this module turns it — together with the simulation harness —
+into a general protocol-falsification engine:
+
+* **candidate generation** — :class:`CandidateSpec` names a protocol
+  family (the message-passing candidates over a
+  :class:`~repro.sim.faults.FaultyNetwork`, or the seeded
+  :class:`RandomTableProcess` family of mostly-wrong consensus
+  attempts) plus a fault budget; every spec is a pure value, so a
+  failing candidate is reconstructible from its JSON form;
+* **campaigns** — :func:`fuzz` sweeps seeded simulations over specs,
+  checking agreement, validity, and stuck-undecided termination each
+  run; :func:`probe_with_adversary` points the full
+  :func:`~repro.analysis.refute_candidate` pipeline at a spec for the
+  exhaustive (bivalence/hook) treatment;
+* **shrinking** — a failing schedule is minimized by delta debugging
+  (ddmin) over the task script plus greedy input pruning, replaying
+  each candidate through the non-strict
+  :class:`~repro.ioa.scheduler.ScriptedScheduler` and keeping the
+  reduction only if the violation (same axioms) survives; the shrunk
+  script is then **strict-replayed twice** and the two executions must
+  compare equal — the bit-for-bit determinism guarantee;
+* **replay scripts** — every :class:`Counterexample` serializes to the
+  JSON document ``repro sim --replay`` verifies offline, and knows the
+  one-line command to do so.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Sequence
+
+from ..ioa.actions import Action
+from ..obs.events import FUZZ_CANDIDATE, SHRINK_STEP
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.sinks import NULL_TRACER, Tracer
+from ..system.process import Process
+from .faults import FaultBudget, FaultyNetwork
+from .harness import SimConfig, SimResult, replay, script_document, simulate
+
+#: Families :func:`build_candidate` understands.
+FAMILIES = ("exchange", "arbiter", "random-table")
+
+
+@dataclass(frozen=True)
+class CandidateSpec:
+    """A reconstructible description of one candidate protocol.
+
+    ``faults`` is the sorted ``(field, budget)`` tuple form of a flat
+    :class:`FaultBudget` (kept as a tuple so specs stay hashable);
+    ``gen_seed`` parameterizes the ``random-table`` family and is
+    ignored by the named ones.
+    """
+
+    family: str
+    n: int = 2
+    resilience: int = 0
+    faults: tuple = ()
+    gen_seed: int | None = None
+
+    def budget(self) -> FaultBudget:
+        """The spec's fault budget as a :class:`FaultBudget`."""
+        return FaultBudget.from_json(dict(self.faults))
+
+    def to_json(self) -> dict:
+        return {
+            "family": self.family,
+            "n": self.n,
+            "resilience": self.resilience,
+            "faults": dict(self.faults),
+            "gen_seed": self.gen_seed,
+        }
+
+    @classmethod
+    def from_json(cls, document: Mapping) -> "CandidateSpec":
+        """Validate a candidate document back into a spec."""
+        family = document.get("family")
+        if family not in FAMILIES:
+            raise ValueError(
+                f"unknown candidate family {family!r}; try: {', '.join(FAMILIES)}"
+            )
+        faults = document.get("faults") or {}
+        budget = FaultBudget.from_json(faults)  # validates the fields
+        return cls(
+            family=family,
+            n=int(document.get("n", 2)),
+            resilience=int(document.get("resilience", 0)),
+            faults=tuple(sorted(budget.to_json().items())),
+            gen_seed=document.get("gen_seed"),
+        )
+
+    def describe(self) -> str:
+        """A one-line human-readable label."""
+        parts = [f"{self.family}(n={self.n}, f={self.resilience})"]
+        if self.faults:
+            parts.append("faults=" + ",".join(f"{k}={v}" for k, v in self.faults))
+        if self.gen_seed is not None:
+            parts.append(f"gen_seed={self.gen_seed}")
+        return " ".join(parts)
+
+
+class RandomTableProcess(Process):
+    """A consensus attempt drawn from a seeded family of decision rules.
+
+    Each process broadcasts its proposal, waits for a seeded number of
+    deliveries, and decides by a seeded combination rule (own value,
+    first/last received, min/max, or a constant).  Most draws violate
+    agreement, validity, or termination under some schedule — exactly
+    the population a falsification engine should be exercised on.  The
+    table is a pure function of ``(gen_seed, endpoint)``, so candidates
+    are reconstructible from the spec alone.
+    """
+
+    RULES = ("own", "first", "last", "min", "max", "const0", "const1")
+
+    def __init__(
+        self, endpoint: Hashable, peers: Sequence, network_id: Hashable, gen_seed: int
+    ) -> None:
+        self.peers = tuple(peers)
+        self.network_id = network_id
+        # String seeds hash via SHA-512, independent of PYTHONHASHSEED.
+        rng = random.Random(f"random-table:{gen_seed}:{endpoint}")
+        self.rule = rng.choice(self.RULES)
+        self.wait_for = rng.randint(0, len(self.peers))
+        super().__init__(
+            endpoint, connections=(network_id,), input_values=(0, 1)
+        )
+
+    # locals = (phase, own, received tuple, broadcast cursor)
+    def initial_locals(self):
+        return ("idle", None, (), 0)
+
+    def handle_input(self, locals_value, action: Action):
+        phase, own, received, cursor = locals_value
+        if action.kind == "init" and phase == "idle":
+            return ("cast", action.args[1], received, 0)
+        if action.kind == "respond" and action.args[0] == self.network_id:
+            response = action.args[2]
+            if isinstance(response, tuple) and response[0] == "deliver":
+                return (phase, own, received + (response[2],), cursor)
+        return locals_value
+
+    def _decision(self, own, received):
+        if self.rule == "own":
+            return own
+        if self.rule == "first":
+            return received[0] if received else own
+        if self.rule == "last":
+            return received[-1] if received else own
+        if self.rule == "min":
+            return min((own,) + received)
+        if self.rule == "max":
+            return max((own,) + received)
+        return 0 if self.rule == "const0" else 1
+
+    def next_action(self, locals_value):
+        phase, own, received, cursor = locals_value
+        if phase == "cast":
+            if cursor < len(self.peers):
+                from ..services.network import send
+
+                target = self.peers[cursor]
+                return (
+                    Action("invoke", (self.network_id, self.endpoint, send(target, own))),
+                    ("cast", own, received, cursor + 1),
+                )
+            return None, ("wait", own, received, cursor)
+        if phase == "wait" and len(received) >= self.wait_for:
+            value = self._decision(own, received)
+            return (
+                Action("decide", (self.endpoint, value)),
+                ("done", own, received, cursor),
+            )
+        return None, locals_value
+
+
+def _random_table_system(n: int, resilience: int, budget: FaultBudget, gen_seed: int):
+    from ..system.system import DistributedSystem
+
+    network_id = "net"
+    endpoints = tuple(range(n))
+    network = FaultyNetwork(
+        network_id,
+        endpoints=endpoints,
+        messages=(0, 1),
+        resilience=resilience,
+        budget=budget,
+    )
+    processes = [
+        RandomTableProcess(
+            endpoint,
+            peers=tuple(e for e in endpoints if e != endpoint),
+            network_id=network_id,
+            gen_seed=gen_seed,
+        )
+        for endpoint in endpoints
+    ]
+    return DistributedSystem(processes, services=[network])
+
+
+def build_candidate(spec: CandidateSpec):
+    """Instantiate a spec as a :class:`~repro.system.DistributedSystem`.
+
+    Named families run over a :class:`FaultyNetwork` with the spec's
+    budget (the zero budget yields the benign network automaton
+    state-for-state, so specs without faults are the classic
+    candidates).
+    """
+    budget = spec.budget()
+    if spec.family == "exchange":
+        from ..protocols.message_passing import exchange_consensus_system
+
+        return exchange_consensus_system(spec.resilience, faults=budget)
+    if spec.family == "arbiter":
+        from ..protocols.message_passing import arbiter_consensus_system
+
+        return arbiter_consensus_system(max(spec.n, 3), spec.resilience, faults=budget)
+    if spec.family == "random-table":
+        gen_seed = spec.gen_seed if spec.gen_seed is not None else 0
+        return _random_table_system(max(spec.n, 2), spec.resilience, budget, gen_seed)
+    raise ValueError(f"unknown candidate family {spec.family!r}")
+
+
+def random_spec(rng: random.Random, families: Sequence[str] = FAMILIES) -> CandidateSpec:
+    """Draw a random candidate spec: family, size, budget, table seed."""
+    family = rng.choice(tuple(families))
+    faults = {}
+    for field_name in ("drop", "duplicate", "reorder", "skew"):
+        if rng.random() < 0.4:
+            faults[field_name] = rng.randint(1, 2)
+    if rng.random() < 0.2:
+        faults["partitions"] = 1
+    return CandidateSpec(
+        family=family,
+        n=rng.randint(2, 3),
+        resilience=0,
+        faults=tuple(sorted(faults.items())),
+        gen_seed=rng.randrange(2**16) if family == "random-table" else None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Counterexample:
+    """A minimized failing schedule with its replay artifact.
+
+    ``result`` is the strict replay of the shrunk script (its execution
+    is the minimal violating trace); ``original_steps`` the length of
+    the schedule the fuzzer first found.
+    """
+
+    spec: CandidateSpec
+    seed: int
+    result: SimResult
+    original_steps: int
+    shrink_rounds: int = 0
+
+    @property
+    def shrunk_steps(self) -> int:
+        """Steps in the minimized schedule."""
+        return self.result.steps
+
+    @property
+    def shrink_ratio(self) -> float:
+        """Fraction of the original schedule removed (0..1)."""
+        if self.original_steps == 0:
+            return 0.0
+        return 1.0 - (self.shrunk_steps / self.original_steps)
+
+    @property
+    def violations(self) -> list:
+        """The axioms the minimized schedule still violates."""
+        return self.result.violations
+
+    def to_document(self) -> dict:
+        """The JSON replay script ``repro sim --replay`` verifies."""
+        return script_document(self.spec.to_json(), self.result)
+
+    def replay_command(self, path) -> str:
+        """The one-line offline reproduction command."""
+        return f"PYTHONPATH=src python -m repro sim --replay {path}"
+
+    def summary(self) -> str:
+        """A one-line report: what broke and how much the shrink cut."""
+        axioms = ", ".join(v.axiom for v in self.violations)
+        return (
+            f"{self.spec.describe()} seed={self.seed}: {axioms}; "
+            f"schedule {self.original_steps} -> {self.shrunk_steps} steps "
+            f"({100 * self.shrink_ratio:.0f}% shrunk, "
+            f"{self.shrink_rounds} rounds)"
+        )
+
+
+def _axioms(result: SimResult) -> frozenset:
+    return frozenset(violation.axiom for violation in result.violations)
+
+
+def shrink_counterexample(
+    spec: CandidateSpec,
+    seed: int,
+    found: SimResult,
+    *,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
+) -> Counterexample:
+    """Minimize a failing schedule by ddmin plus greedy input pruning.
+
+    Candidates are replayed non-strictly (disabled tasks skipped) and a
+    reduction is kept only when every originally violated axiom is
+    still violated; the kept script is always the *effective* fired
+    sequence, so dead entries never survive.  The final script is
+    strict-replayed twice and the two executions must be equal — any
+    nondeterminism would be a harness bug and raises immediately.
+    """
+    system = build_candidate(spec)
+    target_axioms = _axioms(found)
+    proposals = dict(found.proposals)
+    script = list(found.script)
+    inputs = list(found.inputs)
+    original_steps = len(script)
+    rounds = 0
+
+    def attempt(tasks, candidate_inputs) -> SimResult | None:
+        result = replay(
+            system,
+            tuple(tasks),
+            inputs=tuple(candidate_inputs),
+            proposals=proposals,
+            strict=False,
+            metrics=metrics,
+        )
+        if target_axioms <= _axioms(result):
+            return result
+        return None
+
+    def adopt(result: SimResult, tasks_before: int) -> None:
+        nonlocal script, rounds
+        script = list(result.script)
+        rounds += 1
+        if tracer.enabled:
+            tracer.emit(
+                SHRINK_STEP, before=tasks_before, after=len(script), round=rounds
+            )
+        if metrics.enabled:
+            metrics.counter("fuzz.shrink_rounds").inc()
+
+    # Greedy input pruning first: fewer crashes, simpler schedules.
+    index = len(inputs) - 1
+    while index >= 0:
+        candidate_inputs = inputs[:index] + inputs[index + 1 :]
+        result = attempt(script, candidate_inputs)
+        if result is not None:
+            inputs = candidate_inputs
+            adopt(result, len(script))
+        index -= 1
+
+    # Classic ddmin over the task script.
+    chunks = 2
+    while len(script) >= 2:
+        length = len(script)
+        chunk_size = max(1, length // chunks)
+        reduced = False
+        start = 0
+        while start < len(script):
+            candidate_tasks = script[:start] + script[start + chunk_size :]
+            if not candidate_tasks:
+                start += chunk_size
+                continue
+            result = attempt(candidate_tasks, inputs)
+            if result is not None:
+                adopt(result, length)
+                reduced = True
+                break
+            start += chunk_size
+        if reduced:
+            chunks = max(chunks - 1, 2)
+            continue
+        if chunk_size <= 1:
+            break
+        chunks = min(len(script), chunks * 2)
+
+    # Final greedy single-task sweep until a fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        for position in range(len(script) - 1, -1, -1):
+            candidate_tasks = script[:position] + script[position + 1 :]
+            result = attempt(candidate_tasks, inputs)
+            if result is not None:
+                adopt(result, len(script) + 1)
+                changed = True
+                break
+
+    # The determinism guarantee, enforced: two strict replays, equal runs.
+    first = replay(
+        system, tuple(script), inputs=tuple(inputs), proposals=proposals, strict=True
+    )
+    second = replay(
+        system, tuple(script), inputs=tuple(inputs), proposals=proposals, strict=True
+    )
+    if first.execution != second.execution:
+        raise RuntimeError(
+            "shrunk script replayed differently twice — determinism broken"
+        )
+    if not target_axioms <= _axioms(first):
+        raise RuntimeError(
+            "shrunk script lost its violation under strict replay"
+        )
+    final_config = SimConfig(
+        seed=seed,
+        max_steps=found.config.max_steps,
+        proposals=tuple(sorted(proposals.items(), key=repr)),
+        crashes=tuple(
+            (step, action.args[0]) for step, action in inputs
+        ),
+        fault_rate=found.config.fault_rate,
+    )
+    final = SimResult(
+        config=final_config,
+        proposals=proposals,
+        execution=first.execution,
+        script=first.script,
+        inputs=first.inputs,
+        decisions=first.decisions,
+        failed=first.failed,
+        violations=first.violations,
+        quiescent=first.quiescent,
+        fault_count=first.fault_count,
+    )
+    if metrics.enabled:
+        metrics.counter("fuzz.counterexamples").inc()
+    return Counterexample(
+        spec=spec,
+        seed=seed,
+        result=final,
+        original_steps=original_steps,
+        shrink_rounds=rounds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Campaigns
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FuzzReport:
+    """What a fuzz campaign covered and what it found."""
+
+    specs_tried: int
+    runs: int
+    steps: int
+    elapsed: float
+    found: list = field(default_factory=list)
+
+    @property
+    def schedules_per_second(self) -> float:
+        """Simulated schedules per wall-clock second."""
+        return self.runs / self.elapsed if self.elapsed > 0 else 0.0
+
+    def summary(self) -> str:
+        """A short human-readable campaign report."""
+        lines = [
+            f"fuzz: {self.specs_tried} candidates, {self.runs} schedules "
+            f"({self.steps} steps) in {self.elapsed:.2f}s "
+            f"({self.schedules_per_second:.0f} schedules/s), "
+            f"{len(self.found)} counterexample(s)"
+        ]
+        lines.extend("  " + ce.summary() for ce in self.found)
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "specs_tried": self.specs_tried,
+            "runs": self.runs,
+            "steps": self.steps,
+            "elapsed": self.elapsed,
+            "schedules_per_second": self.schedules_per_second,
+            "found": [
+                {
+                    "spec": ce.spec.to_json(),
+                    "seed": ce.seed,
+                    "violations": [[v.axiom, v.detail] for v in ce.violations],
+                    "original_steps": ce.original_steps,
+                    "shrunk_steps": ce.shrunk_steps,
+                    "shrink_ratio": ce.shrink_ratio,
+                }
+                for ce in self.found
+            ],
+        }
+
+
+def fuzz(
+    specs: Sequence[CandidateSpec] | None = None,
+    *,
+    campaigns: int = 8,
+    runs: int = 8,
+    seed: int = 0,
+    max_steps: int = 300,
+    fault_rate: float | None = 0.3,
+    crash_budget: int = 0,
+    families: Sequence[str] = FAMILIES,
+    stop_after: int | None = 1,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
+) -> FuzzReport:
+    """Run a seeded fuzz campaign; shrink every counterexample found.
+
+    With ``specs`` given, exactly those candidates are attacked (the CI
+    smoke path targets a known-refutable spec this way); otherwise
+    ``campaigns`` random specs are drawn from ``families``.  Each spec
+    gets up to ``runs`` seeded schedules; ``crash_budget`` adds that
+    many random crash inputs per schedule.  The campaign stops early
+    after ``stop_after`` counterexamples (``None`` = never).  The whole
+    campaign is a pure function of ``seed``.
+    """
+    rng = random.Random(seed)
+    if specs is None:
+        spec_list = [random_spec(rng, families) for _ in range(campaigns)]
+    else:
+        spec_list = list(specs)
+    report = FuzzReport(specs_tried=0, runs=0, steps=0, elapsed=0.0)
+    started = time.monotonic()
+    for spec in spec_list:
+        report.specs_tried += 1
+        if tracer.enabled:
+            tracer.emit(FUZZ_CANDIDATE, candidate=spec.describe())
+        if metrics.enabled:
+            metrics.counter("fuzz.candidates").inc()
+        system = build_candidate(spec)
+        endpoints = tuple(system.process_ids)
+        for _ in range(runs):
+            sim_seed = rng.randrange(2**31)
+            crashes = tuple(
+                (rng.randrange(max_steps // 2 or 1), rng.choice(endpoints))
+                for _ in range(crash_budget)
+            )
+            config = SimConfig(
+                seed=sim_seed,
+                max_steps=max_steps,
+                crashes=crashes,
+                fault_rate=fault_rate,
+            )
+            result = simulate(system, config, tracer=tracer, metrics=metrics)
+            report.runs += 1
+            report.steps += result.steps
+            if result.violations:
+                report.found.append(
+                    shrink_counterexample(
+                        spec, sim_seed, result, tracer=tracer, metrics=metrics
+                    )
+                )
+                break
+        if stop_after is not None and len(report.found) >= stop_after:
+            break
+    report.elapsed = time.monotonic() - started
+    return report
+
+
+def probe_with_adversary(
+    spec: CandidateSpec,
+    *,
+    budget=None,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
+):
+    """Point the bivalence-preserving adversary at a spec.
+
+    Runs the full :func:`repro.analysis.refute_candidate` pipeline
+    (Lemma 4 bivalence search, the Fig. 3 hook, Lemmas 6-8) against the
+    candidate, claiming one more level of resilience than the spec's
+    services provide — the deep end of the fuzzer, for candidates the
+    schedule sampler cannot break.
+    """
+    from ..analysis.adversary import refute_candidate
+
+    system = build_candidate(spec)
+    return refute_candidate(
+        system, tracer=tracer, metrics=metrics, budget=budget
+    )

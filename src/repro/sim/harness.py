@@ -1,0 +1,483 @@
+"""Deterministic simulation: one seed, one run, bit-for-bit replayable.
+
+FoundationDB-style simulation testing rests on one invariant: the whole
+run — scheduling, fault injection, crashes — is a pure function of a
+single seed, and the realized schedule can be replayed exactly.  This
+harness provides that for any :class:`~repro.system.DistributedSystem`:
+
+* :func:`simulate` drives a system under a seeded
+  :class:`SimScheduler` (uniform over enabled tasks, optionally biased
+  toward fault tasks), applies a crash schedule, detects quiescence,
+  and checks the consensus safety axioms plus stuck-undecided liveness;
+* the realized run is summarized as a **task script** — the system is
+  deterministic per task (Section 3.1), so the script plus the inputs
+  reconstructs the execution exactly;
+* :func:`replay` re-runs a script through the existing
+  :class:`~repro.ioa.scheduler.ScriptedScheduler`; replaying the script
+  of a :class:`SimResult` yields an :class:`~repro.ioa.execution.Execution`
+  that compares **equal** to the recorded one (bit-for-bit replay);
+* :func:`script_document` / :func:`save_script` / :func:`load_script`
+  serialize a run as a JSON replay script (the artifact the fuzzer
+  emits and ``repro sim --replay`` consumes), and
+  :func:`verify_replay` replays such a document and refuses any
+  divergence loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Hashable, Mapping, Sequence
+
+from ..analysis.consensus_spec import (
+    Violation,
+    check_agreement,
+    check_modified_termination,
+    check_validity,
+)
+from ..ioa.actions import Action, fail
+from ..ioa.automaton import Automaton, State, Task
+from ..ioa.execution import Execution
+from ..ioa.scheduler import Scheduler, ScriptedScheduler, run
+from ..obs.events import FAULT_FIRED, SIM_RUN, decode_value, encode_value
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.sinks import NULL_TRACER, Tracer
+from ..system.system import DistributedSystem
+
+#: The ``kind`` field of every sim replay script document.
+SCRIPT_KIND = "repro-sim-replay"
+SCRIPT_VERSION = 1
+
+
+class ReplayMismatch(RuntimeError):
+    """A replayed script diverged from its recorded run."""
+
+
+def _is_fault_task(task: Task) -> bool:
+    name = task.name
+    return isinstance(name, tuple) and bool(name) and name[0] == "fault"
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """One simulation run, fully determined by these values.
+
+    ``proposals`` is a sorted tuple of ``(endpoint, value)`` pairs (empty
+    means the balanced alternating 0/1 assignment); ``crashes`` is a
+    tuple of ``(step_index, endpoint)`` pairs delivered as ``fail``
+    inputs; ``fault_rate`` biases the scheduler toward fault tasks when
+    both fault and ordinary tasks are enabled (``None`` = uniform over
+    everything enabled).
+    """
+
+    seed: int = 0
+    max_steps: int = 400
+    proposals: tuple = ()
+    crashes: tuple = ()
+    fault_rate: float | None = None
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "max_steps": self.max_steps,
+            "proposals": encode_value(self.proposals),
+            "crashes": encode_value(self.crashes),
+            "fault_rate": self.fault_rate,
+        }
+
+
+class SimScheduler(Scheduler):
+    """Seeded uniform scheduler with an optional fault-task bias.
+
+    With ``fault_rate`` unset, behaves like
+    :class:`~repro.ioa.scheduler.RandomScheduler`.  With it set, when
+    both fault and ordinary tasks are enabled the scheduler flips a
+    seeded coin: with probability ``fault_rate`` it picks among fault
+    tasks, otherwise among ordinary ones — concentrating the adversary's
+    budget without losing determinism.
+    """
+
+    def __init__(self, seed: int = 0, fault_rate: float | None = None) -> None:
+        self._seed = seed
+        self._fault_rate = fault_rate
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+    def choose(self, automaton: Automaton, state: State) -> Task | None:
+        enabled = automaton.enabled_tasks(state)
+        if not enabled:
+            return None
+        if self._fault_rate is not None:
+            faults = [task for task in enabled if _is_fault_task(task)]
+            others = [task for task in enabled if not _is_fault_task(task)]
+            if faults and others:
+                pool = faults if self._rng.random() < self._fault_rate else others
+                return self._rng.choice(pool)
+        return self._rng.choice(enabled)
+
+
+def is_quiescent(automaton: Automaton, state: State) -> bool:
+    """True iff every enabled transition is a self-loop.
+
+    In a quiescent state the run can only spin on dummy steps forever;
+    the execution is therefore already "fair at infinity", which is what
+    licenses checking modified termination on a finite prefix.
+    """
+    for task in automaton.tasks():
+        for transition in automaton.enabled(state, task):
+            if transition.post != state:
+                return False
+    return True
+
+
+def balanced_proposals(system: DistributedSystem) -> dict:
+    """The alternating 0/1 assignment (the probe/bench convention)."""
+    return {endpoint: index % 2 for index, endpoint in enumerate(system.process_ids)}
+
+
+def _resolve_proposals(system: DistributedSystem, proposals) -> dict:
+    resolved = dict(proposals)
+    return resolved if resolved else balanced_proposals(system)
+
+
+@dataclass
+class SimResult:
+    """Everything one simulation run produced, replay-ready.
+
+    ``script`` is the realized task sequence (scheduled steps only);
+    ``inputs`` the ``(step, action)`` pairs applied during the run;
+    ``execution`` the run itself, starting *after* initialization.
+    ``violations`` holds the safety axioms broken in the final state
+    plus — only when the run ended ``quiescent`` — stuck-undecided
+    modified-termination violations.
+    """
+
+    config: SimConfig
+    proposals: dict
+    execution: Execution
+    script: tuple
+    inputs: tuple
+    decisions: dict
+    failed: frozenset
+    violations: list = field(default_factory=list)
+    quiescent: bool = False
+    fault_count: int = 0
+
+    @property
+    def steps(self) -> int:
+        """Scheduled steps taken (inputs excluded)."""
+        return len(self.script)
+
+    @property
+    def ok(self) -> bool:
+        """True iff no axiom was violated."""
+        return not self.violations
+
+    def summary(self) -> str:
+        """A one-line human-readable verdict."""
+        verdict = (
+            "ok"
+            if self.ok
+            else "VIOLATION " + ", ".join(v.axiom for v in self.violations)
+        )
+        return (
+            f"seed={self.config.seed} steps={self.steps} "
+            f"faults={self.fault_count} decisions={self.decisions!r} "
+            f"quiescent={self.quiescent} -> {verdict}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "config": self.config.to_json(),
+            "steps": self.steps,
+            "fault_count": self.fault_count,
+            "quiescent": self.quiescent,
+            "decisions": encode_value(
+                tuple(sorted(self.decisions.items(), key=repr))
+            ),
+            "violations": [[v.axiom, v.detail] for v in self.violations],
+        }
+
+
+def _check_run(
+    system: DistributedSystem,
+    execution: Execution,
+    proposals: Mapping,
+    quiescent: bool,
+) -> tuple[dict, frozenset, list]:
+    final = execution.final_state
+    decisions = system.decisions(final)
+    failed = system.failed_processes(final)
+    violations: list[Violation] = []
+    violations.extend(check_agreement(decisions))
+    violations.extend(check_validity(decisions, proposals))
+    if quiescent:
+        # Only a quiescent prefix soundly witnesses non-termination:
+        # every task has been offered its turn forever after.
+        violations.extend(check_modified_termination(decisions, proposals, failed))
+    return dict(decisions), failed, violations
+
+
+def _emit_run_events(
+    tracer: Tracer, metrics: MetricsRegistry, result: SimResult
+) -> None:
+    if tracer.enabled:
+        for index, step in enumerate(result.execution.steps):
+            if step.task is not None and step.action.kind == "fault":
+                tracer.emit(
+                    FAULT_FIRED,
+                    process=step.action.args[0],
+                    action=step.action,
+                    step=index,
+                )
+        tracer.emit(
+            SIM_RUN,
+            seed=result.config.seed,
+            steps=result.steps,
+            faults=result.fault_count,
+            quiescent=result.quiescent,
+            violations=[violation.axiom for violation in result.violations],
+        )
+    if metrics.enabled:
+        metrics.counter("sim.runs").inc()
+        metrics.counter("sim.steps").inc(result.steps)
+        metrics.counter("sim.faults").inc(result.fault_count)
+        if result.violations:
+            metrics.counter("sim.violations").inc()
+
+
+def _finish(
+    system: DistributedSystem,
+    config: SimConfig,
+    proposals: dict,
+    execution: Execution,
+    inputs: tuple,
+    tracer: Tracer,
+    metrics: MetricsRegistry,
+) -> SimResult:
+    quiescent = is_quiescent(system, execution.final_state)
+    decisions, failed, violations = _check_run(
+        system, execution, proposals, quiescent
+    )
+    script = tuple(step.task for step in execution.steps if step.task is not None)
+    fault_count = sum(
+        1
+        for step in execution.steps
+        if step.task is not None and step.action.kind == "fault"
+    )
+    result = SimResult(
+        config=config,
+        proposals=proposals,
+        execution=execution,
+        script=script,
+        inputs=inputs,
+        decisions=decisions,
+        failed=failed,
+        violations=violations,
+        quiescent=quiescent,
+        fault_count=fault_count,
+    )
+    _emit_run_events(tracer, metrics, result)
+    return result
+
+
+def simulate(
+    system: DistributedSystem,
+    config: SimConfig = SimConfig(),
+    *,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
+) -> SimResult:
+    """Run ``system`` under the seeded scheduler; check the axioms.
+
+    The run stops when every live inited process has decided, when the
+    system goes quiescent (only self-loops remain enabled), or after
+    ``config.max_steps`` — whichever comes first.  The returned
+    :class:`SimResult` carries the realized task script; feeding it to
+    :func:`replay` reproduces the identical execution.
+    """
+    proposals = _resolve_proposals(system, config.proposals)
+    initialization = system.initialization(proposals)
+    inputs = tuple((step, fail(endpoint)) for step, endpoint in config.crashes)
+    scheduler = SimScheduler(config.seed, config.fault_rate)
+
+    def stop(execution: Execution) -> bool:
+        state = execution.final_state
+        live = set(proposals) - system.failed_processes(state)
+        if live <= set(system.decisions(state)):
+            return True
+        return is_quiescent(system, state)
+
+    execution = run(
+        system,
+        scheduler,
+        max_steps=config.max_steps,
+        start=initialization.final_state,
+        inputs=inputs,
+        stop=stop,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    return _finish(system, config, proposals, execution, inputs, tracer, metrics)
+
+
+def replay(
+    system: DistributedSystem,
+    script: Sequence[Task],
+    *,
+    inputs: Sequence[tuple[int, Action]] = (),
+    proposals: Mapping | tuple = (),
+    config: SimConfig | None = None,
+    strict: bool = True,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
+) -> SimResult:
+    """Re-run a recorded task script through the scripted scheduler.
+
+    With ``strict=True`` (the default) a script task that is not enabled
+    at its turn raises — the contract for scripts produced by
+    :func:`simulate` or the shrinker, which are always strict-replayable
+    from the same initialization.  ``strict=False`` skips disabled
+    tasks, which is what delta-debugging candidates need; the result's
+    ``script`` then records the *effective* fired sequence.
+    """
+    resolved = _resolve_proposals(system, proposals)
+    initialization = system.initialization(resolved)
+    scheduler = ScriptedScheduler(tuple(script), strict=strict)
+    inputs = tuple(inputs)
+    execution = run(
+        system,
+        scheduler,
+        max_steps=len(tuple(script)) + 1,
+        start=initialization.final_state,
+        inputs=inputs,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    if metrics.enabled:
+        metrics.counter("sim.replays").inc()
+    replay_config = config if config is not None else SimConfig(
+        seed=-1,
+        max_steps=len(tuple(script)) + 1,
+        proposals=tuple(sorted(resolved.items(), key=repr)),
+        crashes=(),
+    )
+    return _finish(system, replay_config, resolved, execution, inputs, tracer, metrics)
+
+
+# ---------------------------------------------------------------------------
+# Replay script documents
+# ---------------------------------------------------------------------------
+
+
+def script_document(candidate: Mapping, result: SimResult) -> dict:
+    """Serialize a run as a JSON replay script.
+
+    ``candidate`` is an opaque candidate spec document (interpreted by
+    :func:`repro.sim.fuzz.build_candidate` or any caller-supplied
+    builder); the rest captures everything needed to reproduce and
+    verify the run: proposals, inputs, the task script, the per-step
+    actions (for divergence detection), and the expected violations.
+    """
+    return {
+        "kind": SCRIPT_KIND,
+        "version": SCRIPT_VERSION,
+        "candidate": dict(candidate),
+        "seed": result.config.seed,
+        "proposals": encode_value(tuple(sorted(result.proposals.items(), key=repr))),
+        "inputs": [
+            [step, encode_value(action)] for step, action in result.inputs
+        ],
+        "tasks": [encode_value(task) for task in result.script],
+        "actions": [
+            encode_value(step.action)
+            for step in result.execution.steps
+            if step.task is not None
+        ],
+        "violations": [[v.axiom, v.detail] for v in result.violations],
+    }
+
+
+def save_script(path, document: Mapping) -> None:
+    """Write a replay script document as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(dict(document), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_script(path) -> dict:
+    """Read a replay script document, decoding the replay-critical fields."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if raw.get("kind") != SCRIPT_KIND:
+        raise ValueError(f"{path}: not a {SCRIPT_KIND} document")
+    document = dict(raw)
+    document["proposals"] = decode_value(raw.get("proposals", {"__tuple__": []}))
+    document["inputs"] = tuple(
+        (step, decode_value(action)) for step, action in raw.get("inputs", [])
+    )
+    document["tasks"] = tuple(decode_value(task) for task in raw.get("tasks", []))
+    document["actions"] = tuple(
+        decode_value(action) for action in raw.get("actions", [])
+    )
+    document["violations"] = [
+        Violation(axiom=axiom, detail=detail)
+        for axiom, detail in raw.get("violations", [])
+    ]
+    return document
+
+
+def verify_replay(
+    system: DistributedSystem,
+    document: Mapping,
+    *,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
+) -> SimResult:
+    """Strict-replay a loaded script document and verify it bit-for-bit.
+
+    Raises :class:`ReplayMismatch` if the fired action sequence diverges
+    from the recorded one or the recorded violations fail to reproduce
+    (same axioms).  On success returns the replayed :class:`SimResult`.
+    """
+    proposals = dict(document["proposals"])
+    result = replay(
+        system,
+        document["tasks"],
+        inputs=document["inputs"],
+        proposals=proposals,
+        config=SimConfig(
+            seed=int(document.get("seed", -1)),
+            max_steps=len(document["tasks"]) + 1,
+            proposals=tuple(sorted(proposals.items(), key=repr)),
+        ),
+        strict=True,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    fired = tuple(
+        step.action for step in result.execution.steps if step.task is not None
+    )
+    recorded = tuple(document.get("actions", ()))
+    if recorded and fired != recorded:
+        for index, (got, expected) in enumerate(zip(fired, recorded)):
+            if got != expected:
+                raise ReplayMismatch(
+                    f"replay diverged at step {index}: fired {got!r}, "
+                    f"recorded {expected!r}"
+                )
+        raise ReplayMismatch(
+            f"replay fired {len(fired)} actions, recorded {len(recorded)}"
+        )
+    expected_axioms = {v.axiom for v in document.get("violations", [])}
+    replayed_axioms = {v.axiom for v in result.violations}
+    if not expected_axioms <= replayed_axioms:
+        raise ReplayMismatch(
+            f"replay reproduced {sorted(replayed_axioms)!r}, "
+            f"expected at least {sorted(expected_axioms)!r}"
+        )
+    return result

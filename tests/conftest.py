@@ -1,4 +1,11 @@
-"""Shared fixtures: small canonical systems used across the test suite."""
+"""Shared fixtures: small canonical systems used across the test suite.
+
+Also the replay-hint protocol for randomized tests: a test that draws a
+seed registers it (plus the one-line reproduction command) through the
+``replay_hint`` fixture, and any failure then carries a ``replay``
+report section showing exactly how to re-run that schedule offline —
+seeds never die in CI logs unprinted.
+"""
 
 import pytest
 
@@ -6,6 +13,42 @@ from repro.ioa import invoke
 from repro.services import CanonicalAtomicObject, CanonicalRegister
 from repro.system import DistributedSystem, ScriptProcess
 from repro.types import binary_consensus_type, read_write_type
+
+
+@pytest.fixture
+def replay_hint(request):
+    """Register ``(seed, command)`` pairs surfaced when this test fails.
+
+    Usage::
+
+        def test_random_thing(replay_hint):
+            seed = 1234
+            replay_hint(seed, f"PYTHONPATH=src python -m repro sim "
+                              f"exchange --seed {seed} --faults drop=1")
+            ...
+
+    On failure the pytest report gains a ``replay`` section listing every
+    registered seed and its one-line reproduction command.
+    """
+    hints = request.node._replay_hints = []
+
+    def _register(seed, command=None) -> None:
+        line = f"seed={seed}"
+        if command:
+            line += f"  replay: {command}"
+        hints.append(line)
+
+    return _register
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        hints = getattr(item, "_replay_hints", None)
+        if hints:
+            report.sections.append(("replay", "\n".join(hints)))
 
 
 @pytest.fixture

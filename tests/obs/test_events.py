@@ -87,7 +87,11 @@ class TestTraceEvent:
         assert "state_quarantined" in KINDS
         assert "span_start" in KINDS
         assert "span_end" in KINDS
-        assert len(KINDS) == 18
+        assert "sim_run" in KINDS
+        assert "fault_fired" in KINDS
+        assert "fuzz_candidate" in KINDS
+        assert "shrink_step" in KINDS
+        assert len(KINDS) == 22
 
 
 class TestTracerStamping:

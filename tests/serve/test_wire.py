@@ -117,4 +117,61 @@ class TestErrorDocument:
 
 class TestRegistry:
     def test_candidates_cover_the_paper(self):
-        assert set(CANDIDATES) == {"delegation", "tob", "last-writer"}
+        assert set(CANDIDATES) == {
+            "delegation",
+            "tob",
+            "last-writer",
+            "arbiter",
+            "exchange",
+            "arbiter-lossy",
+            "exchange-lossy",
+        }
+
+    def test_every_candidate_builds_and_round_trips(self):
+        """Registry entries build; JobSpec round-trips through JSON."""
+        from repro.serve import build_system
+
+        for name in CANDIDATES:
+            system = build_system(name, 3, 0)
+            assert system.process_ids
+            spec = JobSpec.from_json({"candidate": name, "n": 3, "f": 0})
+            back = JobSpec.from_json(spec.to_json())
+            assert back.candidate == name
+            assert back == spec
+
+    def test_lossy_candidates_carry_fault_tasks(self):
+        from repro.serve import build_system
+
+        benign = build_system("exchange", 2, 0)
+        lossy = build_system("exchange-lossy", 2, 0)
+        benign_tasks = {task for a in benign.components for task in a.tasks()}
+        lossy_tasks = {task for a in lossy.components for task in a.tasks()}
+        extra = lossy_tasks - benign_tasks
+        assert extra and all(task.name[0] == "fault" for task in extra)
+
+    def test_register_candidate_rejects_bad_names(self):
+        from repro.serve import register_candidate
+
+        with pytest.raises(WireError):
+            register_candidate("", "blurb", lambda n, f: None)
+
+    def test_registered_candidate_is_buildable_and_replaceable(self):
+        from repro.serve import build_system, register_candidate
+        from repro.serve.wire import _BUILDERS
+
+        sentinel = object()
+        original_blurb = dict(CANDIDATES)
+        original_builders = dict(_BUILDERS)
+        try:
+            register_candidate("zzz-test", "a test entry", lambda n, f: sentinel)
+            assert build_system("zzz-test", 1, 0) is sentinel
+            assert "zzz-test" in CANDIDATES
+            replacement = object()
+            register_candidate("zzz-test", "shadowed", lambda n, f: replacement)
+            assert build_system("zzz-test", 1, 0) is replacement
+            assert CANDIDATES["zzz-test"] == "shadowed"
+        finally:
+            CANDIDATES.clear()
+            CANDIDATES.update(original_blurb)
+            _BUILDERS.clear()
+            _BUILDERS.update(original_builders)

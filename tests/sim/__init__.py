@@ -1,0 +1,1 @@
+"""Tests for repro.sim: fault automata, harness, and fuzzer."""

@@ -1,0 +1,208 @@
+"""FaultyNetwork semantics: budgets, fault transitions, conservativity.
+
+The headline regression is conservativity: a :class:`FaultyNetwork`
+with a zero budget must be *state-for-state identical* to the benign
+:class:`AsynchronousNetwork` — same start state, same tasks, and the
+same explored state graph on Theorem 9's message-passing instance.
+"""
+
+import pytest
+
+from repro.analysis import DeterministicSystemView
+from repro.core import explore
+from repro.ioa.actions import Action
+from repro.ioa.automaton import Task
+from repro.protocols.message_passing import (
+    arbiter_consensus_system,
+    exchange_consensus_system,
+)
+from repro.services.base import ServiceState
+from repro.services.network import AsynchronousNetwork, deliver, send
+from repro.sim import FaultBudget, FaultyChannel, FaultyNetwork, faulty_network_type
+
+
+def make_network(budget, endpoints=(0, 1, 2), resilience=0):
+    return FaultyNetwork(
+        "net", endpoints=endpoints, messages=(0, 1), resilience=resilience,
+        budget=budget,
+    )
+
+
+def with_inflight(net, receiver, entries):
+    """A start state with ``entries`` already in ``receiver``'s buffer."""
+    state = net.some_start_state()
+    position = net.endpoint_position(receiver)
+    resp_buffers = list(state.resp_buffers)
+    resp_buffers[position] = tuple(entries)
+    return ServiceState(
+        val=state.val,
+        inv_buffers=state.inv_buffers,
+        resp_buffers=tuple(resp_buffers),
+        failed=state.failed,
+    )
+
+
+def fault_task(net, *name):
+    return Task(net.name, ("fault",) + name)
+
+
+def fire(net, state, task):
+    transitions = net.enabled(state, task)
+    assert len(transitions) == 1, f"{task} not uniquely enabled"
+    return transitions[0]
+
+
+class TestFaultBudget:
+    def test_zero_budget_has_empty_val_and_no_fault_tasks(self):
+        net = make_network(FaultBudget())
+        assert net.budget.is_zero(net.endpoints)
+        assert net.some_start_state().val == ()
+        assert not [t for t in net.tasks() if t.name[0] == "fault"]
+
+    def test_json_round_trip(self):
+        budget = FaultBudget(drop=2, duplicate=1, partitions=1)
+        assert FaultBudget.from_json(budget.to_json()) == budget
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            FaultBudget.from_json({"drops": 1})
+
+    def test_to_json_rejects_per_link_mappings(self):
+        with pytest.raises(ValueError):
+            FaultBudget(drop={(0, 1): 2}).to_json()
+
+    def test_per_link_mapping_budgets(self):
+        net = make_network(FaultBudget(drop={(0, 1): 1}))
+        drops = [t for t in net.tasks() if t.name[:2] == ("fault", "drop")]
+        assert [t.name[2:] for t in drops] == [(0, 1)]
+
+
+class TestConservativity:
+    def test_zero_budget_graph_identical_to_benign_network(self):
+        """Theorem 9's instance: zero budget => identical state graph."""
+        benign = arbiter_consensus_system(3, 0)
+        faulty = arbiter_consensus_system(3, 0, faults=FaultBudget())
+
+        def graph(system):
+            root = system.initialization(
+                {pid: pid % 2 for pid in system.process_ids}
+            ).final_state
+            return explore(DeterministicSystemView(system), root)
+
+        benign_graph, faulty_graph = graph(benign), graph(faulty)
+        assert benign_graph.states == faulty_graph.states
+        assert benign_graph.edges == faulty_graph.edges
+
+    def test_zero_budget_network_matches_benign_interface(self):
+        benign = AsynchronousNetwork("net", (0, 1), (0, 1), resilience=0)
+        faulty = make_network(FaultBudget(), endpoints=(0, 1))
+        assert tuple(benign.tasks()) == tuple(faulty.tasks())
+        assert benign.some_start_state() == faulty.some_start_state()
+
+
+class TestFaultTransitions:
+    def test_drop_removes_oldest_from_sender_and_spends_budget(self):
+        net = make_network(FaultBudget(drop=1))
+        state = with_inflight(net, 2, [deliver(0, 1), deliver(1, 0), deliver(0, 0)])
+        transition = fire(net, state, fault_task(net, "drop", 0, 2))
+        assert transition.action == Action("fault", ("net", "drop", 0, 2))
+        assert net.resp_buffer(transition.post, 2) == (deliver(1, 0), deliver(0, 0))
+        # budget spent: the same drop is no longer enabled
+        assert net.enabled(transition.post, fault_task(net, "drop", 0, 2)) == []
+
+    def test_drop_disabled_with_no_matching_inflight_message(self):
+        net = make_network(FaultBudget(drop=1))
+        state = with_inflight(net, 2, [deliver(1, 0)])
+        assert net.enabled(state, fault_task(net, "drop", 0, 2)) == []
+
+    def test_duplicate_inserts_copy_in_place(self):
+        net = make_network(FaultBudget(duplicate=1))
+        state = with_inflight(net, 2, [deliver(0, 1), deliver(1, 0)])
+        transition = fire(net, state, fault_task(net, "dup", 0, 2))
+        assert net.resp_buffer(transition.post, 2) == (
+            deliver(0, 1), deliver(0, 1), deliver(1, 0),
+        )
+
+    def test_reorder_swaps_only_across_senders(self):
+        net = make_network(FaultBudget(reorder=1))
+        same = with_inflight(net, 2, [deliver(0, 1), deliver(0, 0)])
+        assert net.enabled(same, fault_task(net, "reorder", 2, 0)) == []
+        mixed = with_inflight(net, 2, [deliver(0, 1), deliver(1, 0)])
+        transition = fire(net, mixed, fault_task(net, "reorder", 2, 0))
+        assert net.resp_buffer(transition.post, 2) == (deliver(1, 0), deliver(0, 1))
+
+    def test_skew_delays_as_far_as_fifo_allows(self):
+        net = make_network(FaultBudget(skew=1))
+        state = with_inflight(
+            net, 2, [deliver(0, 1), deliver(1, 0), deliver(1, 1), deliver(0, 0)]
+        )
+        transition = fire(net, state, fault_task(net, "skew", 0, 2))
+        # 0's oldest message moves just before 0's next message.
+        assert net.resp_buffer(transition.post, 2) == (
+            deliver(1, 0), deliver(1, 1), deliver(0, 1), deliver(0, 0),
+        )
+
+    def test_skew_disabled_when_delay_changes_nothing(self):
+        net = make_network(FaultBudget(skew=1))
+        state = with_inflight(net, 2, [deliver(0, 1)])
+        assert net.enabled(state, fault_task(net, "skew", 0, 2)) == []
+
+    def test_partition_blocks_crossing_sends_until_heal(self):
+        budget = FaultBudget(partitions=1, cuts=(frozenset({0}),))
+        net = make_network(budget)
+        state = net.some_start_state()
+        cut = fire(net, state, fault_task(net, "part", 0))
+        assert ("cut", 0) in cut.post.val
+        # a perform for a crossing message loses it while the cut is up
+        delivery, value = net.service_type.delta1(send(1, "m"), 0, cut.post.val)[0]
+        assert delivery == {}
+        # ...but an intra-side message still goes through
+        delivery, _ = net.service_type.delta1(send(2, "m"), 1, cut.post.val)[0]
+        assert delivery == {2: (deliver(1, "m"),)}
+        healed = fire(net, cut.post, fault_task(net, "heal"))
+        assert ("cut", 0) not in healed.post.val
+        # the partition budget is spent: no second cut
+        assert net.enabled(healed.post, fault_task(net, "part", 0)) == []
+
+    def test_every_fault_task_has_at_most_one_transition(self):
+        """The determinism contract DeterministicSystemView enforces."""
+        net = make_network(
+            FaultBudget(drop=1, duplicate=1, reorder=1, skew=1, partitions=1)
+        )
+        state = with_inflight(net, 2, [deliver(0, 1), deliver(1, 0)])
+        for task in net.tasks():
+            if task.name[0] == "fault":
+                assert len(net.enabled(state, task)) <= 1
+
+
+class TestFaultyExploration:
+    def test_faulty_exchange_explores_without_nondeterminism(self):
+        system = exchange_consensus_system(0, faults=FaultBudget(drop=1))
+        root = system.initialization({0: 0, 1: 1}).final_state
+        graph = explore(DeterministicSystemView(system), root)
+        benign = exchange_consensus_system(0)
+        benign_root = benign.initialization({0: 0, 1: 1}).final_state
+        benign_graph = explore(DeterministicSystemView(benign), benign_root)
+        # the fault adversary strictly enlarges the reachable graph
+        assert len(graph.states) > len(benign_graph.states)
+        fault_edges = [
+            action
+            for successors in graph.edges.values()
+            for _, action, _ in successors
+            if action.kind == "fault"
+        ]
+        assert fault_edges
+
+
+class TestStrictAndChannel:
+    def test_faulty_channel_rejects_unknown_targets(self):
+        channel = FaultyChannel(0, 1, messages=(0, 1), budget=FaultBudget(drop=1))
+        assert channel.name == "chan[0->1]"
+        assert not channel.service_type.contains_invocation(send(9, 0))
+        with pytest.raises(ValueError):
+            channel.service_type.delta1(send(9, 0), 0, ())
+
+    def test_faulty_network_type_lax_by_default(self):
+        lax = faulty_network_type((0, 1), (0, 1), FaultBudget(drop=1))
+        assert lax.contains_invocation(send(9, 0))
+        assert lax.delta1(send(9, 0), 0, ()) == (({}, ()),)

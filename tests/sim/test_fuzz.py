@@ -1,0 +1,170 @@
+"""Adversary fuzzer: candidate generation, shrinking, counterexamples.
+
+The acceptance-criterion test lives here: a seeded fuzz campaign
+against the deliberately broken lossy exchange candidate must find a
+violation, shrink the failing schedule by at least half, and produce a
+script that strict-replays bit-for-bit.
+"""
+
+import pytest
+
+from repro.sim import (
+    FAMILIES,
+    CandidateSpec,
+    FaultBudget,
+    SimConfig,
+    build_candidate,
+    fuzz,
+    load_script,
+    random_spec,
+    replay,
+    save_script,
+    shrink_counterexample,
+    simulate,
+    verify_replay,
+)
+
+LOSSY_EXCHANGE = CandidateSpec(
+    family="exchange", n=2, resilience=0, faults=(("drop", 1),)
+)
+
+
+class TestCandidateSpec:
+    def test_json_round_trip(self):
+        spec = CandidateSpec(
+            family="random-table", n=3, resilience=1,
+            faults=(("drop", 2), ("reorder", 1)), gen_seed=9,
+        )
+        assert CandidateSpec.from_json(spec.to_json()) == spec
+
+    def test_from_json_rejects_unknown_family(self):
+        with pytest.raises(ValueError):
+            CandidateSpec.from_json({"family": "paxos-9000"})
+
+    def test_budget_reconstruction(self):
+        assert LOSSY_EXCHANGE.budget() == FaultBudget(drop=1)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_every_family_builds(self, family):
+        spec = CandidateSpec(family=family, n=3, gen_seed=5)
+        system = build_candidate(spec)
+        assert system.process_ids
+
+    def test_random_spec_is_seeded(self):
+        import random
+
+        specs_a = [random_spec(random.Random(11)) for _ in range(5)]
+        specs_b = [random_spec(random.Random(11)) for _ in range(5)]
+        assert specs_a == specs_b
+
+
+class TestRandomTableFamily:
+    def test_same_gen_seed_same_tables(self):
+        spec = CandidateSpec(family="random-table", n=3, gen_seed=4)
+        first, second = build_candidate(spec), build_candidate(spec)
+        result_a = simulate(first, SimConfig(seed=2))
+        result_b = simulate(second, SimConfig(seed=2))
+        assert result_a.execution == result_b.execution
+
+    def test_gen_seed_varies_behavior(self):
+        decisions = set()
+        for gen_seed in range(8):
+            spec = CandidateSpec(family="random-table", n=2, gen_seed=gen_seed)
+            result = simulate(build_candidate(spec), SimConfig(seed=0))
+            decisions.add(tuple(sorted(result.decisions.items())))
+        assert len(decisions) > 1
+
+
+class TestShrinking:
+    def test_shrinks_at_least_half_and_replays_bit_for_bit(self, replay_hint):
+        """The ISSUE acceptance criterion, asserted end to end."""
+        system = build_candidate(LOSSY_EXCHANGE)
+        config = SimConfig(seed=18, max_steps=300, fault_rate=0.4)
+        replay_hint(
+            18,
+            "PYTHONPATH=src python -m repro sim exchange --faults drop=1 "
+            "--seed 18 --fault-rate 0.4",
+        )
+        found = simulate(system, config)
+        assert not found.ok
+        counterexample = shrink_counterexample(LOSSY_EXCHANGE, 18, found)
+        assert counterexample.shrink_ratio >= 0.5
+        assert counterexample.shrunk_steps < counterexample.original_steps
+        # the shrunk script still witnesses the same axiom
+        assert {v.axiom for v in counterexample.violations} >= {
+            v.axiom for v in found.violations
+        }
+        # and strict-replays to an identical execution
+        result = counterexample.result
+        again = replay(
+            system,
+            result.script,
+            inputs=result.inputs,
+            proposals=result.proposals,
+            config=result.config,
+        )
+        assert again.execution == result.execution
+
+    def test_counterexample_document_round_trips(self, tmp_path):
+        system = build_candidate(LOSSY_EXCHANGE)
+        found = simulate(system, SimConfig(seed=0, max_steps=300, fault_rate=0.4))
+        counterexample = shrink_counterexample(LOSSY_EXCHANGE, 0, found)
+        path = tmp_path / "shrunk.json"
+        save_script(path, counterexample.to_document())
+        document = load_script(path)
+        spec = CandidateSpec.from_json(document["candidate"])
+        assert spec == LOSSY_EXCHANGE
+        verified = verify_replay(build_candidate(spec), document)
+        assert verified.execution == counterexample.result.execution
+
+    def test_replay_command_is_one_line(self):
+        system = build_candidate(LOSSY_EXCHANGE)
+        found = simulate(system, SimConfig(seed=0, max_steps=300, fault_rate=0.4))
+        counterexample = shrink_counterexample(LOSSY_EXCHANGE, 0, found)
+        command = counterexample.replay_command("cex.json")
+        assert command == "PYTHONPATH=src python -m repro sim --replay cex.json"
+        assert "\n" not in command
+
+
+class TestFuzzCampaigns:
+    def test_seeded_campaign_finds_and_shrinks_lossy_exchange(self, replay_hint):
+        replay_hint(
+            19,
+            "PYTHONPATH=src python -m repro fuzz --family exchange "
+            "--faults drop=1 --seed 19 --expect-violation",
+        )
+        report = fuzz(specs=[LOSSY_EXCHANGE], runs=8, seed=19)
+        assert report.found
+        counterexample = report.found[0]
+        assert counterexample.shrink_ratio >= 0.5
+        assert any(
+            v.axiom == "modified-termination" for v in counterexample.violations
+        )
+
+    def test_campaign_is_a_pure_function_of_seed(self):
+        first = fuzz(specs=[LOSSY_EXCHANGE], runs=4, seed=123)
+        second = fuzz(specs=[LOSSY_EXCHANGE], runs=4, seed=123)
+        assert [c.seed for c in first.found] == [c.seed for c in second.found]
+        assert first.runs == second.runs and first.steps == second.steps
+
+    def test_benign_exchange_survives_fuzzing(self):
+        benign = CandidateSpec(family="exchange", n=2, resilience=0)
+        report = fuzz(specs=[benign], runs=12, seed=5)
+        assert not report.found
+        assert report.runs == 12
+
+    def test_random_campaign_reports_work_done(self):
+        report = fuzz(campaigns=3, runs=2, seed=9, stop_after=None)
+        assert report.specs_tried == 3
+        assert report.runs >= 3  # shrink-interrupted specs may stop early
+        assert report.elapsed > 0
+        assert report.schedules_per_second > 0
+        document = report.to_json()
+        assert document["specs_tried"] == 3
+
+    def test_stop_after_halts_early(self):
+        report = fuzz(
+            specs=[LOSSY_EXCHANGE, LOSSY_EXCHANGE], runs=8, seed=0, stop_after=1
+        )
+        assert len(report.found) == 1
+        assert report.specs_tried == 1

@@ -1,0 +1,226 @@
+"""Deterministic simulation harness: seeds, replay, script documents.
+
+The FoundationDB-style contract under test: a :class:`SimConfig` seed
+fully determines a run, the recorded task script strict-replays to a
+bit-for-bit equal :class:`~repro.ioa.execution.Execution`, and a saved
+script document survives the disk round-trip and re-verifies.
+"""
+
+import pytest
+
+from repro.analysis.consensus_spec import Violation
+from repro.protocols.message_passing import (
+    arbiter_consensus_system,
+    exchange_consensus_system,
+)
+from repro.sim import (
+    FaultBudget,
+    ReplayMismatch,
+    SimConfig,
+    balanced_proposals,
+    is_quiescent,
+    load_script,
+    replay,
+    save_script,
+    script_document,
+    simulate,
+    verify_replay,
+)
+
+LOSSY = FaultBudget(drop=1)
+
+
+def lossy_exchange():
+    return exchange_consensus_system(0, faults=LOSSY)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    def test_same_seed_same_execution(self, seed, replay_hint):
+        config = SimConfig(seed=seed, fault_rate=0.4)
+        replay_hint(
+            seed,
+            f"PYTHONPATH=src python -m repro sim exchange "
+            f"--faults drop=1 --seed {seed}",
+        )
+        first = simulate(lossy_exchange(), config)
+        second = simulate(lossy_exchange(), config)
+        assert first.execution == second.execution
+        assert first.script == second.script
+        assert first.inputs == second.inputs
+
+    def test_different_seeds_diverge_somewhere(self):
+        runs = {
+            simulate(lossy_exchange(), SimConfig(seed=seed, fault_rate=0.4)).script
+            for seed in range(6)
+        }
+        assert len(runs) > 1
+
+    def test_crashes_are_injected_as_fail_inputs(self):
+        result = simulate(
+            exchange_consensus_system(0), SimConfig(seed=3, crashes=((0, 0),))
+        )
+        assert 0 in result.failed
+
+    def test_fault_rate_biases_toward_faults(self):
+        fast = sum(
+            simulate(
+                lossy_exchange(), SimConfig(seed=s, fault_rate=0.9)
+            ).fault_count
+            for s in range(10)
+        )
+        slow = sum(
+            simulate(
+                lossy_exchange(), SimConfig(seed=s, fault_rate=0.0)
+            ).fault_count
+            for s in range(10)
+        )
+        assert fast > slow
+
+
+class TestQuiescenceAndViolations:
+    def test_benign_exchange_decides_without_violations(self):
+        result = simulate(exchange_consensus_system(0), SimConfig(seed=1))
+        assert result.ok
+        assert result.decisions == {0: 0, 1: 0}
+
+    def test_dropped_message_yields_stuck_undecided(self):
+        result = simulate(lossy_exchange(), SimConfig(seed=0, fault_rate=0.4))
+        assert result.quiescent
+        assert any(v.axiom == "modified-termination" for v in result.violations)
+
+    def test_is_quiescent_on_decided_states(self):
+        system = exchange_consensus_system(0)
+        result = simulate(system, SimConfig(seed=1))
+        assert is_quiescent(system, result.execution.final_state)
+
+    def test_termination_not_reported_before_quiescence(self):
+        # a run truncated after 1 step is not quiescent: no verdict
+        result = simulate(
+            lossy_exchange(), SimConfig(seed=0, max_steps=1, fault_rate=0.4)
+        )
+        assert not result.quiescent
+        assert not any(
+            v.axiom == "modified-termination" for v in result.violations
+        )
+
+
+class TestReplay:
+    def test_strict_replay_is_bit_for_bit(self):
+        system = lossy_exchange()
+        found = simulate(system, SimConfig(seed=0, fault_rate=0.4))
+        again = replay(
+            system,
+            found.script,
+            inputs=found.inputs,
+            proposals=found.proposals,
+            config=found.config,
+        )
+        assert again.execution == found.execution
+        assert again.violations == found.violations
+
+    def test_strict_replay_rejects_disabled_tasks(self):
+        from repro.ioa.automaton import Task
+
+        system = lossy_exchange()
+        found = simulate(system, SimConfig(seed=0, fault_rate=0.4))
+        bogus = (Task("net[net]", ("fault", "drop", 1, 0)),) * 5 + found.script
+        with pytest.raises(Exception):
+            replay(system, bogus, inputs=found.inputs, proposals=found.proposals)
+
+    def test_lenient_replay_records_effective_script(self):
+        system = lossy_exchange()
+        found = simulate(system, SimConfig(seed=0, fault_rate=0.4))
+        # drop half the script: lenient replay fires what it can
+        partial = replay(
+            system,
+            found.script[::2],
+            inputs=found.inputs,
+            proposals=found.proposals,
+            strict=False,
+        )
+        assert len(partial.script) <= len(found.script[::2])
+
+
+class TestScriptDocuments:
+    def spec_document(self):
+        return {
+            "family": "exchange",
+            "n": 2,
+            "resilience": 0,
+            "faults": {"drop": 1},
+            "gen_seed": None,
+        }
+
+    def test_document_round_trip_and_verify(self, tmp_path):
+        system = lossy_exchange()
+        found = simulate(system, SimConfig(seed=0, fault_rate=0.4))
+        assert not found.ok
+        document = script_document(self.spec_document(), found)
+        path = tmp_path / "counterexample.json"
+        save_script(path, document)
+        loaded = load_script(path)
+        assert loaded["tasks"] == found.script
+        assert tuple(loaded["inputs"]) == found.inputs
+        assert [v.axiom for v in loaded["violations"]] == [
+            v.axiom for v in found.violations
+        ]
+        result = verify_replay(lossy_exchange(), loaded)
+        assert result.execution == found.execution
+        assert result.config.seed == found.config.seed
+
+    def test_load_script_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "not-a-script.json"
+        path.write_text('{"kind": "something-else"}')
+        with pytest.raises(ValueError):
+            load_script(path)
+
+    def test_verify_replay_detects_action_divergence(self, tmp_path):
+        system = lossy_exchange()
+        found = simulate(system, SimConfig(seed=0, fault_rate=0.4))
+        document = script_document(self.spec_document(), found)
+        # corrupt a recorded action: same tasks, different expectation
+        document["actions"] = list(document["actions"])
+        document["actions"][0] = {"__action__": ["decide", {"__tuple__": [0, 1]}]}
+        path = tmp_path / "tampered.json"
+        save_script(path, document)
+        with pytest.raises(ReplayMismatch):
+            verify_replay(lossy_exchange(), load_script(path))
+
+    def test_verify_replay_detects_missing_violations(self, tmp_path):
+        system = exchange_consensus_system(0)
+        healthy = simulate(system, SimConfig(seed=1))
+        assert healthy.ok
+        document = script_document(
+            {"family": "exchange", "n": 2, "resilience": 0, "faults": {}},
+            healthy,
+        )
+        document["violations"] = [["agreement", "fabricated"]]
+        path = tmp_path / "fabricated.json"
+        save_script(path, document)
+        with pytest.raises(ReplayMismatch):
+            verify_replay(exchange_consensus_system(0), load_script(path))
+
+
+class TestProposals:
+    def test_balanced_proposals_alternate(self):
+        system = arbiter_consensus_system(3, 0)
+        assert balanced_proposals(system) == {0: 0, 1: 1, 2: 0}
+
+    def test_explicit_proposals_respected(self):
+        result = simulate(
+            exchange_consensus_system(0),
+            SimConfig(seed=2, proposals=((0, 1), (1, 1))),
+        )
+        assert result.decisions == {0: 1, 1: 1}
+        assert result.ok
+
+    def test_validity_checked_against_proposals(self):
+        result = simulate(
+            exchange_consensus_system(0),
+            SimConfig(seed=2, proposals=((0, 1), (1, 1))),
+        )
+        assert not any(
+            isinstance(v, Violation) and v.axiom == "validity"
+            for v in result.violations
+        )

@@ -16,6 +16,7 @@ import repro.engine
 import repro.ioa
 import repro.protocols
 import repro.services
+import repro.sim
 import repro.system
 import repro.types
 
@@ -27,6 +28,7 @@ SUBPACKAGES = [
     repro.analysis,
     repro.engine,
     repro.protocols,
+    repro.sim,
 ]
 
 
@@ -78,6 +80,7 @@ class TestExports:
             "protocols",
             "refute_candidate",
             "services",
+            "sim",
             "system",
             "types",
         ]

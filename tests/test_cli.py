@@ -347,3 +347,105 @@ class TestConstructions:
         assert main(["paxos", "-n", "3"]) == 0
         out = capsys.readouterr().out
         assert "ok=True" in out
+
+
+class TestSim:
+    def test_sim_benign_exchange_exits_0(self, capsys):
+        assert main(["sim", "exchange", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "exchange(n=2, f=0)" in out
+        assert "-> ok" in out
+
+    def test_sim_lossy_exchange_finds_violation_and_saves_script(
+        self, capsys, tmp_path
+    ):
+        script = str(tmp_path / "run.json")
+        code = main(
+            ["sim", "exchange", "--faults", "drop=1", "--seed", "18",
+             "--fault-rate", "0.4", "-o", script]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION modified-termination" in out
+        assert "repro sim --replay" in out
+
+    def test_sim_replay_round_trip(self, capsys, tmp_path):
+        script = str(tmp_path / "run.json")
+        main(
+            ["sim", "exchange", "--faults", "drop=1", "--seed", "18",
+             "--fault-rate", "0.4", "-o", script]
+        )
+        capsys.readouterr()
+        assert main(["sim", "--replay", script]) == 0
+        out = capsys.readouterr().out
+        assert "Replay OK" in out
+
+    def test_sim_replay_detects_tampering(self, capsys, tmp_path):
+        import json
+
+        script = str(tmp_path / "run.json")
+        main(
+            ["sim", "exchange", "--faults", "drop=1", "--seed", "18",
+             "--fault-rate", "0.4", "-o", script]
+        )
+        capsys.readouterr()
+        document = json.loads(open(script).read())
+        document["actions"] = list(reversed(document["actions"]))
+        open(script, "w").write(json.dumps(document))
+        assert main(["sim", "--replay", script]) == 1
+        assert "REPLAY MISMATCH" in capsys.readouterr().out
+
+    def test_sim_json_output(self, capsys):
+        import json
+
+        assert main(["sim", "exchange", "--seed", "1", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["candidate"]["family"] == "exchange"
+        assert document["violations"] == []
+
+    def test_sim_requires_family_or_replay(self):
+        with pytest.raises(SystemExit):
+            main(["sim"])
+
+    def test_sim_rejects_malformed_faults(self):
+        with pytest.raises(SystemExit):
+            main(["sim", "exchange", "--faults", "drop=lots"])
+        with pytest.raises(SystemExit):
+            main(["sim", "exchange", "--faults", "explode=1"])
+
+
+class TestFuzz:
+    def test_fuzz_expect_violation_finds_and_saves(self, capsys, tmp_path):
+        script = str(tmp_path / "cex.json")
+        code = main(
+            ["fuzz", "--family", "exchange", "--faults", "drop=1",
+             "--seed", "19", "--expect-violation", "-o", script]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "counterexample" in out
+        assert "% shrunk" in out
+        # the saved script replays bit-for-bit
+        assert main(["sim", "--replay", script]) == 0
+        assert "Replay OK" in capsys.readouterr().out
+
+    def test_fuzz_expect_violation_fails_on_benign_candidate(self, capsys):
+        code = main(
+            ["fuzz", "--family", "exchange", "--seed", "3", "--runs", "4",
+             "--campaigns", "1", "--expect-violation"]
+        )
+        assert code == 1
+        assert "none found" in capsys.readouterr().err
+
+    def test_fuzz_json_report(self, capsys):
+        import json
+
+        assert main(["fuzz", "--campaigns", "2", "--runs", "2", "--seed", "9",
+                     "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["specs_tried"] >= 1
+        assert "schedules_per_second" in document
+
+    def test_fuzz_faults_requires_single_family(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--faults", "drop=1"])
