@@ -3,9 +3,16 @@
 The engine is the scalable successor of
 :func:`repro.analysis.explorer.explore` (which now delegates here):
 
-* :mod:`repro.engine.fingerprint` — canonical, hash-seed-independent
-  state digests; the visited set stores 8-16-byte digests instead of
-  full states, with an optional collision-audit mode;
+* :mod:`repro.engine.codec`       — the canonical packed-bytes state
+  representation (:class:`Codec`): one TLV encoding that is both the
+  fingerprint preimage and the wire/checkpoint format, with a verified
+  decode path and component/string interning;
+* :mod:`repro.engine.fingerprint` — hash-seed-independent state digests
+  (``blake2b`` over the packed bytes); the visited set stores 8-16-byte
+  digests instead of full states, with an optional collision-audit mode;
+* :mod:`repro.engine.visited`     — the lock-free shared-memory visited
+  table (:class:`SharedVisitedTable`) forked workers consult before
+  shipping successors back to the coordinator;
 * :mod:`repro.engine.budget`      — the unified :class:`Budget`
   (``max_states`` / ``max_transitions`` / ``deadline_seconds``) and the
   structured :class:`BudgetExhausted` carrying partial-progress stats;
@@ -39,6 +46,14 @@ from .budget import (
     resolve_budget,
 )
 from .chaos import FaultPlan
+from .codec import (
+    Codec,
+    CodecError,
+    decode_bytes,
+    digest_of_packed,
+    register_codec_type,
+    registered_codec_types,
+)
 from .checkpoint import (
     Checkpoint,
     CheckpointError,
@@ -67,6 +82,11 @@ from .fingerprint import (
     shard_of,
 )
 from .parallel import WorkerPool, fork_available
+from .visited import (
+    LocalVisitedFilter,
+    SharedVisitedTable,
+    shared_memory_available,
+)
 from .reduction import (
     Canonicalizer,
     ReducedView,
@@ -84,6 +104,8 @@ __all__ = [
     "Canonicalizer",
     "Checkpoint",
     "CheckpointError",
+    "Codec",
+    "CodecError",
     "DEFAULT_BUDGET",
     "DIGEST_SIZE",
     "Deadline",
@@ -93,11 +115,13 @@ __all__ = [
     "FaultPlan",
     "FingerprintCollision",
     "FingerprintIndex",
+    "LocalVisitedFilter",
     "PartitionRetryExhausted",
     "ReducedView",
     "ReductionAuditError",
     "ReductionComparison",
     "ReductionConfig",
+    "SharedVisitedTable",
     "StateIndex",
     "StateQuarantined",
     "WorkerLost",
@@ -107,6 +131,8 @@ __all__ = [
     "canonical_bytes",
     "checkpoint_path",
     "compare_reduction",
+    "decode_bytes",
+    "digest_of_packed",
     "discard_checkpoint",
     "find_checkpoint",
     "fingerprint",
@@ -114,8 +140,11 @@ __all__ = [
     "fork_available",
     "list_checkpoints",
     "load_checkpoint",
+    "register_codec_type",
+    "registered_codec_types",
     "resolve_budget",
     "resume_hint",
     "save_checkpoint",
     "shard_of",
+    "shared_memory_available",
 ]

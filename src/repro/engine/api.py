@@ -79,7 +79,9 @@ from .checkpoint import (
     resume_hint,
     save_checkpoint,
 )
-from .fingerprint import DIGEST_SIZE, FingerprintIndex, StateIndex, fingerprint
+from .codec import Codec, digest_of_packed
+from .errors import EngineError
+from .fingerprint import DIGEST_SIZE, FingerprintIndex, StateIndex
 from .parallel import PRUNED, QUARANTINED, WorkerPool
 
 #: Sequential deadline checks happen every this many expansions.
@@ -105,15 +107,19 @@ class _Run:
         "tracer",
         "tracing",
         "metrics",
+        "codec",
         "index",
         "order",
         "edges",
         "frontier",
+        "packed_of",
+        "resumed_packed",
         "transitions",
         "expanded",
         "rounds",
         "since_checkpoint",
         "resumed",
+        "recovered",
         "started",
         "elapsed_prior",
         "deadline",
@@ -155,6 +161,16 @@ class EngineReport:
     partitions_reassigned: int
     quarantined: tuple = ()
     quarantined_states: tuple = ()
+    #: Peak RSS per worker slot in KiB, as self-reported over the reply
+    #: pipe (forked pools only; empty for in-process runs).  The honest
+    #: memory number for a parallel run is the coordinator's own
+    #: ``ru_maxrss`` *plus* the sum of these — ``RUSAGE_CHILDREN`` only
+    #: folds in children that already exited.
+    worker_rss_kb: tuple = ()
+    #: Successors whose packed bytes were recomputed coordinator-side
+    #: after being lost with a crashed worker (see the engine's
+    #: missing-bytes recovery).
+    recovered_states: int = 0
 
     def summary(self) -> str:
         """One-line human summary (the shared report protocol)."""
@@ -190,6 +206,8 @@ class EngineReport:
             "worker_respawns": self.worker_respawns,
             "partitions_reassigned": self.partitions_reassigned,
             "quarantined": list(self.quarantined),
+            "worker_rss_kb": list(self.worker_rss_kb),
+            "recovered_states": self.recovered_states,
         }
 
 
@@ -414,30 +432,34 @@ class ExplorationEngine:
 
     # -- run setup ------------------------------------------------------------
 
-    def _make_index(self):
+    def _make_index(self, codec: Codec):
         if self.audit:
-            return FingerprintIndex(self.digest_size, audit=True)
+            return FingerprintIndex(self.digest_size, audit=True, codec=codec)
         if self.fingerprints is True or (
             self.fingerprints == "auto" and self.workers > 1
         ):
-            return FingerprintIndex(self.digest_size)
+            return FingerprintIndex(self.digest_size, codec=codec)
         return StateIndex(self.digest_size)
 
     def _start_run(self, view, root, prune, tracer, metrics) -> _Run:
         run = _Run()
         run.view = view
         run.root = root
-        run.root_digest = fingerprint(root, self.digest_size)
+        run.codec = Codec(self.digest_size)
+        packed_root, run.root_digest = run.codec.encode_digest(root)
         run.prune = prune
         run.tracer = tracer
         run.tracing = tracer.enabled
         run.metrics = metrics
-        run.index = self._make_index()
+        run.index = self._make_index(run.codec)
+        run.packed_of = {run.root_digest: packed_root}
+        run.resumed_packed = None
         run.transitions = 0
         run.expanded = 0
         run.rounds = 0
         run.since_checkpoint = 0
         run.resumed = False
+        run.recovered = 0
         run.elapsed_prior = 0.0
         run.action_intern = {}
         run.phase = {}
@@ -453,8 +475,16 @@ class ExplorationEngine:
             run.transitions = checkpoint.transitions
             run.elapsed_prior = checkpoint.elapsed_seconds
             run.resumed = True
+            run.resumed_packed = checkpoint.packed_order
             if isinstance(run.index, StateIndex):
                 run.index.add_states(run.order)
+            elif run.resumed_packed is not None and not self.audit:
+                # A packed (v2) checkpoint restores the digest set from
+                # bytes alone — no state is re-encoded on resume.
+                run.index.add_digests(
+                    digest_of_packed(packed, self.digest_size)
+                    for packed in run.resumed_packed
+                )
             else:
                 for state in run.order:
                     run.index.add(state)
@@ -523,6 +553,7 @@ class ExplorationEngine:
             run.prune,
             self.digest_size,
             self.audit,
+            expected_states=budget.max_states,
             max_worker_restarts=self.max_worker_restarts,
             restart_backoff_seconds=self.restart_backoff_seconds,
             max_partition_retries=self.max_partition_retries,
@@ -534,14 +565,33 @@ class ExplorationEngine:
             metrics=run.metrics,
         ).start()
         run.pool = pool
-        # Coordinator-side digest-to-state table for the fingerprint wire
-        # protocol: every digest in the index has an entry — seeded here,
-        # maintained from the novel lists in worker replies (the pool
-        # owns the per-worker seen/action tables).
+        codec = run.codec
+        # Coordinator-side tables for the packed wire protocol.
+        # ``packed_of`` (digest -> canonical bytes) is the primary one:
+        # every digest in the index has an entry — seeded here from the
+        # root / the checkpoint, maintained from the novel lists in
+        # worker replies, consulted for bootstrap pairs and checkpoints.
+        # ``state_of`` (digest -> decoded state) is the coordinator's
+        # decode memo: each distinct state is decoded exactly once, at
+        # first discovery in the merge loop.
+        packed_of: dict = run.packed_of
         state_of: dict = {run.root_digest: run.root}
         if run.resumed:
-            for state in run.order:
-                state_of.setdefault(run.index.digest(state), state)
+            if run.resumed_packed is not None:
+                for state, packed in zip(run.order, run.resumed_packed):
+                    digest = digest_of_packed(packed, self.digest_size)
+                    packed_of.setdefault(digest, packed)
+                    state_of.setdefault(digest, state)
+            else:
+                for state in run.order:
+                    packed, digest = codec.encode_digest(state)
+                    packed_of.setdefault(digest, packed)
+                    state_of.setdefault(digest, state)
+        if pool.visited is not None:
+            # Seed global membership so workers do not re-ship states the
+            # coordinator already holds (the root, a resumed graph).
+            for digest in packed_of:
+                pool.visited.add(digest)
         tasks = run.view.tasks
         intern_action = run.action_intern
         cancel = self.cancel
@@ -564,7 +614,7 @@ class ExplorationEngine:
                 results = pool.run_round(
                     run.rounds + 1,
                     items,
-                    state_of,
+                    packed_of,
                     run.phase,
                     round_span_id=None if round_span is None else round_span.span_id,
                 )
@@ -585,22 +635,37 @@ class ExplorationEngine:
                         out = []
                         digests = []
                         if self.audit:
-                            for task_index, action, succ_digest, succ in result:
+                            # Audit rows carry packed bytes per edge, and
+                            # each is decoded on its own (never resolved
+                            # through the digest-keyed memo) so the
+                            # audited index still compares full *values*
+                            # and a digest collision cannot hide behind
+                            # the wire format.
+                            for task_index, action, succ_digest, succ_packed in result:
                                 out.append(
                                     (
                                         tasks[task_index],
                                         intern_action.setdefault(action, action),
-                                        succ,
+                                        codec.decode(succ_packed),
                                     )
                                 )
                                 digests.append(succ_digest)
                         else:
                             for task_index, action, succ_digest in result:
+                                succ = state_of.get(succ_digest)
+                                if succ is None:
+                                    packed = packed_of.get(succ_digest)
+                                    if packed is None:
+                                        packed = self._recover_packed(
+                                            run, state, succ_digest
+                                        )
+                                    succ = codec.decode(packed)
+                                    state_of[succ_digest] = succ
                                 out.append(
                                     (
                                         tasks[task_index],
                                         intern_action.setdefault(action, action),
-                                        state_of[succ_digest],
+                                        succ,
                                     )
                                 )
                                 digests.append(succ_digest)
@@ -717,6 +782,37 @@ class ExplorationEngine:
                 STATE_EXPLORED, edges=len(out), frontier=len(run.frontier)
             )
 
+    # -- missing-bytes recovery ----------------------------------------------
+
+    def _recover_packed(self, run: _Run, parent, digest: bytes) -> bytes:
+        """Re-derive packed bytes a worker reply referenced but never shipped.
+
+        Two rare paths get here: the first inserter of ``digest`` into
+        the shared visited table died before its reply left (and no
+        retried chunk re-shipped it), or a torn table slot answered
+        "present" to a digest nobody holds.  Either way the parent state
+        is already known and the view is deterministic, so recomputing
+        ``successors(parent)`` in-process reproduces the exact successor
+        — the identical-graph guarantee never rests on the table.
+        """
+        recovered = None
+        packed_of = run.packed_of
+        for _task, _action, post in run.view.successors(parent):
+            packed, post_digest = run.codec.encode_digest(post)
+            packed_of.setdefault(post_digest, packed)
+            if post_digest == digest:
+                recovered = packed
+        if recovered is None:
+            raise EngineError(
+                f"worker reply referenced digest {digest.hex()} that is not "
+                "a successor of its parent state; the exploration is "
+                "corrupt (please report this)"
+            )
+        run.recovered += 1
+        if run.metrics.enabled:
+            run.metrics.counter("engine.recovered_states").inc()
+        return recovered
+
     # -- checkpointing --------------------------------------------------------
 
     def _maybe_checkpoint(self, run: _Run) -> None:
@@ -743,6 +839,7 @@ class ExplorationEngine:
                 digest_size=self.digest_size,
                 workers=self.workers,
             ),
+            codec=run.codec,
         )
         run.since_checkpoint = 0
         if run.metrics.enabled:
@@ -776,6 +873,15 @@ class ExplorationEngine:
             quarantined_states=(
                 () if pool is None else tuple(state for state, _ in pool.quarantined)
             ),
+            worker_rss_kb=(
+                ()
+                if pool is None
+                else tuple(
+                    pool.worker_rss_kb.get(worker, 0)
+                    for worker in range(pool.workers)
+                )
+            ),
+            recovered_states=run.recovered,
         )
 
     # -- metrics --------------------------------------------------------------
@@ -797,6 +903,20 @@ class ExplorationEngine:
         metrics.counter("engine.runs").inc()
         metrics.counter("engine.expanded").inc(run.expanded)
         metrics.gauge("engine.workers").set(self.workers)
+        # Codec component-cache effectiveness, coordinator + workers
+        # combined (the scaling bench asserts on the hit rate).
+        hits, misses = run.codec.stats()
+        if run.pool is not None:
+            hits += run.pool.cache_hits
+            misses += run.pool.cache_misses
+        if hits:
+            metrics.counter("engine.codec.cache_hits").inc(hits)
+        if misses:
+            metrics.counter("engine.codec.cache_misses").inc(misses)
+        if run.pool is not None and run.pool.visited_overflows:
+            metrics.counter("engine.visited.overflows").inc(
+                run.pool.visited_overflows
+            )
         if run.rounds:
             metrics.counter("engine.rounds").inc(run.rounds)
         if run.resumed:

@@ -23,10 +23,30 @@ several explorations against one checkpoint directory resumes exactly
 the interrupted one and starts the others fresh.  A checkpoint is
 deleted when its exploration completes.
 
-The payload is a pickle (states contain arbitrary user values, and every
-state already crossed a pickle boundary if workers were involved),
-wrapped in a tagged dict so format or version mismatches fail loudly via
-:class:`CheckpointError` rather than as attribute errors downstream.
+Format v2 (packed)
+------------------
+
+Since the packed-bytes refactor the payload stores each state **once**,
+as its canonical packed bytes (:mod:`repro.engine.codec`), with
+``edges`` and ``frontier`` flattened to indices into that list plus
+interned task/action tables.  This kills the v1 format's quadratic
+blowup — pickling ``edges`` used to re-serialize every successor state
+per referencing edge — and gives resume a fast path: the visited digest
+set is rebuilt from the packed bytes alone (``blake2b(packed)`` *is*
+the fingerprint), no state re-encoded.  Tasks, actions, and the
+dataclass/enum classes the codec needs for decoding are pickled by
+reference alongside, so a fresh process (``--resume`` from the CLI) can
+register the classes before decoding.  States the codec cannot
+round-trip (repr-encoded components, unpicklable classes) drop the
+whole payload back to v1-style object pickling (``mode="pickle"``),
+trading size for fidelity.
+
+Compatibility: v1 files (object-pickle payloads from engines before the
+format bump) still **load** — resume works across the bump — but saves
+always write v2.  :attr:`Checkpoint.packed_order` carries the packed
+states out of a v2 load so the engine can seed its tables without
+re-encoding; it is ``None`` for v1 loads and ``mode="pickle"`` v2
+payloads, where the engine falls back to encoding on resume.
 """
 
 from __future__ import annotations
@@ -37,10 +57,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Hashable
 
+from .codec import Codec, CodecError, register_codec_type, registered_codec_types
 from .fingerprint import DIGEST_SIZE, fingerprint
 
 CHECKPOINT_FORMAT = "repro-engine-checkpoint"
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 CHECKPOINT_SUFFIX = ".ckpt"
 
 
@@ -50,7 +71,13 @@ class CheckpointError(RuntimeError):
 
 @dataclass
 class Checkpoint:
-    """One resumable snapshot of an in-progress exploration."""
+    """One resumable snapshot of an in-progress exploration.
+
+    ``packed_order`` mirrors ``order`` as canonical packed bytes when
+    the snapshot came through the packed (v2) path — producers never
+    set it; it is populated by :func:`load_checkpoint` so resume can
+    rebuild digests from bytes alone.
+    """
 
     root: Hashable
     root_digest: bytes
@@ -62,6 +89,7 @@ class Checkpoint:
     digest_size: int = DIGEST_SIZE
     workers: int = 1
     meta: dict = field(default_factory=dict)
+    packed_order: list | None = field(default=None, repr=False, compare=False)
 
 
 def root_digest(root: Hashable, digest_size: int = DIGEST_SIZE) -> bytes:
@@ -74,20 +102,86 @@ def checkpoint_path(directory: str | os.PathLike, digest: bytes) -> Path:
     return Path(directory) / f"engine-{digest.hex()}{CHECKPOINT_SUFFIX}"
 
 
-def save_checkpoint(directory: str | os.PathLike, checkpoint: Checkpoint) -> Path:
-    """Atomically write ``checkpoint`` into ``directory``; returns its path."""
+def _pack_payload(checkpoint: Checkpoint, codec: Codec) -> dict:
+    """The packed (v2) payload body; raises ``CodecError`` if any state
+    cannot round-trip through the codec."""
+    order = checkpoint.order
+    index_of: dict = {}
+    packed_order: list = []
+    for position, state in enumerate(order):
+        packed = codec.encode(state)
+        # Verified identity: a state whose encoding cannot reproduce it
+        # (repr fallback, unregistered semantics) must not be persisted
+        # packed — decode() raises CodecError and we fall back to pickle.
+        if codec.decode(packed) != state:
+            raise CodecError(f"state at order[{position}] does not round-trip")
+        index_of[state] = position
+        packed_order.append(packed)
+    tasks: list = []
+    task_index: dict = {}
+    actions: list = []
+    action_index: dict = {}
+    edges: list = []
+    for state, rows in checkpoint.edges.items():
+        packed_rows = []
+        for task, action, successor in rows:
+            position = task_index.get(task)
+            if position is None:
+                position = task_index[task] = len(tasks)
+                tasks.append(task)
+            slot = action_index.get(action)
+            if slot is None:
+                slot = action_index[action] = len(actions)
+                actions.append(action)
+            packed_rows.append((position, slot, index_of[successor]))
+        edges.append((index_of[state], packed_rows))
+    return {
+        "mode": "packed",
+        "packed_order": packed_order,
+        "edges": edges,
+        "frontier": [index_of[state] for state in checkpoint.frontier],
+        "tasks": tasks,
+        "actions": actions,
+        # Classes the codec needs to decode, pickled by reference so a
+        # fresh process can re-register them before touching the bytes.
+        "codec_types": registered_codec_types(),
+        "root_digest": checkpoint.root_digest,
+        "digest_size": checkpoint.digest_size,
+        "workers": checkpoint.workers,
+        "transitions": checkpoint.transitions,
+        "elapsed_seconds": checkpoint.elapsed_seconds,
+        "meta": checkpoint.meta,
+    }
+
+
+def save_checkpoint(
+    directory: str | os.PathLike,
+    checkpoint: Checkpoint,
+    codec: Codec | None = None,
+) -> Path:
+    """Atomically write ``checkpoint`` into ``directory``; returns its path.
+
+    Pass the run's :class:`~repro.engine.codec.Codec` to reuse its warm
+    component cache; a fresh one is created otherwise.  States that
+    cannot round-trip through the codec (or whose classes cannot be
+    pickled by reference) demote the payload to ``mode="pickle"``.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = checkpoint_path(directory, checkpoint.root_digest)
-    payload = {
-        "format": CHECKPOINT_FORMAT,
-        "version": CHECKPOINT_VERSION,
-        "checkpoint": checkpoint,
-    }
+    payload = {"format": CHECKPOINT_FORMAT, "version": CHECKPOINT_VERSION}
+    if codec is None:
+        codec = Codec(checkpoint.digest_size)
+    try:
+        body = _pack_payload(checkpoint, codec)
+        blob = pickle.dumps(payload | body, protocol=pickle.HIGHEST_PROTOCOL)
+    except (CodecError, pickle.PicklingError, AttributeError, TypeError):
+        body = {"mode": "pickle", "checkpoint": checkpoint}
+        blob = pickle.dumps(payload | body, protocol=pickle.HIGHEST_PROTOCOL)
     temporary = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
     try:
         with open(temporary, "wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.write(blob)
         os.replace(temporary, path)
     finally:
         if temporary.exists():  # pragma: no cover - failed write cleanup
@@ -95,8 +189,46 @@ def save_checkpoint(directory: str | os.PathLike, checkpoint: Checkpoint) -> Pat
     return path
 
 
+def _unpack_payload(payload: dict, path: Path) -> Checkpoint:
+    for cls in payload.get("codec_types", {}).values():
+        try:
+            register_codec_type(cls)
+        except CodecError:
+            # Already registered to the same qualname in this process;
+            # the in-process class wins (it is the one states compare
+            # against).
+            pass
+    codec = Codec(payload["digest_size"])
+    try:
+        order = [codec.decode(packed) for packed in payload["packed_order"]]
+    except CodecError as error:
+        raise CheckpointError(f"{path}: cannot decode packed states: {error}") from error
+    tasks = payload["tasks"]
+    actions = payload["actions"]
+    edges = {
+        order[state_index]: [
+            (tasks[task_slot], actions[action_slot], order[successor_index])
+            for task_slot, action_slot, successor_index in rows
+        ]
+        for state_index, rows in payload["edges"]
+    }
+    return Checkpoint(
+        root=order[0],
+        root_digest=payload["root_digest"],
+        order=order,
+        edges=edges,
+        frontier=[order[index] for index in payload["frontier"]],
+        transitions=payload["transitions"],
+        elapsed_seconds=payload["elapsed_seconds"],
+        digest_size=payload["digest_size"],
+        workers=payload["workers"],
+        meta=payload.get("meta", {}),
+        packed_order=payload["packed_order"],
+    )
+
+
 def load_checkpoint(path: str | os.PathLike) -> Checkpoint:
-    """Load and validate a checkpoint file."""
+    """Load and validate a checkpoint file (v2 packed, v2 pickle, or v1)."""
     path = Path(path)
     try:
         with open(path, "rb") as handle:
@@ -107,15 +239,20 @@ def load_checkpoint(path: str | os.PathLike) -> Checkpoint:
         raise CheckpointError(f"unreadable checkpoint {path}: {error}") from error
     if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
         raise CheckpointError(f"{path} is not a {CHECKPOINT_FORMAT} file")
-    if payload.get("version") != CHECKPOINT_VERSION:
-        raise CheckpointError(
-            f"{path} has checkpoint version {payload.get('version')!r}, "
-            f"this engine reads version {CHECKPOINT_VERSION}"
-        )
-    checkpoint = payload["checkpoint"]
-    if not isinstance(checkpoint, Checkpoint):  # pragma: no cover - corrupt payload
-        raise CheckpointError(f"{path} payload is not a Checkpoint")
-    return checkpoint
+    version = payload.get("version")
+    if version == 1 or (version == 2 and payload.get("mode") == "pickle"):
+        checkpoint = payload.get("checkpoint")
+        if not isinstance(checkpoint, Checkpoint):  # pragma: no cover - corrupt
+            raise CheckpointError(f"{path} payload is not a Checkpoint")
+        return checkpoint
+    if version == 2:
+        if payload.get("mode") != "packed":  # pragma: no cover - corrupt
+            raise CheckpointError(f"{path} has unknown payload mode")
+        return _unpack_payload(payload, path)
+    raise CheckpointError(
+        f"{path} has checkpoint version {version!r}, "
+        f"this engine reads versions 1-{CHECKPOINT_VERSION}"
+    )
 
 
 def find_checkpoint(

@@ -9,13 +9,20 @@ properties make a digest usable for that:
   parts were built.  Python's builtin ``hash`` fails this across
   *processes* (string hashing is salted per interpreter via
   ``PYTHONHASHSEED``), and ``pickle`` fails it for ``frozenset`` (dump
-  order follows salted iteration order).  :func:`canonical_bytes`
+  order follows salted iteration order).  The canonical encoding
   therefore encodes values itself: a tag-length-value scheme in which
   unordered collections are serialized in sorted-encoding order, so the
   encoding is a pure function of the value;
 * **stable** — the encoding depends only on the value's structure, never
   on interpreter state, so digests computed in a worker process, the
   coordinator, or a later resume of a checkpointed run all agree.
+
+The encoding itself lives in :mod:`repro.engine.codec` — since the
+packed-bytes refactor it is the engine's *primary* state representation
+(shipped over worker pipes and stored in checkpoints), not just hash
+input, and the codec adds the decode path and interning caches.  This
+module keeps the digest-level API on top of it: :func:`fingerprint`,
+:func:`shard_of`, and the visited-set indexes.
 
 Soundness: a digest collision would make the engine silently identify
 two distinct states (dropping one subtree of the graph).  With the
@@ -32,13 +39,15 @@ not a production mode).
 
 from __future__ import annotations
 
-import dataclasses
-import enum
-import struct
 from typing import Any, Hashable, Iterable
 
-#: Default digest width in bytes (collision-safe for any feasible run).
-DIGEST_SIZE = 16
+from .codec import (  # noqa: F401  (canonical_bytes re-exported for compat)
+    DIGEST_SIZE,
+    _TUPLE,
+    Codec,
+    canonical_bytes,
+    digest_of_packed,
+)
 
 try:  # pragma: no cover - blake2b is part of CPython's hashlib
     from hashlib import blake2b
@@ -51,120 +60,9 @@ class FingerprintCollision(RuntimeError):
     """Two unequal states produced the same digest (audit mode only)."""
 
 
-# ---------------------------------------------------------------------------
-# Canonical encoding
-# ---------------------------------------------------------------------------
-#
-# Tag bytes.  Every chunk is ``tag + payload`` where composite payloads
-# are length-prefixed, so no value's encoding is a prefix of another's.
-
-_NONE = b"N"
-_TRUE = b"T"
-_FALSE = b"F"
-_INT = b"i"
-_FLOAT = b"f"
-_STR = b"s"
-_BYTES = b"b"
-_TUPLE = b"t"
-_SET = b"S"
-_DICT = b"d"
-_DATACLASS = b"D"
-_ENUM = b"E"
-_REPR = b"R"
-
-
-def _encode(value: Any, out: bytearray) -> None:
-    if value is None:
-        out += _NONE
-        return
-    if value is True:
-        out += _TRUE
-        return
-    if value is False:
-        out += _FALSE
-        return
-    kind = type(value)
-    if kind is int:
-        payload = value.to_bytes((value.bit_length() + 8) // 8 or 1, "big", signed=True)
-        out += _INT
-        out += len(payload).to_bytes(4, "big")
-        out += payload
-        return
-    if kind is float:
-        out += _FLOAT
-        out += struct.pack(">d", value)
-        return
-    if kind is str:
-        payload = value.encode("utf-8")
-        out += _STR
-        out += len(payload).to_bytes(4, "big")
-        out += payload
-        return
-    if kind in (bytes, bytearray):
-        out += _BYTES
-        out += len(value).to_bytes(4, "big")
-        out += bytes(value)
-        return
-    if isinstance(value, tuple) or kind is list:
-        out += _TUPLE
-        out += len(value).to_bytes(4, "big")
-        for item in value:
-            _encode(item, out)
-        return
-    if isinstance(value, (set, frozenset)):
-        # Unordered: serialize elements in sorted-encoding order so the
-        # digest is independent of (salted) iteration order.
-        encoded = sorted(canonical_bytes(item) for item in value)
-        out += _SET
-        out += len(encoded).to_bytes(4, "big")
-        for chunk in encoded:
-            out += chunk
-        return
-    if isinstance(value, enum.Enum):
-        out += _ENUM
-        _encode(type(value).__qualname__, out)
-        _encode(value.name, out)
-        return
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        out += _DATACLASS
-        _encode(type(value).__qualname__, out)
-        fields = dataclasses.fields(value)
-        out += len(fields).to_bytes(4, "big")
-        for field in fields:
-            _encode(getattr(value, field.name), out)
-        return
-    if isinstance(value, dict):
-        entries = sorted(
-            (canonical_bytes(key), canonical_bytes(item))
-            for key, item in value.items()
-        )
-        out += _DICT
-        out += len(entries).to_bytes(4, "big")
-        for key_bytes, item_bytes in entries:
-            out += key_bytes
-            out += item_bytes
-        return
-    # Fallback for exotic state components: the repr must itself be
-    # canonical for the digest to be (documented contract; audit mode
-    # will catch violations as collisions or misses).
-    payload = repr(value).encode("utf-8")
-    out += _REPR
-    out += len(payload).to_bytes(4, "big")
-    out += payload
-
-
-def canonical_bytes(value: Any) -> bytes:
-    """The canonical tag-length-value encoding of ``value``."""
-    out = bytearray()
-    _encode(value, out)
-    return bytes(out)
-
-
 def fingerprint(value: Any, digest_size: int = DIGEST_SIZE) -> bytes:
     """The ``digest_size``-byte canonical digest of ``value``."""
-    if blake2b is not None:
-        return blake2b(canonical_bytes(value), digest_size=digest_size).digest()
-    return sha256(canonical_bytes(value)).digest()[:digest_size]  # pragma: no cover
+    return digest_of_packed(canonical_bytes(value), digest_size)
 
 
 def fingerprint_components(
@@ -179,6 +77,11 @@ def fingerprint_components(
     (expanding one transition changes one or two components), which
     makes the amortized encoding cost near zero on the engine's hot
     path.  Non-tuple states fall back to plain :func:`fingerprint`.
+
+    :class:`repro.engine.codec.Codec` is the stateful form of this
+    helper (it owns the cache, counts hits, and also produces the packed
+    bytes); this function remains for callers that manage their own
+    cache dict.
     """
     if type(state) is not tuple:
         return fingerprint(state, digest_size)
@@ -194,9 +97,7 @@ def fingerprint_components(
         if encoded is None:
             encoded = cache[component] = canonical_bytes(component)
         out += encoded
-    if blake2b is not None:
-        return blake2b(bytes(out), digest_size=digest_size).digest()
-    return sha256(bytes(out)).digest()[:digest_size]  # pragma: no cover
+    return digest_of_packed(bytes(out), digest_size)
 
 
 def shard_of(digest: bytes, shards: int) -> int:
@@ -215,12 +116,26 @@ class FingerprintIndex:
     In normal mode only digests are retained; in ``audit`` mode the full
     state is kept per digest and every membership hit is verified by
     value equality, raising :class:`FingerprintCollision` on mismatch.
+
+    Digests are computed through a :class:`~repro.engine.codec.Codec`,
+    so the sequential fingerprinting path gets the same per-component
+    encode cache as the parallel workers: checking a successor that
+    shares most components with its parent re-encodes only the changed
+    components.  Pass a shared ``codec`` to pool the cache with other
+    participants in the same process (the engine shares one codec
+    between its index and its merge loop).
     """
 
-    __slots__ = ("digest_size", "_digests", "_audit")
+    __slots__ = ("digest_size", "codec", "_digests", "_audit")
 
-    def __init__(self, digest_size: int = DIGEST_SIZE, audit: bool = False) -> None:
+    def __init__(
+        self,
+        digest_size: int = DIGEST_SIZE,
+        audit: bool = False,
+        codec: Codec | None = None,
+    ) -> None:
         self.digest_size = digest_size
+        self.codec = codec if codec is not None else Codec(digest_size)
         self._digests: set[bytes] = set()
         self._audit: dict[bytes, Hashable] | None = {} if audit else None
 
@@ -236,12 +151,12 @@ class FingerprintIndex:
 
     def digest(self, state: Hashable) -> bytes:
         """The digest of ``state`` under this index's width."""
-        return fingerprint(state, self.digest_size)
+        return self.codec.digest(state)
 
     def check(self, state: Hashable, digest: bytes | None = None) -> tuple[bool, bytes]:
         """``(known, digest)`` for ``state``; audits collisions when on."""
         if digest is None:
-            digest = fingerprint(state, self.digest_size)
+            digest = self.codec.digest(state)
         known = digest in self._digests
         if known and self._audit is not None:
             stored = self._audit[digest]
@@ -256,7 +171,7 @@ class FingerprintIndex:
     def add(self, state: Hashable, digest: bytes | None = None) -> bytes:
         """Record ``state`` as visited; returns its digest."""
         if digest is None:
-            digest = fingerprint(state, self.digest_size)
+            digest = self.codec.digest(state)
         self._digests.add(digest)
         if self._audit is not None:
             self._audit[digest] = state

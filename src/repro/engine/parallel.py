@@ -1,7 +1,7 @@
 """The multiprocessing substrate of the parallel engine.
 
 The engine parallelizes the *expensive* half of breadth-first search —
-computing ``view.successors(state)`` and the successor digests — while
+computing ``view.successors(state)`` and the successor encodings — while
 the coordinator keeps the cheap half (digest-set membership, graph
 assembly) single-threaded, which is what makes the result provably
 identical to the sequential graph (see :mod:`repro.engine.api`).
@@ -20,36 +20,55 @@ processes.
 Wire protocol
 -------------
 
-Composite states are deep tuples whose pickles dwarf the real work, so
-**full states almost never cross the pipe**.  Each worker keeps a
-``digest -> state`` store of every state it has ever expanded or
-produced; the coordinator tracks which digests each worker holds and
-ships an outbound frontier entry as either
+States never cross the pipe as Python object graphs.  The engine's
+primary representation is the **packed canonical bytes** of
+:mod:`repro.engine.codec` — the same TLV encoding whose BLAKE2b digest
+is the state's fingerprint, produced in the same pass
+(:meth:`~repro.engine.codec.Codec.encode_digest`), so a worker that has
+fingerprinted a successor already holds its wire form for free.  Each
+worker keeps a ``digest -> state`` store of every state it has expanded
+or produced (decoded objects stay local; the view's step cache pins
+them anyway), and the coordinator ships an outbound frontier entry as
+either
 
-* a bare 16-byte digest — the worker re-resolves the state locally; or
-* a ``(digest, state)`` bootstrap pair, exactly once per (worker,
-  state), when the digest's owner never had the state (the root, a
-  resumed frontier, or a successor first produced by another worker).
+* a bare 16-byte digest — the worker re-resolves the state from its
+  local store; or
+* a ``(digest, packed)`` bootstrap pair when the digest's owner never
+  had the state (the root, a resumed frontier, or a successor first
+  produced by another worker) — the worker decodes the packed bytes.
+
+Outbound messages are ``(entries, ship_all)`` pairs; ``ship_all`` is
+the crash-recovery flag described below.
 
 Replies carry ``(task_index, action_index, successor_digest)`` triples
 — indices into the shared ``view.tasks`` tuple and a per-worker action
-table — plus a ``novel`` list of ``(digest, state)`` pairs for states
-the worker stored for the first time (so the coordinator can build the
-graph), the newly-tabled actions, per-phase timings, and — when the
-coordinator's tracer or metrics registry is enabled — a self-contained
-telemetry batch of span events and counters (see
-:mod:`repro.obs.spans`), ``None`` otherwise.  In the
-engine's collision-audit mode every reply triple carries the successor
-state as a fourth field so the coordinator's audited index can compare
-values, trading the wire savings for the checked guarantee.
+table — plus a ``novel`` list of ``(digest, packed)`` pairs for
+successors this worker inserted first into the **shared visited table**
+(:class:`~repro.engine.visited.SharedVisitedTable`, one lock-free
+shared-memory segment inherited by every fork): a successor some other
+worker already produced is *not* re-shipped, which is what keeps reply
+volume proportional to distinct new states rather than to edges.  The
+reply tuple also carries the newly-tabled actions, a stats tuple
+(per-phase timings, reduction counters, the worker's own peak RSS, and
+codec cache hit/miss deltas), and — when the coordinator's tracer or
+metrics registry is enabled — a self-contained telemetry batch of span
+events and counters (see :mod:`repro.obs.spans`), ``None`` otherwise.
+In the engine's collision-audit mode every reply triple carries the
+successor's packed bytes as a fourth field so the coordinator can
+decode and compare *values* per row, trading the wire savings for the
+checked guarantee.
+
+Replies are **batched**: a worker drains up to :data:`BATCH_REPLIES`
+queued chunks from its pipe before replying once with the list of
+per-chunk payloads, amortizing pickle and wakeup costs across chunks.
 
 Flow control: outbound chunks are bounded (``CHUNK_DIGESTS`` /
 ``CHUNK_STATES`` entries) and at most ``WINDOW`` digest-only chunks are
 in flight per worker — small enough to fit the pipe buffer while the
-worker is busy — while a state-carrying chunk (unbounded pickle size)
-is sent only to an idle worker, whose blocking ``recv`` drains the pipe
-as the coordinator writes.  Together these rule out the
-send-while-both-full deadlock.
+worker is busy — while a chunk carrying bootstrap pairs (larger, though
+bounded now that pairs are packed bytes) is sent only to an idle
+worker, whose blocking ``recv`` drains the pipe as the coordinator
+writes.  Together these rule out the send-while-both-full deadlock.
 
 Fault tolerance
 ---------------
@@ -64,15 +83,21 @@ sacrificing the identical-graph guarantee:
   the kernel's cleanup) are caught by a heartbeat: whenever no reply
   arrives for ``heartbeat_seconds``, every waited-on worker's process
   is liveness-checked;
-* **retry** — the chunks in flight on a lost worker are re-dispatched.
+* **retry** — the chunks in flight on a lost worker are re-dispatched
+  with ``ship_all=True``: the dead worker may have inserted successor
+  digests into the shared visited table and died before shipping their
+  bytes, so the retry expander ships every successor unconditionally
+  (the coordinator dedupes) rather than trusting the filter.
   Re-expansion is idempotent: the view is deterministic and chunk
   results are keyed by absolute frontier position, so a retried chunk
   yields byte-identical rows no matter which worker runs it.  Each loss
   bumps the chunk's retry count; past ``max_partition_retries`` the
   pool raises :class:`~repro.engine.errors.PartitionRetryExhausted`;
 * **respawn** — a crashed worker slot is restarted (fresh fork, empty
-  store) up to ``max_worker_restarts`` times with exponential backoff;
-  past that, its partitions are redistributed across the survivors;
+  store — but the *shared* visited table survives, so the incarnation
+  does not re-ship the world) up to ``max_worker_restarts`` times with
+  exponential backoff; past that, its partitions are redistributed
+  across the survivors;
 * **quarantine** — a multi-state chunk that kills its worker is split
   into singletons to isolate the killer; a singleton that reaches
   ``max_state_retries`` losses is quarantined (skipped, recorded, and
@@ -82,6 +107,12 @@ sacrificing the identical-graph guarantee:
 * **collapse** — when every worker is dead and respawns are exhausted,
   the pool degrades to in-process :class:`LocalExpander` drivers and
   finishes the run rather than raising.
+
+The shared table is a *filter*, never the source of truth: any residual
+case where a row references a digest whose packed bytes were lost with
+a worker (or a torn table slot answered "present" falsely) is repaired
+by the coordinator, which recomputes the successor from its parent
+in-process — see ``ExplorationEngine._recover_packed``.
 
 Quarantining is the one deliberate breach of the identical-graph
 guarantee — a quarantined state keeps its node but loses its outgoing
@@ -98,13 +129,20 @@ import time
 from collections import deque
 from typing import Callable, Hashable, Sequence
 
+try:  # pragma: no cover - resource is POSIX-only
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
+
 from ..obs.events import STATE_QUARANTINED, WORKER_LOST, WORKER_RESPAWNED
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.sinks import NULL_TRACER, Tracer
 from ..obs.spans import WorkerTelemetry, merge_worker_events, record_span
 from .chaos import FaultPlan
+from .codec import Codec
 from .errors import PartitionRetryExhausted, StateQuarantined
-from .fingerprint import fingerprint_components, shard_of
+from .fingerprint import shard_of
+from .visited import LocalVisitedFilter, SharedVisitedTable, shared_memory_available
 
 #: Marker returned for a pruned state instead of its successor list.
 PRUNED = "__pruned__"
@@ -115,11 +153,16 @@ QUARANTINED = "__quarantined__"
 #: Max entries per digest-only chunk (bounded pickle ≪ the pipe buffer).
 CHUNK_DIGESTS = 512
 
-#: Max entries per chunk carrying at least one full state.
-CHUNK_STATES = 64
+#: Max entries per chunk carrying at least one bootstrap (digest, packed)
+#: pair.  Packed states are a few hundred bytes, so this is far roomier
+#: than when bootstrap pairs were unbounded object pickles.
+CHUNK_STATES = 256
 
 #: Digest-only chunks in flight per worker.
 WINDOW = 2
+
+#: Max queued chunks a worker folds into one batched reply.
+BATCH_REPLIES = 8
 
 
 def fork_available() -> bool:
@@ -127,13 +170,22 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def _self_rss_kb() -> int:
+    """This process's peak RSS in KiB (0 where unsupported)."""
+    if _resource is None:  # pragma: no cover - non-POSIX platforms
+        return 0
+    return _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+
+
 def _expand_entries(
     entries,
     store: dict,
     view,
     prune,
-    digest_size: int,
+    codec: Codec,
+    visited,
     ship_states: bool,
+    ship_all: bool,
     task_ids: dict,
     action_ids: dict,
     new_actions: list,
@@ -141,20 +193,25 @@ def _expand_entries(
     """Expand one chunk of frontier entries against the local store.
 
     Returns ``(results, novel, expand_seconds, fingerprint_seconds)``
-    with ``results`` aligned to ``entries``.  Shared by the forked
-    worker loop and the in-process fallback.
+    with ``results`` aligned to ``entries`` and ``novel`` holding
+    ``(digest, packed)`` pairs for successors whose bytes the
+    coordinator does not have yet (first insertion into ``visited``, or
+    every successor when ``ship_all``).  Shared by the forked worker
+    loop and the in-process fallback.
     """
     results = []
     novel = []
     expand_seconds = 0.0
     fingerprint_seconds = 0.0
-    encodings = store.setdefault("__encodings__", {})
     for entry in entries:
         if type(entry) is bytes:
             state = store[entry]
         else:
-            digest, state = entry
-            store[digest] = state
+            digest, packed = entry
+            state = store.get(digest)
+            if state is None:
+                state = codec.decode(packed)
+                store[digest] = state
         if prune is not None and prune(state):
             results.append(PRUNED)
             continue
@@ -164,17 +221,28 @@ def _expand_entries(
         expand_seconds += after - before
         row = []
         for task, action, post in successors:
-            digest = fingerprint_components(post, encodings, digest_size)
+            packed, digest = codec.encode_digest(post)
             if digest not in store:
                 store[digest] = post
                 if not ship_states:
-                    novel.append((digest, post))
+                    # The shared table answers "has anyone produced this
+                    # digest?"; only the first inserter ships the bytes.
+                    # ship_all (crash retry) bypasses the filter but
+                    # still records the insertion.
+                    if visited is None:
+                        novel.append((digest, packed))
+                    else:
+                        present = visited.test_and_set(digest)
+                        if ship_all or not present:
+                            novel.append((digest, packed))
+            elif ship_all and not ship_states:
+                novel.append((digest, packed))
             action_index = action_ids.get(action)
             if action_index is None:
                 action_index = action_ids[action] = len(action_ids)
                 new_actions.append(action)
             if ship_states:
-                row.append((task_ids[task], action_index, digest, post))
+                row.append((task_ids[task], action_index, digest, packed))
             else:
                 row.append((task_ids[task], action_index, digest))
         fingerprint_seconds += time.perf_counter() - after
@@ -210,10 +278,14 @@ def _worker_main(
     prune,
     digest_size: int,
     ship_states: bool,
+    visited,
     poison: frozenset = frozenset(),
     telemetry: bool = False,
 ) -> None:
-    """Worker loop: expand chunks until the ``None`` sentinel (or EOF).
+    """Worker loop: expand chunk batches until the ``None`` sentinel (or EOF).
+
+    ``visited`` is the pool's shared table (``None`` when shared memory
+    was unavailable, in which case every locally-novel successor ships).
 
     ``poison`` is the fault-injection digest set of
     :class:`~repro.engine.chaos.FaultPlan`: asked to expand a poisoned
@@ -222,71 +294,108 @@ def _worker_main(
 
     With ``telemetry`` on (the parent's tracer is enabled), the worker
     buffers spans/counters into a :class:`~repro.obs.spans.WorkerTelemetry`
-    flushed with every reply — each batch is self-contained, so a crash
-    loses at most the in-flight chunk's telemetry, never a half-open span.
+    flushed with every payload — each batch is self-contained, so a crash
+    loses at most the in-flight chunks' telemetry, never a half-open span.
     """
-    store: dict = {"__encodings__": {}}
+    store: dict = {}
+    codec = Codec(digest_size)
     task_ids = {task: index for index, task in enumerate(view.tasks)}
     action_ids: dict = {}
     send_seconds = 0.0
+    hits_flushed = misses_flushed = 0
     drain = getattr(view, "drain_stats", None)
     tel = WorkerTelemetry(f"w{os.getpid()}") if telemetry else None
-    while True:
+    closing = False
+    while not closing:
         try:
-            chunk = conn.recv()
+            message = conn.recv()
         except EOFError:
             return
-        if chunk is None:
-            conn.close()
-            return
-        if poison:
-            for entry in chunk:
-                digest = entry if type(entry) is bytes else entry[0]
-                if digest in poison:
-                    os._exit(137)
-        new_actions: list = []
-        stored_before = len(store)
-        chunk_span = (
-            tel.start_span("partition", states=len(chunk)) if tel is not None else None
-        )
-        results, novel, expand_seconds, fingerprint_seconds = _expand_entries(
-            chunk,
-            store,
-            view,
-            prune,
-            digest_size,
-            ship_states,
-            task_ids,
-            action_ids,
-            new_actions,
-        )
-        orbit_hits = pruned_tasks = 0
-        if drain is not None:
-            orbit_hits, pruned_tasks = drain()
-        if tel is not None:
-            _close_chunk_telemetry(
-                tel,
-                chunk_span,
-                results,
-                len(store) - stored_before,
-                expand_seconds,
-                fingerprint_seconds,
+        if message is None:
+            break
+        messages = [message]
+        # Batch: fold already-queued chunks into one reply, amortizing
+        # the reply pickle and the coordinator wakeup across them.
+        while len(messages) < BATCH_REPLIES:
+            try:
+                if not conn.poll():
+                    break
+                queued = conn.recv()
+            except (EOFError, OSError):
+                return
+            if queued is None:
+                closing = True
+                break
+            messages.append(queued)
+        payloads = []
+        for entries, ship_all in messages:
+            if poison:
+                for entry in entries:
+                    digest = entry if type(entry) is bytes else entry[0]
+                    if digest in poison:
+                        os._exit(137)
+            new_actions: list = []
+            stored_before = len(store)
+            chunk_span = (
+                tel.start_span("partition", states=len(entries))
+                if tel is not None
+                else None
             )
-        reply = (
-            results,
-            novel,
-            new_actions,
-            # send_seconds is the cost of shipping the *previous* reply,
-            # reported one beat late (and dropped for the last one).
-            (expand_seconds, fingerprint_seconds, send_seconds, orbit_hits, pruned_tasks),
-            None if tel is None else tel.flush(),
-        )
+            results, novel, expand_seconds, fingerprint_seconds = _expand_entries(
+                entries,
+                store,
+                view,
+                prune,
+                codec,
+                visited,
+                ship_states,
+                ship_all,
+                task_ids,
+                action_ids,
+                new_actions,
+            )
+            orbit_hits = pruned_tasks = 0
+            if drain is not None:
+                orbit_hits, pruned_tasks = drain()
+            if tel is not None:
+                _close_chunk_telemetry(
+                    tel,
+                    chunk_span,
+                    results,
+                    len(store) - stored_before,
+                    expand_seconds,
+                    fingerprint_seconds,
+                )
+            payloads.append(
+                (
+                    results,
+                    novel,
+                    new_actions,
+                    # send_seconds is the cost of shipping the *previous*
+                    # batch, reported one beat late (and dropped for the
+                    # last one); the codec counters are per-payload deltas.
+                    (
+                        expand_seconds,
+                        fingerprint_seconds,
+                        send_seconds,
+                        orbit_hits,
+                        pruned_tasks,
+                        _self_rss_kb(),
+                        codec.hits - hits_flushed,
+                        codec.misses - misses_flushed,
+                    ),
+                    None if tel is None else tel.flush(),
+                )
+            )
+            send_seconds = 0.0
+            hits_flushed, misses_flushed = codec.hits, codec.misses
         before = time.perf_counter()
         try:
-            conn.send(reply)
+            conn.send(payloads)
         except BrokenPipeError:
             return
         send_seconds = time.perf_counter() - before
+    conn.close()
 
 
 class _WorkerHandle:
@@ -308,10 +417,12 @@ class _WorkerHandle:
 class LocalExpander:
     """In-process stand-in for one worker (the no-fork fallback).
 
-    Speaks the exact chunk/reply protocol of :func:`_worker_main` —
-    ``send`` expands immediately and queues the reply for ``recv`` — so
-    the driver runs one code path regardless of platform.  Local
-    expanders cannot crash, so fault plans do not apply to them.
+    Speaks the exact message/batch protocol of :func:`_worker_main` —
+    ``send`` expands immediately and queues a batch-of-one reply for
+    ``recv`` — so the driver runs one code path regardless of platform.
+    Local expanders cannot crash, so fault plans do not apply to them;
+    their peak RSS is the coordinator's own, so they report 0 to keep
+    the per-child accounting honest.
     """
 
     _incarnations = 0
@@ -322,17 +433,21 @@ class LocalExpander:
         prune,
         digest_size: int,
         ship_states: bool,
+        visited=None,
         telemetry: bool = False,
     ) -> None:
         self._view = view
         self._prune = prune
-        self._digest_size = digest_size
+        self._codec = Codec(digest_size)
         self._ship_states = ship_states
-        self._store: dict = {"__encodings__": {}}
+        self._visited = visited
+        self._store: dict = {}
         self._task_ids = {task: index for index, task in enumerate(view.tasks)}
         self._action_ids: dict = {}
         self._replies: deque = deque()
         self._drain = getattr(view, "drain_stats", None)
+        self._hits_flushed = 0
+        self._misses_flushed = 0
         self._telemetry = None
         if telemetry:
             # In-process expanders share the coordinator's pid, so the
@@ -342,22 +457,27 @@ class LocalExpander:
                 f"local{LocalExpander._incarnations}"
             )
 
-    def send(self, chunk) -> None:
-        if chunk is None:
+    def send(self, message) -> None:
+        if message is None:
             return
+        entries, ship_all = message
         new_actions: list = []
         stored_before = len(self._store)
         tel = self._telemetry
         chunk_span = (
-            tel.start_span("partition", states=len(chunk)) if tel is not None else None
+            tel.start_span("partition", states=len(entries))
+            if tel is not None
+            else None
         )
         results, novel, expand_seconds, fingerprint_seconds = _expand_entries(
-            chunk,
+            entries,
             self._store,
             self._view,
             self._prune,
-            self._digest_size,
+            self._codec,
+            self._visited,
             self._ship_states,
+            ship_all,
             self._task_ids,
             self._action_ids,
             new_actions,
@@ -374,15 +494,28 @@ class LocalExpander:
                 expand_seconds,
                 fingerprint_seconds,
             )
+        codec = self._codec
         self._replies.append(
-            (
-                results,
-                novel,
-                new_actions,
-                (expand_seconds, fingerprint_seconds, 0.0, orbit_hits, pruned_tasks),
-                None if tel is None else tel.flush(),
-            )
+            [
+                (
+                    results,
+                    novel,
+                    new_actions,
+                    (
+                        expand_seconds,
+                        fingerprint_seconds,
+                        0.0,
+                        orbit_hits,
+                        pruned_tasks,
+                        0,
+                        codec.hits - self._hits_flushed,
+                        codec.misses - self._misses_flushed,
+                    ),
+                    None if tel is None else tel.flush(),
+                )
+            ]
         )
+        self._hits_flushed, self._misses_flushed = codec.hits, codec.misses
 
     def recv(self):
         return self._replies.popleft()
@@ -395,24 +528,35 @@ class _Chunk:
     coordinator's results array is keyed by them, which is what makes
     re-dispatching to *any* worker sound); ``items`` are the matching
     ``(state, digest)`` pairs; ``retries`` counts how many worker
-    losses this chunk has survived.
+    losses this chunk has survived; ``ship_all`` marks a chunk requeued
+    after a loss — its expander must ship every successor's bytes, since
+    the dead worker may have claimed table slots and taken the bytes
+    with it.
     """
 
-    __slots__ = ("positions", "items", "retries")
+    __slots__ = ("positions", "items", "retries", "ship_all")
 
-    def __init__(self, positions: list, items: list, retries: int = 0) -> None:
+    def __init__(
+        self,
+        positions: list,
+        items: list,
+        retries: int = 0,
+        ship_all: bool = False,
+    ) -> None:
         self.positions = positions
         self.items = items
         self.retries = retries
+        self.ship_all = ship_all
 
 
 class WorkerPool:
     """A crash-tolerant pool of expansion workers.
 
-    Owns the full worker lifecycle — forking, chunking and dispatch,
-    reply ingestion, crash detection, retry/respawn/quarantine, and the
-    in-process collapse fallback (see the module docstring for the
-    recovery model).  One pool serves one exploration run.
+    Owns the full worker lifecycle — forking, the shared visited table,
+    chunking and dispatch, reply ingestion, crash detection,
+    retry/respawn/quarantine, and the in-process collapse fallback (see
+    the module docstring for the recovery model).  One pool serves one
+    exploration run.
 
     :meth:`run_round` is the only work entry point: it ships one
     round's frontier and returns a results list aligned to it, where
@@ -430,6 +574,7 @@ class WorkerPool:
         digest_size: int,
         ship_states: bool,
         *,
+        expected_states: int | None = None,
         max_worker_restarts: int = 3,
         restart_backoff_seconds: float = 0.05,
         max_partition_retries: int = 5,
@@ -445,6 +590,8 @@ class WorkerPool:
         self._prune = prune
         self._digest_size = digest_size
         self._ship_states = ship_states
+        self._expected_states = expected_states
+        self._codec = Codec(digest_size)  # encode fallback for dispatch
         self.max_worker_restarts = max_worker_restarts
         self.restart_backoff_seconds = restart_backoff_seconds
         self.max_partition_retries = max_partition_retries
@@ -463,7 +610,12 @@ class WorkerPool:
         self.quarantined: list = []  # (state, digest) in quarantine order
         self.orbit_hits = 0
         self.pruned_tasks = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
         self.last_round_producers = 0
+        self.visited = None
+        self.visited_overflows = 0
+        self.worker_rss_kb: dict[int, int] = {}  # slot -> peak RSS (KiB)
         self._handles: list = []
         self._alive: list[bool] = []
         self._restarts: list[int] = []
@@ -478,6 +630,8 @@ class WorkerPool:
     def start(self) -> "WorkerPool":
         """Fork the workers (or fall back to in-process expanders)."""
         self.local = self.workers <= 1 or not fork_available()
+        if not self._ship_states:
+            self.visited = self._make_visited()
         if self.local:
             self._handles = [
                 LocalExpander(
@@ -485,6 +639,7 @@ class WorkerPool:
                     self._prune,
                     self._digest_size,
                     self._ship_states,
+                    visited=self.visited,
                     telemetry=self.tracer.enabled or self.metrics.enabled,
                 )
                 for _ in range(self.workers)
@@ -500,13 +655,27 @@ class WorkerPool:
         self.actions = [[] for _ in range(self.workers)]
         return self
 
+    def _make_visited(self):
+        if self.local or self.workers <= 1 or not fork_available():
+            # One address space: a plain shared set is exact and free.
+            return LocalVisitedFilter()
+        if not shared_memory_available():  # pragma: no cover - exotic builds
+            return None
+        try:
+            return SharedVisitedTable(self._digest_size, self._expected_states)
+        except OSError:  # pragma: no cover - /dev/shm unavailable or full
+            return None
+
     def stop(self) -> None:
-        """Shut the pool down (no-op after collapse to in-process)."""
-        if self.local:
-            return
-        stop_workers(
-            [self._handles[w] for w in range(self.workers) if self._alive[w]]
-        )
+        """Shut the pool down and release the shared visited table."""
+        if not self.local:
+            stop_workers(
+                [self._handles[w] for w in range(self.workers) if self._alive[w]]
+            )
+        if self.visited is not None:
+            self.visited_overflows = self.visited.overflows
+            self.visited.close(unlink=True)
+            self.visited = None
 
     def _spawn(self) -> _WorkerHandle:
         parent_conn, child_conn = self._context.Pipe(duplex=True)
@@ -519,6 +688,7 @@ class WorkerPool:
                 self._prune,
                 self._digest_size,
                 self._ship_states,
+                self.visited,
                 poison,
                 self.tracer.enabled or self.metrics.enabled,
             ),
@@ -534,19 +704,19 @@ class WorkerPool:
         self,
         round_index: int,
         items,
-        state_of: dict,
+        packed_of: dict,
         phase: dict,
         round_span_id: str | None = None,
     ) -> list:
         """Expand one round's frontier; returns results by item position.
 
         ``items`` is the round's ``(state, digest)`` list in frontier
-        order; ``state_of`` is the coordinator's digest-to-state table
-        (novel successors are folded into it); ``phase`` accumulates
-        per-phase timings.  Each result slot is a row list of
-        ``(task_index, action, digest[, state])`` tuples (actions
-        decoded, state present in audit mode), :data:`PRUNED`, or
-        :data:`QUARANTINED`.
+        order; ``packed_of`` is the coordinator's digest-to-packed-bytes
+        table (novel successors are folded into it; bootstrap pairs are
+        drawn from it); ``phase`` accumulates per-phase timings.  Each
+        result slot is a row list of ``(task_index, action, digest[,
+        packed])`` tuples (actions decoded, packed bytes present in
+        audit mode), :data:`PRUNED`, or :data:`QUARANTINED`.
 
         ``round_span_id`` is the coordinator's open ``round`` span:
         merged worker spans (and the synthesized ``lost`` partition of a
@@ -554,7 +724,7 @@ class WorkerPool:
         """
         self._round = round_index
         self._round_span = round_span_id
-        self._state_of = state_of
+        self._packed_of = packed_of
         self._phase = phase
         self._results: list = [None] * len(items)
         self._pending: list[deque] = [deque() for _ in range(self.workers)]
@@ -570,12 +740,13 @@ class WorkerPool:
                 break
             for worker in self._collect_ready():
                 try:
-                    reply = self._handles[worker].recv()
+                    batch = self._handles[worker].recv()
                 except (EOFError, OSError):
                     self._worker_lost(worker)
                     continue
-                self._outstanding[worker] -= 1
-                self._ingest(worker, self._inflight[worker].popleft(), reply)
+                for payload in batch:
+                    self._outstanding[worker] -= 1
+                    self._ingest(worker, self._inflight[worker].popleft(), payload)
         self.last_round_producers = len(self._producers)
         return self._results
 
@@ -642,8 +813,8 @@ class WorkerPool:
             chunk = queue[0]
             entries, stateful, fresh = self._encode(worker, chunk)
             # Digest-only chunks ride the pipe buffer (WINDOW in flight);
-            # a state-carrying chunk of unbounded pickle size goes only
-            # to an idle worker whose blocking recv drains the pipe.
+            # a bootstrap-carrying chunk (the large kind) goes only to an
+            # idle worker whose blocking recv drains the pipe.
             if stateful:
                 if self._outstanding[worker] > 0:
                     break
@@ -652,7 +823,7 @@ class WorkerPool:
             queue.popleft()
             before = time.perf_counter()
             try:
-                self._handles[worker].send(entries)
+                self._handles[worker].send((entries, chunk.ship_all))
             except (BrokenPipeError, OSError):
                 queue.appendleft(chunk)
                 self._worker_lost(worker)
@@ -670,14 +841,21 @@ class WorkerPool:
         # Encoded at send time, against the *current* target's store:
         # after a reassignment or respawn the same chunk may need its
         # states re-shipped, which deciding at build time would miss.
+        # Bootstrap pairs carry packed bytes, pulled from the
+        # coordinator's table (encoding only as a fallback — every
+        # discovered digest normally has its bytes already).
         seen = self.seen[worker]
+        packed_of = self._packed_of
         entries: list = []
         fresh: list = []
         for state, digest in chunk.items:
             if digest in seen:
                 entries.append(digest)
             else:
-                entries.append((digest, state))
+                packed = packed_of.get(digest)
+                if packed is None:
+                    packed = packed_of[digest] = self._codec.encode(state)
+                entries.append((digest, packed))
                 fresh.append(digest)
         return entries, bool(fresh), fresh
 
@@ -703,14 +881,23 @@ class WorkerPool:
 
     # -- ingestion ----------------------------------------------------------
 
-    def _ingest(self, worker: int, chunk: _Chunk, reply) -> None:
-        results, novel, new_actions, stats, batch = reply
-        expand_seconds, fingerprint_seconds, send_seconds, orbit_hits, pruned = stats
+    def _ingest(self, worker: int, chunk: _Chunk, payload) -> None:
+        results, novel, new_actions, stats, batch = payload
+        (
+            expand_seconds,
+            fingerprint_seconds,
+            send_seconds,
+            orbit_hits,
+            pruned,
+            rss_kb,
+            cache_hits,
+            cache_misses,
+        ) = stats
         if batch is not None:
             self._merge_telemetry(worker, batch)
-        state_of = self._state_of
-        for digest, state in novel:
-            state_of.setdefault(digest, state)
+        packed_of = self._packed_of
+        for digest, packed in novel:
+            packed_of.setdefault(digest, packed)
         table = self.actions[worker]
         table.extend(new_actions)
         seen = self.seen[worker]
@@ -725,10 +912,10 @@ class WorkerPool:
                     decoded.append(PRUNED)
                     continue
                 out = []
-                for task_index, action_index, digest, state in row:
+                for task_index, action_index, digest, packed in row:
                     seen.add(digest)
-                    state_of.setdefault(digest, state)
-                    out.append((task_index, table[action_index], digest, state))
+                    packed_of.setdefault(digest, packed)
+                    out.append((task_index, table[action_index], digest, packed))
                 transitions += len(out)
                 decoded.append(out)
         else:
@@ -742,6 +929,10 @@ class WorkerPool:
                     out.append((task_index, table[action_index], digest))
                 transitions += len(out)
                 decoded.append(out)
+        if rss_kb and rss_kb > self.worker_rss_kb.get(worker, 0):
+            self.worker_rss_kb[worker] = rss_kb
+        self.cache_hits += cache_hits
+        self.cache_misses += cache_misses
         if self.metrics.enabled:
             self.metrics.counter(f"engine.worker{worker}.expanded").inc(len(results))
             self.metrics.counter(f"engine.worker{worker}.transitions").inc(transitions)
@@ -833,11 +1024,15 @@ class WorkerPool:
         # Workers process chunks strictly FIFO, so only the *first*
         # un-replied chunk was being expanded when the worker died —
         # that one takes the blame (retry bump, split, quarantine).
-        # Later in-flight chunks sat unread in the pipe: re-dispatching
-        # them unbumped keeps cascading crashes (several workers dying
-        # while partitions bounce between them) from quarantining
-        # innocent states.
+        # Later in-flight chunks sat unread in the pipe (or were expanded
+        # into a batched reply that never left): re-dispatching them
+        # unbumped keeps cascading crashes (several workers dying while
+        # partitions bounce between them) from quarantining innocent
+        # states.  Every requeued in-flight chunk is marked ship_all —
+        # the dead worker may have claimed visited-table slots for their
+        # successors without the bytes ever reaching the coordinator.
         for index, chunk in enumerate(inflight):
+            chunk.ship_all = True
             if index > 0:
                 requeue.append(chunk)
                 continue
@@ -850,7 +1045,9 @@ class WorkerPool:
                 # Split to isolate a potential killer state; each
                 # singleton restarts its own retry count.
                 for offset, item in enumerate(chunk.items):
-                    requeue.append(_Chunk([chunk.positions[offset]], [item]))
+                    requeue.append(
+                        _Chunk([chunk.positions[offset]], [item], ship_all=True)
+                    )
             elif chunk.retries >= self.max_state_retries:
                 self._quarantine(chunk)
             else:
@@ -885,6 +1082,8 @@ class WorkerPool:
             self._alive[worker] = True
             # The new incarnation starts with an empty store; resetting
             # the coordinator's view of it makes encode re-ship states.
+            # (The shared visited table is inherited as-is — membership
+            # is global state, not worker state.)
             self.seen[worker] = set()
             self.actions[worker] = []
             if self.metrics.enabled:
@@ -926,12 +1125,19 @@ class WorkerPool:
         """Degrade to in-process expansion: the pool is gone, the run is not."""
         self.collapsed = True
         self.local = True
+        # The shared table (if any) keeps serving the in-process
+        # expanders; digests claimed by dead workers stay "present",
+        # which is safe — ship_all requeues and the coordinator's
+        # recovery path cover the missing bytes.
+        if self.visited is None and not self._ship_states:
+            self.visited = LocalVisitedFilter()
         self._handles = [
             LocalExpander(
                 self._view,
                 self._prune,
                 self._digest_size,
                 self._ship_states,
+                visited=self.visited,
                 telemetry=self.tracer.enabled or self.metrics.enabled,
             )
             for _ in range(self.workers)

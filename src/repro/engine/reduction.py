@@ -58,7 +58,7 @@ from ..analysis.explorer import reachable_decision_sets
 from ..analysis.view import DeterministicSystemView
 from ..ioa.actions import Action
 from ..ioa.automaton import State, Task
-from .fingerprint import canonical_bytes
+from .codec import Codec
 
 #: Candidate symmetry groups larger than this (= 7!) are not enumerated;
 #: the group degenerates to the identity with a recorded reason instead
@@ -215,7 +215,8 @@ class Canonicalizer:
     with the least componentwise ``canonical_bytes`` key — a pure
     function of the orbit, so coordinator and forked workers always
     agree.  (Component states repeat across vast numbers of composite
-    states, so the key is assembled from a per-component encoding cache
+    states, so the key is assembled from a
+    :class:`~repro.engine.codec.Codec` per-component encoding cache
     rather than re-encoding whole composites.)
 
     ``orbit_hits`` counts canonicalizations that returned a different
@@ -230,10 +231,10 @@ class Canonicalizer:
         "reason",
         "orbit_hits",
         "_cache",
-        "_component_bytes",
+        "_codec",
     )
 
-    def __init__(self, system, root: State) -> None:
+    def __init__(self, system, root: State, codec: Codec | None = None) -> None:
         permuters, group_size, reason = _symmetry_permutations(system)
         self.permuters = tuple(p for p in permuters if p.apply(root) == root)
         self.group_size = group_size
@@ -241,17 +242,11 @@ class Canonicalizer:
         self.reason = reason
         self.orbit_hits = 0
         self._cache: dict = {}
-        self._component_bytes: dict = {}
+        self._codec = codec or Codec()
 
     def _key(self, state: State) -> tuple:
-        encoded = self._component_bytes
-        key = []
-        for component_state in state:
-            value = encoded.get(component_state)
-            if value is None:
-                value = encoded[component_state] = canonical_bytes(component_state)
-            key.append(value)
-        return tuple(key)
+        component_bytes = self._codec.component_bytes
+        return tuple(component_bytes(c) for c in state)
 
     def canon(self, state: State) -> State:
         cached = self._cache.get(state)

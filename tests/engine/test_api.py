@@ -158,6 +158,46 @@ class TestCheckpointResume:
         # The completed exploration retires its checkpoint.
         assert find_checkpoint(directory, fingerprint(root)) is None
 
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_resume_across_format_bump(
+        self, instance, sequential_graph, tmp_path, workers
+    ):
+        """A v1 (pre-packed) checkpoint file still resumes to the full graph."""
+        import pickle
+
+        from repro.engine.checkpoint import (
+            CHECKPOINT_FORMAT,
+            checkpoint_path,
+            load_checkpoint,
+        )
+
+        view, root = instance
+        with pytest.raises(BudgetExhausted):
+            ExplorationEngine(
+                workers=workers,
+                budget=Budget(max_states=60),
+                checkpoint_dir=tmp_path,
+            ).explore(view, root)
+        # Rewrite the freshly written v2 file as a v1 payload (whole
+        # Checkpoint object, version 1) — the format old engines wrote.
+        path = checkpoint_path(tmp_path, fingerprint(root))
+        checkpoint = load_checkpoint(path)
+        checkpoint.packed_order = None
+        path.write_bytes(
+            pickle.dumps(
+                {
+                    "format": CHECKPOINT_FORMAT,
+                    "version": 1,
+                    "checkpoint": checkpoint,
+                }
+            )
+        )
+        resumed = ExplorationEngine(
+            workers=workers, budget=Budget(), checkpoint_dir=tmp_path, resume=True
+        ).explore(view, root)
+        assert set(resumed.states) == set(sequential_graph.states)
+        assert resumed.edges == sequential_graph.edges
+
     def test_resume_without_checkpoint_starts_fresh(
         self, instance, sequential_graph, tmp_path
     ):

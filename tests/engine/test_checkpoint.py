@@ -1,19 +1,44 @@
 """Unit tests for checkpoint persistence."""
 
+import dataclasses
 import pickle
 
 import pytest
 
+from repro.engine.checkpoint import CHECKPOINT_FORMAT
 from repro.engine import (
     Checkpoint,
     CheckpointError,
     checkpoint_path,
+    digest_of_packed,
     discard_checkpoint,
     find_checkpoint,
     load_checkpoint,
     save_checkpoint,
     fingerprint,
 )
+
+
+class Opaque:
+    """Hashable, picklable, but codec-hostile (repr-only encoding)."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return f"Opaque({self.value!r})"
+
+    def __eq__(self, other):
+        return isinstance(other, Opaque) and other.value == self.value
+
+    def __hash__(self):
+        return hash(("Opaque", self.value))
+
+
+@dataclasses.dataclass(frozen=True)
+class Cell:
+    tag: str
+    level: int
 
 
 def _sample(root="root"):
@@ -59,6 +84,107 @@ class TestRoundTrip:
         save_checkpoint(tmp_path, _sample())
         names = [p.name for p in tmp_path.iterdir()]
         assert all(name.endswith(".ckpt") for name in names)
+
+
+class TestFormatV2:
+    def test_saves_packed_mode_with_digest_parity(self, tmp_path):
+        checkpoint = _sample()
+        payload = pickle.loads(save_checkpoint(tmp_path, checkpoint).read_bytes())
+        assert payload["version"] == 2
+        assert payload["mode"] == "packed"
+        # Resume's fast path: the visited digest set is rebuilt from the
+        # packed bytes alone, so blake2b(packed) must equal fingerprint.
+        assert [digest_of_packed(packed) for packed in payload["packed_order"]] == [
+            fingerprint(state) for state in checkpoint.order
+        ]
+
+    def test_load_populates_packed_order(self, tmp_path):
+        path = save_checkpoint(tmp_path, _sample())
+        loaded = load_checkpoint(path)
+        assert loaded.packed_order is not None
+        assert len(loaded.packed_order) == len(loaded.order)
+
+    def test_states_stored_once_not_per_edge(self, tmp_path):
+        # Ten edges all pointing at one successor: the v1 format pickled
+        # the successor ten times; v2 stores indices into packed_order.
+        hub = Cell("hub", 0)
+        spokes = [Cell("spoke", index) for index in range(10)]
+        checkpoint = Checkpoint(
+            root=hub,
+            root_digest=fingerprint(hub),
+            order=[hub, *spokes],
+            edges={spoke: [("t", "act", hub)] for spoke in spokes},
+            frontier=[hub],
+            transitions=10,
+            elapsed_seconds=0.1,
+        )
+        payload = pickle.loads(save_checkpoint(tmp_path, checkpoint).read_bytes())
+        assert payload["mode"] == "packed"
+        hub_index = 0
+        assert all(rows == [(0, 0, hub_index)] for _, rows in payload["edges"])
+        loaded = load_checkpoint(checkpoint_path(tmp_path, checkpoint.root_digest))
+        assert loaded.edges == checkpoint.edges
+        # Decoded successors are interned: every edge row references the
+        # same hub object, not ten copies.
+        decoded_hubs = {id(rows[0][2]) for rows in loaded.edges.values()}
+        assert len(decoded_hubs) == 1
+
+    def test_dataclass_states_roundtrip_through_registry(self, tmp_path):
+        root = Cell("root", 0)
+        child = Cell("child", 1)
+        checkpoint = Checkpoint(
+            root=root,
+            root_digest=fingerprint(root),
+            order=[root, child],
+            edges={root: [("t", "act", child)]},
+            frontier=[child],
+            transitions=1,
+            elapsed_seconds=0.0,
+        )
+        loaded = load_checkpoint(save_checkpoint(tmp_path, checkpoint))
+        assert loaded.order == checkpoint.order
+        assert loaded.edges == checkpoint.edges
+        assert loaded.frontier == checkpoint.frontier
+
+    def test_codec_hostile_state_falls_back_to_pickle_mode(self, tmp_path):
+        root = Opaque("root")
+        child = Opaque("child")
+        checkpoint = Checkpoint(
+            root=root,
+            root_digest=fingerprint(root),
+            order=[root, child],
+            edges={root: [("t", "act", child)]},
+            frontier=[child],
+            transitions=1,
+            elapsed_seconds=0.0,
+        )
+        path = save_checkpoint(tmp_path, checkpoint)
+        payload = pickle.loads(path.read_bytes())
+        assert payload["version"] == 2
+        assert payload["mode"] == "pickle"
+        loaded = load_checkpoint(path)
+        assert loaded.order == checkpoint.order
+        assert loaded.edges == checkpoint.edges
+        assert loaded.packed_order is None
+
+    def test_v1_payload_still_loads(self, tmp_path):
+        # Resume-across-the-format-bump: a file written by a pre-v2
+        # engine (whole Checkpoint object, version 1) must keep loading.
+        checkpoint = _sample()
+        path = checkpoint_path(tmp_path, checkpoint.root_digest)
+        path.write_bytes(
+            pickle.dumps(
+                {
+                    "format": CHECKPOINT_FORMAT,
+                    "version": 1,
+                    "checkpoint": checkpoint,
+                }
+            )
+        )
+        loaded = load_checkpoint(path)
+        assert loaded.order == checkpoint.order
+        assert loaded.edges == checkpoint.edges
+        assert loaded.packed_order is None
 
 
 class TestValidation:
