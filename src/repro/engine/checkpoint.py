@@ -106,7 +106,12 @@ def _pack_payload(checkpoint: Checkpoint, codec: Codec) -> dict:
     """The packed (v2) payload body; raises ``CodecError`` if any state
     cannot round-trip through the codec."""
     order = checkpoint.order
-    index_of: dict = {}
+    # Positions are keyed by packed bytes, NOT by state equality: two
+    # order entries that merely compare equal (1 vs True under a
+    # digest-keyed index) are distinct graph nodes with distinct
+    # encodings, and an ==-keyed dict would collapse them to one index,
+    # pointing edges/frontier at the wrong node after resume.
+    index_of: dict[bytes, int] = {}
     packed_order: list = []
     for position, state in enumerate(order):
         packed = codec.encode(state)
@@ -115,8 +120,20 @@ def _pack_payload(checkpoint: Checkpoint, codec: Codec) -> dict:
         # packed — decode() raises CodecError and we fall back to pickle.
         if codec.decode(packed) != state:
             raise CodecError(f"state at order[{position}] does not round-trip")
-        index_of[state] = position
+        index_of.setdefault(packed, position)
         packed_order.append(packed)
+
+    def position_of(state) -> int:
+        # Re-encoding is a warm-cache identity hit: edges and frontier
+        # reference the same interned objects ``order`` holds.
+        position = index_of.get(codec.encode(state))
+        if position is None:
+            # An edge or frontier state whose encoding matches nothing
+            # in ``order`` (non-canonical alias) cannot be represented
+            # by index — demote the whole payload to object pickling.
+            raise CodecError("edge/frontier state is not in order")
+        return position
+
     tasks: list = []
     task_index: dict = {}
     actions: list = []
@@ -133,13 +150,13 @@ def _pack_payload(checkpoint: Checkpoint, codec: Codec) -> dict:
             if slot is None:
                 slot = action_index[action] = len(actions)
                 actions.append(action)
-            packed_rows.append((position, slot, index_of[successor]))
-        edges.append((index_of[state], packed_rows))
+            packed_rows.append((position, slot, position_of(successor)))
+        edges.append((position_of(state), packed_rows))
     return {
         "mode": "packed",
         "packed_order": packed_order,
         "edges": edges,
-        "frontier": [index_of[state] for state in checkpoint.frontier],
+        "frontier": [position_of(state) for state in checkpoint.frontier],
         "tasks": tasks,
         "actions": actions,
         # Classes the codec needs to decode, pickled by reference so a
@@ -205,6 +222,12 @@ def _unpack_payload(payload: dict, path: Path) -> Checkpoint:
         raise CheckpointError(f"{path}: cannot decode packed states: {error}") from error
     tasks = payload["tasks"]
     actions = payload["actions"]
+    # Stored rows are index-based, so every successor/frontier reference
+    # resolves to the exact ``order`` node it was saved against.  The
+    # returned ``edges`` dict is state-keyed because that is the
+    # :class:`Checkpoint` contract (``run.edges`` in the engine is the
+    # same ==-keyed dict), so ==-equal order entries share one key here
+    # exactly as they would have live.
     edges = {
         order[state_index]: [
             (tasks[task_slot], actions[action_slot], order[successor_index])

@@ -361,6 +361,65 @@ def decode_bytes(packed: bytes) -> Any:
 
 
 # ---------------------------------------------------------------------------
+# The component-encode cache
+# ---------------------------------------------------------------------------
+#
+# The cache must NOT be keyed by plain equality: ``True == 1 == 1.0`` and
+# ``(0,) == (False,)`` while their canonical encodings differ, so an
+# ==-keyed dict would return whichever encoding was cached first and the
+# "canonical, stable" digest guarantee would become encounter-order
+# dependent.  Two tiers, both strict:
+#
+# * **identity** — keyed by ``id(component)`` with the component pinned
+#   inside the entry (the pin keeps the id from being recycled).  Always
+#   correct for any value, and the common case on the hot path:
+#   successors share unchanged component *objects* with their parents.
+# * **equality** — keyed by ``(type, value)``, restricted to the scalar
+#   types where equality within the exact type implies encoding
+#   equality: ``int``, ``str``, ``bytes``.  ``bool`` is excluded by the
+#   exact-type check (and its singletons make the identity tier exact);
+#   ``float`` is excluded because ``-0.0 == 0.0`` yet they encode with
+#   different sign bits; containers and dataclasses are excluded because
+#   their ``==`` ignores the bool/int distinction of nested members.
+#
+# Values that fit neither tier (unhashable components) encode uncached.
+
+_EQ_CACHEABLE = (int, str, bytes)
+
+
+def _cached_bytes(cache: dict, component: Any) -> tuple[bytes, bool]:
+    """``(canonical_bytes(component), cache_hit)`` through ``cache``.
+
+    ``cache`` holds both tiers: ``id(component) -> (component, bytes)``
+    pins and ``(type, value) -> bytes`` scalar entries (the key spaces
+    cannot collide — one is ``int``, the other ``tuple``).
+    """
+    entry = cache.get(id(component))
+    if entry is not None and entry[0] is component:
+        return entry[1], True
+    kind = type(component)
+    if kind in _EQ_CACHEABLE:
+        key = (kind, component)
+        encoded = cache.get(key)
+        if encoded is not None:
+            cache[id(component)] = (component, encoded)
+            return encoded, True
+        encoded = canonical_bytes(component)
+        cache[key] = encoded
+        cache[id(component)] = (component, encoded)
+        return encoded, False
+    encoded = canonical_bytes(component)
+    try:
+        hash(component)
+    except TypeError:
+        # Unhashable means mutable by convention: pinning it could serve
+        # stale bytes after a mutation, so it re-encodes every time.
+        return encoded, False
+    cache[id(component)] = (component, encoded)
+    return encoded, False
+
+
+# ---------------------------------------------------------------------------
 # The interning codec
 # ---------------------------------------------------------------------------
 
@@ -388,18 +447,18 @@ class Codec:
     # -- encoding -----------------------------------------------------------
 
     def component_bytes(self, component: Any) -> bytes:
-        """Cached :func:`canonical_bytes` of one state component."""
-        cache = self._encode_cache
-        try:
-            encoded = cache.get(component)
-        except TypeError:  # unhashable: encode without caching
-            self.misses += 1
-            return canonical_bytes(component)
-        if encoded is None:
-            self.misses += 1
-            encoded = cache[component] = canonical_bytes(component)
-        else:
+        """Cached :func:`canonical_bytes` of one state component.
+
+        The cache is strictly keyed (see :func:`_cached_bytes`): values
+        that merely compare equal across types — ``True``/``1``/``1.0``,
+        ``(0,)``/``(False,)`` — never share an entry, so the returned
+        bytes are always the component's own canonical encoding.
+        """
+        encoded, hit = _cached_bytes(self._encode_cache, component)
+        if hit:
             self.hits += 1
+        else:
+            self.misses += 1
         return encoded
 
     def encode(self, state: Any) -> bytes:

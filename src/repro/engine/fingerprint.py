@@ -45,6 +45,7 @@ from .codec import (  # noqa: F401  (canonical_bytes re-exported for compat)
     DIGEST_SIZE,
     _TUPLE,
     Codec,
+    _cached_bytes,
     canonical_bytes,
     digest_of_packed,
 )
@@ -81,7 +82,10 @@ def fingerprint_components(
     :class:`repro.engine.codec.Codec` is the stateful form of this
     helper (it owns the cache, counts hits, and also produces the packed
     bytes); this function remains for callers that manage their own
-    cache dict.
+    cache dict.  Treat that dict as opaque: it is strictly keyed (never
+    by plain ``==``, which would conflate ``True``/``1``-style values
+    whose canonical encodings differ — see
+    :func:`repro.engine.codec._cached_bytes`).
     """
     if type(state) is not tuple:
         return fingerprint(state, digest_size)
@@ -89,14 +93,7 @@ def fingerprint_components(
     out += _TUPLE
     out += len(state).to_bytes(4, "big")
     for component in state:
-        try:
-            encoded = cache.get(component)
-        except TypeError:  # unhashable component: encode without caching
-            out += canonical_bytes(component)
-            continue
-        if encoded is None:
-            encoded = cache[component] = canonical_bytes(component)
-        out += encoded
+        out += _cached_bytes(cache, component)[0]
     return digest_of_packed(bytes(out), digest_size)
 
 

@@ -61,6 +61,10 @@ checked guarantee.
 Replies are **batched**: a worker drains up to :data:`BATCH_REPLIES`
 queued chunks from its pipe before replying once with the list of
 per-chunk payloads, amortizing pickle and wakeup costs across chunks.
+Because a batch defers every chunk's payload to one send, the worker
+also emits a tiny :data:`ACK` marker immediately before expanding each
+chunk — the coordinator's cursor over these acks is what tells it,
+after a crash, *which* chunk was being expanded (see below).
 
 Flow control: outbound chunks are bounded (``CHUNK_DIGESTS`` /
 ``CHUNK_STATES`` entries) and at most ``WINDOW`` digest-only chunks are
@@ -68,7 +72,11 @@ in flight per worker — small enough to fit the pipe buffer while the
 worker is busy — while a chunk carrying bootstrap pairs (larger, though
 bounded now that pairs are packed bytes) is sent only to an idle
 worker, whose blocking ``recv`` drains the pipe as the coordinator
-writes.  Together these rule out the send-while-both-full deadlock.
+writes.  Shipping is re-decided at send time (a respawn empties the
+target's store), so a digest-only chunk sized to ``CHUNK_DIGESTS`` at
+build time that turns stateful by send time is re-split there to keep
+every message under the ``CHUNK_STATES`` bound.  Together these rule
+out the send-while-both-full deadlock.
 
 Fault tolerance
 ---------------
@@ -83,16 +91,25 @@ sacrificing the identical-graph guarantee:
   the kernel's cleanup) are caught by a heartbeat: whenever no reply
   arrives for ``heartbeat_seconds``, every waited-on worker's process
   is liveness-checked;
-* **retry** — the chunks in flight on a lost worker are re-dispatched
-  with ``ship_all=True``: the dead worker may have inserted successor
-  digests into the shared visited table and died before shipping their
-  bytes, so the retry expander ships every successor unconditionally
-  (the coordinator dedupes) rather than trusting the filter.
-  Re-expansion is idempotent: the view is deterministic and chunk
-  results are keyed by absolute frontier position, so a retried chunk
-  yields byte-identical rows no matter which worker runs it.  Each loss
-  bumps the chunk's retry count; past ``max_partition_retries`` the
-  pool raises :class:`~repro.engine.errors.PartitionRetryExhausted`;
+* **retry** — the coordinator first drains whatever the dead worker
+  shipped before dying (pipe data written pre-crash stays readable):
+  completed reply batches are ingested normally, and the per-chunk
+  :data:`ACK` markers advance a cursor identifying the chunk that was
+  *being expanded* at death.  Only that chunk takes the blame (retry
+  bump, split, quarantine) — with batched replies the first un-replied
+  chunk may already have been expanded cleanly into a batch that never
+  shipped, and blaming it would let a poison state that rides behind a
+  batchmate push an innocent singleton into quarantine.  All in-flight
+  chunks are re-dispatched with ``ship_all=True``: the dead worker may
+  have inserted successor digests into the shared visited table and
+  died before shipping their bytes, so the retry expander ships every
+  successor unconditionally (the coordinator dedupes) rather than
+  trusting the filter.  Re-expansion is idempotent: the view is
+  deterministic and chunk results are keyed by absolute frontier
+  position, so a retried chunk yields byte-identical rows no matter
+  which worker runs it.  Each loss bumps the blamed chunk's retry
+  count; past ``max_partition_retries`` the pool raises
+  :class:`~repro.engine.errors.PartitionRetryExhausted`;
 * **respawn** — a crashed worker slot is restarted (fresh fork, empty
   store — but the *shared* visited table survives, so the incarnation
   does not re-ship the world) up to ``max_worker_restarts`` times with
@@ -163,6 +180,11 @@ WINDOW = 2
 
 #: Max queued chunks a worker folds into one batched reply.
 BATCH_REPLIES = 8
+
+#: Marker a worker sends just before expanding a chunk, so the
+#: coordinator can attribute a crash to the chunk actually in progress
+#: (batched replies make "first un-replied" the wrong guess).
+ACK = "__ack__"
 
 
 def fork_available() -> bool:
@@ -329,6 +351,15 @@ def _worker_main(
             messages.append(queued)
         payloads = []
         for entries, ship_all in messages:
+            # The ack marks this chunk as the one being expanded: if the
+            # process dies before the batched reply ships, coordinator
+            # blame lands here rather than on an innocent batchmate.
+            # Sent before the poison check so a poisoned chunk takes its
+            # own blame.
+            try:
+                conn.send(ACK)
+            except (BrokenPipeError, OSError):
+                return
             if poison:
                 for entry in entries:
                     digest = entry if type(entry) is bytes else entry[0]
@@ -619,6 +650,9 @@ class WorkerPool:
         self._handles: list = []
         self._alive: list[bool] = []
         self._restarts: list[int] = []
+        # Per worker: chunks acked as started but not yet replied — the
+        # crash-blame cursor (see _worker_lost).
+        self._started: list[int] = []
         self.seen: list[set] = []
         self.actions: list[list] = []
         self._context = None
@@ -651,6 +685,7 @@ class WorkerPool:
             self._handles = [self._spawn() for _ in range(self.workers)]
         self._alive = [True] * self.workers
         self._restarts = [0] * self.workers
+        self._started = [0] * self.workers
         self.seen = [set() for _ in range(self.workers)]
         self.actions = [[] for _ in range(self.workers)]
         return self
@@ -740,15 +775,29 @@ class WorkerPool:
                 break
             for worker in self._collect_ready():
                 try:
-                    batch = self._handles[worker].recv()
+                    message = self._handles[worker].recv()
                 except (EOFError, OSError):
                     self._worker_lost(worker)
                     continue
-                for payload in batch:
-                    self._outstanding[worker] -= 1
-                    self._ingest(worker, self._inflight[worker].popleft(), payload)
+                self._receive(worker, message)
         self.last_round_producers = len(self._producers)
         return self._results
+
+    def _receive(self, worker: int, message) -> None:
+        """Process one worker message: an ack or a batched reply.
+
+        Acks advance the started-chunk cursor; each payload of a reply
+        batch retires the oldest in-flight chunk (the worker expands and
+        replies strictly FIFO) and its ack.
+        """
+        if message == ACK:
+            self._started[worker] += 1
+            return
+        for payload in message:
+            self._outstanding[worker] -= 1
+            if self._started[worker]:  # local expanders do not ack
+                self._started[worker] -= 1
+            self._ingest(worker, self._inflight[worker].popleft(), payload)
 
     def _build_chunks(self, items) -> None:
         # Shard by digest as always; a dead shard's bucket is routed to a
@@ -812,6 +861,24 @@ class WorkerPool:
         while queue:
             chunk = queue[0]
             entries, stateful, fresh = self._encode(worker, chunk)
+            if stateful and len(chunk.items) > CHUNK_STATES:
+                # Build-time sizing assumed the target still held these
+                # digests (cap CHUNK_DIGESTS); a respawn or reassignment
+                # since then turns every entry into a bootstrap pair, so
+                # re-split at send time to keep each message under the
+                # CHUNK_STATES bound the pipe-sizing argument relies on.
+                # A transport split, not a blame split: retries carry over.
+                queue.popleft()
+                for start in reversed(range(0, len(chunk.items), CHUNK_STATES)):
+                    queue.appendleft(
+                        _Chunk(
+                            chunk.positions[start : start + CHUNK_STATES],
+                            chunk.items[start : start + CHUNK_STATES],
+                            retries=chunk.retries,
+                            ship_all=chunk.ship_all,
+                        )
+                    )
+                continue
             # Digest-only chunks ride the pipe buffer (WINDOW in flight);
             # a bootstrap-carrying chunk (the large kind) goes only to an
             # idle worker whose blocking recv drains the pipe.
@@ -982,9 +1049,18 @@ class WorkerPool:
     def _worker_lost(self, worker: int) -> None:
         if self.local or not self._alive[worker]:
             return
+        handle = self._handles[worker]
+        # Salvage what the dead worker shipped before dying (pipe data
+        # written pre-crash stays readable): completed reply batches are
+        # ingested normally — their chunks need no retry — and acks
+        # advance the started-chunk cursor that decides blame below.
+        try:
+            while handle.conn.poll():
+                self._receive(worker, handle.conn.recv())
+        except (EOFError, OSError):
+            pass
         self._alive[worker] = False
         self.worker_failures += 1
-        handle = self._handles[worker]
         try:
             handle.conn.close()
         except OSError:
@@ -992,9 +1068,21 @@ class WorkerPool:
         handle.process.join(timeout=0.2)
         inflight = list(self._inflight[worker])
         pending = list(self._pending[worker])
+        started = self._started[worker]
         self._inflight[worker].clear()
         self._pending[worker].clear()
         self._outstanding[worker] = 0
+        self._started[worker] = 0
+        # Workers expand chunks strictly FIFO but reply in batches, so
+        # the chunk being expanded at death is the *last acked*
+        # un-replied one — in-flight chunks before it were already
+        # expanded into a batch that never shipped, those after it sat
+        # unread in the pipe.  Only that chunk takes the blame (retry
+        # bump, split, quarantine); the rest re-dispatch unbumped so a
+        # poison state riding behind a batchmate cannot push innocent
+        # states into quarantine.  With no ack at all the worker died
+        # before expanding anything, and nothing is blamed.
+        blamed = started - 1 if 0 < started <= len(inflight) else None
         if self.metrics.enabled:
             self.metrics.counter("engine.worker_failures").inc()
         if self.tracer.enabled:
@@ -1006,7 +1094,7 @@ class WorkerPool:
                 pending=len(pending),
                 restarts=self._restarts[worker],
             )
-            if inflight:
+            if blamed is not None:
                 # The blamed chunk died with the worker; its telemetry is
                 # gone, so the coordinator synthesizes the closed span the
                 # worker never got to flush.
@@ -1018,22 +1106,15 @@ class WorkerPool:
                     status="lost",
                     worker=worker,
                     round=self._round,
-                    states=len(inflight[0].items),
+                    states=len(inflight[blamed].items),
                 )
         requeue: list = []
-        # Workers process chunks strictly FIFO, so only the *first*
-        # un-replied chunk was being expanded when the worker died —
-        # that one takes the blame (retry bump, split, quarantine).
-        # Later in-flight chunks sat unread in the pipe (or were expanded
-        # into a batched reply that never left): re-dispatching them
-        # unbumped keeps cascading crashes (several workers dying while
-        # partitions bounce between them) from quarantining innocent
-        # states.  Every requeued in-flight chunk is marked ship_all —
-        # the dead worker may have claimed visited-table slots for their
+        # Every requeued in-flight chunk is marked ship_all — the dead
+        # worker may have claimed visited-table slots for their
         # successors without the bytes ever reaching the coordinator.
         for index, chunk in enumerate(inflight):
             chunk.ship_all = True
-            if index > 0:
+            if index != blamed:
                 requeue.append(chunk)
                 continue
             chunk.retries += 1
@@ -1147,6 +1228,7 @@ class WorkerPool:
         self.actions = [[] for _ in range(self.workers)]
         self._inflight = [deque() for _ in range(self.workers)]
         self._outstanding = [0] * self.workers
+        self._started = [0] * self.workers
         if self.metrics.enabled:
             self.metrics.counter("engine.pool_collapses").inc()
         for index, chunk in enumerate(chunks):

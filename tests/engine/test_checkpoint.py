@@ -129,6 +129,37 @@ class TestFormatV2:
         decoded_hubs = {id(rows[0][2]) for rows in loaded.edges.values()}
         assert len(decoded_hubs) == 1
 
+    def test_equal_but_digest_distinct_states_keep_their_indices(self, tmp_path):
+        """Regression: ``index_of`` keyed by state equality collapsed
+        digest-distinct nodes like ``(1,)``/``(True,)`` (they compare ==)
+        to one order index, so saved edges and frontier pointed at the
+        wrong node after resume (REVIEW: checkpoint.py _pack_payload)."""
+        root = ("root",)
+        one, true = (1, "x"), (True, "x")
+        assert one == true and fingerprint(one) != fingerprint(true)
+        checkpoint = Checkpoint(
+            root=root,
+            root_digest=fingerprint(root),
+            order=[root, true, one],
+            edges={root: [("t", "act", one)]},
+            frontier=[one, true],
+            transitions=1,
+            elapsed_seconds=0.0,
+        )
+        payload = pickle.loads(save_checkpoint(tmp_path, checkpoint).read_bytes())
+        assert payload["mode"] == "packed"
+        # order[1] is (True, "x"), order[2] is (1, "x"): the edge must
+        # reference index 2 and the frontier [2, 1] — not first-==-wins.
+        assert payload["edges"] == [(0, [(0, 0, 2)])]
+        assert payload["frontier"] == [2, 1]
+        loaded = load_checkpoint(checkpoint_path(tmp_path, checkpoint.root_digest))
+        assert [digest_of_packed(packed) for packed in loaded.packed_order] == [
+            fingerprint(state) for state in checkpoint.order
+        ]
+        assert loaded.frontier[0][0] is not True  # decoded (1, "x"), not (True, "x")
+        assert loaded.frontier[1][0] is True
+        assert loaded.edges[root][0][2][0] is not True
+
     def test_dataclass_states_roundtrip_through_registry(self, tmp_path):
         root = Cell("root", 0)
         child = Cell("child", 1)

@@ -92,18 +92,62 @@ class TestDigestParity:
 
 
 class TestCodecCache:
-    def test_component_cache_hits(self):
+    def test_component_cache_hits_by_identity(self):
         codec = Codec()
-        codec.encode((Point(1, 2), "a"))
-        codec.encode((Point(1, 2), "b"))  # Point component is a hit now
+        point = Point(1, 2)
+        codec.encode((point, "a"))
+        codec.encode((point, "b"))  # same Point object is a hit now
         hits, misses = codec.stats()
         assert hits == 1
         assert misses == 3
+
+    def test_equal_scalars_hit_across_objects(self):
+        codec = Codec()
+        codec.encode((int("1" * 30), "endpoint-0"))
+        # Equal-but-distinct int/str objects land in the equality tier.
+        codec.encode((int("1" * 30), "endpoint-" + "0"))
+        hits, misses = codec.stats()
+        assert hits == 2
+        assert misses == 2
 
     def test_unhashable_component_encodes_uncached(self):
         codec = Codec()
         packed = codec.encode(([1, 2], "x"))
         assert packed == canonical_bytes(((1, 2), "x"))
+
+    def test_bool_int_components_never_share_cache(self):
+        """Regression: ==-keyed caching returned the first-cached encoding
+        for every ``True``/``1``/``1.0``-style equal value, making digests
+        encounter-order dependent (REVIEW: codec.py component_bytes)."""
+        codec = Codec()
+        packed_true, digest_true = codec.encode_digest((True, "x"))
+        packed_one, digest_one = codec.encode_digest((1, "x"))
+        packed_float, digest_float = codec.encode_digest((1.0, "x"))
+        assert len({packed_true, packed_one, packed_float}) == 3
+        assert len({digest_true, digest_one, digest_float}) == 3
+        # The packed bytes decode to their own value, not the first-seen.
+        assert codec.decode(packed_one)[0] is not True
+        assert codec.decode(packed_one) == (1, "x")
+        assert codec.decode(packed_true)[0] is True
+        # Digest parity with the uncached path, in every encounter order.
+        assert digest_one == fingerprint((1, "x"))
+        assert digest_true == fingerprint((True, "x"))
+        reordered = Codec()
+        assert reordered.encode_digest((1, "x")) == (packed_one, digest_one)
+        assert reordered.encode_digest((True, "x")) == (packed_true, digest_true)
+
+    def test_equal_containers_with_distinct_encodings(self):
+        codec = Codec()
+        packed_false = codec.encode(((False,), "x"))
+        packed_zero = codec.encode(((0,), "x"))  # (0,) == (False,)
+        assert packed_false != packed_zero
+        assert codec.decode(packed_zero)[0][0] is not False
+        assert packed_zero == canonical_bytes(((0,), "x"))
+
+    def test_negative_zero_float_not_conflated(self):
+        codec = Codec()
+        assert codec.encode((0.0, "x")) != codec.encode((-0.0, "x"))
+        assert codec.encode((0.0, "x")) == canonical_bytes((0.0, "x"))
 
 
 class TestInterning:

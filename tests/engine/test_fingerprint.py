@@ -104,3 +104,19 @@ class TestIndexes:
         index.add("a", digest)
         known, _ = index.check("a", digest)
         assert known
+
+    def test_index_distinguishes_bool_int_states(self):
+        """Regression: the codec's shared component cache conflated
+        (True, ...) and (1, ...) into one digest whichever was checked
+        first, which audit mode then surfaced as a FingerprintCollision
+        (REVIEW: codec cache).  Both orders, one warm cache."""
+        for states in [((True, "x"), (1, "x")), ((1, "x"), (True, "x"))]:
+            index = FingerprintIndex(DIGEST_SIZE, audit=True)
+            digests = set()
+            for state in states:
+                known, digest = index.check(state, None)
+                assert not known
+                index.add(state, digest)
+                assert digest == fingerprint(state, DIGEST_SIZE)
+                digests.add(digest)
+            assert len(digests) == 2

@@ -202,6 +202,16 @@ class TestFingerprintSupport:
             assert fingerprint_components(state, cache, 16) == fingerprint(state, 16)
         assert fingerprint_components("scalar", cache) == fingerprint("scalar")
 
+    def test_fingerprint_components_bool_int_not_conflated(self):
+        """Regression: an ==-keyed cache made (1, ...) digest as (True, ...)
+        once the bool had been cached first (REVIEW: codec cache)."""
+        cache: dict = {}
+        states = [(True, "x"), (1, "x"), (1.0, "x"), ((False,), "y"), ((0,), "y")]
+        digests = [fingerprint_components(state, cache, 16) for state in states]
+        assert len(set(digests)) == len(states)
+        for state, digest in zip(states, digests):
+            assert digest == fingerprint(state, 16)
+
 
 class TestCli:
     def test_stats_compare_reduction(self, capsys):
