@@ -44,10 +44,11 @@ Quickstart::
     assert verdict.refuted  # Theorem 2, witnessed on this instance
 
 Stable top-level surface: the names re-exported below (the analysis
-entry points, :class:`Budget`, :class:`ReductionConfig`, and
-:class:`ExplorationEngine`) are the supported public API; everything
-else is importable from its subpackage but may move between minor
-versions.  See ``docs/api.md``.
+entry points, :class:`Budget`, :class:`ReductionConfig`,
+:class:`ExplorationEngine`, and the :class:`StateStore` /
+:class:`StoreConfig` storage-backend surface) are the supported public
+API; everything else is importable from its subpackage but may move
+between minor versions.  See ``docs/api.md``.
 """
 
 from . import (
@@ -63,7 +64,13 @@ from . import (
     types,
 )
 from .analysis import analyze_valence, explore, find_hook, refute_candidate
-from .engine import Budget, ExplorationEngine, ReductionConfig
+from .engine import (
+    Budget,
+    ExplorationEngine,
+    ReductionConfig,
+    StateStore,
+    StoreConfig,
+)
 
 __version__ = "1.0.0"
 
@@ -71,6 +78,8 @@ __all__ = [
     "Budget",
     "ExplorationEngine",
     "ReductionConfig",
+    "StateStore",
+    "StoreConfig",
     "analysis",
     "analyze_valence",
     "core",

@@ -42,7 +42,11 @@ directly: ``--workers N`` parallelizes the explorations, ``--deadline
 SECONDS`` bounds each stage's wall clock, ``--max-worker-restarts N``
 tunes crash recovery, and ``--checkpoint DIR`` / ``--resume DIR``
 snapshot interrupted explorations and continue them on the next
-invocation instead of starting over.  ``--json`` replaces the narrative
+invocation instead of starting over.  ``--store URI`` keeps packed
+states in a disk-backed :class:`~repro.engine.StateStore`
+(``sqlite:/path`` or ``mmap:/path``; default from
+``$REPRO_ENGINE_STORE``) with streaming delta checkpoints, and
+``--rss-limit-mb MB`` enforces an address-space ceiling on the run.  ``--json`` replaces the narrative
 with one machine-readable document built from the results' shared
 ``summary()``/``to_json()`` protocol.
 """
@@ -78,6 +82,31 @@ def _print_exploration_summary(metrics, elapsed: float) -> None:
     )
 
 
+def _apply_rss_limit(limit_mb: int, say) -> None:
+    """Enforce ``limit_mb`` MiB of address space via ``setrlimit``.
+
+    ``RLIMIT_RSS`` is a no-op on modern Linux kernels, so the ceiling is
+    applied to ``RLIMIT_AS`` instead — a slight over-approximation of
+    resident size (it counts mapped-but-untouched pages), which is the
+    conservative direction for a memory ceiling.  Failure to apply the
+    limit (unsupported platform, cap below current usage) warns and
+    continues rather than killing the run: the engine still records
+    ``peak_rss_kb`` against ``rss_limit_mb`` in its report.
+    """
+    try:
+        import resource
+
+        limit = limit_mb << 20
+        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+    except (ImportError, ValueError, OSError) as error:
+        print(
+            f"warning: could not enforce --rss-limit-mb {limit_mb}: {error}",
+            file=sys.stderr,
+        )
+    else:
+        say(f"RSS ceiling: {limit_mb} MB (RLIMIT_AS)")
+
+
 def _run_pipeline(args: argparse.Namespace, tracer, metrics):
     """Shared refute/trace/stats driver.
 
@@ -111,13 +140,18 @@ def _run_pipeline(args: argparse.Namespace, tracer, metrics):
             f"(ratio {comparison.state_ratio:.2f}x), verdicts identical"
         )
     checkpoint_dir = args.resume if args.resume is not None else args.checkpoint
+    rss_limit_mb = getattr(args, "rss_limit_mb", None)
+    if rss_limit_mb is not None:
+        _apply_rss_limit(rss_limit_mb, say)
     engine = ExplorationEngine(
         workers=args.workers,
         budget=Budget(
             max_states=args.max_states, deadline_seconds=args.deadline
         ),
+        store=getattr(args, "store", None),
         checkpoint_dir=checkpoint_dir,
         resume=args.resume is not None,
+        rss_limit_mb=rss_limit_mb,
         max_worker_restarts=getattr(args, "max_worker_restarts", None),
         progress=True if getattr(args, "progress", False) else None,
     )
@@ -625,6 +659,24 @@ def main(argv: list[str] | None = None) -> int:
             default=int(os.environ.get("REPRO_ENGINE_WORKERS", "1")),
             help="parallel exploration workers (1 = in-process; "
             "default from $REPRO_ENGINE_WORKERS)",
+        )
+        subparser.add_argument(
+            "--store",
+            default=os.environ.get("REPRO_ENGINE_STORE") or None,
+            metavar="URI",
+            help="state-store backend for explorations: 'memory' (default), "
+            "'sqlite:/path' or 'mmap:/path' to hold packed states on disk "
+            "(10^6+-state runs under a bounded RSS; default from "
+            "$REPRO_ENGINE_STORE)",
+        )
+        subparser.add_argument(
+            "--rss-limit-mb",
+            type=int,
+            default=None,
+            metavar="MB",
+            help="enforce an address-space ceiling (RLIMIT_AS) of MB "
+            "mebibytes on this process before exploring; the engine "
+            "report records peak RSS against the ceiling",
         )
         subparser.add_argument(
             "--max-worker-restarts",

@@ -133,6 +133,7 @@ def refute_candidate(
     reduction=None,
     *,
     budget=None,
+    store=None,
 ) -> Verdict:
     """Run the full Theorem 2/9/10 adversary pipeline against a candidate.
 
@@ -163,11 +164,30 @@ def refute_candidate(
     question, so symmetry and POR are both sound there); the hook-search
     exploration strips POR — the Fig. 3 walk needs every single-step
     edge, which ample sets drop — keeping only the symmetry quotient.
+    Reduction composes with a parallel and/or store-backed engine: the
+    reduced view is what the engine (and its workers) expand, whatever
+    holds the visited set.
+
+    ``store`` selects a :mod:`repro.engine.store` backend (URI string,
+    :class:`repro.engine.StoreConfig`, or
+    :class:`repro.engine.StateStore`) for every exploration of the
+    pipeline; a configured directory is namespaced per exploration by
+    root digest.  Mutually exclusive with ``engine`` — a preconfigured
+    engine already carries its own store choice.
     """
     # Lazy: repro.engine imports this package at load time.
     from ..engine.budget import resolve_budget
 
     budget = resolve_budget(budget, max_states)
+    if store is not None:
+        if engine is not None:
+            raise TypeError(
+                "pass store= or a preconfigured engine=, not both "
+                "(construct the engine with store=... instead)"
+            )
+        from ..engine import ExplorationEngine
+
+        engine = ExplorationEngine(workers=1, budget=budget, store=store)
     f = default_resilience(system) if resilience is None else resilience
     if reduction is not None and reduction.enabled:
         import dataclasses as _dataclasses

@@ -133,6 +133,7 @@ def explore(
     metrics: MetricsRegistry = NULL_METRICS,
     *,
     budget=None,
+    store=None,
 ) -> StateGraph:
     """Breadth-first exploration of the failure-free reachable graph.
 
@@ -141,6 +142,15 @@ def explore(
     ``max_states`` survives as a deprecated alias for
     ``budget=Budget(max_states=...)`` and emits a
     :class:`DeprecationWarning`.
+
+    ``store`` selects a :mod:`repro.engine.store` backend for the
+    run's states — a URI string (``"sqlite:/path"``, ``"mmap:/path"``,
+    ``"memory"``), a :class:`repro.engine.StoreConfig`, or a
+    :class:`repro.engine.StateStore` instance.  ``None`` (the default)
+    keeps the classic in-RAM exploration.  Note this function still
+    returns the fully materialized graph; for disk-bound runs that must
+    not decode every state back into RAM, use
+    :meth:`repro.engine.ExplorationEngine.scan`.
 
     ``prune`` may cut off exploration below selected states (used, e.g.,
     to stop below states where every process has decided — their
@@ -163,7 +173,7 @@ def explore(
     from ..engine.budget import resolve_budget
 
     engine = ExplorationEngine(
-        workers=1, budget=resolve_budget(budget, max_states)
+        workers=1, budget=resolve_budget(budget, max_states), store=store
     )
     return engine.explore(view, root, prune=prune, tracer=tracer, metrics=metrics)
 

@@ -18,7 +18,13 @@ The engine is the scalable successor of
   structured :class:`BudgetExhausted` carrying partial-progress stats;
 * :mod:`repro.engine.checkpoint`  — periodic frontier + visited-set
   snapshots so interrupted or budget-exhausted runs resume instead of
-  restarting;
+  restarting (monolithic files for in-RAM runs, streaming delta
+  segments for store-backed ones);
+* :mod:`repro.engine.store`       — the pluggable :class:`StateStore`
+  backends (``memory`` / ``sqlite`` / ``mmap``) behind external-memory
+  exploration: digest-keyed state storage, a prefix-sharded visited
+  set, and a spillable FIFO frontier, so 10^6+-state runs hold packed
+  bytes on disk instead of decoded states in RAM;
 * :mod:`repro.engine.parallel`    — the fork-based worker pool doing
   frontier-partitioned parallel BFS (states sharded by digest), with an
   in-process fallback when ``workers=1`` or fork is unavailable;
@@ -57,13 +63,18 @@ from .codec import (
 from .checkpoint import (
     Checkpoint,
     CheckpointError,
+    Segment,
     checkpoint_path,
+    compact_segments,
     discard_checkpoint,
     find_checkpoint,
     list_checkpoints,
     load_checkpoint,
+    load_segment,
     resume_hint,
     save_checkpoint,
+    save_segment,
+    segment_dir,
 )
 from .errors import (
     EngineError,
@@ -82,6 +93,18 @@ from .fingerprint import (
     shard_of,
 )
 from .parallel import WorkerPool, fork_available
+from .store import (
+    MemoryStore,
+    MmapStore,
+    SQLiteStore,
+    StateStore,
+    StoreConfig,
+    StoreError,
+    StoreStats,
+    open_store,
+    resolve_flush_interval,
+    resolve_store,
+)
 from .visited import (
     LocalVisitedFilter,
     SharedVisitedTable,
@@ -116,20 +139,29 @@ __all__ = [
     "FingerprintCollision",
     "FingerprintIndex",
     "LocalVisitedFilter",
+    "MemoryStore",
+    "MmapStore",
     "PartitionRetryExhausted",
     "ReducedView",
     "ReductionAuditError",
     "ReductionComparison",
     "ReductionConfig",
+    "SQLiteStore",
+    "Segment",
     "SharedVisitedTable",
     "StateIndex",
     "StateQuarantined",
+    "StateStore",
+    "StoreConfig",
+    "StoreError",
+    "StoreStats",
     "WorkerLost",
     "WorkerPool",
     "audit_reduction",
     "build_reduced_view",
     "canonical_bytes",
     "checkpoint_path",
+    "compact_segments",
     "compare_reduction",
     "decode_bytes",
     "digest_of_packed",
@@ -140,11 +172,17 @@ __all__ = [
     "fork_available",
     "list_checkpoints",
     "load_checkpoint",
+    "load_segment",
+    "open_store",
     "register_codec_type",
     "registered_codec_types",
     "resolve_budget",
+    "resolve_flush_interval",
+    "resolve_store",
     "resume_hint",
     "save_checkpoint",
+    "save_segment",
+    "segment_dir",
     "shard_of",
     "shared_memory_available",
 ]

@@ -62,6 +62,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Hashable
 
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX
+    _resource = None
+
 from ..analysis.explorer import StateGraph, StateSet
 from ..analysis.view import DeterministicSystemView
 from ..obs.events import CHECKPOINT_SAVED, STATE_EXPLORED, WORKER_ROUND
@@ -73,19 +78,42 @@ from .budget import DEFAULT_BUDGET, Budget, BudgetExhausted, Deadline
 from .chaos import FaultPlan
 from .checkpoint import (
     Checkpoint,
+    CheckpointError,
+    Segment,
+    compact_segments,
     discard_checkpoint,
     find_checkpoint,
     load_checkpoint,
+    load_segment,
     resume_hint,
     save_checkpoint,
+    save_segment,
+    segment_dir,
 )
 from .codec import Codec, digest_of_packed
 from .errors import EngineError
 from .fingerprint import DIGEST_SIZE, FingerprintIndex, StateIndex
 from .parallel import PRUNED, QUARANTINED, WorkerPool
+from .store import (
+    StateStore,
+    StoreConfig,
+    open_store,
+    resolve_flush_interval,
+    resolve_store,
+)
 
 #: Sequential deadline checks happen every this many expansions.
 _DEADLINE_STRIDE = 512
+
+#: Store-mode cap on the view's decoded-state transition memo (entries).
+#: Each entry pins a full decoded state, so the cap — not the store —
+#: decides the coordinator's working-set RSS between flushes.
+STEP_CACHE_LIMIT = 20_000
+
+#: Store-mode cap on the codec's interning caches (combined entries).
+#: They pin one component object + encoding per distinct component value
+#: ever seen, which grows linearly with states streamed through the run.
+CODEC_CACHE_LIMIT = 100_000
 
 
 class _Exhausted(Exception):
@@ -129,10 +157,65 @@ class _Run:
         "pruned_tasks",
         "quarantined",
         "pool",
+        "store",
+        "store_mode",
+        "owns_store",
+        "task_slot",
+        "segment_seq",
     )
 
     def elapsed(self) -> float:
         return self.elapsed_prior + (time.monotonic() - self.started)
+
+    def states_count(self) -> int:
+        return len(self.store) if self.store_mode else len(self.order)
+
+    def frontier_count(self) -> int:
+        return self.store.frontier_len() if self.store_mode else len(self.frontier)
+
+
+class _StorePackedMap:
+    """``packed_of`` for store-backed parallel rounds.
+
+    The :class:`~repro.engine.parallel.WorkerPool` wire protocol reads
+    and writes one digest-keyed mapping of canonical bytes; this adapter
+    answers from the store for every discovered digest and stages the
+    novel bytes worker replies deliver in ``pending`` until the merge
+    loop commits them (or the round ends — uncommitted novel bytes are
+    recomputed on resume, exactly like the classic table's extras are
+    dropped with the process).
+    """
+
+    __slots__ = ("store", "pending")
+
+    def __init__(self, store: StateStore) -> None:
+        self.store = store
+        self.pending: dict[bytes, bytes] = {}
+
+    def get(self, digest: bytes) -> bytes | None:
+        packed = self.pending.get(digest)
+        if packed is None:
+            packed = self.store.get(digest)
+        return packed
+
+    def __getitem__(self, digest: bytes) -> bytes:
+        packed = self.get(digest)
+        if packed is None:
+            raise KeyError(digest)
+        return packed
+
+    def __setitem__(self, digest: bytes, packed: bytes) -> None:
+        self.pending[digest] = packed
+
+    def setdefault(self, digest: bytes, packed: bytes) -> bytes:
+        existing = self.get(digest)
+        if existing is not None:
+            return existing
+        self.pending[digest] = packed
+        return packed
+
+    def __contains__(self, digest: bytes) -> bool:
+        return self.get(digest) is not None
 
 
 @dataclass(frozen=True)
@@ -171,6 +254,22 @@ class EngineReport:
     #: after being lost with a crashed worker (see the engine's
     #: missing-bytes recovery).
     recovered_states: int = 0
+    #: Which :mod:`~repro.engine.store` backend held the run's states —
+    #: ``"memory"`` covers both classic in-RAM runs and the explicit
+    #: memory backend.
+    store_backend: str = "memory"
+    #: Frontier digests that overflowed the in-memory window onto disk.
+    spilled_states: int = 0
+    #: Durable store flushes (each one is a delta-checkpoint boundary).
+    store_flushes: int = 0
+    #: Wall-clock seconds spent inside store flushes.
+    store_flush_seconds: float = 0.0
+    #: The coordinator's own peak RSS in KiB (``ru_maxrss``; add
+    #: ``worker_rss_kb`` for the whole-run number, as documented there).
+    peak_rss_kb: int = 0
+    #: The RSS ceiling the run was asked to respect (reporting only; the
+    #: CLI enforces it with ``resource.setrlimit`` before the run).
+    rss_limit_mb: int | None = None
 
     def summary(self) -> str:
         """One-line human summary (the shared report protocol)."""
@@ -191,6 +290,17 @@ class EngineReport:
             line += f"; {len(self.quarantined)} state(s) QUARANTINED"
         if self.degraded:
             line += "; degraded to in-process expansion"
+        if self.store_backend != "memory":
+            line += (
+                f"; store={self.store_backend}"
+                f" ({self.store_flushes} flushes"
+                f", {self.spilled_states} frontier digests spilled)"
+            )
+        if self.rss_limit_mb is not None:
+            line += (
+                f"; rss {self.peak_rss_kb / 1024:.0f}"
+                f"/{self.rss_limit_mb} MB"
+            )
         return line
 
     def to_json(self) -> dict:
@@ -208,6 +318,12 @@ class EngineReport:
             "quarantined": list(self.quarantined),
             "worker_rss_kb": list(self.worker_rss_kb),
             "recovered_states": self.recovered_states,
+            "store_backend": self.store_backend,
+            "spilled_states": self.spilled_states,
+            "store_flushes": self.store_flushes,
+            "store_flush_seconds": self.store_flush_seconds,
+            "peak_rss_kb": self.peak_rss_kb,
+            "rss_limit_mb": self.rss_limit_mb,
         }
 
 
@@ -224,14 +340,45 @@ class ExplorationEngine:
     budget:
         The :class:`Budget`; defaults to the explorer's historical
         ``Budget(max_states=200_000)``.
+    store:
+        Where discovered states live: ``None`` (the default) keeps
+        today's in-RAM exploration; otherwise a
+        :mod:`~repro.engine.store` selector — a URI string
+        (``"memory"``, ``"sqlite:/path"``, ``"mmap:/path"``), a
+        :class:`~repro.engine.store.StoreConfig`, or a ready
+        :class:`~repro.engine.store.StateStore` instance (bound to
+        exactly one exploration).  With a store the engine runs
+        **digest-native**: decoded states are never retained, so RSS
+        stays bounded while the packed bytes stream to the backend, and
+        the produced graph is still identical to the classic one.  A
+        configured path is namespaced per exploration by root digest,
+        so pipelines reuse one directory safely.
     checkpoint_dir:
-        When set, the engine snapshots frontier + visited set + edges
-        into this directory every ``checkpoint_interval`` expansions and
-        on budget exhaustion; files are named by the root state's digest
-        and deleted when their exploration completes.
+        When set, the engine snapshots its progress into this directory
+        every ``flush_interval`` expansions and on budget exhaustion;
+        snapshots are named by the root state's digest and deleted when
+        their exploration completes.  Runs on a durable store write
+        streaming *delta segments* (tiny counter + frontier files — the
+        states are already in the store); classic and memory-store runs
+        write monolithic checkpoint files.
+    flush_interval:
+        Expansions between durable store flushes / checkpoint
+        snapshots.  ``None`` defers to the store's configured
+        :attr:`~repro.engine.store.StoreConfig.flush_interval` (50,000
+        without a store).  ``checkpoint_interval=`` is the deprecated
+        alias from the monolithic-snapshot era.
     resume:
         When true (and ``checkpoint_dir`` holds a checkpoint for this
         root), continue from the snapshot instead of starting over.
+        Store-backed runs resume from the newest delta segment (the
+        store is truncated to the segment's durable marks); either mode
+        can also resume the other's monolithic v1/v2 files.
+    rss_limit_mb:
+        The RSS ceiling the run is expected to respect, echoed in
+        :class:`EngineReport` next to the measured ``peak_rss_kb``.
+        Reporting only — enforcement belongs to the caller (the CLI's
+        ``--rss-limit-mb`` installs a ``resource.setrlimit`` address
+        -space cap before the run starts).
     fingerprints:
         ``"auto"`` (digests for parallel runs, full states
         sequentially), or a bool to force either visited-set
@@ -292,9 +439,12 @@ class ExplorationEngine:
         workers: int = 1,
         budget: Budget | None = None,
         *,
+        store: StateStore | StoreConfig | str | None = None,
         checkpoint_dir: str | Path | None = None,
-        checkpoint_interval: int = 50_000,
+        flush_interval: int | None = None,
+        checkpoint_interval: int | None = None,
         resume: bool = False,
+        rss_limit_mb: int | None = None,
         fingerprints: bool | str = "auto",
         audit: bool = False,
         digest_size: int = DIGEST_SIZE,
@@ -312,8 +462,19 @@ class ExplorationEngine:
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        if checkpoint_interval < 1:
-            raise ValueError("checkpoint_interval must be >= 1")
+        self.store = resolve_store(store)
+        flush_interval = resolve_flush_interval(
+            flush_interval, checkpoint_interval, store=self.store
+        )
+        if flush_interval < 1:
+            raise ValueError("flush_interval must be >= 1")
+        if rss_limit_mb is not None and rss_limit_mb < 1:
+            raise ValueError(f"rss_limit_mb must be >= 1, got {rss_limit_mb}")
+        if audit and self.store is not None:
+            raise ValueError(
+                "audit mode keeps full states in RAM and is incompatible "
+                "with store=; run the collision audit without a store"
+            )
         if max_worker_restarts is None:
             max_worker_restarts = int(os.environ.get("REPRO_ENGINE_MAX_RESTARTS", "3"))
         if max_worker_restarts < 0:
@@ -329,7 +490,13 @@ class ExplorationEngine:
         self.workers = workers
         self.budget = DEFAULT_BUDGET if budget is None else budget
         self.checkpoint_dir = None if checkpoint_dir is None else Path(checkpoint_dir)
-        self.checkpoint_interval = checkpoint_interval
+        self.flush_interval = flush_interval
+        #: Deprecated alias of :attr:`flush_interval` (attribute reads
+        #: only; the constructor keyword warns).
+        self.checkpoint_interval = flush_interval
+        self.rss_limit_mb = rss_limit_mb
+        #: Root digest a caller-owned StateStore instance is bound to.
+        self._store_bound: bytes | None = None
         self.resume = resume
         self.fingerprints = fingerprints
         self.audit = audit
@@ -374,17 +541,80 @@ class ExplorationEngine:
         :class:`~repro.analysis.explorer.ExplorationBudget`) when a
         budget limit is hit, with progress stats and — when
         checkpointing is on — the snapshot to resume from.
+
+        Store-backed runs materialize the returned
+        :class:`~repro.analysis.explorer.StateGraph` from the store at
+        the end — which decodes every state back into RAM.  For runs
+        whose entire point is *not* holding the graph in memory, use
+        :meth:`scan`.
         """
+        run = self._execute(view, root, prune, tracer, metrics)
+        try:
+            if run.store_mode:
+                graph = self._materialize_graph(run)
+            else:
+                graph = StateGraph(
+                    root=root, states=StateSet(run.order), edges=run.edges
+                )
+        finally:
+            self._close_store(run)
+        if self.checkpoint_dir is not None:
+            discard_checkpoint(self.checkpoint_dir, run.root_digest)
+        return graph
+
+    def scan(
+        self,
+        view: DeterministicSystemView,
+        root: Hashable,
+        prune: Callable[[Hashable], bool] | None = None,
+        *,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> EngineReport:
+        """Exhaust the graph without materializing it; returns the report.
+
+        Identical exploration to :meth:`explore` — same budgets,
+        checkpoints, and identical-graph discovery order — but nothing
+        is decoded back at the end, so a disk-backed run's RSS stays
+        bounded by the frontier window instead of the state count.
+        This is the entry point for the 10^6+-state instances the
+        in-memory engine cannot touch; the store (and its directory,
+        when configured with a real path) retains the packed graph for
+        later materialization or auditing.
+        """
+        run = self._execute(view, root, prune, tracer, metrics)
+        self._close_store(run)
+        if self.checkpoint_dir is not None:
+            discard_checkpoint(self.checkpoint_dir, run.root_digest)
+        return self.last_report
+
+    def _execute(self, view, root, prune, tracer, metrics) -> _Run:
         tracer = self.tracer if tracer is None else tracer
         metrics = self.metrics if metrics is None else metrics
         run = self._start_run(view, root, prune, tracer, metrics)
+        try:
+            self._drive(run, metrics)
+        except BaseException:
+            # Budget raises, pool failures, KeyboardInterrupt: flush a
+            # caller-owned store (so resume sees the durable prefix) and
+            # close an engine-owned one before propagating.
+            self._close_store(run)
+            raise
+        return run
+
+    def _drive(self, run: _Run, metrics) -> None:
         run_span = start_span(
-            tracer, "engine.run", workers=self.workers, resumed=run.resumed
+            run.tracer, "engine.run", workers=self.workers, resumed=run.resumed
         )
         status = "ok"
         try:
             try:
-                if self.workers > 1:
+                if run.store_mode:
+                    if self.workers > 1:
+                        self._drive_store_parallel(run)
+                    else:
+                        self._drive_store_sequential(run)
+                elif self.workers > 1:
                     self._drive_parallel(run)
                 else:
                     self._drive_sequential(run)
@@ -397,7 +627,7 @@ class ExplorationEngine:
                 raise BudgetExhausted(
                     resource=signal.resource,
                     limit=signal.limit,
-                    states=len(run.order),
+                    states=run.states_count(),
                     transitions=run.transitions,
                     elapsed_seconds=run.elapsed(),
                     checkpoint=path,
@@ -407,17 +637,17 @@ class ExplorationEngine:
                 ) from None
         finally:
             end_span(
-                tracer,
+                run.tracer,
                 run_span,
                 status=status,
-                states=len(run.order),
+                states=run.states_count(),
                 transitions=run.transitions,
                 rounds=run.rounds,
             )
             if self.progress is not None:
                 self.progress.update(
-                    states=len(run.order),
-                    frontier=len(run.frontier),
+                    states=run.states_count(),
+                    frontier=run.frontier_count(),
                     workers=self.workers,
                     elapsed=run.elapsed(),
                     budget=self.budget,
@@ -426,9 +656,6 @@ class ExplorationEngine:
                 self.progress.finish()
             self._publish(run)
             self.last_report = self._build_report(run)
-        if self.checkpoint_dir is not None:
-            discard_checkpoint(self.checkpoint_dir, run.root_digest)
-        return StateGraph(root=root, states=StateSet(run.order), edges=run.edges)
 
     # -- run setup ------------------------------------------------------------
 
@@ -467,6 +694,18 @@ class ExplorationEngine:
         run.pruned_tasks = 0
         run.quarantined = []
         run.pool = None
+        run.store = None
+        run.store_mode = False
+        run.owns_store = False
+        run.task_slot = None
+        run.segment_seq = 0
+        if self.store is not None:
+            self._start_run_external(run, packed_root, metrics)
+            run.started = time.monotonic()
+            run.deadline = Deadline(
+                self.budget.deadline_seconds, already_elapsed=run.elapsed_prior
+            )
+            return run
         checkpoint = self._load_resumable(run)
         if checkpoint is not None:
             run.order = checkpoint.order
@@ -507,6 +746,162 @@ class ExplorationEngine:
         if path is None:
             return None
         return load_checkpoint(path)
+
+    # -- store-backed runs ----------------------------------------------------
+
+    def _open_store(self, root_digest: bytes) -> tuple[StateStore, bool]:
+        """(store, engine-owned) for one exploration of ``root_digest``."""
+        configured = self.store
+        if isinstance(configured, StateStore):
+            if self._store_bound is not None and self._store_bound != root_digest:
+                raise EngineError(
+                    "a StateStore instance serves exactly one exploration; "
+                    "this one is bound to root "
+                    f"{self._store_bound.hex()} — pass a StoreConfig or URI "
+                    "to let the engine open per-run stores"
+                )
+            self._store_bound = root_digest
+            return configured, False
+        return (
+            open_store(configured, self.digest_size, namespace=root_digest.hex()),
+            True,
+        )
+
+    def _start_run_external(self, run: _Run, packed_root: bytes, metrics) -> None:
+        run.store_mode = True
+        store, run.owns_store = self._open_store(run.root_digest)
+        run.store = store
+        run.task_slot = {task: slot for slot, task in enumerate(run.view.tasks)}
+        resumed = False
+        if self.resume and self.checkpoint_dir is not None:
+            resumed = self._resume_external(run)
+        if not resumed:
+            if len(store) > 0:
+                if not run.owns_store:
+                    raise EngineError(
+                        "the StateStore already holds an exploration; pass "
+                        "resume=True to continue it or a fresh store to start over"
+                    )
+                # resume=False means start over, exactly as a stale
+                # monolithic checkpoint would be overwritten.
+                store.clear()
+            store.add(run.root_digest, packed_root)
+            store.push(run.root_digest)
+        run.resumed = resumed
+        if resumed and metrics.enabled:
+            metrics.counter("engine.resumes").inc()
+
+    def _resume_external(self, run: _Run) -> bool:
+        store = run.store
+        if store.durable:
+            segment = load_segment(self.checkpoint_dir, run.root_digest)
+            if segment is not None:
+                if len(store) < segment.marks.get("states", 0):
+                    raise CheckpointError(
+                        "delta segment expects "
+                        f"{segment.marks.get('states', 0)} states but the "
+                        f"store holds {len(store)}; resume needs the store "
+                        "directory the segment was written against"
+                    )
+                store.truncate(segment.marks)
+                store.frontier_load(segment.frontier_blob)
+                run.transitions = segment.transitions
+                run.elapsed_prior = segment.elapsed_seconds
+                run.expanded = segment.meta.get("expanded", 0)
+                compact_segments(self.checkpoint_dir, run.root_digest, segment.seq)
+                run.segment_seq = segment.seq + 1
+                return True
+        path = find_checkpoint(self.checkpoint_dir, run.root_digest)
+        if path is None or path.is_dir():
+            # No monolithic fallback (a bare segment directory cannot
+            # seed a store that lost its states).
+            return False
+        self._seed_store_from_checkpoint(run, load_checkpoint(path))
+        return True
+
+    def _seed_store_from_checkpoint(self, run: _Run, checkpoint: Checkpoint) -> None:
+        """Resume a store-backed run from a monolithic v1/v2 file.
+
+        Replays the snapshot into the (empty) store: states in discovery
+        order, expansions in commit order, frontier digests in expansion
+        order — after which the run proceeds exactly as a segment resume
+        would.
+        """
+        store = run.store
+        if len(store) > 0:
+            store.clear()
+        codec = run.codec
+        digest_of = {}
+        if checkpoint.packed_order is not None:
+            for state, packed in zip(checkpoint.order, checkpoint.packed_order):
+                digest = digest_of_packed(packed, self.digest_size)
+                if digest not in store:
+                    store.add(digest, packed)
+                digest_of.setdefault(id(state), digest)
+        else:
+            for state in checkpoint.order:
+                packed, digest = codec.encode_digest(state)
+                if digest not in store:
+                    store.add(digest, packed)
+                digest_of.setdefault(id(state), digest)
+
+        def digest_for(state) -> bytes:
+            digest = digest_of.get(id(state))
+            if digest is None:
+                digest = digest_of[id(state)] = codec.encode_digest(state)[1]
+            return digest
+
+        task_slot = run.task_slot
+        for state, rows in checkpoint.edges.items():
+            store.append_expansion(
+                digest_for(state),
+                [
+                    (
+                        task_slot[task],
+                        store.action_slot(action),
+                        digest_for(successor),
+                    )
+                    for task, action, successor in rows
+                ],
+            )
+        for state in checkpoint.frontier:
+            store.push(digest_for(state))
+        run.transitions = checkpoint.transitions
+        run.elapsed_prior = checkpoint.elapsed_seconds
+        run.expanded = len(checkpoint.edges)
+
+    def _close_store(self, run: _Run) -> None:
+        if not run.store_mode or run.store is None:
+            return
+        if run.owns_store:
+            run.store.close()
+        else:
+            run.store.flush()
+
+    def _materialize_graph(self, run: _Run) -> StateGraph:
+        """Decode the store back into a classic :class:`StateGraph`.
+
+        Positions are keyed by digest, never by ``==`` — two ==-equal
+        states with distinct encodings are distinct graph nodes (the
+        same invariant the packed checkpoint format documents).
+        """
+        store = run.store
+        codec = run.codec
+        order: list = []
+        index_of: dict[bytes, int] = {}
+        for packed in store.iter_packed():
+            digest = digest_of_packed(packed, self.digest_size)
+            index_of.setdefault(digest, len(order))
+            order.append(codec.decode(packed))
+        tasks = run.view.tasks
+        actions = store.actions()
+        edges: dict = {}
+        for parent_digest, rows in store.iter_expansions():
+            edges[order[index_of[parent_digest]]] = [
+                (tasks[task], actions[action], order[index_of[succ]])
+                for task, action, succ in rows
+            ]
+        return StateGraph(root=run.root, states=StateSet(order), edges=edges)
 
     # -- drivers --------------------------------------------------------------
 
@@ -705,6 +1100,249 @@ class ExplorationEngine:
         finally:
             pool.stop()
 
+    # -- store-backed (digest-native) drivers ---------------------------------
+    #
+    # These mirror _drive_sequential/_drive_parallel with one structural
+    # difference: no decoded state outlives its own expansion.  The
+    # frontier, visited set, and edges live in the StateStore keyed by
+    # digest; a state is decoded exactly when it is expanded (or, in
+    # parallel runs, inside a worker) and dropped immediately after, so
+    # RSS is bounded by the frontier window instead of the state count.
+    # Discovery still happens in exact frontier order — same BFS, same
+    # graph.
+
+    def _drive_store_sequential(self, run: _Run) -> None:
+        budget = self.budget
+        cancel = self.cancel
+        store = run.store
+        codec = run.codec
+        view = run.view
+        prune = run.prune
+        task_slot = run.task_slot
+        deadline_enabled = run.deadline.enabled
+        polling = deadline_enabled or cancel is not None
+        timing = run.metrics.enabled
+        progress = self.progress
+        while store.frontier_len():
+            if polling and run.expanded % _DEADLINE_STRIDE == 0:
+                if cancel is not None and cancel():
+                    raise _Exhausted("cancelled", 0.0)
+                if deadline_enabled and run.deadline.expired():
+                    raise _Exhausted("deadline", budget.deadline_seconds)
+            if progress is not None and run.expanded % 256 == 0:
+                progress.update(
+                    states=len(store),
+                    frontier=store.frontier_len(),
+                    workers=1,
+                    elapsed=run.elapsed(),
+                    budget=budget,
+                )
+            digest = store.pop()
+            state = codec.decode(store.get(digest))
+            if prune is not None and prune(state):
+                self._commit_external_empty(run, digest)
+            else:
+                if timing:
+                    before = time.perf_counter()
+                    out = view.successors(state)
+                    run.phase["expand_seconds"] = run.phase.get(
+                        "expand_seconds", 0.0
+                    ) + (time.perf_counter() - before)
+                else:
+                    out = view.successors(state)
+                rows = []
+                for task, action, successor in out:
+                    packed, succ_digest = codec.encode_digest(successor)
+                    rows.append((task_slot[task], action, succ_digest, packed))
+                self._commit_external(run, digest, rows)
+            self._maybe_checkpoint(run)
+
+    def _drive_store_parallel(self, run: _Run) -> None:
+        budget = self.budget
+        store = run.store
+        pool = WorkerPool(
+            self.workers,
+            run.view,
+            run.prune,
+            self.digest_size,
+            self.audit,
+            expected_states=budget.max_states,
+            max_worker_restarts=self.max_worker_restarts,
+            restart_backoff_seconds=self.restart_backoff_seconds,
+            max_partition_retries=self.max_partition_retries,
+            max_state_retries=self.max_state_retries,
+            quarantine=self.quarantine,
+            fault_plan=self.fault_plan,
+            heartbeat_seconds=self.heartbeat_seconds,
+            tracer=run.tracer,
+            metrics=run.metrics,
+        ).start()
+        run.pool = pool
+        codec = run.codec
+        # The wire protocol's packed_of table, backed by the store: the
+        # store serves every already-discovered digest; novel bytes from
+        # worker replies stage in an in-RAM overlay for the duration of
+        # one round's merge (they must transit RAM anyway — the reply
+        # pipe just delivered them) and reach the store via _commit.
+        # The shared visited filter starts cold on purpose: it is a
+        # filter, never truth, and re-seeding it with 10^7 digests would
+        # cost more than the duplicate shipping it avoids.
+        packed_of = _StorePackedMap(store)
+        cancel = self.cancel
+        try:
+            while store.frontier_len():
+                if cancel is not None and cancel():
+                    raise _Exhausted("cancelled", 0.0)
+                if run.deadline.expired():
+                    raise _Exhausted("deadline", budget.deadline_seconds)
+                items = []
+                while True:
+                    digest = store.pop()
+                    if digest is None:
+                        break
+                    items.append((None, digest))
+                round_span = start_span(
+                    run.tracer, "round", round=run.rounds + 1, states=len(items)
+                )
+                results = pool.run_round(
+                    run.rounds + 1,
+                    items,
+                    packed_of,
+                    run.phase,
+                    round_span_id=None if round_span is None else round_span.span_id,
+                )
+                merge_started = time.perf_counter()
+                position = 0
+                try:
+                    for position, (_, digest) in enumerate(items):
+                        result = results[position]
+                        if result == PRUNED:
+                            self._commit_external_empty(run, digest)
+                            continue
+                        if result == QUARANTINED:
+                            self._commit_external_empty(run, digest)
+                            run.quarantined.append(codec.decode(store.get(digest)))
+                            continue
+                        rows = []
+                        for task_index, action, succ_digest in result:
+                            packed = packed_of.get(succ_digest)
+                            if packed is None:
+                                packed = self._recover_packed_external(
+                                    run, digest, succ_digest, packed_of
+                                )
+                            rows.append((task_index, action, succ_digest, packed))
+                        self._commit_external(run, digest, rows)
+                except _Exhausted:
+                    # _commit_external re-queued the offending digest at
+                    # the head; slot the round's unmerged tail right
+                    # after it to preserve BFS order.
+                    state_digest = store.pop()
+                    for _, tail_digest in reversed(items[position + 1 :]):
+                        store.push_front(tail_digest)
+                    store.push_front(state_digest)
+                    end_span(run.tracer, round_span, status="exhausted")
+                    raise
+                finally:
+                    packed_of.pending.clear()
+                    run.phase["merge_seconds"] = run.phase.get(
+                        "merge_seconds", 0.0
+                    ) + (time.perf_counter() - merge_started)
+                run.rounds += 1
+                if run.tracing:
+                    run.tracer.emit(
+                        WORKER_ROUND,
+                        round=run.rounds,
+                        expanded=len(items),
+                        shards=pool.last_round_producers,
+                        frontier=store.frontier_len(),
+                    )
+                end_span(run.tracer, round_span, frontier=store.frontier_len())
+                if self.progress is not None:
+                    self.progress.update(
+                        states=len(store),
+                        frontier=store.frontier_len(),
+                        workers=self.workers,
+                        elapsed=run.elapsed(),
+                        budget=budget,
+                    )
+                self._maybe_checkpoint(run)
+        finally:
+            pool.stop()
+
+    def _commit_external_empty(self, run: _Run, digest: bytes) -> None:
+        """A pruned or quarantined expansion: node kept, no outgoing edges."""
+        run.store.append_expansion(digest, [])
+        run.expanded += 1
+        run.since_checkpoint += 1
+        if run.tracing:
+            run.tracer.emit(STATE_EXPLORED, edges=0, pruned=True)
+
+    def _commit_external(self, run: _Run, digest: bytes, out) -> None:
+        """The store-backed merge step: discover successors, log the expansion.
+
+        ``out`` rows are ``(task_slot, action, succ_digest, packed)``.
+        Budget breaches leave the identical checkpoint-consistent shape
+        the classic :meth:`_commit` documents: the offending state back
+        at the frontier's head (expansion record withheld) with any
+        successors discovered before the breach already in the store and
+        queued behind it.
+        """
+        budget = self.budget
+        store = run.store
+        if (
+            budget.max_transitions is not None
+            and run.transitions + len(out) > budget.max_transitions
+        ):
+            store.push_front(digest)
+            raise _Exhausted("transitions", budget.max_transitions)
+        intern_action = run.action_intern
+        rows = []
+        for task_slot, action, succ_digest, packed in out:
+            if succ_digest not in store:
+                if budget.max_states is not None and len(store) >= budget.max_states:
+                    store.push_front(digest)
+                    raise _Exhausted("states", budget.max_states)
+                store.add(succ_digest, packed)
+                store.push(succ_digest)
+            rows.append(
+                (
+                    task_slot,
+                    store.action_slot(intern_action.setdefault(action, action)),
+                    succ_digest,
+                )
+            )
+        store.append_expansion(digest, rows)
+        run.transitions += len(out)
+        run.expanded += 1
+        run.since_checkpoint += 1
+        if run.tracing:
+            run.tracer.emit(
+                STATE_EXPLORED, edges=len(out), frontier=store.frontier_len()
+            )
+
+    def _recover_packed_external(
+        self, run: _Run, parent_digest: bytes, digest: bytes, packed_of
+    ) -> bytes:
+        """Store-mode twin of :meth:`_recover_packed`: re-derive lost bytes
+        by re-expanding the parent (decoded from the store) in-process."""
+        parent = run.codec.decode(run.store.get(parent_digest))
+        recovered = None
+        for _task, _action, post in run.view.successors(parent):
+            packed, post_digest = run.codec.encode_digest(post)
+            packed_of.setdefault(post_digest, packed)
+            if post_digest == digest:
+                recovered = packed
+        if recovered is None:
+            raise EngineError(
+                f"worker reply referenced digest {digest.hex()} that is not "
+                "a successor of its parent state; the exploration is "
+                "corrupt (please report this)"
+            )
+        run.recovered += 1
+        if run.metrics.enabled:
+            run.metrics.counter("engine.recovered_states").inc()
+        return recovered
+
     # -- the single merge step ------------------------------------------------
 
     def _commit_pruned(self, run: _Run, state) -> None:
@@ -816,47 +1454,132 @@ class ExplorationEngine:
     # -- checkpointing --------------------------------------------------------
 
     def _maybe_checkpoint(self, run: _Run) -> None:
-        if (
-            self.checkpoint_dir is not None
-            and run.since_checkpoint >= self.checkpoint_interval
-        ):
+        if run.store_mode:
+            # The view memoizes every (state, task) transition it
+            # computes — useful for analysis passes that re-walk a
+            # materialized graph, but an unbounded decoded-state cache
+            # that defeats the store's RSS ceiling.  Trimming only on
+            # the flush cadence is not enough: between flushes the memo
+            # window alone (flush_interval parents x branching entries,
+            # each pinning a decoded composite state) reaches hundreds
+            # of MB on 10^5-state instances.  So cap it by entry count
+            # on every expansion — an O(1) length check.  BFS expands
+            # each parent exactly once, so dropping the memo costs at
+            # most a recompute of in-flight states.
+            trim = getattr(run.view, "trim_step_cache", None)
+            if trim is not None:
+                trim(STEP_CACHE_LIMIT)
+            # Same story for the codec's interning caches: they pin
+            # every distinct component object ever encoded or decoded,
+            # which for a streaming run is the whole history.
+            run.codec.trim(CODEC_CACHE_LIMIT)
+        if run.since_checkpoint < self.flush_interval:
+            return
+        if self.checkpoint_dir is not None:
             self._write_checkpoint(run)
+        elif run.store_mode:
+            # No checkpointing, but the store's write buffers must still
+            # drain on the flush cadence or a disk backend quietly grows
+            # an unbounded pending list in RAM.
+            run.store.flush()
+            run.since_checkpoint = 0
 
     def _write_checkpoint(self, run: _Run) -> Path | None:
         if self.checkpoint_dir is None:
             return None
-        checkpoint_span = start_span(run.tracer, "checkpoint", states=len(run.order))
-        path = save_checkpoint(
+        states = run.states_count()
+        checkpoint_span = start_span(run.tracer, "checkpoint", states=states)
+        if run.store_mode and run.store.durable:
+            path = self._write_segment(run)
+        elif run.store_mode:
+            # A memory store is not durable, so delta segments would
+            # reference states that die with the process: snapshot
+            # monolithically (decoding through the store), exactly as a
+            # classic run would.
+            path = self._write_monolithic_from_store(run)
+        else:
+            path = save_checkpoint(
+                self.checkpoint_dir,
+                Checkpoint(
+                    root=run.root,
+                    root_digest=run.root_digest,
+                    order=run.order,
+                    edges=run.edges,
+                    frontier=[state for state, _ in run.frontier],
+                    transitions=run.transitions,
+                    elapsed_seconds=run.elapsed(),
+                    digest_size=self.digest_size,
+                    workers=self.workers,
+                ),
+                codec=run.codec,
+            )
+        run.since_checkpoint = 0
+        if run.metrics.enabled:
+            run.metrics.counter("engine.checkpoints_written").inc()
+        if run.tracing:
+            run.tracer.emit(CHECKPOINT_SAVED, states=states, path=str(path))
+        end_span(run.tracer, checkpoint_span, path=str(path))
+        return path
+
+    def _write_segment(self, run: _Run) -> Path:
+        """One streaming delta segment: flush the store, snapshot the rest."""
+        store = run.store
+        store.flush()
+        save_segment(
+            self.checkpoint_dir,
+            Segment(
+                root_digest=run.root_digest,
+                digest_size=self.digest_size,
+                seq=run.segment_seq,
+                states=len(store),
+                transitions=run.transitions,
+                elapsed_seconds=run.elapsed(),
+                workers=self.workers,
+                marks=store.marks(),
+                frontier_blob=store.frontier_snapshot(),
+                store_uri=store.config.to_uri(),
+                meta={"expanded": run.expanded},
+            ),
+        )
+        run.segment_seq += 1
+        return segment_dir(self.checkpoint_dir, run.root_digest)
+
+    def _write_monolithic_from_store(self, run: _Run) -> Path:
+        graph = self._materialize_graph(run)
+        frontier_digests = run.store.frontier_snapshot()
+        size = self.digest_size
+        codec = run.codec
+        store = run.store
+        frontier = [
+            codec.decode(store.get(frontier_digests[offset : offset + size]))
+            for offset in range(0, len(frontier_digests), size)
+        ]
+        return save_checkpoint(
             self.checkpoint_dir,
             Checkpoint(
                 root=run.root,
                 root_digest=run.root_digest,
-                order=run.order,
-                edges=run.edges,
-                frontier=[state for state, _ in run.frontier],
+                order=list(graph.states),
+                edges=graph.edges,
+                frontier=frontier,
                 transitions=run.transitions,
                 elapsed_seconds=run.elapsed(),
                 digest_size=self.digest_size,
                 workers=self.workers,
             ),
-            codec=run.codec,
+            codec=codec,
         )
-        run.since_checkpoint = 0
-        if run.metrics.enabled:
-            run.metrics.counter("engine.checkpoints_written").inc()
-        if run.tracing:
-            run.tracer.emit(
-                CHECKPOINT_SAVED, states=len(run.order), path=str(path)
-            )
-        end_span(run.tracer, checkpoint_span, path=str(path))
-        return path
 
     # -- reporting ------------------------------------------------------------
 
     def _build_report(self, run: _Run) -> EngineReport:
         pool = run.pool
+        stats = run.store.stats() if run.store_mode else None
+        peak_rss_kb = 0
+        if _resource is not None:
+            peak_rss_kb = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
         return EngineReport(
-            states=len(run.order),
+            states=run.states_count(),
             transitions=run.transitions,
             rounds=run.rounds,
             elapsed_seconds=run.elapsed(),
@@ -871,7 +1594,13 @@ class ExplorationEngine:
                 else tuple(digest.hex() for _, digest in pool.quarantined)
             ),
             quarantined_states=(
-                () if pool is None else tuple(state for state, _ in pool.quarantined)
+                tuple(run.quarantined)
+                if run.store_mode
+                else (
+                    ()
+                    if pool is None
+                    else tuple(state for state, _ in pool.quarantined)
+                )
             ),
             worker_rss_kb=(
                 ()
@@ -882,6 +1611,12 @@ class ExplorationEngine:
                 )
             ),
             recovered_states=run.recovered,
+            store_backend="memory" if stats is None else stats.backend,
+            spilled_states=0 if stats is None else stats.spilled_states,
+            store_flushes=0 if stats is None else stats.flushes,
+            store_flush_seconds=0.0 if stats is None else stats.flush_seconds,
+            peak_rss_kb=peak_rss_kb,
+            rss_limit_mb=self.rss_limit_mb,
         )
 
     # -- metrics --------------------------------------------------------------
@@ -897,9 +1632,9 @@ class ExplorationEngine:
         if not metrics.enabled:
             return
         metrics.counter("explore.runs").inc()
-        metrics.counter("explore.states").inc(len(run.order))
+        metrics.counter("explore.states").inc(run.states_count())
         metrics.counter("explore.transitions").inc(run.transitions)
-        metrics.gauge("explore.last_run_states").set(len(run.order))
+        metrics.gauge("explore.last_run_states").set(run.states_count())
         metrics.counter("engine.runs").inc()
         metrics.counter("engine.expanded").inc(run.expanded)
         metrics.gauge("engine.workers").set(self.workers)
@@ -920,7 +1655,12 @@ class ExplorationEngine:
         if run.rounds:
             metrics.counter("engine.rounds").inc(run.rounds)
         if run.resumed:
-            metrics.gauge("engine.resumed_states").set(len(run.order))
+            metrics.gauge("engine.resumed_states").set(run.states_count())
+        if run.store_mode:
+            stats = run.store.stats()
+            metrics.counter("engine.store.flushes").inc(stats.flushes)
+            if stats.spilled_states:
+                metrics.counter("engine.store.spilled").inc(stats.spilled_states)
         for name, seconds in run.phase.items():
             if seconds:
                 metrics.counter(f"engine.phase.{name}").inc(seconds)

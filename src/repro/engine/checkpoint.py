@@ -47,12 +47,37 @@ always write v2.  :attr:`Checkpoint.packed_order` carries the packed
 states out of a v2 load so the engine can seed its tables without
 re-encoding; it is ``None`` for v1 loads and ``mode="pickle"`` v2
 payloads, where the engine falls back to encoding on resume.
+
+Streaming delta segments (store-backed runs)
+--------------------------------------------
+
+Monolithic snapshots rewrite every discovered state per checkpoint —
+a multi-GB rewrite at 10^7 states.  Runs with a durable
+:class:`~repro.engine.store.StateStore` never do that: the states and
+edges stream into the store exactly once, append-only, and the
+checkpoint becomes a tiny *segment* file written after each store
+flush.  A segment records only what the store cannot reconstruct by
+itself: progress counters, the store's durable high-water
+:meth:`~repro.engine.store.StateStore.marks`, and the frontier digests.
+
+Segments live in a directory named like the monolithic file
+(``engine-<root digest>.segs/``), one ``segment-<n>.seg`` per flush,
+appended monotonically during the run (the writer prunes all but the
+last two so disk stays bounded — the previous segment survives any
+crash mid-write).  Resume loads the newest readable segment, calls
+``store.truncate(marks)`` to drop whatever the store absorbed after
+that segment was written, reloads the frontier, and *compacts* the
+directory down to the chosen segment.  :func:`find_checkpoint` and
+:func:`list_checkpoints` surface segment directories alongside v1/v2
+files; :func:`load_checkpoint` on a segment directory raises with the
+recipe (segments carry no states — a store is required to resume).
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Hashable
@@ -63,6 +88,14 @@ from .fingerprint import DIGEST_SIZE, fingerprint
 CHECKPOINT_FORMAT = "repro-engine-checkpoint"
 CHECKPOINT_VERSION = 2
 CHECKPOINT_SUFFIX = ".ckpt"
+
+SEGMENT_FORMAT = "repro-engine-segment"
+SEGMENT_VERSION = 1
+SEGMENT_DIR_SUFFIX = ".segs"
+SEGMENT_SUFFIX = ".seg"
+
+#: Segments kept on disk during a run (newest + one crash fallback).
+_SEGMENT_RETAIN = 2
 
 
 class CheckpointError(RuntimeError):
@@ -253,6 +286,16 @@ def _unpack_payload(payload: dict, path: Path) -> Checkpoint:
 def load_checkpoint(path: str | os.PathLike) -> Checkpoint:
     """Load and validate a checkpoint file (v2 packed, v2 pickle, or v1)."""
     path = Path(path)
+    if path.is_dir():
+        # A delta-segment directory: it carries counters and frontier
+        # digests but no states (those live in the run's StateStore), so
+        # it cannot become a Checkpoint.  Point the caller at the recipe
+        # instead of failing on an unpicklable directory read.
+        raise CheckpointError(
+            f"{path} is a delta-segment directory; resuming it requires the "
+            "run's state store — pass store= (e.g. the original "
+            "'sqlite:<path>' URI) to ExplorationEngine, or --store on the CLI"
+        )
     try:
         with open(path, "rb") as handle:
             payload = pickle.load(handle)
@@ -278,26 +321,180 @@ def load_checkpoint(path: str | os.PathLike) -> Checkpoint:
     )
 
 
+@dataclass
+class Segment:
+    """One streaming delta checkpoint of a store-backed exploration.
+
+    ``marks`` is the backend-opaque payload of
+    :meth:`~repro.engine.store.StateStore.marks` at the flush this
+    segment followed; ``frontier_blob`` is the concatenated frontier
+    digests in pop order.  ``store_uri`` records the configuration the
+    segment was written under, purely as a resume sanity hint.
+    """
+
+    root_digest: bytes
+    digest_size: int
+    seq: int
+    states: int
+    transitions: int
+    elapsed_seconds: float
+    workers: int
+    marks: dict
+    frontier_blob: bytes
+    store_uri: str
+    meta: dict = field(default_factory=dict)
+
+
+def segment_dir(directory: str | os.PathLike, digest: bytes) -> Path:
+    """The delta-segment directory for a root digest."""
+    return Path(directory) / f"engine-{digest.hex()}{SEGMENT_DIR_SUFFIX}"
+
+
+def _segment_path(segments: Path, seq: int) -> Path:
+    return segments / f"segment-{seq:08d}{SEGMENT_SUFFIX}"
+
+
+def _segment_seq(path: Path) -> int:
+    try:
+        return int(path.stem.split("-", 1)[1])
+    except (IndexError, ValueError):  # pragma: no cover - foreign file
+        return -1
+
+
+def save_segment(directory: str | os.PathLike, segment: Segment) -> Path:
+    """Atomically append ``segment`` to its run's segment directory.
+
+    Older segments beyond the retain window are pruned *after* the new
+    one lands, so a crash at any point leaves at least one complete
+    segment on disk.
+    """
+    segments = segment_dir(directory, segment.root_digest)
+    segments.mkdir(parents=True, exist_ok=True)
+    path = _segment_path(segments, segment.seq)
+    payload = {
+        "format": SEGMENT_FORMAT,
+        "version": SEGMENT_VERSION,
+        "root_digest": segment.root_digest,
+        "digest_size": segment.digest_size,
+        "seq": segment.seq,
+        "states": segment.states,
+        "transitions": segment.transitions,
+        "elapsed_seconds": segment.elapsed_seconds,
+        "workers": segment.workers,
+        "marks": segment.marks,
+        "frontier": segment.frontier_blob,
+        "store": segment.store_uri,
+        "meta": segment.meta,
+    }
+    temporary = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+    try:
+        with open(temporary, "wb") as handle:
+            handle.write(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, path)
+    finally:
+        if temporary.exists():  # pragma: no cover - failed write cleanup
+            temporary.unlink()
+    for stale in sorted(segments.glob(f"segment-*{SEGMENT_SUFFIX}"), key=_segment_seq)[
+        :-_SEGMENT_RETAIN
+    ]:
+        stale.unlink(missing_ok=True)
+    return path
+
+
+def load_segment(directory: str | os.PathLike, digest: bytes) -> Segment | None:
+    """The newest readable segment for ``digest``, or None.
+
+    Falls back through older segments if the newest is torn or foreign
+    (atomic writes make that near-impossible, but resume must never die
+    on a half-written file when an older complete one exists).
+    """
+    segments = segment_dir(directory, digest)
+    if not segments.is_dir():
+        return None
+    candidates = sorted(
+        segments.glob(f"segment-*{SEGMENT_SUFFIX}"), key=_segment_seq, reverse=True
+    )
+    for path in candidates:
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            continue
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != SEGMENT_FORMAT
+            or payload.get("version") != SEGMENT_VERSION
+            or payload.get("root_digest") != digest
+        ):
+            continue
+        return Segment(
+            root_digest=payload["root_digest"],
+            digest_size=payload["digest_size"],
+            seq=payload["seq"],
+            states=payload["states"],
+            transitions=payload["transitions"],
+            elapsed_seconds=payload["elapsed_seconds"],
+            workers=payload["workers"],
+            marks=payload["marks"],
+            frontier_blob=payload["frontier"],
+            store_uri=payload["store"],
+            meta=payload.get("meta", {}),
+        )
+    return None
+
+
+def compact_segments(
+    directory: str | os.PathLike, digest: bytes, keep_seq: int
+) -> None:
+    """Drop every segment of ``digest``'s run except ``keep_seq`` (resume)."""
+    segments = segment_dir(directory, digest)
+    if not segments.is_dir():
+        return
+    for path in segments.glob(f"segment-*{SEGMENT_SUFFIX}"):
+        if _segment_seq(path) != keep_seq:
+            path.unlink(missing_ok=True)
+
+
 def find_checkpoint(
     directory: str | os.PathLike, digest: bytes
 ) -> Path | None:
-    """The checkpoint file for ``digest`` under ``directory``, if present."""
+    """The checkpoint for ``digest`` under ``directory``, if present.
+
+    Monolithic files win over segment directories when both exist (a
+    store-backed run that later completed monolithically); a segment
+    directory only counts when it holds at least one segment file.
+    """
     path = checkpoint_path(directory, digest)
-    return path if path.exists() else None
+    if path.exists():
+        return path
+    segments = segment_dir(directory, digest)
+    if segments.is_dir() and any(segments.glob(f"segment-*{SEGMENT_SUFFIX}")):
+        return segments
+    return None
 
 
 def list_checkpoints(directory: str | os.PathLike) -> list[Path]:
-    """Every checkpoint file under ``directory``, sorted by root digest.
+    """Every checkpoint under ``directory``, sorted by root digest.
 
     The serving layer uses this at restart to discover which
     explorations were in flight when the process died: each returned
-    path names its root digest (``engine-<digest>.ckpt``), so in-flight
-    jobs can be matched to their snapshots without loading payloads.
+    path names its root digest (``engine-<digest>.ckpt`` files and
+    ``engine-<digest>.segs`` delta-segment directories alike), so
+    in-flight jobs can be matched to their snapshots without loading
+    payloads.
     """
     directory = Path(directory)
     if not directory.is_dir():
         return []
-    return sorted(directory.glob(f"engine-*{CHECKPOINT_SUFFIX}"))
+    found = list(directory.glob(f"engine-*{CHECKPOINT_SUFFIX}"))
+    found.extend(
+        segments
+        for segments in directory.glob(f"engine-*{SEGMENT_DIR_SUFFIX}")
+        if segments.is_dir() and any(segments.glob(f"segment-*{SEGMENT_SUFFIX}"))
+    )
+    return sorted(found)
 
 
 def resume_hint(directory: str | os.PathLike) -> str:
@@ -314,9 +511,12 @@ def resume_hint(directory: str | os.PathLike) -> str:
 
 
 def discard_checkpoint(directory: str | os.PathLike, digest: bytes) -> None:
-    """Remove a completed exploration's checkpoint, if any."""
+    """Remove a completed exploration's checkpoint (file and/or segments)."""
     path = checkpoint_path(directory, digest)
     try:
         path.unlink()
     except FileNotFoundError:
         pass
+    segments = segment_dir(directory, digest)
+    if segments.is_dir():
+        shutil.rmtree(segments, ignore_errors=True)

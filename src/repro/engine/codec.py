@@ -527,6 +527,27 @@ class Codec:
             )
         return tuple(components)
 
+    # -- cache bounding -----------------------------------------------------
+
+    def trim(self, limit: int | None = None) -> int:
+        """Clear the interning caches; returns the entries freed.
+
+        With ``limit``, clears only once the combined entry count
+        exceeds it — an O(1) check, so callers can cap the codec on a
+        hot path.  The caches pin every distinct component object (and
+        its bytes) ever seen, which is the point for in-RAM runs — the
+        live graph shares those objects — but is unbounded growth for
+        disk-backed runs that stream millions of states through one
+        codec.  Clearing never changes encodings or decodings, only
+        cache hit rates and object sharing between decodes.
+        """
+        size = len(self._encode_cache) + len(self._decode_memo)
+        if limit is not None and size <= limit:
+            return 0
+        self._encode_cache.clear()
+        self._decode_memo.clear()
+        return size
+
     # -- stats --------------------------------------------------------------
 
     def stats(self) -> tuple[int, int]:

@@ -157,7 +157,7 @@ from ..obs.sinks import NULL_TRACER, Tracer
 from ..obs.spans import WorkerTelemetry, merge_worker_events, record_span
 from .chaos import FaultPlan
 from .codec import Codec
-from .errors import PartitionRetryExhausted, StateQuarantined
+from .errors import EngineError, PartitionRetryExhausted, StateQuarantined
 from .fingerprint import shard_of
 from .visited import LocalVisitedFilter, SharedVisitedTable, shared_memory_available
 
@@ -197,6 +197,24 @@ def _self_rss_kb() -> int:
     if _resource is None:  # pragma: no cover - non-POSIX platforms
         return 0
     return _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+
+
+#: Cap (entries) on each worker's decoded-state caches.  Both the
+#: digest->state dict and the view's transition memo are performance
+#: caches only — dedup is digest-based upstream — so clearing them is
+#: always safe; the cap keeps disk-backed runs that stream millions of
+#: states through a worker from growing its RSS without bound.
+WORKER_CACHE_LIMIT = 32_768
+
+
+def _cap_worker_caches(store: dict, view, codec: Codec) -> None:
+    """Clear a worker's decoded-state caches once they exceed the cap."""
+    if len(store) > WORKER_CACHE_LIMIT:
+        store.clear()
+    trim = getattr(view, "trim_step_cache", None)
+    if trim is not None:
+        trim(WORKER_CACHE_LIMIT)
+    codec.trim(WORKER_CACHE_LIMIT)
 
 
 def _expand_entries(
@@ -350,6 +368,7 @@ def _worker_main(
                 break
             messages.append(queued)
         payloads = []
+        _cap_worker_caches(store, view, codec)
         for entries, ship_all in messages:
             # The ack marks this chunk as the one being expanded: if the
             # process dies before the batched reply ships, coordinator
@@ -493,6 +512,11 @@ class LocalExpander:
             return
         entries, ship_all = message
         new_actions: list = []
+        # Cap the decoded-state dict only: the view is the coordinator's
+        # own (shared object), and the engine already trims its memo
+        # when a store backend makes unbounded growth a problem.
+        if len(self._store) > WORKER_CACHE_LIMIT:
+            self._store.clear()
         stored_before = len(self._store)
         tel = self._telemetry
         chunk_span = (
@@ -921,6 +945,14 @@ class WorkerPool:
             else:
                 packed = packed_of.get(digest)
                 if packed is None:
+                    if state is None:
+                        # Digest-only items (store-backed rounds) have no
+                        # state to fall back on: the store is the source
+                        # of truth and it must hold every frontier digest.
+                        raise EngineError(
+                            f"frontier digest {digest.hex()} has no packed "
+                            "bytes in the state store"
+                        )
                     packed = packed_of[digest] = self._codec.encode(state)
                 entries.append((digest, packed))
                 fresh.append(digest)

@@ -347,6 +347,26 @@ class ReducedView:
         if self.por:
             self._pipeline, self._locals = _por_tables(base.system)
 
+    def trim_step_cache(self, limit: int | None = None) -> int:
+        """Drop the decoded-state memos (base view + orbit cache).
+
+        The store-backed engine calls this on every expansion with a
+        cap so a reduced disk-backed run keeps the same RSS ceiling as
+        a raw one; see :meth:`DeterministicSystemView.trim_step_cache`.
+        The orbit cache is capped independently — its entries hold full
+        decoded states too, one per orbit image.
+        """
+        freed = 0
+        trim = getattr(self.base, "trim_step_cache", None)
+        if trim is not None:
+            freed += trim(limit)
+        if self.canonicalizer is not None:
+            cache = self.canonicalizer._cache
+            if cache and (limit is None or len(cache) > limit):
+                freed += len(cache)
+                cache.clear()
+        return freed
+
     # -- the reduced expansion ----------------------------------------------
 
     def successors(self, state: State) -> list[tuple[Task, Action, State]]:

@@ -50,8 +50,10 @@ except ImportError:  # pragma: no cover - exotic builds only
 PROBE_LIMIT = 128
 
 #: Slot-count clamps: never below 2^14 (256 KiB at 16-byte digests),
-#: never above 2^23 (128 MiB) — past that, use a disk-backed visited set
-#: (ROADMAP item 2).
+#: never above 2^23 (128 MiB) — past that, run against a disk-backed
+#: :class:`~repro.engine.store.StateStore` (``store="sqlite:..."``),
+#: whose exact visited set replaces this table as the source of truth
+#: while the table keeps its filter role per round.
 MIN_SLOTS = 1 << 14
 MAX_SLOTS = 1 << 23
 

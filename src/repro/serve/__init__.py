@@ -32,13 +32,20 @@ from .jobs import (
     Job,
     JobStore,
 )
-from .runner import JobOutcome, JobProgressReporter, execute_job, job_checkpoint_dir
+from .runner import (
+    JobOutcome,
+    JobProgressReporter,
+    execute_job,
+    job_checkpoint_dir,
+    job_store_dir,
+)
 from .scheduler import FairScheduler, LoadShedder, ShedDecision, TokenBucket
 from .wire import (
     CANDIDATES,
     DEFAULT_TENANT,
     MAX_BODY_BYTES,
     REDUCTIONS,
+    STORES,
     JobSpec,
     WireError,
     build_system,
@@ -66,6 +73,7 @@ __all__ = [
     "QUEUED",
     "REDUCTIONS",
     "RUNNING",
+    "STORES",
     "ServeConfig",
     "ServerHandle",
     "ShedDecision",
@@ -81,6 +89,7 @@ __all__ = [
     "execute_job",
     "job_checkpoint_dir",
     "job_key",
+    "job_store_dir",
     "package_version",
     "register_candidate",
     "run_in_thread",

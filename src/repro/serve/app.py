@@ -93,6 +93,7 @@ class ServeConfig:
     tenant_rate: float = 5.0
     tenant_burst: float = 10.0
     checkpoint_interval: int = 20_000
+    max_rss_limit_mb: int | None = None
     progress_interval_seconds: float = 0.2
     tracer: Tracer = NULL_TRACER
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
@@ -204,6 +205,7 @@ class VerdictServer:
                     tracer=self.tracer,
                     max_engine_workers=self.config.max_engine_workers,
                     checkpoint_interval=self.config.checkpoint_interval,
+                    max_rss_limit_mb=self.config.max_rss_limit_mb,
                 ),
             )
         finally:

@@ -16,6 +16,16 @@ dir.  The engine names checkpoint files by each exploration's root
 digest, so a restarted server re-running the job with ``resume=True``
 continues the interrupted stage instead of starting over; the directory
 is removed once the job reaches a terminal verdict.
+
+Jobs requesting a disk-backed state store (``"store": "sqlite"`` or
+``"mmap"`` in the spec — backend names only, never client paths) get a
+per-cache-key store directory next to the checkpoints; it is likewise
+removed at a terminal verdict, and a restarted server resumes from the
+store's delta segments.  A spec's ``rss_limit_mb`` is clamped to the
+server's ``max_rss_limit_mb`` and recorded in the engine report — the
+server does *not* setrlimit (jobs share the server process); enforcement
+is the operator's, via ``repro refute --rss-limit-mb`` or the service
+manager.
 """
 
 from __future__ import annotations
@@ -27,7 +37,7 @@ from pathlib import Path
 from typing import Callable
 
 from ..analysis.explorer import ExplorationBudget
-from ..engine import ExplorationEngine, ReductionConfig
+from ..engine import ExplorationEngine, ReductionConfig, StoreConfig
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.progress import ProgressReporter
 from ..obs.sinks import NULL_TRACER, Tracer
@@ -93,6 +103,28 @@ def job_checkpoint_dir(data_dir: str | Path, key: bytes) -> Path:
     return Path(data_dir) / "checkpoints" / key.hex()
 
 
+def job_store_dir(data_dir: str | Path, key: bytes) -> Path:
+    """Where a job's disk-backed state store lives (per cache key)."""
+    return Path(data_dir) / "stores" / key.hex()
+
+
+def _job_store(spec, data_dir, key: bytes, flush_interval: int):
+    """The engine ``store=`` argument for a job, or ``None``.
+
+    Backend name comes from the validated spec (:data:`~.wire.STORES`
+    members only); the path is always server-chosen.  Without a data dir
+    the store gets ``path=None`` — a scratch directory the store deletes
+    on close — so disk-bounded RSS still works, just without resume.
+    """
+    if spec.store is None or spec.store == "memory":
+        return spec.store
+    return StoreConfig(
+        backend=spec.store,
+        path=None if data_dir is None else job_store_dir(data_dir, key),
+        flush_interval=flush_interval,
+    )
+
+
 def execute_job(
     job: Job,
     *,
@@ -102,6 +134,7 @@ def execute_job(
     tracer: Tracer = NULL_TRACER,
     max_engine_workers: int = 1,
     checkpoint_interval: int = 50_000,
+    max_rss_limit_mb: int | None = None,
 ) -> JobOutcome:
     """Run one job to a terminal outcome (worker-thread entry point).
 
@@ -121,12 +154,17 @@ def execute_job(
 
         system = spec.build()
         reduction = ReductionConfig.from_name(spec.reduction)
+        rss_limit_mb = spec.rss_limit_mb
+        if rss_limit_mb is not None and max_rss_limit_mb is not None:
+            rss_limit_mb = min(rss_limit_mb, max_rss_limit_mb)
         engine = ExplorationEngine(
             workers=min(spec.workers, max_engine_workers),
             budget=spec.budget,
+            store=_job_store(spec, data_dir, job.key, checkpoint_interval),
             checkpoint_dir=checkpoint_dir,
-            checkpoint_interval=checkpoint_interval,
+            flush_interval=checkpoint_interval,
             resume=checkpoint_dir is not None,
+            rss_limit_mb=rss_limit_mb,
             progress=JobProgressReporter(publish),
             cancel=job.cancel_event,
             tracer=tracer,
@@ -170,6 +208,8 @@ def execute_job(
         )
     if checkpoint_dir is not None:
         shutil.rmtree(checkpoint_dir, ignore_errors=True)
+    if data_dir is not None and spec.store not in (None, "memory"):
+        shutil.rmtree(job_store_dir(data_dir, job.key), ignore_errors=True)
     return JobOutcome(
         state=COMPLETED,
         verdict=verdict.to_json(),

@@ -15,9 +15,17 @@ A job request is one JSON object::
       "budget": {"max_states": 200000, "deadline_seconds": 60},
       "workers": 1,                // engine workers (server-clamped)
       "reduction": "none",         // none | symmetry | por | full
+      "store": "sqlite",           // memory | sqlite | mmap (backend name only)
+      "rss_limit_mb": 1024,        // RSS ceiling hint (server-clamped)
       "proposals": {"0": 0, "1": 1},  // optional: cache-key root inputs
       "tenant": "alice"            // fair-queueing identity
     }
+
+``store`` names a :mod:`repro.engine.store` *backend*, never a path —
+clients do not get to choose where the server writes; disk-backed
+stores live under the server's own data directory.  ``rss_limit_mb``
+is clamped to the server's ``max_rss_limit_mb`` the same way
+``workers`` is clamped to ``max_engine_workers``.
 
 ``tenant`` may instead arrive as an ``X-Repro-Tenant`` header; the body
 wins when both are present.  ``proposals`` only influences the cache
@@ -105,6 +113,11 @@ def _exchange_lossy(n: int, resilience: int):
     return exchange_consensus_system(resilience, faults=_lossy_budget())
 
 REDUCTIONS = ("none", "symmetry", "por", "full")
+
+#: Backend names a job's ``store`` field may carry.  Bare names only —
+#: a path in the request would let clients choose server filesystem
+#: locations, so URIs are rejected at validation time.
+STORES = ("memory", "sqlite", "mmap")
 
 #: Submitted request bodies larger than this are refused with 413.
 MAX_BODY_BYTES = 1 << 20
@@ -196,6 +209,8 @@ class JobSpec:
     budget: Budget = DEFAULT_BUDGET
     workers: int = 1
     reduction: str = "none"
+    store: str | None = None  # backend name from STORES; None = engine default
+    rss_limit_mb: int | None = None  # server-clamped ceiling hint
     proposals: tuple = ()  # sorted ((endpoint, value), ...) or () = balanced
     tenant: str = DEFAULT_TENANT
 
@@ -228,6 +243,8 @@ class JobSpec:
             "budget": self.budget.to_json(),
             "workers": self.workers,
             "reduction": self.reduction,
+            "store": self.store,
+            "rss_limit_mb": self.rss_limit_mb,
             "proposals": (
                 {str(endpoint): value for endpoint, value in self.proposals}
                 if self.proposals
@@ -249,6 +266,8 @@ class JobSpec:
             "budget",
             "workers",
             "reduction",
+            "store",
+            "rss_limit_mb",
             "proposals",
             "tenant",
         }
@@ -276,6 +295,17 @@ class JobSpec:
                 f"reduction must be one of {', '.join(REDUCTIONS)}; "
                 f"got {reduction!r}"
             )
+        store = document.get("store")
+        if store is not None and store not in STORES:
+            raise WireError(
+                f"store must be one of {', '.join(STORES)} (a backend name, "
+                f"not a path); got {store!r}"
+            )
+        rss_limit_mb = (
+            None
+            if document.get("rss_limit_mb") is None
+            else _int_field(document, "rss_limit_mb", default=1, minimum=1)
+        )
         try:
             budget = (
                 DEFAULT_BUDGET
@@ -305,6 +335,8 @@ class JobSpec:
             budget=budget,
             workers=workers,
             reduction=reduction,
+            store=store,
+            rss_limit_mb=rss_limit_mb,
             proposals=proposals,
             tenant=tenant,
         )

@@ -214,7 +214,7 @@ class TestCheckpointResume:
             workers=1,
             budget=Budget(),
             checkpoint_dir=tmp_path,
-            checkpoint_interval=25,
+            flush_interval=25,
             metrics=metrics,
         ).explore(view, root)
         counters = metrics.snapshot()["counters"]

@@ -15,6 +15,7 @@ from repro.serve import (
     execute_job,
     job_checkpoint_dir,
     job_key,
+    job_store_dir,
 )
 
 
@@ -109,3 +110,52 @@ class TestCheckpointResume:
         outcome, _ = run(job, data_dir=None)
         assert outcome.state == COMPLETED
         assert not any(tmp_path.iterdir())
+
+
+class TestStoreJobs:
+    def test_store_backed_job_completes(self, tmp_path):
+        job = make_job({"candidate": "delegation", "n": 3, "f": 1, "store": "sqlite"})
+        outcome, _ = run(job, data_dir=tmp_path)
+        assert outcome.state == COMPLETED
+        assert outcome.verdict["refuted"] is True
+        assert outcome.engine_report["store_backend"] == "sqlite"
+        # Terminal success cleans the per-key store directory up.
+        assert not job_store_dir(tmp_path, job.key).exists()
+
+    def test_store_backed_job_without_data_dir_uses_scratch(self, tmp_path):
+        job = make_job({"candidate": "delegation", "n": 3, "f": 1, "store": "mmap"})
+        outcome, _ = run(job, data_dir=None)
+        assert outcome.state == COMPLETED
+        assert outcome.engine_report["store_backend"] == "mmap"
+        assert not any(tmp_path.iterdir())
+
+    def test_exhausted_store_job_resumes_from_segments(self, tmp_path):
+        document = {"candidate": "delegation", "n": 3, "f": 1, "store": "sqlite"}
+        starved = make_job({**document, "budget": {"max_states": 60}})
+        outcome, _ = run(starved, data_dir=tmp_path)
+        assert outcome.state == EXHAUSTED
+        # The store directory survives a non-terminal outcome for resume.
+        store_dir = job_store_dir(tmp_path, starved.key)
+        assert store_dir.is_dir() and any(store_dir.iterdir())
+
+        retry = make_job(document, job_id="job-retry", resume=True)
+        outcome, _ = run(retry, data_dir=tmp_path)
+        assert outcome.state == COMPLETED
+        assert outcome.verdict["refuted"] is True
+        assert not store_dir.exists()
+
+    def test_rss_limit_is_clamped_and_reported(self, tmp_path):
+        job = make_job(
+            {"candidate": "delegation", "n": 3, "f": 1, "rss_limit_mb": 4096}
+        )
+        events = []
+        outcome = execute_job(
+            job,
+            data_dir=None,
+            publish=events.append,
+            metrics=MetricsRegistry(),
+            max_rss_limit_mb=1024,
+        )
+        assert outcome.state == COMPLETED
+        assert outcome.engine_report["rss_limit_mb"] == 1024
+        assert outcome.engine_report["peak_rss_kb"] > 0

@@ -14,6 +14,8 @@ class TestJobSpecFromJson:
         assert spec.resilience == 1
         assert spec.workers == 1
         assert spec.reduction == "none"
+        assert spec.store is None
+        assert spec.rss_limit_mb is None
         assert spec.proposals == ()
         assert spec.tenant == DEFAULT_TENANT
 
@@ -26,10 +28,14 @@ class TestJobSpecFromJson:
                 "budget": {"max_states": 10_000, "deadline_seconds": 2.5},
                 "workers": 2,
                 "reduction": "symmetry",
+                "store": "sqlite",
+                "rss_limit_mb": 512,
                 "proposals": {"0": 1, "1": 0, "2": 0},
                 "tenant": "alice",
             }
         )
+        assert spec.store == "sqlite"
+        assert spec.rss_limit_mb == 512
         assert JobSpec.from_json(spec.to_json()) == spec
 
     def test_resilience_alias(self):
@@ -58,6 +64,29 @@ class TestJobSpecFromJson:
     def test_bad_budget_wrapped(self):
         with pytest.raises(WireError, match="bad budget"):
             JobSpec.from_json({"candidate": "tob", "budget": {"max_states": "lots"}})
+
+    def test_store_accepts_backend_names_only(self):
+        for backend in ("memory", "sqlite", "mmap"):
+            spec = JobSpec.from_json({"candidate": "tob", "store": backend})
+            assert spec.store == backend
+
+    def test_store_rejects_paths(self):
+        # A path-carrying URI would let a client choose server filesystem
+        # locations; only bare backend names cross the wire.
+        for bad in ("sqlite:/etc/passwd", "mmap:/tmp/x", "redis", "", 7):
+            with pytest.raises(WireError, match="store must be one of"):
+                JobSpec.from_json({"candidate": "tob", "store": bad})
+
+    def test_rss_limit_must_be_a_positive_integer(self):
+        assert (
+            JobSpec.from_json(
+                {"candidate": "tob", "rss_limit_mb": 256}
+            ).rss_limit_mb
+            == 256
+        )
+        for bad in (0, -5, True, "big"):
+            with pytest.raises(WireError, match="rss_limit_mb"):
+                JobSpec.from_json({"candidate": "tob", "rss_limit_mb": bad})
 
     def test_bad_reduction_rejected(self):
         with pytest.raises(WireError, match="reduction"):

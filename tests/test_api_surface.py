@@ -68,6 +68,8 @@ class TestExports:
             "Budget",
             "ExplorationEngine",
             "ReductionConfig",
+            "StateStore",
+            "StoreConfig",
             "__version__",
             "analysis",
             "analyze_valence",
@@ -91,6 +93,8 @@ class TestExports:
         assert repro.Budget is repro.engine.Budget
         assert repro.ReductionConfig is repro.engine.ReductionConfig
         assert repro.ExplorationEngine is repro.engine.ExplorationEngine
+        assert repro.StateStore is repro.engine.StateStore
+        assert repro.StoreConfig is repro.engine.StoreConfig
 
 
 class TestHeadlineSignatures:
@@ -109,10 +113,12 @@ class TestHeadlineSignatures:
             "engine",
             "reduction",
             "budget",
+            "store",
         ]
         assert (
             parameters["budget"].kind is inspect.Parameter.KEYWORD_ONLY
         )
+        assert parameters["store"].kind is inspect.Parameter.KEYWORD_ONLY
         assert parameters["max_states"].default is None
 
     @pytest.mark.parametrize(
@@ -140,7 +146,15 @@ class TestHeadlineSignatures:
         parameters = inspect.signature(
             repro.engine.ExplorationEngine.__init__
         ).parameters
-        for name in ("workers", "budget", "checkpoint_dir", "resume", "audit"):
+        for name in (
+            "workers",
+            "budget",
+            "store",
+            "checkpoint_dir",
+            "resume",
+            "rss_limit_mb",
+            "audit",
+        ):
             assert name in parameters
 
     def test_run_consensus_round_signature(self):
