@@ -17,9 +17,16 @@ call) rather than only as captured stdout.  The artifacts are committed
 evidence: a corrupt or shrinking artifact is refused loudly instead of
 silently rewritten, so a bad run can never destroy previously recorded
 entries.
+
+Each ``report()`` call also registers one ``kind="bench"`` record in the
+run ledger (``$REPRO_RUNS_DIR``, default ``.repro/runs``), with the
+table's numeric columns as counters — so ``repro runs diff`` compares
+bench rows across time exactly like engine runs, covering the perf
+trajectory.  Ledger failures never fail a benchmark.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -68,12 +75,49 @@ def _append_record(record: dict, artifact: Path = BENCH_ARTIFACT) -> None:
     _write_records(artifact, records)
 
 
+def _ledger_bench_record(title: str, rows, artifact: Path) -> None:
+    """Register one ``kind="bench"`` run per reported table, best-effort.
+
+    Dict rows contribute their numeric columns as counters (later rows
+    win on a name collision, prefixed ``row<i>.`` when there are several
+    dict rows); the artifact path rides along so ``repro runs show``
+    points back at the evidence table.
+    """
+    try:
+        from repro.obs.ledger import RunLedger, resolve_runs_dir
+    except ImportError:  # pragma: no cover - bench run without src on path
+        return
+    directory = resolve_runs_dir(environ=os.environ)
+    if directory is None:
+        return
+    if not directory.is_absolute():
+        directory = _REPO_ROOT / directory
+    dict_rows = [row for row in rows if isinstance(row, dict)]
+    counters = {}
+    for index, row in enumerate(dict_rows):
+        prefix = f"row{index}." if len(dict_rows) > 1 else ""
+        for name, value in row.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            counters[f"{prefix}{name}"] = value
+    try:
+        RunLedger(directory).record(
+            "bench",
+            title,
+            counters=counters,
+            artifacts={"artifact": str(artifact)},
+        )
+    except OSError:  # pragma: no cover - read-only checkout
+        pass
+
+
 def report(title: str, rows, artifact: str | None = None) -> None:
     """Print a small evidence table under the benchmark output.
 
     Also appends the table to the machine-readable artifact —
     ``BENCH_obs.json`` by default, or the repo-root ``BENCH_*.json``
-    named by ``artifact``.
+    named by ``artifact`` — and registers a ``kind="bench"`` run in the
+    run ledger so ``repro runs diff`` covers the perf trajectory.
     """
     print(f"\n[{title}]")
     rows = list(rows)
@@ -88,3 +132,4 @@ def report(title: str, rows, artifact: str | None = None) -> None:
         },
         artifact=path,
     )
+    _ledger_bench_record(title, rows, path)

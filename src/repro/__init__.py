@@ -45,10 +45,11 @@ Quickstart::
 
 Stable top-level surface: the names re-exported below (the analysis
 entry points, :class:`Budget`, :class:`ReductionConfig`,
-:class:`ExplorationEngine`, and the :class:`StateStore` /
-:class:`StoreConfig` storage-backend surface) are the supported public
-API; everything else is importable from its subpackage but may move
-between minor versions.  See ``docs/api.md``.
+:class:`ExplorationEngine`, the :class:`StateStore` /
+:class:`StoreConfig` storage-backend surface, and the
+:class:`RunLedger` / :class:`RunRecord` run-ledger surface) are the
+supported public API; everything else is importable from its subpackage
+but may move between minor versions.  See ``docs/api.md``.
 """
 
 from . import (
@@ -71,6 +72,7 @@ from .engine import (
     StateStore,
     StoreConfig,
 )
+from .obs import RunLedger, RunRecord
 
 __version__ = "1.0.0"
 
@@ -78,6 +80,8 @@ __all__ = [
     "Budget",
     "ExplorationEngine",
     "ReductionConfig",
+    "RunLedger",
+    "RunRecord",
     "StateStore",
     "StoreConfig",
     "analysis",

@@ -26,6 +26,13 @@ Exposes the headline reproductions without writing any code:
 * ``fuzz``       — seeded adversary fuzzing: random candidates and
   fault schedules, safety/liveness checks each run, failing schedules
   shrunk to minimal replay scripts (see ``docs/simulation.md``);
+* ``runs``       — inspect the run ledger: every pipeline, sim, fuzz,
+  serve, and benchmark run registers a durable run id under
+  ``--runs-dir`` (default ``$REPRO_RUNS_DIR``, else ``.repro/runs``);
+  ``runs list``/``show`` reconstruct finished or crashed runs, ``runs
+  tail`` follows a live run's heartbeat from another process, ``runs
+  diff`` compares two runs' counters, and ``runs gc`` compacts the
+  ledger (see ``docs/observability.md``);
 * ``list``       — list the built-in candidates and constructions.
 
 ``repro --version`` prints the package version (also reported by the
@@ -107,7 +114,53 @@ def _apply_rss_limit(limit_mb: int, say) -> None:
         say(f"RSS ceiling: {limit_mb} MB (RLIMIT_AS)")
 
 
-def _run_pipeline(args: argparse.Namespace, tracer, metrics):
+def _open_run_handle(
+    args: argparse.Namespace,
+    kind: str,
+    instance: str,
+    *,
+    budget: dict | None = None,
+    store: str | None = None,
+    workers: int = 1,
+    artifacts: dict | None = None,
+):
+    """Mint a run-ledger record for this invocation, or ``None``.
+
+    The directory comes from ``--runs-dir``, then ``$REPRO_RUNS_DIR``,
+    then ``.repro/runs``; the disabled spellings (``none``, ``off``,
+    ``0``, empty) return ``None`` and the command runs ledger-less.  An
+    unwritable ledger warns and degrades rather than failing the run.
+    """
+    from .obs.ledger import RunLedger, resolve_runs_dir
+
+    directory = resolve_runs_dir(getattr(args, "runs_dir", None))
+    if directory is None:
+        return None
+    try:
+        return RunLedger(directory).open(
+            kind,
+            instance,
+            budget=budget,
+            store=store,
+            workers=workers,
+            artifacts=artifacts,
+        )
+    except OSError as error:
+        print(f"warning: run ledger unavailable: {error}", file=sys.stderr)
+        return None
+
+
+def _ledger_counters(metrics) -> dict:
+    """The numeric counters a terminal run record carries."""
+    counters = metrics.snapshot().get("counters", {})
+    return {
+        name: value
+        for name, value in counters.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+
+
+def _run_pipeline(args: argparse.Namespace, tracer, metrics, run_artifacts=None):
     """Shared refute/trace/stats driver.
 
     Returns ``(verdict|None, exit_code, document|None)``: ``verdict=None``
@@ -115,6 +168,12 @@ def _run_pipeline(args: argparse.Namespace, tracer, metrics):
     still holds the work done so far); ``document`` is the
     JSON-serializable report built from the shared ``summary()``/
     ``to_json()`` protocol when ``--json`` was given, else ``None``.
+
+    Unless the ledger is disabled the run registers a run id
+    (``repro runs show <id>``), threads it through the tracer into every
+    trace event, and appends a terminal record — ``completed`` or
+    ``exhausted`` — when the pipeline ends; a crash leaves the record
+    non-terminal, which readers derive as ``interrupted``.
     """
     from .analysis import ExplorationBudget, format_verdict, refute_candidate
     from .engine import Budget, ExplorationEngine, ReductionConfig
@@ -143,23 +202,49 @@ def _run_pipeline(args: argparse.Namespace, tracer, metrics):
     rss_limit_mb = getattr(args, "rss_limit_mb", None)
     if rss_limit_mb is not None:
         _apply_rss_limit(rss_limit_mb, say)
+    budget = Budget(max_states=args.max_states, deadline_seconds=args.deadline)
+    artifacts = dict(run_artifacts or {})
+    if checkpoint_dir is not None:
+        # In the opening record, not finish(): an interrupted run must
+        # still tell `repro runs show` how to resume.
+        artifacts["checkpoint_dir"] = str(checkpoint_dir)
+        artifacts["resume"] = (
+            f"repro {args.command} {args.candidate} -n {args.n} "
+            f"-f {args.resilience} --resume {checkpoint_dir}"
+        )
+    run = _open_run_handle(
+        args,
+        getattr(args, "command", "refute") or "refute",
+        f"{args.candidate}(n={args.n},f={args.resilience})",
+        budget=budget.to_json(),
+        store=getattr(args, "store", None),
+        workers=args.workers,
+        artifacts=artifacts,
+    )
+    if run is not None:
+        if getattr(tracer, "enabled", False):
+            # Every trace event this run emits carries the run id; the
+            # NULL tracer is a shared singleton and stays untouched.
+            tracer.run_id = run.run_id
+        say(f"Run id: {run.run_id}")
     engine = ExplorationEngine(
         workers=args.workers,
-        budget=Budget(
-            max_states=args.max_states, deadline_seconds=args.deadline
-        ),
+        budget=budget,
         store=getattr(args, "store", None),
         checkpoint_dir=checkpoint_dir,
         resume=args.resume is not None,
         rss_limit_mb=rss_limit_mb,
         max_worker_restarts=getattr(args, "max_worker_restarts", None),
         progress=True if getattr(args, "progress", False) else None,
+        run=run,
     )
     document = (
         {"candidate": {"name": args.candidate, "n": args.n, "f": args.resilience}}
         if emit_json
         else None
     )
+    if document is not None and run is not None:
+        document["run_id"] = run.run_id
     if getattr(args, "seed", None) is not None:
         from .analysis import random_decision_probe
 
@@ -184,6 +269,18 @@ def _run_pipeline(args: argparse.Namespace, tracer, metrics):
             if checkpoint is not None:
                 say(f"Checkpoint: {checkpoint}")
                 say(f"Resume:     {getattr(budget, 'resume_command', None)}")
+            if run is not None:
+                report = engine.last_report
+                resume_command = getattr(budget, "resume_command", None)
+                if resume_command is not None:
+                    run.add_artifact("resume", resume_command)
+                run.finish(
+                    "exhausted",
+                    counters=_ledger_counters(metrics),
+                    phases={} if report is None else report.phase_seconds,
+                    peak_rss_kb=0 if report is None else report.peak_rss_kb,
+                    error=str(budget),
+                )
             if not emit_json:
                 _print_exploration_summary(metrics, timer.elapsed)
             if document is not None:
@@ -200,6 +297,14 @@ def _run_pipeline(args: argparse.Namespace, tracer, metrics):
                 )
             return None, 2, document
     report = engine.last_report
+    if run is not None:
+        run.finish(
+            "completed",
+            verdict=verdict.to_json(),
+            counters=_ledger_counters(metrics),
+            phases={} if report is None else report.phase_seconds,
+            peak_rss_kb=0 if report is None else report.peak_rss_kb,
+        )
     if document is not None:
         document["verdict"] = verdict.to_json()
         document["engine"] = None if report is None else report.to_json()
@@ -238,7 +343,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
         # Install process-wide too, so layers without a tracer parameter
         # (service input dispatch) report into the same trace.
         with use_tracer(tracer):
-            _, code, document = _run_pipeline(args, tracer, metrics)
+            _, code, document = _run_pipeline(
+                args, tracer, metrics, run_artifacts={"trace": output}
+            )
         if document is not None:
             document["trace"] = {"events": sink.events_written, "path": output}
         else:
@@ -423,13 +530,15 @@ def cmd_obs_chrome(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_snapshot(path: str) -> dict:
+def _load_snapshot(path: str) -> tuple:
     """A metrics snapshot from either input kind ``obs prom`` accepts.
 
     A JSON document (one object: a raw ``snapshot()`` dict, or a ``stats
     --json`` report carrying one under ``"metrics"``) is used directly; a
     JSONL event trace is reduced via
-    :func:`~repro.obs.export.snapshot_from_trace`.
+    :func:`~repro.obs.export.snapshot_from_trace`.  Returns ``(snapshot,
+    run_ids)`` where ``run_ids`` are the distinct run-ledger ids the
+    trace events carried (empty for snapshot documents).
     """
     import json
 
@@ -450,14 +559,28 @@ def _load_snapshot(path: str) -> dict:
                 snapshot = document.get("metrics", document)
                 if not isinstance(snapshot, dict):
                     raise SystemExit(f"{path}: no metrics snapshot in document")
-                return snapshot
-    return snapshot_from_trace(load_events(path))
+                return snapshot, set()
+    events = load_events(path)
+    run_ids = {event.run for event in events if event.run}
+    return snapshot_from_trace(events), run_ids
 
 
 def cmd_obs_prom(args: argparse.Namespace) -> int:
     from .obs import prometheus_textfile
 
-    _write_text(prometheus_textfile(_load_snapshot(args.input)), args.output)
+    labels = {}
+    for pair in getattr(args, "label", None) or ():
+        name, sep, value = pair.partition("=")
+        if not sep or not name.strip():
+            raise SystemExit(f"bad --label {pair!r}; expected name=value")
+        labels[name.strip()] = value.strip()
+    snapshot, run_ids = _load_snapshot(args.input)
+    if "run" not in labels and len(run_ids) == 1:
+        # A single-run trace labels itself: every series gets run=<id>.
+        labels["run"] = next(iter(run_ids))
+    _write_text(
+        prometheus_textfile(snapshot, labels=labels or None), args.output
+    )
     return 0
 
 
@@ -477,6 +600,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         tenant_rate=args.tenant_rate,
         tenant_burst=args.tenant_burst,
         checkpoint_interval=args.checkpoint_interval,
+        runs_dir=args.runs_dir,
         metrics=MetricsRegistry(),
     )
     if args.trace is not None:
@@ -557,12 +681,31 @@ def cmd_sim(args: argparse.Namespace) -> int:
     config = SimConfig(
         seed=args.seed, max_steps=args.steps, fault_rate=args.fault_rate
     )
-    result = simulate(system, config)
+    run = _open_run_handle(
+        args,
+        "sim",
+        f"{spec.describe()} seed={args.seed}",
+        budget={"max_steps": args.steps},
+    )
+    result = simulate(system, config, run=run)
     if args.output is not None:
         save_script(args.output, script_document(spec.to_json(), result))
+        if run is not None:
+            run.add_artifact("script", args.output)
+    if run is not None:
+        run.finish(
+            "violation" if result.violations else "completed",
+            counters={
+                "sim.steps": result.steps,
+                "sim.faults": result.fault_count,
+                "sim.violations": len(result.violations),
+            },
+        )
     if args.json:
         document = result.to_json()
         document["candidate"] = spec.to_json()
+        if run is not None:
+            document["run_id"] = run.run_id
         if args.output is not None:
             document["script"] = args.output
         print(json.dumps(document, indent=2, sort_keys=True))
@@ -578,6 +721,7 @@ def cmd_sim(args: argparse.Namespace) -> int:
 def cmd_fuzz(args: argparse.Namespace) -> int:
     import json
 
+    from .obs import NULL_TRACER, JsonlSink, MetricsRegistry, Tracer
     from .sim import FAMILIES, save_script, fuzz
 
     specs = None
@@ -588,23 +732,53 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         args.gen_seed = getattr(args, "gen_seed", None)
         args.family = families[0]
         specs = [_sim_spec(args)]
-    report = fuzz(
-        specs,
-        campaigns=args.campaigns,
-        runs=args.runs,
-        seed=args.seed,
-        max_steps=args.steps,
-        fault_rate=args.fault_rate,
-        crash_budget=args.crash_budget,
-        families=families,
-        stop_after=None if args.stop_after == 0 else args.stop_after,
+    metrics = MetricsRegistry()
+    run = _open_run_handle(
+        args,
+        "fuzz",
+        f"campaigns={args.campaigns} runs={args.runs} seed={args.seed}",
+        budget={"campaigns": args.campaigns, "runs": args.runs},
+        artifacts=None if args.trace is None else {"trace": args.trace},
     )
+
+    def campaign(tracer):
+        return fuzz(
+            specs,
+            campaigns=args.campaigns,
+            runs=args.runs,
+            seed=args.seed,
+            max_steps=args.steps,
+            fault_rate=args.fault_rate,
+            crash_budget=args.crash_budget,
+            families=families,
+            stop_after=None if args.stop_after == 0 else args.stop_after,
+            tracer=tracer,
+            metrics=metrics,
+            run=run,
+        )
+
+    if args.trace is not None:
+        with JsonlSink(args.trace) as sink:
+            report = campaign(
+                Tracer(sink, run_id=None if run is None else run.run_id)
+            )
+    else:
+        report = campaign(NULL_TRACER)
     saved = None
     if args.output is not None and report.found:
         save_script(args.output, report.found[0].to_document())
         saved = args.output
+        if run is not None:
+            run.add_artifact("script", saved)
+    if run is not None:
+        run.finish(
+            "violation" if report.found else "completed",
+            counters=_ledger_counters(metrics),
+        )
     if args.json:
         document = report.to_json()
+        if run is not None:
+            document["run_id"] = run.run_id
         if saved is not None:
             document["script"] = saved
         print(json.dumps(document, indent=2, sort_keys=True))
@@ -616,6 +790,252 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     if args.expect_violation and not report.found:
         print("expected a violation; none found", file=sys.stderr)
         return 1
+    return 0
+
+
+def _runs_ledger(args: argparse.Namespace):
+    """The :class:`~repro.obs.ledger.RunLedger` a ``runs`` command reads."""
+    from .obs.ledger import RunLedger, resolve_runs_dir
+
+    directory = resolve_runs_dir(getattr(args, "runs_dir", None))
+    if directory is None:
+        raise SystemExit(
+            "run ledger disabled; give --runs-dir DIR or set $REPRO_RUNS_DIR"
+        )
+    return RunLedger(directory)
+
+
+def _find_run(ledger, run_id: str):
+    try:
+        return ledger.find(run_id)
+    except KeyError as error:
+        raise SystemExit(str(error)) from None
+
+
+def _format_wall(record) -> str:
+    if record.finished_at is None:
+        return "-"
+    return f"{max(0.0, record.finished_at - record.started_at):.1f}s"
+
+
+def cmd_runs_list(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    ledger = _runs_ledger(args)
+    records = sorted(ledger.latest().values(), key=lambda r: r.started_at)
+    if args.kind:
+        records = [record for record in records if record.kind == args.kind]
+    if args.last:
+        records = records[-args.last :]
+    rows = [(record, ledger.status_of(record)) for record in records]
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {**record.to_json(), "status": status}
+                    for record, status in rows
+                ],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    if not rows:
+        print(f"No runs in {ledger.path}")
+        return 0
+    print(f"{'RUN':34}  {'STATUS':12}  {'KIND':8}  {'WALL':>8}  INSTANCE")
+    for record, status in rows:
+        started = time.strftime(
+            "%H:%M:%S", time.localtime(record.started_at)
+        )
+        instance = record.instance or "-"
+        print(
+            f"{record.run_id:34}  {status:12}  {record.kind:8}  "
+            f"{_format_wall(record):>8}  {instance}  (started {started})"
+        )
+    return 0
+
+
+def cmd_runs_show(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .obs.ledger import INTERRUPTED, RUNNING
+
+    ledger = _runs_ledger(args)
+    record = _find_run(ledger, args.run_id)
+    heartbeat = ledger.read_heartbeat(record.run_id)
+    status = ledger.status_of(record, heartbeat)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "record": record.to_json(),
+                    "status": status,
+                    "heartbeat": heartbeat,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    derived = " (derived: no terminal record)" if status != record.status else ""
+    print(f"Run:      {record.run_id}")
+    print(f"Status:   {status}{derived}")
+    instance = f"  {record.instance}" if record.instance else ""
+    print(f"Kind:     {record.kind}{instance}")
+    print(
+        "Started:  "
+        + time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(record.started_at))
+        + f"  (pid {record.pid}, {record.workers} worker(s))"
+    )
+    if record.finished_at is not None:
+        print(f"Wall:     {_format_wall(record)}")
+    if record.store:
+        print(f"Store:    {record.store}")
+    if record.budget:
+        print(f"Budget:   {json.dumps(record.budget, sort_keys=True)}")
+    if record.verdict is not None:
+        print(f"Verdict:  {json.dumps(record.verdict, sort_keys=True)}")
+    if record.peak_rss_kb:
+        print(f"Peak RSS: {record.peak_rss_kb / 1024:.0f} MB")
+    for title, table in (
+        ("Counters", record.counters),
+        ("Phases", record.phases),
+        ("Artifacts", record.artifacts),
+        ("Links", record.links),
+    ):
+        if table:
+            print(f"{title}:")
+            for name in sorted(table):
+                print(f"  {name:28} {table[name]}")
+    if status == RUNNING and heartbeat is not None:
+        print("Live:     " + _render_heartbeat_line(heartbeat))
+    if status == INTERRUPTED:
+        resume = record.artifacts.get("resume")
+        if resume:
+            print(f"Resume:   {resume}")
+    if record.error:
+        print(f"Error:    {record.error}")
+    return 0
+
+
+def _render_heartbeat_line(heartbeat: dict) -> str:
+    """One human line from a heartbeat document (tail/show share it)."""
+    parts = []
+    for key, label, fmt in (
+        ("states", "states", "{:.0f}"),
+        ("states_per_sec", "states/s", "{:g}"),
+        ("frontier", "frontier", "{:.0f}"),
+        ("flush_ms", "flush", "{:.1f}ms"),
+        ("spilled", "spilled", "{:.0f}"),
+        ("campaigns", "campaigns", "{:.0f}"),
+        ("schedules", "schedules", "{:.0f}"),
+        ("violations", "violations", "{:.0f}"),
+        ("elapsed", "elapsed", "{:.1f}s"),
+    ):
+        value = heartbeat.get(key)
+        if value is None:
+            continue
+        try:
+            parts.append(f"{label} " + fmt.format(value))
+        except (TypeError, ValueError):
+            parts.append(f"{label} {value}")
+    return "  ".join(parts) if parts else "(no counters yet)"
+
+
+def cmd_runs_tail(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .obs.ledger import RUNNING
+
+    ledger = _runs_ledger(args)
+    record = _find_run(ledger, args.run_id)
+    run_id = record.run_id
+    deadline = (
+        None if args.duration is None else time.monotonic() + args.duration
+    )
+    last_beat = None
+    while True:
+        try:
+            record = ledger.find(run_id)
+        except KeyError:  # gc'd mid-tail; keep the record we have
+            pass
+        heartbeat = ledger.read_heartbeat(run_id)
+        status = ledger.status_of(record, heartbeat)
+        if heartbeat is not None and heartbeat.get("t") != last_beat:
+            last_beat = heartbeat.get("t")
+            if args.json:
+                print(json.dumps(heartbeat, sort_keys=True), flush=True)
+            else:
+                print(
+                    f"{run_id}  {status:12} "
+                    + _render_heartbeat_line(heartbeat),
+                    flush=True,
+                )
+        if status != RUNNING:
+            if args.json:
+                print(
+                    json.dumps({"run": run_id, "status": status}), flush=True
+                )
+            else:
+                print(f"{run_id}: {status}", flush=True)
+            return 0
+        if deadline is not None and time.monotonic() >= deadline:
+            return 0
+        time.sleep(args.interval)
+
+
+def cmd_runs_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.ledger import diff_runs
+
+    ledger = _runs_ledger(args)
+    before = _find_run(ledger, args.before)
+    after = _find_run(ledger, args.after)
+    rows = diff_runs(before, after)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "before": before.run_id,
+                    "after": after.run_id,
+                    "rows": rows,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(f"before: {before.run_id} ({before.status}) {before.instance}")
+    print(f"after:  {after.run_id} ({after.status}) {after.instance}")
+    print(f"{'METRIC':40} {'BEFORE':>14} {'AFTER':>14} {'DELTA':>12} {'RATIO':>8}")
+    for row in rows:
+        def cell(value):
+            if value is None:
+                return "-"
+            if isinstance(value, float):
+                return f"{value:.3f}"
+            return str(value)
+
+        ratio = "-" if row["ratio"] is None else f"{row['ratio']:.2f}x"
+        print(
+            f"{row['metric']:40} {cell(row['before']):>14} "
+            f"{cell(row['after']):>14} {cell(row['delta']):>12} {ratio:>8}"
+        )
+    return 0
+
+
+def cmd_runs_gc(args: argparse.Namespace) -> int:
+    ledger = _runs_ledger(args)
+    summary = ledger.gc(keep=args.keep)
+    print(
+        f"{summary['runs']} runs kept, {summary['dropped']} dropped, "
+        f"{summary['finalized_interrupted']} finalized interrupted, "
+        f"{summary['pruned_heartbeats']} heartbeats pruned"
+    )
     return 0
 
 
@@ -639,6 +1059,15 @@ def main(argv: list[str] | None = None) -> int:
         version=f"repro {package_version()}",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_runs_dir_argument(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--runs-dir",
+            default=None,
+            metavar="DIR",
+            help="run-ledger directory (default $REPRO_RUNS_DIR, else "
+            ".repro/runs; 'none' disables the ledger)",
+        )
 
     def add_pipeline_arguments(subparser: argparse.ArgumentParser) -> None:
         subparser.add_argument("candidate", choices=sorted(CANDIDATES))
@@ -733,6 +1162,7 @@ def main(argv: list[str] | None = None) -> int:
             help="render a live states/s progress line on stderr while "
             "explorations run (also enabled by $REPRO_PROGRESS)",
         )
+        add_runs_dir_argument(subparser)
 
     refute = subparsers.add_parser("refute", help="run the adversary pipeline")
     add_pipeline_arguments(refute)
@@ -812,6 +1242,14 @@ def main(argv: list[str] | None = None) -> int:
     prom.add_argument(
         "-o", "--output", default=None, help="write to file instead of stdout"
     )
+    prom.add_argument(
+        "--label",
+        action="append",
+        metavar="NAME=VALUE",
+        default=None,
+        help="constant label added to every series (repeatable); a "
+        "single-run trace adds run=<run_id> automatically",
+    )
     prom.set_defaults(handler=cmd_obs_prom)
 
     kset = subparsers.add_parser("boost-kset", help="Section 4 construction")
@@ -874,6 +1312,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="write a JSONL event trace of every engine run to PATH",
     )
+    serve.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help="run-ledger directory for dispatched jobs (default "
+        "<data-dir>/runs; 'none' disables)",
+    )
     serve.set_defaults(handler=cmd_serve)
 
     sim = subparsers.add_parser(
@@ -921,6 +1366,7 @@ def main(argv: list[str] | None = None) -> int:
         "-o", "--output", default=None, help="save the run as a replay script"
     )
     sim.add_argument("--json", action="store_true", help="print the result as JSON")
+    add_runs_dir_argument(sim)
     sim.set_defaults(handler=cmd_sim)
 
     fuzzer = subparsers.add_parser(
@@ -984,7 +1430,96 @@ def main(argv: list[str] | None = None) -> int:
         help="save the first counterexample as a replay script",
     )
     fuzzer.add_argument("--json", action="store_true", help="print the report as JSON")
+    fuzzer.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL event trace of the campaign to PATH "
+        "(fuzz_candidate / sim_run / shrink_step events; feeds "
+        "`repro obs summarize` and `repro obs prom`)",
+    )
+    add_runs_dir_argument(fuzzer)
     fuzzer.set_defaults(handler=cmd_fuzz)
+
+    runs = subparsers.add_parser(
+        "runs",
+        help="inspect the run ledger: list, show, tail, diff, gc "
+        "(see docs/observability.md)",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    runs_list = runs_sub.add_parser("list", help="every run, newest last")
+    add_runs_dir_argument(runs_list)
+    runs_list.add_argument(
+        "--kind",
+        default=None,
+        help="filter by run kind (refute, trace, stats, serve, sim, "
+        "fuzz, bench, ...)",
+    )
+    runs_list.add_argument(
+        "-n",
+        "--last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the newest N runs",
+    )
+    runs_list.add_argument("--json", action="store_true")
+    runs_list.set_defaults(handler=cmd_runs_list)
+
+    runs_show = runs_sub.add_parser(
+        "show", help="one run's full record (unique id prefixes accepted)"
+    )
+    add_runs_dir_argument(runs_show)
+    runs_show.add_argument("run_id")
+    runs_show.add_argument("--json", action="store_true")
+    runs_show.set_defaults(handler=cmd_runs_show)
+
+    runs_tail = runs_sub.add_parser(
+        "tail",
+        help="follow a live run's heartbeat from another process; exits "
+        "when the run reaches a terminal (or derived-interrupted) status",
+    )
+    add_runs_dir_argument(runs_tail)
+    runs_tail.add_argument("run_id")
+    runs_tail.add_argument(
+        "--interval", type=float, default=0.5, help="poll interval seconds"
+    )
+    runs_tail.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop after SECONDS even if the run is still live",
+    )
+    runs_tail.add_argument(
+        "--json", action="store_true", help="print raw heartbeat JSON lines"
+    )
+    runs_tail.set_defaults(handler=cmd_runs_tail)
+
+    runs_diff = runs_sub.add_parser(
+        "diff", help="compare two runs' counters and phase breakdowns"
+    )
+    add_runs_dir_argument(runs_diff)
+    runs_diff.add_argument("before")
+    runs_diff.add_argument("after")
+    runs_diff.add_argument("--json", action="store_true")
+    runs_diff.set_defaults(handler=cmd_runs_diff)
+
+    runs_gc = runs_sub.add_parser(
+        "gc",
+        help="compact the ledger: finalize derived-interrupted runs, "
+        "prune stale heartbeats, optionally drop old terminal runs",
+    )
+    add_runs_dir_argument(runs_gc)
+    runs_gc.add_argument(
+        "--keep",
+        type=int,
+        default=None,
+        metavar="N",
+        help="drop all but the newest N terminal runs",
+    )
+    runs_gc.set_defaults(handler=cmd_runs_gc)
 
     lister = subparsers.add_parser("list", help="list built-ins")
     lister.set_defaults(handler=cmd_list)

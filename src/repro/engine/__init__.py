@@ -64,6 +64,7 @@ from .checkpoint import (
     Checkpoint,
     CheckpointError,
     Segment,
+    checkpoint_meta,
     checkpoint_path,
     compact_segments,
     discard_checkpoint,
@@ -160,6 +161,7 @@ __all__ = [
     "audit_reduction",
     "build_reduced_view",
     "canonical_bytes",
+    "checkpoint_meta",
     "checkpoint_path",
     "compact_segments",
     "compare_reduction",

@@ -58,7 +58,7 @@ from __future__ import annotations
 import os
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Hashable
 
@@ -162,6 +162,8 @@ class _Run:
         "owns_store",
         "task_slot",
         "segment_seq",
+        "last_flush_ms",
+        "cache_published",
     )
 
     def elapsed(self) -> float:
@@ -270,6 +272,12 @@ class EngineReport:
     #: The RSS ceiling the run was asked to respect (reporting only; the
     #: CLI enforces it with ``resource.setrlimit`` before the run).
     rss_limit_mb: int | None = None
+    #: Wall-clock seconds per internal phase (``expand_seconds``,
+    #: ``merge_seconds``, worker-side serialization, ...) — the same
+    #: breakdown the ``engine.phase.*`` counters publish, carried on the
+    #: report so run-ledger records and ``repro runs diff`` can compare
+    #: phase histograms without a metrics registry attached.
+    phase_seconds: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         """One-line human summary (the shared report protocol)."""
@@ -324,6 +332,7 @@ class EngineReport:
             "store_flush_seconds": self.store_flush_seconds,
             "peak_rss_kb": self.peak_rss_kb,
             "rss_limit_mb": self.rss_limit_mb,
+            "phase_seconds": dict(self.phase_seconds),
         }
 
 
@@ -432,6 +441,16 @@ class ExplorationEngine:
         is on — so a cancelled exploration is resumable, not lost.
         This is how ``repro serve`` aborts jobs on DELETE and drains
         in-flight work at shutdown.
+    run:
+        The run-ledger identity of this exploration: either a
+        :class:`~repro.obs.ledger.RunHandle` (the engine then refreshes
+        its heartbeat file on the progress cadence — every few hundred
+        expansions sequentially, per round in parallel — with live
+        states/sec, frontier, phase breakdown, and store-flush latency)
+        or a bare run-id string (identity only, no heartbeats).  The id
+        is stamped into checkpoint and delta-segment metadata so ``repro
+        runs show`` can tie artifacts back to the run.  ``None`` (the
+        default) keeps the engine ledger-free.
     """
 
     def __init__(
@@ -459,6 +478,7 @@ class ExplorationEngine:
         heartbeat_seconds: float = 5.0,
         progress: ProgressReporter | bool | None = None,
         cancel=None,
+        run=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -521,6 +541,10 @@ class ExplorationEngine:
         self.cancel = getattr(cancel, "is_set", cancel)
         if self.cancel is not None and not callable(self.cancel):
             raise TypeError("cancel must be callable or carry is_set()")
+        #: The live ledger handle (heartbeats) and the bare run id
+        #: (checkpoint/segment metadata); see the ``run`` parameter.
+        self.run_handle = run if hasattr(run, "heartbeat") else None
+        self.run_id = run if isinstance(run, str) else getattr(run, "run_id", None)
         #: :class:`EngineReport` of the most recent ``explore()`` call.
         self.last_report: EngineReport | None = None
 
@@ -603,9 +627,10 @@ class ExplorationEngine:
         return run
 
     def _drive(self, run: _Run, metrics) -> None:
-        run_span = start_span(
-            run.tracer, "engine.run", workers=self.workers, resumed=run.resumed
-        )
+        span_attrs = {"workers": self.workers, "resumed": run.resumed}
+        if self.run_id is not None:
+            span_attrs["run"] = self.run_id
+        run_span = start_span(run.tracer, "engine.run", **span_attrs)
         status = "ok"
         try:
             try:
@@ -652,8 +677,13 @@ class ExplorationEngine:
                     elapsed=run.elapsed(),
                     budget=self.budget,
                     force=True,
+                    spilled=(
+                        run.store.stats().spilled_states if run.store_mode else None
+                    ),
+                    flush_ms=run.last_flush_ms,
                 )
                 self.progress.finish()
+            self._heartbeat(run, force=True)
             self._publish(run)
             self.last_report = self._build_report(run)
 
@@ -699,6 +729,8 @@ class ExplorationEngine:
         run.owns_store = False
         run.task_slot = None
         run.segment_seq = 0
+        run.last_flush_ms = None
+        run.cache_published = (0, 0)
         if self.store is not None:
             self._start_run_external(run, packed_root, metrics)
             run.started = time.monotonic()
@@ -912,6 +944,7 @@ class ExplorationEngine:
         polling = deadline_enabled or cancel is not None
         timing = run.metrics.enabled
         progress = self.progress
+        handle = self.run_handle
         while run.frontier:
             if polling and run.expanded % _DEADLINE_STRIDE == 0:
                 if cancel is not None and cancel():
@@ -926,6 +959,8 @@ class ExplorationEngine:
                     elapsed=run.elapsed(),
                     budget=budget,
                 )
+            if handle is not None and run.expanded % 256 == 0:
+                self._heartbeat(run)
             state, digest = run.frontier.popleft()
             if run.prune is not None and run.prune(state):
                 self._commit_pruned(run, state)
@@ -1096,6 +1131,7 @@ class ExplorationEngine:
                         elapsed=run.elapsed(),
                         budget=budget,
                     )
+                self._heartbeat(run)
                 self._maybe_checkpoint(run)
         finally:
             pool.stop()
@@ -1123,6 +1159,7 @@ class ExplorationEngine:
         polling = deadline_enabled or cancel is not None
         timing = run.metrics.enabled
         progress = self.progress
+        handle = self.run_handle
         while store.frontier_len():
             if polling and run.expanded % _DEADLINE_STRIDE == 0:
                 if cancel is not None and cancel():
@@ -1136,7 +1173,11 @@ class ExplorationEngine:
                     workers=1,
                     elapsed=run.elapsed(),
                     budget=budget,
+                    spilled=store.stats().spilled_states,
+                    flush_ms=run.last_flush_ms,
                 )
+            if handle is not None and run.expanded % 256 == 0:
+                self._heartbeat(run)
             digest = store.pop()
             state = codec.decode(store.get(digest))
             if prune is not None and prune(state):
@@ -1264,7 +1305,10 @@ class ExplorationEngine:
                         workers=self.workers,
                         elapsed=run.elapsed(),
                         budget=budget,
+                        spilled=store.stats().spilled_states,
+                        flush_ms=run.last_flush_ms,
                     )
+                self._heartbeat(run)
                 self._maybe_checkpoint(run)
         finally:
             pool.stop()
@@ -1451,6 +1495,84 @@ class ExplorationEngine:
             run.metrics.counter("engine.recovered_states").inc()
         return recovered
 
+    # -- run ledger heartbeats ------------------------------------------------
+
+    def _heartbeat(self, run: _Run, force: bool = False) -> None:
+        """Refresh the run-ledger heartbeat file (throttled by the handle).
+
+        Called on the progress cadence, never per expansion; with no
+        ledger handle attached this is one attribute test.
+        """
+        handle = self.run_handle
+        if handle is None:
+            return
+        flush_ms = run.last_flush_ms
+        spilled = None
+        if run.store_mode:
+            stats = run.store.stats()
+            spilled = stats.spilled_states
+            if flush_ms is None and stats.flushes:
+                # The engine has not driven a flush yet, but the backend
+                # has flushed on its own buffer cadence: report its last
+                # flush so the latency shows up within one heartbeat
+                # interval of any flush happening at all.
+                flush_ms = (
+                    stats.last_flush_seconds
+                    or stats.flush_seconds / stats.flushes
+                ) * 1000.0
+        handle.heartbeat(
+            force=force,
+            states=run.states_count(),
+            frontier=run.frontier_count(),
+            workers=self.workers,
+            elapsed=run.elapsed(),
+            transitions=run.transitions,
+            rounds=run.rounds,
+            flush_ms=None if flush_ms is None else round(flush_ms, 3),
+            spilled=spilled,
+            phases={name: round(value, 3) for name, value in run.phase.items()},
+        )
+
+    # -- store flush instrumentation ------------------------------------------
+
+    def _flush_store(self, run: _Run) -> None:
+        """Flush the store and publish the flush live (latency, spill depth).
+
+        Before this the store counters surfaced only in the end-of-run
+        :class:`EngineReport`; a stalled disk backend was invisible until
+        the run finished.  The flush cadence is the natural publication
+        point — it is already off the hot loop.
+        """
+        before = time.perf_counter()
+        run.store.flush()
+        run.last_flush_ms = (time.perf_counter() - before) * 1000.0
+        metrics = run.metrics
+        if metrics.enabled:
+            metrics.histogram("engine.store.flush_ms").observe(run.last_flush_ms)
+            metrics.gauge("engine.store.spill_depth").set(
+                run.store.stats().spilled_states
+            )
+            self._publish_cache_counters(run)
+
+    def _publish_cache_counters(self, run: _Run) -> None:
+        """Publish codec decode-cache hits/misses accumulated since last time.
+
+        Idempotent against :meth:`_publish`: ``run.cache_published``
+        remembers what already reached the registry, so live flushes and
+        the end-of-run publication never double-count.
+        """
+        hits, misses = run.codec.stats()
+        if run.pool is not None:
+            hits += run.pool.cache_hits
+            misses += run.pool.cache_misses
+        published_hits, published_misses = run.cache_published
+        metrics = run.metrics
+        if hits > published_hits:
+            metrics.counter("engine.codec.cache_hits").inc(hits - published_hits)
+        if misses > published_misses:
+            metrics.counter("engine.codec.cache_misses").inc(misses - published_misses)
+        run.cache_published = (max(hits, published_hits), max(misses, published_misses))
+
     # -- checkpointing --------------------------------------------------------
 
     def _maybe_checkpoint(self, run: _Run) -> None:
@@ -1481,8 +1603,15 @@ class ExplorationEngine:
             # No checkpointing, but the store's write buffers must still
             # drain on the flush cadence or a disk backend quietly grows
             # an unbounded pending list in RAM.
-            run.store.flush()
+            self._flush_store(run)
             run.since_checkpoint = 0
+
+    def _checkpoint_meta(self, run: _Run) -> dict:
+        """Checkpoint/segment metadata: progress marks plus run identity."""
+        meta = {"expanded": run.expanded}
+        if self.run_id is not None:
+            meta["run_id"] = self.run_id
+        return meta
 
     def _write_checkpoint(self, run: _Run) -> Path | None:
         if self.checkpoint_dir is None:
@@ -1510,6 +1639,7 @@ class ExplorationEngine:
                     elapsed_seconds=run.elapsed(),
                     digest_size=self.digest_size,
                     workers=self.workers,
+                    meta=self._checkpoint_meta(run),
                 ),
                 codec=run.codec,
             )
@@ -1524,7 +1654,7 @@ class ExplorationEngine:
     def _write_segment(self, run: _Run) -> Path:
         """One streaming delta segment: flush the store, snapshot the rest."""
         store = run.store
-        store.flush()
+        self._flush_store(run)
         save_segment(
             self.checkpoint_dir,
             Segment(
@@ -1538,7 +1668,7 @@ class ExplorationEngine:
                 marks=store.marks(),
                 frontier_blob=store.frontier_snapshot(),
                 store_uri=store.config.to_uri(),
-                meta={"expanded": run.expanded},
+                meta=self._checkpoint_meta(run),
             ),
         )
         run.segment_seq += 1
@@ -1566,6 +1696,7 @@ class ExplorationEngine:
                 elapsed_seconds=run.elapsed(),
                 digest_size=self.digest_size,
                 workers=self.workers,
+                meta=self._checkpoint_meta(run),
             ),
             codec=codec,
         )
@@ -1617,6 +1748,9 @@ class ExplorationEngine:
             store_flush_seconds=0.0 if stats is None else stats.flush_seconds,
             peak_rss_kb=peak_rss_kb,
             rss_limit_mb=self.rss_limit_mb,
+            phase_seconds={
+                name: round(value, 6) for name, value in run.phase.items()
+            },
         )
 
     # -- metrics --------------------------------------------------------------
@@ -1639,15 +1773,9 @@ class ExplorationEngine:
         metrics.counter("engine.expanded").inc(run.expanded)
         metrics.gauge("engine.workers").set(self.workers)
         # Codec component-cache effectiveness, coordinator + workers
-        # combined (the scaling bench asserts on the hit rate).
-        hits, misses = run.codec.stats()
-        if run.pool is not None:
-            hits += run.pool.cache_hits
-            misses += run.pool.cache_misses
-        if hits:
-            metrics.counter("engine.codec.cache_hits").inc(hits)
-        if misses:
-            metrics.counter("engine.codec.cache_misses").inc(misses)
+        # combined (the scaling bench asserts on the hit rate).  Delta
+        # published: live store flushes already pushed a prefix.
+        self._publish_cache_counters(run)
         if run.pool is not None and run.pool.visited_overflows:
             metrics.counter("engine.visited.overflows").inc(
                 run.pool.visited_overflows

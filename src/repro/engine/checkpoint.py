@@ -497,6 +497,48 @@ def list_checkpoints(directory: str | os.PathLike) -> list[Path]:
     return sorted(found)
 
 
+def checkpoint_meta(path: str | os.PathLike) -> dict:
+    """The ``meta`` dict of one checkpoint, without decoding any states.
+
+    ``path`` is anything :func:`list_checkpoints` returns: a monolithic
+    ``.ckpt`` file (the payload is unpickled but its packed states are
+    never codec-decoded) or a delta-segment directory (the newest
+    readable segment's meta wins).  Checkpoints written by a
+    ledger-registered run carry ``run_id`` here, which is how ``repro
+    runs`` tooling maps snapshots on disk back to ledger records.
+    Unreadable or foreign files return ``{}`` rather than raising — this
+    is an introspection helper, not a resume path.
+    """
+    path = Path(path)
+    if path.is_dir():
+        candidates = sorted(
+            path.glob(f"segment-*{SEGMENT_SUFFIX}"), key=_segment_seq, reverse=True
+        )
+        for candidate in candidates:
+            try:
+                with open(candidate, "rb") as handle:
+                    payload = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+                continue
+            if isinstance(payload, dict) and payload.get("format") == SEGMENT_FORMAT:
+                meta = payload.get("meta", {})
+                return meta if isinstance(meta, dict) else {}
+        return {}
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        return {}
+    if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+        return {}
+    if payload.get("mode") == "pickle":
+        checkpoint = payload.get("checkpoint")
+        meta = getattr(checkpoint, "meta", {})
+        return meta if isinstance(meta, dict) else {}
+    meta = payload.get("meta", {})
+    return meta if isinstance(meta, dict) else {}
+
+
 def resume_hint(directory: str | os.PathLike) -> str:
     """The ready-to-run recipe for resuming checkpoints under ``directory``.
 

@@ -1066,11 +1066,17 @@ class WorkerPool:
         """
         events, counters = batch
         if events and self.tracer.enabled:
+            attach = {"worker": worker, "round": self._round}
+            if self.tracer.run_id is not None:
+                # Event-level run stamping happens in Tracer.emit; the
+                # span *attribute* makes worker spans greppable by run
+                # in assembled/chrome-trace form too.
+                attach["run"] = self.tracer.run_id
             merge_worker_events(
                 self.tracer,
                 events,
                 parent_id=self._round_span,
-                attach={"worker": worker, "round": self._round},
+                attach=attach,
             )
         if counters and self.metrics.enabled:
             for name, value in counters.items():

@@ -185,6 +185,7 @@ class StoreStats:
     spilled_states: int = 0
     flushes: int = 0
     flush_seconds: float = 0.0
+    last_flush_seconds: float = 0.0
     bytes_on_disk: int = 0
 
     def to_json(self) -> dict:
@@ -195,6 +196,7 @@ class StoreStats:
             "spilled_states": self.spilled_states,
             "flushes": self.flushes,
             "flush_seconds": self.flush_seconds,
+            "last_flush_seconds": self.last_flush_seconds,
             "bytes_on_disk": self.bytes_on_disk,
         }
 
@@ -626,6 +628,7 @@ class _DiskStore(StateStore):
         )
         self._flushes = 0
         self._flush_seconds = 0.0
+        self._last_flush_seconds = 0.0
         self._closed = False
 
     # frontier delegation
@@ -672,6 +675,7 @@ class _DiskStore(StateStore):
             spilled_states=self._frontier.spilled,
             flushes=self._flushes,
             flush_seconds=self._flush_seconds,
+            last_flush_seconds=self._last_flush_seconds,
             bytes_on_disk=self._disk_bytes(),
         )
 
@@ -835,8 +839,9 @@ class SQLiteStore(_DiskStore):
         self._pending_packed.clear()
         self._pending_expansions.clear()
         self._pending_edges.clear()
+        self._last_flush_seconds = time.perf_counter() - started
         self._flushes += 1
-        self._flush_seconds += time.perf_counter() - started
+        self._flush_seconds += self._last_flush_seconds
 
     def marks(self) -> dict:
         return {"states": self._count, "expansions": self._expansion_count()}
@@ -1181,8 +1186,9 @@ class MmapStore(_DiskStore):
         self._pending_packed.clear()
         self._pending_edges.clear()
         self._pending_expansions = 0
+        self._last_flush_seconds = time.perf_counter() - started
         self._flushes += 1
-        self._flush_seconds += time.perf_counter() - started
+        self._flush_seconds += self._last_flush_seconds
 
     def marks(self) -> dict:
         return {

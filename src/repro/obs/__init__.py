@@ -19,6 +19,11 @@ and the adversary pipeline *do* as inspectable data:
   latency profiles, folded flamegraph stacks, trace diffing;
 * :mod:`repro.obs.progress` — throttled, TTY-aware live progress lines
   on stderr (``REPRO_PROGRESS=1`` or ``ExplorationEngine(progress=…)``);
+* :mod:`repro.obs.ledger` — the run ledger: every run mints a
+  ``run_id``, appends durable :class:`RunRecord` lines to a JSONL
+  ledger, and refreshes an atomic heartbeat file so ``repro runs
+  list/show/tail/diff/gc`` can inspect live, finished, and killed runs
+  from another process;
 * :mod:`repro.obs.export`  — Prometheus textfile and Chrome
   ``trace_event`` exporters for metrics snapshots and span traces;
 * :mod:`repro.obs.replay`  — reconstruct the task sequence of a JSONL
@@ -64,6 +69,14 @@ from .export import (
     prometheus_textfile,
     snapshot_from_trace,
     write_chrome_trace,
+)
+from .ledger import (
+    RunHandle,
+    RunLedger,
+    RunRecord,
+    diff_runs,
+    new_run_id,
+    resolve_runs_dir,
 )
 from .metrics import (
     Counter,
@@ -157,6 +170,9 @@ __all__ = [
     "RUN_END",
     "RUN_START",
     "RingBufferSink",
+    "RunHandle",
+    "RunLedger",
+    "RunRecord",
     "SERVICE_INVOCATION",
     "SERVICE_RESPONSE",
     "SHRINK_STEP",
@@ -180,11 +196,13 @@ __all__ = [
     "current_tracer",
     "decode_value",
     "default_registry",
+    "diff_runs",
     "diff_span_profiles",
     "encode_value",
     "end_span",
     "folded_stacks",
     "merge_worker_events",
+    "new_run_id",
     "percentile",
     "profiled",
     "progress_from_env",
@@ -195,6 +213,7 @@ __all__ = [
     "render_span_diff",
     "render_span_table",
     "replay",
+    "resolve_runs_dir",
     "set_current_tracer",
     "set_default_registry",
     "snapshot_from_trace",

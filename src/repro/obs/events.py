@@ -93,7 +93,10 @@ class TraceEvent:
     per-process causal counter (0-based per process, ``seq``-aligned for
     unattributed events); ``process`` names the process/automaton the
     event is attributed to (``None`` for global events such as
-    exploration progress); ``data`` holds the kind-specific payload.
+    exploration progress); ``data`` holds the kind-specific payload;
+    ``run`` carries the run ledger's run id when the emitting tracer has
+    one installed (``None`` otherwise, and omitted from the JSON line so
+    pre-ledger traces parse unchanged).
     """
 
     seq: int
@@ -101,20 +104,20 @@ class TraceEvent:
     process: Hashable = None
     lamport: int = 0
     data: Mapping[str, Any] = field(default_factory=dict)
+    run: str | None = None
 
     def to_json(self) -> str:
         """The event as one JSON line (no trailing newline)."""
-        return json.dumps(
-            {
-                "seq": self.seq,
-                "kind": self.kind,
-                "process": encode_value(self.process),
-                "lamport": self.lamport,
-                "data": {key: encode_value(value) for key, value in self.data.items()},
-            },
-            separators=(",", ":"),
-            sort_keys=True,
-        )
+        document = {
+            "seq": self.seq,
+            "kind": self.kind,
+            "process": encode_value(self.process),
+            "lamport": self.lamport,
+            "data": {key: encode_value(value) for key, value in self.data.items()},
+        }
+        if self.run is not None:
+            document["run"] = self.run
+        return json.dumps(document, separators=(",", ":"), sort_keys=True)
 
     @staticmethod
     def from_json(line: str) -> "TraceEvent":
@@ -126,6 +129,7 @@ class TraceEvent:
             process=decode_value(raw.get("process")),
             lamport=raw.get("lamport", 0),
             data={key: decode_value(value) for key, value in raw.get("data", {}).items()},
+            run=raw.get("run"),
         )
 
 

@@ -83,17 +83,29 @@ def _format_value(value) -> str:
     return "NaN"
 
 
-def prometheus_textfile(snapshot: Mapping, prefix: str = "repro") -> str:
+def prometheus_textfile(
+    snapshot: Mapping, prefix: str = "repro", labels: Mapping | None = None
+) -> str:
     """Render a metrics snapshot in the Prometheus text format.
 
     Instrument names carrying an embedded label clause (see
     :func:`_split_labels`) render as labelled series; the ``# TYPE``
     header is emitted once per base metric, so per-tenant counters like
     ``serve.admitted{tenant="a"}`` / ``serve.admitted{tenant="b"}``
-    form one metric family.
+    form one metric family.  ``labels`` adds constant labels — run
+    identity, most importantly: ``labels={"run": run_id}`` — to every
+    series, merged after any embedded clause.
     """
     lines: list[str] = []
     typed: set[str] = set()
+    constant = ",".join(
+        f'{key}="{value}"' for key, value in (labels or {}).items()
+    )
+
+    def with_constant(clause: str) -> str:
+        if not constant:
+            return clause
+        return _merge_labels(clause, constant)
 
     def declare(metric: str, kind: str) -> None:
         if metric not in typed:
@@ -101,17 +113,17 @@ def prometheus_textfile(snapshot: Mapping, prefix: str = "repro") -> str:
             lines.append(f"# TYPE {metric} {kind}")
 
     for name, value in snapshot.get("counters", {}).items():
-        base, labels = _split_labels(name)
+        base, clause = _split_labels(name)
         metric = f"{prefix}_{_metric_name(base)}_total"
         declare(metric, "counter")
-        lines.append(f"{metric}{labels} {_format_value(value)}")
+        lines.append(f"{metric}{with_constant(clause)} {_format_value(value)}")
     for name, value in snapshot.get("gauges", {}).items():
-        base, labels = _split_labels(name)
+        base, clause = _split_labels(name)
         metric = f"{prefix}_{_metric_name(base)}"
         declare(metric, "gauge")
-        lines.append(f"{metric}{labels} {_format_value(value)}")
+        lines.append(f"{metric}{with_constant(clause)} {_format_value(value)}")
     for name, summary in snapshot.get("histograms", {}).items():
-        base, labels = _split_labels(name)
+        base, clause = _split_labels(name)
         metric = f"{prefix}_{_metric_name(base)}"
         declare(metric, "summary")
         for quantile_key, q in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
@@ -119,13 +131,14 @@ def prometheus_textfile(snapshot: Mapping, prefix: str = "repro") -> str:
             if value is not None:
                 quantile = 'quantile="%s"' % q
                 lines.append(
-                    f"{metric}{_merge_labels(labels, quantile)} "
+                    f"{metric}{_merge_labels(with_constant(clause), quantile)} "
                     f"{_format_value(value)}"
                 )
         lines.append(
-            f"{metric}_sum{labels} {_format_value(summary.get('total', 0.0))}"
+            f"{metric}_sum{with_constant(clause)} "
+            f"{_format_value(summary.get('total', 0.0))}"
         )
-        lines.append(f"{metric}_count{labels} {summary.get('count', 0)}")
+        lines.append(f"{metric}_count{with_constant(clause)} {summary.get('count', 0)}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -135,12 +148,33 @@ def snapshot_from_trace(events: Iterable[TraceEvent]) -> dict:
     Counters: ``trace.events.<kind>`` per event kind.  Histograms:
     ``span.<name>`` wall-time summaries per span name (same keys as
     :meth:`~repro.obs.metrics.Histogram.summary`).
+
+    Fuzz traces (any trace carrying a ``fuzz_candidate`` event)
+    additionally derive the campaign counters the live registry records
+    — ``sim.fuzz.schedules`` (one per simulated schedule),
+    ``sim.fuzz.violations``, ``sim.fuzz.shrink_steps`` — so ``repro obs
+    summarize``/``prom`` report the same numbers from a trace file as
+    from a live run.
     """
     events = list(events)
     counters: dict[str, int] = {}
     for event in events:
         key = f"trace.events.{event.kind}"
         counters[key] = counters.get(key, 0) + 1
+    if counters.get("trace.events.fuzz_candidate"):
+        for event in events:
+            if event.kind == "sim_run":
+                counters["sim.fuzz.schedules"] = (
+                    counters.get("sim.fuzz.schedules", 0) + 1
+                )
+                if event.data.get("violations"):
+                    counters["sim.fuzz.violations"] = (
+                        counters.get("sim.fuzz.violations", 0) + 1
+                    )
+            elif event.kind == "shrink_step":
+                counters["sim.fuzz.shrink_steps"] = (
+                    counters.get("sim.fuzz.shrink_steps", 0) + 1
+                )
     histograms: dict[str, dict] = {}
     samples: dict[str, list[float]] = {}
     for record in assemble_spans(events):

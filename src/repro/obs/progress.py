@@ -57,16 +57,31 @@ class ProgressReporter:
         elapsed: float,
         budget=None,
         force: bool = False,
+        spilled: int | None = None,
+        flush_ms: float | None = None,
     ) -> bool:
         """Render a progress line if the throttle interval has passed.
 
-        Returns True when a line was actually written (tests hook this).
+        ``spilled``/``flush_ms`` are the store columns — digests spilled
+        to disk and the last store-flush latency — supplied only by
+        store-backed runs.  Returns True when a line was actually
+        written (tests hook this).
         """
         now = self._clock()
         if not force and now - self._last_render < self.interval_seconds:
             return False
         self._last_render = now
-        self._write(self.format_line(states, frontier, workers, elapsed, budget))
+        self._write(
+            self.format_line(
+                states,
+                frontier,
+                workers,
+                elapsed,
+                budget,
+                spilled=spilled,
+                flush_ms=flush_ms,
+            )
+        )
         self.renders += 1
         return True
 
@@ -80,7 +95,15 @@ class ProgressReporter:
     # -- formatting -----------------------------------------------------------
 
     def format_line(
-        self, states: int, frontier: int, workers: int, elapsed: float, budget
+        self,
+        states: int,
+        frontier: int,
+        workers: int,
+        elapsed: float,
+        budget,
+        *,
+        spilled: int | None = None,
+        flush_ms: float | None = None,
     ) -> str:
         rate = states / elapsed if elapsed > 0 else 0.0
         parts = [
@@ -89,6 +112,10 @@ class ProgressReporter:
             f"frontier {frontier}",
             f"workers {workers}",
         ]
+        if spilled is not None:
+            parts.append(f"spilled {spilled}")
+        if flush_ms is not None:
+            parts.append(f"flush {flush_ms:.1f}ms")
         eta = self._eta(states, rate, elapsed, budget)
         if eta:
             parts.append(eta)

@@ -121,17 +121,34 @@ class Tracer:
     the stack of currently-open span ids (parent links) and the id
     allocator.  They live on the tracer so every instrumented layer
     sharing a tracer shares one span hierarchy.
+
+    ``run_id`` is the run ledger identity (see :mod:`repro.obs.ledger`):
+    when set, every event stamped by this tracer carries it in its
+    ``run`` field — including worker telemetry re-emitted through
+    :func:`~repro.obs.spans.merge_worker_events`, which goes through
+    this same ``emit``.
     """
 
-    __slots__ = ("sink", "enabled", "_seq", "_lamport", "span_stack", "_span_counter")
+    __slots__ = (
+        "sink",
+        "enabled",
+        "_seq",
+        "_lamport",
+        "span_stack",
+        "_span_counter",
+        "run_id",
+    )
 
-    def __init__(self, sink: Sink, enabled: bool = True) -> None:
+    def __init__(
+        self, sink: Sink, enabled: bool = True, run_id: str | None = None
+    ) -> None:
         self.sink = sink
         self.enabled = enabled
         self._seq = 0
         self._lamport: dict[Hashable, int] = {}
         self.span_stack: list[str] = []
         self._span_counter = 0
+        self.run_id = run_id
 
     def next_span_id(self) -> str:
         """Allocate the next span id of this tracer's stream."""
@@ -150,7 +167,14 @@ class Tracer:
             lamport = self._lamport.get(process, -1) + 1
             self._lamport[process] = lamport
         self.sink.append(
-            TraceEvent(seq=seq, kind=kind, process=process, lamport=lamport, data=data)
+            TraceEvent(
+                seq=seq,
+                kind=kind,
+                process=process,
+                lamport=lamport,
+                data=data,
+                run=self.run_id,
+            )
         )
 
     @property

@@ -45,11 +45,12 @@ from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
 
+from ..obs.ledger import RunLedger, resolve_runs_dir
 from ..obs.metrics import MetricsRegistry
 from ..obs.sinks import NULL_TRACER, Tracer
 from .cache import VerdictCache, budget_dominates, job_key
 from .jobs import CANCELLED, COMPLETED, QUEUED, RUNNING, TERMINAL, Job, JobStore
-from .runner import execute_job
+from .runner import execute_job, job_checkpoint_dir, job_store_dir
 from .scheduler import FairScheduler, LoadShedder, TokenBucket
 from .wire import (
     MAX_BODY_BYTES,
@@ -79,6 +80,11 @@ class ServeConfig:
     used by tests and drain scenarios.  ``data_dir=None`` disables all
     persistence: no journal, no cache file, no checkpoints — jobs run
     memory-only and a restart forgets everything.
+
+    ``runs_dir`` names the run-ledger directory (see
+    :mod:`repro.obs.ledger`); ``None`` defaults to ``<data_dir>/runs``
+    when a data dir is set and disables the ledger otherwise, so an
+    ephemeral server stays write-free.
     """
 
     host: str = "127.0.0.1"
@@ -95,6 +101,7 @@ class ServeConfig:
     checkpoint_interval: int = 20_000
     max_rss_limit_mb: int | None = None
     progress_interval_seconds: float = 0.2
+    runs_dir: str | Path | None = None
     tracer: Tracer = NULL_TRACER
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
@@ -116,6 +123,16 @@ class VerdictServer:
         self.store = JobStore(
             None if data_dir is None else data_dir / "jobs.jsonl"
         )
+        runs_dir = config.runs_dir
+        if runs_dir is None:
+            runs_dir = None if data_dir is None else data_dir / "runs"
+        else:
+            # An explicit value may also be a disabled spelling ("none",
+            # "off") to run ledger-less even with a data dir.
+            runs_dir = resolve_runs_dir(runs_dir)
+        #: The run ledger every dispatched job registers in (None for
+        #: fully ephemeral servers: no data dir, no explicit runs dir).
+        self.ledger = None if runs_dir is None else RunLedger(runs_dir)
         self.scheduler = FairScheduler(config.quantum, metrics=self.metrics)
         self.shedder = LoadShedder(config.max_queue_depth, config.max_tenant_depth)
         self._buckets: dict[str, TokenBucket] = {}
@@ -187,12 +204,40 @@ class VerdictServer:
                 continue
             await self._run_job(job)
 
+    def _open_run(self, job: Job):
+        """Mint the job's run-ledger record (``job_id <-> run_id`` link)."""
+        if self.ledger is None:
+            return None
+        spec = job.spec
+        artifacts = {}
+        if self.data_dir is not None:
+            artifacts["checkpoint_dir"] = str(job_checkpoint_dir(self.data_dir, job.key))
+            if spec.store not in (None, "memory"):
+                artifacts["store_dir"] = str(job_store_dir(self.data_dir, job.key))
+        try:
+            run = self.ledger.open(
+                "serve",
+                f"{spec.candidate}(n={spec.n},f={spec.resilience})",
+                budget=spec.budget.to_json(),
+                store=spec.store,
+                workers=min(spec.workers, self.config.max_engine_workers),
+                artifacts=artifacts,
+                links={"job_id": job.id, "tenant": spec.tenant, "key": job.key.hex()},
+                heartbeat_interval=self.config.progress_interval_seconds,
+            )
+        except OSError:  # pragma: no cover - ledger dir unwritable
+            return None
+        job.run_id = run.run_id
+        job.publish({"kind": "run", "run_id": run.run_id})
+        return run
+
     async def _run_job(self, job: Job) -> None:
         loop = asyncio.get_running_loop()
         job.mark_running()
         self._running.add(job)
         self.metrics.gauge("serve.inflight").set(len(self._running))
         publish = lambda event: loop.call_soon_threadsafe(job.publish, event)
+        run = self._open_run(job)
         try:
             outcome = await loop.run_in_executor(
                 self._executor,
@@ -206,19 +251,42 @@ class VerdictServer:
                     max_engine_workers=self.config.max_engine_workers,
                     checkpoint_interval=self.config.checkpoint_interval,
                     max_rss_limit_mb=self.config.max_rss_limit_mb,
+                    run=run,
                 ),
             )
         finally:
             self._running.discard(job)
             self.metrics.gauge("serve.inflight").set(len(self._running))
         if self._stopping and outcome.state == CANCELLED:
-            return  # shutdown drain: leave the journal open for resume
+            # Shutdown drain: leave the journal open for resume.  The
+            # run record also stays non-terminal — once this process
+            # exits, readers derive status=interrupted, which is what a
+            # to-be-resumed run is.
+            return
         job.finish(
             outcome.state,
             verdict=outcome.verdict,
             error=outcome.error,
             engine_report=outcome.engine_report,
         )
+        if run is not None:
+            report = outcome.engine_report or {}
+            run.finish(
+                outcome.state,
+                verdict=outcome.verdict,
+                phases=report.get("phase_seconds") or {},
+                counters={
+                    name: value
+                    for name, value in report.items()
+                    if isinstance(value, (int, float)) and not isinstance(value, bool)
+                },
+                peak_rss_kb=report.get("peak_rss_kb", 0) or 0,
+                error=(
+                    None
+                    if outcome.error is None
+                    else str(outcome.error.get("detail") or outcome.error.get("error"))
+                ),
+            )
         self.store.record_done(job)
         self.metrics.counter(f"serve.jobs.{outcome.state}").inc()
         wall = job.wall_seconds

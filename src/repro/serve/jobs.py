@@ -67,6 +67,10 @@ class Job:
         self.error: dict | None = None
         self.engine_report: dict | None = None
         self.cached = False
+        #: Run-ledger identity minted when the fleet dispatches this job
+        #: (``None`` for cache hits and ledger-less servers); links the
+        #: job document to ``repro runs show <run_id>``.
+        self.run_id: str | None = None
         self.cancel_event = threading.Event()
         self._clock = clock
         self.events: list[dict] = []
@@ -139,6 +143,7 @@ class Job:
             "verdict": self.verdict,
             "error": self.error,
             "engine": self.engine_report,
+            "run_id": self.run_id,
         }
 
 
@@ -191,6 +196,7 @@ class JobStore:
                 "id": job.id,
                 "state": job.state,
                 "finished_at": job.finished_at,
+                "run_id": job.run_id,
             }
         )
 

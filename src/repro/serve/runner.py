@@ -59,21 +59,35 @@ class JobProgressReporter(ProgressReporter):
         super().__init__(stream=_NullStream(), interval_seconds=interval_seconds)
         self._publish = publish
 
-    def update(self, *, states, frontier, workers, elapsed, budget=None, force=False):
+    def update(
+        self,
+        *,
+        states,
+        frontier,
+        workers,
+        elapsed,
+        budget=None,
+        force=False,
+        spilled=None,
+        flush_ms=None,
+    ):
         now = self._clock()
         if not force and now - self._last_render < self.interval_seconds:
             return False
         self._last_render = now
         self.renders += 1
-        self._publish(
-            {
-                "kind": "progress",
-                "states": states,
-                "frontier": frontier,
-                "workers": workers,
-                "elapsed": round(elapsed, 3),
-            }
-        )
+        snapshot = {
+            "kind": "progress",
+            "states": states,
+            "frontier": frontier,
+            "workers": workers,
+            "elapsed": round(elapsed, 3),
+        }
+        if spilled is not None:
+            snapshot["spilled"] = spilled
+        if flush_ms is not None:
+            snapshot["flush_ms"] = round(flush_ms, 3)
+        self._publish(snapshot)
         return True
 
     def finish(self) -> None:
@@ -135,6 +149,7 @@ def execute_job(
     max_engine_workers: int = 1,
     checkpoint_interval: int = 50_000,
     max_rss_limit_mb: int | None = None,
+    run=None,
 ) -> JobOutcome:
     """Run one job to a terminal outcome (worker-thread entry point).
 
@@ -144,6 +159,11 @@ def execute_job(
     standard error document (checkpoint path and resume command
     included), so a client can grow the budget and resubmit — the rerun
     resumes from the checkpoint.
+
+    ``run`` is the job's :class:`~repro.obs.ledger.RunHandle` (or run-id
+    string) when the server keeps a run ledger; the engine heartbeats it
+    from this worker thread (heartbeats are plain throttled file writes,
+    safe off the event loop) and stamps the id into checkpoint metadata.
     """
     spec = job.spec
     checkpoint_dir = (
@@ -169,6 +189,7 @@ def execute_job(
             cancel=job.cancel_event,
             tracer=tracer,
             metrics=metrics,
+            run=run,
         )
         verdict = refute_candidate(
             system,

@@ -32,6 +32,12 @@ wins when both are present.  ``proposals`` only influences the cache
 key's root state (the refutation pipeline itself explores every
 initialization); omitted, the balanced 0/1 assignment is used — the
 probe/bench convention.
+
+The job document (``GET /jobs/{id}``) additionally carries ``run_id``:
+the run-ledger identity minted when the fleet dispatched the job
+(``null`` for cache hits and ledger-less servers).  Feed it to ``repro
+runs show <run_id>`` — pointed at the server's ``<data_dir>/runs`` —
+to reconstruct the engine run behind the job, including after a crash.
 """
 
 from __future__ import annotations

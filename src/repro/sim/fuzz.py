@@ -351,6 +351,7 @@ def shrink_counterexample(
             )
         if metrics.enabled:
             metrics.counter("fuzz.shrink_rounds").inc()
+            metrics.counter("sim.fuzz.shrink_steps").inc()
 
     # Greedy input pruning first: fewer crashes, simpler schedules.
     index = len(inputs) - 1
@@ -511,6 +512,7 @@ def fuzz(
     stop_after: int | None = 1,
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
+    run=None,
 ) -> FuzzReport:
     """Run a seeded fuzz campaign; shrink every counterexample found.
 
@@ -521,6 +523,13 @@ def fuzz(
     many random crash inputs per schedule.  The campaign stops early
     after ``stop_after`` counterexamples (``None`` = never).  The whole
     campaign is a pure function of ``seed``.
+
+    ``run`` is an optional :class:`~repro.obs.ledger.RunHandle`: the
+    campaign heartbeats it per candidate and links each attacked spec
+    (``campaign_id -> run_id``) so ``repro runs show`` reconstructs
+    what the campaign covered.  The shared-registry campaign counters —
+    ``sim.fuzz.schedules``, ``sim.fuzz.violations``,
+    ``sim.fuzz.shrink_steps`` — publish regardless.
     """
     rng = random.Random(seed)
     if specs is None:
@@ -529,12 +538,20 @@ def fuzz(
         spec_list = list(specs)
     report = FuzzReport(specs_tried=0, runs=0, steps=0, elapsed=0.0)
     started = time.monotonic()
-    for spec in spec_list:
+    for campaign_id, spec in enumerate(spec_list):
         report.specs_tried += 1
         if tracer.enabled:
             tracer.emit(FUZZ_CANDIDATE, candidate=spec.describe())
         if metrics.enabled:
             metrics.counter("fuzz.candidates").inc()
+        if run is not None:
+            run.link(f"campaign-{campaign_id}", spec.describe())
+            run.heartbeat(
+                campaigns=report.specs_tried,
+                schedules=report.runs,
+                violations=len(report.found),
+                elapsed=time.monotonic() - started,
+            )
         system = build_candidate(spec)
         endpoints = tuple(system.process_ids)
         for _ in range(runs):
@@ -552,7 +569,11 @@ def fuzz(
             result = simulate(system, config, tracer=tracer, metrics=metrics)
             report.runs += 1
             report.steps += result.steps
+            if metrics.enabled:
+                metrics.counter("sim.fuzz.schedules").inc()
             if result.violations:
+                if metrics.enabled:
+                    metrics.counter("sim.fuzz.violations").inc()
                 report.found.append(
                     shrink_counterexample(
                         spec, sim_seed, result, tracer=tracer, metrics=metrics
@@ -562,6 +583,14 @@ def fuzz(
         if stop_after is not None and len(report.found) >= stop_after:
             break
     report.elapsed = time.monotonic() - started
+    if run is not None:
+        run.heartbeat(
+            force=True,
+            campaigns=report.specs_tried,
+            schedules=report.runs,
+            violations=len(report.found),
+            elapsed=report.elapsed,
+        )
     return report
 
 

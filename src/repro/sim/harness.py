@@ -40,7 +40,8 @@ from ..analysis.consensus_spec import (
 from ..ioa.actions import Action, fail
 from ..ioa.automaton import Automaton, State, Task
 from ..ioa.execution import Execution
-from ..ioa.scheduler import Scheduler, ScriptedScheduler, run
+from ..ioa.scheduler import Scheduler, ScriptedScheduler
+from ..ioa.scheduler import run as run_schedule
 from ..obs.events import FAULT_FIRED, SIM_RUN, decode_value, encode_value
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.sinks import NULL_TRACER, Tracer
@@ -291,6 +292,7 @@ def simulate(
     *,
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
+    run=None,
 ) -> SimResult:
     """Run ``system`` under the seeded scheduler; check the axioms.
 
@@ -299,6 +301,10 @@ def simulate(
     ``config.max_steps`` — whichever comes first.  The returned
     :class:`SimResult` carries the realized task script; feeding it to
     :func:`replay` reproduces the identical execution.
+
+    ``run`` is an optional :class:`~repro.obs.ledger.RunHandle`; the
+    finished result is written to its heartbeat (seed, steps, faults,
+    violation count) so ``repro runs tail`` sees sim activity too.
     """
     proposals = _resolve_proposals(system, config.proposals)
     initialization = system.initialization(proposals)
@@ -312,7 +318,7 @@ def simulate(
             return True
         return is_quiescent(system, state)
 
-    execution = run(
+    execution = run_schedule(
         system,
         scheduler,
         max_steps=config.max_steps,
@@ -322,7 +328,16 @@ def simulate(
         tracer=tracer,
         metrics=metrics,
     )
-    return _finish(system, config, proposals, execution, inputs, tracer, metrics)
+    result = _finish(system, config, proposals, execution, inputs, tracer, metrics)
+    if run is not None:
+        run.heartbeat(
+            seed=result.config.seed,
+            steps=result.steps,
+            faults=result.fault_count,
+            violations=len(result.violations),
+            quiescent=result.quiescent,
+        )
+    return result
 
 
 def replay(
@@ -349,7 +364,7 @@ def replay(
     initialization = system.initialization(resolved)
     scheduler = ScriptedScheduler(tuple(script), strict=strict)
     inputs = tuple(inputs)
-    execution = run(
+    execution = run_schedule(
         system,
         scheduler,
         max_steps=len(tuple(script)) + 1,

@@ -15,6 +15,18 @@ from repro.system import DistributedSystem, ScriptProcess
 from repro.types import binary_consensus_type, read_write_type
 
 
+@pytest.fixture(autouse=True)
+def _isolated_run_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at the test's tmp dir, never the checkout.
+
+    CLI commands register runs under ``$REPRO_RUNS_DIR`` (default
+    ``.repro/runs`` in the CWD); without this fixture every CLI test
+    would write ledger files into the working tree.  Tests that care
+    about the ledger pass ``--runs-dir`` explicitly and are unaffected.
+    """
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs-ledger"))
+
+
 @pytest.fixture
 def replay_hint(request):
     """Register ``(seed, command)`` pairs surfaced when this test fails.

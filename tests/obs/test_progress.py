@@ -59,6 +59,34 @@ class TestFormatting:
         )
         assert "deadline 8s left" in line
 
+    def test_store_columns_render_when_given(self):
+        progress, _, _ = reporter()
+        line = progress.format_line(
+            1000, 50, 4, 2.0, None, spilled=123, flush_ms=4.567
+        )
+        assert "spilled 123" in line
+        assert "flush 4.6ms" in line
+
+    def test_store_columns_absent_by_default(self):
+        progress, _, _ = reporter()
+        line = progress.format_line(1000, 50, 4, 2.0, None)
+        assert "spilled" not in line
+        assert "flush" not in line
+
+    def test_update_passes_store_columns_through(self):
+        progress, stream, _ = reporter()
+        progress.update(
+            states=10,
+            frontier=5,
+            workers=1,
+            elapsed=1.0,
+            spilled=7,
+            flush_ms=1.25,
+        )
+        output = stream.getvalue()
+        assert "spilled 7" in output
+        assert "flush 1.2ms" in output or "flush 1.3ms" in output
+
     def test_non_tty_writes_plain_lines(self):
         progress, stream, _ = reporter()
         progress.update(states=1, frontier=1, workers=1, elapsed=0.1)
@@ -66,6 +94,19 @@ class TestFormatting:
         output = stream.getvalue()
         assert output.endswith("\n")
         assert "\r" not in output
+
+    def test_non_tty_one_line_per_interval(self):
+        progress, stream, clock = reporter(interval_seconds=0.25)
+        progress.update(states=1, frontier=1, workers=1, elapsed=0.1)
+        clock.now += 0.3
+        progress.update(states=2, frontier=1, workers=1, elapsed=0.4)
+        clock.now += 0.3
+        progress.update(states=3, frontier=1, workers=1, elapsed=0.7)
+        lines = [
+            line for line in stream.getvalue().splitlines() if line.strip()
+        ]
+        assert len(lines) == 3
+        assert all("states" in line for line in lines)
 
     def test_tty_redraws_in_place(self):
         class Tty(io.StringIO):

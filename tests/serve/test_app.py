@@ -259,3 +259,43 @@ class TestJobListing:
                 "candidate": "delegation",
             }
         ]
+
+
+class TestRunLedger:
+    def test_job_registers_a_linked_run(self, serve_factory, tmp_path):
+        from repro.obs import RunLedger
+
+        runs_dir = tmp_path / "runs"
+        _, client = serve_factory(fleet=1, runs_dir=str(runs_dir))
+        _, _, submitted = client.submit(FAST_SPEC, tenant="alice")
+        document = client.poll(submitted["id"])
+        assert document["state"] == "completed"
+        assert document["run_id"].startswith("serve-")
+
+        ledger = RunLedger(runs_dir)
+        record = ledger.find(document["run_id"])
+        assert record.kind == "serve"
+        assert record.status == "completed"
+        assert record.links["job_id"] == submitted["id"]
+        assert record.links["tenant"] == "alice"
+        assert record.verdict is not None
+
+    def test_no_data_dir_and_no_runs_dir_disables_the_ledger(
+        self, serve_factory
+    ):
+        _, client = serve_factory(fleet=1)
+        _, _, submitted = client.submit(FAST_SPEC)
+        document = client.poll(submitted["id"])
+        assert document["state"] == "completed"
+        assert document["run_id"] is None
+
+    def test_runs_dir_off_spelling_disables_even_with_data_dir(
+        self, serve_factory, tmp_path
+    ):
+        _, client = serve_factory(
+            fleet=1, data_dir=str(tmp_path / "data"), runs_dir="off"
+        )
+        _, _, submitted = client.submit(FAST_SPEC)
+        document = client.poll(submitted["id"])
+        assert document["run_id"] is None
+        assert not (tmp_path / "data" / "runs").exists()

@@ -68,6 +68,8 @@ class TestExports:
             "Budget",
             "ExplorationEngine",
             "ReductionConfig",
+            "RunLedger",
+            "RunRecord",
             "StateStore",
             "StoreConfig",
             "__version__",
@@ -95,6 +97,8 @@ class TestExports:
         assert repro.ExplorationEngine is repro.engine.ExplorationEngine
         assert repro.StateStore is repro.engine.StateStore
         assert repro.StoreConfig is repro.engine.StoreConfig
+        assert repro.RunLedger is repro.obs.RunLedger
+        assert repro.RunRecord is repro.obs.RunRecord
 
 
 class TestHeadlineSignatures:

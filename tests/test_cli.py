@@ -71,7 +71,9 @@ class TestEngineFlags:
         assert main(["refute", "delegation", "-n", "2", "-f", "0", "--workers", "2"]) == 0
         parallel = capsys.readouterr().out
         strip = lambda out: [
-            line for line in out.splitlines() if not line.startswith("Explored")
+            line
+            for line in out.splitlines()
+            if not line.startswith(("Explored", "Run id:"))
         ]
         assert strip(parallel) == strip(sequential)
 
@@ -105,7 +107,9 @@ class TestEngineFlags:
         assert main(["refute", "delegation", "--resume", checkpoints]) == 0
         resumed = capsys.readouterr().out
         strip = lambda out: [
-            line for line in out.splitlines() if not line.startswith("Explored")
+            line
+            for line in out.splitlines()
+            if not line.startswith(("Explored", "Run id:"))
         ]
         assert strip(resumed) == strip(uninterrupted)
 
@@ -197,7 +201,7 @@ class TestChaosFlags:
         strip = lambda out: [
             line
             for line in out.splitlines()
-            if not line.startswith(("Explored", "engine:"))
+            if not line.startswith(("Explored", "engine:", "Run id:"))
         ]
         assert strip(chaotic) == strip(clean)
 
@@ -449,3 +453,221 @@ class TestFuzz:
     def test_fuzz_faults_requires_single_family(self):
         with pytest.raises(SystemExit):
             main(["fuzz", "--faults", "drop=1"])
+
+
+class TestRuns:
+    def _refute(self, capsys, runs_dir):
+        assert main(["refute", "last-writer", "--runs-dir", runs_dir]) == 0
+        out = capsys.readouterr().out
+        line = next(l for l in out.splitlines() if l.startswith("Run id:"))
+        return line.split()[-1]
+
+    def test_refute_registers_run_and_show_reconstructs_it(
+        self, capsys, tmp_path
+    ):
+        runs_dir = str(tmp_path / "runs")
+        run_id = self._refute(capsys, runs_dir)
+        assert run_id.startswith("refute-")
+        assert main(["runs", "show", run_id, "--runs-dir", runs_dir]) == 0
+        out = capsys.readouterr().out
+        assert f"Run:      {run_id}" in out
+        assert "Status:   completed" in out
+        assert "Kind:     refute  last-writer(n=3,f=1)" in out
+        assert "Verdict:" in out and '"refuted": true' in out
+        assert "Counters:" in out and "explore.states" in out
+        assert "Phases:" in out
+
+    def test_show_accepts_unique_prefix(self, capsys, tmp_path):
+        runs_dir = str(tmp_path / "runs")
+        run_id = self._refute(capsys, runs_dir)
+        assert main(["runs", "show", run_id[:14], "--runs-dir", runs_dir]) == 0
+        assert run_id in capsys.readouterr().out
+
+    def test_list_renders_and_filters_by_kind(self, capsys, tmp_path):
+        runs_dir = str(tmp_path / "runs")
+        run_id = self._refute(capsys, runs_dir)
+        assert main(["runs", "list", "--runs-dir", runs_dir]) == 0
+        out = capsys.readouterr().out
+        assert run_id in out and "completed" in out
+        assert main(
+            ["runs", "list", "--runs-dir", runs_dir, "--kind", "sim"]
+        ) == 0
+        assert run_id not in capsys.readouterr().out
+
+    def test_list_json(self, capsys, tmp_path):
+        import json
+
+        runs_dir = str(tmp_path / "runs")
+        run_id = self._refute(capsys, runs_dir)
+        assert main(["runs", "list", "--runs-dir", runs_dir, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["run_id"] for row in rows] == [run_id]
+        assert rows[0]["status"] == "completed"
+
+    def test_diff_between_two_runs(self, capsys, tmp_path):
+        runs_dir = str(tmp_path / "runs")
+        before = self._refute(capsys, runs_dir)
+        after = self._refute(capsys, runs_dir)
+        assert main(
+            ["runs", "diff", before, after, "--runs-dir", runs_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "METRIC" in out and "RATIO" in out
+        assert "explore.states" in out
+        assert "1.00x" in out  # identical runs diff flat
+
+    def test_tail_of_finished_run_exits_immediately(self, capsys, tmp_path):
+        runs_dir = str(tmp_path / "runs")
+        run_id = self._refute(capsys, runs_dir)
+        assert main(["runs", "tail", run_id, "--runs-dir", runs_dir]) == 0
+        assert f"{run_id}: completed" in capsys.readouterr().out
+
+    def test_gc_compacts_and_reports(self, capsys, tmp_path):
+        runs_dir = str(tmp_path / "runs")
+        self._refute(capsys, runs_dir)
+        self._refute(capsys, runs_dir)
+        assert main(
+            ["runs", "gc", "--runs-dir", runs_dir, "--keep", "1"]
+        ) == 0
+        assert "1 runs kept, 1 dropped" in capsys.readouterr().out
+
+    def test_runs_dir_none_disables_the_ledger(self, capsys, tmp_path):
+        assert main(["refute", "last-writer", "--runs-dir", "none"]) == 0
+        assert "Run id:" not in capsys.readouterr().out
+        with pytest.raises(SystemExit, match="disabled"):
+            main(["runs", "list", "--runs-dir", "none"])
+
+    def test_unknown_run_id_exits_loudly(self, tmp_path):
+        runs_dir = str(tmp_path / "runs")
+        with pytest.raises(SystemExit, match="no run"):
+            main(["runs", "show", "missing", "--runs-dir", runs_dir])
+
+    def test_json_refute_carries_run_id(self, capsys, tmp_path):
+        import json
+
+        runs_dir = str(tmp_path / "runs")
+        assert main(
+            ["refute", "last-writer", "--json", "--runs-dir", runs_dir]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["run_id"].startswith("refute-")
+
+    def test_sim_and_fuzz_register_runs(self, capsys, tmp_path):
+        runs_dir = str(tmp_path / "runs")
+        assert main(
+            ["sim", "exchange", "--seed", "3", "--runs-dir", runs_dir]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["fuzz", "--campaigns", "1", "--runs", "2", "--seed", "9",
+             "--runs-dir", runs_dir]
+        ) == 0
+        capsys.readouterr()
+        assert main(["runs", "list", "--runs-dir", runs_dir, "--json"]) == 0
+        import json
+
+        rows = json.loads(capsys.readouterr().out)
+        kinds = sorted(row["kind"] for row in rows)
+        assert kinds == ["fuzz", "sim"]
+        fuzz = next(row for row in rows if row["kind"] == "fuzz")
+        assert fuzz["counters"]["sim.fuzz.schedules"] >= 1
+
+    def test_trace_events_carry_run_id(self, capsys, tmp_path):
+        import json
+
+        runs_dir = str(tmp_path / "runs")
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["trace", "last-writer", "-o", str(trace),
+             "--runs-dir", runs_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        run_id = next(
+            l for l in out.splitlines() if l.startswith("Run id:")
+        ).split()[-1]
+        for line in trace.read_text().splitlines():
+            assert json.loads(line)["run"] == run_id
+
+    def test_prom_auto_labels_series_with_the_run(self, capsys, tmp_path):
+        runs_dir = str(tmp_path / "runs")
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["trace", "last-writer", "-o", str(trace),
+             "--runs-dir", runs_dir]
+        ) == 0
+        capsys.readouterr()
+        assert main(["obs", "prom", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert 'run="trace-' in out
+        # An explicit --label run=... wins over the derived one.
+        assert main(
+            ["obs", "prom", str(trace), "--label", "run=custom"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert 'run="custom"' in out
+        assert 'run="trace-' not in out
+
+
+class TestRunsCrashSafety:
+    def test_sigkill_mid_run_derives_interrupted_with_resume(
+        self, capsys, tmp_path
+    ):
+        """SIGKILL a store-backed 2-worker run mid-flight; the ledger must
+        derive ``interrupted`` (no terminal record) and still surface the
+        resume command written into the opening record."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        runs_dir = tmp_path / "runs"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        child = subprocess.Popen(
+            [sys.executable, "-m", "repro", "refute", "tob",
+             "--max-states", "400000", "--workers", "2",
+             "--store", f"sqlite:{tmp_path / 'store'}",
+             "--checkpoint", str(tmp_path / "ck"),
+             "--runs-dir", str(runs_dir)],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+        try:
+            heartbeats = runs_dir / "heartbeats"
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if heartbeats.is_dir() and list(heartbeats.glob("*.json")):
+                    break
+                assert child.poll() is None, (
+                    "run finished before a heartbeat appeared"
+                )
+                time.sleep(0.1)
+            else:
+                pytest.fail("no heartbeat within 60s")
+            child.send_signal(signal.SIGKILL)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait()
+
+        assert main(["runs", "list", "--runs-dir", str(runs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "interrupted" in out
+        run_id = next(
+            line.split()[0]
+            for line in out.splitlines()
+            if line.startswith("refute-")
+        )
+        assert main(["runs", "show", run_id, "--runs-dir", str(runs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Status:   interrupted (derived: no terminal record)" in out
+        assert "Resume:   repro refute tob" in out
+        assert "--resume" in out
+        # gc finalizes the interruption durably and drops the heartbeat
+        assert main(["runs", "gc", "--runs-dir", str(runs_dir)]) == 0
+        assert "1 finalized interrupted" in capsys.readouterr().out
